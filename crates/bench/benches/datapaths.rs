@@ -1,0 +1,94 @@
+//! Criterion view of E1: simulation-time cost of computing one packet's
+//! traversal under each datapath architecture, plus end-to-end Norman
+//! host paths (delivery, recv, send, policy ops). These benchmark the
+//! *simulator* itself; the modelled per-packet costs are E1's output.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+use norman::arch::{Architecture, DatapathKind};
+use norman::{Host, HostConfig};
+use oskernel::Uid;
+use pkt::{IpProto, Mac, PacketBuilder};
+use sim::Time;
+
+fn bench_architectures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("arch_model");
+    for kind in DatapathKind::ALL {
+        let mut a = Architecture::new(kind);
+        g.bench_function(format!("rx_cost_{}", kind.name()), |b| {
+            b.iter(|| a.rx_cost(black_box(1500)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_host_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("host_path");
+    let cfg = HostConfig {
+        ring_slots: 1024,
+        ..HostConfig::default()
+    };
+    let mut host = Host::new(cfg);
+    let pid = host.spawn(Uid(1001), "bob", "server");
+    let conn = host
+        .connect(pid, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
+        .unwrap();
+    let inbound = PacketBuilder::new()
+        .ether(Mac::local(9), host.cfg.mac)
+        .ipv4(Ipv4Addr::new(10, 0, 0, 2), host.cfg.ip)
+        .udp(9000, 7000, &[0u8; 1458])
+        .build();
+    let outbound = PacketBuilder::new()
+        .ether(host.cfg.mac, Mac::local(9))
+        .ipv4(host.cfg.ip, Ipv4Addr::new(10, 0, 0, 2))
+        .udp(7000, 9000, &[0u8; 1458])
+        .build();
+
+    g.bench_function("deliver_and_recv_1500B", |b| {
+        b.iter(|| {
+            host.deliver_from_wire(black_box(&inbound), Time::ZERO);
+            host.app_recv(conn, Time::ZERO, false)
+        })
+    });
+    g.bench_function("send_and_pump_1500B", |b| {
+        b.iter(|| {
+            host.app_send(conn, black_box(&outbound), Time::ZERO);
+            host.pump_tx(Time::MAX)
+        })
+    });
+    g.finish();
+}
+
+fn bench_control_plane(c: &mut Criterion) {
+    let mut g = c.benchmark_group("control_plane");
+    g.bench_function("connect_close_cycle", |b| {
+        let mut host = Host::new(HostConfig::default());
+        let pid = host.spawn(Uid(1001), "bob", "server");
+        let mut port = 1024u16;
+        b.iter(|| {
+            port = if port >= 60_000 { 1024 } else { port + 1 };
+            let id = host
+                .connect(pid, IpProto::UDP, port, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
+                .unwrap();
+            host.close(id)
+        })
+    });
+    g.bench_function("overlay_policy_swap", |b| {
+        let mut host = Host::new(HostConfig::default());
+        b.iter(|| {
+            host.nic
+                .load_program(
+                    nicsim::device::ProgramSlot::IngressFilter,
+                    overlay::builtins::port_owner_filter(),
+                    Time::ZERO,
+                )
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_architectures, bench_host_paths, bench_control_plane);
+criterion_main!(benches);

@@ -1,0 +1,256 @@
+//! Microbenchmarks of the hot substrates: packet parse/build, Toeplitz
+//! hashing, qdisc enqueue/dequeue, overlay dispatch, flow-table lookup,
+//! and the ring/LLC model. These are the per-packet building blocks every
+//! experiment composes.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use memsim::{HostRing, Llc, LlcConfig, MemCosts};
+use nicsim::{FlowTable, Sram};
+use overlay::{builtins, PktCtx, Vm};
+use pkt::{FiveTuple, Mac, PacketBuilder, RssHasher};
+use qdisc::{Drr, Fifo, QPkt, Qdisc, Tbf, Wfq};
+use sim::Time;
+
+fn bench_pkt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pkt");
+    let frame = PacketBuilder::new()
+        .ether(Mac::local(1), Mac::local(2))
+        .ipv4("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+        .udp(5432, 9000, &[0u8; 1458])
+        .build();
+    g.bench_function("parse_1500B", |b| {
+        b.iter(|| black_box(&frame).parse().unwrap())
+    });
+    g.bench_function("build_udp_1500B", |b| {
+        b.iter(|| {
+            PacketBuilder::new()
+                .ether(Mac::local(1), Mac::local(2))
+                .ipv4("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+                .udp(5432, 9000, black_box(&[0u8; 1458]))
+                .build()
+        })
+    });
+    let hasher = RssHasher::with_default_key(16);
+    let ft = FiveTuple::udp(
+        "10.0.0.1".parse().unwrap(),
+        5432,
+        "10.0.0.2".parse().unwrap(),
+        9000,
+    );
+    g.bench_function("toeplitz_hash", |b| b.iter(|| hasher.hash(black_box(&ft))));
+    g.finish();
+}
+
+fn bench_qdisc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("qdisc");
+    let pkt = QPkt::new(1, 1500, Time::ZERO);
+    g.bench_function("fifo_enq_deq", |b| {
+        let mut q = Fifo::new(4096);
+        b.iter(|| {
+            q.enqueue(black_box(pkt), Time::ZERO).unwrap();
+            q.dequeue(Time::ZERO).unwrap()
+        })
+    });
+    g.bench_function("wfq_enq_deq_8class", |b| {
+        let mut q = Wfq::new(&[1.0; 8], 4096);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 8;
+            q.enqueue(pkt.with_class(i), Time::ZERO).unwrap();
+            q.dequeue(Time::ZERO).unwrap()
+        })
+    });
+    g.bench_function("drr_enq_deq_8class", |b| {
+        let mut q = Drr::new(&[1500; 8], 4096);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 1) % 8;
+            q.enqueue(pkt.with_class(i), Time::ZERO).unwrap();
+            q.dequeue(Time::ZERO).unwrap()
+        })
+    });
+    g.bench_function("tbf_enq_deq", |b| {
+        let mut q = Tbf::new(u64::MAX / 2, u64::MAX / 2, 4096);
+        b.iter(|| {
+            q.enqueue(black_box(pkt), Time::ZERO).unwrap();
+            q.dequeue(Time::ZERO).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_overlay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlay");
+    let ctx = PktCtx {
+        dst_port: 5432,
+        uid: 1001,
+        pkt_len: 1500,
+        ..PktCtx::default()
+    };
+    for (name, prog) in [
+        ("port_owner_filter", builtins::port_owner_filter()),
+        ("token_bucket", builtins::token_bucket()),
+        ("uid_classifier", builtins::uid_classifier()),
+        ("byte_accounting", builtins::byte_accounting()),
+    ] {
+        let mut vm = Vm::new(prog);
+        g.bench_function(name, |b| b.iter(|| vm.run(black_box(&ctx)).unwrap()));
+    }
+    g.finish();
+}
+
+fn bench_flowtable(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flowtable");
+    let mut sram = Sram::new(1 << 30);
+    let mut ft = FlowTable::new();
+    let mut tuples = Vec::new();
+    for i in 0..10_000u32 {
+        let t = FiveTuple::udp(
+            std::net::Ipv4Addr::from(0x0A00_0000 + i),
+            1000,
+            "10.0.0.1".parse().unwrap(),
+            (i % 60_000) as u16,
+        );
+        ft.insert(t, 0, 1, "app", false, &mut sram).unwrap();
+        tuples.push(t);
+    }
+    let mut i = 0;
+    g.bench_function("lookup_10k_entries", |b| {
+        b.iter(|| {
+            i = (i + 1) % tuples.len();
+            ft.lookup(black_box(&tuples[i])).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_memsim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memsim");
+    let costs = MemCosts::default();
+    g.bench_function("llc_access_hot_line", |b| {
+        let mut llc = Llc::new(LlcConfig::xeon_default());
+        llc.access(0, memsim::AccessKind::CpuRead);
+        b.iter(|| llc.access(black_box(0), memsim::AccessKind::CpuRead))
+    });
+    g.bench_function("ring_produce_consume_1500B", |b| {
+        let mut llc = Llc::new(LlcConfig::xeon_default());
+        let mut ring = HostRing::new(0, 64, 2048);
+        b.iter(|| {
+            ring.produce_dma(1500, &mut llc, &costs).unwrap();
+            ring.consume_cpu(&mut llc, &costs).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_asm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("overlay_toolchain");
+    let src = "
+        map rules 65536
+        ldctx r3, egress
+        jeq r3, 1, eg
+        ldctx r0, dst_port
+        jmp check
+        eg:
+        ldctx r0, src_port
+        check:
+        mapld r1, rules, r0
+        jeq r1, 0, allow
+        ldctx r2, uid
+        add r2, 1
+        jeq r1, r2, allow
+        ret drop
+        allow:
+        ret pass
+    ";
+    g.bench_function("assemble_port_filter", |b| {
+        b.iter(|| overlay::assemble("bench", black_box(src)).unwrap())
+    });
+    let prog = overlay::assemble("bench", src).unwrap();
+    g.bench_function("verify_port_filter", |b| {
+        b.iter(|| overlay::verify(black_box(&prog)).unwrap())
+    });
+    g.bench_function("instantiate_vm", |b| {
+        b.iter_batched(
+            || prog.clone(),
+            Vm::new,
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+
+fn bench_extensions(c: &mut Criterion) {
+    use nicsim::{CcParams, CongestionControl, ConnId, NatTable};
+    use qdisc::{Codel, CodelConfig, Red, RedConfig};
+
+    let mut g = c.benchmark_group("extensions");
+
+    // NAT translate (existing mapping: the hot path).
+    let mut nat = NatTable::new("203.0.113.1".parse().unwrap());
+    let mut sram = Sram::new(1 << 20);
+    let frame = PacketBuilder::new()
+        .ether(Mac::local(1), Mac::local(2))
+        .ipv4("192.168.1.10".parse().unwrap(), "8.8.8.8".parse().unwrap())
+        .udp(5555, 53, &[0u8; 256])
+        .build();
+    nat.translate_outbound(&frame, &mut sram).unwrap();
+    g.bench_function("nat_translate_outbound_hot", |b| {
+        b.iter(|| nat.translate_outbound(black_box(&frame), &mut sram).unwrap())
+    });
+
+    // Incremental checksum rewrite alone.
+    g.bench_function("mutate_rewrite_addrs", |b| {
+        b.iter(|| {
+            pkt::mutate::rewrite_ipv4_addrs(
+                black_box(&frame),
+                Some("203.0.113.1".parse().unwrap()),
+                None,
+            )
+            .unwrap()
+        })
+    });
+
+    // Congestion-control ack processing.
+    let mut cc = CongestionControl::new(CcParams::default());
+    cc.open(ConnId(1));
+    g.bench_function("cc_on_ack", |b| {
+        b.iter(|| {
+            cc.on_send(ConnId(1), 1500);
+            cc.on_ack(ConnId(1), 1500, black_box(false));
+        })
+    });
+
+    // RED and CoDel enqueue/dequeue cycles.
+    let pkt = QPkt::new(1, 1500, Time::ZERO);
+    g.bench_function("red_enq_deq", |b| {
+        let mut q = Red::new(RedConfig::default(), 4096);
+        b.iter(|| {
+            let _ = q.enqueue_ecn(black_box(pkt), Time::ZERO);
+            q.dequeue(Time::ZERO)
+        })
+    });
+    g.bench_function("codel_enq_deq", |b| {
+        let mut q = Codel::new(CodelConfig::default(), 4096);
+        b.iter(|| {
+            let _ = q.enqueue(black_box(pkt), Time::ZERO);
+            q.dequeue(Time::ZERO)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pkt,
+    bench_qdisc,
+    bench_overlay,
+    bench_flowtable,
+    bench_memsim,
+    bench_asm,
+    bench_extensions
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! E1 — per-packet overhead of the five datapath architectures.
+//!
+//! Paper anchor: §1's data-movement argument. Kernel bypass "reduc\[es\]
+//! data movement when sending or receiving packets, from two transfers
+//! (application, to interposition layer, to NIC) to one (application to
+//! NIC)"; virtual movement (syscall+copy) and physical movement
+//! (cross-core) both cost. Expected shape: raw bypass ≈ KOPI (host cost)
+//! < hypervisor-switch ≈ bypass < sidecar < kernel; KOPI pays only
+//! pipelined NIC latency.
+
+use norman::arch::{Architecture, CostBreakdown, DatapathKind};
+use serde::Serialize;
+use sim::Dur;
+
+#[derive(Serialize)]
+struct Row {
+    arch: &'static str,
+    frame_bytes: usize,
+    rx_app_core_ns: f64,
+    rx_other_core_ns: f64,
+    rx_total_host_ns: f64,
+    tx_total_host_ns: f64,
+    nic_latency_ns: f64,
+    per_core_mpps: f64,
+}
+
+fn mean_costs(kind: DatapathKind, bytes: usize, n: u64) -> (CostBreakdown, Dur) {
+    let mut a = Architecture::new(kind);
+    for _ in 0..128 {
+        a.rx_cost(bytes);
+        a.tx_cost(bytes);
+    }
+    let mut rx = CostBreakdown::default();
+    let mut tx_total = Dur::ZERO;
+    for _ in 0..n {
+        let c = a.rx_cost(bytes);
+        rx.app_core += c.app_core;
+        rx.other_core += c.other_core;
+        rx.nic_latency += c.nic_latency;
+        tx_total += a.tx_cost(bytes).total_host();
+    }
+    (
+        CostBreakdown {
+            app_core: rx.app_core / n,
+            other_core: rx.other_core / n,
+            nic_latency: rx.nic_latency / n,
+        },
+        tx_total / n,
+    )
+}
+
+fn main() {
+    println!("E1: per-packet cost of interposition placements (paper §1/§2)");
+    let sizes = [64usize, 256, 512, 1024, 1500];
+    let mut rows = Vec::new();
+
+    for &bytes in &sizes {
+        let mut table = bench::Table::new(
+            &format!("E1 — {bytes}-byte frames"),
+            &[
+                "architecture",
+                "rx app-core (ns)",
+                "rx other-core (ns)",
+                "rx host total (ns)",
+                "tx host total (ns)",
+                "NIC latency (ns)",
+                "Mpps/core",
+            ],
+        );
+        for kind in DatapathKind::ALL {
+            let (rx, tx) = mean_costs(kind, bytes, 512);
+            let mpps = if rx.app_core.is_zero() {
+                f64::INFINITY
+            } else {
+                1e3 / rx.app_core.as_ns_f64()
+            };
+            table.row(&[
+                kind.name().to_string(),
+                format!("{:.0}", rx.app_core.as_ns_f64()),
+                format!("{:.0}", rx.other_core.as_ns_f64()),
+                format!("{:.0}", rx.total_host().as_ns_f64()),
+                format!("{:.0}", tx.as_ns_f64()),
+                format!("{:.0}", rx.nic_latency.as_ns_f64()),
+                format!("{mpps:.1}"),
+            ]);
+            rows.push(Row {
+                arch: kind.name(),
+                frame_bytes: bytes,
+                rx_app_core_ns: rx.app_core.as_ns_f64(),
+                rx_other_core_ns: rx.other_core.as_ns_f64(),
+                rx_total_host_ns: rx.total_host().as_ns_f64(),
+                tx_total_host_ns: tx.as_ns_f64(),
+                nic_latency_ns: rx.nic_latency.as_ns_f64(),
+                per_core_mpps: mpps,
+            });
+        }
+        table.print();
+    }
+
+    // Shape assertions (the "who wins" the paper predicts).
+    let host = |arch: &str, bytes: usize| {
+        rows.iter()
+            .find(|r| r.arch == arch && r.frame_bytes == bytes)
+            .unwrap()
+            .rx_total_host_ns
+    };
+    for &bytes in &sizes {
+        assert!(host("kopi", bytes) <= host("raw-bypass", bytes) + 1.0);
+        assert!(host("kopi", bytes) < host("sidecar-core", bytes));
+        assert!(host("sidecar-core", bytes) < host("kernel-stack", bytes));
+    }
+    println!("\nShape check PASSED: kopi ≈ raw-bypass < sidecar-core < kernel-stack (all sizes)");
+
+    bench::write_json("exp_e1_datapaths", &rows);
+}

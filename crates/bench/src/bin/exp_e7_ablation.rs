@@ -1,0 +1,147 @@
+//! E7 — KOPI feature-cost ablation: what does each interposition feature
+//! cost on the NIC?
+//!
+//! Paper anchor (§3): "unnecessary transfers of data … lead to
+//! performance overheads that are considered unacceptable … Implementing
+//! interposition on a SmartNIC avoids such data movement." The claim to
+//! validate: adding dataplane features (filters, accounting, classifiers,
+//! capture) raises pipelined NIC *latency* but leaves host per-packet
+//! cost untouched, and stays below the line-rate budget.
+
+use std::net::Ipv4Addr;
+
+use nicsim::device::ProgramSlot;
+use nicsim::SnifferFilter;
+use norman::host::DeliveryOutcome;
+use norman::{Host, HostConfig};
+use oskernel::Uid;
+use overlay::builtins;
+use pkt::{IpProto, Mac, PacketBuilder};
+use serde::Serialize;
+use sim::{Dur, Time};
+
+#[derive(Serialize)]
+struct Row {
+    features: &'static str,
+    nic_latency_ns: f64,
+    host_cpu_ns: f64,
+    min_frame_line_rate_ok: bool,
+}
+
+fn run(features: &'static str) -> Row {
+    let mut host = Host::new(HostConfig::default());
+    let pid = host.spawn(Uid(1001), "bob", "server");
+    let conn = host
+        .connect(pid, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
+        .unwrap();
+
+    if features.contains("filter") {
+        host.nic
+            .load_program(ProgramSlot::IngressFilter, builtins::port_owner_filter(), Time::ZERO)
+            .unwrap();
+    }
+    if features.contains("classify") {
+        host.nic
+            .load_program(ProgramSlot::Classifier, builtins::uid_classifier(), Time::ZERO)
+            .unwrap();
+    }
+    if features.contains("account") {
+        host.nic
+            .add_accounting(builtins::byte_accounting(), Time::ZERO)
+            .unwrap();
+        host.nic
+            .add_accounting(builtins::arp_counter(), Time::ZERO)
+            .unwrap();
+    }
+    if features.contains("sniff") {
+        host.nic.enable_sniffer(SnifferFilter::all());
+    }
+
+    let frame = PacketBuilder::new()
+        .ether(Mac::local(9), host.cfg.mac)
+        .ipv4(Ipv4Addr::new(10, 0, 0, 2), host.cfg.ip)
+        .udp(9000, 7000, &[0u8; 64])
+        .build();
+
+    let mut latency = Dur::ZERO;
+    let mut host_cpu = Dur::ZERO;
+    let n = 512;
+    // Space arrivals out so pipeline occupancy does not inflate latency.
+    let mut t = Time::ZERO;
+    for _ in 0..n {
+        let rep = host.deliver_from_wire(&frame, t);
+        assert!(matches!(rep.outcome, DeliveryOutcome::FastPath(_)));
+        latency += rep.nic_latency;
+        let r = host.app_recv(conn, t, false);
+        host_cpu += r.cpu;
+        t += Dur::from_us(1);
+    }
+    let latency_ns = latency.as_ns_f64() / n as f64;
+
+    // Line-rate feasibility for 64 B frames (6.72 ns on the wire): the
+    // pipeline is pipelined, so the constraint is per-stage occupancy,
+    // dominated by the overlay programs. Measure occupancy directly with
+    // a back-to-back burst on the raw NIC.
+    let burst0 = host.nic.rx(&frame, t);
+    let burst1 = host.nic.rx(&frame, t);
+    let occupancy = burst1.ready_at - burst0.ready_at;
+    let min_frame_ok = occupancy <= sim::Link::hundred_gbe().serialization(64) * 16;
+    // (A real pipeline processes 16 packets in parallel stages; the
+    // occupancy budget is 16 x the serialization time.)
+
+    Row {
+        features,
+        nic_latency_ns: latency_ns,
+        host_cpu_ns: host_cpu.as_ns_f64() / n as f64,
+        min_frame_line_rate_ok: min_frame_ok,
+    }
+}
+
+fn main() {
+    println!("E7: KOPI feature-cost ablation (paper §3)");
+    println!("(64B frames; features toggled on the NIC pipeline)\n");
+
+    let configs = [
+        "none",
+        "filter",
+        "filter+classify",
+        "filter+classify+account",
+        "filter+classify+account+sniff",
+    ];
+    let mut rows = Vec::new();
+    let mut table = bench::Table::new(
+        "E7 — per-feature dataplane cost",
+        &["features", "NIC latency (ns)", "host CPU (ns/pkt)", "64B line rate"],
+    );
+    for f in configs {
+        let r = run(f);
+        table.row(&[
+            r.features.to_string(),
+            format!("{:.0}", r.nic_latency_ns),
+            format!("{:.0}", r.host_cpu_ns),
+            if r.min_frame_line_rate_ok { "ok" } else { "EXCEEDED" }.to_string(),
+        ]);
+        rows.push(r);
+    }
+    table.print();
+
+    // Host CPU must not grow with NIC features (the whole point of
+    // on-path interposition).
+    let base_cpu = rows[0].host_cpu_ns;
+    for r in &rows {
+        assert!(
+            (r.host_cpu_ns - base_cpu).abs() < 5.0,
+            "host CPU changed: {} vs {}",
+            r.host_cpu_ns,
+            base_cpu
+        );
+    }
+    // Latency grows with features but stays in the hundreds of ns.
+    assert!(rows.last().unwrap().nic_latency_ns > rows[0].nic_latency_ns);
+    assert!(rows.last().unwrap().nic_latency_ns < 1_000.0);
+    assert!(rows.iter().all(|r| r.min_frame_line_rate_ok));
+    println!("\nShape check PASSED: every feature adds only pipelined NIC latency (sub-us);");
+    println!("host per-packet CPU is unchanged — interposition without data movement.");
+
+    bench::write_json("exp_e7_ablation", &rows);
+}

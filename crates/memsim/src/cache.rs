@@ -1,0 +1,445 @@
+//! A set-associative LLC with a DDIO way mask.
+//!
+//! DMA writes may only allocate into the first `ddio_ways` ways of each
+//! set, mirroring Intel DDIO's restriction to a fixed subset of LLC ways.
+//! CPU accesses allocate anywhere. Replacement is LRU within the ways the
+//! access class is allowed to use; hits anywhere refresh recency.
+
+use sim::Dur;
+
+use crate::costs::MemCosts;
+
+/// Who is touching memory, and how.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessKind {
+    /// CPU load.
+    CpuRead,
+    /// CPU store.
+    CpuWrite,
+    /// Device DMA write (DDIO-constrained allocation).
+    DmaWrite,
+    /// Device DMA read.
+    DmaRead,
+}
+
+/// Result of a cache access.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AccessOutcome {
+    /// The line was present.
+    Hit,
+    /// The line was absent and fetched/allocated.
+    Miss,
+}
+
+/// LLC geometry.
+#[derive(Clone, Debug)]
+pub struct LlcConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Ways DMA writes may allocate into (the DDIO share). Zero disables
+    /// DDIO entirely: every DMA write goes to DRAM.
+    pub ddio_ways: u32,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Hash line addresses into sets (modern sliced LLCs with complex
+    /// addressing) instead of simple modulo indexing. Hashing avoids the
+    /// artificial page-color conflicts modulo indexing fabricates for
+    /// page-aligned buffers; turn it off only for tests that need to
+    /// construct set collisions deterministically.
+    pub hash_sets: bool,
+}
+
+impl LlcConfig {
+    /// A 32 MiB, 16-way LLC with 2 DDIO ways — the configuration whose
+    /// DDIO share (4 MiB) is outgrown at ~1024 connections with 4 KiB of
+    /// ring per connection, matching the paper's observed cliff.
+    pub fn xeon_default() -> LlcConfig {
+        LlcConfig {
+            size_bytes: 32 << 20,
+            ways: 16,
+            ddio_ways: 2,
+            line_bytes: 64,
+            hash_sets: true,
+        }
+    }
+
+    /// The same LLC with DDIO allowed to use every way — the ablation that
+    /// removes the paper's suspected bottleneck.
+    pub fn unlimited_ddio() -> LlcConfig {
+        LlcConfig {
+            ddio_ways: 16,
+            ..LlcConfig::xeon_default()
+        }
+    }
+
+    /// Returns the number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / self.line_bytes / u64::from(self.ways)
+    }
+
+    /// Returns the capacity DMA writes can occupy, in bytes.
+    pub fn ddio_capacity(&self) -> u64 {
+        self.size_bytes * u64::from(self.ddio_ways) / u64::from(self.ways)
+    }
+}
+
+#[derive(Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    last_use: u64,
+}
+
+/// Per-kind hit/miss counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LlcStats {
+    /// CPU hits.
+    pub cpu_hits: u64,
+    /// CPU misses.
+    pub cpu_misses: u64,
+    /// DMA-write DDIO hits/allocations.
+    pub dma_hits: u64,
+    /// DMA-write DRAM fallbacks.
+    pub dma_misses: u64,
+}
+
+impl LlcStats {
+    /// CPU hit rate in `[0, 1]`, or 1.0 with no accesses.
+    pub fn cpu_hit_rate(&self) -> f64 {
+        let total = self.cpu_hits + self.cpu_misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.cpu_hits as f64 / total as f64
+        }
+    }
+}
+
+/// The last-level cache model.
+pub struct Llc {
+    cfg: LlcConfig,
+    sets: u64,
+    lines: Vec<Line>,
+    clock: u64,
+    stats: LlcStats,
+}
+
+impl Llc {
+    /// Creates a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sets or ways, or
+    /// `ddio_ways > ways`).
+    pub fn new(cfg: LlcConfig) -> Llc {
+        assert!(cfg.ways > 0, "cache needs at least one way");
+        assert!(cfg.ddio_ways <= cfg.ways, "DDIO ways exceed associativity");
+        let sets = cfg.sets();
+        assert!(sets > 0, "cache smaller than one set");
+        Llc {
+            sets,
+            lines: vec![Line::default(); (sets * u64::from(cfg.ways)) as usize],
+            clock: 0,
+            cfg,
+            stats: LlcStats::default(),
+        }
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &LlcConfig {
+        &self.cfg
+    }
+
+    /// Returns accumulated statistics.
+    pub fn stats(&self) -> LlcStats {
+        self.stats
+    }
+
+    /// Resets statistics (the cache contents are retained).
+    pub fn reset_stats(&mut self) {
+        self.stats = LlcStats::default();
+    }
+
+    fn set_index(&self, addr: u64) -> u64 {
+        let line = addr / self.cfg.line_bytes;
+        if self.cfg.hash_sets {
+            // SplitMix64 finalizer: decorrelates page-aligned buffers the
+            // way sliced complex addressing does on real parts.
+            let mut x = line.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            x ^= x >> 30;
+            x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x ^= x >> 27;
+            x % self.sets
+        } else {
+            line % self.sets
+        }
+    }
+
+    fn tag(&self, addr: u64) -> u64 {
+        // The full line address is the tag: simpler than stripping set
+        // bits and correct under hashed indexing.
+        addr / self.cfg.line_bytes
+    }
+
+    /// Touches the single cache line containing `addr`.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessOutcome {
+        self.clock += 1;
+        let set = self.set_index(addr);
+        let tag = self.tag(addr);
+        let base = (set * u64::from(self.cfg.ways)) as usize;
+        let ways = self.cfg.ways as usize;
+        let set_lines = &mut self.lines[base..base + ways];
+
+        // Hit anywhere in the set.
+        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_use = self.clock;
+            match kind {
+                AccessKind::CpuRead | AccessKind::CpuWrite | AccessKind::DmaRead => {
+                    self.stats.cpu_hits += 1
+                }
+                AccessKind::DmaWrite => self.stats.dma_hits += 1,
+            }
+            return AccessOutcome::Hit;
+        }
+
+        // Miss: allocate within the ways this access class may use.
+        let alloc_ways = match kind {
+            AccessKind::DmaWrite => self.cfg.ddio_ways as usize,
+            _ => ways,
+        };
+        match kind {
+            AccessKind::CpuRead | AccessKind::CpuWrite | AccessKind::DmaRead => {
+                self.stats.cpu_misses += 1
+            }
+            AccessKind::DmaWrite => self.stats.dma_misses += 1,
+        }
+        if alloc_ways == 0 {
+            // DDIO disabled: the write goes straight to DRAM, nothing
+            // cached.
+            return AccessOutcome::Miss;
+        }
+        let victim = set_lines[..alloc_ways]
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_use } else { 0 })
+            .expect("alloc_ways > 0");
+        victim.tag = tag;
+        victim.valid = true;
+        victim.last_use = self.clock;
+        AccessOutcome::Miss
+    }
+
+    /// Touches every line in `[addr, addr + len)` and returns the summed
+    /// latency under `costs`.
+    pub fn access_range(&mut self, addr: u64, len: u64, kind: AccessKind, costs: &MemCosts) -> Dur {
+        if len == 0 {
+            return Dur::ZERO;
+        }
+        let first = addr / self.cfg.line_bytes;
+        let last = (addr + len - 1) / self.cfg.line_bytes;
+        let mut total = Dur::ZERO;
+        for line in first..=last {
+            let outcome = self.access(line * self.cfg.line_bytes, kind);
+            total += match (kind, outcome) {
+                (AccessKind::DmaWrite, AccessOutcome::Hit) => costs.ddio_hit,
+                (AccessKind::DmaWrite, AccessOutcome::Miss) => {
+                    if self.cfg.ddio_ways == 0 {
+                        // No DDIO: the write goes to DRAM.
+                        costs.dma_dram
+                    } else {
+                        // Write-allocate into the DDIO ways: no fetch.
+                        costs.ddio_alloc
+                    }
+                }
+                (_, AccessOutcome::Hit) => costs.llc_hit,
+                (_, AccessOutcome::Miss) => costs.dram,
+            };
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(ways: u32, ddio_ways: u32) -> Llc {
+        // 4 sets x `ways` ways x 64B lines, modulo-indexed so tests can
+        // construct set collisions with address strides.
+        Llc::new(LlcConfig {
+            size_bytes: 4 * u64::from(ways) * 64,
+            ways,
+            ddio_ways,
+            line_bytes: 64,
+            hash_sets: false,
+        })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = small_cache(4, 2);
+        assert_eq!(c.access(0, AccessKind::CpuRead), AccessOutcome::Miss);
+        assert_eq!(c.access(0, AccessKind::CpuRead), AccessOutcome::Hit);
+        assert_eq!(c.access(32, AccessKind::CpuRead), AccessOutcome::Hit); // same line
+        assert_eq!(c.access(64, AccessKind::CpuRead), AccessOutcome::Miss); // next line
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small_cache(2, 2);
+        // Two distinct tags mapping to set 0 fill it: addresses are
+        // line * sets(4) * 64 apart.
+        let stride = 4 * 64;
+        c.access(0, AccessKind::CpuRead);
+        c.access(stride, AccessKind::CpuRead);
+        // Refresh the first, then bring in a third: the second is evicted.
+        c.access(0, AccessKind::CpuRead);
+        c.access(2 * stride, AccessKind::CpuRead);
+        assert_eq!(c.access(0, AccessKind::CpuRead), AccessOutcome::Hit);
+        assert_eq!(c.access(stride, AccessKind::CpuRead), AccessOutcome::Miss);
+    }
+
+    #[test]
+    fn dma_writes_confined_to_ddio_ways() {
+        // 4 ways, 1 DDIO way: DMA writes thrash a single way while CPU
+        // lines in other ways survive.
+        let mut c = small_cache(4, 1);
+        let stride = 4 * 64;
+        // CPU fills ways with tags A, B, C.
+        c.access(0, AccessKind::CpuRead);
+        c.access(stride, AccessKind::CpuRead);
+        c.access(2 * stride, AccessKind::CpuRead);
+        // Two successive DMA writes with different tags must both land in
+        // the one DDIO-eligible way (way 0), so the first DMA line is
+        // evicted by the second...
+        c.access(3 * stride, AccessKind::DmaWrite);
+        c.access(4 * stride, AccessKind::DmaWrite);
+        assert_eq!(c.access(3 * stride, AccessKind::CpuRead), AccessOutcome::Miss);
+        assert_eq!(c.access(4 * stride, AccessKind::CpuRead), AccessOutcome::Hit);
+        // ...and CPU lines outside the DDIO ways survive. Tag A happened
+        // to occupy way 0 (a DDIO-eligible way, shared with the CPU as on
+        // real hardware), so only B and C are guaranteed residents.
+        assert_eq!(c.access(stride, AccessKind::CpuRead), AccessOutcome::Hit);
+        assert_eq!(c.access(2 * stride, AccessKind::CpuRead), AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn ddio_disabled_never_caches_dma() {
+        let mut c = small_cache(4, 0);
+        assert_eq!(c.access(0, AccessKind::DmaWrite), AccessOutcome::Miss);
+        assert_eq!(c.access(0, AccessKind::DmaWrite), AccessOutcome::Miss);
+        // And the CPU can't find it either.
+        assert_eq!(c.access(0, AccessKind::CpuRead), AccessOutcome::Miss);
+    }
+
+    #[test]
+    fn dma_hit_refreshes_and_is_visible_to_cpu() {
+        let mut c = small_cache(4, 2);
+        c.access(0, AccessKind::DmaWrite);
+        // The CPU read of freshly DMA'd data is the DDIO fast path.
+        assert_eq!(c.access(0, AccessKind::CpuRead), AccessOutcome::Hit);
+    }
+
+    #[test]
+    fn working_set_beyond_ddio_capacity_thrashes() {
+        // 64 sets x 16 ways, 2 DDIO ways => DDIO capacity 128 lines.
+        let cfg = LlcConfig {
+            size_bytes: 64 * 16 * 64,
+            ways: 16,
+            ddio_ways: 2,
+            line_bytes: 64,
+            hash_sets: true,
+        };
+        let mut c = Llc::new(cfg);
+        let costs = MemCosts::default();
+        // Stream DMA writes over 4x the DDIO capacity, twice.
+        let lines = 512u64;
+        for pass in 0..2 {
+            for i in 0..lines {
+                c.access_range(i * 64, 64, AccessKind::DmaWrite, &costs);
+            }
+            if pass == 0 {
+                c.reset_stats();
+            }
+        }
+        let s = c.stats();
+        // Second pass: nearly everything misses because the working set
+        // does not fit in the DDIO ways.
+        assert!(s.dma_misses > s.dma_hits, "stats: {s:?}");
+    }
+
+    #[test]
+    fn working_set_within_ddio_capacity_hits() {
+        // Modulo indexing so "within capacity" is exact rather than
+        // probabilistic.
+        let cfg = LlcConfig {
+            size_bytes: 64 * 16 * 64,
+            ways: 16,
+            ddio_ways: 2,
+            line_bytes: 64,
+            hash_sets: false,
+        };
+        let mut c = Llc::new(cfg);
+        let costs = MemCosts::default();
+        let lines = 64u64; // half the DDIO capacity
+        for pass in 0..2 {
+            for i in 0..lines {
+                c.access_range(i * 64, 64, AccessKind::DmaWrite, &costs);
+            }
+            if pass == 0 {
+                c.reset_stats();
+            }
+        }
+        let s = c.stats();
+        assert_eq!(s.dma_misses, 0, "stats: {s:?}");
+    }
+
+    #[test]
+    fn access_range_cost_counts_lines() {
+        let mut c = small_cache(4, 2);
+        let costs = MemCosts::default();
+        // 130 bytes starting at 0 touches 3 lines, all cold.
+        let cost = c.access_range(0, 130, AccessKind::CpuRead, &costs);
+        assert_eq!(cost, costs.dram * 3);
+        // Re-reading is 3 hits.
+        let cost = c.access_range(0, 130, AccessKind::CpuRead, &costs);
+        assert_eq!(cost, costs.llc_hit * 3);
+        // Zero length is free.
+        assert_eq!(c.access_range(0, 0, AccessKind::CpuRead, &costs), Dur::ZERO);
+    }
+
+    #[test]
+    fn xeon_default_geometry() {
+        let cfg = LlcConfig::xeon_default();
+        assert_eq!(cfg.sets(), 32 * 1024 * 1024 / 64 / 16);
+        assert_eq!(cfg.ddio_capacity(), 4 << 20);
+        let unlimited = LlcConfig::unlimited_ddio();
+        assert_eq!(unlimited.ddio_capacity(), 32 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "DDIO ways exceed associativity")]
+    fn bad_ddio_config_rejected() {
+        let _ = Llc::new(LlcConfig {
+            size_bytes: 1 << 20,
+            ways: 4,
+            ddio_ways: 5,
+            line_bytes: 64,
+            hash_sets: true,
+        });
+    }
+
+    #[test]
+    fn hit_rate_stat() {
+        let mut c = small_cache(4, 2);
+        c.access(0, AccessKind::CpuRead);
+        c.access(0, AccessKind::CpuRead);
+        c.access(0, AccessKind::CpuRead);
+        c.access(0, AccessKind::CpuRead);
+        let s = c.stats();
+        assert_eq!(s.cpu_hits, 3);
+        assert_eq!(s.cpu_misses, 1);
+        assert!((s.cpu_hit_rate() - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! MMIO register access cost accounting.
+//!
+//! The Norman design exposes ring head/tail pointers and doorbells as
+//! SmartNIC MMIO registers. Posted writes are cheap; uncached reads stall
+//! the pipeline for a PCIe round trip. Register *semantics* live in the
+//! NIC model; this bus only charges time and counts operations.
+
+use sim::Dur;
+
+use crate::costs::MemCosts;
+
+/// A cost- and count-tracking MMIO bus.
+#[derive(Clone, Debug, Default)]
+pub struct MmioBus {
+    reads: u64,
+    writes: u64,
+    time_spent: Dur,
+}
+
+impl MmioBus {
+    /// Creates an idle bus.
+    pub fn new() -> MmioBus {
+        MmioBus::default()
+    }
+
+    /// Charges one posted register write and returns its cost.
+    pub fn write(&mut self, costs: &MemCosts) -> Dur {
+        self.writes += 1;
+        self.time_spent += costs.mmio_write;
+        costs.mmio_write
+    }
+
+    /// Charges one uncached register read and returns its cost.
+    pub fn read(&mut self, costs: &MemCosts) -> Dur {
+        self.reads += 1;
+        self.time_spent += costs.mmio_read;
+        costs.mmio_read
+    }
+
+    /// Returns the number of reads issued.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Returns the number of writes issued.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Returns total time charged to MMIO.
+    pub fn time_spent(&self) -> Dur {
+        self.time_spent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_and_counts() {
+        let costs = MemCosts::default();
+        let mut bus = MmioBus::new();
+        let w = bus.write(&costs);
+        let r = bus.read(&costs);
+        assert_eq!(w, costs.mmio_write);
+        assert_eq!(r, costs.mmio_read);
+        assert_eq!(bus.writes(), 1);
+        assert_eq!(bus.reads(), 1);
+        assert_eq!(bus.time_spent(), costs.mmio_write + costs.mmio_read);
+    }
+
+    #[test]
+    fn reads_cost_more_than_writes() {
+        let costs = MemCosts::default();
+        let mut bus = MmioBus::new();
+        assert!(bus.read(&costs) > bus.write(&costs));
+    }
+}

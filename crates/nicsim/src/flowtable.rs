@@ -1,0 +1,282 @@
+//! The NIC flow table: exact-match connection steering with process
+//! attribution.
+//!
+//! Each entry binds a five-tuple to the rings of one connection *and* to
+//! the (uid, pid, comm) of the process that opened it — the binding the
+//! kernel control plane installs at `connect()`/`accept()` time, and the
+//! reason the on-NIC dataplane can evaluate owner-aware policies that
+//! hypervisor switches cannot (§2, §3). Listener entries (proto + local
+//! port) catch first packets of inbound connections.
+//!
+//! Entries consume NIC SRAM ([`crate::sram`]): entry insertion can fail
+//! with exhaustion, which is exactly the §5 scaling concern.
+
+use std::collections::HashMap;
+
+use pkt::{FiveTuple, IpProto};
+
+use crate::sram::{Sram, SramCategory, SramError};
+
+/// A connection identifier on the NIC.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ConnId(pub u64);
+
+impl std::fmt::Display for ConnId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "conn#{}", self.0)
+    }
+}
+
+/// SRAM cost of one exact-match entry (key + state + ring context
+/// pointers), approximating a hardware CAM/hash slot.
+pub const ENTRY_BYTES: u64 = 128;
+
+/// SRAM cost of one listener entry.
+pub const LISTENER_BYTES: u64 = 32;
+
+/// One flow-table entry.
+#[derive(Clone, Debug)]
+pub struct ConnEntry {
+    /// The connection id.
+    pub id: ConnId,
+    /// Exact-match key (remote -> local direction as seen on RX).
+    pub tuple: FiveTuple,
+    /// Owning user.
+    pub uid: u32,
+    /// Owning process.
+    pub pid: u32,
+    /// Owning command name (kept for `ksniff`/`knetstat` display; the
+    /// dataplane matches on uid/pid).
+    pub comm: String,
+    /// Whether the connection requested notifications (blocking I/O).
+    pub notify: bool,
+}
+
+/// The flow table.
+#[derive(Default)]
+pub struct FlowTable {
+    exact: HashMap<FiveTuple, ConnId>,
+    listeners: HashMap<(IpProto, u16), ConnId>,
+    entries: HashMap<ConnId, ConnEntry>,
+    next_id: u64,
+    lookups: u64,
+    misses: u64,
+}
+
+impl FlowTable {
+    /// Creates an empty table.
+    pub fn new() -> FlowTable {
+        FlowTable::default()
+    }
+
+    /// Returns the number of exact-match entries.
+    pub fn len(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Returns `true` if no connections are installed.
+    pub fn is_empty(&self) -> bool {
+        self.exact.is_empty() && self.listeners.is_empty()
+    }
+
+    /// Returns (lookups, misses).
+    pub fn counters(&self) -> (u64, u64) {
+        (self.lookups, self.misses)
+    }
+
+    /// Installs an exact-match connection, charging SRAM.
+    ///
+    /// `tuple` is the RX-direction key (remote source, local destination).
+    pub fn insert(
+        &mut self,
+        tuple: FiveTuple,
+        uid: u32,
+        pid: u32,
+        comm: &str,
+        notify: bool,
+        sram: &mut Sram,
+    ) -> Result<ConnId, SramError> {
+        sram.alloc(SramCategory::FlowTable, ENTRY_BYTES)?;
+        let id = ConnId(self.next_id);
+        self.next_id += 1;
+        self.exact.insert(tuple, id);
+        self.entries.insert(
+            id,
+            ConnEntry {
+                id,
+                tuple,
+                uid,
+                pid,
+                comm: comm.to_string(),
+                notify,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Installs a listener for `(proto, local_port)`, charging SRAM.
+    pub fn insert_listener(
+        &mut self,
+        proto: IpProto,
+        port: u16,
+        uid: u32,
+        pid: u32,
+        comm: &str,
+        sram: &mut Sram,
+    ) -> Result<ConnId, SramError> {
+        sram.alloc(SramCategory::FlowTable, LISTENER_BYTES)?;
+        let id = ConnId(self.next_id);
+        self.next_id += 1;
+        self.listeners.insert((proto, port), id);
+        self.entries.insert(
+            id,
+            ConnEntry {
+                id,
+                // Listener entries have no remote endpoint; use a zeroed
+                // tuple with only the local port meaningful.
+                tuple: FiveTuple {
+                    src_ip: std::net::Ipv4Addr::UNSPECIFIED,
+                    dst_ip: std::net::Ipv4Addr::UNSPECIFIED,
+                    src_port: 0,
+                    dst_port: port,
+                    proto,
+                },
+                uid,
+                pid,
+                comm: comm.to_string(),
+                notify: false,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Removes a connection, returning SRAM.
+    pub fn remove(&mut self, id: ConnId, sram: &mut Sram) -> bool {
+        let Some(entry) = self.entries.remove(&id) else {
+            return false;
+        };
+        if self.exact.remove(&entry.tuple).is_some() {
+            sram.release(SramCategory::FlowTable, ENTRY_BYTES);
+        } else if self
+            .listeners
+            .remove(&(entry.tuple.proto, entry.tuple.dst_port))
+            .is_some()
+        {
+            sram.release(SramCategory::FlowTable, LISTENER_BYTES);
+        }
+        true
+    }
+
+    /// Looks up the connection for an RX-direction tuple: exact match
+    /// first, then a listener on the destination port.
+    pub fn lookup(&mut self, tuple: &FiveTuple) -> Option<ConnId> {
+        self.lookups += 1;
+        let hit = self
+            .exact
+            .get(tuple)
+            .or_else(|| self.listeners.get(&(tuple.proto, tuple.dst_port)))
+            .copied();
+        if hit.is_none() {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Returns the entry for a connection id.
+    pub fn entry(&self, id: ConnId) -> Option<&ConnEntry> {
+        self.entries.get(&id)
+    }
+
+    /// Iterates over all entries (for `knetstat`).
+    pub fn entries(&self) -> impl Iterator<Item = &ConnEntry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn addr(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn tuple(sp: u16, dp: u16) -> FiveTuple {
+        FiveTuple::udp(addr("10.0.0.2"), sp, addr("10.0.0.1"), dp)
+    }
+
+    #[test]
+    fn exact_match_beats_listener() {
+        let mut sram = Sram::new(1 << 20);
+        let mut ft = FlowTable::new();
+        let listener = ft
+            .insert_listener(IpProto::UDP, 53, 0, 1, "dnsd", &mut sram)
+            .unwrap();
+        let conn = ft
+            .insert(tuple(9999, 53), 1001, 42, "resolver", false, &mut sram)
+            .unwrap();
+        assert_eq!(ft.lookup(&tuple(9999, 53)), Some(conn));
+        // A different remote port falls back to the listener.
+        assert_eq!(ft.lookup(&tuple(1234, 53)), Some(listener));
+    }
+
+    #[test]
+    fn miss_is_counted() {
+        let mut ft = FlowTable::new();
+        assert_eq!(ft.lookup(&tuple(1, 2)), None);
+        assert_eq!(ft.counters(), (1, 1));
+    }
+
+    #[test]
+    fn entries_carry_process_attribution() {
+        let mut sram = Sram::new(1 << 20);
+        let mut ft = FlowTable::new();
+        let id = ft
+            .insert(tuple(5000, 5432), 1001, 314, "postgres", true, &mut sram)
+            .unwrap();
+        let e = ft.entry(id).unwrap();
+        assert_eq!(e.uid, 1001);
+        assert_eq!(e.pid, 314);
+        assert_eq!(e.comm, "postgres");
+        assert!(e.notify);
+    }
+
+    #[test]
+    fn sram_charged_and_released() {
+        let mut sram = Sram::new(1 << 20);
+        let mut ft = FlowTable::new();
+        let id = ft
+            .insert(tuple(1, 2), 0, 1, "a", false, &mut sram)
+            .unwrap();
+        assert_eq!(sram.used_by(SramCategory::FlowTable), ENTRY_BYTES);
+        assert!(ft.remove(id, &mut sram));
+        assert_eq!(sram.used_by(SramCategory::FlowTable), 0);
+        assert!(!ft.remove(id, &mut sram));
+    }
+
+    #[test]
+    fn sram_exhaustion_refuses_connection() {
+        let mut sram = Sram::new(ENTRY_BYTES + ENTRY_BYTES / 2);
+        let mut ft = FlowTable::new();
+        ft.insert(tuple(1, 2), 0, 1, "a", false, &mut sram).unwrap();
+        let err = ft
+            .insert(tuple(3, 4), 0, 1, "b", false, &mut sram)
+            .unwrap_err();
+        assert_eq!(err.category, SramCategory::FlowTable);
+        // The table did not register a half-installed connection.
+        assert_eq!(ft.len(), 1);
+        assert_eq!(ft.lookup(&tuple(3, 4)), None);
+    }
+
+    #[test]
+    fn removed_connection_stops_matching() {
+        let mut sram = Sram::new(1 << 20);
+        let mut ft = FlowTable::new();
+        let id = ft
+            .insert(tuple(7, 8), 0, 1, "a", false, &mut sram)
+            .unwrap();
+        ft.remove(id, &mut sram);
+        assert_eq!(ft.lookup(&tuple(7, 8)), None);
+    }
+}

@@ -1,0 +1,338 @@
+//! On-NIC network address translation.
+//!
+//! §5 names NAT among "everything else the kernel does today" that KOPI
+//! must offload. This module is a source-NAT (masquerade) engine as the
+//! NIC would implement it: a bounded translation table in SRAM plus
+//! RFC 1624 incremental header rewriting ([`pkt::mutate`]) at line rate.
+//! Port exhaustion and SRAM exhaustion are both first-class outcomes —
+//! NAT state is exactly the kind of per-flow NIC memory §5 worries
+//! about.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use pkt::{mutate, FiveTuple, IpProto, Packet};
+
+use crate::sram::{Sram, SramCategory, SramError};
+
+/// SRAM bytes per translation entry (two hash slots + timestamps).
+pub const NAT_ENTRY_BYTES: u64 = 64;
+
+/// First external port the allocator hands out.
+const PORT_LO: u16 = 32_768;
+
+/// NAT failures.
+#[derive(Debug)]
+pub enum NatError {
+    /// The frame is not rewritable TCP/UDP-over-IPv4.
+    NotTranslatable,
+    /// No inbound mapping exists for this (proto, port).
+    NoMapping {
+        /// The transport protocol.
+        proto: IpProto,
+        /// The untranslated external port.
+        port: u16,
+    },
+    /// The external port pool is exhausted.
+    PortsExhausted,
+    /// The NIC SRAM budget refused a new entry.
+    Sram(SramError),
+}
+
+impl std::fmt::Display for NatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NatError::NotTranslatable => write!(f, "frame is not translatable TCP/UDP/IPv4"),
+            NatError::NoMapping { proto, port } => {
+                write!(f, "no NAT mapping for inbound {proto} port {port}")
+            }
+            NatError::PortsExhausted => write!(f, "NAT external port pool exhausted"),
+            NatError::Sram(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for NatError {}
+
+impl From<SramError> for NatError {
+    fn from(e: SramError) -> NatError {
+        NatError::Sram(e)
+    }
+}
+
+/// A source-NAT (masquerade) table for one external address.
+pub struct NatTable {
+    external_ip: Ipv4Addr,
+    /// (internal ip, internal port, proto) → external port.
+    outbound: HashMap<(Ipv4Addr, u16, IpProto), u16>,
+    /// (proto, external port) → (internal ip, internal port).
+    inbound: HashMap<(IpProto, u16), (Ipv4Addr, u16)>,
+    next_port: u16,
+    translated_out: u64,
+    translated_in: u64,
+    misses: u64,
+}
+
+impl NatTable {
+    /// Creates a NAT table masquerading as `external_ip`.
+    pub fn new(external_ip: Ipv4Addr) -> NatTable {
+        NatTable {
+            external_ip,
+            outbound: HashMap::new(),
+            inbound: HashMap::new(),
+            next_port: PORT_LO,
+            translated_out: 0,
+            translated_in: 0,
+            misses: 0,
+        }
+    }
+
+    /// Returns the external (masquerade) address.
+    pub fn external_ip(&self) -> Ipv4Addr {
+        self.external_ip
+    }
+
+    /// Returns the number of live mappings.
+    pub fn len(&self) -> usize {
+        self.inbound.len()
+    }
+
+    /// Returns `true` when no mappings exist.
+    pub fn is_empty(&self) -> bool {
+        self.inbound.is_empty()
+    }
+
+    /// Returns (outbound translations, inbound translations, inbound
+    /// misses).
+    pub fn counters(&self) -> (u64, u64, u64) {
+        (self.translated_out, self.translated_in, self.misses)
+    }
+
+    fn alloc_port(&mut self, proto: IpProto) -> Result<u16, NatError> {
+        // Linear probe over the dynamic range; u16 wrap bounded by pool
+        // size.
+        for _ in 0..(u16::MAX - PORT_LO) {
+            let candidate = self.next_port;
+            self.next_port = if self.next_port == u16::MAX {
+                PORT_LO
+            } else {
+                self.next_port + 1
+            };
+            if !self.inbound.contains_key(&(proto, candidate)) {
+                return Ok(candidate);
+            }
+        }
+        Err(NatError::PortsExhausted)
+    }
+
+    /// Translates an outbound frame: rewrites (src ip, src port) to
+    /// (external ip, mapped port), allocating a mapping (and SRAM) on
+    /// first use.
+    pub fn translate_outbound(
+        &mut self,
+        packet: &Packet,
+        sram: &mut Sram,
+    ) -> Result<Packet, NatError> {
+        let parsed = packet.parse().map_err(|_| NatError::NotTranslatable)?;
+        let tuple = FiveTuple::from_parsed(&parsed).ok_or(NatError::NotTranslatable)?;
+        let key = (tuple.src_ip, tuple.src_port, tuple.proto);
+        let ext_port = match self.outbound.get(&key) {
+            Some(&p) => p,
+            None => {
+                let p = self.alloc_port(tuple.proto)?;
+                sram.alloc(SramCategory::Nat, NAT_ENTRY_BYTES)?;
+                self.outbound.insert(key, p);
+                self.inbound
+                    .insert((tuple.proto, p), (tuple.src_ip, tuple.src_port));
+                p
+            }
+        };
+        let out = mutate::rewrite_ipv4_addrs(packet, Some(self.external_ip), None)
+            .map_err(|_| NatError::NotTranslatable)?;
+        let out =
+            mutate::rewrite_ports(&out, Some(ext_port), None).map_err(|_| NatError::NotTranslatable)?;
+        self.translated_out += 1;
+        Ok(out)
+    }
+
+    /// Translates an inbound frame: rewrites (dst ip, dst port) back to
+    /// the internal endpoint.
+    pub fn translate_inbound(&mut self, packet: &Packet) -> Result<Packet, NatError> {
+        let parsed = packet.parse().map_err(|_| NatError::NotTranslatable)?;
+        let tuple = FiveTuple::from_parsed(&parsed).ok_or(NatError::NotTranslatable)?;
+        let Some(&(int_ip, int_port)) = self.inbound.get(&(tuple.proto, tuple.dst_port)) else {
+            self.misses += 1;
+            return Err(NatError::NoMapping {
+                proto: tuple.proto,
+                port: tuple.dst_port,
+            });
+        };
+        let out = mutate::rewrite_ipv4_addrs(packet, None, Some(int_ip))
+            .map_err(|_| NatError::NotTranslatable)?;
+        let out = mutate::rewrite_ports(&out, None, Some(int_port))
+            .map_err(|_| NatError::NotTranslatable)?;
+        self.translated_in += 1;
+        Ok(out)
+    }
+
+    /// Expires the mapping for an internal endpoint, returning SRAM.
+    pub fn expire(&mut self, internal: (Ipv4Addr, u16, IpProto), sram: &mut Sram) -> bool {
+        match self.outbound.remove(&internal) {
+            Some(ext_port) => {
+                self.inbound.remove(&(internal.2, ext_port));
+                sram.release(SramCategory::Nat, NAT_ENTRY_BYTES);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::{Mac, PacketBuilder};
+
+    fn addr(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn outbound_pkt(src: &str, sport: u16) -> Packet {
+        PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(addr(src), addr("8.8.8.8"))
+            .udp(sport, 53, b"query")
+            .build()
+    }
+
+    fn setup() -> (NatTable, Sram) {
+        (NatTable::new(addr("203.0.113.1")), Sram::new(1 << 20))
+    }
+
+    #[test]
+    fn outbound_masquerades_and_inbound_restores() {
+        let (mut nat, mut sram) = setup();
+        let out = nat
+            .translate_outbound(&outbound_pkt("192.168.1.10", 5555), &mut sram)
+            .unwrap();
+        let parsed = out.parse().unwrap();
+        let ft = FiveTuple::from_parsed(&parsed).unwrap();
+        assert_eq!(ft.src_ip, addr("203.0.113.1"));
+        assert!(ft.src_port >= 32_768);
+
+        // The reply comes back to the external endpoint.
+        let reply = PacketBuilder::new()
+            .ether(Mac::local(2), Mac::local(1))
+            .ipv4(addr("8.8.8.8"), addr("203.0.113.1"))
+            .udp(53, ft.src_port, b"answer")
+            .build();
+        let restored = nat.translate_inbound(&reply).unwrap();
+        let rt = FiveTuple::from_parsed(&restored.parse().unwrap()).unwrap();
+        assert_eq!(rt.dst_ip, addr("192.168.1.10"));
+        assert_eq!(rt.dst_port, 5555);
+        assert_eq!(nat.counters(), (1, 1, 0));
+    }
+
+    #[test]
+    fn same_flow_reuses_mapping() {
+        let (mut nat, mut sram) = setup();
+        let a = nat
+            .translate_outbound(&outbound_pkt("192.168.1.10", 5555), &mut sram)
+            .unwrap();
+        let b = nat
+            .translate_outbound(&outbound_pkt("192.168.1.10", 5555), &mut sram)
+            .unwrap();
+        let pa = FiveTuple::from_parsed(&a.parse().unwrap()).unwrap();
+        let pb = FiveTuple::from_parsed(&b.parse().unwrap()).unwrap();
+        assert_eq!(pa.src_port, pb.src_port);
+        assert_eq!(nat.len(), 1);
+        assert_eq!(sram.used_by(SramCategory::Nat), NAT_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn distinct_flows_get_distinct_ports() {
+        let (mut nat, mut sram) = setup();
+        let mut ports = std::collections::HashSet::new();
+        for host in 0..50u8 {
+            let out = nat
+                .translate_outbound(&outbound_pkt(&format!("192.168.1.{host}"), 5555), &mut sram)
+                .unwrap();
+            ports.insert(FiveTuple::from_parsed(&out.parse().unwrap()).unwrap().src_port);
+        }
+        assert_eq!(ports.len(), 50);
+        assert_eq!(nat.len(), 50);
+    }
+
+    #[test]
+    fn unknown_inbound_is_dropped_with_miss() {
+        let (mut nat, _) = setup();
+        let stray = PacketBuilder::new()
+            .ether(Mac::local(2), Mac::local(1))
+            .ipv4(addr("8.8.8.8"), addr("203.0.113.1"))
+            .udp(53, 40_000, b"stray")
+            .build();
+        assert!(matches!(
+            nat.translate_inbound(&stray),
+            Err(NatError::NoMapping { port: 40_000, .. })
+        ));
+        assert_eq!(nat.counters().2, 1);
+    }
+
+    #[test]
+    fn sram_exhaustion_refuses_new_flows() {
+        let mut nat = NatTable::new(addr("203.0.113.1"));
+        let mut sram = Sram::new(NAT_ENTRY_BYTES * 2);
+        nat.translate_outbound(&outbound_pkt("192.168.1.1", 1), &mut sram)
+            .unwrap();
+        nat.translate_outbound(&outbound_pkt("192.168.1.2", 1), &mut sram)
+            .unwrap();
+        let err = nat.translate_outbound(&outbound_pkt("192.168.1.3", 1), &mut sram);
+        assert!(matches!(err, Err(NatError::Sram(_))));
+        // Existing flows still translate.
+        assert!(nat
+            .translate_outbound(&outbound_pkt("192.168.1.1", 1), &mut sram)
+            .is_ok());
+    }
+
+    #[test]
+    fn expire_frees_sram_and_port() {
+        let (mut nat, mut sram) = setup();
+        let out = nat
+            .translate_outbound(&outbound_pkt("192.168.1.10", 5555), &mut sram)
+            .unwrap();
+        let ext_port = FiveTuple::from_parsed(&out.parse().unwrap()).unwrap().src_port;
+        assert!(nat.expire((addr("192.168.1.10"), 5555, IpProto::UDP), &mut sram));
+        assert_eq!(sram.used_by(SramCategory::Nat), 0);
+        // Inbound to the old port now misses.
+        let reply = PacketBuilder::new()
+            .ether(Mac::local(2), Mac::local(1))
+            .ipv4(addr("8.8.8.8"), addr("203.0.113.1"))
+            .udp(53, ext_port, b"late")
+            .build();
+        assert!(nat.translate_inbound(&reply).is_err());
+        assert!(!nat.expire((addr("192.168.1.10"), 5555, IpProto::UDP), &mut sram));
+    }
+
+    #[test]
+    fn arp_is_not_translatable() {
+        let (mut nat, mut sram) = setup();
+        let arp = PacketBuilder::arp_request(Mac::local(1), addr("1.1.1.1"), addr("2.2.2.2"));
+        assert!(matches!(
+            nat.translate_outbound(&arp, &mut sram),
+            Err(NatError::NotTranslatable)
+        ));
+    }
+
+    #[test]
+    fn translated_checksums_always_verify() {
+        // The parse() in translate paths verifies the IP checksum; run a
+        // chain of translations and ensure every product parses.
+        let (mut nat, mut sram) = setup();
+        for i in 0..20u16 {
+            let out = nat
+                .translate_outbound(&outbound_pkt("192.168.1.77", 1000 + i), &mut sram)
+                .unwrap();
+            assert!(out.parse().is_ok());
+        }
+    }
+}

@@ -1,0 +1,986 @@
+//! The Norman host: one simulated machine running KOPI.
+//!
+//! [`Host`] owns every component of Figure 1 and exposes two faces:
+//!
+//! * **Control plane** (kernel): `spawn`, `connect`, `close`,
+//!   `reserve_port`, `install_shaping`, sniffer control. These are the
+//!   only paths that configure the NIC, and they consult the process
+//!   table — policies are expressed over users and processes, not queues.
+//! * **Dataplane** (library + NIC): `deliver_from_wire`, `app_send`,
+//!   `app_recv`, `pump_tx`. Data never crosses the kernel on these paths;
+//!   costs come from the ring/LLC model and the NIC pipeline.
+
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+use memsim::{HostRing, Llc, LlcConfig, MemCosts, MmioBus};
+use nicsim::{
+    ConnId, NicConfig, Notification, NotifyKind, RxDisposition, SmartNic, SnifferFilter,
+    TxDisposition,
+};
+use nicsim::device::ProgramSlot;
+use nicsim::pipeline::TxDeparture;
+use oskernel::{
+    ArpCache, CgroupId, CgroupTree, Cred, NetStack, Pid, ProcessTable, RxOutcome, Scheduler, Uid,
+};
+use overlay::builtins;
+use pkt::{FiveTuple, IpProto, Mac, Packet};
+use qdisc::compile;
+use sim::{Dur, Time};
+
+use crate::policy::{PortReservation, ShapingPolicy};
+
+/// Host configuration.
+#[derive(Clone, Debug)]
+pub struct HostConfig {
+    /// NIC configuration.
+    pub nic: NicConfig,
+    /// LLC geometry (the DDIO way-cap lives here).
+    pub llc: LlcConfig,
+    /// Memory latencies.
+    pub mem: MemCosts,
+    /// Ring slots per direction per connection.
+    pub ring_slots: usize,
+    /// Payload bytes per ring slot.
+    pub ring_slot_bytes: usize,
+    /// This host's IP.
+    pub ip: Ipv4Addr,
+    /// This host's MAC.
+    pub mac: Mac,
+    /// Share one ring pair per *process* instead of per connection — the
+    /// §5 ablation for scaling past per-connection semantics.
+    pub shared_rings: bool,
+    /// How many ring operations share one MMIO doorbell write (batched
+    /// head/tail updates).
+    pub doorbell_batch: u64,
+}
+
+impl Default for HostConfig {
+    fn default() -> HostConfig {
+        HostConfig {
+            nic: NicConfig::default(),
+            llc: LlcConfig::xeon_default(),
+            mem: MemCosts::default(),
+            ring_slots: 2,
+            ring_slot_bytes: 2048,
+            ip: Ipv4Addr::new(10, 0, 0, 1),
+            mac: Mac::local(1),
+            shared_rings: false,
+            doorbell_batch: 4,
+        }
+    }
+}
+
+/// Why a connection could not be opened.
+#[derive(Debug)]
+pub enum ConnectError {
+    /// The pid does not exist.
+    NoSuchProcess(Pid),
+    /// A port reservation denies this (uid, comm).
+    PolicyDenied {
+        /// The requested port.
+        port: u16,
+        /// The requesting user.
+        uid: Uid,
+    },
+    /// The NIC could not allocate resources (SRAM exhaustion — §5).
+    NicResources(String),
+}
+
+impl std::fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnectError::NoSuchProcess(pid) => write!(f, "no such process {pid}"),
+            ConnectError::PolicyDenied { port, uid } => {
+                write!(f, "port {port} is reserved; denied for {uid}")
+            }
+            ConnectError::NicResources(e) => write!(f, "NIC resource exhaustion: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum RingKey {
+    Conn(ConnId),
+    Proc(Pid),
+}
+
+/// One open connection.
+#[derive(Clone, Debug)]
+pub struct Connection {
+    /// NIC connection id.
+    pub id: ConnId,
+    /// Owning process.
+    pub pid: Pid,
+    /// Owning user.
+    pub uid: Uid,
+    /// RX-direction five-tuple (remote → local).
+    pub tuple: FiveTuple,
+    /// Whether notifications (blocking I/O) are enabled.
+    pub notify: bool,
+    ring_key: RingKey,
+}
+
+/// What happened to a wire-delivered frame.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeliveryOutcome {
+    /// DMA'd into a connection's RX ring.
+    FastPath(ConnId),
+    /// The matched ring was full; the frame was dropped.
+    RingFull(ConnId),
+    /// Handled by the kernel software stack.
+    SlowPath,
+    /// Dropped by NIC policy or during reprogramming.
+    Dropped,
+}
+
+/// Report for one delivered frame.
+#[derive(Clone, Copy, Debug)]
+pub struct DeliveryReport {
+    /// Where it went.
+    pub outcome: DeliveryOutcome,
+    /// Memory-system time (DMA + cache effects).
+    pub mem_cost: Dur,
+    /// NIC pipeline latency.
+    pub nic_latency: Dur,
+    /// Kernel CPU consumed (slow path only).
+    pub kernel_cpu: Dur,
+    /// A process that was woken by this frame.
+    pub woke: Option<Pid>,
+}
+
+/// Result of an `app_recv`.
+#[derive(Clone, Copy, Debug)]
+pub struct RecvResult {
+    /// Payload length received, if any.
+    pub len: Option<usize>,
+    /// Application CPU consumed.
+    pub cpu: Dur,
+    /// Whether the process blocked (notify connections only).
+    pub blocked: bool,
+}
+
+/// Result of an `app_send`.
+#[derive(Clone, Copy, Debug)]
+pub struct SendResult {
+    /// Whether the frame was accepted for transmission.
+    pub queued: bool,
+    /// Application CPU consumed.
+    pub cpu: Dur,
+}
+
+/// Host-level counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HostStats {
+    /// Frames delivered on the fast path.
+    pub fast_delivered: u64,
+    /// Frames dropped because an RX ring was full.
+    pub ring_drops: u64,
+    /// Frames that took the software slow path.
+    pub slowpath: u64,
+    /// Frames dropped by NIC policy.
+    pub nic_dropped: u64,
+    /// Connections refused for NIC resources.
+    pub conns_refused: u64,
+}
+
+/// The Norman host.
+pub struct Host {
+    /// Configuration.
+    pub cfg: HostConfig,
+    /// Process table.
+    pub procs: ProcessTable,
+    /// Cgroup hierarchy.
+    pub cgroups: CgroupTree,
+    /// Scheduler and CPU meters.
+    pub sched: Scheduler,
+    /// Last-level cache (with DDIO way-cap).
+    pub llc: Llc,
+    /// MMIO accounting.
+    pub mmio: MmioBus,
+    /// The SmartNIC.
+    pub nic: SmartNic,
+    /// The software slow path.
+    pub stack: NetStack,
+    /// The kernel ARP cache (ARP is a slow-path protocol under KOPI).
+    pub arp: ArpCache,
+    conns: HashMap<ConnId, Connection>,
+    listeners: HashMap<ConnId, (Pid, IpProto, u16)>,
+    pending_accepts: HashMap<ConnId, std::collections::VecDeque<FiveTuple>>,
+    rings: HashMap<RingKey, (HostRing, HostRing)>,
+    reservations: Vec<PortReservation>,
+    port_filter_loaded: bool,
+    shaping: Option<ShapingPolicy>,
+    next_ring_index: u64,
+    ring_ops_since_doorbell: u64,
+    /// Kernel CPU consumed by the slow path and control plane.
+    pub kernel_cpu: Dur,
+    stats: HostStats,
+}
+
+impl Host {
+    /// Creates a host.
+    pub fn new(cfg: HostConfig) -> Host {
+        Host {
+            procs: ProcessTable::new(),
+            cgroups: CgroupTree::new(),
+            sched: Scheduler::with_defaults(),
+            llc: Llc::new(cfg.llc.clone()),
+            mmio: MmioBus::new(),
+            nic: SmartNic::new(cfg.nic.clone()),
+            stack: NetStack::new(),
+            arp: ArpCache::new(cfg.ip, cfg.mac),
+            conns: HashMap::new(),
+            listeners: HashMap::new(),
+            pending_accepts: HashMap::new(),
+            rings: HashMap::new(),
+            reservations: Vec::new(),
+            port_filter_loaded: false,
+            shaping: None,
+            next_ring_index: 0,
+            ring_ops_since_doorbell: 0,
+            kernel_cpu: Dur::ZERO,
+            stats: HostStats::default(),
+            cfg,
+        }
+    }
+
+    /// Returns host counters.
+    pub fn stats(&self) -> HostStats {
+        self.stats
+    }
+
+    /// Returns an open connection.
+    pub fn connection(&self, id: ConnId) -> Option<&Connection> {
+        self.conns.get(&id)
+    }
+
+    /// Returns the number of open connections.
+    pub fn num_connections(&self) -> usize {
+        self.conns.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane
+    // ------------------------------------------------------------------
+
+    /// Spawns a process for `uid`.
+    pub fn spawn(&mut self, uid: Uid, user: &str, comm: &str) -> Pid {
+        self.procs.spawn(Cred::new(uid, user), comm, CgroupId::ROOT)
+    }
+
+    /// Spawns a process inside a cgroup.
+    pub fn spawn_in_cgroup(&mut self, uid: Uid, user: &str, comm: &str, cg: CgroupId) -> Pid {
+        self.procs.spawn(Cred::new(uid, user), comm, cg)
+    }
+
+    /// Installs a port reservation: recorded in the control plane (so
+    /// `connect` refuses violators up front) *and* lowered onto the NIC's
+    /// ingress and egress filters (so even a buggy or malicious bypass
+    /// user cannot violate it in the dataplane).
+    pub fn reserve_port(&mut self, r: PortReservation, now: Time) -> Result<(), ConnectError> {
+        if !self.port_filter_loaded {
+            self.nic
+                .load_program(ProgramSlot::IngressFilter, builtins::port_owner_filter(), now)
+                .map_err(|e| ConnectError::NicResources(e.to_string()))?;
+            self.nic
+                .load_program(ProgramSlot::EgressFilter, builtins::port_owner_filter(), now)
+                .map_err(|e| ConnectError::NicResources(e.to_string()))?;
+            self.port_filter_loaded = true;
+        }
+        // uid+1 in the rules map (0 = unreserved).
+        for slot in [ProgramSlot::IngressFilter, ProgramSlot::EgressFilter] {
+            self.nic
+                .fill_map(slot, 0, r.port as usize, u64::from(r.uid.0) + 1)
+                .map_err(|e| ConnectError::NicResources(e.to_string()))?;
+            self.kernel_cpu += self.mmio.write(&self.cfg.mem.clone());
+        }
+        self.reservations.push(r);
+        Ok(())
+    }
+
+    /// Returns the active reservations.
+    pub fn reservations(&self) -> &[PortReservation] {
+        &self.reservations
+    }
+
+    /// Installs a per-user WFQ shaping policy: compiles the classifier to
+    /// an overlay program, loads it, fills its maps, and configures the
+    /// NIC scheduler weights.
+    pub fn install_shaping(&mut self, policy: ShapingPolicy, now: Time) -> Result<(), ConnectError> {
+        let users: Vec<(u32, f64)> = policy
+            .user_weights
+            .iter()
+            .map(|&(uid, w)| (uid.0, w))
+            .collect();
+        let setup = compile::compile_uid_wfq(&users, policy.default_weight);
+        self.nic
+            .load_program(ProgramSlot::Classifier, setup.program, now)
+            .map_err(|e| ConnectError::NicResources(e.to_string()))?;
+        for (map, key, value) in setup.map_fills {
+            self.nic
+                .fill_map(ProgramSlot::Classifier, map, key, value)
+                .map_err(|e| ConnectError::NicResources(e.to_string()))?;
+        }
+        self.nic.configure_scheduler(&setup.class_weights);
+        self.shaping = Some(policy);
+        Ok(())
+    }
+
+    /// Enables the NIC capture tap (privileged; `ksniff`).
+    pub fn enable_sniffer(&mut self, filter: SnifferFilter) {
+        self.nic.enable_sniffer(filter);
+    }
+
+    /// Opens a connection for `pid` on `local_port` to
+    /// `(remote_ip, remote_port)`.
+    ///
+    /// This is the `connect(2)`/`accept(2)` path of §4.3: the kernel
+    /// validates policy, allocates and pins a ring pair, programs the NIC
+    /// flow table with the (uid, pid, comm) binding, and grants the app
+    /// its doorbell registers.
+    pub fn connect(
+        &mut self,
+        pid: Pid,
+        proto: IpProto,
+        local_port: u16,
+        remote_ip: Ipv4Addr,
+        remote_port: u16,
+        notify: bool,
+    ) -> Result<ConnId, ConnectError> {
+        let (uid, comm) = {
+            let p = self
+                .procs
+                .get(pid)
+                .ok_or(ConnectError::NoSuchProcess(pid))?;
+            (p.cred.uid, p.comm.clone())
+        };
+        // Policy check at setup time (defense in depth: the NIC filter
+        // also enforces it per packet).
+        if let Some(r) = self.reservations.iter().find(|r| r.port == local_port) {
+            if !r.permits(uid, &comm) {
+                return Err(ConnectError::PolicyDenied {
+                    port: local_port,
+                    uid,
+                });
+            }
+        }
+        let tuple = FiveTuple {
+            src_ip: remote_ip,
+            dst_ip: self.cfg.ip,
+            src_port: remote_port,
+            dst_port: local_port,
+            proto,
+        };
+        let id = match self
+            .nic
+            .open_connection(tuple, uid.0, pid.0, &comm, notify)
+        {
+            Ok(id) => id,
+            Err(e) => {
+                self.stats.conns_refused += 1;
+                return Err(ConnectError::NicResources(e.to_string()));
+            }
+        };
+        let ring_key = if self.cfg.shared_rings {
+            RingKey::Proc(pid)
+        } else {
+            RingKey::Conn(id)
+        };
+        let slots = self.cfg.ring_slots;
+        let slot_bytes = self.cfg.ring_slot_bytes;
+        if !self.rings.contains_key(&ring_key) {
+            let rx = HostRing::new(self.alloc_ring_addr(), slots, slot_bytes);
+            let tx = HostRing::new(self.alloc_ring_addr(), slots, slot_bytes);
+            self.rings.insert(ring_key, (rx, tx));
+        }
+        self.conns.insert(
+            id,
+            Connection {
+                id,
+                pid,
+                uid,
+                tuple,
+                notify,
+                ring_key,
+            },
+        );
+        // Connection setup costs kernel time (syscall + NIC programming).
+        self.kernel_cpu += self.stack.costs().syscalls.control_call() + Dur::from_us(2);
+        Ok(id)
+    }
+
+    /// Binds a listener on `(proto, port)` for `pid` — the first half of
+    /// the `accept(2)` path of §4.3. First packets of inbound connections
+    /// match the NIC's listener entry, take the slow path into the
+    /// pending-accept queue, and [`Host::accept`] promotes them to
+    /// fast-path connections.
+    pub fn listen(&mut self, pid: Pid, proto: IpProto, port: u16) -> Result<ConnId, ConnectError> {
+        let (uid, comm) = {
+            let p = self
+                .procs
+                .get(pid)
+                .ok_or(ConnectError::NoSuchProcess(pid))?;
+            (p.cred.uid, p.comm.clone())
+        };
+        if let Some(r) = self.reservations.iter().find(|r| r.port == port) {
+            if !r.permits(uid, &comm) {
+                return Err(ConnectError::PolicyDenied { port, uid });
+            }
+        }
+        let id = self
+            .nic
+            .open_listener(proto, port, uid.0, pid.0, &comm)
+            .map_err(|e| ConnectError::NicResources(e.to_string()))?;
+        self.listeners.insert(id, (pid, proto, port));
+        self.kernel_cpu += self.stack.costs().syscalls.control_call();
+        Ok(id)
+    }
+
+    /// Accepts a pending inbound connection on `listener`: allocates the
+    /// ring pair, installs the exact-match flow entry, and returns the
+    /// new connection — the second half of `accept(2)`. Returns `None`
+    /// when nothing is pending.
+    pub fn accept(&mut self, listener: ConnId, notify: bool) -> Option<ConnId> {
+        let tuple = self.pending_accepts.get_mut(&listener)?.pop_front()?;
+        let &(pid, ..) = self.listeners.get(&listener)?;
+        self.connect(
+            pid,
+            tuple.proto,
+            tuple.dst_port,
+            tuple.src_ip,
+            tuple.src_port,
+            notify,
+        )
+        .ok()
+    }
+
+    /// Returns how many inbound connections wait on `listener`.
+    pub fn pending_accept_count(&self, listener: ConnId) -> usize {
+        self.pending_accepts
+            .get(&listener)
+            .map(|q| q.len())
+            .unwrap_or(0)
+    }
+
+    /// Closes a connection, releasing NIC state and (for per-connection
+    /// rings) the pinned rings.
+    pub fn close(&mut self, id: ConnId) -> bool {
+        let Some(conn) = self.conns.remove(&id) else {
+            return false;
+        };
+        let _ = self.nic.close_connection(id);
+        if let RingKey::Conn(_) = conn.ring_key {
+            self.rings.remove(&conn.ring_key);
+        }
+        true
+    }
+
+    /// Picks a pinned physical placement for the next ring.
+    ///
+    /// Physical pages backing pinned rings are not contiguous: placing
+    /// rings back-to-back would alias their cache sets and fabricate
+    /// associativity conflicts the real machine does not have. A
+    /// bijective multiplicative permutation scatters ring cells across a
+    /// 16 GiB physical arena instead.
+    fn alloc_ring_addr(&mut self) -> u64 {
+        let footprint = (self.cfg.ring_slots as u64)
+            * (HostRing::DESC_BYTES + self.cfg.ring_slot_bytes as u64);
+        let cell = footprint.next_multiple_of(4096);
+        // Power-of-two cell count so the odd multiplier is a bijection.
+        let cells = ((16u64 << 30) / cell).next_power_of_two() / 2;
+        let idx = self.next_ring_index;
+        self.next_ring_index += 1;
+        let scattered = (idx.wrapping_mul(0x9E37_79B9)) & (cells - 1);
+        0x1_0000_0000 + scattered * cell
+    }
+
+    // ------------------------------------------------------------------
+    // Dataplane
+    // ------------------------------------------------------------------
+
+    fn doorbell_cost(&mut self) -> Dur {
+        self.ring_ops_since_doorbell += 1;
+        if self.ring_ops_since_doorbell >= self.cfg.doorbell_batch {
+            self.ring_ops_since_doorbell = 0;
+            self.mmio.write(&self.cfg.mem.clone())
+        } else {
+            Dur::ZERO
+        }
+    }
+
+    /// A frame arrives from the wire at `now`.
+    pub fn deliver_from_wire(&mut self, packet: &Packet, now: Time) -> DeliveryReport {
+        let rx = self.nic.rx(packet, now);
+        let mut report = DeliveryReport {
+            outcome: DeliveryOutcome::Dropped,
+            mem_cost: Dur::ZERO,
+            nic_latency: rx.latency,
+            kernel_cpu: Dur::ZERO,
+            woke: None,
+        };
+        match rx.disposition {
+            RxDisposition::Deliver { conn, .. } => {
+                if self.listeners.contains_key(&conn) {
+                    // First packet of an inbound connection: queue it for
+                    // accept() and hand the payload to the kernel stack.
+                    if let Some(tuple) = packet.parse().ok().as_ref().and_then(FiveTuple::from_parsed)
+                    {
+                        self.pending_accepts
+                            .entry(conn)
+                            .or_default()
+                            .push_back(tuple);
+                    }
+                    let (_, cost) = self.stack.rx(packet, now);
+                    self.kernel_cpu += cost;
+                    report.kernel_cpu = cost;
+                    report.outcome = DeliveryOutcome::SlowPath;
+                    self.stats.slowpath += 1;
+                    return report;
+                }
+                let Some(c) = self.conns.get(&conn) else {
+                    // NIC knows a connection the host forgot: treat as
+                    // slow path (stale flow entry).
+                    report.outcome = DeliveryOutcome::SlowPath;
+                    return report;
+                };
+                let pid = c.pid;
+                let key = c.ring_key;
+                let mem = self.cfg.mem.clone();
+                let (rx_ring, _) = self.rings.get_mut(&key).expect("rings exist for conn");
+                match rx_ring.produce_dma(packet.len(), &mut self.llc, &mem) {
+                    Ok(cost) => {
+                        report.mem_cost = cost;
+                        report.outcome = DeliveryOutcome::FastPath(conn);
+                        self.stats.fast_delivered += 1;
+                    }
+                    Err(_) => {
+                        report.outcome = DeliveryOutcome::RingFull(conn);
+                        self.stats.ring_drops += 1;
+                        return report;
+                    }
+                }
+                if rx.interrupt {
+                    if let Some(resumed) = self.sched.wake(pid, rx.ready_at, &mut self.procs) {
+                        let _ = resumed;
+                        report.woke = Some(pid);
+                    }
+                }
+            }
+            RxDisposition::SlowPath { .. } => {
+                // ARP is handled by the kernel itself: update the cache
+                // and answer who-has requests for our address.
+                if packet.parse().map(|p| p.is_arp()).unwrap_or(false) {
+                    let cost = Dur::from_ns(400); // cache update + reply build
+                    self.kernel_cpu += cost;
+                    report.kernel_cpu = cost;
+                    report.outcome = DeliveryOutcome::SlowPath;
+                    self.stats.slowpath += 1;
+                    if let Some(reply) = self.arp.handle(packet, now) {
+                        let _ = self.nic.tx_enqueue_kernel(&reply, now);
+                    }
+                    return report;
+                }
+                let (outcome, cost) = self.stack.rx(packet, now);
+                self.kernel_cpu += cost;
+                report.kernel_cpu = cost;
+                report.outcome = DeliveryOutcome::SlowPath;
+                self.stats.slowpath += 1;
+                if let RxOutcome::Delivered { pid, wake: true } = outcome {
+                    if self.sched.wake(pid, now + cost, &mut self.procs).is_some() {
+                        report.woke = Some(pid);
+                    }
+                }
+            }
+            RxDisposition::Drop { .. } => {
+                self.stats.nic_dropped += 1;
+            }
+        }
+        report
+    }
+
+    /// The application receives from a connection's RX ring.
+    ///
+    /// Pure memory operations — no kernel involvement (§4.3: "the
+    /// application can directly send and receive data by merely accessing
+    /// memory").
+    pub fn app_recv(&mut self, id: ConnId, now: Time, blocking: bool) -> RecvResult {
+        let Some(conn) = self.conns.get(&id) else {
+            return RecvResult {
+                len: None,
+                cpu: Dur::ZERO,
+                blocked: false,
+            };
+        };
+        let pid = conn.pid;
+        let notify = conn.notify;
+        let key = conn.ring_key;
+        let mem = self.cfg.mem.clone();
+        let (rx_ring, _) = self.rings.get_mut(&key).expect("rings exist");
+        match rx_ring.consume_cpu(&mut self.llc, &mem) {
+            Some((len, cost)) => {
+                let cpu = cost + self.doorbell_cost();
+                self.sched.charge_busy(pid, cpu);
+                RecvResult {
+                    len: Some(len),
+                    cpu,
+                    blocked: false,
+                }
+            }
+            None => {
+                // Check the head pointer: one cache read.
+                let cpu = mem.llc_hit;
+                let mut blocked = false;
+                if blocking && notify {
+                    self.nic.arm_interrupt(pid.0);
+                    blocked = self.sched.block(pid, now, &mut self.procs);
+                } else {
+                    self.sched.charge_polling(pid, cpu);
+                }
+                RecvResult {
+                    len: None,
+                    cpu,
+                    blocked,
+                }
+            }
+        }
+    }
+
+    /// POSIX-compatibility receive: like [`Host::app_recv`] but models
+    /// `recv(2)` semantics where the payload is *copied* out of the ring
+    /// into a caller-supplied buffer. §4.2: the Norman library "provides
+    /// both POSIX APIs — so that applications can be easily portable …
+    /// as well as more efficient abstractions that prevent unnecessary
+    /// copies". The copy costs `copy_per_byte x len` extra CPU.
+    pub fn app_recv_posix(&mut self, id: ConnId, now: Time, blocking: bool) -> RecvResult {
+        let mut r = self.app_recv(id, now, blocking);
+        if let Some(len) = r.len {
+            let copy = self.cfg.mem.copy(len);
+            r.cpu += copy;
+            if let Some(conn) = self.conns.get(&id) {
+                self.sched.charge_busy(conn.pid, copy);
+            }
+        }
+        r
+    }
+
+    /// The application sends a frame on a connection: write payload into
+    /// the TX ring (CPU stores), ring the doorbell (MMIO), NIC DMA-reads
+    /// and runs egress policy, then schedules.
+    pub fn app_send(&mut self, id: ConnId, packet: &Packet, now: Time) -> SendResult {
+        let Some(conn) = self.conns.get(&id) else {
+            return SendResult {
+                queued: false,
+                cpu: Dur::ZERO,
+            };
+        };
+        let pid = conn.pid;
+        let key = conn.ring_key;
+        let mem = self.cfg.mem.clone();
+        let (_, tx_ring) = self.rings.get_mut(&key).expect("rings exist");
+        let produce = match tx_ring.produce_cpu(packet.len(), &mut self.llc, &mem) {
+            Ok(cost) => cost,
+            Err(_) => {
+                return SendResult {
+                    queued: false,
+                    cpu: mem.llc_hit,
+                }
+            }
+        };
+        let doorbell = self.doorbell_cost();
+        // NIC side: DMA-read the frame out of the ring.
+        let (_, tx_ring) = self.rings.get_mut(&key).expect("rings exist");
+        let _ = tx_ring.consume_dma(&mut self.llc, &mem);
+        let queued = match self.nic.tx_enqueue(id, packet, now) {
+            Ok(TxDisposition::Queued { .. }) => true,
+            Ok(TxDisposition::Drop { .. }) => false,
+            Err(_) => false,
+        };
+        let cpu = produce + doorbell;
+        self.sched.charge_busy(pid, cpu);
+        SendResult { queued, cpu }
+    }
+
+    /// Drains every frame the NIC can put on the wire up to `now`.
+    pub fn pump_tx(&mut self, now: Time) -> Vec<TxDeparture> {
+        let mut out = Vec::new();
+        while let Some(dep) = self.nic.tx_poll(now) {
+            out.push(dep);
+        }
+        out
+    }
+
+    /// Pops a pending notification for `pid` (the kernel-side monitor or
+    /// a woken process checking why it woke).
+    pub fn pop_notification(&mut self, pid: Pid) -> Option<Notification> {
+        self.nic.pop_notification(pid.0)
+    }
+
+    /// Blocks `pid` until *any* of its notify-enabled connections has
+    /// data — the `epoll_wait`/select analogue over the §4.3 shared
+    /// notification queue. Returns the ready connection if one is already
+    /// pending (no block), or `None` after blocking the process.
+    pub fn app_wait_any(&mut self, pid: Pid, now: Time) -> Option<ConnId> {
+        // Drain the notification queue first: a pending RxReady means no
+        // need to block.
+        while let Some(n) = self.nic.pop_notification(pid.0) {
+            if n.kind == NotifyKind::RxReady {
+                return Some(n.conn);
+            }
+        }
+        self.nic.arm_interrupt(pid.0);
+        self.sched.block(pid, now, &mut self.procs);
+        None
+    }
+
+    /// Convenience: did `pid` get an RX notification for `conn`?
+    pub fn has_rx_notification(&mut self, pid: Pid, conn: ConnId) -> bool {
+        let mut found = false;
+        while let Some(n) = self.nic.pop_notification(pid.0) {
+            if n.conn == conn && n.kind == NotifyKind::RxReady {
+                found = true;
+            }
+        }
+        found
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::PacketBuilder;
+
+    fn host() -> Host {
+        Host::new(HostConfig::default())
+    }
+
+    fn wire_udp(host_ip: Ipv4Addr, src_port: u16, dst_port: u16, len: usize) -> Packet {
+        PacketBuilder::new()
+            .ether(Mac::local(9), Mac::local(1))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 2), host_ip)
+            .udp(src_port, dst_port, &vec![0u8; len])
+            .build()
+    }
+
+    fn open_conn(h: &mut Host, pid: Pid, port: u16, notify: bool) -> ConnId {
+        h.connect(
+            pid,
+            IpProto::UDP,
+            port,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            notify,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fast_path_delivery_and_recv() {
+        let mut h = host();
+        let bob = h.spawn(Uid(1001), "bob", "server");
+        let conn = open_conn(&mut h, bob, 7000, false);
+        let pkt = wire_udp(h.cfg.ip, 9000, 7000, 500);
+        let report = h.deliver_from_wire(&pkt, Time::ZERO);
+        assert_eq!(report.outcome, DeliveryOutcome::FastPath(conn));
+        assert!(report.mem_cost > Dur::ZERO);
+        assert_eq!(report.kernel_cpu, Dur::ZERO, "fast path must not touch the kernel");
+        let r = h.app_recv(conn, Time::ZERO, false);
+        assert_eq!(r.len, Some(pkt.len()));
+        assert!(r.cpu > Dur::ZERO);
+    }
+
+    #[test]
+    fn unknown_traffic_takes_slow_path() {
+        let mut h = host();
+        let pkt = wire_udp(h.cfg.ip, 1, 9999, 64);
+        let report = h.deliver_from_wire(&pkt, Time::ZERO);
+        assert_eq!(report.outcome, DeliveryOutcome::SlowPath);
+        assert!(report.kernel_cpu > Dur::ZERO);
+        assert_eq!(h.stats().slowpath, 1);
+    }
+
+    #[test]
+    fn ring_overflow_drops() {
+        let mut h = host();
+        let bob = h.spawn(Uid(1001), "bob", "server");
+        let conn = open_conn(&mut h, bob, 7000, false);
+        let pkt = wire_udp(h.cfg.ip, 9000, 7000, 100);
+        // Default rings hold 2 slots.
+        h.deliver_from_wire(&pkt, Time::ZERO);
+        h.deliver_from_wire(&pkt, Time::ZERO);
+        let report = h.deliver_from_wire(&pkt, Time::ZERO);
+        assert_eq!(report.outcome, DeliveryOutcome::RingFull(conn));
+        assert_eq!(h.stats().ring_drops, 1);
+        // Draining frees space.
+        h.app_recv(conn, Time::ZERO, false);
+        let report = h.deliver_from_wire(&pkt, Time::ZERO);
+        assert_eq!(report.outcome, DeliveryOutcome::FastPath(conn));
+    }
+
+    #[test]
+    fn reservation_blocks_connect() {
+        let mut h = host();
+        let bob = h.spawn(Uid(1001), "bob", "postgres");
+        let charlie = h.spawn(Uid(1002), "charlie", "mysqld");
+        h.reserve_port(PortReservation::new(5432, Uid(1001)), Time::ZERO)
+            .unwrap();
+        assert!(h
+            .connect(bob, IpProto::UDP, 5432, Ipv4Addr::new(10, 0, 0, 2), 1, false)
+            .is_ok());
+        let err = h
+            .connect(charlie, IpProto::UDP, 5432, Ipv4Addr::new(10, 0, 0, 2), 2, false)
+            .unwrap_err();
+        assert!(matches!(err, ConnectError::PolicyDenied { port: 5432, .. }));
+    }
+
+    #[test]
+    fn reservation_enforced_in_dataplane_too() {
+        // Even if a connection existed before the reservation (the
+        // "misconfiguration or bug" case of §2), the NIC filter drops
+        // violating packets.
+        let mut h = host();
+        let charlie = h.spawn(Uid(1002), "charlie", "mysqld");
+        let conn = open_conn(&mut h, charlie, 5432, false);
+        h.reserve_port(PortReservation::new(5432, Uid(1001)), Time::ZERO)
+            .unwrap();
+        let pkt = wire_udp(h.cfg.ip, 9000, 5432, 100);
+        let report = h.deliver_from_wire(&pkt, Time::ZERO);
+        assert_eq!(report.outcome, DeliveryOutcome::Dropped);
+        assert_eq!(h.stats().nic_dropped, 1);
+        let _ = conn;
+    }
+
+    #[test]
+    fn blocking_recv_blocks_and_wakes() {
+        let mut h = host();
+        let bob = h.spawn(Uid(1001), "bob", "server");
+        let conn = open_conn(&mut h, bob, 7000, true);
+        // Nothing there: the process blocks.
+        let r = h.app_recv(conn, Time::ZERO, true);
+        assert!(r.blocked);
+        assert_eq!(
+            h.procs.get(bob).unwrap().state,
+            oskernel::ProcState::Blocked
+        );
+        // A packet arrives: the NIC notification wakes the process.
+        let pkt = wire_udp(h.cfg.ip, 9000, 7000, 64);
+        let report = h.deliver_from_wire(&pkt, Time::from_us(50));
+        assert_eq!(report.woke, Some(bob));
+        assert_eq!(
+            h.procs.get(bob).unwrap().state,
+            oskernel::ProcState::Running
+        );
+        // And the data is there.
+        let r = h.app_recv(conn, Time::from_us(60), true);
+        assert_eq!(r.len, Some(pkt.len()));
+    }
+
+    #[test]
+    fn polling_burns_cpu_blocking_does_not() {
+        let mut h = host();
+        let bob = h.spawn(Uid(1001), "bob", "poller");
+        let conn = open_conn(&mut h, bob, 7000, false);
+        for _ in 0..1000 {
+            h.app_recv(conn, Time::ZERO, false);
+        }
+        let m = h.sched.meter(bob);
+        assert!(m.polling > Dur::ZERO);
+        assert!(m.efficiency() < 0.01);
+    }
+
+    #[test]
+    fn send_path_reaches_wire() {
+        let mut h = host();
+        let bob = h.spawn(Uid(1001), "bob", "client");
+        let conn = open_conn(&mut h, bob, 7000, false);
+        let pkt = PacketBuilder::new()
+            .ether(h.cfg.mac, Mac::local(9))
+            .ipv4(h.cfg.ip, Ipv4Addr::new(10, 0, 0, 2))
+            .udp(7000, 9000, &[0u8; 200])
+            .build();
+        let s = h.app_send(conn, &pkt, Time::ZERO);
+        assert!(s.queued);
+        assert!(s.cpu > Dur::ZERO);
+        let departures = h.pump_tx(Time::ZERO);
+        assert_eq!(departures.len(), 1);
+        assert_eq!(departures[0].conn, conn);
+    }
+
+    #[test]
+    fn shaping_policy_configures_scheduler() {
+        let mut h = host();
+        h.install_shaping(
+            ShapingPolicy::new(vec![(Uid(1001), 4.0), (Uid(1002), 1.0)]),
+            Time::ZERO,
+        )
+        .unwrap();
+        // Scheduler now has 3 classes (default + 2 users).
+        assert_eq!(h.nic.scheduler_class_bytes().len(), 3);
+    }
+
+    #[test]
+    fn shared_rings_mode_uses_one_pair_per_process() {
+        let cfg = HostConfig {
+            shared_rings: true,
+            ring_slots: 64,
+            ..HostConfig::default()
+        };
+        let mut h = Host::new(cfg);
+        let bob = h.spawn(Uid(1001), "bob", "server");
+        let c1 = open_conn(&mut h, bob, 7000, false);
+        let c2 = open_conn(&mut h, bob, 7001, false);
+        // Traffic to both connections lands in the same ring: receiving
+        // on c2 returns c1's packet first (shared FIFO).
+        let p1 = wire_udp(h.cfg.ip, 9000, 7000, 111);
+        let p2 = wire_udp(h.cfg.ip, 9000, 7001, 222);
+        h.deliver_from_wire(&p1, Time::ZERO);
+        h.deliver_from_wire(&p2, Time::ZERO);
+        let r = h.app_recv(c2, Time::ZERO, false);
+        assert_eq!(r.len, Some(p1.len()));
+        let _ = c1;
+    }
+
+    #[test]
+    fn connection_exhaustion_reports_refusal() {
+        let mut cfg = HostConfig::default();
+        cfg.nic.sram_bytes = 4096; // tiny NIC
+        let mut h = Host::new(cfg);
+        let bob = h.spawn(Uid(1001), "bob", "server");
+        let mut opened = 0;
+        let mut refused = 0;
+        for port in 0..32 {
+            match h.connect(
+                bob,
+                IpProto::UDP,
+                7000 + port,
+                Ipv4Addr::new(10, 0, 0, 2),
+                9000,
+                false,
+            ) {
+                Ok(_) => opened += 1,
+                Err(ConnectError::NicResources(_)) => refused += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(opened > 0);
+        assert!(refused > 0);
+        assert_eq!(h.stats().conns_refused, refused);
+    }
+
+    #[test]
+    fn close_releases_resources() {
+        let mut h = host();
+        let bob = h.spawn(Uid(1001), "bob", "server");
+        let conn = open_conn(&mut h, bob, 7000, false);
+        let used_before = h.nic.sram.used();
+        assert!(h.close(conn));
+        assert!(h.nic.sram.used() < used_before);
+        assert!(!h.close(conn));
+        // Traffic now takes the slow path.
+        let pkt = wire_udp(h.cfg.ip, 9000, 7000, 64);
+        let report = h.deliver_from_wire(&pkt, Time::ZERO);
+        assert_eq!(report.outcome, DeliveryOutcome::SlowPath);
+    }
+}

@@ -1,0 +1,38 @@
+//! Norman: a KOPI (Kernel On-Path Interposition) operating system model.
+//!
+//! This crate is the paper's primary contribution, assembled from the
+//! workspace substrates into the architecture of Figure 1:
+//!
+//! ```text
+//!   App ──ring buffers / MMIO doorbells──▶ SmartNIC dataplane ──▶ wire
+//!    │                                        ▲         │
+//!    │ syscalls (connect/accept only)         │ config  │ notifications
+//!    ▼                                        │         ▼
+//!   Kernel control plane ─────────────────────┘   notification queues
+//! ```
+//!
+//! * [`host`] — [`Host`], one simulated machine: process table, cgroups,
+//!   scheduler, LLC/DDIO, the SmartNIC, the software slow path, and the
+//!   in-kernel control plane that mediates *all* NIC configuration.
+//! * [`policy`] — the administrator-facing policy types (port
+//!   reservations, shaping policies) and how they lower onto the NIC.
+//! * [`tools`] — `ksniff` (tcpdump), `kfilter` (iptables), `kqdisc`
+//!   (tc), and `knetstat` (netstat): each routes through the control
+//!   plane, never the dataplane.
+//! * [`lib_api`] — the Norman library: [`lib_api::NormanSocket`], a
+//!   POSIX-flavoured handle whose data operations never leave userspace
+//!   plus the NIC (§4.3).
+//! * [`arch`] — the five datapath architectures compared throughout the
+//!   evaluation: in-kernel stack, raw kernel bypass, dedicated-core
+//!   sidecar (IX/Snap), hypervisor SmartNIC switch (AccelNet), and KOPI.
+
+pub mod arch;
+pub mod host;
+pub mod lib_api;
+pub mod policy;
+pub mod tools;
+
+pub use arch::{Architecture, Capabilities, DatapathKind};
+pub use host::{ConnectError, Connection, DeliveryReport, Host, HostConfig};
+pub use lib_api::NormanSocket;
+pub use policy::{PortReservation, ShapingPolicy};

@@ -1,0 +1,376 @@
+//! Administrative tools: `ksniff`, `kfilter`, `kqdisc`, `knetstat`.
+//!
+//! Each tool is the Norman analogue of a classic utility (tcpdump,
+//! iptables, tc, netstat) and works the way Figure 1 prescribes: the
+//! tool calls into the **in-kernel control plane**, which updates the
+//! on-NIC dataplane — the data path itself is never detoured. All tools
+//! require privileged credentials; an unprivileged user cannot inspect
+//! global traffic or rewrite policy (the isolation requirement of §3).
+
+use nicsim::sniff::CaptureEntry;
+use nicsim::SnifferFilter;
+use oskernel::Cred;
+use pkt::IpProto;
+use sim::Time;
+
+use crate::host::{ConnectError, Host};
+use crate::policy::{PortReservation, ShapingPolicy};
+
+/// Tool failures.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ToolError {
+    /// The credentials are not privileged.
+    PermissionDenied {
+        /// Which tool refused.
+        tool: &'static str,
+    },
+    /// The control plane rejected the operation.
+    Control(String),
+}
+
+impl std::fmt::Display for ToolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToolError::PermissionDenied { tool } => {
+                write!(f, "{tool}: permission denied (requires root)")
+            }
+            ToolError::Control(e) => write!(f, "control plane error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ToolError {}
+
+fn require_root(cred: &Cred, tool: &'static str) -> Result<(), ToolError> {
+    if cred.is_privileged() {
+        Ok(())
+    } else {
+        Err(ToolError::PermissionDenied { tool })
+    }
+}
+
+fn control(e: ConnectError) -> ToolError {
+    ToolError::Control(e.to_string())
+}
+
+/// `ksniff` — the tcpdump equivalent, reading the NIC capture tap.
+pub mod ksniff {
+    use super::*;
+
+    /// Starts capturing with `filter`.
+    pub fn start(host: &mut Host, cred: &Cred, filter: SnifferFilter) -> Result<(), ToolError> {
+        require_root(cred, "ksniff")?;
+        host.enable_sniffer(filter);
+        Ok(())
+    }
+
+    /// Stops capturing.
+    pub fn stop(host: &mut Host, cred: &Cred) -> Result<(), ToolError> {
+        require_root(cred, "ksniff")?;
+        host.nic.disable_sniffer();
+        Ok(())
+    }
+
+    /// Drains and returns captured entries.
+    pub fn dump(host: &mut Host, cred: &Cred) -> Result<Vec<CaptureEntry>, ToolError> {
+        require_root(cred, "ksniff")?;
+        Ok(host.nic.sniffer.drain())
+    }
+
+    /// Aggregates ARP frames by originating process — the §2 debugging
+    /// scenario's one-command answer to "who is flooding ARP?".
+    /// Returns (comm, pid, count) sorted by count descending.
+    pub fn top_arp_talkers(entries: &[CaptureEntry]) -> Vec<(String, u32, u64)> {
+        use std::collections::HashMap;
+        let mut counts: HashMap<(String, u32), u64> = HashMap::new();
+        for e in entries.iter().filter(|e| e.is_arp) {
+            let comm = e.comm.clone().unwrap_or_else(|| "<unknown>".to_string());
+            let pid = e.pid.unwrap_or(0);
+            *counts.entry((comm, pid)).or_insert(0) += 1;
+        }
+        let mut out: Vec<(String, u32, u64)> = counts
+            .into_iter()
+            .map(|((comm, pid), n)| (comm, pid, n))
+            .collect();
+        out.sort_by(|a, b| b.2.cmp(&a.2).then_with(|| a.1.cmp(&b.1)));
+        out
+    }
+}
+
+/// `kfilter` — the iptables equivalent (owner-aware port policy).
+pub mod kfilter {
+    use super::*;
+
+    /// Installs a port reservation (setup check + NIC dataplane filter).
+    pub fn reserve(
+        host: &mut Host,
+        cred: &Cred,
+        r: PortReservation,
+        now: Time,
+    ) -> Result<(), ToolError> {
+        require_root(cred, "kfilter")?;
+        host.reserve_port(r, now).map_err(control)
+    }
+
+    /// Lists active reservations.
+    pub fn list(host: &Host, cred: &Cred) -> Result<Vec<PortReservation>, ToolError> {
+        require_root(cred, "kfilter")?;
+        Ok(host.reservations().to_vec())
+    }
+}
+
+/// `kqdisc` — the tc equivalent (per-user WFQ on the NIC scheduler).
+pub mod kqdisc {
+    use super::*;
+
+    /// Installs a per-user WFQ policy.
+    pub fn install_wfq(
+        host: &mut Host,
+        cred: &Cred,
+        policy: ShapingPolicy,
+        now: Time,
+    ) -> Result<(), ToolError> {
+        require_root(cred, "kqdisc")?;
+        host.install_shaping(policy, now).map_err(control)
+    }
+
+    /// Returns per-class bytes transmitted (class 0 = default).
+    pub fn class_bytes(host: &Host, cred: &Cred) -> Result<Vec<u64>, ToolError> {
+        require_root(cred, "kqdisc")?;
+        Ok(host.nic.scheduler_class_bytes())
+    }
+}
+
+/// `knetstat` — the netstat equivalent: every connection on the host
+/// with process attribution, read from the NIC flow table (fast path)
+/// and the kernel socket table (slow path).
+pub mod knetstat {
+    use super::*;
+
+    /// One connection row.
+    #[derive(Clone, Debug)]
+    pub struct ConnRow {
+        /// Transport protocol.
+        pub proto: IpProto,
+        /// Local port.
+        pub local_port: u16,
+        /// Remote endpoint as text ("-" for listeners).
+        pub remote: String,
+        /// Owning uid.
+        pub uid: u32,
+        /// Owning pid.
+        pub pid: u32,
+        /// Owning command.
+        pub comm: String,
+        /// `"nic"` for fast-path connections, `"kernel"` for slow-path
+        /// sockets.
+        pub via: &'static str,
+    }
+
+    /// Lists all connections.
+    pub fn connections(host: &Host, cred: &Cred) -> Result<Vec<ConnRow>, ToolError> {
+        require_root(cred, "knetstat")?;
+        let mut rows: Vec<ConnRow> = host
+            .nic
+            .flows
+            .entries()
+            .map(|e| ConnRow {
+                proto: e.tuple.proto,
+                local_port: e.tuple.dst_port,
+                remote: if e.tuple.src_ip.is_unspecified() {
+                    "-".to_string()
+                } else {
+                    format!("{}:{}", e.tuple.src_ip, e.tuple.src_port)
+                },
+                uid: e.uid,
+                pid: e.pid,
+                comm: e.comm.clone(),
+                via: "nic",
+            })
+            .collect();
+        rows.extend(host.stack.socket_stats().into_iter().map(|s| ConnRow {
+            proto: s.proto,
+            local_port: s.port,
+            remote: "-".to_string(),
+            uid: s.uid,
+            pid: s.pid.0,
+            comm: s.comm,
+            via: "kernel",
+        }));
+        rows.sort_by_key(|r| (r.proto.0, r.local_port, r.pid));
+        Ok(rows)
+    }
+
+    /// Lists the kernel ARP cache (`arp -a` / `ip neigh`): the first
+    /// thing Alice inspects in the §2 debugging scenario.
+    pub fn arp_cache(
+        host: &Host,
+        cred: &Cred,
+    ) -> Result<Vec<(std::net::Ipv4Addr, oskernel::ArpEntry)>, ToolError> {
+        require_root(cred, "knetstat")?;
+        Ok(host.arp.entries())
+    }
+
+    /// Renders rows as a netstat-style table.
+    pub fn render(rows: &[ConnRow]) -> String {
+        let mut out = String::from(
+            "proto  local  remote               uid    pid    comm             via\n",
+        );
+        for r in rows {
+            out.push_str(&format!(
+                "{:<6} {:<6} {:<20} {:<6} {:<6} {:<16} {}\n",
+                r.proto.to_string(),
+                r.local_port,
+                r.remote,
+                r.uid,
+                r.pid,
+                r.comm,
+                r.via
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::HostConfig;
+    use oskernel::Uid;
+    use pkt::{Mac, PacketBuilder};
+    use std::net::Ipv4Addr;
+
+    fn host_with_conn() -> (Host, oskernel::Pid) {
+        let mut h = Host::new(HostConfig::default());
+        let bob = h.spawn(Uid(1001), "bob", "postgres");
+        h.connect(
+            bob,
+            IpProto::UDP,
+            5432,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            false,
+        )
+        .unwrap();
+        (h, bob)
+    }
+
+    #[test]
+    fn unprivileged_users_are_refused_everywhere() {
+        let (mut h, _) = host_with_conn();
+        let bob = Cred::new(Uid(1001), "bob");
+        assert_eq!(
+            ksniff::start(&mut h, &bob, SnifferFilter::all()),
+            Err(ToolError::PermissionDenied { tool: "ksniff" })
+        );
+        assert!(kfilter::list(&h, &bob).is_err());
+        assert!(kqdisc::class_bytes(&h, &bob).is_err());
+        assert!(knetstat::connections(&h, &bob).is_err());
+    }
+
+    #[test]
+    fn knetstat_lists_fast_path_connections_with_attribution() {
+        let (h, _) = host_with_conn();
+        let rows = knetstat::connections(&h, &Cred::root()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].local_port, 5432);
+        assert_eq!(rows[0].comm, "postgres");
+        assert_eq!(rows[0].uid, 1001);
+        assert_eq!(rows[0].via, "nic");
+        let table = knetstat::render(&rows);
+        assert!(table.contains("postgres"));
+        assert!(table.contains("5432"));
+    }
+
+    #[test]
+    fn ksniff_captures_with_attribution_via_control_plane() {
+        let (mut h, _) = host_with_conn();
+        let root = Cred::root();
+        ksniff::start(&mut h, &root, SnifferFilter::all()).unwrap();
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(9), h.cfg.mac)
+            .ipv4(Ipv4Addr::new(10, 0, 0, 2), h.cfg.ip)
+            .udp(9000, 5432, b"query")
+            .build();
+        h.deliver_from_wire(&pkt, Time::ZERO);
+        let entries = ksniff::dump(&mut h, &root).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].comm.as_deref(), Some("postgres"));
+        ksniff::stop(&mut h, &root).unwrap();
+    }
+
+    #[test]
+    fn top_arp_talkers_ranks_flooders() {
+        use nicsim::sniff::Direction;
+        let mk = |comm: &str, pid: u32, is_arp: bool| CaptureEntry {
+            at: Time::ZERO,
+            direction: Direction::Tx,
+            len: 42,
+            tuple: None,
+            is_arp,
+            summary: String::new(),
+            uid: Some(1001),
+            pid: Some(pid),
+            comm: Some(comm.to_string()),
+        };
+        let mut entries = Vec::new();
+        for _ in 0..50 {
+            entries.push(mk("flooder", 99, true));
+        }
+        for _ in 0..3 {
+            entries.push(mk("innocent", 7, true));
+        }
+        entries.push(mk("tcp-app", 8, false));
+        let top = ksniff::top_arp_talkers(&entries);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], ("flooder".to_string(), 99, 50));
+        assert_eq!(top[1], ("innocent".to_string(), 7, 3));
+    }
+
+    #[test]
+    fn knetstat_arp_view_requires_root_and_lists_entries() {
+        let (mut h, _) = host_with_conn();
+        // Learn a neighbour through the kernel responder.
+        let req = pkt::PacketBuilder::arp_request(
+            Mac::local(9),
+            Ipv4Addr::new(10, 0, 0, 2),
+            h.cfg.ip,
+        );
+        h.deliver_from_wire(&req, Time::ZERO);
+        let rows = knetstat::arp_cache(&h, &Cred::root()).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].0, Ipv4Addr::new(10, 0, 0, 2));
+        assert!(knetstat::arp_cache(&h, &Cred::new(Uid(1001), "bob")).is_err());
+    }
+
+    #[test]
+    fn kfilter_roundtrip() {
+        let (mut h, _) = host_with_conn();
+        let root = Cred::root();
+        kfilter::reserve(
+            &mut h,
+            &root,
+            PortReservation::new(5432, Uid(1001)),
+            Time::ZERO,
+        )
+        .unwrap();
+        let rules = kfilter::list(&h, &root).unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].port, 5432);
+    }
+
+    #[test]
+    fn kqdisc_installs_and_reports() {
+        let (mut h, _) = host_with_conn();
+        let root = Cred::root();
+        kqdisc::install_wfq(
+            &mut h,
+            &root,
+            ShapingPolicy::new(vec![(Uid(1001), 2.0)]),
+            Time::ZERO,
+        )
+        .unwrap();
+        let bytes = kqdisc::class_bytes(&h, &root).unwrap();
+        assert_eq!(bytes.len(), 2);
+    }
+}

@@ -1,0 +1,490 @@
+//! A text assembler for overlay programs.
+//!
+//! The control-plane tools (`kqdisc`, `kfilter`) express policies in this
+//! assembly, which the kernel assembles, verifies, and loads onto the NIC.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; Owner-aware port filter: only uid 1001 may use port 5432.
+//! map rules 65536            ; declare map 0 with 65536 entries
+//!
+//! ldctx r0, dst_port
+//! mapld r1, rules, r0        ; allowed uid for this port (+1), 0 = any
+//! jeq   r1, 0, allow
+//! ldctx r2, uid
+//! add   r2, 1
+//! jeq   r1, r2, allow
+//! ret   drop
+//! allow:
+//! ret   pass
+//! ```
+//!
+//! One statement per line; `;` or `#` starts a comment. Labels end with
+//! `:` and may share a line with nothing else. `map NAME SIZE`
+//! declarations must precede instructions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::isa::{AluOp, CmpOp, CtxField, Insn, Operand, Reg, Verdict};
+use crate::program::{MapSpec, Program};
+
+/// An assembly error with its 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let Some(n) = tok.strip_prefix('r').and_then(|s| s.parse::<u8>().ok()) else {
+        return err(line, format!("expected register, got `{tok}`"));
+    };
+    if n >= crate::isa::NUM_REGS {
+        return err(line, format!("register r{n} out of range"));
+    }
+    Ok(Reg(n))
+}
+
+fn parse_u64(tok: &str, line: usize) -> Result<u64, AsmError> {
+    let parsed = if let Some(hex) = tok.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        tok.parse::<u64>()
+    };
+    parsed.map_err(|_| AsmError {
+        line,
+        message: format!("expected number, got `{tok}`"),
+    })
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    if tok.starts_with('r') && tok.len() <= 3 && tok[1..].chars().all(|c| c.is_ascii_digit()) {
+        Ok(Operand::Reg(parse_reg(tok, line)?))
+    } else {
+        Ok(Operand::Imm(parse_u64(tok, line)?))
+    }
+}
+
+fn parse_ctx_field(tok: &str, line: usize) -> Result<CtxField, AsmError> {
+    let f = match tok {
+        "pkt_len" => CtxField::PktLen,
+        "proto" => CtxField::Proto,
+        "src_ip" => CtxField::SrcIp,
+        "dst_ip" => CtxField::DstIp,
+        "src_port" => CtxField::SrcPort,
+        "dst_port" => CtxField::DstPort,
+        "uid" => CtxField::Uid,
+        "pid" => CtxField::Pid,
+        "flow_hash" => CtxField::FlowHash,
+        "conn_id" => CtxField::ConnId,
+        "now_ns" => CtxField::NowNs,
+        "ethertype" => CtxField::EtherType,
+        "dscp" => CtxField::Dscp,
+        "is_arp" => CtxField::IsArp,
+        "egress" => CtxField::Egress,
+        "mark" => CtxField::Mark,
+        other => return err(line, format!("unknown context field `{other}`")),
+    };
+    Ok(f)
+}
+
+enum PendingInsn {
+    Done(Insn),
+    Jmp(String),
+    JmpIf(CmpOp, Reg, Operand, String),
+}
+
+/// Assembles source text into a [`Program`] named `name`.
+///
+/// The result is *not* verified; callers (the control plane) should pass
+/// it through [`crate::verify::verify`] before loading.
+pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
+    let mut maps: Vec<MapSpec> = Vec::new();
+    let mut map_ids: HashMap<String, usize> = HashMap::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut pending: Vec<(usize, PendingInsn)> = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = lineno + 1;
+        let code = raw.split([';', '#']).next().unwrap_or("").trim();
+        if code.is_empty() {
+            continue;
+        }
+
+        // Label?
+        if let Some(label) = code.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return err(line, "malformed label");
+            }
+            if labels.insert(label.to_string(), pending.len()).is_some() {
+                return err(line, format!("duplicate label `{label}`"));
+            }
+            continue;
+        }
+
+        let (mnemonic, rest) = match code.split_once(char::is_whitespace) {
+            Some((m, r)) => (m, r.trim()),
+            None => (code, ""),
+        };
+        let args: Vec<String> = if rest.is_empty() {
+            vec![]
+        } else {
+            rest.split(',').map(|a| a.trim().to_string()).collect()
+        };
+        let argn = |n: usize| -> Result<(), AsmError> {
+            if args.len() != n {
+                err(
+                    line,
+                    format!("`{mnemonic}` takes {n} operand(s), got {}", args.len()),
+                )
+            } else {
+                Ok(())
+            }
+        };
+
+        // Map declaration.
+        if mnemonic == "map" {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 2 {
+                return err(line, "usage: map NAME SIZE");
+            }
+            if !pending.is_empty() {
+                return err(line, "map declarations must precede instructions");
+            }
+            if map_ids.contains_key(parts[0]) {
+                return err(line, format!("duplicate map `{}`", parts[0]));
+            }
+            let size = parse_u64(parts[1], line)? as usize;
+            map_ids.insert(parts[0].to_string(), maps.len());
+            maps.push(MapSpec::new(parts[0], size));
+            continue;
+        }
+
+        let map_id = |tok: &str| -> Result<usize, AsmError> {
+            map_ids.get(tok).copied().ok_or_else(|| AsmError {
+                line,
+                message: format!("unknown map `{tok}`"),
+            })
+        };
+
+        let alu = |op: AluOp, args: &[String]| -> Result<PendingInsn, AsmError> {
+            if args.len() != 2 {
+                return err(line, format!("`{mnemonic}` takes 2 operands"));
+            }
+            Ok(PendingInsn::Done(Insn::Alu {
+                op,
+                dst: parse_reg(&args[0], line)?,
+                src: parse_operand(&args[1], line)?,
+            }))
+        };
+
+        let jcc = |cmp: CmpOp, args: &[String]| -> Result<PendingInsn, AsmError> {
+            if args.len() != 3 {
+                return err(line, format!("`{mnemonic}` takes 3 operands"));
+            }
+            Ok(PendingInsn::JmpIf(
+                cmp,
+                parse_reg(&args[0], line)?,
+                parse_operand(&args[1], line)?,
+                args[2].clone(),
+            ))
+        };
+
+        let insn = match mnemonic {
+            "ldimm" => {
+                argn(2)?;
+                PendingInsn::Done(Insn::LdImm {
+                    dst: parse_reg(&args[0], line)?,
+                    imm: parse_u64(&args[1], line)?,
+                })
+            }
+            "ldctx" => {
+                argn(2)?;
+                PendingInsn::Done(Insn::LdCtx {
+                    dst: parse_reg(&args[0], line)?,
+                    field: parse_ctx_field(&args[1], line)?,
+                })
+            }
+            "mov" => {
+                argn(2)?;
+                PendingInsn::Done(Insn::Mov {
+                    dst: parse_reg(&args[0], line)?,
+                    src: parse_operand(&args[1], line)?,
+                })
+            }
+            "add" => alu(AluOp::Add, &args)?,
+            "sub" => alu(AluOp::Sub, &args)?,
+            "mul" => alu(AluOp::Mul, &args)?,
+            "div" => alu(AluOp::Div, &args)?,
+            "mod" => alu(AluOp::Mod, &args)?,
+            "and" => alu(AluOp::And, &args)?,
+            "or" => alu(AluOp::Or, &args)?,
+            "xor" => alu(AluOp::Xor, &args)?,
+            "shl" => alu(AluOp::Shl, &args)?,
+            "shr" => alu(AluOp::Shr, &args)?,
+            "min" => alu(AluOp::Min, &args)?,
+            "max" => alu(AluOp::Max, &args)?,
+            "jmp" => {
+                argn(1)?;
+                PendingInsn::Jmp(args[0].clone())
+            }
+            "jeq" => jcc(CmpOp::Eq, &args)?,
+            "jne" => jcc(CmpOp::Ne, &args)?,
+            "jlt" => jcc(CmpOp::Lt, &args)?,
+            "jle" => jcc(CmpOp::Le, &args)?,
+            "jgt" => jcc(CmpOp::Gt, &args)?,
+            "jge" => jcc(CmpOp::Ge, &args)?,
+            "mapld" => {
+                argn(3)?;
+                PendingInsn::Done(Insn::MapLoad {
+                    dst: parse_reg(&args[0], line)?,
+                    map: map_id(&args[1])?,
+                    key: parse_reg(&args[2], line)?,
+                })
+            }
+            "mapst" => {
+                argn(3)?;
+                PendingInsn::Done(Insn::MapStore {
+                    map: map_id(&args[0])?,
+                    key: parse_reg(&args[1], line)?,
+                    src: parse_reg(&args[2], line)?,
+                })
+            }
+            "mapadd" => {
+                argn(3)?;
+                PendingInsn::Done(Insn::MapAdd {
+                    map: map_id(&args[0])?,
+                    key: parse_reg(&args[1], line)?,
+                    src: parse_reg(&args[2], line)?,
+                })
+            }
+            "setmark" => {
+                argn(1)?;
+                PendingInsn::Done(Insn::SetMark {
+                    src: parse_reg(&args[0], line)?,
+                })
+            }
+            "ret" => {
+                // The operand is space-separated ("ret class 3"), not
+                // comma-separated like other instructions.
+                let words: Vec<&str> = rest.split_whitespace().collect();
+                let verdict = match words.as_slice() {
+                    ["pass"] => Some(Verdict::Pass),
+                    ["drop"] => Some(Verdict::Drop),
+                    ["slowpath"] => Some(Verdict::SlowPath),
+                    ["class", arg] => Some(Verdict::Class(parse_u64(arg, line)? as u32)),
+                    ["redirect", arg] => Some(Verdict::Redirect(parse_u64(arg, line)? as u32)),
+                    [v] if v.starts_with('r') && v[1..].chars().all(|c| c.is_ascii_digit()) => {
+                        // `ret rN` returns a register-encoded verdict.
+                        pending.push((
+                            line,
+                            PendingInsn::Done(Insn::RetReg {
+                                src: parse_reg(v, line)?,
+                            }),
+                        ));
+                        continue;
+                    }
+                    _ => None,
+                };
+                match verdict {
+                    Some(v) => PendingInsn::Done(Insn::Ret { verdict: v }),
+                    None => {
+                        return err(
+                            line,
+                            "usage: ret pass|drop|slowpath|class N|redirect N|rX",
+                        )
+                    }
+                }
+            }
+            other => return err(line, format!("unknown mnemonic `{other}`")),
+        };
+        pending.push((line, insn));
+    }
+
+    // Resolve labels.
+    let mut insns = Vec::with_capacity(pending.len());
+    for (line, p) in pending {
+        let resolve = |label: &str| -> Result<usize, AsmError> {
+            labels.get(label).copied().ok_or_else(|| AsmError {
+                line,
+                message: format!("undefined label `{label}`"),
+            })
+        };
+        insns.push(match p {
+            PendingInsn::Done(i) => i,
+            PendingInsn::Jmp(label) => Insn::Jmp {
+                target: resolve(&label)?,
+            },
+            PendingInsn::JmpIf(cmp, lhs, rhs, label) => Insn::JmpIf {
+                cmp,
+                lhs,
+                rhs,
+                target: resolve(&label)?,
+            },
+        });
+    }
+
+    Ok(Program::new(name, insns, maps))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::verify;
+    use crate::vm::{PktCtx, Vm};
+
+    fn assemble_ok(src: &str) -> Program {
+        let p = assemble("test", src).expect("assembles");
+        verify(&p).expect("verifies");
+        p
+    }
+
+    #[test]
+    fn trivial_program() {
+        let p = assemble_ok("ret pass");
+        assert_eq!(p.insns, vec![Insn::Ret { verdict: Verdict::Pass }]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble_ok(
+            "; a comment\n\n  # another\nret drop ; trailing\n",
+        );
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn labels_resolve_forward() {
+        let src = "
+            ldctx r0, dst_port
+            jeq r0, 22, allow
+            ret drop
+            allow:
+            ret pass
+        ";
+        let p = assemble_ok(src);
+        let mut vm = Vm::new(p);
+        let pass = vm
+            .run(&PktCtx { dst_port: 22, ..PktCtx::default() })
+            .unwrap();
+        assert_eq!(pass.verdict, Verdict::Pass);
+        let drop = vm
+            .run(&PktCtx { dst_port: 80, ..PktCtx::default() })
+            .unwrap();
+        assert_eq!(drop.verdict, Verdict::Drop);
+    }
+
+    #[test]
+    fn maps_by_name() {
+        let src = "
+            map counters 64
+            ldctx r0, uid
+            ldimm r1, 1
+            mapadd counters, r0, r1
+            ret pass
+        ";
+        let p = assemble_ok(src);
+        assert_eq!(p.maps, vec![MapSpec::new("counters", 64)]);
+        let mut vm = Vm::new(p);
+        vm.run(&PktCtx { uid: 5, ..PktCtx::default() }).unwrap();
+        vm.run(&PktCtx { uid: 5, ..PktCtx::default() }).unwrap();
+        assert_eq!(vm.map_get(0, 5), Some(2));
+    }
+
+    #[test]
+    fn hex_immediates() {
+        let p = assemble_ok("ldimm r0, 0x1F\nsetmark r0\nret pass");
+        let mut vm = Vm::new(p);
+        assert_eq!(vm.run(&PktCtx::default()).unwrap().mark, 0x1F);
+    }
+
+    #[test]
+    fn ret_variants() {
+        assert!(assemble("t", "ret class 3").is_ok());
+        assert!(assemble("t", "ret redirect 9").is_ok());
+        assert!(assemble("t", "ret slowpath").is_ok());
+        assert!(assemble("t", "ldimm r2, 0\nret r2").is_ok());
+        assert!(assemble("t", "ret bananas").is_err());
+    }
+
+    #[test]
+    fn undefined_label_errors_with_line() {
+        let e = assemble("t", "jmp nowhere\nret pass").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("t", "a:\na:\nret pass").unwrap_err();
+        assert!(e.message.contains("duplicate label"));
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let e = assemble("t", "frobnicate r1").unwrap_err();
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        assert!(assemble("t", "ldimm r16, 1\nret pass").is_err());
+        assert!(assemble("t", "ldimm rx, 1\nret pass").is_err());
+    }
+
+    #[test]
+    fn unknown_map_rejected() {
+        let e = assemble("t", "ldimm r0, 0\nmapld r1, nosuch, r0\nret pass").unwrap_err();
+        assert!(e.message.contains("nosuch"));
+    }
+
+    #[test]
+    fn map_after_insn_rejected() {
+        let e = assemble("t", "ret pass\nmap late 4").unwrap_err();
+        assert!(e.message.contains("precede"));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        assert!(assemble("t", "ldimm r0\nret pass").is_err());
+        assert!(assemble("t", "jeq r0, 1\nret pass").is_err());
+    }
+
+    #[test]
+    fn assembled_filter_counts_cycles() {
+        let src = "
+            ldctx r0, is_arp
+            jeq r0, 1, tap
+            ret pass
+            tap:
+            ret redirect 0
+        ";
+        let p = assemble_ok(src);
+        let mut vm = Vm::new(p);
+        let e = vm
+            .run(&PktCtx { is_arp: true, ..PktCtx::default() })
+            .unwrap();
+        assert_eq!(e.verdict, Verdict::Redirect(0));
+        assert_eq!(e.cycles, 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Overlay programs and their declared state maps.
+
+use crate::isa::Insn;
+
+/// Maximum instructions per program (the overlay's program store).
+pub const MAX_INSNS: usize = 4096;
+
+/// Maximum total map entries per program (overlay SRAM budget).
+pub const MAX_MAP_ENTRIES: usize = 1 << 20;
+
+/// A declared state map: a fixed-size array of `u64`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MapSpec {
+    /// Human-readable name (used by the assembler and tools).
+    pub name: String,
+    /// Number of entries.
+    pub size: usize,
+}
+
+impl MapSpec {
+    /// Creates a map spec.
+    pub fn new(name: impl Into<String>, size: usize) -> MapSpec {
+        MapSpec {
+            name: name.into(),
+            size,
+        }
+    }
+
+    /// SRAM footprint of this map in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.size as u64 * 8
+    }
+}
+
+/// A complete overlay program: instructions plus declared maps.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Program {
+    /// Policy name (shown by `knetstat`/control-plane listings).
+    pub name: String,
+    /// Instruction stream.
+    pub insns: Vec<Insn>,
+    /// Declared maps, addressed by index.
+    pub maps: Vec<MapSpec>,
+}
+
+impl Program {
+    /// Creates a program.
+    pub fn new(name: impl Into<String>, insns: Vec<Insn>, maps: Vec<MapSpec>) -> Program {
+        Program {
+            name: name.into(),
+            insns,
+            maps,
+        }
+    }
+
+    /// Returns the number of instructions.
+    pub fn len(&self) -> usize {
+        self.insns.len()
+    }
+
+    /// Returns `true` for an empty program (always rejected by the
+    /// verifier).
+    pub fn is_empty(&self) -> bool {
+        self.insns.is_empty()
+    }
+
+    /// Returns the SRAM footprint of the program: instruction store
+    /// (8 bytes per instruction, as a packed overlay encoding) plus all
+    /// map state.
+    pub fn sram_bytes(&self) -> u64 {
+        self.insns.len() as u64 * 8 + self.maps.iter().map(MapSpec::bytes).sum::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Verdict;
+
+    #[test]
+    fn footprint_counts_insns_and_maps() {
+        let p = Program::new(
+            "p",
+            vec![Insn::Ret {
+                verdict: Verdict::Pass,
+            }],
+            vec![MapSpec::new("counters", 256)],
+        );
+        assert_eq!(p.sram_bytes(), 8 + 256 * 8);
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn map_spec_bytes() {
+        assert_eq!(MapSpec::new("m", 1024).bytes(), 8192);
+    }
+}

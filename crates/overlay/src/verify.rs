@@ -1,0 +1,479 @@
+//! The load-time program verifier.
+//!
+//! Like the eBPF verifier, this runs when the kernel control plane loads a
+//! policy onto the NIC, and rejects any program that could wedge or
+//! corrupt the dataplane:
+//!
+//! 1. **Bounded execution** — all jumps are strictly forward, so a program
+//!    of `n` instructions executes at most `n` cycles.
+//! 2. **No falling off the end** — straight-line flow must not run past
+//!    the last instruction; every path ends in `ret`/`retr`.
+//! 3. **Initialized registers** — a register must be definitely assigned
+//!    on every path before it is read (computed by forward dataflow over
+//!    the jump DAG).
+//! 4. **Declared maps only** — map instructions must reference declared
+//!    maps; map sizes must be nonzero and within the SRAM entry budget.
+//! 5. **Size limits** — at most [`MAX_INSNS`](`crate::program::MAX_INSNS`)
+//!    instructions.
+
+use std::fmt;
+
+use crate::isa::{Insn, Operand, Reg};
+use crate::program::{Program, MAX_INSNS, MAX_MAP_ENTRIES};
+
+/// Why a program was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The program has no instructions.
+    Empty,
+    /// The program exceeds the instruction store.
+    TooLong {
+        /// Instruction count.
+        len: usize,
+    },
+    /// A jump at `pc` targets `target`, which is not strictly forward or
+    /// is out of bounds.
+    BadJump {
+        /// Offending instruction index.
+        pc: usize,
+        /// Jump target.
+        target: usize,
+    },
+    /// Straight-line flow can run past the final instruction.
+    FallsOffEnd {
+        /// Index of the non-terminal final instruction.
+        pc: usize,
+    },
+    /// A register is read before being assigned on some path.
+    UninitRead {
+        /// Offending instruction index.
+        pc: usize,
+        /// The register read.
+        reg: Reg,
+    },
+    /// A map instruction references an undeclared map.
+    UndeclaredMap {
+        /// Offending instruction index.
+        pc: usize,
+        /// The referenced map index.
+        map: usize,
+    },
+    /// A declared map has zero entries.
+    EmptyMap {
+        /// Map index.
+        map: usize,
+    },
+    /// Declared maps exceed the SRAM entry budget.
+    MapsTooLarge {
+        /// Total entries declared.
+        entries: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Empty => write!(f, "empty program"),
+            VerifyError::TooLong { len } => {
+                write!(f, "program of {len} instructions exceeds {MAX_INSNS}")
+            }
+            VerifyError::BadJump { pc, target } => {
+                write!(f, "insn {pc}: jump to {target} is not strictly forward/in bounds")
+            }
+            VerifyError::FallsOffEnd { pc } => {
+                write!(f, "insn {pc}: control flow can fall off the end")
+            }
+            VerifyError::UninitRead { pc, reg } => {
+                write!(f, "insn {pc}: read of uninitialized {reg}")
+            }
+            VerifyError::UndeclaredMap { pc, map } => {
+                write!(f, "insn {pc}: reference to undeclared map {map}")
+            }
+            VerifyError::EmptyMap { map } => write!(f, "map {map} has zero entries"),
+            VerifyError::MapsTooLarge { entries } => {
+                write!(f, "maps declare {entries} entries, budget is {MAX_MAP_ENTRIES}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+type RegSet = u16; // bit i = register i definitely initialized
+
+fn operand_reg(o: &Operand) -> Option<Reg> {
+    match o {
+        Operand::Reg(r) => Some(*r),
+        Operand::Imm(_) => None,
+    }
+}
+
+fn reads_of(insn: &Insn) -> Vec<Reg> {
+    let mut out = Vec::new();
+    match insn {
+        Insn::LdImm { .. } | Insn::LdCtx { .. } | Insn::Jmp { .. } | Insn::Ret { .. } => {}
+        Insn::Mov { src, .. } => out.extend(operand_reg(src)),
+        Insn::Alu { dst, src, .. } => {
+            out.push(*dst);
+            out.extend(operand_reg(src));
+        }
+        Insn::JmpIf { lhs, rhs, .. } => {
+            out.push(*lhs);
+            out.extend(operand_reg(rhs));
+        }
+        Insn::MapLoad { key, .. } => out.push(*key),
+        Insn::MapStore { key, src, .. } | Insn::MapAdd { key, src, .. } => {
+            out.push(*key);
+            out.push(*src);
+        }
+        Insn::SetMark { src } => out.push(*src),
+        Insn::RetReg { src } => out.push(*src),
+    }
+    out
+}
+
+fn write_of(insn: &Insn) -> Option<Reg> {
+    match insn {
+        Insn::LdImm { dst, .. }
+        | Insn::LdCtx { dst, .. }
+        | Insn::Mov { dst, .. }
+        | Insn::Alu { dst, .. }
+        | Insn::MapLoad { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+fn is_terminal(insn: &Insn) -> bool {
+    matches!(insn, Insn::Ret { .. } | Insn::RetReg { .. })
+}
+
+/// Verifies `program`, returning the worst-case cycle count (equal to the
+/// instruction count, by the forward-jump guarantee) on success.
+pub fn verify(program: &Program) -> Result<usize, VerifyError> {
+    let n = program.insns.len();
+    if n == 0 {
+        return Err(VerifyError::Empty);
+    }
+    if n > MAX_INSNS {
+        return Err(VerifyError::TooLong { len: n });
+    }
+
+    // Map declarations.
+    let total_entries: usize = program.maps.iter().map(|m| m.size).sum();
+    if total_entries > MAX_MAP_ENTRIES {
+        return Err(VerifyError::MapsTooLarge {
+            entries: total_entries,
+        });
+    }
+    for (i, m) in program.maps.iter().enumerate() {
+        if m.size == 0 {
+            return Err(VerifyError::EmptyMap { map: i });
+        }
+    }
+
+    // Structural checks per instruction.
+    for (pc, insn) in program.insns.iter().enumerate() {
+        match insn {
+            Insn::Jmp { target } | Insn::JmpIf { target, .. }
+                if (*target <= pc || *target >= n) => {
+                    return Err(VerifyError::BadJump {
+                        pc,
+                        target: *target,
+                    });
+                }
+            Insn::MapLoad { map, .. } | Insn::MapStore { map, .. } | Insn::MapAdd { map, .. }
+                if *map >= program.maps.len() => {
+                    return Err(VerifyError::UndeclaredMap { pc, map: *map });
+                }
+            _ => {}
+        }
+    }
+
+    // Fall-through: the last instruction must be terminal or an
+    // unconditional jump is impossible (jumps are forward-only, so the
+    // last instruction cannot jump). Additionally, straight-line flow into
+    // the end from a non-terminal predecessor is caught here.
+    let last = &program.insns[n - 1];
+    if !is_terminal(last) {
+        return Err(VerifyError::FallsOffEnd { pc: n - 1 });
+    }
+
+    // Definite-initialization dataflow. Because jumps are forward-only the
+    // program order is a topological order: one pass suffices.
+    // `init[pc]` = registers definitely initialized on entry to pc.
+    // None = not yet known reachable.
+    let mut init: Vec<Option<RegSet>> = vec![None; n];
+    init[0] = Some(0);
+    for pc in 0..n {
+        let Some(in_set) = init[pc] else {
+            continue; // unreachable instruction: vacuously fine
+        };
+        let insn = &program.insns[pc];
+        for r in reads_of(insn) {
+            if in_set & (1 << r.0) == 0 {
+                return Err(VerifyError::UninitRead { pc, reg: r });
+            }
+        }
+        let mut out_set = in_set;
+        if let Some(r) = write_of(insn) {
+            out_set |= 1 << r.0;
+        }
+        let mut merge = |idx: usize, set: RegSet| {
+            init[idx] = Some(match init[idx] {
+                // Definite init = intersection over predecessors.
+                Some(prev) => prev & set,
+                None => set,
+            });
+        };
+        match insn {
+            Insn::Ret { .. } | Insn::RetReg { .. } => {}
+            Insn::Jmp { target } => merge(*target, out_set),
+            Insn::JmpIf { target, .. } => {
+                merge(*target, out_set);
+                merge(pc + 1, out_set);
+            }
+            _ => {
+                if pc + 1 >= n {
+                    // Non-terminal last instruction already rejected above,
+                    // but guard against logic drift.
+                    return Err(VerifyError::FallsOffEnd { pc });
+                }
+                merge(pc + 1, out_set);
+            }
+        }
+    }
+
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{AluOp, CmpOp, CtxField, Verdict};
+    use crate::program::MapSpec;
+
+    fn prog(insns: Vec<Insn>) -> Program {
+        Program::new("t", insns, vec![])
+    }
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    #[test]
+    fn minimal_program_verifies() {
+        let p = prog(vec![Insn::Ret {
+            verdict: Verdict::Pass,
+        }]);
+        assert_eq!(verify(&p), Ok(1));
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        assert_eq!(verify(&prog(vec![])), Err(VerifyError::Empty));
+    }
+
+    #[test]
+    fn backward_jump_rejected() {
+        let p = prog(vec![
+            Insn::LdImm { dst: r(0), imm: 1 },
+            Insn::Jmp { target: 0 },
+            Insn::Ret {
+                verdict: Verdict::Pass,
+            },
+        ]);
+        assert_eq!(verify(&p), Err(VerifyError::BadJump { pc: 1, target: 0 }));
+    }
+
+    #[test]
+    fn self_jump_rejected() {
+        let p = prog(vec![
+            Insn::Jmp { target: 0 },
+            Insn::Ret {
+                verdict: Verdict::Pass,
+            },
+        ]);
+        assert_eq!(verify(&p), Err(VerifyError::BadJump { pc: 0, target: 0 }));
+    }
+
+    #[test]
+    fn out_of_bounds_jump_rejected() {
+        let p = prog(vec![
+            Insn::Jmp { target: 5 },
+            Insn::Ret {
+                verdict: Verdict::Pass,
+            },
+        ]);
+        assert_eq!(verify(&p), Err(VerifyError::BadJump { pc: 0, target: 5 }));
+    }
+
+    #[test]
+    fn fall_off_end_rejected() {
+        let p = prog(vec![Insn::LdImm { dst: r(0), imm: 1 }]);
+        assert_eq!(verify(&p), Err(VerifyError::FallsOffEnd { pc: 0 }));
+    }
+
+    #[test]
+    fn uninitialized_read_rejected() {
+        let p = prog(vec![
+            Insn::Alu {
+                op: AluOp::Add,
+                dst: r(1),
+                src: Operand::Imm(1),
+            },
+            Insn::Ret {
+                verdict: Verdict::Pass,
+            },
+        ]);
+        assert_eq!(
+            verify(&p),
+            Err(VerifyError::UninitRead { pc: 0, reg: r(1) })
+        );
+    }
+
+    #[test]
+    fn init_on_only_one_branch_rejected() {
+        // r1 is set only when the branch is taken; the join reads it.
+        let p = prog(vec![
+            Insn::LdCtx {
+                dst: r(0),
+                field: CtxField::DstPort,
+            },
+            Insn::JmpIf {
+                cmp: CmpOp::Eq,
+                lhs: r(0),
+                rhs: Operand::Imm(22),
+                target: 3,
+            },
+            Insn::LdImm { dst: r(1), imm: 7 },
+            // Join point: r1 initialized only on the fall-through path.
+            Insn::RetReg { src: r(1) },
+        ]);
+        assert_eq!(
+            verify(&p),
+            Err(VerifyError::UninitRead { pc: 3, reg: r(1) })
+        );
+    }
+
+    #[test]
+    fn init_on_both_branches_accepted() {
+        let p = prog(vec![
+            Insn::LdCtx {
+                dst: r(0),
+                field: CtxField::DstPort,
+            },
+            Insn::JmpIf {
+                cmp: CmpOp::Eq,
+                lhs: r(0),
+                rhs: Operand::Imm(22),
+                target: 4,
+            },
+            Insn::LdImm { dst: r(1), imm: 0 },
+            Insn::Jmp { target: 5 },
+            Insn::LdImm { dst: r(1), imm: 1 },
+            Insn::RetReg { src: r(1) },
+        ]);
+        assert!(verify(&p).is_ok());
+    }
+
+    #[test]
+    fn undeclared_map_rejected() {
+        let p = prog(vec![
+            Insn::LdImm { dst: r(0), imm: 0 },
+            Insn::MapLoad {
+                dst: r(1),
+                map: 0,
+                key: r(0),
+            },
+            Insn::Ret {
+                verdict: Verdict::Pass,
+            },
+        ]);
+        assert_eq!(verify(&p), Err(VerifyError::UndeclaredMap { pc: 1, map: 0 }));
+    }
+
+    #[test]
+    fn declared_map_accepted() {
+        let p = Program::new(
+            "m",
+            vec![
+                Insn::LdImm { dst: r(0), imm: 0 },
+                Insn::MapLoad {
+                    dst: r(1),
+                    map: 0,
+                    key: r(0),
+                },
+                Insn::Ret {
+                    verdict: Verdict::Pass,
+                },
+            ],
+            vec![MapSpec::new("counts", 16)],
+        );
+        assert_eq!(verify(&p), Ok(3));
+    }
+
+    #[test]
+    fn zero_size_map_rejected() {
+        let p = Program::new(
+            "m",
+            vec![Insn::Ret {
+                verdict: Verdict::Pass,
+            }],
+            vec![MapSpec::new("bad", 0)],
+        );
+        assert_eq!(verify(&p), Err(VerifyError::EmptyMap { map: 0 }));
+    }
+
+    #[test]
+    fn oversized_maps_rejected() {
+        let p = Program::new(
+            "m",
+            vec![Insn::Ret {
+                verdict: Verdict::Pass,
+            }],
+            vec![MapSpec::new("huge", MAX_MAP_ENTRIES + 1)],
+        );
+        assert!(matches!(verify(&p), Err(VerifyError::MapsTooLarge { .. })));
+    }
+
+    #[test]
+    fn too_long_program_rejected() {
+        let mut insns = vec![Insn::LdImm { dst: r(0), imm: 0 }; MAX_INSNS];
+        insns.push(Insn::Ret {
+            verdict: Verdict::Pass,
+        });
+        assert!(matches!(verify(&prog(insns)), Err(VerifyError::TooLong { .. })));
+    }
+
+    #[test]
+    fn unreachable_code_is_tolerated() {
+        let p = prog(vec![
+            Insn::Ret {
+                verdict: Verdict::Drop,
+            },
+            // Unreachable, but must not crash the verifier — and may read
+            // "uninitialized" registers vacuously.
+            Insn::RetReg { src: r(5) },
+        ]);
+        assert!(verify(&p).is_ok());
+    }
+
+    #[test]
+    fn worst_case_cycles_equal_length() {
+        let p = prog(vec![
+            Insn::LdImm { dst: r(0), imm: 1 },
+            Insn::LdImm { dst: r(1), imm: 2 },
+            Insn::Ret {
+                verdict: Verdict::Pass,
+            },
+        ]);
+        assert_eq!(verify(&p), Ok(3));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = VerifyError::UninitRead { pc: 3, reg: r(2) };
+        assert!(e.to_string().contains("r2"));
+        assert!(VerifyError::Empty.to_string().contains("empty"));
+    }
+}

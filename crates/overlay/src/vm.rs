@@ -1,0 +1,616 @@
+//! The overlay interpreter.
+//!
+//! Executes a verified [`Program`] against a packet context, charging one
+//! overlay cycle per instruction. Map state persists in the [`Vm`] across
+//! packets (counters, token buckets). The VM defends in depth: even
+//! though the verifier guarantees termination and register hygiene, the
+//! interpreter still bounds-checks everything and converts violations
+//! into [`VmError`]s rather than panicking — a misbehaving program must
+//! never take down the dataplane.
+
+use sim::Dur;
+
+use crate::isa::{AluOp, CtxField, Insn, Operand, Reg, Verdict, NUM_REGS};
+use crate::program::Program;
+
+/// Default overlay clock: 250 MHz (4 ns per cycle), a typical soft
+/// processor rate on a mid-range FPGA.
+pub const DEFAULT_CYCLE: Dur = Dur(4_000);
+
+/// The packet context visible to programs.
+#[derive(Clone, Copy, Debug)]
+pub struct PktCtx {
+    /// Frame length in bytes.
+    pub pkt_len: u64,
+    /// IP protocol (0 for non-IP).
+    pub proto: u64,
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source port (0 if none).
+    pub src_port: u16,
+    /// Destination port (0 if none).
+    pub dst_port: u16,
+    /// Owning uid (`u32::MAX` when the flow is not bound to a process).
+    pub uid: u32,
+    /// Owning pid (0 when unbound).
+    pub pid: u32,
+    /// RSS hash.
+    pub flow_hash: u32,
+    /// NIC flow-table connection id (`u64::MAX` when none).
+    pub conn_id: u64,
+    /// Current time in nanoseconds.
+    pub now_ns: u64,
+    /// EtherType.
+    pub ethertype: u16,
+    /// DSCP/ECN byte.
+    pub dscp: u8,
+    /// Whether the frame is ARP.
+    pub is_arp: bool,
+    /// Whether this is egress (transmit) processing.
+    pub egress: bool,
+    /// Packet mark (read-write).
+    pub mark: u64,
+}
+
+impl Default for PktCtx {
+    fn default() -> PktCtx {
+        PktCtx {
+            pkt_len: 64,
+            proto: 0,
+            src_ip: 0,
+            dst_ip: 0,
+            src_port: 0,
+            dst_port: 0,
+            uid: u32::MAX,
+            pid: 0,
+            flow_hash: 0,
+            conn_id: u64::MAX,
+            now_ns: 0,
+            ethertype: 0,
+            dscp: 0,
+            is_arp: false,
+            egress: false,
+            mark: 0,
+        }
+    }
+}
+
+impl PktCtx {
+    fn read(&self, field: CtxField) -> u64 {
+        match field {
+            CtxField::PktLen => self.pkt_len,
+            CtxField::Proto => self.proto,
+            CtxField::SrcIp => u64::from(self.src_ip),
+            CtxField::DstIp => u64::from(self.dst_ip),
+            CtxField::SrcPort => u64::from(self.src_port),
+            CtxField::DstPort => u64::from(self.dst_port),
+            CtxField::Uid => u64::from(self.uid),
+            CtxField::Pid => u64::from(self.pid),
+            CtxField::FlowHash => u64::from(self.flow_hash),
+            CtxField::ConnId => self.conn_id,
+            CtxField::NowNs => self.now_ns,
+            CtxField::EtherType => u64::from(self.ethertype),
+            CtxField::Dscp => u64::from(self.dscp),
+            CtxField::IsArp => u64::from(self.is_arp),
+            CtxField::Egress => u64::from(self.egress),
+            CtxField::Mark => self.mark,
+        }
+    }
+}
+
+/// Runtime faults (all defensive; verified programs should not hit them
+/// except [`VmError::MapKeyOutOfBounds`], which depends on data).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum VmError {
+    /// A map access with a key beyond the map's size.
+    MapKeyOutOfBounds {
+        /// The map index.
+        map: usize,
+        /// The offending key.
+        key: u64,
+    },
+    /// Execution exceeded the cycle budget (cannot happen for verified
+    /// programs).
+    CycleBudgetExceeded,
+    /// Program counter escaped the instruction stream.
+    PcOutOfBounds,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::MapKeyOutOfBounds { map, key } => {
+                write!(f, "map {map} key {key} out of bounds")
+            }
+            VmError::CycleBudgetExceeded => write!(f, "cycle budget exceeded"),
+            VmError::PcOutOfBounds => write!(f, "pc out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// The result of running a program over one packet.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Execution {
+    /// The policy decision.
+    pub verdict: Verdict,
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// The packet mark after execution (programs may set it).
+    pub mark: u64,
+}
+
+impl Execution {
+    /// Returns the wall-clock time of this execution at cycle time
+    /// `cycle`.
+    pub fn time(&self, cycle: Dur) -> Dur {
+        cycle.saturating_mul(self.cycles)
+    }
+}
+
+/// An overlay processor instance with persistent map state for one loaded
+/// program.
+#[derive(Clone, Debug)]
+pub struct Vm {
+    program: Program,
+    maps: Vec<Vec<u64>>,
+    /// Packets processed.
+    pub executions: u64,
+    /// Runtime faults observed.
+    pub faults: u64,
+}
+
+impl Vm {
+    /// Instantiates a VM for `program`, allocating its maps (zeroed).
+    ///
+    /// The program should have passed [`crate::verify::verify`]; the VM
+    /// does not re-verify but enforces all safety bounds dynamically.
+    pub fn new(program: Program) -> Vm {
+        let maps = program.maps.iter().map(|m| vec![0u64; m.size]).collect();
+        Vm {
+            program,
+            maps,
+            executions: 0,
+            faults: 0,
+        }
+    }
+
+    /// Returns the loaded program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Reads a map entry (control-plane introspection, e.g. reading
+    /// counters from `knetstat`).
+    pub fn map_get(&self, map: usize, key: usize) -> Option<u64> {
+        self.maps.get(map)?.get(key).copied()
+    }
+
+    /// Writes a map entry (control-plane configuration, e.g. installing a
+    /// firewall rule's parameters).
+    pub fn map_set(&mut self, map: usize, key: usize, value: u64) -> bool {
+        match self.maps.get_mut(map).and_then(|m| m.get_mut(key)) {
+            Some(slot) => {
+                *slot = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Executes the program over `ctx`.
+    pub fn run(&mut self, ctx: &PktCtx) -> Result<Execution, VmError> {
+        self.executions += 1;
+        let mut regs = [0u64; NUM_REGS as usize];
+        let mut mark = ctx.mark;
+        let mut pc = 0usize;
+        let mut cycles = 0u64;
+        let budget = self.program.insns.len() as u64 + 1;
+
+        loop {
+            if cycles >= budget {
+                self.faults += 1;
+                return Err(VmError::CycleBudgetExceeded);
+            }
+            let Some(insn) = self.program.insns.get(pc) else {
+                self.faults += 1;
+                return Err(VmError::PcOutOfBounds);
+            };
+            cycles += 1;
+
+            let val = |o: &Operand, regs: &[u64]| -> u64 {
+                match o {
+                    Operand::Reg(Reg(r)) => regs[*r as usize],
+                    Operand::Imm(v) => *v,
+                }
+            };
+
+            match insn {
+                Insn::LdImm { dst, imm } => {
+                    regs[dst.0 as usize] = *imm;
+                    pc += 1;
+                }
+                Insn::LdCtx { dst, field } => {
+                    regs[dst.0 as usize] = if *field == CtxField::Mark {
+                        mark
+                    } else {
+                        ctx.read(*field)
+                    };
+                    pc += 1;
+                }
+                Insn::Mov { dst, src } => {
+                    regs[dst.0 as usize] = val(src, &regs);
+                    pc += 1;
+                }
+                Insn::Alu { op, dst, src } => {
+                    let a = regs[dst.0 as usize];
+                    let b = val(src, &regs);
+                    regs[dst.0 as usize] = match op {
+                        AluOp::Add => a.wrapping_add(b),
+                        AluOp::Sub => a.wrapping_sub(b),
+                        AluOp::Mul => a.wrapping_mul(b),
+                        AluOp::Div => a.checked_div(b).unwrap_or(0),
+                        AluOp::Mod => a.checked_rem(b).unwrap_or(0),
+                        AluOp::And => a & b,
+                        AluOp::Or => a | b,
+                        AluOp::Xor => a ^ b,
+                        AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+                        AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+                        AluOp::Min => a.min(b),
+                        AluOp::Max => a.max(b),
+                    };
+                    pc += 1;
+                }
+                Insn::Jmp { target } => pc = *target,
+                Insn::JmpIf {
+                    cmp,
+                    lhs,
+                    rhs,
+                    target,
+                } => {
+                    if cmp.eval(regs[lhs.0 as usize], val(rhs, &regs)) {
+                        pc = *target;
+                    } else {
+                        pc += 1;
+                    }
+                }
+                Insn::MapLoad { dst, map, key } => {
+                    let k = regs[key.0 as usize];
+                    let slot = self
+                        .maps
+                        .get(*map)
+                        .and_then(|m| m.get(k as usize))
+                        .copied();
+                    match slot {
+                        Some(v) => regs[dst.0 as usize] = v,
+                        None => {
+                            self.faults += 1;
+                            return Err(VmError::MapKeyOutOfBounds { map: *map, key: k });
+                        }
+                    }
+                    pc += 1;
+                }
+                Insn::MapStore { map, key, src } => {
+                    let k = regs[key.0 as usize];
+                    let v = regs[src.0 as usize];
+                    match self.maps.get_mut(*map).and_then(|m| m.get_mut(k as usize)) {
+                        Some(slot) => *slot = v,
+                        None => {
+                            self.faults += 1;
+                            return Err(VmError::MapKeyOutOfBounds { map: *map, key: k });
+                        }
+                    }
+                    pc += 1;
+                }
+                Insn::MapAdd { map, key, src } => {
+                    let k = regs[key.0 as usize];
+                    let v = regs[src.0 as usize];
+                    match self.maps.get_mut(*map).and_then(|m| m.get_mut(k as usize)) {
+                        Some(slot) => *slot = slot.saturating_add(v),
+                        None => {
+                            self.faults += 1;
+                            return Err(VmError::MapKeyOutOfBounds { map: *map, key: k });
+                        }
+                    }
+                    pc += 1;
+                }
+                Insn::SetMark { src } => {
+                    mark = regs[src.0 as usize];
+                    pc += 1;
+                }
+                Insn::Ret { verdict } => {
+                    return Ok(Execution {
+                        verdict: *verdict,
+                        cycles,
+                        mark,
+                    })
+                }
+                Insn::RetReg { src } => {
+                    return Ok(Execution {
+                        verdict: Verdict::decode(regs[src.0 as usize]),
+                        cycles,
+                        mark,
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::CmpOp;
+    use crate::program::MapSpec;
+
+    fn r(n: u8) -> Reg {
+        Reg::new(n)
+    }
+
+    fn run_one(insns: Vec<Insn>, maps: Vec<MapSpec>, ctx: &PktCtx) -> Execution {
+        let p = Program::new("t", insns, maps);
+        crate::verify::verify(&p).expect("test program must verify");
+        Vm::new(p).run(ctx).expect("test program must run")
+    }
+
+    #[test]
+    fn immediate_return() {
+        let e = run_one(
+            vec![Insn::Ret {
+                verdict: Verdict::Drop,
+            }],
+            vec![],
+            &PktCtx::default(),
+        );
+        assert_eq!(e.verdict, Verdict::Drop);
+        assert_eq!(e.cycles, 1);
+    }
+
+    #[test]
+    fn port_filter_logic() {
+        // if dst_port == 5432 { pass } else { drop }
+        let insns = vec![
+            Insn::LdCtx {
+                dst: r(0),
+                field: CtxField::DstPort,
+            },
+            Insn::JmpIf {
+                cmp: CmpOp::Eq,
+                lhs: r(0),
+                rhs: Operand::Imm(5432),
+                target: 3,
+            },
+            Insn::Ret {
+                verdict: Verdict::Drop,
+            },
+            Insn::Ret {
+                verdict: Verdict::Pass,
+            },
+        ];
+        let mut ctx = PktCtx {
+            dst_port: 5432,
+            ..PktCtx::default()
+        };
+        assert_eq!(run_one(insns.clone(), vec![], &ctx).verdict, Verdict::Pass);
+        ctx.dst_port = 80;
+        assert_eq!(run_one(insns, vec![], &ctx).verdict, Verdict::Drop);
+    }
+
+    #[test]
+    fn alu_semantics() {
+        // r0 = 10; r0 = r0 * 3; r0 = r0 - 5; encode Class(r0>>0)?
+        // Simply verify arithmetic via the mark.
+        let insns = vec![
+            Insn::LdImm { dst: r(0), imm: 10 },
+            Insn::Alu {
+                op: AluOp::Mul,
+                dst: r(0),
+                src: Operand::Imm(3),
+            },
+            Insn::Alu {
+                op: AluOp::Sub,
+                dst: r(0),
+                src: Operand::Imm(5),
+            },
+            Insn::SetMark { src: r(0) },
+            Insn::Ret {
+                verdict: Verdict::Pass,
+            },
+        ];
+        let e = run_one(insns, vec![], &PktCtx::default());
+        assert_eq!(e.mark, 25);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let insns = vec![
+            Insn::LdImm { dst: r(0), imm: 42 },
+            Insn::LdImm { dst: r(1), imm: 0 },
+            Insn::Alu {
+                op: AluOp::Div,
+                dst: r(0),
+                src: Operand::Reg(r(1)),
+            },
+            Insn::SetMark { src: r(0) },
+            Insn::Ret {
+                verdict: Verdict::Pass,
+            },
+        ];
+        assert_eq!(run_one(insns, vec![], &PktCtx::default()).mark, 0);
+    }
+
+    #[test]
+    fn shifts_mask_amount() {
+        let insns = vec![
+            Insn::LdImm { dst: r(0), imm: 1 },
+            Insn::Alu {
+                op: AluOp::Shl,
+                dst: r(0),
+                src: Operand::Imm(65), // masked to 1
+            },
+            Insn::SetMark { src: r(0) },
+            Insn::Ret {
+                verdict: Verdict::Pass,
+            },
+        ];
+        assert_eq!(run_one(insns, vec![], &PktCtx::default()).mark, 2);
+    }
+
+    #[test]
+    fn map_counters_persist_across_packets() {
+        let insns = vec![
+            Insn::LdCtx {
+                dst: r(0),
+                field: CtxField::Uid,
+            },
+            Insn::LdCtx {
+                dst: r(1),
+                field: CtxField::PktLen,
+            },
+            Insn::MapAdd {
+                map: 0,
+                key: r(0),
+                src: r(1),
+            },
+            Insn::Ret {
+                verdict: Verdict::Pass,
+            },
+        ];
+        let p = Program::new("count", insns, vec![MapSpec::new("bytes_by_uid", 16)]);
+        crate::verify::verify(&p).unwrap();
+        let mut vm = Vm::new(p);
+        let ctx = PktCtx {
+            uid: 3,
+            pkt_len: 100,
+            ..PktCtx::default()
+        };
+        vm.run(&ctx).unwrap();
+        vm.run(&ctx).unwrap();
+        assert_eq!(vm.map_get(0, 3), Some(200));
+        assert_eq!(vm.map_get(0, 4), Some(0));
+        assert_eq!(vm.executions, 2);
+    }
+
+    #[test]
+    fn map_out_of_bounds_faults() {
+        let insns = vec![
+            Insn::LdImm {
+                dst: r(0),
+                imm: 99,
+            },
+            Insn::MapLoad {
+                dst: r(1),
+                map: 0,
+                key: r(0),
+            },
+            Insn::Ret {
+                verdict: Verdict::Pass,
+            },
+        ];
+        let p = Program::new("oob", insns, vec![MapSpec::new("small", 4)]);
+        crate::verify::verify(&p).unwrap();
+        let mut vm = Vm::new(p);
+        let err = vm.run(&PktCtx::default()).unwrap_err();
+        assert_eq!(err, VmError::MapKeyOutOfBounds { map: 0, key: 99 });
+        assert_eq!(vm.faults, 1);
+    }
+
+    #[test]
+    fn control_plane_map_access() {
+        let p = Program::new(
+            "cfg",
+            vec![Insn::Ret {
+                verdict: Verdict::Pass,
+            }],
+            vec![MapSpec::new("rules", 8)],
+        );
+        let mut vm = Vm::new(p);
+        assert!(vm.map_set(0, 5, 1234));
+        assert_eq!(vm.map_get(0, 5), Some(1234));
+        assert!(!vm.map_set(0, 8, 1)); // out of bounds
+        assert!(!vm.map_set(1, 0, 1)); // no such map
+        assert_eq!(vm.map_get(2, 0), None);
+    }
+
+    #[test]
+    fn ret_reg_decodes_verdict() {
+        let insns = vec![
+            Insn::LdImm {
+                dst: r(0),
+                imm: Verdict::Class(9).encode(),
+            },
+            Insn::RetReg { src: r(0) },
+        ];
+        assert_eq!(
+            run_one(insns, vec![], &PktCtx::default()).verdict,
+            Verdict::Class(9)
+        );
+    }
+
+    #[test]
+    fn cycles_count_executed_instructions() {
+        let insns = vec![
+            Insn::LdCtx {
+                dst: r(0),
+                field: CtxField::DstPort,
+            },
+            Insn::JmpIf {
+                cmp: CmpOp::Eq,
+                lhs: r(0),
+                rhs: Operand::Imm(1),
+                target: 3,
+            },
+            Insn::Ret {
+                verdict: Verdict::Drop,
+            },
+            Insn::Ret {
+                verdict: Verdict::Pass,
+            },
+        ];
+        let ctx = PktCtx {
+            dst_port: 1,
+            ..PktCtx::default()
+        };
+        let e = run_one(insns, vec![], &ctx);
+        // ldctx, jmpif (taken), ret = 3 cycles.
+        assert_eq!(e.cycles, 3);
+        assert_eq!(e.time(DEFAULT_CYCLE), Dur::from_ns(12));
+    }
+
+    #[test]
+    fn mark_reads_back_within_program() {
+        let insns = vec![
+            Insn::LdImm { dst: r(0), imm: 7 },
+            Insn::SetMark { src: r(0) },
+            Insn::LdCtx {
+                dst: r(1),
+                field: CtxField::Mark,
+            },
+            Insn::RetReg { src: r(1) },
+        ];
+        // mark=7 decodes to code 7 => unknown => Drop (fail closed), and
+        // the final mark is 7.
+        let e = run_one(insns, vec![], &PktCtx::default());
+        assert_eq!(e.mark, 7);
+        assert_eq!(e.verdict, Verdict::Drop);
+    }
+
+    #[test]
+    fn incoming_mark_visible() {
+        let insns = vec![
+            Insn::LdCtx {
+                dst: r(0),
+                field: CtxField::Mark,
+            },
+            Insn::RetReg { src: r(0) },
+        ];
+        let ctx = PktCtx {
+            mark: Verdict::Pass.encode(),
+            ..PktCtx::default()
+        };
+        assert_eq!(run_one(insns, vec![], &ctx).verdict, Verdict::Pass);
+    }
+}

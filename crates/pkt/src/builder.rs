@@ -1,0 +1,316 @@
+//! Fluent, checksum-correct packet construction.
+
+use std::net::Ipv4Addr;
+
+use crate::arp::ArpPacket;
+use crate::ether::{EtherType, EthernetHeader, Mac};
+use crate::ipv4::{IpProto, Ipv4Header};
+use crate::packet::Packet;
+use crate::tcp::{TcpFlags, TcpHeader};
+use crate::udp::UdpHeader;
+
+/// Typestate-free builder producing valid Ethernet frames.
+///
+/// # Examples
+///
+/// ```
+/// use pkt::{Mac, PacketBuilder};
+///
+/// let pkt = PacketBuilder::new()
+///     .ether(Mac::local(1), Mac::local(2))
+///     .ipv4("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+///     .udp(1234, 80, b"hi")
+///     .build();
+/// assert!(pkt.parse().is_ok());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct PacketBuilder {
+    src_mac: Mac,
+    dst_mac: Mac,
+    src_ip: Option<Ipv4Addr>,
+    dst_ip: Option<Ipv4Addr>,
+    ttl: u8,
+    dscp: u8,
+    l4: Option<L4>,
+}
+
+#[derive(Clone, Debug)]
+enum L4 {
+    Udp {
+        src_port: u16,
+        dst_port: u16,
+        payload: Vec<u8>,
+    },
+    Tcp {
+        src_port: u16,
+        dst_port: u16,
+        flags: TcpFlags,
+        seq: u32,
+        ack: u32,
+        payload: Vec<u8>,
+    },
+}
+
+impl PacketBuilder {
+    /// Creates an empty builder (TTL defaults to 64).
+    pub fn new() -> PacketBuilder {
+        PacketBuilder {
+            ttl: 64,
+            ..PacketBuilder::default()
+        }
+    }
+
+    /// Sets Ethernet source and destination.
+    pub fn ether(mut self, src: Mac, dst: Mac) -> Self {
+        self.src_mac = src;
+        self.dst_mac = dst;
+        self
+    }
+
+    /// Sets IPv4 source and destination.
+    pub fn ipv4(mut self, src: Ipv4Addr, dst: Ipv4Addr) -> Self {
+        self.src_ip = Some(src);
+        self.dst_ip = Some(dst);
+        self
+    }
+
+    /// Overrides the IPv4 TTL.
+    pub fn ttl(mut self, ttl: u8) -> Self {
+        self.ttl = ttl;
+        self
+    }
+
+    /// Sets the DSCP/ECN byte (QoS marking).
+    pub fn dscp(mut self, dscp: u8) -> Self {
+        self.dscp = dscp;
+        self
+    }
+
+    /// Attaches a UDP datagram.
+    pub fn udp(mut self, src_port: u16, dst_port: u16, payload: &[u8]) -> Self {
+        self.l4 = Some(L4::Udp {
+            src_port,
+            dst_port,
+            payload: payload.to_vec(),
+        });
+        self
+    }
+
+    /// Attaches a TCP segment.
+    pub fn tcp(mut self, src_port: u16, dst_port: u16, flags: TcpFlags, payload: &[u8]) -> Self {
+        self.l4 = Some(L4::Tcp {
+            src_port,
+            dst_port,
+            flags,
+            seq: 0,
+            ack: 0,
+            payload: payload.to_vec(),
+        });
+        self
+    }
+
+    /// Sets TCP sequence/ack numbers (applies to a previously attached TCP
+    /// segment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no TCP segment has been attached.
+    pub fn tcp_seq(mut self, seq: u32, ack: u32) -> Self {
+        match &mut self.l4 {
+            Some(L4::Tcp {
+                seq: s, ack: a, ..
+            }) => {
+                *s = seq;
+                *a = ack;
+            }
+            _ => panic!("tcp_seq requires a TCP segment"),
+        }
+        self
+    }
+
+    /// Builds the frame, computing lengths and checksums.
+    ///
+    /// # Panics
+    ///
+    /// Panics if IPv4 addresses or the transport layer were not set; use
+    /// [`PacketBuilder::arp_request`]/[`PacketBuilder::arp_reply`] for ARP.
+    pub fn build(self) -> Packet {
+        let src_ip = self.src_ip.expect("ipv4() not called");
+        let dst_ip = self.dst_ip.expect("ipv4() not called");
+        let l4 = self.l4.expect("no transport layer attached");
+
+        let (proto, seg_len) = match &l4 {
+            L4::Udp { payload, .. } => (IpProto::UDP, UdpHeader::LEN + payload.len()),
+            L4::Tcp { payload, .. } => (IpProto::TCP, TcpHeader::LEN + payload.len()),
+        };
+
+        let mut frame = vec![0u8; EthernetHeader::LEN + Ipv4Header::LEN + seg_len];
+        EthernetHeader {
+            dst: self.dst_mac,
+            src: self.src_mac,
+            ethertype: EtherType::IPV4,
+        }
+        .write_to(&mut frame);
+
+        let mut ip = Ipv4Header::new(src_ip, dst_ip, proto, seg_len);
+        ip.ttl = self.ttl;
+        ip.dscp_ecn = self.dscp;
+        ip.write_to(&mut frame[EthernetHeader::LEN..]);
+
+        let seg = &mut frame[EthernetHeader::LEN + Ipv4Header::LEN..];
+        match l4 {
+            L4::Udp {
+                src_port,
+                dst_port,
+                payload,
+            } => {
+                UdpHeader::new(src_port, dst_port, payload.len())
+                    .write_segment(src_ip, dst_ip, &payload, seg);
+            }
+            L4::Tcp {
+                src_port,
+                dst_port,
+                flags,
+                seq,
+                ack,
+                payload,
+            } => {
+                let mut tcp = TcpHeader::new(src_port, dst_port);
+                tcp.flags = flags;
+                tcp.seq = seq;
+                tcp.ack = ack;
+                tcp.write_segment(src_ip, dst_ip, &payload, seg);
+            }
+        }
+        Packet::from_bytes(frame)
+    }
+
+    /// Builds a broadcast ARP who-has request frame.
+    pub fn arp_request(sender_mac: Mac, sender_ip: Ipv4Addr, target_ip: Ipv4Addr) -> Packet {
+        Self::arp_frame(
+            sender_mac,
+            Mac::BROADCAST,
+            &ArpPacket::request(sender_mac, sender_ip, target_ip),
+        )
+    }
+
+    /// Builds a unicast ARP is-at reply frame answering `request`.
+    pub fn arp_reply(request: &ArpPacket, my_mac: Mac) -> Packet {
+        let reply = ArpPacket::reply_to(request, my_mac);
+        Self::arp_frame(my_mac, request.sender_mac, &reply)
+    }
+
+    fn arp_frame(src: Mac, dst: Mac, arp: &ArpPacket) -> Packet {
+        let mut frame = vec![0u8; EthernetHeader::LEN + ArpPacket::LEN];
+        EthernetHeader {
+            dst,
+            src,
+            ethertype: EtherType::ARP,
+        }
+        .write_to(&mut frame);
+        arp.write_to(&mut frame[EthernetHeader::LEN..]);
+        Packet::from_bytes(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checksum;
+    use crate::packet::Payload;
+
+    fn addr(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn udp_frame_has_valid_checksums() {
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(addr("192.168.1.1"), addr("192.168.1.2"))
+            .udp(1000, 2000, &[0xAA; 32])
+            .build();
+        let frame = pkt.bytes();
+        // IPv4 checksum verifies.
+        assert!(checksum::verify(&frame[14..34]));
+        // UDP checksum verifies through the parser helper.
+        assert!(UdpHeader::verify_segment(addr("192.168.1.1"), addr("192.168.1.2"), &frame[34..]));
+    }
+
+    #[test]
+    fn tcp_frame_round_trips_seq_numbers() {
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(addr("10.0.0.1"), addr("10.0.0.2"))
+            .tcp(22, 5000, TcpFlags::ACK, b"data")
+            .tcp_seq(1000, 2000)
+            .build();
+        match pkt.parse().unwrap().payload {
+            Payload::Tcp { tcp, .. } => {
+                assert_eq!(tcp.seq, 1000);
+                assert_eq!(tcp.ack, 2000);
+                assert!(tcp.flags.contains(TcpFlags::ACK));
+            }
+            other => panic!("expected TCP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ttl_and_dscp_applied() {
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(addr("10.0.0.1"), addr("10.0.0.2"))
+            .ttl(7)
+            .dscp(0x2E << 2) // EF PHB
+            .udp(1, 2, b"")
+            .build();
+        let ip = *pkt.parse().unwrap().ip().unwrap();
+        assert_eq!(ip.ttl, 7);
+        assert_eq!(ip.dscp_ecn, 0x2E << 2);
+    }
+
+    #[test]
+    fn arp_request_is_broadcast() {
+        let pkt = PacketBuilder::arp_request(Mac::local(7), addr("10.0.0.7"), addr("10.0.0.1"));
+        let parsed = pkt.parse().unwrap();
+        assert_eq!(parsed.ether.dst, Mac::BROADCAST);
+        match parsed.payload {
+            Payload::Arp(arp) => {
+                assert_eq!(arp.sender_ip, addr("10.0.0.7"));
+                assert_eq!(arp.target_ip, addr("10.0.0.1"));
+            }
+            other => panic!("expected ARP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arp_reply_is_unicast_to_requester() {
+        let req = ArpPacket::request(Mac::local(1), addr("10.0.0.1"), addr("10.0.0.2"));
+        let pkt = PacketBuilder::arp_reply(&req, Mac::local(2));
+        let parsed = pkt.parse().unwrap();
+        assert_eq!(parsed.ether.dst, Mac::local(1));
+        assert_eq!(parsed.ether.src, Mac::local(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "ipv4() not called")]
+    fn missing_ip_panics() {
+        let _ = PacketBuilder::new().udp(1, 2, b"").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "tcp_seq requires a TCP segment")]
+    fn tcp_seq_without_tcp_panics() {
+        let _ = PacketBuilder::new().udp(1, 2, b"").tcp_seq(1, 2);
+    }
+
+    #[test]
+    fn frame_sizes_are_exact() {
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(addr("1.1.1.1"), addr("2.2.2.2"))
+            .udp(1, 2, &[0u8; 100])
+            .build();
+        assert_eq!(pkt.len(), 14 + 20 + 8 + 100);
+    }
+}

@@ -1,0 +1,265 @@
+//! Flow identification: five-tuples and Toeplitz RSS hashing.
+//!
+//! The paper's debugging scenario uses RSS custom hashing to partition a
+//! NIC into per-user "virtual interfaces"; the SmartNIC flow table keys
+//! exact-match connections by [`FiveTuple`]. The Toeplitz implementation
+//! follows the Microsoft RSS specification and is validated against its
+//! published test vectors.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+
+use crate::ipv4::IpProto;
+use crate::packet::{Parsed, Payload};
+
+/// A connection five-tuple.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: Ipv4Addr,
+    /// Destination IPv4 address.
+    pub dst_ip: Ipv4Addr,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: IpProto,
+}
+
+impl FiveTuple {
+    /// Builds a UDP five-tuple.
+    pub fn udp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: IpProto::UDP,
+        }
+    }
+
+    /// Builds a TCP five-tuple.
+    pub fn tcp(src_ip: Ipv4Addr, src_port: u16, dst_ip: Ipv4Addr, dst_port: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: IpProto::TCP,
+        }
+    }
+
+    /// Extracts the five-tuple from a parsed frame, if it is TCP or UDP.
+    pub fn from_parsed(p: &Parsed) -> Option<FiveTuple> {
+        match &p.payload {
+            Payload::Tcp { ip, tcp, .. } => Some(FiveTuple {
+                src_ip: ip.src,
+                dst_ip: ip.dst,
+                src_port: tcp.src_port,
+                dst_port: tcp.dst_port,
+                proto: IpProto::TCP,
+            }),
+            Payload::Udp { ip, udp, .. } => Some(FiveTuple {
+                src_ip: ip.src,
+                dst_ip: ip.dst,
+                src_port: udp.src_port,
+                dst_port: udp.dst_port,
+                proto: IpProto::UDP,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Returns the tuple with source and destination swapped (the
+    /// direction a reply takes).
+    pub fn reversed(self) -> FiveTuple {
+        FiveTuple {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+}
+
+impl fmt::Display for FiveTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {}:{} > {}:{}",
+            self.proto, self.src_ip, self.src_port, self.dst_ip, self.dst_port
+        )
+    }
+}
+
+/// The default RSS secret key from the Microsoft RSS specification; also
+/// the key used by most NIC drivers' verification suites.
+pub const MS_RSS_KEY: [u8; 40] = [
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
+    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
+    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+];
+
+/// A Toeplitz hasher for receive-side scaling.
+#[derive(Clone, Debug)]
+pub struct RssHasher {
+    key: [u8; 40],
+    queues: u32,
+}
+
+impl RssHasher {
+    /// Creates a hasher with the given key, steering across `queues`
+    /// queues.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `queues` is zero.
+    pub fn new(key: [u8; 40], queues: u32) -> RssHasher {
+        assert!(queues > 0, "need at least one RSS queue");
+        RssHasher { key, queues }
+    }
+
+    /// Creates a hasher with the Microsoft verification key.
+    pub fn with_default_key(queues: u32) -> RssHasher {
+        RssHasher::new(MS_RSS_KEY, queues)
+    }
+
+    fn toeplitz(&self, input: &[u8]) -> u32 {
+        let mut result = 0u32;
+        // The sliding 32-bit window over the key, advanced one bit per
+        // input bit.
+        let mut window = u32::from_be_bytes([self.key[0], self.key[1], self.key[2], self.key[3]]);
+        let mut next_key_bit = 32; // absolute bit index into the key
+        for &byte in input {
+            for bit in (0..8).rev() {
+                if byte >> bit & 1 == 1 {
+                    result ^= window;
+                }
+                // Shift the window left by one, pulling in the next key
+                // bit (keys longer than the input always suffice for
+                // 5-tuple inputs with a 40-byte key).
+                let kb = if next_key_bit < self.key.len() * 8 {
+                    (self.key[next_key_bit / 8] >> (7 - next_key_bit % 8)) & 1
+                } else {
+                    0
+                };
+                window = (window << 1) | u32::from(kb);
+                next_key_bit += 1;
+            }
+        }
+        result
+    }
+
+    /// Computes the 32-bit RSS hash of a five-tuple (src ip, dst ip,
+    /// src port, dst port), the standard TCP/UDP 4-tuple input.
+    pub fn hash(&self, ft: &FiveTuple) -> u32 {
+        let mut input = [0u8; 12];
+        input[0..4].copy_from_slice(&ft.src_ip.octets());
+        input[4..8].copy_from_slice(&ft.dst_ip.octets());
+        input[8..10].copy_from_slice(&ft.src_port.to_be_bytes());
+        input[10..12].copy_from_slice(&ft.dst_port.to_be_bytes());
+        self.toeplitz(&input)
+    }
+
+    /// Maps a five-tuple to an RSS queue index.
+    pub fn queue_for(&self, ft: &FiveTuple) -> u32 {
+        self.hash(ft) % self.queues
+    }
+
+    /// Returns the configured queue count.
+    pub fn queues(&self) -> u32 {
+        self.queues
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    // Test vectors from the Microsoft RSS "Verifying the RSS Hash
+    // Calculation" documentation (IPv4 with ports).
+    #[test]
+    fn microsoft_test_vectors() {
+        let h = RssHasher::with_default_key(1);
+        let cases = [
+            (("66.9.149.187", 2794), ("161.142.100.80", 1766), 0x51cc_c178u32),
+            (("199.92.111.2", 14230), ("65.69.140.83", 4739), 0xc626_b0ea),
+            (("24.19.198.95", 12898), ("12.22.207.184", 38024), 0x5c2b_394a),
+            (("38.27.205.30", 48228), ("209.142.163.6", 2217), 0xafc7_327f),
+            (("153.39.163.191", 44251), ("202.188.127.2", 1303), 0x10e8_28a2),
+        ];
+        for ((src, sp), (dst, dp), expect) in cases {
+            let ft = FiveTuple::tcp(addr(src), sp, addr(dst), dp);
+            assert_eq!(h.hash(&ft), expect, "vector {src}:{sp} > {dst}:{dp}");
+        }
+    }
+
+    #[test]
+    fn queue_mapping_is_stable_and_bounded() {
+        let h = RssHasher::with_default_key(8);
+        let ft = FiveTuple::udp(addr("10.0.0.1"), 111, addr("10.0.0.2"), 222);
+        let q = h.queue_for(&ft);
+        assert!(q < 8);
+        assert_eq!(q, h.queue_for(&ft));
+    }
+
+    #[test]
+    fn different_flows_spread_across_queues() {
+        let h = RssHasher::with_default_key(4);
+        let mut seen = [false; 4];
+        for port in 0..200 {
+            let ft = FiveTuple::udp(addr("10.0.0.1"), 1000 + port, addr("10.0.0.2"), 80);
+            seen[h.queue_for(&ft) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "queues hit: {seen:?}");
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let ft = FiveTuple::tcp(addr("1.1.1.1"), 10, addr("2.2.2.2"), 20);
+        let r = ft.reversed();
+        assert_eq!(r.src_ip, addr("2.2.2.2"));
+        assert_eq!(r.src_port, 20);
+        assert_eq!(r.dst_port, 10);
+        assert_eq!(r.reversed(), ft);
+    }
+
+    #[test]
+    fn from_parsed_extracts_tuple() {
+        use crate::builder::PacketBuilder;
+        use crate::ether::Mac;
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(addr("10.0.0.1"), addr("10.0.0.2"))
+            .udp(5432, 9000, b"q")
+            .build();
+        let ft = FiveTuple::from_parsed(&pkt.parse().unwrap()).unwrap();
+        assert_eq!(ft, FiveTuple::udp(addr("10.0.0.1"), 5432, addr("10.0.0.2"), 9000));
+    }
+
+    #[test]
+    fn arp_has_no_tuple() {
+        use crate::builder::PacketBuilder;
+        use crate::ether::Mac;
+        let pkt = PacketBuilder::arp_request(Mac::local(1), addr("1.1.1.1"), addr("2.2.2.2"));
+        assert!(FiveTuple::from_parsed(&pkt.parse().unwrap()).is_none());
+    }
+
+    #[test]
+    fn display() {
+        let ft = FiveTuple::tcp(addr("10.0.0.1"), 22, addr("10.0.0.2"), 5000);
+        assert_eq!(ft.to_string(), "tcp 10.0.0.1:22 > 10.0.0.2:5000");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one RSS queue")]
+    fn zero_queues_rejected() {
+        let _ = RssHasher::with_default_key(0);
+    }
+}

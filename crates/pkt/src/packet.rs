@@ -1,0 +1,269 @@
+//! Owned packet buffers and the fully parsed view.
+
+use std::fmt;
+
+use bytes::Bytes;
+
+use crate::arp::ArpPacket;
+use crate::ether::{EtherType, EthernetHeader};
+use crate::ipv4::{IpProto, Ipv4Header};
+use crate::tcp::TcpHeader;
+use crate::udp::UdpHeader;
+use crate::{PktError, Result};
+
+/// An owned, immutable packet buffer.
+///
+/// Cloning is cheap (reference-counted), which lets the sniffer tap a copy
+/// of every frame without perturbing the dataplane.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Packet {
+    data: Bytes,
+}
+
+impl Packet {
+    /// Wraps raw wire bytes.
+    pub fn from_bytes(data: impl Into<Bytes>) -> Packet {
+        Packet { data: data.into() }
+    }
+
+    /// Returns the wire bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Returns the frame length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` for a zero-length buffer.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Parses the frame into a structured view.
+    pub fn parse(&self) -> Result<Parsed> {
+        Parsed::from_frame(&self.data)
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.parse() {
+            Ok(p) => write!(f, "Packet({} bytes, {p})", self.len()),
+            Err(e) => write!(f, "Packet({} bytes, unparsed: {e})", self.len()),
+        }
+    }
+}
+
+/// The payload of a parsed frame, by protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Payload {
+    /// An ARP packet.
+    Arp(ArpPacket),
+    /// An IPv4/TCP segment; the range indexes the application payload
+    /// within the frame.
+    Tcp {
+        /// The IPv4 header.
+        ip: Ipv4Header,
+        /// The TCP header.
+        tcp: TcpHeader,
+        /// Byte range of the application payload within the frame.
+        payload: std::ops::Range<usize>,
+    },
+    /// An IPv4/UDP datagram.
+    Udp {
+        /// The IPv4 header.
+        ip: Ipv4Header,
+        /// The UDP header.
+        udp: UdpHeader,
+        /// Byte range of the application payload within the frame.
+        payload: std::ops::Range<usize>,
+    },
+    /// IPv4 with a transport protocol this stack does not parse.
+    OtherIp {
+        /// The IPv4 header.
+        ip: Ipv4Header,
+    },
+}
+
+/// A structured view of one Ethernet frame.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Parsed {
+    /// The Ethernet header.
+    pub ether: EthernetHeader,
+    /// The parsed payload.
+    pub payload: Payload,
+}
+
+impl Parsed {
+    /// Parses a complete Ethernet frame.
+    pub fn from_frame(frame: &[u8]) -> Result<Parsed> {
+        let ether = EthernetHeader::parse(frame)?;
+        let body = &frame[EthernetHeader::LEN..];
+        let payload = match ether.ethertype {
+            EtherType::ARP => Payload::Arp(ArpPacket::parse(body)?),
+            EtherType::IPV4 => {
+                let ip = Ipv4Header::parse(body)?;
+                let l4 = &body[Ipv4Header::LEN..ip.total_len as usize];
+                match ip.proto {
+                    IpProto::TCP => {
+                        let tcp = TcpHeader::parse(l4)?;
+                        let start = EthernetHeader::LEN + Ipv4Header::LEN + TcpHeader::LEN;
+                        let end = EthernetHeader::LEN + ip.total_len as usize;
+                        Payload::Tcp {
+                            ip,
+                            tcp,
+                            payload: start..end,
+                        }
+                    }
+                    IpProto::UDP => {
+                        let udp = UdpHeader::parse(l4)?;
+                        let start = EthernetHeader::LEN + Ipv4Header::LEN + UdpHeader::LEN;
+                        let end = EthernetHeader::LEN + ip.total_len as usize;
+                        Payload::Udp {
+                            ip,
+                            udp,
+                            payload: start..end,
+                        }
+                    }
+                    _ => Payload::OtherIp { ip },
+                }
+            }
+            other => return Err(PktError::UnsupportedEtherType(other.0)),
+        };
+        Ok(Parsed { ether, payload })
+    }
+
+    /// Returns the IPv4 header if this is an IP frame.
+    pub fn ip(&self) -> Option<&Ipv4Header> {
+        match &self.payload {
+            Payload::Tcp { ip, .. } | Payload::Udp { ip, .. } | Payload::OtherIp { ip } => Some(ip),
+            Payload::Arp(_) => None,
+        }
+    }
+
+    /// Returns (src_port, dst_port) for TCP/UDP frames.
+    pub fn ports(&self) -> Option<(u16, u16)> {
+        match &self.payload {
+            Payload::Tcp { tcp, .. } => Some((tcp.src_port, tcp.dst_port)),
+            Payload::Udp { udp, .. } => Some((udp.src_port, udp.dst_port)),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if this is an ARP frame.
+    pub fn is_arp(&self) -> bool {
+        matches!(self.payload, Payload::Arp(_))
+    }
+}
+
+impl fmt::Display for Parsed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.payload {
+            Payload::Arp(arp) => write!(f, "{arp}"),
+            Payload::Tcp { ip, tcp, payload } => write!(
+                f,
+                "{}:{} > {}:{} tcp [{}] len {}",
+                ip.src,
+                tcp.src_port,
+                ip.dst,
+                tcp.dst_port,
+                tcp.flags,
+                payload.len()
+            ),
+            Payload::Udp { ip, udp, payload } => write!(
+                f,
+                "{}:{} > {}:{} udp len {}",
+                ip.src, udp.src_port, ip.dst, udp.dst_port, payload.len()
+            ),
+            Payload::OtherIp { ip } => {
+                write!(f, "{} > {} {}", ip.src, ip.dst, ip.proto)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::PacketBuilder;
+    use crate::ether::Mac;
+
+    #[test]
+    fn parse_udp_frame() {
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+            .udp(1234, 5678, b"payload")
+            .build();
+        let parsed = pkt.parse().unwrap();
+        assert_eq!(parsed.ports(), Some((1234, 5678)));
+        assert!(!parsed.is_arp());
+        match parsed.payload {
+            Payload::Udp { ref payload, .. } => {
+                assert_eq!(&pkt.bytes()[payload.clone()], b"payload");
+            }
+            other => panic!("expected UDP, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_tcp_frame() {
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+            .tcp(22, 40000, crate::TcpFlags::SYN, b"")
+            .build();
+        let parsed = pkt.parse().unwrap();
+        assert_eq!(parsed.ports(), Some((22, 40000)));
+        assert!(parsed.ip().is_some());
+    }
+
+    #[test]
+    fn parse_arp_frame() {
+        let pkt = PacketBuilder::arp_request(
+            Mac::local(9),
+            "10.0.0.9".parse().unwrap(),
+            "10.0.0.1".parse().unwrap(),
+        );
+        let parsed = pkt.parse().unwrap();
+        assert!(parsed.is_arp());
+        assert_eq!(parsed.ports(), None);
+        assert!(parsed.ip().is_none());
+        assert_eq!(parsed.ether.dst, Mac::BROADCAST);
+    }
+
+    #[test]
+    fn unsupported_ethertype_errors() {
+        let mut frame = vec![0u8; 60];
+        frame[12] = 0x86; // IPv6
+        frame[13] = 0xDD;
+        let err = Packet::from_bytes(frame).parse().unwrap_err();
+        assert_eq!(err, PktError::UnsupportedEtherType(0x86DD));
+    }
+
+    #[test]
+    fn display_is_tcpdump_like() {
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+            .udp(53, 53, b"x")
+            .build();
+        let s = pkt.parse().unwrap().to_string();
+        assert!(s.contains("10.0.0.1:53 > 10.0.0.2:53"), "got: {s}");
+        assert!(s.contains("udp len 1"));
+    }
+
+    #[test]
+    fn clone_is_shallow_and_equal() {
+        let pkt = PacketBuilder::arp_request(
+            Mac::local(1),
+            "1.1.1.1".parse().unwrap(),
+            "2.2.2.2".parse().unwrap(),
+        );
+        let copy = pkt.clone();
+        assert_eq!(pkt, copy);
+        assert_eq!(pkt.bytes().as_ptr(), copy.bytes().as_ptr());
+    }
+}

@@ -1,0 +1,264 @@
+//! Software packet classification (the kernel-side mirror of overlay
+//! classifiers).
+//!
+//! A [`Classifier`] is an ordered rule list mapping flow attributes —
+//! including the *process view* attributes (uid, pid) only an
+//! OS-integrated interposition layer has — to scheduler classes. The
+//! in-kernel stack evaluates these in software; KOPI lowers the same
+//! semantics to an overlay program via [`crate::compile`].
+
+use std::net::Ipv4Addr;
+
+use pkt::{FiveTuple, IpProto};
+
+/// Attributes of a packet/flow presented to the classifier.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassMatch {
+    /// Flow five-tuple, if the packet has one.
+    pub tuple: Option<FiveTuple>,
+    /// Owning uid (`u32::MAX` = unbound).
+    pub uid: u32,
+    /// Owning pid (0 = unbound).
+    pub pid: u32,
+    /// Packet mark.
+    pub mark: u64,
+    /// DSCP byte.
+    pub dscp: u8,
+}
+
+impl Default for ClassMatch {
+    fn default() -> ClassMatch {
+        ClassMatch {
+            tuple: None,
+            uid: u32::MAX,
+            pid: 0,
+            mark: 0,
+            dscp: 0,
+        }
+    }
+}
+
+/// One classification rule: all present fields must match.
+#[derive(Clone, Debug, Default)]
+pub struct ClassifierRule {
+    /// Match source IP.
+    pub src_ip: Option<Ipv4Addr>,
+    /// Match destination IP.
+    pub dst_ip: Option<Ipv4Addr>,
+    /// Match source port.
+    pub src_port: Option<u16>,
+    /// Match destination port.
+    pub dst_port: Option<u16>,
+    /// Match protocol.
+    pub proto: Option<IpProto>,
+    /// Match owning uid.
+    pub uid: Option<u32>,
+    /// Match owning pid.
+    pub pid: Option<u32>,
+    /// Match DSCP.
+    pub dscp: Option<u8>,
+    /// Class assigned on match.
+    pub class: u32,
+}
+
+impl ClassifierRule {
+    /// Creates a rule assigning `class` with no constraints (matches
+    /// everything).
+    pub fn any(class: u32) -> ClassifierRule {
+        ClassifierRule {
+            class,
+            ..ClassifierRule::default()
+        }
+    }
+
+    /// Builder: match on uid.
+    pub fn match_uid(mut self, uid: u32) -> Self {
+        self.uid = Some(uid);
+        self
+    }
+
+    /// Builder: match on destination port.
+    pub fn match_dst_port(mut self, port: u16) -> Self {
+        self.dst_port = Some(port);
+        self
+    }
+
+    /// Builder: match on source port.
+    pub fn match_src_port(mut self, port: u16) -> Self {
+        self.src_port = Some(port);
+        self
+    }
+
+    /// Builder: match on protocol.
+    pub fn match_proto(mut self, proto: IpProto) -> Self {
+        self.proto = Some(proto);
+        self
+    }
+
+    /// Builder: match on DSCP.
+    pub fn match_dscp(mut self, dscp: u8) -> Self {
+        self.dscp = Some(dscp);
+        self
+    }
+
+    /// Returns `true` if `m` satisfies every present constraint.
+    pub fn matches(&self, m: &ClassMatch) -> bool {
+        let tuple_ok = |f: &dyn Fn(&FiveTuple) -> bool| match &m.tuple {
+            Some(t) => f(t),
+            // A rule constraining tuple fields cannot match tuple-less
+            // packets (e.g. ARP).
+            None => false,
+        };
+        if let Some(ip) = self.src_ip {
+            if !tuple_ok(&|t| t.src_ip == ip) {
+                return false;
+            }
+        }
+        if let Some(ip) = self.dst_ip {
+            if !tuple_ok(&|t| t.dst_ip == ip) {
+                return false;
+            }
+        }
+        if let Some(p) = self.src_port {
+            if !tuple_ok(&|t| t.src_port == p) {
+                return false;
+            }
+        }
+        if let Some(p) = self.dst_port {
+            if !tuple_ok(&|t| t.dst_port == p) {
+                return false;
+            }
+        }
+        if let Some(pr) = self.proto {
+            if !tuple_ok(&|t| t.proto == pr) {
+                return false;
+            }
+        }
+        if let Some(uid) = self.uid {
+            if m.uid != uid {
+                return false;
+            }
+        }
+        if let Some(pid) = self.pid {
+            if m.pid != pid {
+                return false;
+            }
+        }
+        if let Some(dscp) = self.dscp {
+            if m.dscp != dscp {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// An ordered rule list with a default class.
+#[derive(Clone, Debug)]
+pub struct Classifier {
+    rules: Vec<ClassifierRule>,
+    default_class: u32,
+}
+
+impl Classifier {
+    /// Creates a classifier with the given fallback class.
+    pub fn new(default_class: u32) -> Classifier {
+        Classifier {
+            rules: Vec::new(),
+            default_class,
+        }
+    }
+
+    /// Appends a rule (first match wins).
+    pub fn push(&mut self, rule: ClassifierRule) {
+        self.rules.push(rule);
+    }
+
+    /// Returns the rules.
+    pub fn rules(&self) -> &[ClassifierRule] {
+        &self.rules
+    }
+
+    /// Classifies a packet.
+    pub fn classify(&self, m: &ClassMatch) -> u32 {
+        self.rules
+            .iter()
+            .find(|r| r.matches(m))
+            .map(|r| r.class)
+            .unwrap_or(self.default_class)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    fn m(tuple: Option<FiveTuple>, uid: u32) -> ClassMatch {
+        ClassMatch {
+            tuple,
+            uid,
+            ..ClassMatch::default()
+        }
+    }
+
+    #[test]
+    fn first_match_wins() {
+        let mut c = Classifier::new(0);
+        c.push(ClassifierRule::any(1).match_uid(1001));
+        c.push(ClassifierRule::any(2).match_uid(1001)); // shadowed
+        assert_eq!(c.classify(&m(None, 1001)), 1);
+    }
+
+    #[test]
+    fn default_class_on_no_match() {
+        let mut c = Classifier::new(7);
+        c.push(ClassifierRule::any(1).match_uid(1001));
+        assert_eq!(c.classify(&m(None, 9999)), 7);
+    }
+
+    #[test]
+    fn tuple_constraints_fail_on_arp() {
+        let mut c = Classifier::new(0);
+        c.push(ClassifierRule::any(1).match_dst_port(22));
+        // ARP has no tuple, so a port rule cannot match it.
+        assert_eq!(c.classify(&m(None, 0)), 0);
+    }
+
+    #[test]
+    fn combined_constraints_all_required() {
+        let t = FiveTuple::tcp(addr("10.0.0.1"), 5000, addr("10.0.0.2"), 22);
+        let rule = ClassifierRule::any(3)
+            .match_dst_port(22)
+            .match_proto(IpProto::TCP)
+            .match_uid(1001);
+        assert!(rule.matches(&m(Some(t), 1001)));
+        assert!(!rule.matches(&m(Some(t), 1002))); // wrong uid
+        let udp = FiveTuple::udp(addr("10.0.0.1"), 5000, addr("10.0.0.2"), 22);
+        assert!(!rule.matches(&m(Some(udp), 1001))); // wrong proto
+    }
+
+    #[test]
+    fn ip_and_dscp_matching() {
+        let t = FiveTuple::udp(addr("192.168.0.5"), 1, addr("10.0.0.1"), 2);
+        let mut rule = ClassifierRule::any(4).match_dscp(0xB8);
+        rule.src_ip = Some(addr("192.168.0.5"));
+        let mut mm = m(Some(t), 0);
+        mm.dscp = 0xB8;
+        assert!(rule.matches(&mm));
+        mm.dscp = 0;
+        assert!(!rule.matches(&mm));
+    }
+
+    #[test]
+    fn process_view_rules_need_binding() {
+        // The "process view": unbound traffic (uid = MAX) never matches a
+        // uid rule, mirroring why hypervisor-level interposition cannot
+        // express such policies.
+        let rule = ClassifierRule::any(1).match_uid(1001);
+        assert!(!rule.matches(&ClassMatch::default()));
+    }
+}

@@ -1,0 +1,154 @@
+//! Lowering qdisc configurations to overlay programs.
+//!
+//! The KOPI control plane does not interpret `tc`-style configurations on
+//! the NIC; it compiles the *classification* step to an overlay program
+//! (one overlay execution per packet assigns the scheduler class) and
+//! parameterizes the NIC's native scheduling engine with the per-class
+//! weights/rates. This module produces both halves as an
+//! [`OverlaySchedulerSetup`].
+
+use overlay::builtins;
+use overlay::Program;
+
+/// A compiled scheduler configuration: the classifier program plus the
+/// map entries the control plane must install after loading it.
+#[derive(Clone, Debug)]
+pub struct OverlaySchedulerSetup {
+    /// The classifier program to load into the overlay.
+    pub program: Program,
+    /// `(map, key, value)` entries to install via MMIO after load.
+    pub map_fills: Vec<(usize, usize, u64)>,
+    /// Per-class weights for the NIC's scheduling engine (WFQ/DRR).
+    pub class_weights: Vec<f64>,
+}
+
+/// Compiles a per-user WFQ configuration: each `(uid, weight)` pair gets
+/// its own class; unlisted users share class 0 with weight
+/// `default_weight`.
+///
+/// # Panics
+///
+/// Panics if any weight is non-positive or more than 255 users are given
+/// (the builtin classifier's map is keyed by `uid & 255`).
+pub fn compile_uid_wfq(users: &[(u32, f64)], default_weight: f64) -> OverlaySchedulerSetup {
+    assert!(default_weight > 0.0, "default weight must be positive");
+    assert!(users.len() <= 255, "at most 255 distinct users");
+    assert!(
+        users.iter().all(|&(_, w)| w > 0.0),
+        "weights must be positive"
+    );
+    let program = builtins::uid_classifier();
+    let mut map_fills = Vec::new();
+    let mut class_weights = vec![default_weight];
+    for (i, &(uid, weight)) in users.iter().enumerate() {
+        let class = (i + 1) as u64;
+        // The builtin stores class + 1 (0 = default).
+        map_fills.push((0, (uid & 255) as usize, class + 1));
+        class_weights.push(weight);
+    }
+    OverlaySchedulerSetup {
+        program,
+        map_fills,
+        class_weights,
+    }
+}
+
+/// Compiles a DSCP-based priority configuration: `bands[i]` lists the
+/// DSCP values assigned to class `i`. Unlisted DSCPs go to the last
+/// (lowest-priority) class.
+///
+/// # Panics
+///
+/// Panics if `bands` is empty.
+pub fn compile_dscp_prio(bands: &[Vec<u8>]) -> OverlaySchedulerSetup {
+    assert!(!bands.is_empty(), "need at least one band");
+    let program = builtins::dscp_classifier();
+    let mut map_fills = Vec::new();
+    for (class, dscps) in bands.iter().enumerate() {
+        for &d in dscps {
+            map_fills.push((0, d as usize, class as u64 + 1));
+        }
+    }
+    // Default class for unlisted DSCPs: the last band. The builtin sends
+    // unmapped entries to class 0, so remap "no entry" by filling every
+    // remaining DSCP with the last class.
+    let last = bands.len() as u64;
+    let listed: std::collections::HashSet<usize> =
+        map_fills.iter().map(|&(_, k, _)| k).collect();
+    for d in 0..256usize {
+        if !listed.contains(&d) {
+            map_fills.push((0, d, last));
+        }
+    }
+    OverlaySchedulerSetup {
+        program,
+        map_fills,
+        class_weights: vec![1.0; bands.len()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use overlay::{PktCtx, Verdict, Vm};
+
+    fn load(setup: &OverlaySchedulerSetup) -> Vm {
+        overlay::verify(&setup.program).expect("compiled program verifies");
+        let mut vm = Vm::new(setup.program.clone());
+        for &(map, key, value) in &setup.map_fills {
+            assert!(vm.map_set(map, key, value), "map fill ({map},{key})");
+        }
+        vm
+    }
+
+    #[test]
+    fn uid_wfq_assigns_per_user_classes() {
+        let setup = compile_uid_wfq(&[(1001, 3.0), (1002, 1.0)], 1.0);
+        assert_eq!(setup.class_weights, vec![1.0, 3.0, 1.0]);
+        let mut vm = load(&setup);
+        let v = |uid: u32, vm: &mut Vm| {
+            vm.run(&PktCtx {
+                uid,
+                ..PktCtx::default()
+            })
+            .unwrap()
+            .verdict
+        };
+        assert_eq!(v(1001, &mut vm), Verdict::Class(1));
+        assert_eq!(v(1002, &mut vm), Verdict::Class(2));
+        assert_eq!(v(4242, &mut vm), Verdict::Class(0)); // default
+    }
+
+    #[test]
+    fn dscp_prio_maps_all_codepoints() {
+        let setup = compile_dscp_prio(&[vec![0xB8], vec![0x28, 0x30]]);
+        let mut vm = load(&setup);
+        let v = |dscp: u8, vm: &mut Vm| {
+            vm.run(&PktCtx {
+                dscp,
+                ..PktCtx::default()
+            })
+            .unwrap()
+            .verdict
+        };
+        assert_eq!(v(0xB8, &mut vm), Verdict::Class(0));
+        assert_eq!(v(0x28, &mut vm), Verdict::Class(1));
+        assert_eq!(v(0x30, &mut vm), Verdict::Class(1));
+        // Unlisted codepoints collapse to the last (lowest-priority) band.
+        assert_eq!(v(0x00, &mut vm), Verdict::Class(1));
+        assert_eq!(v(0x7F, &mut vm), Verdict::Class(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be positive")]
+    fn bad_weight_rejected() {
+        let _ = compile_uid_wfq(&[(1, -1.0)], 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 255")]
+    fn too_many_users_rejected() {
+        let users: Vec<(u32, f64)> = (0..256).map(|u| (u, 1.0)).collect();
+        let _ = compile_uid_wfq(&users, 1.0);
+    }
+}

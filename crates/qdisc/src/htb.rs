@@ -1,0 +1,375 @@
+//! A two-level hierarchical token bucket (`htb`, simplified).
+//!
+//! Each leaf class has an *assured rate* and a *ceiling*. A leaf may send
+//! from its own tokens (assured service); when those are exhausted it may
+//! *borrow* from the root bucket up to its ceiling. This captures the
+//! `tc htb` semantics the paper's QoS scenario relies on (guaranteeing a
+//! share to "productive" traffic while capping the game) without the full
+//! three-color machinery of the kernel implementation.
+
+use sim::{Dur, Time};
+
+use crate::fifo::Fifo;
+use crate::types::{EnqueueError, QPkt, Qdisc, QdiscStats};
+
+/// Configuration of one HTB leaf class.
+#[derive(Clone, Copy, Debug)]
+pub struct HtbClass {
+    /// Assured rate in bytes/second.
+    pub rate: u64,
+    /// Ceiling in bytes/second (≥ rate); the class may borrow up to this.
+    pub ceil: u64,
+    /// Bucket depth in bytes for both buckets.
+    pub burst: u64,
+}
+
+struct Leaf {
+    cfg: HtbClass,
+    queue: Fifo,
+    tokens: f64,  // assured-rate bucket
+    ctokens: f64, // ceiling bucket
+    last: Time,
+    sent: u64,
+}
+
+impl Leaf {
+    fn refill(&mut self, now: Time) {
+        let dt = now.saturating_since(self.last).as_secs_f64();
+        if dt > 0.0 {
+            self.tokens = (self.tokens + dt * self.cfg.rate as f64).min(self.cfg.burst as f64);
+            self.ctokens = (self.ctokens + dt * self.cfg.ceil as f64).min(self.cfg.burst as f64);
+            self.last = now;
+        }
+    }
+}
+
+/// A two-level HTB: a root rate shared by leaf classes.
+pub struct Htb {
+    root_rate: u64,
+    root_burst: u64,
+    root_tokens: f64,
+    root_last: Time,
+    leaves: Vec<Leaf>,
+    next_leaf: usize,
+    stats: QdiscStats,
+}
+
+impl Htb {
+    /// Creates an HTB with a root rate and the given leaf classes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no classes are given, any `ceil < rate`, or any rate is
+    /// zero.
+    pub fn new(root_rate: u64, root_burst: u64, classes: &[HtbClass], per_class_limit: usize) -> Htb {
+        assert!(!classes.is_empty(), "need at least one class");
+        for c in classes {
+            assert!(c.rate > 0, "class rate must be positive");
+            assert!(c.ceil >= c.rate, "ceil below assured rate");
+        }
+        Htb {
+            root_rate,
+            root_burst,
+            root_tokens: root_burst as f64,
+            root_last: Time::ZERO,
+            leaves: classes
+                .iter()
+                .map(|&cfg| Leaf {
+                    cfg,
+                    queue: Fifo::new(per_class_limit),
+                    tokens: cfg.burst as f64,
+                    ctokens: cfg.burst as f64,
+                    last: Time::ZERO,
+                    sent: 0,
+                })
+                .collect(),
+            next_leaf: 0,
+            stats: QdiscStats::default(),
+        }
+    }
+
+    fn refill_root(&mut self, now: Time) {
+        let dt = now.saturating_since(self.root_last).as_secs_f64();
+        if dt > 0.0 {
+            self.root_tokens =
+                (self.root_tokens + dt * self.root_rate as f64).min(self.root_burst as f64);
+            self.root_last = now;
+        }
+    }
+
+    /// Returns bytes sent per class.
+    pub fn class_bytes_sent(&self) -> Vec<u64> {
+        self.leaves.iter().map(|l| l.sent).collect()
+    }
+}
+
+impl Qdisc for Htb {
+    fn enqueue(&mut self, pkt: QPkt, now: Time) -> Result<(), EnqueueError> {
+        let idx = pkt.class as usize;
+        if idx >= self.leaves.len() {
+            self.stats.dropped += 1;
+            return Err(EnqueueError::NoSuchClass { class: pkt.class });
+        }
+        match self.leaves[idx].queue.enqueue(pkt, now) {
+            Ok(()) => {
+                self.stats.enqueued += 1;
+                self.stats.bytes_enqueued += u64::from(pkt.len);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.dropped += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<QPkt> {
+        self.refill_root(now);
+        let n = self.leaves.len();
+        // Pass 1: classes spending assured-rate tokens (green), in
+        // round-robin from next_leaf. Every transmission also draws from
+        // the root bucket: the root is on-path for all traffic, which is
+        // what makes the root rate a true aggregate limit (the assured
+        // guarantee assumes sum(rates) <= root_rate).
+        for off in 0..n {
+            let idx = (self.next_leaf + off) % n;
+            let leaf = &mut self.leaves[idx];
+            leaf.refill(now);
+            let Some(head) = leaf.queue.peek() else {
+                continue;
+            };
+            let len = f64::from(head.len);
+            if leaf.tokens >= len && leaf.ctokens >= len && self.root_tokens >= len {
+                leaf.tokens -= len;
+                leaf.ctokens -= len;
+                self.root_tokens -= len;
+                let pkt = leaf.queue.dequeue(now).expect("peeked");
+                leaf.sent += u64::from(pkt.len);
+                self.stats.dequeued += 1;
+                self.stats.bytes_dequeued += u64::from(pkt.len);
+                self.next_leaf = (idx + 1) % n;
+                return Some(pkt);
+            }
+        }
+        // Pass 2: borrowing from the root (yellow), still under ceiling.
+        for off in 0..n {
+            let idx = (self.next_leaf + off) % n;
+            let leaf = &mut self.leaves[idx];
+            let Some(head) = leaf.queue.peek() else {
+                continue;
+            };
+            let len = f64::from(head.len);
+            if leaf.ctokens >= len && self.root_tokens >= len {
+                leaf.ctokens -= len;
+                self.root_tokens -= len;
+                let pkt = leaf.queue.dequeue(now).expect("peeked");
+                leaf.sent += u64::from(pkt.len);
+                self.stats.dequeued += 1;
+                self.stats.bytes_dequeued += u64::from(pkt.len);
+                self.next_leaf = (idx + 1) % n;
+                return Some(pkt);
+            }
+        }
+        None
+    }
+
+    fn next_ready(&self, now: Time) -> Option<Time> {
+        // Earliest instant any backlogged leaf could send: the later of
+        // when its ceiling bucket and the root bucket hold enough tokens.
+        let root_dt = now.saturating_since(self.root_last).as_secs_f64();
+        let root_tokens =
+            (self.root_tokens + root_dt * self.root_rate as f64).min(self.root_burst as f64);
+        let mut earliest: Option<Time> = None;
+        for leaf in &self.leaves {
+            let Some(head) = leaf.queue.peek() else {
+                continue;
+            };
+            let len = f64::from(head.len);
+            let dt = now.saturating_since(leaf.last).as_secs_f64();
+            let ctokens = (leaf.ctokens + dt * leaf.cfg.ceil as f64).min(leaf.cfg.burst as f64);
+            let ceil_wait = if ctokens >= len {
+                Dur::ZERO
+            } else {
+                Dur::from_secs_f64((len - ctokens) / leaf.cfg.ceil as f64) + Dur::from_ps(1)
+            };
+            let root_wait = if root_tokens >= len || self.root_rate == 0 {
+                Dur::ZERO
+            } else {
+                Dur::from_secs_f64((len - root_tokens) / self.root_rate as f64) + Dur::from_ps(1)
+            };
+            let t = now + ceil_wait.max(root_wait);
+            earliest = Some(match earliest {
+                Some(e) => e.min(t),
+                None => t,
+            });
+        }
+        match earliest {
+            Some(t) if t > now => Some(t),
+            _ => None,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.leaves.iter().map(|l| l.queue.len()).sum()
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.leaves.iter().map(|l| l.queue.backlog_bytes()).sum()
+    }
+
+    fn stats(&self) -> QdiscStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(id: u64, len: u32, class: u32) -> QPkt {
+        QPkt::new(id, len, Time::ZERO).with_class(class)
+    }
+
+    fn classes_2(rate0: u64, ceil0: u64, rate1: u64, ceil1: u64) -> Vec<HtbClass> {
+        vec![
+            HtbClass {
+                rate: rate0,
+                ceil: ceil0,
+                burst: 1500,
+            },
+            HtbClass {
+                rate: rate1,
+                ceil: ceil1,
+                burst: 1500,
+            },
+        ]
+    }
+
+    /// Drives the HTB with both classes always backlogged for `secs`
+    /// simulated seconds, returning per-class bytes sent.
+    fn run_backlogged(htb: &mut Htb, secs: u64) -> Vec<u64> {
+        let mut now = Time::ZERO;
+        let mut id = 0;
+        let end = Time::from_secs(secs);
+        while now < end {
+            for class in 0..2 {
+                while htb
+                    .leaves_len(class) // keep 4 queued per class
+                    < 4
+                {
+                    let _ = htb.enqueue(pkt(id, 1000, class as u32), now);
+                    id += 1;
+                }
+            }
+            if htb.dequeue(now).is_none() {
+                now = htb.next_ready(now).unwrap_or(now + Dur::from_ms(1)).min(end);
+            }
+        }
+        htb.class_bytes_sent()
+    }
+
+    impl Htb {
+        fn leaves_len(&self, class: usize) -> usize {
+            self.leaves[class].queue.len()
+        }
+    }
+
+    #[test]
+    fn assured_rates_delivered_under_contention() {
+        // Root 10 kB/s; class 0 assured 8 kB/s, class 1 assured 2 kB/s.
+        let mut htb = Htb::new(10_000, 1500, &classes_2(8_000, 10_000, 2_000, 10_000), 64);
+        let sent = run_backlogged(&mut htb, 10);
+        let r0 = sent[0] as f64 / 10.0;
+        let r1 = sent[1] as f64 / 10.0;
+        assert!((7_000.0..9_500.0).contains(&r0), "class0 rate {r0}");
+        assert!((1_500.0..3_500.0).contains(&r1), "class1 rate {r1}");
+    }
+
+    #[test]
+    fn idle_class_lets_other_borrow_to_ceiling() {
+        // Class 1 idle: class 0 (assured 2 kB/s, ceil 10 kB/s) should
+        // borrow up to the root's 10 kB/s.
+        let mut htb = Htb::new(10_000, 1500, &classes_2(2_000, 10_000, 2_000, 10_000), 64);
+        let mut now = Time::ZERO;
+        let mut id = 0;
+        let end = Time::from_secs(10);
+        while now < end {
+            while htb.leaves_len(0) < 4 {
+                let _ = htb.enqueue(pkt(id, 1000, 0), now);
+                id += 1;
+            }
+            if htb.dequeue(now).is_none() {
+                now = htb.next_ready(now).unwrap_or(now + Dur::from_ms(1)).min(end);
+            }
+        }
+        let rate = htb.class_bytes_sent()[0] as f64 / 10.0;
+        assert!(rate > 8_000.0, "borrowing class reached only {rate} B/s");
+    }
+
+    #[test]
+    fn ceiling_caps_even_when_root_has_capacity() {
+        // Root 100 kB/s but class 0 ceiling 5 kB/s: class 0 cannot exceed
+        // its ceiling no matter how much root capacity is idle.
+        let mut htb = Htb::new(100_000, 1500, &classes_2(2_000, 5_000, 2_000, 100_000), 64);
+        let mut now = Time::ZERO;
+        let mut id = 0;
+        let end = Time::from_secs(10);
+        while now < end {
+            while htb.leaves_len(0) < 4 {
+                let _ = htb.enqueue(pkt(id, 1000, 0), now);
+                id += 1;
+            }
+            if htb.dequeue(now).is_none() {
+                now = htb.next_ready(now).unwrap_or(now + Dur::from_ms(1)).min(end);
+            }
+        }
+        let rate = htb.class_bytes_sent()[0] as f64 / 10.0;
+        assert!((4_000.0..6_000.0).contains(&rate), "capped class sent {rate} B/s");
+    }
+
+    #[test]
+    fn unknown_class_rejected() {
+        let mut htb = Htb::new(1000, 1500, &classes_2(500, 1000, 500, 1000), 4);
+        assert_eq!(
+            htb.enqueue(pkt(0, 100, 9), Time::ZERO),
+            Err(EnqueueError::NoSuchClass { class: 9 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "ceil below assured rate")]
+    fn bad_ceil_rejected() {
+        let _ = Htb::new(
+            1000,
+            1500,
+            &[HtbClass {
+                rate: 100,
+                ceil: 50,
+                burst: 100,
+            }],
+            4,
+        );
+    }
+
+    #[test]
+    fn next_ready_reports_future_instant_when_throttled() {
+        let mut htb = Htb::new(
+            1_000_000,
+            1500,
+            &[HtbClass {
+                rate: 1000,
+                ceil: 1000,
+                burst: 1500,
+            }],
+            16,
+        );
+        // Exhaust the burst.
+        htb.enqueue(pkt(0, 1500, 0), Time::ZERO).unwrap();
+        assert!(htb.dequeue(Time::ZERO).is_some());
+        htb.enqueue(pkt(1, 1500, 0), Time::ZERO).unwrap();
+        assert!(htb.dequeue(Time::ZERO).is_none());
+        let ready = htb.next_ready(Time::ZERO).expect("throttled");
+        assert!(ready > Time::ZERO);
+        assert!(htb.dequeue(ready).is_some());
+    }
+}

@@ -1,0 +1,44 @@
+//! Queueing disciplines (`tc qdisc` equivalents).
+//!
+//! The paper's QoS scenario (§2) needs work-conserving, cross-application
+//! traffic shaping — "weighted fair queuing \[10\]" — which no single
+//! application can implement for itself. These disciplines are used in two
+//! places:
+//!
+//! * the in-kernel software stack baseline (`oskernel::netstack`), where
+//!   they model today's `net/sched`, and
+//! * the SmartNIC scheduler stage (`nicsim`), where an overlay classifier
+//!   assigns classes and these engines execute the per-class scheduling —
+//!   the KOPI arrangement.
+//!
+//! Implemented disciplines: FIFO tail-drop ([`Fifo`]), strict priority
+//! ([`Prio`]), token-bucket shaping ([`Tbf`]), deficit round-robin
+//! ([`Drr`]), weighted fair queueing ([`Wfq`], start-time fair queueing
+//! variant), a two-level hierarchical token bucket ([`Htb`]), RED with
+//! ECN marking ([`Red`]), and CoDel ([`Codel`]).
+//! [`classify`] provides software classification rules (the kernel-side
+//! mirror of overlay classifiers) and [`compile`] lowers qdisc
+//! configurations to overlay programs for the NIC.
+
+pub mod classify;
+pub mod codel;
+pub mod compile;
+pub mod drr;
+pub mod fifo;
+pub mod htb;
+pub mod prio;
+pub mod red;
+pub mod tbf;
+pub mod types;
+pub mod wfq;
+
+pub use classify::{ClassMatch, Classifier, ClassifierRule};
+pub use codel::{Codel, CodelConfig};
+pub use drr::Drr;
+pub use fifo::Fifo;
+pub use htb::{Htb, HtbClass};
+pub use prio::Prio;
+pub use red::{Red, RedConfig, RedDecision};
+pub use tbf::Tbf;
+pub use types::{QPkt, Qdisc, QdiscStats, EnqueueError};
+pub use wfq::Wfq;

@@ -1,0 +1,145 @@
+//! Strict-priority scheduling (`prio`).
+
+use sim::Time;
+
+use crate::fifo::Fifo;
+use crate::types::{EnqueueError, QPkt, Qdisc, QdiscStats};
+
+/// Strict priority over N bands; band 0 is highest. A packet's class
+/// selects its band (classes beyond the last band collapse into the
+/// lowest-priority band, like `prio`'s default map).
+#[derive(Clone, Debug)]
+pub struct Prio {
+    bands: Vec<Fifo>,
+    stats: QdiscStats,
+}
+
+impl Prio {
+    /// Creates `bands` priority bands, each a FIFO of `band_limit`
+    /// packets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bands` is zero.
+    pub fn new(bands: usize, band_limit: usize) -> Prio {
+        assert!(bands > 0, "need at least one band");
+        Prio {
+            bands: (0..bands).map(|_| Fifo::new(band_limit)).collect(),
+            stats: QdiscStats::default(),
+        }
+    }
+
+    fn band_for(&self, class: u32) -> usize {
+        (class as usize).min(self.bands.len() - 1)
+    }
+
+    /// Returns the per-band queue lengths (for `kqdisc` introspection).
+    pub fn band_lengths(&self) -> Vec<usize> {
+        self.bands.iter().map(Fifo::len).collect()
+    }
+}
+
+impl Qdisc for Prio {
+    fn enqueue(&mut self, pkt: QPkt, now: Time) -> Result<(), EnqueueError> {
+        let band = self.band_for(pkt.class);
+        match self.bands[band].enqueue(pkt, now) {
+            Ok(()) => {
+                self.stats.enqueued += 1;
+                self.stats.bytes_enqueued += u64::from(pkt.len);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.dropped += 1;
+                Err(e)
+            }
+        }
+    }
+
+    fn dequeue(&mut self, now: Time) -> Option<QPkt> {
+        for band in &mut self.bands {
+            if let Some(pkt) = band.dequeue(now) {
+                self.stats.dequeued += 1;
+                self.stats.bytes_dequeued += u64::from(pkt.len);
+                return Some(pkt);
+            }
+        }
+        None
+    }
+
+    fn next_ready(&self, _now: Time) -> Option<Time> {
+        None
+    }
+
+    fn len(&self) -> usize {
+        self.bands.iter().map(Fifo::len).sum()
+    }
+
+    fn backlog_bytes(&self) -> u64 {
+        self.bands.iter().map(Fifo::backlog_bytes).sum()
+    }
+
+    fn stats(&self) -> QdiscStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(id: u64, class: u32) -> QPkt {
+        QPkt::new(id, 100, Time::ZERO).with_class(class)
+    }
+
+    #[test]
+    fn high_priority_always_first() {
+        let mut q = Prio::new(3, 16);
+        q.enqueue(pkt(0, 2), Time::ZERO).unwrap();
+        q.enqueue(pkt(1, 1), Time::ZERO).unwrap();
+        q.enqueue(pkt(2, 0), Time::ZERO).unwrap();
+        q.enqueue(pkt(3, 0), Time::ZERO).unwrap();
+        let order: Vec<u64> = std::iter::from_fn(|| q.dequeue(Time::ZERO).map(|p| p.id)).collect();
+        assert_eq!(order, vec![2, 3, 1, 0]);
+    }
+
+    #[test]
+    fn starvation_is_real() {
+        // Strict priority starves low bands while high traffic persists —
+        // the behaviour WFQ exists to fix.
+        let mut q = Prio::new(2, 64);
+        q.enqueue(pkt(99, 1), Time::ZERO).unwrap();
+        for i in 0..10 {
+            q.enqueue(pkt(i, 0), Time::ZERO).unwrap();
+        }
+        for _ in 0..10 {
+            assert_eq!(q.dequeue(Time::ZERO).unwrap().class, 0);
+        }
+        assert_eq!(q.dequeue(Time::ZERO).unwrap().id, 99);
+    }
+
+    #[test]
+    fn overflow_class_collapses_to_last_band() {
+        let mut q = Prio::new(2, 16);
+        q.enqueue(pkt(0, 7), Time::ZERO).unwrap();
+        assert_eq!(q.band_lengths(), vec![0, 1]);
+    }
+
+    #[test]
+    fn per_band_limits() {
+        let mut q = Prio::new(2, 1);
+        q.enqueue(pkt(0, 0), Time::ZERO).unwrap();
+        assert_eq!(q.enqueue(pkt(1, 0), Time::ZERO), Err(EnqueueError::QueueFull));
+        // Other band unaffected.
+        q.enqueue(pkt(2, 1), Time::ZERO).unwrap();
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.stats().dropped, 1);
+    }
+
+    #[test]
+    fn backlog_sums_bands() {
+        let mut q = Prio::new(2, 8);
+        q.enqueue(pkt(0, 0), Time::ZERO).unwrap();
+        q.enqueue(pkt(1, 1), Time::ZERO).unwrap();
+        assert_eq!(q.backlog_bytes(), 200);
+    }
+}

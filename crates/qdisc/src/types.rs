@@ -1,0 +1,128 @@
+//! Common qdisc types and the [`Qdisc`] trait.
+
+use std::fmt;
+
+use sim::Time;
+
+/// A scheduled packet handle: qdiscs schedule metadata, not buffers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct QPkt {
+    /// Unique packet id (for tracing and reordering checks).
+    pub id: u64,
+    /// Frame length in bytes.
+    pub len: u32,
+    /// Scheduler class (assigned by a classifier or overlay program).
+    pub class: u32,
+    /// Arrival instant at the qdisc.
+    pub arrival: Time,
+}
+
+impl QPkt {
+    /// Creates a class-0 packet.
+    pub fn new(id: u64, len: u32, arrival: Time) -> QPkt {
+        QPkt {
+            id,
+            len,
+            class: 0,
+            arrival,
+        }
+    }
+
+    /// Returns a copy assigned to `class`.
+    pub fn with_class(self, class: u32) -> QPkt {
+        QPkt { class, ..self }
+    }
+}
+
+/// Why an enqueue was refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EnqueueError {
+    /// The queue (or the packet's band/class queue) is full; the packet
+    /// is dropped at the tail.
+    QueueFull,
+    /// The packet's class does not exist in this discipline.
+    NoSuchClass {
+        /// The offending class.
+        class: u32,
+    },
+}
+
+impl fmt::Display for EnqueueError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnqueueError::QueueFull => write!(f, "queue full"),
+            EnqueueError::NoSuchClass { class } => write!(f, "no such class {class}"),
+        }
+    }
+}
+
+impl std::error::Error for EnqueueError {}
+
+/// Counters every discipline maintains.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QdiscStats {
+    /// Packets accepted.
+    pub enqueued: u64,
+    /// Packets released.
+    pub dequeued: u64,
+    /// Packets dropped at enqueue.
+    pub dropped: u64,
+    /// Bytes accepted.
+    pub bytes_enqueued: u64,
+    /// Bytes released.
+    pub bytes_dequeued: u64,
+}
+
+/// A queueing discipline.
+///
+/// Time is explicit: shaping disciplines (e.g. [`crate::Tbf`]) may hold
+/// packets until tokens accrue, reporting readiness via
+/// [`Qdisc::next_ready`].
+pub trait Qdisc {
+    /// Offers a packet at instant `now`.
+    fn enqueue(&mut self, pkt: QPkt, now: Time) -> Result<(), EnqueueError>;
+
+    /// Releases the next packet eligible at `now`, if any.
+    fn dequeue(&mut self, now: Time) -> Option<QPkt>;
+
+    /// If the queue is non-empty but nothing is eligible at `now`,
+    /// returns the earliest instant at which [`Qdisc::dequeue`] will
+    /// succeed. Returns `None` if the queue is empty or a packet is
+    /// already eligible.
+    fn next_ready(&self, now: Time) -> Option<Time>;
+
+    /// Returns the number of queued packets.
+    fn len(&self) -> usize;
+
+    /// Returns `true` when no packets are queued.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the queued bytes.
+    fn backlog_bytes(&self) -> u64;
+
+    /// Returns accumulated counters.
+    fn stats(&self) -> QdiscStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qpkt_with_class() {
+        let p = QPkt::new(1, 100, Time::ZERO).with_class(3);
+        assert_eq!(p.class, 3);
+        assert_eq!(p.len, 100);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(EnqueueError::QueueFull.to_string(), "queue full");
+        assert_eq!(
+            EnqueueError::NoSuchClass { class: 9 }.to_string(),
+            "no such class 9"
+        );
+    }
+}

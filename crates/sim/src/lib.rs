@@ -1,0 +1,37 @@
+//! Discrete-event simulation substrate for the Norman KOPI reproduction.
+//!
+//! This crate provides the foundation every other crate in the workspace
+//! builds on:
+//!
+//! * [`time`] — picosecond-resolution virtual time ([`Time`]) and durations
+//!   ([`Dur`]). Picoseconds are required because a 64-byte frame on a
+//!   100 Gbps link serializes in 5.12 ns; nanosecond resolution would
+//!   accumulate large rounding errors across millions of packets.
+//! * [`engine`] — a deterministic discrete-event queue with stable FIFO
+//!   ordering for simultaneous events.
+//! * [`rng`] — a seeded, deterministic random number generator with the
+//!   distributions the workload generators need (uniform, exponential,
+//!   Zipf, Pareto).
+//! * [`stats`] — streaming summaries, log-bucketed latency histograms,
+//!   time series, and rate meters used by the experiment harnesses.
+//! * [`link`] — serialization/propagation delay modelling for a fixed-rate
+//!   network link.
+//! * [`trace`] — a lightweight component trace recorder used to reproduce
+//!   the paper's Figure 1 walkthrough.
+//!
+//! All simulation state is single-threaded and deterministic: running the
+//! same experiment twice with the same seed produces byte-identical output.
+
+pub mod engine;
+pub mod link;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use engine::{EventQueue, ScheduledId};
+pub use link::Link;
+pub use rng::DetRng;
+pub use stats::{Counter, Histogram, RateMeter, Summary, TimeSeries};
+pub use time::{Dur, Time};
+pub use trace::{TraceEvent, Tracer};

@@ -1,0 +1,259 @@
+//! Deterministic random numbers and the distributions workloads need.
+//!
+//! [`DetRng`] wraps [`rand::rngs::StdRng`] behind a small façade so the
+//! rest of the workspace does not depend on the `rand` API surface (which
+//! renames methods between major versions). Every generator in an
+//! experiment derives from a single seed, so a run is reproducible from
+//! its seed alone.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic, seedable random number generator.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    inner: StdRng,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn seed_from_u64(seed: u64) -> DetRng {
+        DetRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator; `salt` distinguishes
+    /// children derived from the same parent state.
+    pub fn fork(&mut self, salt: u64) -> DetRng {
+        let seed = self.next_u64() ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        DetRng::seed_from_u64(seed)
+    }
+
+    /// Returns the next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.random()
+    }
+
+    /// Returns a uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Returns a uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        self.inner.random_range(lo..hi)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        self.inner.random()
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p.clamp(0.0, 1.0)
+    }
+
+    /// Picks a uniformly random element of `items`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items` is empty.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "cannot pick from an empty slice");
+        &items[self.range_usize(0, items.len())]
+    }
+
+    /// Samples an exponential distribution with the given mean.
+    ///
+    /// Used for Poisson-process inter-arrival times. A zero or negative
+    /// mean returns `0.0`.
+    pub fn exponential(&mut self, mean: f64) -> f64 {
+        if mean <= 0.0 {
+            return 0.0;
+        }
+        // Inverse-CDF sampling; `1 - f64()` avoids ln(0).
+        -mean * (1.0 - self.f64()).ln()
+    }
+
+    /// Samples a bounded Pareto distribution (shape `alpha`, scale `xm`),
+    /// truncated at `cap`.
+    ///
+    /// Used for heavy-tailed flow sizes. Degenerate parameters clamp to
+    /// `xm`.
+    pub fn pareto(&mut self, xm: f64, alpha: f64, cap: f64) -> f64 {
+        if xm <= 0.0 || alpha <= 0.0 {
+            return xm.max(0.0);
+        }
+        let u = 1.0 - self.f64();
+        (xm / u.powf(1.0 / alpha)).min(cap)
+    }
+
+    /// Samples an index in `[0, n)` from a Zipf distribution with exponent
+    /// `s`, by inverse-CDF over precomputed weights in [`ZipfTable`].
+    ///
+    /// Prefer building a [`ZipfTable`] once when sampling repeatedly.
+    pub fn zipf(&mut self, table: &ZipfTable) -> usize {
+        table.sample(self)
+    }
+}
+
+/// Precomputed cumulative weights for Zipf sampling.
+#[derive(Clone, Debug)]
+pub struct ZipfTable {
+    cdf: Vec<f64>,
+}
+
+impl ZipfTable {
+    /// Builds a table for `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, s: f64) -> ZipfTable {
+        assert!(n > 0, "Zipf table needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfTable { cdf }
+    }
+
+    /// Returns the number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the table has no ranks (never true by
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank index in `[0, n)`.
+    pub fn sample(&self, rng: &mut DetRng) -> usize {
+        let u = rng.f64();
+        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = DetRng::seed_from_u64(1);
+        let mut b = DetRng::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn fork_is_deterministic_and_independent() {
+        let mut parent1 = DetRng::seed_from_u64(7);
+        let mut parent2 = DetRng::seed_from_u64(7);
+        let mut c1 = parent1.fork(3);
+        let mut c2 = parent2.fork(3);
+        assert_eq!(c1.next_u64(), c2.next_u64());
+        let mut c3 = parent1.fork(4);
+        assert_ne!(c1.next_u64(), c3.next_u64());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = DetRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let v = rng.range_u64(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_close() {
+        let mut rng = DetRng::seed_from_u64(11);
+        let n = 20_000;
+        let mean = 50.0;
+        let sum: f64 = (0..n).map(|_| rng.exponential(mean)).sum();
+        let observed = sum / n as f64;
+        assert!((observed - mean).abs() / mean < 0.05, "observed {observed}");
+    }
+
+    #[test]
+    fn exponential_degenerate_mean() {
+        let mut rng = DetRng::seed_from_u64(1);
+        assert_eq!(rng.exponential(0.0), 0.0);
+        assert_eq!(rng.exponential(-5.0), 0.0);
+    }
+
+    #[test]
+    fn pareto_respects_bounds() {
+        let mut rng = DetRng::seed_from_u64(13);
+        for _ in 0..1000 {
+            let v = rng.pareto(64.0, 1.2, 1_000_000.0);
+            assert!((64.0..=1_000_000.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let mut rng = DetRng::seed_from_u64(17);
+        let table = ZipfTable::new(100, 1.0);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..10_000 {
+            counts[table.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[99] * 5);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = DetRng::seed_from_u64(19);
+        assert!(!rng.chance(0.0));
+        assert!(rng.chance(1.0));
+        // Out-of-range probabilities clamp.
+        assert!(rng.chance(2.0));
+        assert!(!rng.chance(-1.0));
+    }
+
+    #[test]
+    fn pick_covers_all_elements() {
+        let mut rng = DetRng::seed_from_u64(23);
+        let items = [1, 2, 3, 4];
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[*rng.pick(&items) as usize - 1] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,569 @@
+//! Streaming statistics for experiment harnesses.
+//!
+//! * [`Summary`] — count/mean/variance/min/max via Welford's algorithm.
+//! * [`Histogram`] — log-bucketed latency histogram with percentile
+//!   queries, HdrHistogram-style (bounded relative error per bucket).
+//! * [`Counter`] — a named monotonic counter.
+//! * [`RateMeter`] — windowed throughput measurement over virtual time.
+//! * [`TimeSeries`] — (time, value) samples for figure output.
+
+use std::fmt;
+
+use crate::time::{Dur, Time};
+
+/// Streaming count/mean/stddev/min/max over `f64` samples.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Summary {
+        Summary {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Records a [`Dur`] sample in nanoseconds.
+    pub fn record_dur(&mut self, d: Dur) {
+        self.record(d.as_ns_f64());
+    }
+
+    /// Returns the number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the sample mean, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Returns the population standard deviation, or `0.0` when fewer than
+    /// two samples have been recorded.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Returns the smallest sample, or `0.0` when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Returns the largest sample, or `0.0` when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Returns the sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another summary into this one.
+    pub fn merge(&mut self, other: &Summary) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for Summary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.2} sd={:.2} min={:.2} max={:.2}",
+            self.count,
+            self.mean(),
+            self.stddev(),
+            self.min(),
+            self.max()
+        )
+    }
+}
+
+/// Number of linear sub-buckets per power-of-two bucket.
+///
+/// 32 sub-buckets bound the relative error of a percentile query at
+/// 1/32 ≈ 3%.
+const SUB_BUCKETS: usize = 32;
+const SUB_BITS: u32 = 5;
+
+/// Log-bucketed histogram over `u64` values (typically picoseconds).
+///
+/// Values are placed into power-of-two buckets subdivided linearly, so
+/// percentile queries have bounded relative error (~3%) at any magnitude.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: vec![0; 64 * SUB_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = ((value >> shift) as usize) & (SUB_BUCKETS - 1);
+        ((msb - SUB_BITS + 1) as usize) * SUB_BUCKETS + sub
+    }
+
+    fn bucket_low(index: usize) -> u64 {
+        let exp = index / SUB_BUCKETS;
+        let sub = (index % SUB_BUCKETS) as u64;
+        if exp == 0 {
+            sub
+        } else {
+            let base = 1u64 << (exp as u32 + SUB_BITS - 1);
+            base + sub * (base >> SUB_BITS)
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::index(value)] += 1;
+        self.count += 1;
+        self.sum += value as u128;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Records a duration (stored as picoseconds).
+    pub fn record_dur(&mut self, d: Dur) {
+        self.record(d.0);
+    }
+
+    /// Returns the number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns the mean value, or `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Returns the exact minimum recorded value, or `0` when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Returns the exact maximum recorded value, or `0` when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Returns the value at quantile `q` in `[0, 1]` (bucket lower bound),
+    /// or `0` when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_low(i).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Returns the median as a [`Dur`] (assuming picosecond samples).
+    pub fn median_dur(&self) -> Dur {
+        Dur(self.quantile(0.5))
+    }
+
+    /// Returns the p99 as a [`Dur`] (assuming picosecond samples).
+    pub fn p99_dur(&self) -> Dur {
+        Dur(self.quantile(0.99))
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// A named monotonic counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Returns the current value.
+    pub fn get(&self) -> u64 {
+        self.value
+    }
+}
+
+/// Throughput measurement over virtual time.
+///
+/// Records (bytes, packets) and reports rates over the observed span.
+#[derive(Clone, Debug, Default)]
+pub struct RateMeter {
+    bytes: u64,
+    packets: u64,
+    first: Option<Time>,
+    last: Time,
+}
+
+impl RateMeter {
+    /// Creates an empty meter.
+    pub fn new() -> RateMeter {
+        RateMeter::default()
+    }
+
+    /// Records one packet of `bytes` at instant `at`.
+    pub fn record(&mut self, at: Time, bytes: u64) {
+        self.bytes += bytes;
+        self.packets += 1;
+        if self.first.is_none() {
+            self.first = Some(at);
+        }
+        self.last = self.last.max(at);
+    }
+
+    /// Returns total bytes recorded.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Returns total packets recorded.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Returns the observed span from first to last record.
+    pub fn span(&self) -> Dur {
+        match self.first {
+            Some(first) => self.last - first,
+            None => Dur::ZERO,
+        }
+    }
+
+    /// Returns goodput in gigabits per second over `span`, measuring from
+    /// the first record to `end`.
+    ///
+    /// Returns `0.0` if nothing was recorded or the span is zero.
+    pub fn gbps_until(&self, end: Time) -> f64 {
+        let Some(first) = self.first else {
+            return 0.0;
+        };
+        let span = end - first;
+        if span.is_zero() {
+            return 0.0;
+        }
+        (self.bytes * 8) as f64 / span.as_secs_f64() / 1e9
+    }
+
+    /// Returns goodput in gigabits per second over the observed span.
+    pub fn gbps(&self) -> f64 {
+        self.gbps_until(self.last)
+    }
+
+    /// Returns packet rate in millions of packets per second over the
+    /// observed span.
+    pub fn mpps(&self) -> f64 {
+        let span = self.span();
+        if span.is_zero() {
+            return 0.0;
+        }
+        self.packets as f64 / span.as_secs_f64() / 1e6
+    }
+}
+
+/// A sequence of (time, value) samples for figure output.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    samples: Vec<(Time, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Appends a sample. Samples should be pushed in time order.
+    pub fn push(&mut self, at: Time, value: f64) {
+        self.samples.push((at, value));
+    }
+
+    /// Returns the samples.
+    pub fn samples(&self) -> &[(Time, f64)] {
+        &self.samples
+    }
+
+    /// Returns the number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Returns the mean of values in the half-open window `[from, to)`.
+    pub fn window_mean(&self, from: Time, to: Time) -> f64 {
+        let vals: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, v)| *v)
+            .collect();
+        if vals.is_empty() {
+            0.0
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic_moments() {
+        let mut s = Summary::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.record(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-9);
+        assert!((s.stddev() - 2.0).abs() < 1e-9);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!((s.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_summary_is_zeroes() {
+        let s = Summary::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn summary_merge_matches_single_stream() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0 + 50.0).collect();
+        let mut whole = Summary::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut a = Summary::new();
+        let mut b = Summary::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.stddev() - whole.stddev()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_bounded_error() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10_000);
+        let p50 = h.quantile(0.5) as f64;
+        let p99 = h.quantile(0.99) as f64;
+        assert!((p50 - 5_000.0).abs() / 5_000.0 < 0.05, "p50 {p50}");
+        assert!((p99 - 9_900.0).abs() / 9_900.0 < 0.05, "p99 {p99}");
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 10_000);
+    }
+
+    #[test]
+    fn histogram_handles_small_and_huge_values() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(u64::MAX / 2);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0), 0);
+        assert!(h.quantile(1.0) >= u64::MAX / 4);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..100 {
+            a.record(v);
+        }
+        for v in 100..200 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 200);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), 199);
+    }
+
+    #[test]
+    fn histogram_empty_quantile_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn rate_meter_computes_gbps() {
+        let mut m = RateMeter::new();
+        // 1250 bytes every 100 ns for 1 us = 12500 bytes over 900 ns span
+        // measured to the explicit end time of 1 us.
+        for i in 0..10 {
+            m.record(Time::from_ns(i * 100), 1250);
+        }
+        let gbps = m.gbps_until(Time::from_ns(1_000));
+        // 12_500 bytes * 8 bits over 1 us = 100 Gbps.
+        assert!((gbps - 100.0).abs() < 1e-6, "gbps {gbps}");
+        assert_eq!(m.packets(), 10);
+        assert_eq!(m.bytes(), 12_500);
+    }
+
+    #[test]
+    fn rate_meter_empty_is_zero() {
+        let m = RateMeter::new();
+        assert_eq!(m.gbps(), 0.0);
+        assert_eq!(m.mpps(), 0.0);
+        assert_eq!(m.span(), Dur::ZERO);
+    }
+
+    #[test]
+    fn time_series_window_mean() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.push(Time::from_ns(i), i as f64);
+        }
+        let mean = ts.window_mean(Time::from_ns(2), Time::from_ns(5));
+        assert!((mean - 3.0).abs() < 1e-9);
+        assert_eq!(ts.window_mean(Time::from_ns(100), Time::from_ns(200)), 0.0);
+    }
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+}

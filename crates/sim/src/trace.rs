@@ -1,0 +1,144 @@
+//! Component trace recorder.
+//!
+//! [`Tracer`] records (time, component, message) triples as a simulation
+//! runs. The F1 experiment uses it to print the end-to-end walkthrough of
+//! the paper's Figure 1 (app → library → kernel control plane → SmartNIC
+//! dataplane → ring buffer → notification), and tests use it to assert
+//! that traffic takes the intended path through the architecture.
+
+use std::fmt;
+
+use crate::time::Time;
+
+/// One recorded trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual time of the event.
+    pub at: Time,
+    /// Component that emitted the event (e.g. `"nic.pipeline"`).
+    pub component: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>12}] {:<22} {}", self.at.to_string(), self.component, self.message)
+    }
+}
+
+/// An append-only trace of component events.
+///
+/// Tracing can be disabled (the default for performance runs), in which
+/// case [`Tracer::emit`] is a no-op.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer {
+    enabled: bool,
+    events: Vec<TraceEvent>,
+}
+
+impl Tracer {
+    /// Creates a disabled tracer (emits are dropped).
+    pub fn disabled() -> Tracer {
+        Tracer::default()
+    }
+
+    /// Creates an enabled tracer.
+    pub fn enabled() -> Tracer {
+        Tracer {
+            enabled: true,
+            events: Vec::new(),
+        }
+    }
+
+    /// Returns whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an event if tracing is enabled.
+    pub fn emit(&mut self, at: Time, component: &str, message: impl Into<String>) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                component: component.to_string(),
+                message: message.into(),
+            });
+        }
+    }
+
+    /// Returns all recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Returns events emitted by components whose name starts with
+    /// `prefix`.
+    pub fn by_component<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
+        self.events.iter().filter(move |e| e.component.starts_with(prefix))
+    }
+
+    /// Returns `true` if any event message contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.events.iter().any(|e| e.message.contains(needle))
+    }
+
+    /// Clears all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_drops_events() {
+        let mut t = Tracer::disabled();
+        t.emit(Time::ZERO, "nic", "hello");
+        assert!(t.events().is_empty());
+        assert!(!t.contains("hello"));
+    }
+
+    #[test]
+    fn enabled_tracer_records_in_order() {
+        let mut t = Tracer::enabled();
+        t.emit(Time::from_ns(1), "app", "send");
+        t.emit(Time::from_ns(2), "nic.pipeline", "filter pass");
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].component, "app");
+        assert!(t.contains("filter"));
+    }
+
+    #[test]
+    fn by_component_filters_by_prefix() {
+        let mut t = Tracer::enabled();
+        t.emit(Time::ZERO, "nic.pipeline", "a");
+        t.emit(Time::ZERO, "nic.dma", "b");
+        t.emit(Time::ZERO, "kernel", "c");
+        assert_eq!(t.by_component("nic").count(), 2);
+        assert_eq!(t.by_component("kernel").count(), 1);
+    }
+
+    #[test]
+    fn display_includes_component_and_message() {
+        let e = TraceEvent {
+            at: Time::from_ns(5),
+            component: "nic".into(),
+            message: "verdict=PASS".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("nic"));
+        assert!(s.contains("verdict=PASS"));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = Tracer::enabled();
+        t.emit(Time::ZERO, "x", "y");
+        t.clear();
+        assert!(t.events().is_empty());
+        assert!(t.is_enabled());
+    }
+}

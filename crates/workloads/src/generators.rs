@@ -1,0 +1,213 @@
+//! Traffic arrival and size generators.
+
+use sim::{DetRng, Dur, Time};
+
+/// Poisson packet arrivals (exponential inter-arrival times).
+#[derive(Clone, Debug)]
+pub struct PoissonArrivals {
+    rng: DetRng,
+    mean_gap_ns: f64,
+    next: Time,
+}
+
+impl PoissonArrivals {
+    /// Creates a process with `rate_pps` packets per second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_pps` is not positive.
+    pub fn new(rate_pps: f64, rng: DetRng) -> PoissonArrivals {
+        assert!(rate_pps > 0.0, "rate must be positive");
+        PoissonArrivals {
+            rng,
+            mean_gap_ns: 1e9 / rate_pps,
+            next: Time::ZERO,
+        }
+    }
+
+    /// Returns the next arrival instant.
+    pub fn next_arrival(&mut self) -> Time {
+        let gap = self.rng.exponential(self.mean_gap_ns);
+        self.next += Dur::from_ns_f64(gap);
+        self.next
+    }
+}
+
+/// Constant-bit-rate arrivals.
+#[derive(Clone, Debug)]
+pub struct CbrArrivals {
+    interval: Dur,
+    next: Time,
+}
+
+impl CbrArrivals {
+    /// Creates arrivals every `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: Dur) -> CbrArrivals {
+        assert!(!interval.is_zero(), "interval must be positive");
+        CbrArrivals {
+            interval,
+            next: Time::ZERO,
+        }
+    }
+
+    /// Creates arrivals that saturate `gbps` with `frame_bytes` frames.
+    pub fn at_rate(gbps: f64, frame_bytes: u64) -> CbrArrivals {
+        let ns_per_frame = (frame_bytes * 8) as f64 / gbps;
+        CbrArrivals::new(Dur::from_ns_f64(ns_per_frame))
+    }
+
+    /// Returns the next arrival instant.
+    pub fn next_arrival(&mut self) -> Time {
+        self.next += self.interval;
+        self.next
+    }
+}
+
+/// An on/off (bursty, "game-like") source: alternating exponentially
+/// distributed on-periods (CBR packets) and off-periods (silence).
+#[derive(Clone, Debug)]
+pub struct OnOffSource {
+    rng: DetRng,
+    packet_gap: Dur,
+    mean_on_ns: f64,
+    mean_off_ns: f64,
+    burst_until: Time,
+    next: Time,
+}
+
+impl OnOffSource {
+    /// Creates a source sending a packet every `packet_gap` during bursts
+    /// of mean length `mean_on`, separated by silences of mean `mean_off`.
+    pub fn new(packet_gap: Dur, mean_on: Dur, mean_off: Dur, rng: DetRng) -> OnOffSource {
+        OnOffSource {
+            rng,
+            packet_gap,
+            mean_on_ns: mean_on.as_ns_f64(),
+            mean_off_ns: mean_off.as_ns_f64(),
+            burst_until: Time::ZERO,
+            next: Time::ZERO,
+        }
+    }
+
+    /// Returns the next packet instant.
+    pub fn next_arrival(&mut self) -> Time {
+        if self.next >= self.burst_until {
+            // Start a new burst after an off period.
+            let off = self.rng.exponential(self.mean_off_ns);
+            let on = self.rng.exponential(self.mean_on_ns);
+            self.next += Dur::from_ns_f64(off);
+            self.burst_until = self.next + Dur::from_ns_f64(on);
+        }
+        let t = self.next;
+        self.next += self.packet_gap;
+        t
+    }
+}
+
+/// The classic IMIX packet-size mix (7:4:1 of 64/576/1500-byte frames).
+#[derive(Clone, Debug)]
+pub struct Imix {
+    rng: DetRng,
+}
+
+impl Imix {
+    /// Creates an IMIX sampler.
+    pub fn new(rng: DetRng) -> Imix {
+        Imix { rng }
+    }
+
+    /// Samples a frame size in bytes.
+    pub fn sample(&mut self) -> usize {
+        match self.rng.range_u64(0, 12) {
+            0..=6 => 64,
+            7..=10 => 576,
+            _ => 1500,
+        }
+    }
+
+    /// The expected mean size of the mix.
+    pub fn mean() -> f64 {
+        (7.0 * 64.0 + 4.0 * 576.0 + 1500.0) / 12.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_converges() {
+        let mut p = PoissonArrivals::new(1_000_000.0, DetRng::seed_from_u64(1));
+        let n = 100_000;
+        let mut last = Time::ZERO;
+        for _ in 0..n {
+            last = p.next_arrival();
+        }
+        // n arrivals at 1 Mpps should take ~n microseconds.
+        let secs = last.as_secs_f64();
+        let expect = n as f64 / 1e6;
+        assert!((secs - expect).abs() / expect < 0.02, "took {secs}s");
+    }
+
+    #[test]
+    fn poisson_is_monotone() {
+        let mut p = PoissonArrivals::new(100.0, DetRng::seed_from_u64(2));
+        let mut last = Time::ZERO;
+        for _ in 0..1000 {
+            let t = p.next_arrival();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn cbr_is_exact() {
+        let mut c = CbrArrivals::new(Dur::from_ns(100));
+        assert_eq!(c.next_arrival(), Time::from_ns(100));
+        assert_eq!(c.next_arrival(), Time::from_ns(200));
+    }
+
+    #[test]
+    fn cbr_at_line_rate() {
+        // 1500B at 100 Gbps = 120 ns per frame (payload bits only).
+        let mut c = CbrArrivals::at_rate(100.0, 1500);
+        assert_eq!(c.next_arrival(), Time::from_ns(120));
+    }
+
+    #[test]
+    fn onoff_has_bursts_and_gaps() {
+        let mut src = OnOffSource::new(
+            Dur::from_us(1),
+            Dur::from_ms(1),
+            Dur::from_ms(5),
+            DetRng::seed_from_u64(3),
+        );
+        let times: Vec<Time> = (0..10_000).map(|_| src.next_arrival()).collect();
+        // Gaps bimodal: mostly 1us (in-burst), some much larger.
+        let big_gaps = times
+            .windows(2)
+            .filter(|w| w[1] - w[0] > Dur::from_ms(1))
+            .count();
+        assert!(big_gaps > 3, "expected several off periods, got {big_gaps}");
+        // Still monotone.
+        assert!(times.windows(2).all(|w| w[1] >= w[0]));
+    }
+
+    #[test]
+    fn imix_mean_and_support() {
+        let mut imix = Imix::new(DetRng::seed_from_u64(4));
+        let n = 50_000;
+        let mut sum = 0usize;
+        for _ in 0..n {
+            let s = imix.sample();
+            assert!([64, 576, 1500].contains(&s));
+            sum += s;
+        }
+        let mean = sum as f64 / n as f64;
+        assert!((mean - Imix::mean()).abs() / Imix::mean() < 0.05, "mean {mean}");
+    }
+}

@@ -1,0 +1,70 @@
+//! On-NIC NAT gateway — §5 lists NAT among "everything else the kernel
+//! does today" that KOPI must offload. The translation table lives in
+//! NIC SRAM and headers are rewritten with RFC 1624 incremental checksum
+//! updates, never touching payload bytes.
+//!
+//! ```text
+//! cargo run -p norman-examples --bin nat_gateway
+//! ```
+
+use std::net::Ipv4Addr;
+
+use nicsim::{NatTable, Sram, SramCategory};
+use pkt::{FiveTuple, Mac, PacketBuilder};
+
+fn main() {
+    let external = Ipv4Addr::new(203, 0, 113, 1);
+    let mut nat = NatTable::new(external);
+    let mut sram = Sram::typical();
+
+    println!("NAT gateway masquerading as {external} (table in NIC SRAM)\n");
+
+    // Three internal hosts talk to the internet.
+    let hosts = ["192.168.1.10", "192.168.1.11", "192.168.1.12"];
+    let mut ext_ports = Vec::new();
+    for (i, host) in hosts.iter().enumerate() {
+        let outbound = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(host.parse().unwrap(), "93.184.216.34".parse().unwrap())
+            .udp(40_000 + i as u16, 443, b"client-hello")
+            .build();
+        let translated = nat.translate_outbound(&outbound, &mut sram).unwrap();
+        let ft = FiveTuple::from_parsed(&translated.parse().unwrap()).unwrap();
+        println!(
+            "  {host}:{}  =>  {}:{}   (checksums fixed incrementally)",
+            40_000 + i as u16,
+            ft.src_ip,
+            ft.src_port
+        );
+        ext_ports.push(ft.src_port);
+    }
+
+    // Replies find their way back through the table.
+    println!("\nreplies:");
+    for (i, host) in hosts.iter().enumerate() {
+        let reply = PacketBuilder::new()
+            .ether(Mac::local(2), Mac::local(1))
+            .ipv4("93.184.216.34".parse().unwrap(), external)
+            .udp(443, ext_ports[i], b"server-hello")
+            .build();
+        let restored = nat.translate_inbound(&reply).unwrap();
+        let ft = FiveTuple::from_parsed(&restored.parse().unwrap()).unwrap();
+        println!("  {external}:{}  =>  {}:{}", ext_ports[i], ft.dst_ip, ft.dst_port);
+        assert_eq!(ft.dst_ip.to_string(), *host);
+    }
+
+    // A stray inbound packet with no mapping is dropped.
+    let stray = PacketBuilder::new()
+        .ether(Mac::local(2), Mac::local(1))
+        .ipv4("198.51.100.99".parse().unwrap(), external)
+        .udp(53, 4242, b"scan")
+        .build();
+    println!("\nstray inbound to unmapped port: {}", nat.translate_inbound(&stray).unwrap_err());
+
+    let (out, inn, miss) = nat.counters();
+    println!(
+        "\ncounters: {out} outbound, {inn} inbound, {miss} misses; {} mappings using {} B of NIC SRAM",
+        nat.len(),
+        sram.used_by(SramCategory::Nat)
+    );
+}

@@ -1,0 +1,160 @@
+//! Cross-crate integration: the `accept(2)` path (§4.3) and a two-host
+//! end-to-end exchange over a simulated wire.
+
+use std::net::Ipv4Addr;
+
+use norman::host::DeliveryOutcome;
+use norman::{Host, HostConfig, NormanSocket};
+use oskernel::Uid;
+use pkt::{IpProto, Mac, Packet, PacketBuilder};
+use sim::Time;
+
+fn client_frame(server: &Host, src_port: u16, dst_port: u16, payload: &[u8]) -> Packet {
+    PacketBuilder::new()
+        .ether(Mac::local(9), server.cfg.mac)
+        .ipv4(Ipv4Addr::new(10, 0, 0, 2), server.cfg.ip)
+        .udp(src_port, dst_port, payload)
+        .build()
+}
+
+#[test]
+fn listener_accept_promotes_to_fast_path() {
+    let mut host = Host::new(HostConfig::default());
+    let bob = host.spawn(Uid(1001), "bob", "server");
+    let listener = host.listen(bob, IpProto::UDP, 5000).unwrap();
+
+    // First packet from a new client: slow path + pending accept.
+    let first = client_frame(&host, 40_001, 5000, b"hello");
+    let rep = host.deliver_from_wire(&first, Time::ZERO);
+    assert_eq!(rep.outcome, DeliveryOutcome::SlowPath);
+    assert_eq!(host.pending_accept_count(listener), 1);
+
+    // accept() installs the exact-match connection.
+    let conn = host.accept(listener, false).expect("pending connection");
+    assert_eq!(host.pending_accept_count(listener), 0);
+    let c = host.connection(conn).unwrap();
+    assert_eq!(c.tuple.src_port, 40_001);
+    assert_eq!(c.tuple.dst_port, 5000);
+
+    // Subsequent packets from that client ride the fast path.
+    let second = client_frame(&host, 40_001, 5000, b"data");
+    let rep = host.deliver_from_wire(&second, Time::from_us(1));
+    assert_eq!(rep.outcome, DeliveryOutcome::FastPath(conn));
+    let r = host.app_recv(conn, Time::from_us(2), false);
+    assert_eq!(r.len, Some(second.len()));
+
+    // A different client still hits the listener.
+    let other = client_frame(&host, 40_002, 5000, b"hi");
+    let rep = host.deliver_from_wire(&other, Time::from_us(3));
+    assert_eq!(rep.outcome, DeliveryOutcome::SlowPath);
+    assert_eq!(host.pending_accept_count(listener), 1);
+}
+
+#[test]
+fn accept_on_empty_listener_is_none() {
+    let mut host = Host::new(HostConfig::default());
+    let bob = host.spawn(Uid(1001), "bob", "server");
+    let listener = host.listen(bob, IpProto::UDP, 5000).unwrap();
+    assert!(host.accept(listener, false).is_none());
+    // And accept on a non-listener id is also None.
+    assert!(host.accept(nicsim::ConnId(999), false).is_none());
+}
+
+#[test]
+fn listener_respects_port_reservations() {
+    let mut host = Host::new(HostConfig::default());
+    let bob = host.spawn(Uid(1001), "bob", "postgres");
+    let charlie = host.spawn(Uid(1002), "charlie", "mysqld");
+    host.reserve_port(
+        norman::policy::PortReservation::new(5432, Uid(1001)),
+        Time::ZERO,
+    )
+    .unwrap();
+    assert!(host.listen(charlie, IpProto::UDP, 5432).is_err());
+    assert!(host.listen(bob, IpProto::UDP, 5432).is_ok());
+}
+
+#[test]
+fn many_clients_accepted_in_arrival_order() {
+    let mut host = Host::new(HostConfig::default());
+    let bob = host.spawn(Uid(1001), "bob", "server");
+    let listener = host.listen(bob, IpProto::UDP, 6000).unwrap();
+    for i in 0..10u16 {
+        let pkt = client_frame(&host, 50_000 + i, 6000, b"syn");
+        host.deliver_from_wire(&pkt, Time::from_us(u64::from(i)));
+    }
+    assert_eq!(host.pending_accept_count(listener), 10);
+    for i in 0..10u16 {
+        let conn = host.accept(listener, false).unwrap();
+        assert_eq!(host.connection(conn).unwrap().tuple.src_port, 50_000 + i);
+    }
+}
+
+/// Two hosts wired back to back: a full request/response across both
+/// dataplanes, with the "wire" delivering each host's departures to the
+/// other.
+#[test]
+fn two_hosts_request_response_over_wire() {
+    let server_cfg = HostConfig::default();
+    let client_cfg = HostConfig {
+        ip: Ipv4Addr::new(10, 0, 0, 2),
+        mac: Mac::local(2),
+        ..HostConfig::default()
+    };
+    let mut server = Host::new(server_cfg);
+    let mut client = Host::new(client_cfg);
+
+    // Server listens; client connects outward.
+    let srv_pid = server.spawn(Uid(1001), "bob", "server");
+    let listener = server.listen(srv_pid, IpProto::UDP, 7000).unwrap();
+    let cli_pid = client.spawn(Uid(2001), "dana", "client");
+    let cli_sock = NormanSocket::connect(
+        &mut client,
+        cli_pid,
+        IpProto::UDP,
+        40_000,
+        server.cfg.ip,
+        7000,
+        server.cfg.mac,
+        false,
+    )
+    .unwrap();
+
+    // Client sends the request through its own NIC.
+    let s = cli_sock.send(&mut client, b"request", Time::ZERO);
+    assert!(s.queued);
+    let departures = client.pump_tx(Time::ZERO);
+    assert_eq!(departures.len(), 1);
+
+    // The wire: rebuild the frame the client sent and deliver to server.
+    let request_frame = cli_sock.frame(b"request");
+    let rep = server.deliver_from_wire(&request_frame, departures[0].arrives_at);
+    assert_eq!(rep.outcome, DeliveryOutcome::SlowPath); // listener hit
+
+    // Server accepts and now has a fast-path connection to the client.
+    let srv_conn = server.accept(listener, false).expect("client pending");
+
+    // Server responds.
+    let response = PacketBuilder::new()
+        .ether(server.cfg.mac, client.cfg.mac)
+        .ipv4(server.cfg.ip, client.cfg.ip)
+        .udp(7000, 40_000, b"response")
+        .build();
+    let sr = server.app_send(srv_conn, &response, Time::from_us(10));
+    assert!(sr.queued);
+    let deps = server.pump_tx(Time::from_us(10));
+    assert_eq!(deps.len(), 1);
+
+    // Wire back to the client: lands on its fast path.
+    let rep = client.deliver_from_wire(&response, deps[0].arrives_at);
+    assert!(matches!(rep.outcome, DeliveryOutcome::FastPath(_)));
+    let r = cli_sock.recv(&mut client, deps[0].arrives_at, false);
+    assert_eq!(r.len, Some(response.len()));
+
+    // Both administrators retain full visibility of their side.
+    let root = oskernel::Cred::root();
+    let srv_rows = norman::tools::knetstat::connections(&server, &root).unwrap();
+    assert!(srv_rows.iter().any(|r| r.comm == "server" && r.via == "nic"));
+    let cli_rows = norman::tools::knetstat::connections(&client, &root).unwrap();
+    assert!(cli_rows.iter().any(|r| r.comm == "client"));
+}

@@ -1,0 +1,188 @@
+//! Cross-crate integration: full Figure 1 flows on the assembled host.
+
+use std::net::Ipv4Addr;
+
+use norman::host::DeliveryOutcome;
+use norman::{Host, HostConfig, NormanSocket};
+use oskernel::{ProcState, Uid};
+use pkt::{IpProto, Mac, Packet, PacketBuilder};
+use sim::{Dur, Time};
+
+fn peer_frame(host: &Host, src_port: u16, dst_port: u16, payload: &[u8]) -> Packet {
+    PacketBuilder::new()
+        .ether(Mac::local(9), host.cfg.mac)
+        .ipv4(Ipv4Addr::new(10, 0, 0, 2), host.cfg.ip)
+        .udp(src_port, dst_port, payload)
+        .build()
+}
+
+#[test]
+fn echo_round_trip_never_touches_kernel() {
+    let mut host = Host::new(HostConfig::default());
+    let bob = host.spawn(Uid(1001), "bob", "echo");
+    let sock = NormanSocket::connect(
+        &mut host,
+        bob,
+        IpProto::UDP,
+        7000,
+        Ipv4Addr::new(10, 0, 0, 2),
+        9000,
+        Mac::local(9),
+        false,
+    )
+    .unwrap();
+
+    for i in 0..100u32 {
+        let req = peer_frame(&host, 9000, 7000, &i.to_be_bytes());
+        let rep = host.deliver_from_wire(&req, Time::from_us(u64::from(i)));
+        assert!(matches!(rep.outcome, DeliveryOutcome::FastPath(_)));
+        assert_eq!(rep.kernel_cpu, Dur::ZERO);
+        let r = sock.recv(&mut host, Time::from_us(u64::from(i)), false);
+        assert_eq!(r.len, Some(req.len()));
+        let s = sock.send(&mut host, b"ack", Time::from_us(u64::from(i)));
+        assert!(s.queued);
+    }
+    let deps = host.pump_tx(Time::MAX);
+    assert_eq!(deps.len(), 100);
+    assert_eq!(host.stats().fast_delivered, 100);
+    assert_eq!(host.stats().slowpath, 0);
+    assert_eq!(host.kernel_cpu, {
+        // Only the one-time connection setup cost.
+        let mut h2 = Host::new(HostConfig::default());
+        let p2 = h2.spawn(Uid(1001), "bob", "echo");
+        h2.connect(p2, IpProto::UDP, 1, Ipv4Addr::new(10, 0, 0, 2), 1, false)
+            .unwrap();
+        h2.kernel_cpu
+    });
+}
+
+#[test]
+fn many_connections_demux_correctly() {
+    let cfg = HostConfig {
+        ring_slots: 8,
+        ..HostConfig::default()
+    };
+    let mut host = Host::new(cfg);
+    let bob = host.spawn(Uid(1001), "bob", "server");
+    let mut socks = Vec::new();
+    for i in 0..64u16 {
+        socks.push(
+            NormanSocket::connect(
+                &mut host,
+                bob,
+                IpProto::UDP,
+                7000 + i,
+                Ipv4Addr::new(10, 0, 0, 2),
+                9000 + i,
+                Mac::local(9),
+                false,
+            )
+            .unwrap(),
+        );
+    }
+    // Deliver a distinct payload size to each connection, in a shuffled
+    // order; each socket must see exactly its own.
+    for i in (0..64u16).rev() {
+        let req = peer_frame(&host, 9000 + i, 7000 + i, &vec![0u8; 100 + i as usize]);
+        let rep = host.deliver_from_wire(&req, Time::ZERO);
+        assert!(matches!(rep.outcome, DeliveryOutcome::FastPath(_)));
+    }
+    for (i, sock) in socks.iter().enumerate() {
+        let r = sock.recv(&mut host, Time::ZERO, false);
+        assert_eq!(r.len, Some(42 + 100 + i), "socket {i} got wrong frame");
+        assert!(sock.recv(&mut host, Time::ZERO, false).len.is_none());
+    }
+}
+
+#[test]
+fn unknown_flows_fall_back_to_kernel_stack() {
+    let mut host = Host::new(HostConfig::default());
+    let bob = host.spawn(Uid(1001), "bob", "legacy-app");
+    // A legacy app binds a kernel socket instead of a Norman connection.
+    assert!(host.stack.bind(IpProto::UDP, 8080, bob, &host.procs));
+    let req = peer_frame(&host, 1234, 8080, b"legacy");
+    let rep = host.deliver_from_wire(&req, Time::ZERO);
+    assert_eq!(rep.outcome, DeliveryOutcome::SlowPath);
+    assert!(rep.kernel_cpu > Dur::ZERO);
+    let (pkt, _) = host.stack.recv(IpProto::UDP, 8080, false);
+    assert_eq!(pkt.unwrap().len(), req.len());
+}
+
+#[test]
+fn blocking_io_wakes_through_notification_queue() {
+    let mut host = Host::new(HostConfig::default());
+    let bob = host.spawn(Uid(1001), "bob", "server");
+    let sock = NormanSocket::connect(
+        &mut host,
+        bob,
+        IpProto::UDP,
+        7000,
+        Ipv4Addr::new(10, 0, 0, 2),
+        9000,
+        Mac::local(9),
+        true,
+    )
+    .unwrap();
+
+    // Repeated block/wake cycles.
+    for i in 0..10u64 {
+        let t = Time::from_ms(i);
+        let r = sock.recv(&mut host, t, true);
+        assert!(r.blocked);
+        assert_eq!(host.procs.get(bob).unwrap().state, ProcState::Blocked);
+        let rep = host.deliver_from_wire(&peer_frame(&host, 9000, 7000, b"x"), t + Dur::from_us(10));
+        assert_eq!(rep.woke, Some(bob));
+        let r = sock.recv(&mut host, t + Dur::from_us(20), true);
+        assert!(r.len.is_some());
+    }
+    let (blocks, wakeups) = host.sched.counters();
+    assert_eq!(blocks, 10);
+    assert_eq!(wakeups, 10);
+    // Blocked time cost nothing; only switches were charged.
+    assert!(host.sched.meter(bob).switching > Dur::ZERO);
+    assert_eq!(host.sched.meter(bob).polling, Dur::ZERO);
+}
+
+#[test]
+fn close_and_reopen_reuses_resources() {
+    let mut host = Host::new(HostConfig::default());
+    let bob = host.spawn(Uid(1001), "bob", "churner");
+    let baseline = host.nic.sram.used();
+    for _ in 0..100 {
+        let sock = NormanSocket::connect(
+            &mut host,
+            bob,
+            IpProto::UDP,
+            7000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            Mac::local(9),
+            false,
+        )
+        .unwrap();
+        sock.close(&mut host);
+    }
+    assert_eq!(host.nic.sram.used(), baseline, "no SRAM leak across churn");
+    assert_eq!(host.num_connections(), 0);
+}
+
+#[test]
+fn stale_delivery_after_close_takes_slow_path() {
+    let mut host = Host::new(HostConfig::default());
+    let bob = host.spawn(Uid(1001), "bob", "server");
+    let sock = NormanSocket::connect(
+        &mut host,
+        bob,
+        IpProto::UDP,
+        7000,
+        Ipv4Addr::new(10, 0, 0, 2),
+        9000,
+        Mac::local(9),
+        false,
+    )
+    .unwrap();
+    let frame = peer_frame(&host, 9000, 7000, b"late");
+    sock.close(&mut host);
+    let rep = host.deliver_from_wire(&frame, Time::ZERO);
+    assert_eq!(rep.outcome, DeliveryOutcome::SlowPath);
+}

@@ -1,0 +1,490 @@
+//! Property-based tests over the core substrates.
+
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+use memsim::{HostRing, Llc, LlcConfig, MemCosts};
+use overlay::{PktCtx, Verdict, Vm};
+use pkt::{
+    checksum, FiveTuple, IpProto, Mac, PacketBuilder, Payload, RssHasher, TcpFlags,
+};
+use qdisc::{Drr, Fifo, QPkt, Qdisc, Wfq};
+use sim::{Dur, EventQueue, Histogram, Time};
+
+fn arb_ip() -> impl Strategy<Value = Ipv4Addr> {
+    any::<u32>().prop_map(Ipv4Addr::from)
+}
+
+proptest! {
+    /// Any UDP frame we build parses back to exactly what we put in.
+    #[test]
+    fn udp_build_parse_round_trip(
+        src in arb_ip(),
+        dst in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..1400),
+    ) {
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(src, dst)
+            .udp(sport, dport, &payload)
+            .build();
+        let parsed = pkt.parse().unwrap();
+        prop_assert_eq!(parsed.ports(), Some((sport, dport)));
+        let ip = parsed.ip().unwrap();
+        prop_assert_eq!(ip.src, src);
+        prop_assert_eq!(ip.dst, dst);
+        match parsed.payload {
+            Payload::Udp { payload: range, .. } => {
+                prop_assert_eq!(&pkt.bytes()[range], &payload[..]);
+            }
+            _ => prop_assert!(false, "expected UDP"),
+        }
+    }
+
+    /// TCP frames round-trip including sequence numbers and flags.
+    #[test]
+    fn tcp_build_parse_round_trip(
+        src in arb_ip(),
+        dst in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..600),
+    ) {
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(src, dst)
+            .tcp(sport, dport, TcpFlags::ACK.with(TcpFlags::PSH), &payload)
+            .tcp_seq(seq, ack)
+            .build();
+        match pkt.parse().unwrap().payload {
+            Payload::Tcp { tcp, .. } => {
+                prop_assert_eq!(tcp.seq, seq);
+                prop_assert_eq!(tcp.ack, ack);
+                prop_assert!(tcp.flags.contains(TcpFlags::PSH));
+            }
+            _ => prop_assert!(false, "expected TCP"),
+        }
+    }
+
+    /// Flipping any single byte of an IPv4 header breaks its checksum.
+    #[test]
+    fn ipv4_checksum_detects_single_byte_corruption(
+        src in arb_ip(),
+        dst in arb_ip(),
+        corrupt_at in 0usize..20,
+        xor in 1u8..=255,
+    ) {
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(src, dst)
+            .udp(1, 2, b"x")
+            .build();
+        let mut bytes = pkt.bytes().to_vec();
+        bytes[14 + corrupt_at] ^= xor;
+        prop_assert!(!checksum::verify(&bytes[14..34]));
+    }
+
+    /// The Toeplitz hash steers a flow and its retransmissions to one
+    /// queue, within bounds.
+    #[test]
+    fn rss_is_deterministic_and_bounded(
+        src in arb_ip(),
+        dst in arb_ip(),
+        sport in any::<u16>(),
+        dport in any::<u16>(),
+        queues in 1u32..64,
+    ) {
+        let h = RssHasher::with_default_key(queues);
+        let ft = FiveTuple::udp(src, sport, dst, dport);
+        let q = h.queue_for(&ft);
+        prop_assert!(q < queues);
+        prop_assert_eq!(q, h.queue_for(&ft));
+    }
+
+    /// FIFO conserves packets and bytes and preserves order.
+    #[test]
+    fn fifo_conservation(lens in proptest::collection::vec(60u32..1500, 1..200)) {
+        let mut q = Fifo::new(1024);
+        for (i, &len) in lens.iter().enumerate() {
+            q.enqueue(QPkt::new(i as u64, len, Time::ZERO), Time::ZERO).unwrap();
+        }
+        let mut out = Vec::new();
+        while let Some(p) = q.dequeue(Time::ZERO) {
+            out.push(p);
+        }
+        prop_assert_eq!(out.len(), lens.len());
+        prop_assert!(out.windows(2).all(|w| w[0].id < w[1].id));
+        let bytes_in: u64 = lens.iter().map(|&l| u64::from(l)).sum();
+        let bytes_out: u64 = out.iter().map(|p| u64::from(p.len)).sum();
+        prop_assert_eq!(bytes_in, bytes_out);
+        prop_assert_eq!(q.backlog_bytes(), 0);
+    }
+
+    /// WFQ conserves packets and is FIFO within each class.
+    #[test]
+    fn wfq_conservation_and_intra_class_order(
+        pkts in proptest::collection::vec((0u32..4, 60u32..1500), 1..300),
+    ) {
+        let mut q = Wfq::new(&[1.0, 2.0, 4.0, 8.0], 4096);
+        for (i, &(class, len)) in pkts.iter().enumerate() {
+            q.enqueue(QPkt::new(i as u64, len, Time::ZERO).with_class(class), Time::ZERO).unwrap();
+        }
+        let mut out = Vec::new();
+        while let Some(p) = q.dequeue(Time::ZERO) {
+            out.push(p);
+        }
+        prop_assert_eq!(out.len(), pkts.len());
+        for class in 0..4u32 {
+            let ids: Vec<u64> = out.iter().filter(|p| p.class == class).map(|p| p.id).collect();
+            prop_assert!(ids.windows(2).all(|w| w[0] < w[1]), "class {} reordered", class);
+        }
+    }
+
+    /// DRR likewise conserves and never loses a class's packets.
+    #[test]
+    fn drr_conservation(
+        pkts in proptest::collection::vec((0u32..3, 60u32..1500), 1..300),
+    ) {
+        let mut q = Drr::new(&[500, 1500, 4500], 4096);
+        for (i, &(class, len)) in pkts.iter().enumerate() {
+            q.enqueue(QPkt::new(i as u64, len, Time::ZERO).with_class(class), Time::ZERO).unwrap();
+        }
+        let mut count = 0;
+        while q.dequeue(Time::ZERO).is_some() {
+            count += 1;
+        }
+        prop_assert_eq!(count, pkts.len());
+        prop_assert!(q.is_empty());
+    }
+
+    /// The event queue delivers every event exactly once, in time order,
+    /// FIFO among equal timestamps.
+    #[test]
+    fn event_queue_total_order(times in proptest::collection::vec(0u64..1000, 1..300)) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule_at(Time::from_ns(t), i);
+        }
+        let mut delivered = Vec::new();
+        q.run_to_completion(|t, i| delivered.push((t, i)));
+        prop_assert_eq!(delivered.len(), times.len());
+        for w in delivered.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0);
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "FIFO tie-break violated");
+            }
+        }
+    }
+
+    /// Histogram quantiles are monotone and bounded by min/max.
+    #[test]
+    fn histogram_quantiles_monotone(values in proptest::collection::vec(1u64..1_000_000, 1..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let qs: Vec<u64> = [0.0, 0.25, 0.5, 0.75, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        prop_assert!(qs.windows(2).all(|w| w[0] <= w[1]));
+        let min = *values.iter().min().unwrap();
+        let max = *values.iter().max().unwrap();
+        prop_assert!(qs[0] >= min.min(h.quantile(0.0)));
+        prop_assert!(*qs.last().unwrap() <= max);
+    }
+
+    /// Ring buffers are FIFO and conserve lengths under arbitrary
+    /// produce/consume interleavings.
+    #[test]
+    fn host_ring_fifo_under_interleaving(ops in proptest::collection::vec(any::<bool>(), 1..400)) {
+        let mut llc = Llc::new(LlcConfig::xeon_default());
+        let costs = MemCosts::default();
+        let mut ring = HostRing::new(0, 32, 2048);
+        let mut expected = std::collections::VecDeque::new();
+        let mut next_len = 100usize;
+        for produce in ops {
+            if produce {
+                match ring.produce_dma(next_len, &mut llc, &costs) {
+                    Ok(_) => {
+                        expected.push_back(next_len);
+                        next_len = 100 + (next_len + 37) % 1900;
+                    }
+                    Err(_) => prop_assert!(ring.is_full()),
+                }
+            } else {
+                match ring.consume_cpu(&mut llc, &costs) {
+                    Some((len, _)) => prop_assert_eq!(Some(len), expected.pop_front()),
+                    None => prop_assert!(expected.is_empty()),
+                }
+            }
+        }
+        prop_assert_eq!(ring.len(), expected.len());
+    }
+
+    /// The builtin port filter, under arbitrary reservations and packets,
+    /// exactly implements the reservation predicate.
+    #[test]
+    fn port_filter_equals_reference_predicate(
+        reserved_port in 1u16..=u16::MAX,
+        owner_uid in 0u32..10_000,
+        pkt_port in 1u16..=u16::MAX,
+        pkt_uid in 0u32..10_000,
+        egress in any::<bool>(),
+    ) {
+        let mut vm = Vm::new(overlay::builtins::port_owner_filter());
+        vm.map_set(0, reserved_port as usize, u64::from(owner_uid) + 1);
+        let ctx = PktCtx {
+            dst_port: if egress { 0 } else { pkt_port },
+            src_port: if egress { pkt_port } else { 0 },
+            uid: pkt_uid,
+            egress,
+            ..PktCtx::default()
+        };
+        let verdict = vm.run(&ctx).unwrap().verdict;
+        let expect = if pkt_port == reserved_port && pkt_uid != owner_uid {
+            Verdict::Drop
+        } else {
+            Verdict::Pass
+        };
+        prop_assert_eq!(verdict, expect);
+    }
+
+    /// Verified overlay programs always terminate within their length.
+    #[test]
+    fn verified_programs_bounded(
+        dst_port in any::<u16>(),
+        uid in any::<u32>(),
+        len in 60u64..1500,
+    ) {
+        for prog in [
+            overlay::builtins::port_owner_filter(),
+            overlay::builtins::token_bucket(),
+            overlay::builtins::uid_classifier(),
+            overlay::builtins::byte_accounting(),
+        ] {
+            let bound = overlay::verify(&prog).unwrap();
+            let mut vm = Vm::new(prog);
+            let ctx = PktCtx {
+                dst_port,
+                uid,
+                pkt_len: len,
+                ..PktCtx::default()
+            };
+            let exec = vm.run(&ctx).unwrap();
+            prop_assert!(exec.cycles as usize <= bound);
+        }
+    }
+
+    /// Link serialization is additive: N frames take N times one frame,
+    /// regardless of arrival pattern (when saturated).
+    #[test]
+    fn link_serialization_additive(n in 1u64..100, bytes in 64u64..1500) {
+        let mut link = sim::Link::new(100.0, Dur::ZERO);
+        let mut last = Time::ZERO;
+        for _ in 0..n {
+            last = link.transmit(Time::ZERO, bytes);
+        }
+        let single = link.serialization(bytes);
+        prop_assert_eq!(last, Time::ZERO + single * n);
+    }
+
+    /// Time arithmetic is consistent: (t + d) - t == d for in-range values.
+    #[test]
+    fn time_arithmetic_consistent(t in 0u64..u64::MAX / 2, d in 0u64..u64::MAX / 4) {
+        let time = Time(t);
+        let dur = Dur(d);
+        prop_assert_eq!((time + dur) - time, dur);
+        prop_assert_eq!((time + dur) - dur, time);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The assembler and verifier agree: anything the assembler emits
+    /// from a template of valid policies verifies.
+    #[test]
+    fn assembled_templates_verify(port in 1u16..=u16::MAX, classes in 1u32..16) {
+        let src = format!(
+            "
+            ldctx r0, dst_port
+            jeq r0, {port}, special
+            ret class 0
+            special:
+            ret class {cls}
+            ",
+            port = port,
+            cls = classes,
+        );
+        let prog = overlay::assemble("template", &src).unwrap();
+        prop_assert!(overlay::verify(&prog).is_ok());
+        let mut vm = Vm::new(prog);
+        let ctx = PktCtx { dst_port: port, ..PktCtx::default() };
+        prop_assert_eq!(vm.run(&ctx).unwrap().verdict, Verdict::Class(classes));
+    }
+
+    /// NIC flow-table: whatever mix of inserts/removes, lookups only hit
+    /// live connections, and SRAM accounting balances.
+    #[test]
+    fn flowtable_sram_balances(ports in proptest::collection::vec(1u16..1000, 1..100)) {
+        let mut sram = nicsim::Sram::new(1 << 20);
+        let mut ft = nicsim::FlowTable::new();
+        let mut live = std::collections::HashMap::new();
+        for (i, &port) in ports.iter().enumerate() {
+            let tuple = FiveTuple::udp(
+                Ipv4Addr::new(10, 0, 0, 2),
+                5000,
+                Ipv4Addr::new(10, 0, 0, 1),
+                port,
+            );
+            if i % 3 == 2 {
+                if let Some((_, id)) = live.iter().next().map(|(k, v)| (*k, *v)) {
+                    ft.remove(id, &mut sram);
+                    let key = live.iter().find(|&(_, v)| *v == id).map(|(k, _)| *k).unwrap();
+                    live.remove(&key);
+                }
+            } else if let std::collections::hash_map::Entry::Vacant(e) = live.entry(tuple) {
+                let id = ft.insert(tuple, 0, 1, "p", false, &mut sram).unwrap();
+                e.insert(id);
+            }
+        }
+        prop_assert_eq!(
+            sram.used_by(nicsim::SramCategory::FlowTable),
+            live.len() as u64 * nicsim::flowtable::ENTRY_BYTES
+        );
+        for (tuple, id) in &live {
+            prop_assert_eq!(ft.lookup(tuple), Some(*id));
+        }
+    }
+
+    /// Deterministic RNG: identical seeds produce identical workload
+    /// traces end-to-end.
+    #[test]
+    fn workloads_are_reproducible(seed in any::<u64>()) {
+        use workloads::PoissonArrivals;
+        let mut a = PoissonArrivals::new(10_000.0, sim::DetRng::seed_from_u64(seed));
+        let mut b = PoissonArrivals::new(10_000.0, sim::DetRng::seed_from_u64(seed));
+        for _ in 0..100 {
+            prop_assert_eq!(a.next_arrival(), b.next_arrival());
+        }
+    }
+}
+
+/// Non-proptest sanity companion: the proto constant used above.
+#[test]
+fn ipproto_udp_is_17() {
+    assert_eq!(IpProto::UDP.0, 17);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The frame parser never panics on arbitrary bytes — it returns
+    /// structured errors for every malformed input.
+    #[test]
+    fn parser_is_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..200)) {
+        let _ = pkt::Packet::from_bytes(bytes).parse();
+    }
+
+    /// The parser also never panics on *almost*-valid frames: take a
+    /// valid frame and flip one byte anywhere.
+    #[test]
+    fn parser_is_total_on_corrupted_frames(
+        corrupt_at in 0usize..100,
+        xor in 1u8..=255,
+        payload in proptest::collection::vec(any::<u8>(), 0..60),
+    ) {
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(Ipv4Addr::new(10, 0, 0, 1), Ipv4Addr::new(10, 0, 0, 2))
+            .udp(1, 2, &payload)
+            .build();
+        let mut bytes = pkt.bytes().to_vec();
+        let idx = corrupt_at % bytes.len();
+        bytes[idx] ^= xor;
+        let _ = pkt::Packet::from_bytes(bytes).parse();
+    }
+
+    /// NAT round trip: any internal endpoint masquerades out and any
+    /// reply restores the exact original endpoint, with valid checksums
+    /// at every step.
+    #[test]
+    fn nat_round_trip(
+        host_octet in 1u8..=254,
+        int_port in 1u16..=u16::MAX,
+        remote in arb_ip(),
+        remote_port in 1u16..=u16::MAX,
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let internal = Ipv4Addr::new(192, 168, 1, host_octet);
+        let external = Ipv4Addr::new(203, 0, 113, 1);
+        prop_assume!(remote != external && remote != internal);
+        let mut nat = nicsim::NatTable::new(external);
+        let mut sram = nicsim::Sram::new(1 << 20);
+        let out_frame = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(internal, remote)
+            .udp(int_port, remote_port, &payload)
+            .build();
+        let masq = nat.translate_outbound(&out_frame, &mut sram).unwrap();
+        let mt = FiveTuple::from_parsed(&masq.parse().unwrap()).unwrap();
+        prop_assert_eq!(mt.src_ip, external);
+
+        let reply = PacketBuilder::new()
+            .ether(Mac::local(2), Mac::local(1))
+            .ipv4(remote, external)
+            .udp(remote_port, mt.src_port, &payload)
+            .build();
+        let restored = nat.translate_inbound(&reply).unwrap();
+        let rt = FiveTuple::from_parsed(&restored.parse().unwrap()).unwrap();
+        prop_assert_eq!(rt.dst_ip, internal);
+        prop_assert_eq!(rt.dst_port, int_port);
+    }
+
+    /// Incremental checksum updates agree with full recomputation for
+    /// arbitrary address/port rewrites.
+    #[test]
+    fn mutate_preserves_checksum_validity(
+        new_src in arb_ip(),
+        new_port in 1u16..=u16::MAX,
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+    ) {
+        let original = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(Ipv4Addr::new(10, 1, 2, 3), Ipv4Addr::new(10, 4, 5, 6))
+            .udp(1111, 2222, &payload)
+            .build();
+        let rewritten = pkt::mutate::rewrite_ipv4_addrs(&original, Some(new_src), None).unwrap();
+        let rewritten = pkt::mutate::rewrite_ports(&rewritten, Some(new_port), None).unwrap();
+        // parse() verifies the IP checksum; verify the UDP sum explicitly.
+        let parsed = rewritten.parse().unwrap();
+        let ft = FiveTuple::from_parsed(&parsed).unwrap();
+        prop_assert_eq!(ft.src_ip, new_src);
+        prop_assert_eq!(ft.src_port, new_port);
+        prop_assert!(pkt::UdpHeader::verify_segment(
+            new_src,
+            Ipv4Addr::new(10, 4, 5, 6),
+            &rewritten.bytes()[34..]
+        ));
+    }
+
+    /// ECN marking is idempotent and never invalidates the IP checksum.
+    #[test]
+    fn ecn_marking_idempotent(ecn in 0u8..4, payload_len in 0usize..100) {
+        let p = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(Ipv4Addr::new(1, 2, 3, 4), Ipv4Addr::new(5, 6, 7, 8))
+            .udp(1, 2, &vec![0u8; payload_len])
+            .build();
+        let once = pkt::mutate::set_ecn(&p, ecn).unwrap();
+        let twice = pkt::mutate::set_ecn(&once, ecn).unwrap();
+        prop_assert_eq!(once.bytes(), twice.bytes());
+        prop_assert_eq!(pkt::mutate::ecn_of(&twice).unwrap(), ecn & 0b11);
+        prop_assert!(twice.parse().is_ok());
+    }
+}
