@@ -1,11 +1,14 @@
-//! Criterion view of E1: simulation-time cost of computing one packet's
-//! traversal under each datapath architecture, plus end-to-end Norman
-//! host paths (delivery, recv, send, policy ops). These benchmark the
-//! *simulator* itself; the modelled per-packet costs are E1's output.
+//! Simulation-time cost of computing one packet's traversal under each
+//! datapath architecture, plus end-to-end Norman host paths (delivery,
+//! recv, send, policy ops). These benchmark the *simulator* itself; the
+//! modelled per-packet costs are E1's output.
+//!
+//! Plain `Instant`-based harness (no external bench framework). Run with
+//! `cargo bench --bench datapaths`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
+use std::time::{Duration, Instant};
 
 use norman::arch::{Architecture, DatapathKind};
 use norman::{Host, HostConfig};
@@ -13,19 +16,35 @@ use oskernel::Uid;
 use pkt::{IpProto, Mac, PacketBuilder};
 use sim::Time;
 
-fn bench_architectures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("arch_model");
-    for kind in DatapathKind::ALL {
-        let mut a = Architecture::new(kind);
-        g.bench_function(format!("rx_cost_{}", kind.name()), |b| {
-            b.iter(|| a.rx_cost(black_box(1500)))
-        });
+/// Runs `f` repeatedly for ~200 ms after a 20 ms warmup and prints the
+/// mean wall-clock cost per iteration.
+fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    let warmup = Instant::now();
+    while warmup.elapsed() < Duration::from_millis(20) {
+        f();
     }
-    g.finish();
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < Duration::from_millis(200) {
+        for _ in 0..64 {
+            f();
+        }
+        iters += 64;
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{group}/{name}: {ns:10.1} ns/iter  ({iters} iters)");
 }
 
-fn bench_host_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("host_path");
+fn bench_architectures() {
+    for kind in DatapathKind::ALL {
+        let mut a = Architecture::new(kind);
+        bench("arch_model", &format!("rx_cost_{}", kind.name()), || {
+            black_box(a.rx_cost(black_box(1500)));
+        });
+    }
+}
+
+fn bench_host_paths() {
     let cfg = HostConfig {
         ring_slots: 1024,
         ..HostConfig::default()
@@ -46,49 +65,44 @@ fn bench_host_paths(c: &mut Criterion) {
         .udp(7000, 9000, &[0u8; 1458])
         .build();
 
-    g.bench_function("deliver_and_recv_1500B", |b| {
-        b.iter(|| {
-            host.deliver_from_wire(black_box(&inbound), Time::ZERO);
-            host.app_recv(conn, Time::ZERO, false)
-        })
+    bench("host_path", "deliver_and_recv_1500B", || {
+        host.deliver_from_wire(black_box(&inbound), Time::ZERO);
+        black_box(host.app_recv(conn, Time::ZERO, false));
     });
-    g.bench_function("send_and_pump_1500B", |b| {
-        b.iter(|| {
-            host.app_send(conn, black_box(&outbound), Time::ZERO);
-            host.pump_tx(Time::MAX)
-        })
+    bench("host_path", "send_and_pump_1500B", || {
+        host.app_send(conn, black_box(&outbound), Time::ZERO);
+        black_box(host.pump_tx(Time::MAX));
     });
-    g.finish();
 }
 
-fn bench_control_plane(c: &mut Criterion) {
-    let mut g = c.benchmark_group("control_plane");
-    g.bench_function("connect_close_cycle", |b| {
-        let mut host = Host::new(HostConfig::default());
-        let pid = host.spawn(Uid(1001), "bob", "server");
-        let mut port = 1024u16;
-        b.iter(|| {
-            port = if port >= 60_000 { 1024 } else { port + 1 };
-            let id = host
-                .connect(pid, IpProto::UDP, port, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
-                .unwrap();
-            host.close(id)
-        })
+fn bench_control_plane() {
+    let mut host = Host::new(HostConfig::default());
+    let pid = host.spawn(Uid(1001), "bob", "server");
+    let mut port = 1024u16;
+    bench("control_plane", "connect_close_cycle", || {
+        port = if port >= 60_000 { 1024 } else { port + 1 };
+        let id = host
+            .connect(pid, IpProto::UDP, port, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
+            .unwrap();
+        black_box(host.close(id));
     });
-    g.bench_function("overlay_policy_swap", |b| {
-        let mut host = Host::new(HostConfig::default());
-        b.iter(|| {
-            host.nic
+    let mut host2 = Host::new(HostConfig::default());
+    bench("control_plane", "overlay_policy_swap", || {
+        black_box(
+            host2
+                .nic
                 .load_program(
                     nicsim::device::ProgramSlot::IngressFilter,
                     overlay::builtins::port_owner_filter(),
                     Time::ZERO,
                 )
-                .unwrap()
-        })
+                .unwrap(),
+        );
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_architectures, bench_host_paths, bench_control_plane);
-criterion_main!(benches);
+fn main() {
+    bench_architectures();
+    bench_host_paths();
+    bench_control_plane();
+}

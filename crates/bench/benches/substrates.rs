@@ -2,9 +2,13 @@
 //! hashing, qdisc enqueue/dequeue, overlay dispatch, flow-table lookup,
 //! and the ring/LLC model. These are the per-packet building blocks every
 //! experiment composes.
+//!
+//! Plain `Instant`-based harness (no external bench framework): each
+//! benchmark warms up briefly, then reports mean ns/iter over a fixed
+//! duration. Run with `cargo bench --bench substrates`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 use memsim::{HostRing, Llc, LlcConfig, MemCosts};
 use nicsim::{FlowTable, Sram};
@@ -13,24 +17,43 @@ use pkt::{FiveTuple, Mac, PacketBuilder, RssHasher};
 use qdisc::{Drr, Fifo, QPkt, Qdisc, Tbf, Wfq};
 use sim::Time;
 
-fn bench_pkt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("pkt");
+/// Runs `f` repeatedly for ~200 ms after a 20 ms warmup and prints the
+/// mean wall-clock cost per iteration.
+fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    let warmup = Instant::now();
+    while warmup.elapsed() < Duration::from_millis(20) {
+        f();
+    }
+    let mut iters = 0u64;
+    let start = Instant::now();
+    while start.elapsed() < Duration::from_millis(200) {
+        // Batch 64 calls per clock read so timing overhead stays small.
+        for _ in 0..64 {
+            f();
+        }
+        iters += 64;
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{group}/{name}: {ns:10.1} ns/iter  ({iters} iters)");
+}
+
+fn bench_pkt() {
     let frame = PacketBuilder::new()
         .ether(Mac::local(1), Mac::local(2))
         .ipv4("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
         .udp(5432, 9000, &[0u8; 1458])
         .build();
-    g.bench_function("parse_1500B", |b| {
-        b.iter(|| black_box(&frame).parse().unwrap())
+    bench("pkt", "parse_1500B", || {
+        black_box(black_box(&frame).parse().unwrap());
     });
-    g.bench_function("build_udp_1500B", |b| {
-        b.iter(|| {
+    bench("pkt", "build_udp_1500B", || {
+        black_box(
             PacketBuilder::new()
                 .ether(Mac::local(1), Mac::local(2))
                 .ipv4("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
                 .udp(5432, 9000, black_box(&[0u8; 1458]))
-                .build()
-        })
+                .build(),
+        );
     });
     let hasher = RssHasher::with_default_key(16);
     let ft = FiveTuple::udp(
@@ -39,50 +62,40 @@ fn bench_pkt(c: &mut Criterion) {
         "10.0.0.2".parse().unwrap(),
         9000,
     );
-    g.bench_function("toeplitz_hash", |b| b.iter(|| hasher.hash(black_box(&ft))));
-    g.finish();
+    bench("pkt", "toeplitz_hash", || {
+        black_box(hasher.hash(black_box(&ft)));
+    });
 }
 
-fn bench_qdisc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("qdisc");
+fn bench_qdisc() {
     let pkt = QPkt::new(1, 1500, Time::ZERO);
-    g.bench_function("fifo_enq_deq", |b| {
-        let mut q = Fifo::new(4096);
-        b.iter(|| {
-            q.enqueue(black_box(pkt), Time::ZERO).unwrap();
-            q.dequeue(Time::ZERO).unwrap()
-        })
+    let mut fifo = Fifo::new(4096);
+    bench("qdisc", "fifo_enq_deq", || {
+        fifo.enqueue(black_box(pkt), Time::ZERO).unwrap();
+        black_box(fifo.dequeue(Time::ZERO).unwrap());
     });
-    g.bench_function("wfq_enq_deq_8class", |b| {
-        let mut q = Wfq::new(&[1.0; 8], 4096);
-        let mut i = 0u32;
-        b.iter(|| {
-            i = (i + 1) % 8;
-            q.enqueue(pkt.with_class(i), Time::ZERO).unwrap();
-            q.dequeue(Time::ZERO).unwrap()
-        })
+    let mut wfq = Wfq::new(&[1.0; 8], 4096);
+    let mut i = 0u32;
+    bench("qdisc", "wfq_enq_deq_8class", || {
+        i = (i + 1) % 8;
+        wfq.enqueue(pkt.with_class(i), Time::ZERO).unwrap();
+        black_box(wfq.dequeue(Time::ZERO).unwrap());
     });
-    g.bench_function("drr_enq_deq_8class", |b| {
-        let mut q = Drr::new(&[1500; 8], 4096);
-        let mut i = 0u32;
-        b.iter(|| {
-            i = (i + 1) % 8;
-            q.enqueue(pkt.with_class(i), Time::ZERO).unwrap();
-            q.dequeue(Time::ZERO).unwrap()
-        })
+    let mut drr = Drr::new(&[1500; 8], 4096);
+    let mut j = 0u32;
+    bench("qdisc", "drr_enq_deq_8class", || {
+        j = (j + 1) % 8;
+        drr.enqueue(pkt.with_class(j), Time::ZERO).unwrap();
+        black_box(drr.dequeue(Time::ZERO).unwrap());
     });
-    g.bench_function("tbf_enq_deq", |b| {
-        let mut q = Tbf::new(u64::MAX / 2, u64::MAX / 2, 4096);
-        b.iter(|| {
-            q.enqueue(black_box(pkt), Time::ZERO).unwrap();
-            q.dequeue(Time::ZERO).unwrap()
-        })
+    let mut tbf = Tbf::new(u64::MAX / 2, u64::MAX / 2, 4096);
+    bench("qdisc", "tbf_enq_deq", || {
+        tbf.enqueue(black_box(pkt), Time::ZERO).unwrap();
+        black_box(tbf.dequeue(Time::ZERO).unwrap());
     });
-    g.finish();
 }
 
-fn bench_overlay(c: &mut Criterion) {
-    let mut g = c.benchmark_group("overlay");
+fn bench_overlay() {
     let ctx = PktCtx {
         dst_port: 5432,
         uid: 1001,
@@ -96,13 +109,13 @@ fn bench_overlay(c: &mut Criterion) {
         ("byte_accounting", builtins::byte_accounting()),
     ] {
         let mut vm = Vm::new(prog);
-        g.bench_function(name, |b| b.iter(|| vm.run(black_box(&ctx)).unwrap()));
+        bench("overlay", name, || {
+            black_box(vm.run(black_box(&ctx)).unwrap());
+        });
     }
-    g.finish();
 }
 
-fn bench_flowtable(c: &mut Criterion) {
-    let mut g = c.benchmark_group("flowtable");
+fn bench_flowtable() {
     let mut sram = Sram::new(1 << 30);
     let mut ft = FlowTable::new();
     let mut tuples = Vec::new();
@@ -117,36 +130,28 @@ fn bench_flowtable(c: &mut Criterion) {
         tuples.push(t);
     }
     let mut i = 0;
-    g.bench_function("lookup_10k_entries", |b| {
-        b.iter(|| {
-            i = (i + 1) % tuples.len();
-            ft.lookup(black_box(&tuples[i])).unwrap()
-        })
+    bench("flowtable", "lookup_10k_entries", || {
+        i = (i + 1) % tuples.len();
+        black_box(ft.lookup(black_box(&tuples[i])).unwrap());
     });
-    g.finish();
 }
 
-fn bench_memsim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memsim");
+fn bench_memsim() {
     let costs = MemCosts::default();
-    g.bench_function("llc_access_hot_line", |b| {
-        let mut llc = Llc::new(LlcConfig::xeon_default());
-        llc.access(0, memsim::AccessKind::CpuRead);
-        b.iter(|| llc.access(black_box(0), memsim::AccessKind::CpuRead))
+    let mut llc = Llc::new(LlcConfig::xeon_default());
+    llc.access(0, memsim::AccessKind::CpuRead);
+    bench("memsim", "llc_access_hot_line", || {
+        black_box(llc.access(black_box(0), memsim::AccessKind::CpuRead));
     });
-    g.bench_function("ring_produce_consume_1500B", |b| {
-        let mut llc = Llc::new(LlcConfig::xeon_default());
-        let mut ring = HostRing::new(0, 64, 2048);
-        b.iter(|| {
-            ring.produce_dma(1500, &mut llc, &costs).unwrap();
-            ring.consume_cpu(&mut llc, &costs).unwrap()
-        })
+    let mut llc2 = Llc::new(LlcConfig::xeon_default());
+    let mut ring = HostRing::new(0, 64, 2048);
+    bench("memsim", "ring_produce_consume_1500B", || {
+        ring.produce_dma(1500, &mut llc2, &costs).unwrap();
+        black_box(ring.consume_cpu(&mut llc2, &costs).unwrap());
     });
-    g.finish();
 }
 
-fn bench_asm(c: &mut Criterion) {
-    let mut g = c.benchmark_group("overlay_toolchain");
+fn bench_asm() {
     let src = "
         map rules 65536
         ldctx r3, egress
@@ -165,29 +170,21 @@ fn bench_asm(c: &mut Criterion) {
         allow:
         ret pass
     ";
-    g.bench_function("assemble_port_filter", |b| {
-        b.iter(|| overlay::assemble("bench", black_box(src)).unwrap())
+    bench("overlay_toolchain", "assemble_port_filter", || {
+        black_box(overlay::assemble("bench", black_box(src)).unwrap());
     });
     let prog = overlay::assemble("bench", src).unwrap();
-    g.bench_function("verify_port_filter", |b| {
-        b.iter(|| overlay::verify(black_box(&prog)).unwrap())
+    bench("overlay_toolchain", "verify_port_filter", || {
+        black_box(overlay::verify(black_box(&prog)).unwrap());
     });
-    g.bench_function("instantiate_vm", |b| {
-        b.iter_batched(
-            || prog.clone(),
-            Vm::new,
-            BatchSize::SmallInput,
-        )
+    bench("overlay_toolchain", "instantiate_vm", || {
+        black_box(Vm::new(prog.clone()));
     });
-    g.finish();
 }
 
-
-fn bench_extensions(c: &mut Criterion) {
+fn bench_extensions() {
     use nicsim::{CcParams, CongestionControl, ConnId, NatTable};
     use qdisc::{Codel, CodelConfig, Red, RedConfig};
-
-    let mut g = c.benchmark_group("extensions");
 
     // NAT translate (existing mapping: the hot path).
     let mut nat = NatTable::new("203.0.113.1".parse().unwrap());
@@ -198,59 +195,50 @@ fn bench_extensions(c: &mut Criterion) {
         .udp(5555, 53, &[0u8; 256])
         .build();
     nat.translate_outbound(&frame, &mut sram).unwrap();
-    g.bench_function("nat_translate_outbound_hot", |b| {
-        b.iter(|| nat.translate_outbound(black_box(&frame), &mut sram).unwrap())
+    bench("extensions", "nat_translate_outbound_hot", || {
+        black_box(nat.translate_outbound(black_box(&frame), &mut sram).unwrap());
     });
 
     // Incremental checksum rewrite alone.
-    g.bench_function("mutate_rewrite_addrs", |b| {
-        b.iter(|| {
+    bench("extensions", "mutate_rewrite_addrs", || {
+        black_box(
             pkt::mutate::rewrite_ipv4_addrs(
                 black_box(&frame),
                 Some("203.0.113.1".parse().unwrap()),
                 None,
             )
-            .unwrap()
-        })
+            .unwrap(),
+        );
     });
 
     // Congestion-control ack processing.
     let mut cc = CongestionControl::new(CcParams::default());
     cc.open(ConnId(1));
-    g.bench_function("cc_on_ack", |b| {
-        b.iter(|| {
-            cc.on_send(ConnId(1), 1500);
-            cc.on_ack(ConnId(1), 1500, black_box(false));
-        })
+    bench("extensions", "cc_on_ack", || {
+        cc.on_send(ConnId(1), 1500);
+        cc.on_ack(ConnId(1), 1500, black_box(false));
     });
 
     // RED and CoDel enqueue/dequeue cycles.
     let pkt = QPkt::new(1, 1500, Time::ZERO);
-    g.bench_function("red_enq_deq", |b| {
-        let mut q = Red::new(RedConfig::default(), 4096);
-        b.iter(|| {
-            let _ = q.enqueue_ecn(black_box(pkt), Time::ZERO);
-            q.dequeue(Time::ZERO)
-        })
+    let mut red = Red::new(RedConfig::default(), 4096);
+    bench("extensions", "red_enq_deq", || {
+        let _ = red.enqueue_ecn(black_box(pkt), Time::ZERO);
+        black_box(red.dequeue(Time::ZERO));
     });
-    g.bench_function("codel_enq_deq", |b| {
-        let mut q = Codel::new(CodelConfig::default(), 4096);
-        b.iter(|| {
-            let _ = q.enqueue(black_box(pkt), Time::ZERO);
-            q.dequeue(Time::ZERO)
-        })
+    let mut codel = Codel::new(CodelConfig::default(), 4096);
+    bench("extensions", "codel_enq_deq", || {
+        let _ = codel.enqueue(black_box(pkt), Time::ZERO);
+        black_box(codel.dequeue(Time::ZERO));
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_pkt,
-    bench_qdisc,
-    bench_overlay,
-    bench_flowtable,
-    bench_memsim,
-    bench_asm,
-    bench_extensions
-);
-criterion_main!(benches);
+fn main() {
+    bench_pkt();
+    bench_qdisc();
+    bench_overlay();
+    bench_flowtable();
+    bench_memsim();
+    bench_asm();
+    bench_extensions();
+}

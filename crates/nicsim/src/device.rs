@@ -100,6 +100,12 @@ pub struct NicStats {
     pub rx_slowpath: u64,
     /// Ingress frames dropped by filters.
     pub rx_filtered: u64,
+    /// Ingress frames dropped because they failed to parse (truncated,
+    /// bad ethertype, inconsistent lengths, bad IPv4 header checksum).
+    pub rx_malformed: u64,
+    /// Ingress frames that parsed but failed TCP/UDP checksum
+    /// verification (payload corruption caught at the parser stage).
+    pub rx_bad_checksum: u64,
     /// Frames dropped while reprogramming.
     pub dropped_reprogramming: u64,
     /// Egress frames offered.
@@ -436,6 +442,101 @@ impl SmartNic {
         }
     }
 
+    /// Cross-layer invariant audit: verifies that SRAM accounting matches
+    /// the live flow table, ring contexts, and loaded overlay programs,
+    /// and that the TX scheduler and its connection map agree.
+    ///
+    /// Returns a list of violations (empty = all invariants hold). Chaos
+    /// harnesses call this after every injected fault; any violation means
+    /// a fault corrupted NIC state rather than just losing traffic.
+    pub fn audit(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+
+        // Flow-table SRAM equals live entries at their fixed costs.
+        let expect_flow = self.flows.num_exact() as u64 * crate::flowtable::ENTRY_BYTES
+            + self.flows.num_listeners() as u64 * crate::flowtable::LISTENER_BYTES;
+        let actual_flow = self.sram.used_by(SramCategory::FlowTable);
+        if actual_flow != expect_flow {
+            violations.push(format!(
+                "flow-table SRAM {actual_flow} != {} exact * {} + {} listeners * {} = {expect_flow}",
+                self.flows.num_exact(),
+                crate::flowtable::ENTRY_BYTES,
+                self.flows.num_listeners(),
+                crate::flowtable::LISTENER_BYTES,
+            ));
+        }
+
+        // Entry records cover exactly the exact + listener keys.
+        let key_count = self.flows.num_exact() + self.flows.num_listeners();
+        if self.flows.num_entries() != key_count {
+            violations.push(format!(
+                "flow-table entry records {} != exact {} + listeners {}",
+                self.flows.num_entries(),
+                self.flows.num_exact(),
+                self.flows.num_listeners(),
+            ));
+        }
+
+        // Ring contexts: one per exact-match connection, none for
+        // listeners.
+        let expect_rings = self.flows.num_exact() as u64 * RING_CONTEXT_BYTES;
+        let actual_rings = self.sram.used_by(SramCategory::RingContext);
+        if actual_rings != expect_rings {
+            violations.push(format!(
+                "ring-context SRAM {actual_rings} != {} conns * {RING_CONTEXT_BYTES} = {expect_rings}",
+                self.flows.num_exact(),
+            ));
+        }
+
+        // Overlay slots: Program/Maps SRAM equals the sum over loaded VMs.
+        let mut expect_insn = 0u64;
+        let mut expect_maps = 0u64;
+        let loaded = self
+            .ingress_filter
+            .iter()
+            .chain(self.egress_filter.iter())
+            .chain(self.classifier.iter())
+            .chain(self.accounting.iter());
+        for vm in loaded {
+            let insn = vm.program().insns.len() as u64 * 8;
+            expect_insn += insn;
+            expect_maps += vm.program().sram_bytes() - insn;
+        }
+        let actual_insn = self.sram.used_by(SramCategory::Program);
+        let actual_maps = self.sram.used_by(SramCategory::Maps);
+        if actual_insn != expect_insn {
+            violations.push(format!(
+                "program SRAM {actual_insn} != loaded programs' instruction bytes {expect_insn}"
+            ));
+        }
+        if actual_maps != expect_maps {
+            violations.push(format!(
+                "maps SRAM {actual_maps} != loaded programs' map bytes {expect_maps}"
+            ));
+        }
+
+        // SRAM totals are internally consistent.
+        let by_category: u64 = SramCategory::ALL.iter().map(|&c| self.sram.used_by(c)).sum();
+        if by_category != self.sram.used() {
+            violations.push(format!(
+                "SRAM category sum {by_category} != used total {}",
+                self.sram.used()
+            ));
+        }
+
+        // Every scheduled frame has a pending-connection record and vice
+        // versa.
+        if self.scheduler.len() != self.tx_pending.len() {
+            violations.push(format!(
+                "TX scheduler holds {} frames but {} pending-conn records",
+                self.scheduler.len(),
+                self.tx_pending.len()
+            ));
+        }
+
+        violations
+    }
+
     // ------------------------------------------------------------------
     // Dataplane
     // ------------------------------------------------------------------
@@ -470,6 +571,24 @@ impl SmartNic {
         }
     }
 
+    /// Finishes an ingress frame the parser stage rejected: it occupies
+    /// the parser like any other frame, is visible to the sniffer
+    /// (unattributed), and becomes a counted [`DropReason::Malformed`].
+    fn rx_malformed_drop(&mut self, packet: &Packet, now: Time) -> RxResult {
+        let latency = self.cfg.base_latency + self.cfg.parse_cost;
+        let start = now.max(self.pipeline_free);
+        self.pipeline_free = start + self.cfg.parse_cost;
+        self.sniffer.tap(now, Direction::Rx, packet, None);
+        RxResult {
+            disposition: RxDisposition::Drop {
+                reason: DropReason::Malformed,
+            },
+            ready_at: start + latency,
+            latency,
+            interrupt: false,
+        }
+    }
+
     /// Processes one ingress frame arriving from the wire at `now`.
     pub fn rx(&mut self, packet: &Packet, now: Time) -> RxResult {
         self.stats.rx_frames += 1;
@@ -485,7 +604,24 @@ impl SmartNic {
             };
         }
 
-        let parsed = packet.parse().ok();
+        // The parser stage rejects damaged frames before they can touch
+        // the flow table or overlay state: a frame that fails to parse, or
+        // parses but fails its transport checksum, is a counted drop —
+        // never a flow-table entry, notification, or slow-path punt built
+        // from garbage bytes.
+        let parsed = match packet.parse() {
+            Ok(p) => {
+                if !p.l4_checksum_ok(packet.bytes()) {
+                    self.stats.rx_bad_checksum += 1;
+                    return self.rx_malformed_drop(packet, now);
+                }
+                Some(p)
+            }
+            Err(_) => {
+                self.stats.rx_malformed += 1;
+                return self.rx_malformed_drop(packet, now);
+            }
+        };
         let tuple = parsed.as_ref().and_then(FiveTuple::from_parsed);
         let conn = tuple.and_then(|t| self.flows.lookup(&t));
         let entry = conn.and_then(|id| self.flows.entry(id)).cloned();

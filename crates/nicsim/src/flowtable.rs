@@ -74,6 +74,22 @@ impl FlowTable {
         self.exact.len()
     }
 
+    /// Returns the number of exact-match entries (alias of `len`, named
+    /// for audit readability).
+    pub fn num_exact(&self) -> usize {
+        self.exact.len()
+    }
+
+    /// Returns the number of listener entries.
+    pub fn num_listeners(&self) -> usize {
+        self.listeners.len()
+    }
+
+    /// Returns the total number of entry records (exact + listeners).
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
     /// Returns `true` if no connections are installed.
     pub fn is_empty(&self) -> bool {
         self.exact.is_empty() && self.listeners.is_empty()

@@ -10,16 +10,16 @@
 //!   `app_recv`, `pump_tx`. Data never crosses the kernel on these paths;
 //!   costs come from the ring/LLC model and the NIC pipeline.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use memsim::{HostRing, Llc, LlcConfig, MemCosts, MmioBus};
 use nicsim::{
-    ConnId, NicConfig, Notification, NotifyKind, RxDisposition, SmartNic, SnifferFilter,
+    ConnId, NicConfig, NicError, Notification, NotifyKind, RxDisposition, SmartNic, SnifferFilter,
     TxDisposition,
 };
 use nicsim::device::ProgramSlot;
-use nicsim::pipeline::TxDeparture;
+use nicsim::pipeline::{DropReason, TxDeparture};
 use oskernel::{
     ArpCache, CgroupId, CgroupTree, Cred, NetStack, Pid, ProcessTable, RxOutcome, Scheduler, Uid,
 };
@@ -53,6 +53,10 @@ pub struct HostConfig {
     /// How many ring operations share one MMIO doorbell write (batched
     /// head/tail updates).
     pub doorbell_batch: u64,
+    /// Frames the host buffers for retry while the NIC dataplane is down
+    /// for a bitstream reprogram. Beyond this, sends are refused
+    /// (backpressure) rather than growing memory unboundedly.
+    pub tx_retry_cap: usize,
 }
 
 impl Default for HostConfig {
@@ -67,6 +71,7 @@ impl Default for HostConfig {
             mac: Mac::local(1),
             shared_rings: false,
             doorbell_batch: 4,
+            tx_retry_cap: 64,
         }
     }
 }
@@ -167,6 +172,10 @@ pub struct RecvResult {
 pub struct SendResult {
     /// Whether the frame was accepted for transmission.
     pub queued: bool,
+    /// Whether the frame was buffered for retry (dataplane down for a
+    /// reprogram; it will be re-offered on recovery by
+    /// [`Host::pump_tx`]). Mutually exclusive with `queued`.
+    pub deferred: bool,
     /// Application CPU consumed.
     pub cpu: Dur,
 }
@@ -182,8 +191,22 @@ pub struct HostStats {
     pub slowpath: u64,
     /// Frames dropped by NIC policy.
     pub nic_dropped: u64,
+    /// Frames the NIC dropped as malformed (unparseable or failed
+    /// checksum verification) — corrupted-on-the-wire traffic that must
+    /// never reach the flow table.
+    pub malformed_dropped: u64,
+    /// Frames delivered for a connection whose rings the host no longer
+    /// has (stale NIC flow entry); punted to the slow path.
+    pub ring_missing: u64,
     /// Connections refused for NIC resources.
     pub conns_refused: u64,
+    /// TX frames buffered for retry during a reprogram outage.
+    pub tx_deferred: u64,
+    /// Deferred TX frames successfully re-offered after recovery.
+    pub tx_retry_flushed: u64,
+    /// Deferred TX frames lost: retry buffer full (backpressure) or the
+    /// connection vanished before recovery.
+    pub tx_retry_dropped: u64,
 }
 
 /// The Norman host.
@@ -210,6 +233,7 @@ pub struct Host {
     listeners: HashMap<ConnId, (Pid, IpProto, u16)>,
     pending_accepts: HashMap<ConnId, std::collections::VecDeque<FiveTuple>>,
     rings: HashMap<RingKey, (HostRing, HostRing)>,
+    tx_retry: VecDeque<(ConnId, Packet)>,
     reservations: Vec<PortReservation>,
     port_filter_loaded: bool,
     shaping: Option<ShapingPolicy>,
@@ -236,6 +260,7 @@ impl Host {
             listeners: HashMap::new(),
             pending_accepts: HashMap::new(),
             rings: HashMap::new(),
+            tx_retry: VecDeque::new(),
             reservations: Vec::new(),
             port_filter_loaded: false,
             shaping: None,
@@ -250,6 +275,12 @@ impl Host {
     /// Returns host counters.
     pub fn stats(&self) -> HostStats {
         self.stats
+    }
+
+    /// Returns how many TX frames currently wait in the reprogram-outage
+    /// retry buffer.
+    pub fn tx_retry_len(&self) -> usize {
+        self.tx_retry.len()
     }
 
     /// Returns an open connection.
@@ -549,7 +580,14 @@ impl Host {
                 let pid = c.pid;
                 let key = c.ring_key;
                 let mem = self.cfg.mem.clone();
-                let (rx_ring, _) = self.rings.get_mut(&key).expect("rings exist for conn");
+                let Some((rx_ring, _)) = self.rings.get_mut(&key) else {
+                    // The connection record outlived its rings (torn-down
+                    // state mid-race). Punt to the slow path instead of
+                    // panicking on the hot path.
+                    self.stats.ring_missing += 1;
+                    report.outcome = DeliveryOutcome::SlowPath;
+                    return report;
+                };
                 match rx_ring.produce_dma(packet.len(), &mut self.llc, &mem) {
                     Ok(cost) => {
                         report.mem_cost = cost;
@@ -594,8 +632,12 @@ impl Host {
                     }
                 }
             }
-            RxDisposition::Drop { .. } => {
-                self.stats.nic_dropped += 1;
+            RxDisposition::Drop { reason } => {
+                if reason == DropReason::Malformed {
+                    self.stats.malformed_dropped += 1;
+                } else {
+                    self.stats.nic_dropped += 1;
+                }
             }
         }
         report
@@ -618,7 +660,15 @@ impl Host {
         let notify = conn.notify;
         let key = conn.ring_key;
         let mem = self.cfg.mem.clone();
-        let (rx_ring, _) = self.rings.get_mut(&key).expect("rings exist");
+        let Some((rx_ring, _)) = self.rings.get_mut(&key) else {
+            // Rings already torn down: nothing to receive.
+            self.stats.ring_missing += 1;
+            return RecvResult {
+                len: None,
+                cpu: Dur::ZERO,
+                blocked: false,
+            };
+        };
         match rx_ring.consume_cpu(&mut self.llc, &mem) {
             Some((len, cost)) => {
                 let cpu = cost + self.doorbell_cost();
@@ -673,38 +723,101 @@ impl Host {
         let Some(conn) = self.conns.get(&id) else {
             return SendResult {
                 queued: false,
+                deferred: false,
                 cpu: Dur::ZERO,
             };
         };
         let pid = conn.pid;
         let key = conn.ring_key;
         let mem = self.cfg.mem.clone();
-        let (_, tx_ring) = self.rings.get_mut(&key).expect("rings exist");
+        let Some((_, tx_ring)) = self.rings.get_mut(&key) else {
+            self.stats.ring_missing += 1;
+            return SendResult {
+                queued: false,
+                deferred: false,
+                cpu: Dur::ZERO,
+            };
+        };
         let produce = match tx_ring.produce_cpu(packet.len(), &mut self.llc, &mem) {
             Ok(cost) => cost,
             Err(_) => {
                 return SendResult {
                     queued: false,
+                    deferred: false,
                     cpu: mem.llc_hit,
                 }
             }
         };
         let doorbell = self.doorbell_cost();
         // NIC side: DMA-read the frame out of the ring.
-        let (_, tx_ring) = self.rings.get_mut(&key).expect("rings exist");
-        let _ = tx_ring.consume_dma(&mut self.llc, &mem);
-        let queued = match self.nic.tx_enqueue(id, packet, now) {
-            Ok(TxDisposition::Queued { .. }) => true,
-            Ok(TxDisposition::Drop { .. }) => false,
-            Err(_) => false,
+        if let Some((_, tx_ring)) = self.rings.get_mut(&key) {
+            let _ = tx_ring.consume_dma(&mut self.llc, &mem);
+        }
+        let (queued, deferred) = match self.nic.tx_enqueue(id, packet, now) {
+            Ok(TxDisposition::Queued { .. }) => (true, false),
+            Ok(TxDisposition::Drop {
+                reason: DropReason::Reprogramming,
+            })
+            | Err(NicError::Reprogramming { .. }) => {
+                // The dataplane is down for a bitstream reprogram. Buffer
+                // the frame for retry on recovery instead of silently
+                // losing it — bounded, so a long outage applies
+                // backpressure rather than growing without limit.
+                if self.tx_retry.len() < self.cfg.tx_retry_cap {
+                    self.tx_retry.push_back((id, packet.clone()));
+                    self.stats.tx_deferred += 1;
+                    (false, true)
+                } else {
+                    self.stats.tx_retry_dropped += 1;
+                    (false, false)
+                }
+            }
+            Ok(TxDisposition::Drop { .. }) => (false, false),
+            Err(_) => (false, false),
         };
         let cpu = produce + doorbell;
         self.sched.charge_busy(pid, cpu);
-        SendResult { queued, cpu }
+        SendResult {
+            queued,
+            deferred,
+            cpu,
+        }
     }
 
-    /// Drains every frame the NIC can put on the wire up to `now`.
+    /// Re-offers frames deferred during a reprogram outage. Stops at the
+    /// first frame the NIC still cannot take (still frozen, or scheduler
+    /// full) so ordering is preserved.
+    fn flush_tx_retry(&mut self, now: Time) {
+        while let Some((conn, pkt)) = self.tx_retry.pop_front() {
+            match self.nic.tx_enqueue(conn, &pkt, now) {
+                Ok(TxDisposition::Queued { .. }) => {
+                    self.stats.tx_retry_flushed += 1;
+                }
+                Ok(TxDisposition::Drop {
+                    reason: DropReason::Reprogramming,
+                })
+                | Err(NicError::Reprogramming { .. })
+                | Err(NicError::TxQueueFull) => {
+                    // Not ready yet: put it back and try again later.
+                    self.tx_retry.push_front((conn, pkt));
+                    break;
+                }
+                Ok(TxDisposition::Drop { .. }) | Err(_) => {
+                    // Policy drop or the connection is gone: the frame is
+                    // lost for good.
+                    self.stats.tx_retry_dropped += 1;
+                }
+            }
+        }
+    }
+
+    /// Drains every frame the NIC can put on the wire up to `now`,
+    /// first re-offering any TX frames deferred during a reprogram
+    /// outage.
     pub fn pump_tx(&mut self, now: Time) -> Vec<TxDeparture> {
+        if !self.tx_retry.is_empty() {
+            self.flush_tx_retry(now);
+        }
         let mut out = Vec::new();
         while let Some(dep) = self.nic.tx_poll(now) {
             out.push(dep);
@@ -967,6 +1080,79 @@ mod tests {
         assert!(opened > 0);
         assert!(refused > 0);
         assert_eq!(h.stats().conns_refused, refused);
+    }
+
+    #[test]
+    fn corrupted_frame_is_counted_not_delivered() {
+        let mut h = host();
+        let bob = h.spawn(Uid(1001), "bob", "server");
+        let conn = open_conn(&mut h, bob, 7000, false);
+        let pkt = wire_udp(h.cfg.ip, 9000, 7000, 500);
+        // Flip a payload bit: the UDP checksum no longer verifies.
+        let mut bytes = pkt.bytes().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let bad = Packet::from_bytes(bytes);
+        let report = h.deliver_from_wire(&bad, Time::ZERO);
+        assert_eq!(report.outcome, DeliveryOutcome::Dropped);
+        assert_eq!(h.stats().malformed_dropped, 1);
+        assert_eq!(h.stats().nic_dropped, 0);
+        assert_eq!(h.stats().fast_delivered, 0);
+        // The intact frame still flows.
+        let report = h.deliver_from_wire(&pkt, Time::ZERO);
+        assert_eq!(report.outcome, DeliveryOutcome::FastPath(conn));
+    }
+
+    #[test]
+    fn send_during_outage_defers_and_flushes_on_recovery() {
+        let mut h = host();
+        let bob = h.spawn(Uid(1001), "bob", "client");
+        let conn = open_conn(&mut h, bob, 7000, false);
+        let pkt = PacketBuilder::new()
+            .ether(h.cfg.mac, Mac::local(9))
+            .ipv4(h.cfg.ip, Ipv4Addr::new(10, 0, 0, 2))
+            .udp(7000, 9000, &[0u8; 200])
+            .build();
+        let back_at = h.nic.reprogram_bitstream(Time::ZERO);
+        let s = h.app_send(conn, &pkt, Time::from_us(1));
+        assert!(!s.queued);
+        assert!(s.deferred, "outage send must be buffered, not lost");
+        assert_eq!(h.tx_retry_len(), 1);
+        // Pumping while still frozen keeps the frame buffered.
+        assert!(h.pump_tx(Time::from_us(2)).is_empty());
+        assert_eq!(h.tx_retry_len(), 1);
+        // After recovery the deferred frame reaches the wire.
+        let deps = h.pump_tx(back_at + Dur::from_us(1));
+        assert_eq!(deps.len(), 1);
+        assert_eq!(deps[0].conn, conn);
+        assert_eq!(h.tx_retry_len(), 0);
+        assert_eq!(h.stats().tx_deferred, 1);
+        assert_eq!(h.stats().tx_retry_flushed, 1);
+    }
+
+    #[test]
+    fn retry_buffer_cap_applies_backpressure() {
+        let cfg = HostConfig {
+            tx_retry_cap: 2,
+            ring_slots: 64,
+            ..HostConfig::default()
+        };
+        let mut h = Host::new(cfg);
+        let bob = h.spawn(Uid(1001), "bob", "client");
+        let conn = open_conn(&mut h, bob, 7000, false);
+        let pkt = PacketBuilder::new()
+            .ether(h.cfg.mac, Mac::local(9))
+            .ipv4(h.cfg.ip, Ipv4Addr::new(10, 0, 0, 2))
+            .udp(7000, 9000, &[0u8; 64])
+            .build();
+        h.nic.reprogram_bitstream(Time::ZERO);
+        assert!(h.app_send(conn, &pkt, Time::from_us(1)).deferred);
+        assert!(h.app_send(conn, &pkt, Time::from_us(2)).deferred);
+        let s = h.app_send(conn, &pkt, Time::from_us(3));
+        assert!(!s.deferred, "cap reached: send refused");
+        assert!(!s.queued);
+        assert_eq!(h.tx_retry_len(), 2);
+        assert_eq!(h.stats().tx_retry_dropped, 1);
     }
 
     #[test]

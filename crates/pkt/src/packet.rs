@@ -1,8 +1,7 @@
 //! Owned packet buffers and the fully parsed view.
 
 use std::fmt;
-
-use bytes::Bytes;
+use std::sync::Arc;
 
 use crate::arp::ArpPacket;
 use crate::ether::{EtherType, EthernetHeader};
@@ -17,12 +16,12 @@ use crate::{PktError, Result};
 /// of every frame without perturbing the dataplane.
 #[derive(Clone, PartialEq, Eq)]
 pub struct Packet {
-    data: Bytes,
+    data: Arc<[u8]>,
 }
 
 impl Packet {
     /// Wraps raw wire bytes.
-    pub fn from_bytes(data: impl Into<Bytes>) -> Packet {
+    pub fn from_bytes(data: impl Into<Arc<[u8]>>) -> Packet {
         Packet { data: data.into() }
     }
 
@@ -155,6 +154,28 @@ impl Parsed {
     /// Returns `true` if this is an ARP frame.
     pub fn is_arp(&self) -> bool {
         matches!(self.payload, Payload::Arp(_))
+    }
+
+    /// Verifies the transport checksum against `frame` (the same buffer
+    /// this view was parsed from).
+    ///
+    /// The IPv4 header checksum is already enforced by
+    /// [`Ipv4Header::parse`]; this covers the TCP/UDP pseudo-header sum,
+    /// which is what catches payload corruption. Frames without an L4
+    /// checksum (ARP, other IP protocols) verify trivially.
+    pub fn l4_checksum_ok(&self, frame: &[u8]) -> bool {
+        let l4_start = EthernetHeader::LEN + Ipv4Header::LEN;
+        match &self.payload {
+            Payload::Tcp { ip, .. } => {
+                let seg = &frame[l4_start..EthernetHeader::LEN + ip.total_len as usize];
+                TcpHeader::verify_segment(ip.src, ip.dst, seg)
+            }
+            Payload::Udp { ip, .. } => {
+                let seg = &frame[l4_start..EthernetHeader::LEN + ip.total_len as usize];
+                UdpHeader::verify_segment(ip.src, ip.dst, seg)
+            }
+            Payload::Arp(_) | Payload::OtherIp { .. } => true,
+        }
     }
 }
 

@@ -23,6 +23,7 @@
 //! same experiment twice with the same seed produces byte-identical output.
 
 pub mod engine;
+pub mod fault;
 pub mod link;
 pub mod rng;
 pub mod stats;
@@ -30,6 +31,7 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{EventQueue, ScheduledId};
+pub use fault::{FaultInjector, FaultSchedule, FaultStats, FaultyLink, LossModel, Verdict, WireDelivery};
 pub use link::Link;
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, RateMeter, Summary, TimeSeries};

@@ -1,25 +1,38 @@
 //! Deterministic random numbers and the distributions workloads need.
 //!
-//! [`DetRng`] wraps [`rand::rngs::StdRng`] behind a small façade so the
-//! rest of the workspace does not depend on the `rand` API surface (which
-//! renames methods between major versions). Every generator in an
-//! experiment derives from a single seed, so a run is reproducible from
-//! its seed alone.
+//! [`DetRng`] is a self-contained xoshiro256++ generator (seeded through
+//! splitmix64), so the workspace carries no external RNG dependency and a
+//! run is reproducible from its seed alone — across platforms and crate
+//! versions, which matters because fault-injection replays (see
+//! [`crate::fault`]) compare byte-identical results between runs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-/// A deterministic, seedable random number generator.
+/// A deterministic, seedable random number generator (xoshiro256++).
 #[derive(Clone, Debug)]
 pub struct DetRng {
-    inner: StdRng,
+    s: [u64; 4],
+}
+
+/// The splitmix64 stream used to expand seeds; also used by the fault
+/// injector to derive independent per-component streams.
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed_from_u64(seed: u64) -> DetRng {
+        let mut sm = seed;
         DetRng {
-            inner: StdRng::seed_from_u64(seed),
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
         }
     }
 
@@ -32,7 +45,19 @@ impl DetRng {
 
     /// Returns the next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.inner.random()
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 
     /// Returns a uniform value in `[lo, hi)`.
@@ -42,7 +67,16 @@ impl DetRng {
     /// Panics if `lo >= hi`.
     pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        let span = hi - lo;
+        // Debiased multiply-shift (Lemire): rejection keeps uniformity.
+        let threshold = span.wrapping_neg() % span;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (span as u128);
+            if (m as u64) >= threshold {
+                return lo + (m >> 64) as u64;
+            }
+        }
     }
 
     /// Returns a uniform value in `[lo, hi)`.
@@ -51,13 +85,13 @@ impl DetRng {
     ///
     /// Panics if `lo >= hi`.
     pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
-        assert!(lo < hi, "empty range [{lo}, {hi})");
-        self.inner.random_range(lo..hi)
+        self.range_u64(lo as u64, hi as u64) as usize
     }
 
     /// Returns a uniform `f64` in `[0, 1)`.
     pub fn f64(&mut self) -> f64 {
-        self.inner.random()
+        // 53 high bits / 2^53: the standard uniform-double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -195,6 +229,25 @@ mod tests {
         for _ in 0..1000 {
             let v = rng.range_u64(10, 20);
             assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn range_covers_every_value() {
+        let mut rng = DetRng::seed_from_u64(10);
+        let mut seen = [false; 8];
+        for _ in 0..500 {
+            seen[rng.range_usize(0, 8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_is_in_unit_interval() {
+        let mut rng = DetRng::seed_from_u64(12);
+        for _ in 0..10_000 {
+            let v = rng.f64();
+            assert!((0.0..1.0).contains(&v));
         }
     }
 

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build, tests, lints. Run from anywhere; no network needed
+# (the workspace is hermetic — all dependencies are in-tree).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "CI gate passed."

@@ -1,0 +1,145 @@
+//! Minimal in-repo `serde` shim.
+//!
+//! The workspace builds hermetically (no registry access), so this crate
+//! provides just the surface the experiment binaries rely on: a
+//! [`Serialize`] trait rendering directly to JSON, a derive macro for
+//! plain structs with named fields, and impls for the primitive and
+//! container types that appear in result rows. It is **not** a general
+//! serde replacement — there is no `Deserialize`, no custom serializers,
+//! and no attribute support.
+
+pub mod ser;
+
+#[cfg(feature = "derive")]
+pub use serde_derive::Serialize;
+
+pub use ser::JsonWriter;
+
+/// Types that can render themselves as JSON.
+pub trait Serialize {
+    /// Writes `self` as one JSON value into `w`.
+    fn serialize_json(&self, w: &mut JsonWriter);
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {
+        $(impl Serialize for $t {
+            fn serialize_json(&self, w: &mut JsonWriter) {
+                w.write_raw_value(&self.to_string());
+            }
+        })*
+    };
+}
+
+impl_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+impl Serialize for bool {
+    fn serialize_json(&self, w: &mut JsonWriter) {
+        w.write_raw_value(if *self { "true" } else { "false" });
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_json(&self, w: &mut JsonWriter) {
+        if self.is_finite() {
+            w.write_raw_value(&self.to_string());
+        } else {
+            // JSON has no NaN/Infinity; null is the conventional stand-in.
+            w.write_raw_value("null");
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_json(&self, w: &mut JsonWriter) {
+        f64::from(*self).serialize_json(w);
+    }
+}
+
+impl Serialize for str {
+    fn serialize_json(&self, w: &mut JsonWriter) {
+        w.write_string_value(self);
+    }
+}
+
+impl Serialize for String {
+    fn serialize_json(&self, w: &mut JsonWriter) {
+        w.write_string_value(self);
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_json(&self, w: &mut JsonWriter) {
+        (**self).serialize_json(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_json(&self, w: &mut JsonWriter) {
+        match self {
+            Some(v) => v.serialize_json(w),
+            None => w.write_raw_value("null"),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_json(&self, w: &mut JsonWriter) {
+        w.begin_array();
+        for v in self {
+            w.element(v);
+        }
+        w.end_array();
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_json(&self, w: &mut JsonWriter) {
+        self.as_slice().serialize_json(w);
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_json(&self, w: &mut JsonWriter) {
+        self.as_slice().serialize_json(w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn render<T: Serialize>(v: &T) -> String {
+        let mut w = JsonWriter::new(false);
+        v.serialize_json(&mut w);
+        w.into_string()
+    }
+
+    #[test]
+    fn primitives() {
+        assert_eq!(render(&42u64), "42");
+        assert_eq!(render(&-3i32), "-3");
+        assert_eq!(render(&true), "true");
+        assert_eq!(render(&1.5f64), "1.5");
+        assert_eq!(render(&f64::NAN), "null");
+        assert_eq!(render(&"hi"), "\"hi\"");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(render(&"a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn vectors_nest() {
+        assert_eq!(render(&vec![1u64, 2, 3]), "[1,2,3]");
+        assert_eq!(render(&Vec::<u64>::new()), "[]");
+        assert_eq!(render(&vec![vec![1u64], vec![]]), "[[1],[]]");
+    }
+
+    #[test]
+    fn options() {
+        assert_eq!(render(&Some(7u64)), "7");
+        assert_eq!(render(&None::<u64>), "null");
+    }
+}

@@ -1,0 +1,175 @@
+//! JSON rendering machinery shared by the shim trait and derive macro.
+
+/// An append-only JSON writer with optional pretty-printing.
+///
+/// The derive macro and the container impls drive this through
+/// `begin_*`/`end_*`/`field`/`element`; commas and indentation are
+/// handled here so generated code stays trivial.
+pub struct JsonWriter {
+    out: String,
+    pretty: bool,
+    depth: usize,
+    /// Per-open-container flag: has anything been written at this level?
+    has_items: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates a writer; `pretty` enables two-space indentation.
+    pub fn new(pretty: bool) -> JsonWriter {
+        JsonWriter {
+            out: String::new(),
+            pretty,
+            depth: 0,
+            has_items: Vec::new(),
+        }
+    }
+
+    /// Consumes the writer, returning the JSON text.
+    pub fn into_string(self) -> String {
+        self.out
+    }
+
+    fn newline_indent(&mut self) {
+        if self.pretty {
+            self.out.push('\n');
+            for _ in 0..self.depth {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn before_item(&mut self) {
+        if let Some(has) = self.has_items.last_mut() {
+            if *has {
+                self.out.push(',');
+            }
+            *has = true;
+        }
+        if !self.has_items.is_empty() {
+            self.newline_indent();
+        }
+    }
+
+    /// Opens a JSON object.
+    pub fn begin_object(&mut self) {
+        self.out.push('{');
+        self.depth += 1;
+        self.has_items.push(false);
+    }
+
+    /// Closes the current object.
+    pub fn end_object(&mut self) {
+        let had = self.has_items.pop().unwrap_or(false);
+        self.depth = self.depth.saturating_sub(1);
+        if had {
+            self.newline_indent();
+        }
+        self.out.push('}');
+    }
+
+    /// Opens a JSON array.
+    pub fn begin_array(&mut self) {
+        self.out.push('[');
+        self.depth += 1;
+        self.has_items.push(false);
+    }
+
+    /// Closes the current array.
+    pub fn end_array(&mut self) {
+        let had = self.has_items.pop().unwrap_or(false);
+        self.depth = self.depth.saturating_sub(1);
+        if had {
+            self.newline_indent();
+        }
+        self.out.push(']');
+    }
+
+    /// Writes one `"name": value` member of the current object.
+    pub fn field(&mut self, name: &str, value: &dyn crate::Serialize) {
+        self.before_item();
+        self.push_escaped(name);
+        self.out.push(':');
+        if self.pretty {
+            self.out.push(' ');
+        }
+        value.serialize_json(self);
+    }
+
+    /// Writes one element of the current array.
+    pub fn element(&mut self, value: &dyn crate::Serialize) {
+        self.before_item();
+        value.serialize_json(self);
+    }
+
+    /// Writes a pre-rendered JSON token (number, bool, null).
+    pub fn write_raw_value(&mut self, token: &str) {
+        self.out.push_str(token);
+    }
+
+    /// Writes an escaped JSON string value.
+    pub fn write_string_value(&mut self, s: &str) {
+        self.push_escaped(s);
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_object_layout() {
+        let mut w = JsonWriter::new(true);
+        w.begin_object();
+        w.field("a", &1u64);
+        w.field("b", &"x");
+        w.end_object();
+        assert_eq!(w.into_string(), "{\n  \"a\": 1,\n  \"b\": \"x\"\n}");
+    }
+
+    #[test]
+    fn compact_object_layout() {
+        let mut w = JsonWriter::new(false);
+        w.begin_object();
+        w.field("a", &1u64);
+        w.field("b", &2u64);
+        w.end_object();
+        assert_eq!(w.into_string(), "{\"a\":1,\"b\":2}");
+    }
+
+    #[test]
+    fn empty_containers() {
+        let mut w = JsonWriter::new(true);
+        w.begin_object();
+        w.end_object();
+        assert_eq!(w.into_string(), "{}");
+        let mut w = JsonWriter::new(true);
+        w.begin_array();
+        w.end_array();
+        assert_eq!(w.into_string(), "[]");
+    }
+
+    #[test]
+    fn control_chars_escape_as_unicode() {
+        let mut w = JsonWriter::new(false);
+        w.write_string_value("a\u{1}b");
+        assert_eq!(w.into_string(), "\"a\\u0001b\"");
+    }
+}

@@ -1,0 +1,115 @@
+//! `#[derive(Serialize)]` for the in-repo serde shim.
+//!
+//! Hand-rolled token parsing (no `syn`/`quote`, which would need network
+//! access to fetch). Supports exactly what the experiment result rows
+//! are: non-generic structs with named fields. Anything else is a
+//! compile error, which is the right failure mode for a shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`, rendering the struct as a JSON object with
+/// one member per field, in declaration order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Find `struct <Name>`; attributes and visibility before it are
+    // skipped by walking until the `struct` keyword.
+    let mut struct_kw = None;
+    for (i, t) in tokens.iter().enumerate() {
+        if let TokenTree::Ident(id) = t {
+            match id.to_string().as_str() {
+                "struct" => {
+                    struct_kw = Some(i);
+                    break;
+                }
+                "enum" | "union" => {
+                    return Err("serde shim: derive(Serialize) supports structs only".into())
+                }
+                _ => {}
+            }
+        }
+    }
+    let at = struct_kw.ok_or("serde shim: expected a struct")?;
+    let name = match tokens.get(at + 1) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim: expected a struct name".into()),
+    };
+    if matches!(tokens.get(at + 2), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err("serde shim: generic structs are not supported".into());
+    }
+
+    // The field block is the brace group after the name.
+    let fields_group = tokens[at + 2..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+            _ => None,
+        })
+        .ok_or("serde shim: expected named fields (tuple/unit structs unsupported)")?;
+
+    let fields = parse_field_names(fields_group)?;
+
+    let mut body = String::new();
+    body.push_str("w.begin_object();\n");
+    for f in &fields {
+        body.push_str(&format!("w.field({f:?}, &self.{f});\n"));
+    }
+    body.push_str("w.end_object();");
+
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_json(&self, w: &mut ::serde::JsonWriter) {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .map_err(|e| format!("serde shim: generated code failed to parse: {e:?}"))
+}
+
+/// Extracts field names from the contents of the struct's brace block:
+/// `[#[attr]] [pub] name : Type, ...`, tracking angle-bracket depth so
+/// commas inside generic types don't split fields.
+fn parse_field_names(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut expecting_name = true;
+
+    let mut iter = stream.into_iter().peekable();
+    while let Some(t) = iter.next() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_name => {
+                // Skip the attribute's bracket group.
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    iter.next();
+                }
+            }
+            TokenTree::Ident(id) if expecting_name => {
+                let s = id.to_string();
+                if s == "pub" {
+                    // Visibility; `pub(crate)` parens arrive as a Group and
+                    // are skipped by the catch-all arm below.
+                    continue;
+                }
+                names.push(s);
+                expecting_name = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                expecting_name = true;
+            }
+            _ => {}
+        }
+    }
+    Ok(names)
+}

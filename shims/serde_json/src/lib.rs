@@ -1,0 +1,47 @@
+//! Minimal in-repo `serde_json` shim: serialization only, over the serde
+//! shim's [`serde::Serialize`].
+
+use std::fmt;
+
+/// Serialization error. The shim's writers are infallible, so this is
+/// never actually produced; it exists so call sites keep the familiar
+/// `Result` shape.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = serde::JsonWriter::new(false);
+    value.serialize_json(&mut w);
+    Ok(w.into_string())
+}
+
+/// Renders `value` as pretty-printed (two-space indented) JSON.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut w = serde::JsonWriter::new(true);
+    value.serialize_json(&mut w);
+    Ok(w.into_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_agree_modulo_whitespace() {
+        let rows = vec![vec![1u64, 2], vec![3]];
+        let compact = to_string(&rows).unwrap();
+        let pretty = to_string_pretty(&rows).unwrap();
+        assert_eq!(compact, "[[1,2],[3]]");
+        let squashed: String = pretty.chars().filter(|c| !c.is_whitespace()).collect();
+        assert_eq!(squashed, compact);
+    }
+}

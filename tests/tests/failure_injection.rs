@@ -36,21 +36,31 @@ fn bitstream_reprogram_outage_and_recovery_end_to_end() {
     ));
     host.app_recv(sock.conn(), Time::ZERO, false);
 
-    // Reprogram: everything drops during the outage, including app sends.
+    // Reprogram: RX drops during the outage; app sends are deferred into
+    // the bounded retry buffer rather than silently lost.
     let back = host.nic.reprogram_bitstream(Time::from_ms(1));
     let during = host.deliver_from_wire(&frame, Time::from_ms(500));
     assert_eq!(during.outcome, DeliveryOutcome::Dropped);
     let s = sock.send(&mut host, b"during-outage", Time::from_ms(600));
     assert!(!s.queued, "TX also down during reprogram");
+    assert!(s.deferred, "outage TX is buffered for retry");
+    assert_eq!(host.tx_retry_len(), 1);
+    // Pumping while still frozen releases nothing.
+    assert!(host.pump_tx(Time::from_ms(700)).is_empty());
+    assert_eq!(host.tx_retry_len(), 1);
 
-    // After: full recovery — RX, app state, and TX all intact.
+    // After: full recovery — RX, app state, and TX all intact, and the
+    // deferred frame goes out first.
     let after = host.deliver_from_wire(&frame, back + Dur::from_us(1));
     assert!(matches!(after.outcome, DeliveryOutcome::FastPath(_)));
     let r = sock.recv(&mut host, back + Dur::from_us(2), false);
     assert_eq!(r.len, Some(frame.len()));
     let s = sock.send(&mut host, b"after", back + Dur::from_us(3));
     assert!(s.queued);
-    assert_eq!(host.pump_tx(back + Dur::from_us(3)).len(), 1);
+    let deps = host.pump_tx(Time::MAX);
+    assert_eq!(deps.len(), 2, "deferred frame + fresh frame");
+    assert_eq!(host.tx_retry_len(), 0);
+    assert_eq!(host.stats().tx_retry_flushed, 1);
 }
 
 #[test]
@@ -149,6 +159,9 @@ fn slow_path_survives_malformed_frames() {
     let mut corrupted = peer_frame(&host, 1, 2, 64).bytes().to_vec();
     corrupted[20] ^= 0xFF; // breaks the IP checksum
     host.deliver_from_wire(&Packet::from_bytes(corrupted), Time::ZERO);
+    // All three were counted as malformed drops, not parsed into state.
+    assert_eq!(host.stats().malformed_dropped, 3);
+    assert_eq!(host.nic.stats().rx_malformed, 3);
 
     // Legitimate traffic still works afterwards.
     let bob = host.spawn(Uid(1001), "bob", "server");
