@@ -52,7 +52,14 @@ fn bench_host_paths() {
     let mut host = Host::new(cfg);
     let pid = host.spawn(Uid(1001), "bob", "server");
     let conn = host
-        .connect(pid, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
+        .connect(
+            pid,
+            IpProto::UDP,
+            7000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            false,
+        )
         .unwrap();
     let inbound = PacketBuilder::new()
         .ether(Mac::local(9), host.cfg.mac)
@@ -82,7 +89,14 @@ fn bench_control_plane() {
     bench("control_plane", "connect_close_cycle", || {
         port = if port >= 60_000 { 1024 } else { port + 1 };
         let id = host
-            .connect(pid, IpProto::UDP, port, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
+            .connect(
+                pid,
+                IpProto::UDP,
+                port,
+                Ipv4Addr::new(10, 0, 0, 2),
+                9000,
+                false,
+            )
             .unwrap();
         black_box(host.close(id));
     });

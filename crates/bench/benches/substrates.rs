@@ -17,9 +17,20 @@ use pkt::{FiveTuple, Mac, PacketBuilder, RssHasher};
 use qdisc::{Drr, Fifo, QPkt, Qdisc, Tbf, Wfq};
 use sim::Time;
 
+/// CI smoke mode: run each benchmark body exactly once (correctness
+/// check, no timing) when `BENCH_SMOKE` is set.
+fn smoke_mode() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some()
+}
+
 /// Runs `f` repeatedly for ~200 ms after a 20 ms warmup and prints the
 /// mean wall-clock cost per iteration.
 fn bench(group: &str, name: &str, mut f: impl FnMut()) {
+    if smoke_mode() {
+        f();
+        println!("{group}/{name}: smoke ok (1 iter)");
+        return;
+    }
     let warmup = Instant::now();
     while warmup.elapsed() < Duration::from_millis(20) {
         f();
@@ -196,7 +207,10 @@ fn bench_extensions() {
         .build();
     nat.translate_outbound(&frame, &mut sram).unwrap();
     bench("extensions", "nat_translate_outbound_hot", || {
-        black_box(nat.translate_outbound(black_box(&frame), &mut sram).unwrap());
+        black_box(
+            nat.translate_outbound(black_box(&frame), &mut sram)
+                .unwrap(),
+        );
     });
 
     // Incremental checksum rewrite alone.
@@ -233,6 +247,81 @@ fn bench_extensions() {
     });
 }
 
+/// The PR-2 tentpole comparison: parse-once `FrameMeta` dispatch vs
+/// every stage re-parsing the frame bytes. Four stages model the
+/// steady-state vertical path (parser, filter ctx, sniffer summary
+/// fields, host demux).
+fn bench_meta() {
+    use pkt::{FrameMeta, Packet};
+
+    let built = PacketBuilder::new()
+        .ether(Mac::local(1), Mac::local(2))
+        .ipv4("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap())
+        .udp(5432, 9000, &[0u8; 256])
+        .build();
+    // A wire frame: raw bytes, no build-time descriptor attached.
+    let raw = Packet::from_bytes(built.bytes().to_vec());
+
+    let hasher = RssHasher::with_default_key(1);
+    bench("meta", "four_stage_reparse", || {
+        // The pre-descriptor pipeline: the NIC parser parses, verifies
+        // the transport checksum, and Toeplitz-hashes the tuple; then the
+        // filter ctx, sniffer, and host demux each re-parse the bytes.
+        let p = black_box(&raw).parse().unwrap();
+        assert!(p.l4_checksum_ok(raw.bytes()));
+        let t = FiveTuple::from_parsed(&p).unwrap();
+        let mut acc = u64::from(hasher.hash(&t));
+        for _ in 0..3 {
+            let p = black_box(&raw).parse().unwrap();
+            let t = FiveTuple::from_parsed(&p).unwrap();
+            acc ^= u64::from(t.src_port) ^ u64::from(p.ether.ethertype.0);
+        }
+        black_box(acc);
+    });
+    bench("meta", "four_stage_meta_dispatch", || {
+        // Ingress derives the descriptor once (parse + checksum verify +
+        // flow hash); every later stage reads precomputed fields.
+        let meta = FrameMeta::derive(black_box(raw.bytes())).unwrap();
+        let mut acc = u64::from(meta.flow_hash);
+        for _ in 0..3 {
+            let t = meta.tuple.unwrap();
+            acc ^= u64::from(t.src_port) ^ u64::from(meta.ethertype);
+        }
+        black_box(acc);
+    });
+}
+
+/// The PR-2 batching comparison: 32 same-flow frames through
+/// `SmartNic::rx` one at a time vs one `SmartNic::rx_batch` call (single
+/// frozen check, batched stats, hash-sorted coalesced flow probe).
+fn bench_batch_rx() {
+    use nicsim::{NicConfig, SmartNic};
+
+    let local: std::net::Ipv4Addr = "10.0.0.1".parse().unwrap();
+    let remote: std::net::Ipv4Addr = "10.0.0.2".parse().unwrap();
+    let mut nic = SmartNic::new(NicConfig::default());
+    let tuple = FiveTuple::udp(remote, 9000, local, 7000);
+    nic.open_connection(tuple, 1001, 42, "app", false).unwrap();
+    let pkts: Vec<pkt::Packet> = (0..32)
+        .map(|_| {
+            PacketBuilder::new()
+                .ether(Mac::local(2), Mac::local(1))
+                .ipv4(remote, local)
+                .udp(9000, 7000, &[0u8; 256])
+                .build()
+        })
+        .collect();
+
+    bench("batch", "rx_batch1_x32", || {
+        for p in &pkts {
+            black_box(nic.rx(p, Time::ZERO));
+        }
+    });
+    bench("batch", "rx_batch32", || {
+        black_box(nic.rx_batch(&pkts, Time::ZERO));
+    });
+}
+
 fn main() {
     bench_pkt();
     bench_qdisc();
@@ -241,4 +330,6 @@ fn main() {
     bench_memsim();
     bench_asm();
     bench_extensions();
+    bench_meta();
+    bench_batch_rx();
 }

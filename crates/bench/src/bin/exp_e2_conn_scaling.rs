@@ -203,7 +203,13 @@ fn main() {
     for (name, llc_fn, shared) in configs {
         let mut table = bench::Table::new(
             &format!("E2 — {name}"),
-            &["connections", "goodput (Gbps)", "consumer hit rate", "DMA ns/pkt", "recv ns/pkt"],
+            &[
+                "connections",
+                "goodput (Gbps)",
+                "consumer hit rate",
+                "DMA ns/pkt",
+                "recv ns/pkt",
+            ],
         );
         for &n in &conn_counts {
             let (gbps, hit, dma, recv) = run(n, llc_fn(), shared);

@@ -127,14 +127,7 @@ fn main() {
     println!("E3: NIC SRAM exhaustion and the software slow path (paper §5)");
     println!("(16384 offered connections, even load totalling 100 Gbps)\n");
 
-    let sizes: [u64; 6] = [
-        256 << 10,
-        1 << 20,
-        4 << 20,
-        8 << 20,
-        16 << 20,
-        64 << 20,
-    ];
+    let sizes: [u64; 6] = [256 << 10, 1 << 20, 4 << 20, 8 << 20, 16 << 20, 64 << 20];
     let mut table = bench::Table::new(
         "E3 — goodput vs NIC SRAM",
         &[
@@ -164,15 +157,23 @@ fn main() {
     // Shape checks.
     let first = &rows[0];
     let last = &rows[rows.len() - 1];
-    assert!(first.conns_accepted < TARGET_CONNS / 4, "small SRAM refuses most");
+    assert!(
+        first.conns_accepted < TARGET_CONNS / 4,
+        "small SRAM refuses most"
+    );
     assert_eq!(last.conns_accepted, TARGET_CONNS, "big SRAM accepts all");
     assert!(
         first.goodput_with_fallback_gbps > first.goodput_without_fallback_gbps,
         "fallback helps"
     );
-    assert!(last.goodput_with_fallback_gbps >= 99.0, "full SRAM reaches line rate");
+    assert!(
+        last.goodput_with_fallback_gbps >= 99.0,
+        "full SRAM reaches line rate"
+    );
     // Accepted connections grow monotonically with SRAM.
-    assert!(rows.windows(2).all(|w| w[0].conns_accepted <= w[1].conns_accepted));
+    assert!(rows
+        .windows(2)
+        .all(|w| w[0].conns_accepted <= w[1].conns_accepted));
     println!("\nShape check PASSED: SRAM bounds accepted connections; the software slow");
     println!("path recovers part of the refused traffic (the §5 mitigation), at kernel rates.");
 

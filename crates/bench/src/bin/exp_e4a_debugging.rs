@@ -35,7 +35,13 @@ fn main() {
     let mut rows = Vec::new();
     let mut table = bench::Table::new(
         "E4a — diagnosis procedures",
-        &["approach", "apps installed", "inspection steps", "identified", "culprit"],
+        &[
+            "approach",
+            "apps installed",
+            "inspection steps",
+            "identified",
+            "culprit",
+        ],
     );
 
     for &napps in &[5usize, 20, 100] {

@@ -66,14 +66,9 @@ fn run_kopi() -> Row {
 
     // Attack 1: Charlie tries to *open* 5432 — control plane refuses.
     let charlie_pid = tb.mysql.pid;
-    let steal = tb.host.connect(
-        charlie_pid,
-        pkt::IpProto::UDP,
-        5432,
-        tb.peer_ip,
-        1,
-        false,
-    );
+    let steal = tb
+        .host
+        .connect(charlie_pid, pkt::IpProto::UDP, 5432, tb.peer_ip, 1, false);
     assert!(steal.is_err(), "control plane must refuse the port grab");
 
     // Attack 2: Charlie spoofs *sends* from source port 5432 over his
@@ -86,7 +81,11 @@ fn run_kopi() -> Row {
             .ipv4(tb.host.cfg.ip, tb.peer_ip)
             .udp(5432, 9000, b"stolen")
             .build();
-        if let Ok(nicsim::TxDisposition::Queued { .. }) = tb.host.nic.tx_enqueue(tb.mysql.conn, &spoof, Time::ZERO) { violations += 1 }
+        if let Ok(nicsim::TxDisposition::Queued { .. }) =
+            tb.host.nic.tx_enqueue(tb.mysql.conn, &spoof, Time::ZERO)
+        {
+            violations += 1
+        }
     }
 
     Row {
@@ -167,11 +166,23 @@ fn main() {
     table.print();
 
     let kopi = &rows[0];
-    assert_eq!(kopi.violations_delivered, 0, "KOPI lets no violation through");
-    assert_eq!(kopi.legit_delivered, ATTEMPTS, "KOPI passes all legitimate traffic");
-    let bypass = rows.iter().find(|r| r.architecture == "raw-bypass").unwrap();
+    assert_eq!(
+        kopi.violations_delivered, 0,
+        "KOPI lets no violation through"
+    );
+    assert_eq!(
+        kopi.legit_delivered, ATTEMPTS,
+        "KOPI passes all legitimate traffic"
+    );
+    let bypass = rows
+        .iter()
+        .find(|r| r.architecture == "raw-bypass")
+        .unwrap();
     assert_eq!(bypass.violations_delivered, ATTEMPTS);
-    let hv = rows.iter().find(|r| r.architecture == "hypervisor-switch").unwrap();
+    let hv = rows
+        .iter()
+        .find(|r| r.architecture == "hypervisor-switch")
+        .unwrap();
     assert!(hv.legit_blocked > 0, "hypervisor can only over-block");
     println!("\nShape check PASSED: only process-view architectures (kernel, sidecar, KOPI)");
     println!("enforce the policy exactly; KOPI does so without touching the fast path.");

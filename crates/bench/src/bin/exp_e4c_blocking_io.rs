@@ -47,7 +47,14 @@ fn run_mode(mode: &'static str, rate: f64) -> Row {
     // and spin briefly instead of paying the block/wake pair.
     let adaptive_threshold = Dur::from_us(8);
     let conn = host
-        .connect(pid, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, blocking)
+        .connect(
+            pid,
+            IpProto::UDP,
+            7000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            blocking,
+        )
         .unwrap();
     let pktbuf = PacketBuilder::new()
         .ether(Mac::local(9), host.cfg.mac)
@@ -128,7 +135,12 @@ fn main() {
         &["mode", "req/s", "CPU util", "useful fraction", "wakeups"],
     );
     for &rate in &rates {
-        for mode in ["bypass-polling", "kopi-blocking", "kopi-adaptive", "kernel-blocking"] {
+        for mode in [
+            "bypass-polling",
+            "kopi-blocking",
+            "kopi-adaptive",
+            "kernel-blocking",
+        ] {
             let r = run_mode(mode, rate);
             table.row(&[
                 r.mode.to_string(),
@@ -171,8 +183,7 @@ fn main() {
     // high rates.
     assert!(get("kopi-adaptive", 100.0).cpu_utilization < 0.01);
     assert!(
-        get("kopi-adaptive", 1_000_000.0).wakeups
-            < get("kopi-blocking", 1_000_000.0).wakeups / 2
+        get("kopi-adaptive", 1_000_000.0).wakeups < get("kopi-blocking", 1_000_000.0).wakeups / 2
     );
     println!("\nShape check PASSED: polling burns a full core at all rates; KOPI blocking");
     println!("tracks offered load (and beats kernel blocking by avoiding per-request syscalls).");

@@ -137,7 +137,11 @@ fn run(shaped: bool) -> Row {
     let (productive, game) = drive(&mut tb, secs);
     let total = productive + game;
     Row {
-        config: if shaped { "kopi-wfq (8:1)" } else { "no shaping (fifo)" },
+        config: if shaped {
+            "kopi-wfq (8:1)"
+        } else {
+            "no shaping (fifo)"
+        },
         productive_share: productive as f64 / total as f64,
         game_share: game as f64 / total as f64,
         total_gbps: total as f64 * 8.0 / secs as f64 / 1e9,
@@ -214,9 +218,17 @@ fn main() {
     let conserving = &rows[2];
     // Without shaping the game takes about its offered share (2 of 4
     // backlogged apps = ~50%).
-    assert!((0.35..0.65).contains(&unshaped.game_share), "{}", unshaped.game_share);
+    assert!(
+        (0.35..0.65).contains(&unshaped.game_share),
+        "{}",
+        unshaped.game_share
+    );
     // With 8:1 WFQ the game class gets ~1/9.
-    assert!(shaped.game_share < 0.15, "shaped game share {}", shaped.game_share);
+    assert!(
+        shaped.game_share < 0.15,
+        "shaped game share {}",
+        shaped.game_share
+    );
     assert!(shaped.productive_share > 0.85);
     // Work conserving: idle games leave the full link to the others.
     assert!(conserving.total_gbps > 0.95 * unshaped.total_gbps);

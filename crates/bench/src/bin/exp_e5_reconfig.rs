@@ -15,9 +15,9 @@
 
 use std::net::Ipv4Addr;
 
+use nicsim::device::ProgramSlot;
 use norman::host::DeliveryOutcome;
 use norman::{Host, HostConfig};
-use nicsim::device::ProgramSlot;
 use oskernel::Uid;
 use overlay::builtins;
 use pkt::{IpProto, Mac, PacketBuilder};
@@ -35,7 +35,13 @@ struct Row {
 /// Offered rate: one 1500 B frame every 121.6 ns ≈ line rate.
 const PKT_GAP: Dur = Dur(121_600);
 
-fn offered_between(host: &mut Host, from: Time, until: Time, conn: nicsim::ConnId, frame: &pkt::Packet) -> (u64, u64) {
+fn offered_between(
+    host: &mut Host,
+    from: Time,
+    until: Time,
+    conn: nicsim::ConnId,
+    frame: &pkt::Packet,
+) -> (u64, u64) {
     let mut lost = 0;
     let mut sent = 0;
     let mut t = from;
@@ -62,7 +68,14 @@ fn setup() -> (Host, nicsim::ConnId, pkt::Packet) {
     let mut host = Host::new(cfg);
     let pid = host.spawn(Uid(1001), "bob", "server");
     let conn = host
-        .connect(pid, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
+        .connect(
+            pid,
+            IpProto::UDP,
+            7000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            false,
+        )
         .unwrap();
     let frame = PacketBuilder::new()
         .ether(Mac::local(9), host.cfg.mac)
@@ -82,7 +95,11 @@ fn main() {
     {
         let (mut host, conn, frame) = setup();
         host.nic
-            .load_program(ProgramSlot::IngressFilter, builtins::port_owner_filter(), Time::ZERO)
+            .load_program(
+                ProgramSlot::IngressFilter,
+                builtins::port_owner_filter(),
+                Time::ZERO,
+            )
             .unwrap();
         let t0 = Time::from_ms(1);
         // The update itself: one map fill via MMIO.
@@ -149,7 +166,12 @@ fn main() {
 
     let mut table = bench::Table::new(
         "E5 — update mechanisms",
-        &["mechanism", "latency", "packets lost @ 8.2Mpps", "dataplane down"],
+        &[
+            "mechanism",
+            "latency",
+            "packets lost @ 8.2Mpps",
+            "dataplane down",
+        ],
     );
     for r in &rows {
         let latency = if r.latency_us >= 1e6 {
@@ -170,7 +192,10 @@ fn main() {
 
     assert_eq!(rows[0].packets_lost, 0, "data updates lose nothing");
     assert_eq!(rows[1].packets_lost, 0, "overlay swaps lose nothing");
-    assert!(rows[2].packets_lost > 10_000_000, "a reprogram loses seconds of line-rate traffic");
+    assert!(
+        rows[2].packets_lost > 10_000_000,
+        "a reprogram loses seconds of line-rate traffic"
+    );
     assert!(rows[1].latency_us < 100.0);
     assert!(rows[2].latency_us > 1e6);
     println!("\nShape check PASSED: data updates ~100ns, overlay swaps ~20us — both lossless;");

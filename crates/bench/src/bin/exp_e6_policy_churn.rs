@@ -42,10 +42,18 @@ const LINE_MPPS: f64 = 8.2; // 1500B frames at 100 Gbps
 fn run_kopi(seed: u64) -> Row {
     let mut rng = DetRng::seed_from_u64(seed);
     let mut nic = SmartNic::new(NicConfig::default());
-    nic.load_program(ProgramSlot::IngressFilter, builtins::port_owner_filter(), Time::ZERO)
-        .unwrap();
-    nic.load_program(ProgramSlot::Classifier, builtins::uid_classifier(), Time::ZERO)
-        .unwrap();
+    nic.load_program(
+        ProgramSlot::IngressFilter,
+        builtins::port_owner_filter(),
+        Time::ZERO,
+    )
+    .unwrap();
+    nic.load_program(
+        ProgramSlot::Classifier,
+        builtins::uid_classifier(),
+        Time::ZERO,
+    )
+    .unwrap();
 
     let mut control = Dur::ZERO;
     let mut behavioural = 0u32;
@@ -76,7 +84,8 @@ fn run_kopi(seed: u64) -> Row {
                 ProgramSlot::IngressFilter
             };
             let key = rng.range_u64(0, 256) as usize;
-            nic.fill_map(slot, 0, key, rng.range_u64(0, 1000)).expect("fill");
+            nic.fill_map(slot, 0, key, rng.range_u64(0, 1000))
+                .expect("fill");
             control += Dur::from_ns(100);
         }
     }
@@ -158,7 +167,10 @@ fn main() {
     table.print();
 
     assert_eq!(rows[0].dataplane_downtime_s, 0.0);
-    assert!(rows[1].dataplane_downtime_s > 300.0, "minutes of downtime per year");
+    assert!(
+        rows[1].dataplane_downtime_s > 300.0,
+        "minutes of downtime per year"
+    );
     assert!(rows[0].control_time_ms < 100.0);
     println!("\nShape check PASSED: the overlay absorbs a year of updates in milliseconds of");
     println!("control time and zero downtime; fixed-function hardware would be down for");

@@ -32,17 +32,32 @@ fn run(features: &'static str) -> Row {
     let mut host = Host::new(HostConfig::default());
     let pid = host.spawn(Uid(1001), "bob", "server");
     let conn = host
-        .connect(pid, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
+        .connect(
+            pid,
+            IpProto::UDP,
+            7000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            false,
+        )
         .unwrap();
 
     if features.contains("filter") {
         host.nic
-            .load_program(ProgramSlot::IngressFilter, builtins::port_owner_filter(), Time::ZERO)
+            .load_program(
+                ProgramSlot::IngressFilter,
+                builtins::port_owner_filter(),
+                Time::ZERO,
+            )
             .unwrap();
     }
     if features.contains("classify") {
         host.nic
-            .load_program(ProgramSlot::Classifier, builtins::uid_classifier(), Time::ZERO)
+            .load_program(
+                ProgramSlot::Classifier,
+                builtins::uid_classifier(),
+                Time::ZERO,
+            )
             .unwrap();
     }
     if features.contains("account") {
@@ -111,7 +126,12 @@ fn main() {
     let mut rows = Vec::new();
     let mut table = bench::Table::new(
         "E7 — per-feature dataplane cost",
-        &["features", "NIC latency (ns)", "host CPU (ns/pkt)", "64B line rate"],
+        &[
+            "features",
+            "NIC latency (ns)",
+            "host CPU (ns/pkt)",
+            "64B line rate",
+        ],
     );
     for f in configs {
         let r = run(f);
@@ -119,7 +139,12 @@ fn main() {
             r.features.to_string(),
             format!("{:.0}", r.nic_latency_ns),
             format!("{:.0}", r.host_cpu_ns),
-            if r.min_frame_line_rate_ok { "ok" } else { "EXCEEDED" }.to_string(),
+            if r.min_frame_line_rate_ok {
+                "ok"
+            } else {
+                "EXCEEDED"
+            }
+            .to_string(),
         ]);
         rows.push(r);
     }

@@ -141,7 +141,11 @@ fn run(use_red: bool) -> Row {
     let f2 = delivered[1] as f64 * 8.0 / secs / 1e6;
     let capacity_mbps = CAPACITY_PKTS as f64 * MSS as f64 * 8.0 / (RTT_US / 1e6) / 1e6;
     Row {
-        bottleneck: if use_red { "red+ecn (dctcp)" } else { "drop-tail (loss)" },
+        bottleneck: if use_red {
+            "red+ecn (dctcp)"
+        } else {
+            "drop-tail (loss)"
+        },
         flow1_mbps: f1,
         flow2_mbps: f2,
         fairness_ratio: f1.max(f2) / f1.min(f2).max(1.0),
@@ -183,7 +187,11 @@ fn main() {
 
     let red = &rows[0];
     let tail = &rows[1];
-    assert!(red.fairness_ratio < 2.0, "ECN flows converge: {}", red.fairness_ratio);
+    assert!(
+        red.fairness_ratio < 2.0,
+        "ECN flows converge: {}",
+        red.fairness_ratio
+    );
     assert_eq!(red.losses, 0, "ECN avoids loss");
     assert!(tail.losses > 0, "drop-tail pays losses");
     assert!(
@@ -192,7 +200,11 @@ fn main() {
         red.avg_queue_pkts,
         tail.avg_queue_pkts
     );
-    assert!(red.link_utilization > 0.8, "utilization {}", red.link_utilization);
+    assert!(
+        red.link_utilization > 0.8,
+        "utilization {}",
+        red.link_utilization
+    );
     println!("\nShape check PASSED: the on-NIC controller converges fairly with zero loss and");
     println!("a shallow queue under RED/ECN; loss-based control fills the buffer and drops.");
 

@@ -60,7 +60,14 @@ fn run_chaos(scenario: &str, schedule: FaultSchedule, outage: Option<Outage>) ->
     let mut host = Host::new(cfg);
     let pid = host.spawn(Uid(1001), "bob", "server");
     let conn = host
-        .connect(pid, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
+        .connect(
+            pid,
+            IpProto::UDP,
+            7000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            false,
+        )
         .unwrap();
     let inbound = PacketBuilder::new()
         .ether(Mac::local(9), host.cfg.mac)
@@ -220,7 +227,10 @@ fn main() {
 
     // (1) Goodput degrades monotonically-ish along the loss curve and
     // never collapses below the injected fault budget.
-    assert!((rows[0].goodput_pct - 100.0).abs() < 1e-9, "ideal wire = 100%");
+    assert!(
+        (rows[0].goodput_pct - 100.0).abs() < 1e-9,
+        "ideal wire = 100%"
+    );
     for w in rows[..5].windows(2) {
         assert!(
             w[1].goodput_pct <= w[0].goodput_pct + 0.5,
@@ -249,7 +259,10 @@ fn main() {
     // (3) The outage scenario deferred and then flushed app TX.
     let sink = rows.last().unwrap();
     assert!(sink.tx_deferred > 0, "outage must defer app TX");
-    assert!(sink.tx_retry_flushed > 0, "recovery must flush the deferrals");
+    assert!(
+        sink.tx_retry_flushed > 0,
+        "recovery must flush the deferrals"
+    );
     // (4) Zero invariant violations anywhere.
     let total_violations: u64 = rows.iter().map(|r| r.audit_violations).sum();
     let total_audits: u64 = rows.iter().map(|r| r.audits).sum();
@@ -261,12 +274,8 @@ fn main() {
     let b = serde_json::to_string(&replay).unwrap();
     assert_eq!(a, b, "same seed must reproduce byte-identical results");
 
-    println!(
-        "\nShape check PASSED: goodput degrades smoothly with injected loss/corruption,"
-    );
-    println!(
-        "corrupted frames are caught at the parser, outage TX defers and flushes, and"
-    );
+    println!("\nShape check PASSED: goodput degrades smoothly with injected loss/corruption,");
+    println!("corrupted frames are caught at the parser, outage TX defers and flushes, and");
     println!(
         "{total_audits} audits across the sweep found {total_violations} invariant violations; replay is byte-identical."
     );

@@ -40,7 +40,11 @@ fn main() {
 
     // --- Control plane: connection setup ---------------------------------
     let bob = host.spawn(Uid(1001), "bob", "server");
-    log(now, "app(server)", "connect() syscall -> kernel control plane".into());
+    log(
+        now,
+        "app(server)",
+        "connect() syscall -> kernel control plane".into(),
+    );
     let sock = NormanSocket::connect(
         &mut host,
         bob,
@@ -84,7 +88,11 @@ fn main() {
         .ipv4(Ipv4Addr::new(10, 0, 0, 2), host.cfg.ip)
         .udp(9000, 7000, b"ping")
         .build();
-    log(now, "wire", format!("frame arrives ({} bytes)", request.len()));
+    log(
+        now,
+        "wire",
+        format!("frame arrives ({} bytes)", request.len()),
+    );
     let report = host.deliver_from_wire(&request, now);
     log(
         now + report.nic_latency,
@@ -108,7 +116,8 @@ fn main() {
     log(
         now + report.nic_latency,
         "kernel(control)",
-        "NOTE: zero kernel CPU on the data path (packets do not pass through the software kernel)".into(),
+        "NOTE: zero kernel CPU on the data path (packets do not pass through the software kernel)"
+            .into(),
     );
 
     // --- App receives and replies -----------------------------------------
@@ -118,21 +127,31 @@ fn main() {
     log(
         now,
         "app(server)",
-        format!("recv() returns {} bytes straight from the ring (app CPU {})", request.len(), r.cpu),
+        format!(
+            "recv() returns {} bytes straight from the ring (app CPU {})",
+            request.len(),
+            r.cpu
+        ),
     );
     let s = sock.send(&mut host, b"pong", now);
     assert!(s.queued);
     log(
         now,
         "app(server)",
-        format!("send(): payload written to TX ring + doorbell (app CPU {})", s.cpu),
+        format!(
+            "send(): payload written to TX ring + doorbell (app CPU {})",
+            s.cpu
+        ),
     );
     let deps = host.pump_tx(now);
     assert_eq!(deps.len(), 1);
     log(
         deps[0].arrives_at,
         "nic(scheduler)",
-        format!("egress filter PASS -> WFQ -> wire; arrives at peer at {}", deps[0].arrives_at),
+        format!(
+            "egress filter PASS -> WFQ -> wire; arrives at peer at {}",
+            deps[0].arrives_at
+        ),
     );
 
     // --- Admin tools still work (the point of the paper) -------------------

@@ -38,7 +38,15 @@ fn main() {
     // Probe 1 (process view): ksniff must attribute the flood.
     let mut tb = AliceTestbed::new();
     let root = Cred::root();
-    ksniff::start(&mut tb.host, &root, SnifferFilter { arp_only: true, ..SnifferFilter::all() }).unwrap();
+    ksniff::start(
+        &mut tb.host,
+        &root,
+        SnifferFilter {
+            arp_only: true,
+            ..SnifferFilter::all()
+        },
+    )
+    .unwrap();
     tb.run_arp_flood(10, Time::ZERO);
     let entries = ksniff::dump(&mut tb.host, &root).unwrap();
     let attributed = ksniff::top_arp_talkers(&entries)

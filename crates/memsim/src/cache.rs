@@ -315,13 +315,22 @@ mod tests {
         // evicted by the second...
         c.access(3 * stride, AccessKind::DmaWrite);
         c.access(4 * stride, AccessKind::DmaWrite);
-        assert_eq!(c.access(3 * stride, AccessKind::CpuRead), AccessOutcome::Miss);
-        assert_eq!(c.access(4 * stride, AccessKind::CpuRead), AccessOutcome::Hit);
+        assert_eq!(
+            c.access(3 * stride, AccessKind::CpuRead),
+            AccessOutcome::Miss
+        );
+        assert_eq!(
+            c.access(4 * stride, AccessKind::CpuRead),
+            AccessOutcome::Hit
+        );
         // ...and CPU lines outside the DDIO ways survive. Tag A happened
         // to occupy way 0 (a DDIO-eligible way, shared with the CPU as on
         // real hardware), so only B and C are guaranteed residents.
         assert_eq!(c.access(stride, AccessKind::CpuRead), AccessOutcome::Hit);
-        assert_eq!(c.access(2 * stride, AccessKind::CpuRead), AccessOutcome::Hit);
+        assert_eq!(
+            c.access(2 * stride, AccessKind::CpuRead),
+            AccessOutcome::Hit
+        );
     }
 
     #[test]

@@ -123,12 +123,22 @@ impl HostRing {
 
     /// Produces a payload of `len` bytes into the ring via DMA (the NIC
     /// side), returning the memory cost.
-    pub fn produce_dma(&mut self, len: usize, llc: &mut Llc, costs: &MemCosts) -> Result<Dur, RingError> {
+    pub fn produce_dma(
+        &mut self,
+        len: usize,
+        llc: &mut Llc,
+        costs: &MemCosts,
+    ) -> Result<Dur, RingError> {
         self.produce(len, llc, costs, AccessKind::DmaWrite)
     }
 
     /// Produces a payload via CPU stores (the application TX side).
-    pub fn produce_cpu(&mut self, len: usize, llc: &mut Llc, costs: &MemCosts) -> Result<Dur, RingError> {
+    pub fn produce_cpu(
+        &mut self,
+        len: usize,
+        llc: &mut Llc,
+        costs: &MemCosts,
+    ) -> Result<Dur, RingError> {
         self.produce(len, llc, costs, AccessKind::CpuWrite)
     }
 
@@ -169,7 +179,12 @@ impl HostRing {
         self.consume(llc, costs, AccessKind::DmaRead)
     }
 
-    fn consume(&mut self, llc: &mut Llc, costs: &MemCosts, kind: AccessKind) -> Option<(usize, Dur)> {
+    fn consume(
+        &mut self,
+        llc: &mut Llc,
+        costs: &MemCosts,
+        kind: AccessKind,
+    ) -> Option<(usize, Dur)> {
         if self.is_empty() {
             return None;
         }
@@ -265,7 +280,10 @@ mod tests {
         c.reset_stats();
         ring.consume_cpu(&mut c, &costs);
         let s = c.stats();
-        assert_eq!(s.cpu_misses, 0, "consumer should hit DDIO-resident lines: {s:?}");
+        assert_eq!(
+            s.cpu_misses, 0,
+            "consumer should hit DDIO-resident lines: {s:?}"
+        );
     }
 
     #[test]
@@ -313,6 +331,8 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(RingError::Full.to_string(), "ring full");
-        assert!(RingError::Oversize { len: 9, slot: 4 }.to_string().contains("9 bytes"));
+        assert!(RingError::Oversize { len: 9, slot: 4 }
+            .to_string()
+            .contains("9 bytes"));
     }
 }

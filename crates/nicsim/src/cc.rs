@@ -35,7 +35,7 @@ impl Default for CcParams {
     fn default() -> CcParams {
         CcParams {
             mss: 1500,
-            init_cwnd: 15_000, // 10 MSS
+            init_cwnd: 15_000,    // 10 MSS
             max_cwnd: 12_500_000, // 100 Gbps x 1 ms
             g: 1.0 / 16.0,
         }
@@ -147,7 +147,9 @@ impl CongestionControl {
                 f.cwnd *= 1.0 - f.alpha / 2.0;
                 self.backoffs += 1;
             }
-            f.cwnd = f.cwnd.clamp(f64::from(params.mss), f64::from(params.max_cwnd));
+            f.cwnd = f
+                .cwnd
+                .clamp(f64::from(params.mss), f64::from(params.max_cwnd));
             f.acked_in_window = 0;
             f.marked_in_window = 0;
             f.window_target = f.cwnd as u64;
@@ -187,7 +189,11 @@ mod tests {
             cc.on_ack(ConnId(1), target, false);
         }
         let w2 = cc.flow(ConnId(1)).unwrap().cwnd;
-        assert!((w2 - w0 - 3000.0).abs() < 1.0, "two MSS of growth, got {}", w2 - w0);
+        assert!(
+            (w2 - w0 - 3000.0).abs() < 1.0,
+            "two MSS of growth, got {}",
+            w2 - w0
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use overlay::{verify, PktCtx, Program, Verdict, Vm};
-use pkt::{FiveTuple, IpProto, Packet, RssHasher};
+use pkt::{FiveTuple, FrameMeta, IpProto, Packet, PktError};
 use qdisc::{QPkt, Qdisc, Wfq};
 use sim::{Dur, Link, Time};
 
@@ -132,7 +132,6 @@ pub struct SmartNic {
     /// The capture tap.
     pub sniffer: Sniffer,
     link: Link,
-    rss: RssHasher,
     ingress_filter: Option<Vm>,
     egress_filter: Option<Vm>,
     classifier: Option<Vm>,
@@ -159,7 +158,6 @@ impl SmartNic {
             flows: FlowTable::new(),
             regs: RegFile::new(),
             link,
-            rss: RssHasher::with_default_key(16),
             ingress_filter: None,
             egress_filter: None,
             classifier: None,
@@ -333,11 +331,16 @@ impl SmartNic {
         comm: &str,
         notify: bool,
     ) -> Result<ConnId, NicError> {
-        self.sram.alloc(SramCategory::RingContext, RING_CONTEXT_BYTES)?;
-        let id = match self.flows.insert(tuple, uid, pid, comm, notify, &mut self.sram) {
+        self.sram
+            .alloc(SramCategory::RingContext, RING_CONTEXT_BYTES)?;
+        let id = match self
+            .flows
+            .insert(tuple, uid, pid, comm, notify, &mut self.sram)
+        {
             Ok(id) => id,
             Err(e) => {
-                self.sram.release(SramCategory::RingContext, RING_CONTEXT_BYTES);
+                self.sram
+                    .release(SramCategory::RingContext, RING_CONTEXT_BYTES);
                 return Err(e.into());
             }
         };
@@ -372,7 +375,8 @@ impl SmartNic {
         if !self.flows.remove(id, &mut self.sram) {
             return Err(NicError::NoSuchConn(id));
         }
-        self.sram.release(SramCategory::RingContext, RING_CONTEXT_BYTES);
+        self.sram
+            .release(SramCategory::RingContext, RING_CONTEXT_BYTES);
         self.regs.remove(Self::rx_doorbell_addr(id));
         self.regs.remove(Self::tx_doorbell_addr(id));
         Ok(())
@@ -516,7 +520,10 @@ impl SmartNic {
         }
 
         // SRAM totals are internally consistent.
-        let by_category: u64 = SramCategory::ALL.iter().map(|&c| self.sram.used_by(c)).sum();
+        let by_category: u64 = SramCategory::ALL
+            .iter()
+            .map(|&c| self.sram.used_by(c))
+            .sum();
         if by_category != self.sram.used() {
             violations.push(format!(
                 "SRAM category sum {by_category} != used total {}",
@@ -541,8 +548,18 @@ impl SmartNic {
     // Dataplane
     // ------------------------------------------------------------------
 
-    fn build_ctx(&self, parsed: Option<&pkt::Parsed>, len: usize, entry: Option<&ConnEntry>, egress: bool, now: Time) -> PktCtx {
-        let tuple = parsed.and_then(FiveTuple::from_parsed);
+    /// Builds the overlay packet context from the parse-once descriptor —
+    /// no byte access, no per-stage Toeplitz (the hash rides in the
+    /// descriptor). Associated fn (not `&self`) so callers can keep
+    /// disjoint borrows of other NIC fields alive.
+    fn build_ctx(
+        meta: Option<&FrameMeta>,
+        len: usize,
+        entry: Option<&ConnEntry>,
+        egress: bool,
+        now: Time,
+    ) -> PktCtx {
+        let tuple = meta.and_then(|m| m.tuple);
         PktCtx {
             pkt_len: len as u64,
             proto: tuple.map(|t| u64::from(t.proto.0)).unwrap_or(0),
@@ -552,12 +569,12 @@ impl SmartNic {
             dst_port: tuple.map(|t| t.dst_port).unwrap_or(0),
             uid: entry.map(|e| e.uid).unwrap_or(u32::MAX),
             pid: entry.map(|e| e.pid).unwrap_or(0),
-            flow_hash: tuple.map(|t| self.rss.hash(&t)).unwrap_or(0),
+            flow_hash: meta.map(|m| m.flow_hash).unwrap_or(0),
             conn_id: entry.map(|e| e.id.0).unwrap_or(u64::MAX),
             now_ns: now.as_ns_f64() as u64,
-            ethertype: parsed.map(|p| p.ether.ethertype.0).unwrap_or(0),
-            dscp: parsed.and_then(|p| p.ip()).map(|ip| ip.dscp_ecn).unwrap_or(0),
-            is_arp: parsed.map(|p| p.is_arp()).unwrap_or(false),
+            ethertype: meta.map(|m| m.ethertype).unwrap_or(0),
+            dscp: meta.map(|m| m.dscp_ecn).unwrap_or(0),
+            is_arp: meta.map(|m| m.is_arp()).unwrap_or(false),
             egress,
             mark: 0,
         }
@@ -571,14 +588,26 @@ impl SmartNic {
         }
     }
 
-    /// Finishes an ingress frame the parser stage rejected: it occupies
-    /// the parser like any other frame, is visible to the sniffer
-    /// (unattributed), and becomes a counted [`DropReason::Malformed`].
-    fn rx_malformed_drop(&mut self, packet: &Packet, now: Time) -> RxResult {
+    /// Finishes an ingress frame the parser stage rejected (structural
+    /// failure or bad transport checksum): it occupies the parser like any
+    /// other frame, is visible to the sniffer (unattributed), and becomes
+    /// a counted [`DropReason::Malformed`].
+    fn rx_malformed_drop(
+        &mut self,
+        packet: &Packet,
+        meta: Result<&FrameMeta, &PktError>,
+        now: Time,
+    ) -> RxResult {
         let latency = self.cfg.base_latency + self.cfg.parse_cost;
         let start = now.max(self.pipeline_free);
         self.pipeline_free = start + self.cfg.parse_cost;
-        self.sniffer.tap(now, Direction::Rx, packet, None);
+        match meta {
+            // A bad-checksum frame still parsed; the tap shows its summary.
+            Ok(m) => self.sniffer.tap(now, Direction::Rx, packet, m, None),
+            Err(e) => self
+                .sniffer
+                .tap_unparsed(now, Direction::Rx, packet, e, None),
+        }
         RxResult {
             disposition: RxDisposition::Drop {
                 reason: DropReason::Malformed,
@@ -586,6 +615,44 @@ impl SmartNic {
             ready_at: start + latency,
             latency,
             interrupt: false,
+            meta: meta.ok().copied(),
+        }
+    }
+
+    /// The reprogramming-window drop (dataplane frozen for a bitstream
+    /// reprogram): the frame never enters the pipeline.
+    fn rx_frozen_drop(&mut self, now: Time) -> RxResult {
+        self.stats.dropped_reprogramming += 1;
+        RxResult {
+            disposition: RxDisposition::Drop {
+                reason: DropReason::Reprogramming,
+            },
+            ready_at: now,
+            latency: Dur::ZERO,
+            interrupt: false,
+            meta: None,
+        }
+    }
+
+    /// The parser stage: derives the parse-once descriptor (or reuses the
+    /// one attached at build time) and rejects damaged frames before they
+    /// can touch the flow table or overlay state. A frame that fails to
+    /// parse, or parses but fails its transport checksum, is a counted
+    /// drop — never a flow-table entry, notification, or slow-path punt
+    /// built from garbage bytes.
+    ///
+    /// Returns `Err(rx_result)` when the frame was consumed as a drop.
+    fn rx_parse(&mut self, packet: &Packet, now: Time) -> Result<FrameMeta, RxResult> {
+        match FrameMeta::of(packet) {
+            Ok(m) if !m.l4_checksum_ok => {
+                self.stats.rx_bad_checksum += 1;
+                Err(self.rx_malformed_drop(packet, Ok(&m), now))
+            }
+            Ok(m) => Ok(m),
+            Err(e) => {
+                self.stats.rx_malformed += 1;
+                Err(self.rx_malformed_drop(packet, Err(&e), now))
+            }
         }
     }
 
@@ -593,39 +660,37 @@ impl SmartNic {
     pub fn rx(&mut self, packet: &Packet, now: Time) -> RxResult {
         self.stats.rx_frames += 1;
         if now < self.frozen_until {
-            self.stats.dropped_reprogramming += 1;
-            return RxResult {
-                disposition: RxDisposition::Drop {
-                    reason: DropReason::Reprogramming,
-                },
-                ready_at: now,
-                latency: Dur::ZERO,
-                interrupt: false,
-            };
+            return self.rx_frozen_drop(now);
         }
-
-        // The parser stage rejects damaged frames before they can touch
-        // the flow table or overlay state: a frame that fails to parse, or
-        // parses but fails its transport checksum, is a counted drop —
-        // never a flow-table entry, notification, or slow-path punt built
-        // from garbage bytes.
-        let parsed = match packet.parse() {
-            Ok(p) => {
-                if !p.l4_checksum_ok(packet.bytes()) {
-                    self.stats.rx_bad_checksum += 1;
-                    return self.rx_malformed_drop(packet, now);
-                }
-                Some(p)
-            }
-            Err(_) => {
-                self.stats.rx_malformed += 1;
-                return self.rx_malformed_drop(packet, now);
-            }
+        let meta = match self.rx_parse(packet, now) {
+            Ok(m) => m,
+            Err(dropped) => return dropped,
         };
-        let tuple = parsed.as_ref().and_then(FiveTuple::from_parsed);
-        let conn = tuple.and_then(|t| self.flows.lookup(&t));
-        let entry = conn.and_then(|id| self.flows.entry(id)).cloned();
-        let ctx = self.build_ctx(parsed.as_ref(), packet.len(), entry.as_ref(), false, now);
+        let conn = meta.tuple.and_then(|t| self.flows.lookup(&t));
+        self.rx_finish(packet, meta, conn, now)
+    }
+
+    /// The post-lookup half of ingress: overlay stages, timing, tap,
+    /// disposition, and notification. Shared by [`SmartNic::rx`] and
+    /// [`SmartNic::rx_batch`]; `conn` is the flow-table steering decision.
+    fn rx_finish(
+        &mut self,
+        packet: &Packet,
+        meta: FrameMeta,
+        conn: Option<ConnId>,
+        now: Time,
+    ) -> RxResult {
+        // Borrow the entry in place: `self.flows` is a distinct field from
+        // the sniffer/stats/notify state mutated below, so no clone of the
+        // (comm-string-carrying) entry is needed.
+        let entry = conn.and_then(|id| self.flows.entry(id));
+        let ctx = Self::build_ctx(Some(&meta), packet.len(), entry, false, now);
+        let entry_disp = entry.map(|e| (e.id, e.notify, e.pid));
+        let attribution = entry.map(|e| (e.uid, e.pid, e.comm.as_str()));
+
+        // Sniffer taps see everything entering the host, post-parse.
+        self.sniffer
+            .tap(now, Direction::Rx, packet, &meta, attribution);
 
         // Overlay stages.
         let mut overlay_cycles = 0u64;
@@ -644,7 +709,8 @@ impl SmartNic {
         // slowest programmable stage) or the fixed stages, whichever is
         // longer.
         let overlay_time = self.cfg.overlay_cycle.saturating_mul(overlay_cycles);
-        let latency = self.cfg.base_latency + self.cfg.parse_cost + self.cfg.lookup_cost + overlay_time;
+        let latency =
+            self.cfg.base_latency + self.cfg.parse_cost + self.cfg.lookup_cost + overlay_time;
         let occupancy = overlay_time
             .max(self.cfg.parse_cost)
             .max(self.cfg.lookup_cost);
@@ -652,13 +718,7 @@ impl SmartNic {
         self.pipeline_free = start + occupancy;
         let ready_at = start + latency;
 
-        // Sniffer taps see everything entering the host, post-parse.
-        let attribution = entry
-            .as_ref()
-            .map(|e| (e.uid, e.pid, e.comm.as_str()));
-        self.sniffer.tap(now, Direction::Rx, packet, attribution);
-
-        let disposition = match (verdict, &entry) {
+        let disposition = match (verdict, entry_disp) {
             (Verdict::Drop, _) => {
                 self.stats.rx_filtered += 1;
                 RxDisposition::Drop {
@@ -671,12 +731,9 @@ impl SmartNic {
                     reason: SlowPathReason::PolicyPunt,
                 }
             }
-            (_, Some(e)) => {
+            (_, Some((id, notify, _))) => {
                 self.stats.rx_delivered += 1;
-                RxDisposition::Deliver {
-                    conn: e.id,
-                    notify: e.notify,
-                }
+                RxDisposition::Deliver { conn: id, notify }
             }
             (_, None) => {
                 self.stats.rx_slowpath += 1;
@@ -689,10 +746,10 @@ impl SmartNic {
         // Post notifications for delivered packets on notify connections.
         let mut interrupt = false;
         if let RxDisposition::Deliver { conn, notify: true } = disposition {
-            if let Some(e) = entry.as_ref() {
+            if let Some((_, _, pid)) = entry_disp {
                 let q = self
                     .notify_queues
-                    .entry(e.pid)
+                    .entry(pid)
                     .or_insert_with(|| NotifyQueue::new(self.cfg.notify_capacity));
                 interrupt = q.post(Notification {
                     conn,
@@ -707,7 +764,68 @@ impl SmartNic {
             ready_at,
             latency,
             interrupt,
+            meta: Some(meta),
         }
+    }
+
+    /// Processes a burst of ingress frames arriving together at `now`,
+    /// amortizing per-frame dispatch: one frozen-window check, one parser
+    /// sweep, one hash-sorted flow-table probe
+    /// ([`FlowTable::lookup_batch`]), then per-frame completion in arrival
+    /// order.
+    ///
+    /// The results — dispositions, timing, stats, sniffer captures, and
+    /// notifications — are identical to calling [`SmartNic::rx`] once per
+    /// frame in order; the batch only restructures the work.
+    pub fn rx_batch(&mut self, packets: &[Packet], now: Time) -> Vec<RxResult> {
+        self.stats.rx_frames += packets.len() as u64;
+        if now < self.frozen_until {
+            return packets.iter().map(|_| self.rx_frozen_drop(now)).collect();
+        }
+
+        // Stage 1: a side-effect-free parser sweep (build-time descriptors
+        // short-circuit it entirely). Drop accounting stays in stage 3 so
+        // pipeline occupancy and sniffer captures advance in arrival
+        // order, exactly as the sequential path would.
+        let metas: Vec<Result<FrameMeta, pkt::PktError>> =
+            packets.iter().map(FrameMeta::of).collect();
+
+        // Stage 2: one batched flow-table probe over the frames that
+        // survived parsing and carry a steerable tuple.
+        let mut queries: Vec<(u32, FiveTuple)> = Vec::with_capacity(packets.len());
+        let mut query_of: Vec<Option<usize>> = Vec::with_capacity(packets.len());
+        for m in &metas {
+            match m {
+                Ok(meta) if meta.l4_checksum_ok && meta.tuple.is_some() => {
+                    query_of.push(Some(queries.len()));
+                    queries.push((meta.flow_hash, meta.tuple.unwrap()));
+                }
+                _ => query_of.push(None),
+            }
+        }
+        let conns = self.flows.lookup_batch(&queries);
+
+        // Stage 3: finish each frame in arrival order, preserving
+        // per-stage timing, capture, and notification semantics.
+        metas
+            .into_iter()
+            .zip(query_of)
+            .zip(packets)
+            .map(|((m, q), packet)| match m {
+                Ok(meta) if !meta.l4_checksum_ok => {
+                    self.stats.rx_bad_checksum += 1;
+                    self.rx_malformed_drop(packet, Ok(&meta), now)
+                }
+                Ok(meta) => {
+                    let conn = q.and_then(|qi| conns[qi]);
+                    self.rx_finish(packet, meta, conn, now)
+                }
+                Err(e) => {
+                    self.stats.rx_malformed += 1;
+                    self.rx_malformed_drop(packet, Err(&e), now)
+                }
+            })
+            .collect()
     }
 
     /// Offers an egress frame from `conn` to the NIC at `now` (the host
@@ -725,13 +843,13 @@ impl SmartNic {
                 reason: DropReason::Reprogramming,
             });
         }
-        let entry = self
-            .flows
-            .entry(conn)
-            .ok_or(NicError::NoSuchConn(conn))?
-            .clone();
-        let parsed = packet.parse().ok();
-        let ctx = self.build_ctx(parsed.as_ref(), packet.len(), Some(&entry), true, now);
+        // Borrow the entry in place: the overlay VMs, scheduler, and
+        // sniffer are all distinct NIC fields, so the (comm-string-
+        // carrying) entry never needs cloning on the TX hot path.
+        let entry = self.flows.entry(conn).ok_or(NicError::NoSuchConn(conn))?;
+        let meta = FrameMeta::of(packet);
+        let ctx = Self::build_ctx(meta.as_ref().ok(), packet.len(), Some(entry), true, now);
+        let attribution = (entry.uid, entry.pid, entry.comm.as_str());
 
         let mut verdict = Verdict::Pass;
         if let Some(vm) = self.egress_filter.as_mut() {
@@ -764,12 +882,14 @@ impl SmartNic {
         };
 
         // The TX tap sees frames accepted for transmission.
-        self.sniffer.tap(
-            now,
-            Direction::Tx,
-            packet,
-            Some((entry.uid, entry.pid, entry.comm.as_str())),
-        );
+        match &meta {
+            Ok(m) => self
+                .sniffer
+                .tap(now, Direction::Tx, packet, m, Some(attribution)),
+            Err(e) => self
+                .sniffer
+                .tap_unparsed(now, Direction::Tx, packet, e, Some(attribution)),
+        }
 
         let pkt_id = self.next_pkt_id;
         self.next_pkt_id += 1;
@@ -786,7 +906,11 @@ impl SmartNic {
     /// Offers a kernel-originated frame (ARP replies, slow-path
     /// responses) to the scheduler. Kernel frames carry root/kernel
     /// attribution through the egress pipeline and use scheduler class 0.
-    pub fn tx_enqueue_kernel(&mut self, packet: &Packet, now: Time) -> Result<TxDisposition, NicError> {
+    pub fn tx_enqueue_kernel(
+        &mut self,
+        packet: &Packet,
+        now: Time,
+    ) -> Result<TxDisposition, NicError> {
         self.stats.tx_frames += 1;
         if now < self.frozen_until {
             self.stats.dropped_reprogramming += 1;
@@ -794,8 +918,8 @@ impl SmartNic {
                 reason: DropReason::Reprogramming,
             });
         }
-        let parsed = packet.parse().ok();
-        let mut ctx = self.build_ctx(parsed.as_ref(), packet.len(), None, true, now);
+        let meta = FrameMeta::of(packet);
+        let mut ctx = Self::build_ctx(meta.as_ref().ok(), packet.len(), None, true, now);
         ctx.uid = 0; // the kernel
         let mut verdict = Verdict::Pass;
         if let Some(vm) = self.egress_filter.as_mut() {
@@ -808,7 +932,15 @@ impl SmartNic {
                 reason: DropReason::Filter,
             });
         }
-        self.sniffer.tap(now, Direction::Tx, packet, Some((0, 0, "kernel")));
+        match &meta {
+            Ok(m) => self
+                .sniffer
+                .tap(now, Direction::Tx, packet, m, Some((0, 0, "kernel"))),
+            Err(e) => {
+                self.sniffer
+                    .tap_unparsed(now, Direction::Tx, packet, e, Some((0, 0, "kernel")))
+            }
+        }
         let pkt_id = self.next_pkt_id;
         self.next_pkt_id += 1;
         let qpkt = QPkt::new(pkt_id, packet.len() as u32, now);
@@ -841,6 +973,26 @@ impl SmartNic {
             len: pkt.len,
             arrives_at,
         })
+    }
+
+    /// Drains up to `max` scheduled frames onto the wire in one doorbell
+    /// sweep, amortizing the frozen-window and wire-availability checks
+    /// across the burst. Stops early when the scheduler empties or the
+    /// link is busy (the wire serializes frames, so a burst at one
+    /// instant usually yields one departure; the batch entry point still
+    /// saves the per-call dispatch when the link has drained).
+    pub fn tx_poll_batch(&mut self, now: Time, max: usize) -> Vec<TxDeparture> {
+        if now < self.frozen_until {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        while out.len() < max {
+            match self.tx_poll(now) {
+                Some(dep) => out.push(dep),
+                None => break,
+            }
+        }
+        out
     }
 
     /// Returns when TX should next be polled: the later of scheduler
@@ -964,7 +1116,8 @@ mod tests {
     #[test]
     fn reprogramming_drops_everything() {
         let mut nic = nic();
-        nic.open_connection(rx_tuple(80), 0, 1, "www", false).unwrap();
+        nic.open_connection(rx_tuple(80), 0, 1, "www", false)
+            .unwrap();
         let back = nic.reprogram_bitstream(Time::ZERO);
         assert_eq!(back, Time::ZERO + NicConfig::default().bitstream_reprogram);
         let r = nic.rx(&udp_to(80), Time::from_secs(1));
@@ -993,9 +1146,14 @@ mod tests {
     #[test]
     fn overlay_swap_is_fast_and_non_disruptive() {
         let mut nic = nic();
-        nic.open_connection(rx_tuple(80), 0, 1, "www", false).unwrap();
+        nic.open_connection(rx_tuple(80), 0, 1, "www", false)
+            .unwrap();
         let cost = nic
-            .load_program(ProgramSlot::IngressFilter, builtins::allow_all(), Time::ZERO)
+            .load_program(
+                ProgramSlot::IngressFilter,
+                builtins::allow_all(),
+                Time::ZERO,
+            )
             .unwrap();
         assert!(cost < Dur::from_ms(1));
         // Dataplane continues working immediately.
@@ -1007,14 +1165,22 @@ mod tests {
     #[test]
     fn program_swap_frees_old_sram() {
         let mut nic = nic();
-        nic.load_program(ProgramSlot::IngressFilter, builtins::port_owner_filter(), Time::ZERO)
-            .unwrap();
-        let used_first = nic.sram.used_by(SramCategory::Program)
-            + nic.sram.used_by(SramCategory::Maps);
-        nic.load_program(ProgramSlot::IngressFilter, builtins::port_owner_filter(), Time::ZERO)
-            .unwrap();
-        let used_second = nic.sram.used_by(SramCategory::Program)
-            + nic.sram.used_by(SramCategory::Maps);
+        nic.load_program(
+            ProgramSlot::IngressFilter,
+            builtins::port_owner_filter(),
+            Time::ZERO,
+        )
+        .unwrap();
+        let used_first =
+            nic.sram.used_by(SramCategory::Program) + nic.sram.used_by(SramCategory::Maps);
+        nic.load_program(
+            ProgramSlot::IngressFilter,
+            builtins::port_owner_filter(),
+            Time::ZERO,
+        )
+        .unwrap();
+        let used_second =
+            nic.sram.used_by(SramCategory::Program) + nic.sram.used_by(SramCategory::Maps);
         assert_eq!(used_first, used_second);
     }
 
@@ -1042,8 +1208,12 @@ mod tests {
             .open_connection(rx_tuple(5000), 1001, 7, "app", false)
             .unwrap();
         nic.configure_scheduler(&[1.0, 3.0]);
-        nic.load_program(ProgramSlot::Classifier, builtins::uid_classifier(), Time::ZERO)
-            .unwrap();
+        nic.load_program(
+            ProgramSlot::Classifier,
+            builtins::uid_classifier(),
+            Time::ZERO,
+        )
+        .unwrap();
         nic.fill_map(ProgramSlot::Classifier, 0, (1001 & 255) as usize, 2)
             .unwrap(); // uid 1001 -> class 1
         let d = nic.tx_enqueue(id, &udp_to(9000), Time::ZERO).unwrap();
@@ -1062,9 +1232,14 @@ mod tests {
         let id = nic
             .open_connection(rx_tuple(6000), 1002, 8, "thief", false)
             .unwrap();
-        nic.load_program(ProgramSlot::EgressFilter, builtins::port_owner_filter(), Time::ZERO)
+        nic.load_program(
+            ProgramSlot::EgressFilter,
+            builtins::port_owner_filter(),
+            Time::ZERO,
+        )
+        .unwrap();
+        nic.fill_map(ProgramSlot::EgressFilter, 0, 5432, 1002)
             .unwrap();
-        nic.fill_map(ProgramSlot::EgressFilter, 0, 5432, 1002).unwrap();
         let spoof = PacketBuilder::new()
             .ether(Mac::local(1), Mac::local(2))
             .ipv4(addr("10.0.0.1"), addr("10.0.0.2"))
@@ -1105,7 +1280,9 @@ mod tests {
         let id = nic
             .open_connection(rx_tuple(5000), 42, 7, "app", false)
             .unwrap();
-        let slot = nic.add_accounting(builtins::byte_accounting(), Time::ZERO).unwrap();
+        let slot = nic
+            .add_accounting(builtins::byte_accounting(), Time::ZERO)
+            .unwrap();
         nic.rx(&udp_to(5000), Time::ZERO);
         nic.tx_enqueue(id, &udp_to(9000), Time::ZERO).unwrap();
         let bytes = nic.read_accounting_map(slot, 0, 42).unwrap();
@@ -1133,10 +1310,16 @@ mod tests {
         // later.
         let mut nic = nic();
         nic.open_connection(rx_tuple(80), 0, 1, "a", false).unwrap();
-        nic.load_program(ProgramSlot::IngressFilter, builtins::token_bucket(), Time::ZERO)
+        nic.load_program(
+            ProgramSlot::IngressFilter,
+            builtins::token_bucket(),
+            Time::ZERO,
+        )
+        .unwrap();
+        nic.fill_map(ProgramSlot::IngressFilter, 0, 0, 1_000_000)
             .unwrap();
-        nic.fill_map(ProgramSlot::IngressFilter, 0, 0, 1_000_000).unwrap();
-        nic.fill_map(ProgramSlot::IngressFilter, 0, 1, 1_000_000).unwrap();
+        nic.fill_map(ProgramSlot::IngressFilter, 0, 1, 1_000_000)
+            .unwrap();
         let r1 = nic.rx(&udp_to(80), Time::ZERO);
         let r2 = nic.rx(&udp_to(80), Time::ZERO);
         assert!(r2.ready_at > r1.ready_at);

@@ -198,6 +198,39 @@ impl FlowTable {
         hit
     }
 
+    /// Batched lookup: probes the queries in flow-hash order — the way
+    /// hardware bank-sorts a burst to maximize SRAM locality — and
+    /// returns results in the caller's original order.
+    ///
+    /// Lookups never mutate the steering state and the hit/miss counters
+    /// are commutative sums, so the outcome (results *and* counters) is
+    /// identical to issuing [`FlowTable::lookup`] once per query in
+    /// arrival order.
+    pub fn lookup_batch(&mut self, queries: &[(u32, FiveTuple)]) -> Vec<Option<ConnId>> {
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        order.sort_by_key(|&i| queries[i].0);
+        let mut results = vec![None; queries.len()];
+        // After the hash sort, a same-flow burst sits in one contiguous
+        // run: probe the table once per run and reuse the steering
+        // decision for the rest (counters still tick per query, so the
+        // hit/miss totals match the sequential path exactly).
+        let mut prev: Option<(usize, Option<ConnId>)> = None;
+        for i in order {
+            results[i] = match prev {
+                Some((p, hit)) if queries[p].1 == queries[i].1 => {
+                    self.lookups += 1;
+                    if hit.is_none() {
+                        self.misses += 1;
+                    }
+                    hit
+                }
+                _ => self.lookup(&queries[i].1),
+            };
+            prev = Some((i, results[i]));
+        }
+        results
+    }
+
     /// Returns the entry for a connection id.
     pub fn entry(&self, id: ConnId) -> Option<&ConnEntry> {
         self.entries.get(&id)
@@ -245,6 +278,28 @@ mod tests {
     }
 
     #[test]
+    fn lookup_batch_matches_sequential() {
+        let mut sram = Sram::new(1 << 20);
+        let mut ft = FlowTable::new();
+        let a = ft
+            .insert(tuple(1000, 53), 0, 1, "a", false, &mut sram)
+            .unwrap();
+        let b = ft
+            .insert(tuple(2000, 80), 0, 2, "b", false, &mut sram)
+            .unwrap();
+        // Hashes chosen so sorted probe order differs from arrival order.
+        let queries = vec![
+            (9u32, tuple(2000, 80)),
+            (1u32, tuple(1000, 53)),
+            (5u32, tuple(7, 7)),
+        ];
+        let batch = ft.lookup_batch(&queries);
+        assert_eq!(batch, vec![Some(b), Some(a), None]);
+        let (lookups, misses) = ft.counters();
+        assert_eq!((lookups, misses), (3, 1));
+    }
+
+    #[test]
     fn entries_carry_process_attribution() {
         let mut sram = Sram::new(1 << 20);
         let mut ft = FlowTable::new();
@@ -262,9 +317,7 @@ mod tests {
     fn sram_charged_and_released() {
         let mut sram = Sram::new(1 << 20);
         let mut ft = FlowTable::new();
-        let id = ft
-            .insert(tuple(1, 2), 0, 1, "a", false, &mut sram)
-            .unwrap();
+        let id = ft.insert(tuple(1, 2), 0, 1, "a", false, &mut sram).unwrap();
         assert_eq!(sram.used_by(SramCategory::FlowTable), ENTRY_BYTES);
         assert!(ft.remove(id, &mut sram));
         assert_eq!(sram.used_by(SramCategory::FlowTable), 0);
@@ -289,9 +342,7 @@ mod tests {
     fn removed_connection_stops_matching() {
         let mut sram = Sram::new(1 << 20);
         let mut ft = FlowTable::new();
-        let id = ft
-            .insert(tuple(7, 8), 0, 1, "a", false, &mut sram)
-            .unwrap();
+        let id = ft.insert(tuple(7, 8), 0, 1, "a", false, &mut sram).unwrap();
         ft.remove(id, &mut sram);
         assert_eq!(ft.lookup(&tuple(7, 8)), None);
     }

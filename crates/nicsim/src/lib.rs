@@ -42,10 +42,10 @@ pub mod sram;
 
 pub use cc::{CcParams, CongestionControl, FlowCc};
 pub use device::{NicError, SmartNic};
-pub use nat::{NatError, NatTable};
 pub use flowtable::{ConnEntry, ConnId, FlowTable};
+pub use nat::{NatError, NatTable};
 pub use notify::{Notification, NotifyKind, NotifyQueue};
-pub use pipeline::{NicConfig, RxDisposition, TxDisposition};
+pub use pipeline::{NicConfig, RxDisposition, RxResult, TxDisposition};
 pub use regs::{RegFile, RegRegion};
 pub use sniff::{CaptureEntry, Direction, Sniffer, SnifferFilter};
 pub use sram::{Sram, SramCategory, SramError};

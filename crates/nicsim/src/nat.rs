@@ -11,7 +11,7 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use pkt::{mutate, FiveTuple, IpProto, Packet};
+use pkt::{mutate, Frame, IpProto, Packet};
 
 use crate::sram::{Sram, SramCategory, SramError};
 
@@ -128,13 +128,29 @@ impl NatTable {
     /// Translates an outbound frame: rewrites (src ip, src port) to
     /// (external ip, mapped port), allocating a mapping (and SRAM) on
     /// first use.
+    ///
+    /// Ingress convenience wrapper around
+    /// [`NatTable::translate_outbound_frame`]: admits the packet (reusing
+    /// an attached descriptor; deriving one only for foreign bytes) and
+    /// returns the rewritten buffer.
     pub fn translate_outbound(
         &mut self,
         packet: &Packet,
         sram: &mut Sram,
     ) -> Result<Packet, NatError> {
-        let parsed = packet.parse().map_err(|_| NatError::NotTranslatable)?;
-        let tuple = FiveTuple::from_parsed(&parsed).ok_or(NatError::NotTranslatable)?;
+        let frame = Frame::ingress(packet.clone()).map_err(|_| NatError::NotTranslatable)?;
+        Ok(self.translate_outbound_frame(&frame, sram)?.pkt)
+    }
+
+    /// The hot path: translates an outbound frame using its parse-once
+    /// descriptor — no parse, a single buffer copy, RFC 1624 checksum
+    /// deltas, and an incrementally patched descriptor on the result.
+    pub fn translate_outbound_frame(
+        &mut self,
+        frame: &Frame,
+        sram: &mut Sram,
+    ) -> Result<Frame, NatError> {
+        let tuple = frame.meta.tuple.ok_or(NatError::NotTranslatable)?;
         let key = (tuple.src_ip, tuple.src_port, tuple.proto);
         let ext_port = match self.outbound.get(&key) {
             Some(&p) => p,
@@ -147,19 +163,24 @@ impl NatTable {
                 p
             }
         };
-        let out = mutate::rewrite_ipv4_addrs(packet, Some(self.external_ip), None)
+        let out = mutate::rewrite_endpoints(frame, Some((self.external_ip, ext_port)), None)
             .map_err(|_| NatError::NotTranslatable)?;
-        let out =
-            mutate::rewrite_ports(&out, Some(ext_port), None).map_err(|_| NatError::NotTranslatable)?;
         self.translated_out += 1;
         Ok(out)
     }
 
     /// Translates an inbound frame: rewrites (dst ip, dst port) back to
-    /// the internal endpoint.
+    /// the internal endpoint. Ingress wrapper around
+    /// [`NatTable::translate_inbound_frame`].
     pub fn translate_inbound(&mut self, packet: &Packet) -> Result<Packet, NatError> {
-        let parsed = packet.parse().map_err(|_| NatError::NotTranslatable)?;
-        let tuple = FiveTuple::from_parsed(&parsed).ok_or(NatError::NotTranslatable)?;
+        let frame = Frame::ingress(packet.clone()).map_err(|_| NatError::NotTranslatable)?;
+        Ok(self.translate_inbound_frame(&frame)?.pkt)
+    }
+
+    /// The inbound hot path, descriptor-driven like
+    /// [`NatTable::translate_outbound_frame`].
+    pub fn translate_inbound_frame(&mut self, frame: &Frame) -> Result<Frame, NatError> {
+        let tuple = frame.meta.tuple.ok_or(NatError::NotTranslatable)?;
         let Some(&(int_ip, int_port)) = self.inbound.get(&(tuple.proto, tuple.dst_port)) else {
             self.misses += 1;
             return Err(NatError::NoMapping {
@@ -167,9 +188,7 @@ impl NatTable {
                 port: tuple.dst_port,
             });
         };
-        let out = mutate::rewrite_ipv4_addrs(packet, None, Some(int_ip))
-            .map_err(|_| NatError::NotTranslatable)?;
-        let out = mutate::rewrite_ports(&out, None, Some(int_port))
+        let out = mutate::rewrite_endpoints(frame, None, Some((int_ip, int_port)))
             .map_err(|_| NatError::NotTranslatable)?;
         self.translated_in += 1;
         Ok(out)
@@ -191,7 +210,7 @@ impl NatTable {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pkt::{Mac, PacketBuilder};
+    use pkt::{FiveTuple, Mac, PacketBuilder};
 
     fn addr(s: &str) -> Ipv4Addr {
         s.parse().unwrap()
@@ -257,7 +276,11 @@ mod tests {
             let out = nat
                 .translate_outbound(&outbound_pkt(&format!("192.168.1.{host}"), 5555), &mut sram)
                 .unwrap();
-            ports.insert(FiveTuple::from_parsed(&out.parse().unwrap()).unwrap().src_port);
+            ports.insert(
+                FiveTuple::from_parsed(&out.parse().unwrap())
+                    .unwrap()
+                    .src_port,
+            );
         }
         assert_eq!(ports.len(), 50);
         assert_eq!(nat.len(), 50);
@@ -300,7 +323,9 @@ mod tests {
         let out = nat
             .translate_outbound(&outbound_pkt("192.168.1.10", 5555), &mut sram)
             .unwrap();
-        let ext_port = FiveTuple::from_parsed(&out.parse().unwrap()).unwrap().src_port;
+        let ext_port = FiveTuple::from_parsed(&out.parse().unwrap())
+            .unwrap()
+            .src_port;
         assert!(nat.expire((addr("192.168.1.10"), 5555, IpProto::UDP), &mut sram));
         assert_eq!(sram.used_by(SramCategory::Nat), 0);
         // Inbound to the old port now misses.

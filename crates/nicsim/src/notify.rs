@@ -127,7 +127,12 @@ impl NotifyQueue {
 
     /// Returns (posted, coalesced, overflows, interrupts_fired).
     pub fn counters(&self) -> (u64, u64, u64, u64) {
-        (self.posted, self.coalesced, self.overflows, self.interrupts_fired)
+        (
+            self.posted,
+            self.coalesced,
+            self.overflows,
+            self.interrupts_fired,
+        )
     }
 }
 

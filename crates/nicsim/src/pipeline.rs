@@ -1,5 +1,6 @@
 //! Pipeline configuration and verdict types for the NIC dataplane.
 
+use pkt::FrameMeta;
 use sim::{Dur, Time};
 
 use crate::flowtable::ConnId;
@@ -118,6 +119,11 @@ pub struct RxResult {
     /// Whether a notification interrupt fired (kernel should wake the
     /// owner).
     pub interrupt: bool,
+    /// The parse-once descriptor computed by the parser stage, for reuse
+    /// by every later consumer (slow path, ARP, accept path). `None` only
+    /// when the frame never made it through the parser (reprogramming
+    /// drops, unparseable frames).
+    pub meta: Option<FrameMeta>,
 }
 
 /// Where an egress packet ends up.

@@ -180,7 +180,10 @@ mod tests {
         // Another process cannot touch it.
         assert_eq!(
             rf.read(0x2000, Some(11)),
-            Err(RegError::NotGranted { addr: 0x2000, pid: 11 })
+            Err(RegError::NotGranted {
+                addr: 0x2000,
+                pid: 11
+            })
         );
         // The kernel always can.
         assert_eq!(rf.read(0x2000, None), Ok(5));

@@ -9,7 +9,7 @@
 
 use std::fmt;
 
-use pkt::{FiveTuple, IpProto, Packet};
+use pkt::{FiveTuple, FrameMeta, IpProto, Packet};
 use sim::Time;
 
 /// Capture direction.
@@ -107,7 +107,13 @@ pub struct CaptureEntry {
 
 impl fmt::Display for CaptureEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {} {}", self.at.to_string(), self.direction, self.summary)?;
+        write!(
+            f,
+            "[{:>12}] {} {}",
+            self.at.to_string(),
+            self.direction,
+            self.summary
+        )?;
         match (&self.comm, self.pid, self.uid) {
             (Some(comm), Some(pid), Some(uid)) => {
                 write!(f, "  ({comm}[{pid}] uid={uid})")
@@ -156,7 +162,8 @@ impl Sniffer {
         self.filter.is_some()
     }
 
-    /// Offers a frame to the tap.
+    /// Offers a frame to the tap, reusing the parse-once descriptor the
+    /// parser stage already computed — the tap never re-parses.
     ///
     /// `attribution` is the flow-table binding, when one exists.
     pub fn tap(
@@ -164,23 +171,64 @@ impl Sniffer {
         at: Time,
         direction: Direction,
         packet: &Packet,
+        meta: &FrameMeta,
+        attribution: Option<(u32, u32, &str)>,
+    ) {
+        if self.filter.is_none() {
+            return;
+        }
+        self.record(
+            at,
+            direction,
+            packet.len(),
+            meta.tuple,
+            meta.is_arp(),
+            meta.summarize(packet.bytes()),
+            attribution,
+        );
+    }
+
+    /// Offers a frame the parser stage rejected (no descriptor exists).
+    pub fn tap_unparsed(
+        &mut self,
+        at: Time,
+        direction: Direction,
+        packet: &Packet,
+        err: &pkt::PktError,
+        attribution: Option<(u32, u32, &str)>,
+    ) {
+        if self.filter.is_none() {
+            return;
+        }
+        self.record(
+            at,
+            direction,
+            packet.len(),
+            None,
+            false,
+            format!("unparsed ({err})"),
+            attribution,
+        );
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn record(
+        &mut self,
+        at: Time,
+        direction: Direction,
+        len: usize,
+        tuple: Option<FiveTuple>,
+        is_arp: bool,
+        summary: String,
         attribution: Option<(u32, u32, &str)>,
     ) {
         let Some(filter) = self.filter else {
             return;
         };
-        let (tuple, is_arp, summary) = match packet.parse() {
-            Ok(parsed) => (
-                FiveTuple::from_parsed(&parsed),
-                parsed.is_arp(),
-                parsed.to_string(),
-            ),
-            Err(e) => (None, false, format!("unparsed ({e})")),
-        };
         let entry = CaptureEntry {
             at,
             direction,
-            len: packet.len(),
+            len,
             tuple,
             is_arp,
             summary,
@@ -237,10 +285,23 @@ mod tests {
         )
     }
 
+    /// Taps a built packet, supplying its build-time descriptor the way
+    /// the NIC parser stage would.
+    fn tap_pkt(
+        s: &mut Sniffer,
+        at: Time,
+        dir: Direction,
+        p: &Packet,
+        attr: Option<(u32, u32, &str)>,
+    ) {
+        let meta = *p.meta().expect("built packets carry meta");
+        s.tap(at, dir, p, &meta, attr);
+    }
+
     #[test]
     fn disabled_tap_captures_nothing() {
         let mut s = Sniffer::new(16);
-        s.tap(Time::ZERO, Direction::Rx, &udp_pkt(1, 2), None);
+        tap_pkt(&mut s, Time::ZERO, Direction::Rx, &udp_pkt(1, 2), None);
         assert!(s.entries().is_empty());
         assert!(!s.is_enabled());
     }
@@ -249,7 +310,8 @@ mod tests {
     fn capture_all_with_attribution() {
         let mut s = Sniffer::new(16);
         s.enable(SnifferFilter::all());
-        s.tap(
+        tap_pkt(
+            &mut s,
             Time::from_us(5),
             Direction::Tx,
             &udp_pkt(5432, 9000),
@@ -270,8 +332,14 @@ mod tests {
             arp_only: true,
             ..SnifferFilter::all()
         });
-        s.tap(Time::ZERO, Direction::Tx, &udp_pkt(1, 2), None);
-        s.tap(Time::ZERO, Direction::Tx, &arp_pkt(), Some((0, 999, "flooder")));
+        tap_pkt(&mut s, Time::ZERO, Direction::Tx, &udp_pkt(1, 2), None);
+        tap_pkt(
+            &mut s,
+            Time::ZERO,
+            Direction::Tx,
+            &arp_pkt(),
+            Some((0, 999, "flooder")),
+        );
         assert_eq!(s.entries().len(), 1);
         assert!(s.entries()[0].is_arp);
         assert_eq!(s.entries()[0].pid, Some(999));
@@ -284,9 +352,21 @@ mod tests {
             port: Some(5432),
             ..SnifferFilter::all()
         });
-        s.tap(Time::ZERO, Direction::Rx, &udp_pkt(9000, 5432), None);
-        s.tap(Time::ZERO, Direction::Tx, &udp_pkt(5432, 9000), None);
-        s.tap(Time::ZERO, Direction::Rx, &udp_pkt(1, 2), None);
+        tap_pkt(
+            &mut s,
+            Time::ZERO,
+            Direction::Rx,
+            &udp_pkt(9000, 5432),
+            None,
+        );
+        tap_pkt(
+            &mut s,
+            Time::ZERO,
+            Direction::Tx,
+            &udp_pkt(5432, 9000),
+            None,
+        );
+        tap_pkt(&mut s, Time::ZERO, Direction::Rx, &udp_pkt(1, 2), None);
         assert_eq!(s.entries().len(), 2);
     }
 
@@ -297,9 +377,21 @@ mod tests {
             uid: Some(1001),
             ..SnifferFilter::all()
         });
-        s.tap(Time::ZERO, Direction::Tx, &udp_pkt(1, 2), Some((1001, 3, "app")));
-        s.tap(Time::ZERO, Direction::Tx, &udp_pkt(1, 2), Some((1002, 4, "other")));
-        s.tap(Time::ZERO, Direction::Tx, &udp_pkt(1, 2), None);
+        tap_pkt(
+            &mut s,
+            Time::ZERO,
+            Direction::Tx,
+            &udp_pkt(1, 2),
+            Some((1001, 3, "app")),
+        );
+        tap_pkt(
+            &mut s,
+            Time::ZERO,
+            Direction::Tx,
+            &udp_pkt(1, 2),
+            Some((1002, 4, "other")),
+        );
+        tap_pkt(&mut s, Time::ZERO, Direction::Tx, &udp_pkt(1, 2), None);
         assert_eq!(s.entries().len(), 1);
         assert_eq!(s.entries()[0].uid, Some(1001));
     }
@@ -309,7 +401,7 @@ mod tests {
         let mut s = Sniffer::new(2);
         s.enable(SnifferFilter::all());
         for _ in 0..5 {
-            s.tap(Time::ZERO, Direction::Rx, &udp_pkt(1, 2), None);
+            tap_pkt(&mut s, Time::ZERO, Direction::Rx, &udp_pkt(1, 2), None);
         }
         assert_eq!(s.entries().len(), 2);
         assert_eq!(s.counters(), (2, 3));
@@ -319,7 +411,7 @@ mod tests {
     fn drain_empties_buffer() {
         let mut s = Sniffer::new(4);
         s.enable(SnifferFilter::all());
-        s.tap(Time::ZERO, Direction::Rx, &udp_pkt(1, 2), None);
+        tap_pkt(&mut s, Time::ZERO, Direction::Rx, &udp_pkt(1, 2), None);
         let drained = s.drain();
         assert_eq!(drained.len(), 1);
         assert!(s.entries().is_empty());
@@ -332,8 +424,8 @@ mod tests {
             direction: Some(Direction::Rx),
             ..SnifferFilter::all()
         });
-        s.tap(Time::ZERO, Direction::Rx, &udp_pkt(1, 2), None);
-        s.tap(Time::ZERO, Direction::Tx, &udp_pkt(1, 2), None);
+        tap_pkt(&mut s, Time::ZERO, Direction::Rx, &udp_pkt(1, 2), None);
+        tap_pkt(&mut s, Time::ZERO, Direction::Tx, &udp_pkt(1, 2), None);
         assert_eq!(s.entries().len(), 1);
     }
 }

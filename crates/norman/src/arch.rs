@@ -239,7 +239,9 @@ impl Architecture {
             }
             DatapathKind::RawBypass | DatapathKind::HypervisorSwitch | DatapathKind::Kopi => {
                 // One transfer: NIC DMA into the app ring, app consumes.
-                let _ = self.rx_ring.produce_dma(bytes, &mut self.llc, &self.mem.clone());
+                let _ = self
+                    .rx_ring
+                    .produce_dma(bytes, &mut self.llc, &self.mem.clone());
                 let consume = self
                     .rx_ring
                     .consume_cpu(&mut self.llc, &self.mem.clone())
@@ -247,9 +249,7 @@ impl Architecture {
                     .unwrap_or(Dur::ZERO);
                 let nic_latency = match self.kind {
                     // Interposing placements add pipelined NIC latency.
-                    DatapathKind::Kopi => {
-                        self.overlay_cycle.saturating_mul(self.overlay_cycles)
-                    }
+                    DatapathKind::Kopi => self.overlay_cycle.saturating_mul(self.overlay_cycles),
                     DatapathKind::HypervisorSwitch => Dur::from_ns(100),
                     _ => Dur::ZERO,
                 };
@@ -276,7 +276,9 @@ impl Architecture {
                 // prefetch pipelines remote-cache reads to roughly LLC
                 // latency).
                 let coherence = mem.cross_core
-                    + mem.llc_hit.saturating_mul(Self::lines(bytes).saturating_sub(1));
+                    + mem
+                        .llc_hit
+                        .saturating_mul(Self::lines(bytes).saturating_sub(1));
                 CostBreakdown {
                     app_core: coherence + self.doorbell(),
                     other_core: sidecar_consume + hooks + self.stack.protocol,
@@ -305,9 +307,7 @@ impl Architecture {
                     .unwrap_or(Dur::ZERO);
                 let _ = self.tx_ring.consume_dma(&mut self.llc, &mem);
                 let nic_latency = match self.kind {
-                    DatapathKind::Kopi => {
-                        self.overlay_cycle.saturating_mul(self.overlay_cycles)
-                    }
+                    DatapathKind::Kopi => self.overlay_cycle.saturating_mul(self.overlay_cycles),
                     DatapathKind::HypervisorSwitch => Dur::from_ns(100),
                     _ => Dur::ZERO,
                 };
@@ -326,7 +326,9 @@ impl Architecture {
                 let _ = self.tx_ring.consume_cpu(&mut self.llc, &mem);
                 let hooks = Dur::from_ns(25).saturating_mul(self.filter_rules);
                 let coherence = mem.cross_core
-                    + mem.llc_hit.saturating_mul(Self::lines(bytes).saturating_sub(1));
+                    + mem
+                        .llc_hit
+                        .saturating_mul(Self::lines(bytes).saturating_sub(1));
                 CostBreakdown {
                     app_core: produce + self.doorbell(),
                     other_core: coherence + hooks + self.stack.protocol,
@@ -428,7 +430,10 @@ mod tests {
                 }
                 HypervisorSwitch => {
                     assert!(c.global_view);
-                    assert!(!c.process_view, "AccelNet-style switches lack the process view");
+                    assert!(
+                        !c.process_view,
+                        "AccelNet-style switches lack the process view"
+                    );
                     assert!(!c.blocking_io);
                 }
                 Kopi => {

@@ -14,12 +14,12 @@ use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use memsim::{HostRing, Llc, LlcConfig, MemCosts, MmioBus};
+use nicsim::device::ProgramSlot;
+use nicsim::pipeline::{DropReason, TxDeparture};
 use nicsim::{
     ConnId, NicConfig, NicError, Notification, NotifyKind, RxDisposition, SmartNic, SnifferFilter,
     TxDisposition,
 };
-use nicsim::device::ProgramSlot;
-use nicsim::pipeline::{DropReason, TxDeparture};
 use oskernel::{
     ArpCache, CgroupId, CgroupTree, Cred, NetStack, Pid, ProcessTable, RxOutcome, Scheduler, Uid,
 };
@@ -314,10 +314,18 @@ impl Host {
     pub fn reserve_port(&mut self, r: PortReservation, now: Time) -> Result<(), ConnectError> {
         if !self.port_filter_loaded {
             self.nic
-                .load_program(ProgramSlot::IngressFilter, builtins::port_owner_filter(), now)
+                .load_program(
+                    ProgramSlot::IngressFilter,
+                    builtins::port_owner_filter(),
+                    now,
+                )
                 .map_err(|e| ConnectError::NicResources(e.to_string()))?;
             self.nic
-                .load_program(ProgramSlot::EgressFilter, builtins::port_owner_filter(), now)
+                .load_program(
+                    ProgramSlot::EgressFilter,
+                    builtins::port_owner_filter(),
+                    now,
+                )
                 .map_err(|e| ConnectError::NicResources(e.to_string()))?;
             self.port_filter_loaded = true;
         }
@@ -340,7 +348,11 @@ impl Host {
     /// Installs a per-user WFQ shaping policy: compiles the classifier to
     /// an overlay program, loads it, fills its maps, and configures the
     /// NIC scheduler weights.
-    pub fn install_shaping(&mut self, policy: ShapingPolicy, now: Time) -> Result<(), ConnectError> {
+    pub fn install_shaping(
+        &mut self,
+        policy: ShapingPolicy,
+        now: Time,
+    ) -> Result<(), ConnectError> {
         let users: Vec<(u32, f64)> = policy
             .user_weights
             .iter()
@@ -405,10 +417,7 @@ impl Host {
             dst_port: local_port,
             proto,
         };
-        let id = match self
-            .nic
-            .open_connection(tuple, uid.0, pid.0, &comm, notify)
-        {
+        let id = match self.nic.open_connection(tuple, uid.0, pid.0, &comm, notify) {
             Ok(id) => id,
             Err(e) => {
                 self.stats.conns_refused += 1;
@@ -517,8 +526,8 @@ impl Host {
     /// bijective multiplicative permutation scatters ring cells across a
     /// 16 GiB physical arena instead.
     fn alloc_ring_addr(&mut self) -> u64 {
-        let footprint = (self.cfg.ring_slots as u64)
-            * (HostRing::DESC_BYTES + self.cfg.ring_slot_bytes as u64);
+        let footprint =
+            (self.cfg.ring_slots as u64) * (HostRing::DESC_BYTES + self.cfg.ring_slot_bytes as u64);
         let cell = footprint.next_multiple_of(4096);
         // Power-of-two cell count so the odd multiplier is a bijection.
         let cells = ((16u64 << 30) / cell).next_power_of_two() / 2;
@@ -542,9 +551,56 @@ impl Host {
         }
     }
 
+    /// Hands a frame to the software stack, reusing the NIC descriptor
+    /// when the parser stage produced one.
+    fn stack_rx(
+        &mut self,
+        packet: &Packet,
+        meta: Option<&pkt::FrameMeta>,
+        now: Time,
+    ) -> (RxOutcome, Dur) {
+        match meta {
+            Some(m) => self.stack.rx_with_meta(packet, m, now),
+            None => self.stack.rx(packet, now),
+        }
+    }
+
     /// A frame arrives from the wire at `now`.
     pub fn deliver_from_wire(&mut self, packet: &Packet, now: Time) -> DeliveryReport {
         let rx = self.nic.rx(packet, now);
+        self.finish_delivery(packet, rx, now)
+    }
+
+    /// Delivers a burst of frames arriving together at `now` through the
+    /// NIC's batched ingress ([`SmartNic::rx_batch`]), then drains TX.
+    /// One doorbell sweep amortizes per-frame dispatch; outcomes are
+    /// identical to calling [`Host::deliver_from_wire`] per frame in
+    /// order followed by [`Host::pump_tx`].
+    pub fn pump(
+        &mut self,
+        packets: &[Packet],
+        now: Time,
+    ) -> (Vec<DeliveryReport>, Vec<TxDeparture>) {
+        let rxs = self.nic.rx_batch(packets, now);
+        let deliveries = packets
+            .iter()
+            .zip(rxs)
+            .map(|(p, rx)| self.finish_delivery(p, rx, now))
+            .collect();
+        let departures = self.pump_tx(now);
+        (deliveries, departures)
+    }
+
+    /// The host-side half of ingress: routes one NIC verdict to rings,
+    /// the slow path, or drop accounting, reusing the parse-once
+    /// descriptor the NIC handed back (`rx.meta`) — the host never
+    /// re-parses frame bytes.
+    fn finish_delivery(
+        &mut self,
+        packet: &Packet,
+        rx: nicsim::RxResult,
+        now: Time,
+    ) -> DeliveryReport {
         let mut report = DeliveryReport {
             outcome: DeliveryOutcome::Dropped,
             mem_cost: Dur::ZERO,
@@ -557,14 +613,13 @@ impl Host {
                 if self.listeners.contains_key(&conn) {
                     // First packet of an inbound connection: queue it for
                     // accept() and hand the payload to the kernel stack.
-                    if let Some(tuple) = packet.parse().ok().as_ref().and_then(FiveTuple::from_parsed)
-                    {
+                    if let Some(tuple) = rx.meta.and_then(|m| m.tuple) {
                         self.pending_accepts
                             .entry(conn)
                             .or_default()
                             .push_back(tuple);
                     }
-                    let (_, cost) = self.stack.rx(packet, now);
+                    let (_, cost) = self.stack_rx(packet, rx.meta.as_ref(), now);
                     self.kernel_cpu += cost;
                     report.kernel_cpu = cost;
                     report.outcome = DeliveryOutcome::SlowPath;
@@ -610,18 +665,19 @@ impl Host {
             RxDisposition::SlowPath { .. } => {
                 // ARP is handled by the kernel itself: update the cache
                 // and answer who-has requests for our address.
-                if packet.parse().map(|p| p.is_arp()).unwrap_or(false) {
+                if rx.meta.map(|m| m.is_arp()).unwrap_or(false) {
+                    let meta = rx.meta.expect("checked above");
                     let cost = Dur::from_ns(400); // cache update + reply build
                     self.kernel_cpu += cost;
                     report.kernel_cpu = cost;
                     report.outcome = DeliveryOutcome::SlowPath;
                     self.stats.slowpath += 1;
-                    if let Some(reply) = self.arp.handle(packet, now) {
+                    if let Some(reply) = self.arp.handle_meta(packet, &meta, now) {
                         let _ = self.nic.tx_enqueue_kernel(&reply, now);
                     }
                     return report;
                 }
-                let (outcome, cost) = self.stack.rx(packet, now);
+                let (outcome, cost) = self.stack_rx(packet, rx.meta.as_ref(), now);
                 self.kernel_cpu += cost;
                 report.kernel_cpu = cost;
                 report.outcome = DeliveryOutcome::SlowPath;
@@ -818,11 +874,7 @@ impl Host {
         if !self.tx_retry.is_empty() {
             self.flush_tx_retry(now);
         }
-        let mut out = Vec::new();
-        while let Some(dep) = self.nic.tx_poll(now) {
-            out.push(dep);
-        }
-        out
+        self.nic.tx_poll_batch(now, usize::MAX)
     }
 
     /// Pops a pending notification for `pid` (the kernel-side monitor or
@@ -898,7 +950,11 @@ mod tests {
         let report = h.deliver_from_wire(&pkt, Time::ZERO);
         assert_eq!(report.outcome, DeliveryOutcome::FastPath(conn));
         assert!(report.mem_cost > Dur::ZERO);
-        assert_eq!(report.kernel_cpu, Dur::ZERO, "fast path must not touch the kernel");
+        assert_eq!(
+            report.kernel_cpu,
+            Dur::ZERO,
+            "fast path must not touch the kernel"
+        );
         let r = h.app_recv(conn, Time::ZERO, false);
         assert_eq!(r.len, Some(pkt.len()));
         assert!(r.cpu > Dur::ZERO);
@@ -940,10 +996,24 @@ mod tests {
         h.reserve_port(PortReservation::new(5432, Uid(1001)), Time::ZERO)
             .unwrap();
         assert!(h
-            .connect(bob, IpProto::UDP, 5432, Ipv4Addr::new(10, 0, 0, 2), 1, false)
+            .connect(
+                bob,
+                IpProto::UDP,
+                5432,
+                Ipv4Addr::new(10, 0, 0, 2),
+                1,
+                false
+            )
             .is_ok());
         let err = h
-            .connect(charlie, IpProto::UDP, 5432, Ipv4Addr::new(10, 0, 0, 2), 2, false)
+            .connect(
+                charlie,
+                IpProto::UDP,
+                5432,
+                Ipv4Addr::new(10, 0, 0, 2),
+                2,
+                false,
+            )
             .unwrap_err();
         assert!(matches!(err, ConnectError::PolicyDenied { port: 5432, .. }));
     }

@@ -75,7 +75,12 @@ impl NormanSocket {
             .ipv4(self.local_ip, self.remote_ip);
         match self.proto {
             IpProto::TCP => b
-                .tcp(self.local_port, self.remote_port, pkt::TcpFlags::ACK, payload)
+                .tcp(
+                    self.local_port,
+                    self.remote_port,
+                    pkt::TcpFlags::ACK,
+                    payload,
+                )
                 .build(),
             _ => b.udp(self.local_port, self.remote_port, payload).build(),
         }

@@ -213,9 +213,8 @@ pub mod knetstat {
 
     /// Renders rows as a netstat-style table.
     pub fn render(rows: &[ConnRow]) -> String {
-        let mut out = String::from(
-            "proto  local  remote               uid    pid    comm             via\n",
-        );
+        let mut out =
+            String::from("proto  local  remote               uid    pid    comm             via\n");
         for r in rows {
             out.push_str(&format!(
                 "{:<6} {:<6} {:<20} {:<6} {:<6} {:<16} {}\n",
@@ -331,11 +330,8 @@ mod tests {
     fn knetstat_arp_view_requires_root_and_lists_entries() {
         let (mut h, _) = host_with_conn();
         // Learn a neighbour through the kernel responder.
-        let req = pkt::PacketBuilder::arp_request(
-            Mac::local(9),
-            Ipv4Addr::new(10, 0, 0, 2),
-            h.cfg.ip,
-        );
+        let req =
+            pkt::PacketBuilder::arp_request(Mac::local(9), Ipv4Addr::new(10, 0, 0, 2), h.cfg.ip);
         h.deliver_from_wire(&req, Time::ZERO);
         let rows = knetstat::arp_cache(&h, &Cred::root()).unwrap();
         assert_eq!(rows.len(), 1);

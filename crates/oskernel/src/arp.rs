@@ -10,7 +10,7 @@
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
-use pkt::{ArpOp, Mac, Packet, PacketBuilder, Payload};
+use pkt::{ArpOp, ArpPacket, FrameMeta, Mac, Packet, PacketBuilder};
 use sim::Time;
 
 /// One cache entry.
@@ -66,10 +66,19 @@ impl ArpCache {
     /// and, for who-has requests targeting this host, returns the reply
     /// frame to transmit.
     pub fn handle(&mut self, frame: &Packet, now: Time) -> Option<Packet> {
-        let parsed = frame.parse().ok()?;
-        let Payload::Arp(arp) = parsed.payload else {
+        let meta = FrameMeta::of(frame).ok()?;
+        self.handle_meta(frame, &meta, now)
+    }
+
+    /// [`ArpCache::handle`] with the parse-once descriptor supplied by
+    /// the caller (the KOPI slow path hands down the NIC's descriptor).
+    /// Only the 28 ARP payload bytes are decoded — the descriptor already
+    /// establishes the frame class and offsets.
+    pub fn handle_meta(&mut self, frame: &Packet, meta: &FrameMeta, now: Time) -> Option<Packet> {
+        if !meta.is_arp() {
             return None;
-        };
+        }
+        let arp = ArpPacket::parse(&frame.bytes()[meta.payload().start..]).ok()?;
         // Learn (or refresh) the sender's mapping, as kernels do for any
         // ARP traffic that names us or that we already track.
         if arp.sender_ip != Ipv4Addr::UNSPECIFIED {
@@ -103,13 +112,18 @@ impl ArpCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pkt::Payload;
 
     fn cache() -> ArpCache {
         ArpCache::new("10.0.0.1".parse().unwrap(), Mac::local(1))
     }
 
     fn who_has(sender_ip: &str, sender_mac: Mac, target: &str) -> Packet {
-        PacketBuilder::arp_request(sender_mac, sender_ip.parse().unwrap(), target.parse().unwrap())
+        PacketBuilder::arp_request(
+            sender_mac,
+            sender_ip.parse().unwrap(),
+            target.parse().unwrap(),
+        )
     }
 
     #[test]
@@ -141,7 +155,10 @@ mod tests {
     #[test]
     fn learns_requester_mapping() {
         let mut c = cache();
-        c.handle(&who_has("10.0.0.2", Mac::local(2), "10.0.0.1"), Time::from_ms(5));
+        c.handle(
+            &who_has("10.0.0.2", Mac::local(2), "10.0.0.1"),
+            Time::from_ms(5),
+        );
         let e = c.lookup("10.0.0.2".parse().unwrap()).unwrap();
         assert_eq!(e.mac, Mac::local(2));
         assert_eq!(e.updated, Time::from_ms(5));
@@ -158,7 +175,10 @@ mod tests {
         };
         let reply = PacketBuilder::arp_reply(&req, Mac::local(9));
         c.handle(&reply, Time::ZERO);
-        assert_eq!(c.lookup("10.0.0.9".parse().unwrap()).unwrap().mac, Mac::local(9));
+        assert_eq!(
+            c.lookup("10.0.0.9".parse().unwrap()).unwrap().mac,
+            Mac::local(9)
+        );
         assert_eq!(c.counters().1, 1);
     }
 
@@ -166,7 +186,10 @@ mod tests {
     fn refresh_updates_timestamp_and_mac() {
         let mut c = cache();
         c.handle(&who_has("10.0.0.2", Mac::local(2), "10.0.0.1"), Time::ZERO);
-        c.handle(&who_has("10.0.0.2", Mac::local(7), "10.0.0.1"), Time::from_secs(1));
+        c.handle(
+            &who_has("10.0.0.2", Mac::local(7), "10.0.0.1"),
+            Time::from_secs(1),
+        );
         let e = c.lookup("10.0.0.2".parse().unwrap()).unwrap();
         assert_eq!(e.mac, Mac::local(7));
         assert_eq!(e.updated, Time::from_secs(1));

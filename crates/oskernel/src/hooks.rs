@@ -117,7 +117,10 @@ impl Chain {
                 if rule.verdict == HookVerdict::Drop {
                     self.drops += 1;
                 }
-                return (rule.verdict, self.per_rule_cost.saturating_mul(i as u64 + 1));
+                return (
+                    rule.verdict,
+                    self.per_rule_cost.saturating_mul(i as u64 + 1),
+                );
             }
         }
         (
@@ -139,7 +142,12 @@ mod tests {
 
     fn match_for(dst_port: u16, uid: u32) -> ClassMatch {
         ClassMatch {
-            tuple: Some(FiveTuple::tcp(addr("10.0.0.2"), 40_000, addr("10.0.0.1"), dst_port)),
+            tuple: Some(FiveTuple::tcp(
+                addr("10.0.0.2"),
+                40_000,
+                addr("10.0.0.1"),
+                dst_port,
+            )),
             uid,
             pid: 1,
             mark: 0,

@@ -43,6 +43,6 @@ pub use cgroup::{Cgroup, CgroupId, CgroupTree};
 pub use cred::{Cred, Uid};
 pub use hooks::{Chain, HookVerdict, Rule};
 pub use netstack::{NetStack, RxOutcome, StackCosts};
-pub use process::{Pid, Process, ProcessTable, ProcState};
+pub use process::{Pid, ProcState, Process, ProcessTable};
 pub use sched::{CpuMeter, Scheduler};
 pub use syscall::SyscallCosts;

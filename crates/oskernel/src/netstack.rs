@@ -8,7 +8,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use pkt::{FiveTuple, IpProto, Packet};
+use pkt::{FrameMeta, IpProto, Packet};
 use qdisc::classify::ClassMatch;
 use qdisc::{Fifo, QPkt, Qdisc};
 use sim::{Dur, Time};
@@ -167,13 +167,34 @@ impl NetStack {
 
     /// Processes one received frame. Returns the outcome and the kernel
     /// CPU time consumed (softirq + protocol + INPUT chain).
-    pub fn rx(&mut self, packet: &Packet, _now: Time) -> (RxOutcome, Dur) {
+    ///
+    /// Derives the frame descriptor when the caller has none; the KOPI
+    /// slow path should use [`NetStack::rx_with_meta`] with the
+    /// descriptor the NIC parser stage already computed.
+    pub fn rx(&mut self, packet: &Packet, now: Time) -> (RxOutcome, Dur) {
+        match FrameMeta::of(packet) {
+            Ok(meta) => self.rx_with_meta(packet, &meta, now),
+            Err(_) => {
+                self.rx_packets += 1;
+                (
+                    RxOutcome::NoSocket,
+                    self.costs.softirq + self.costs.protocol,
+                )
+            }
+        }
+    }
+
+    /// [`NetStack::rx`] with the parse-once descriptor supplied by the
+    /// caller — the stack never re-parses the frame bytes.
+    pub fn rx_with_meta(
+        &mut self,
+        packet: &Packet,
+        meta: &FrameMeta,
+        _now: Time,
+    ) -> (RxOutcome, Dur) {
         self.rx_packets += 1;
         let mut cost = self.costs.softirq + self.costs.protocol;
-        let Ok(parsed) = packet.parse() else {
-            return (RxOutcome::NoSocket, cost);
-        };
-        let Some(tuple) = FiveTuple::from_parsed(&parsed) else {
+        let Some(tuple) = meta.tuple else {
             // Non-TCP/UDP (e.g. ARP) is handled by the kernel itself, not
             // delivered to sockets.
             return (RxOutcome::NoSocket, cost);
@@ -185,13 +206,7 @@ impl NetStack {
             Some(s) => (s.uid, s.pid, s.comm.clone()),
             None => return (RxOutcome::NoSocket, cost),
         };
-        let m = ClassMatch {
-            tuple: Some(tuple),
-            uid,
-            pid: pid.0,
-            mark: 0,
-            dscp: parsed.ip().map(|ip| ip.dscp_ecn).unwrap_or(0),
-        };
+        let m = ClassMatch::from_meta(meta, uid, pid.0);
         let (verdict, hook_cost) = self.input.evaluate(&m, Some(&comm));
         cost += hook_cost;
         if verdict == HookVerdict::Drop {
@@ -211,12 +226,7 @@ impl NetStack {
     /// any) and the syscall cost. With an empty queue the cost is the
     /// bare syscall and, if `block` is set, the socket is marked so the
     /// next delivery reports `wake = true`.
-    pub fn recv(
-        &mut self,
-        proto: IpProto,
-        port: u16,
-        block: bool,
-    ) -> (Option<Packet>, Dur) {
+    pub fn recv(&mut self, proto: IpProto, port: u16, block: bool) -> (Option<Packet>, Dur) {
         let Some(entry) = self.sockets.get_mut(&(proto, port)) else {
             return (None, self.costs.syscalls.control_call());
         };
@@ -248,18 +258,23 @@ impl NetStack {
     ) -> (bool, Dur) {
         self.tx_packets += 1;
         let mut cost = self.costs.syscalls.io_call(packet.len()) + self.costs.protocol;
-        let parsed = packet.parse().ok();
-        let tuple = parsed.as_ref().and_then(FiveTuple::from_parsed);
+        // Builder-made frames carry their descriptor; `of` only parses
+        // for hand-rolled byte buffers.
+        let meta = FrameMeta::of(packet).ok();
+        let tuple = meta.and_then(|m| m.tuple);
         let (uid, comm) = match procs.get(pid) {
             Some(p) => (p.cred.uid.0, p.comm.clone()),
             None => (u32::MAX, String::new()),
         };
-        let m = ClassMatch {
-            tuple,
-            uid,
-            pid: pid.0,
-            mark: 0,
-            dscp: parsed.as_ref().and_then(|p| p.ip()).map(|ip| ip.dscp_ecn).unwrap_or(0),
+        let m = match &meta {
+            Some(meta) => ClassMatch::from_meta(meta, uid, pid.0),
+            None => ClassMatch {
+                tuple: None,
+                uid,
+                pid: pid.0,
+                mark: 0,
+                dscp: 0,
+            },
         };
         let (verdict, hook_cost) = self.output.evaluate(&m, Some(&comm));
         cost += hook_cost;
@@ -455,7 +470,9 @@ mod tests {
         stack.tx(pid, &pkt, Time::ZERO, &procs);
         assert!(stack.tx_poll(Time::ZERO).is_some());
         assert!(stack.tx_poll(Time::ZERO).is_none(), "second frame shaped");
-        let ready = stack.tx_next_ready(Time::ZERO).expect("shaper reports readiness");
+        let ready = stack
+            .tx_next_ready(Time::ZERO)
+            .expect("shaper reports readiness");
         assert!(stack.tx_poll(ready).is_some());
     }
 

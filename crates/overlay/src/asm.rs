@@ -309,10 +309,7 @@ pub fn assemble(name: &str, src: &str) -> Result<Program, AsmError> {
                 match verdict {
                     Some(v) => PendingInsn::Done(Insn::Ret { verdict: v }),
                     None => {
-                        return err(
-                            line,
-                            "usage: ret pass|drop|slowpath|class N|redirect N|rX",
-                        )
+                        return err(line, "usage: ret pass|drop|slowpath|class N|redirect N|rX")
                     }
                 }
             }
@@ -362,14 +359,17 @@ mod tests {
     #[test]
     fn trivial_program() {
         let p = assemble_ok("ret pass");
-        assert_eq!(p.insns, vec![Insn::Ret { verdict: Verdict::Pass }]);
+        assert_eq!(
+            p.insns,
+            vec![Insn::Ret {
+                verdict: Verdict::Pass
+            }]
+        );
     }
 
     #[test]
     fn comments_and_blank_lines_ignored() {
-        let p = assemble_ok(
-            "; a comment\n\n  # another\nret drop ; trailing\n",
-        );
+        let p = assemble_ok("; a comment\n\n  # another\nret drop ; trailing\n");
         assert_eq!(p.len(), 1);
     }
 
@@ -385,11 +385,17 @@ mod tests {
         let p = assemble_ok(src);
         let mut vm = Vm::new(p);
         let pass = vm
-            .run(&PktCtx { dst_port: 22, ..PktCtx::default() })
+            .run(&PktCtx {
+                dst_port: 22,
+                ..PktCtx::default()
+            })
             .unwrap();
         assert_eq!(pass.verdict, Verdict::Pass);
         let drop = vm
-            .run(&PktCtx { dst_port: 80, ..PktCtx::default() })
+            .run(&PktCtx {
+                dst_port: 80,
+                ..PktCtx::default()
+            })
             .unwrap();
         assert_eq!(drop.verdict, Verdict::Drop);
     }
@@ -406,8 +412,16 @@ mod tests {
         let p = assemble_ok(src);
         assert_eq!(p.maps, vec![MapSpec::new("counters", 64)]);
         let mut vm = Vm::new(p);
-        vm.run(&PktCtx { uid: 5, ..PktCtx::default() }).unwrap();
-        vm.run(&PktCtx { uid: 5, ..PktCtx::default() }).unwrap();
+        vm.run(&PktCtx {
+            uid: 5,
+            ..PktCtx::default()
+        })
+        .unwrap();
+        vm.run(&PktCtx {
+            uid: 5,
+            ..PktCtx::default()
+        })
+        .unwrap();
         assert_eq!(vm.map_get(0, 5), Some(2));
     }
 
@@ -482,7 +496,10 @@ mod tests {
         let p = assemble_ok(src);
         let mut vm = Vm::new(p);
         let e = vm
-            .run(&PktCtx { is_arp: true, ..PktCtx::default() })
+            .run(&PktCtx {
+                is_arp: true,
+                ..PktCtx::default()
+            })
             .unwrap();
         assert_eq!(e.verdict, Verdict::Redirect(0));
         assert_eq!(e.cycles, 3);

@@ -305,10 +305,7 @@ mod tests {
             now_ns: 1_000_000,
             ..PktCtx::default()
         };
-        let b = PktCtx {
-            uid: 2,
-            ..a
-        };
+        let b = PktCtx { uid: 2, ..a };
         assert_eq!(vm.run(&a).unwrap().verdict, Verdict::Pass);
         assert_eq!(vm.run(&a).unwrap().verdict, Verdict::Drop);
         // User B's bucket is untouched by A's spending.

@@ -78,7 +78,10 @@ impl fmt::Display for VerifyError {
                 write!(f, "program of {len} instructions exceeds {MAX_INSNS}")
             }
             VerifyError::BadJump { pc, target } => {
-                write!(f, "insn {pc}: jump to {target} is not strictly forward/in bounds")
+                write!(
+                    f,
+                    "insn {pc}: jump to {target} is not strictly forward/in bounds"
+                )
             }
             VerifyError::FallsOffEnd { pc } => {
                 write!(f, "insn {pc}: control flow can fall off the end")
@@ -91,7 +94,10 @@ impl fmt::Display for VerifyError {
             }
             VerifyError::EmptyMap { map } => write!(f, "map {map} has zero entries"),
             VerifyError::MapsTooLarge { entries } => {
-                write!(f, "maps declare {entries} entries, budget is {MAX_MAP_ENTRIES}")
+                write!(
+                    f,
+                    "maps declare {entries} entries, budget is {MAX_MAP_ENTRIES}"
+                )
             }
         }
     }
@@ -175,16 +181,18 @@ pub fn verify(program: &Program) -> Result<usize, VerifyError> {
     for (pc, insn) in program.insns.iter().enumerate() {
         match insn {
             Insn::Jmp { target } | Insn::JmpIf { target, .. }
-                if (*target <= pc || *target >= n) => {
-                    return Err(VerifyError::BadJump {
-                        pc,
-                        target: *target,
-                    });
-                }
+                if (*target <= pc || *target >= n) =>
+            {
+                return Err(VerifyError::BadJump {
+                    pc,
+                    target: *target,
+                });
+            }
             Insn::MapLoad { map, .. } | Insn::MapStore { map, .. } | Insn::MapAdd { map, .. }
-                if *map >= program.maps.len() => {
-                    return Err(VerifyError::UndeclaredMap { pc, map: *map });
-                }
+                if *map >= program.maps.len() =>
+            {
+                return Err(VerifyError::UndeclaredMap { pc, map: *map });
+            }
             _ => {}
         }
     }
@@ -389,7 +397,10 @@ mod tests {
                 verdict: Verdict::Pass,
             },
         ]);
-        assert_eq!(verify(&p), Err(VerifyError::UndeclaredMap { pc: 1, map: 0 }));
+        assert_eq!(
+            verify(&p),
+            Err(VerifyError::UndeclaredMap { pc: 1, map: 0 })
+        );
     }
 
     #[test]
@@ -442,7 +453,10 @@ mod tests {
         insns.push(Insn::Ret {
             verdict: Verdict::Pass,
         });
-        assert!(matches!(verify(&prog(insns)), Err(VerifyError::TooLong { .. })));
+        assert!(matches!(
+            verify(&prog(insns)),
+            Err(VerifyError::TooLong { .. })
+        ));
     }
 
     #[test]

@@ -279,11 +279,7 @@ impl Vm {
                 }
                 Insn::MapLoad { dst, map, key } => {
                     let k = regs[key.0 as usize];
-                    let slot = self
-                        .maps
-                        .get(*map)
-                        .and_then(|m| m.get(k as usize))
-                        .copied();
+                    let slot = self.maps.get(*map).and_then(|m| m.get(k as usize)).copied();
                     match slot {
                         Some(v) => regs[dst.0 as usize] = v,
                         None => {
@@ -497,10 +493,7 @@ mod tests {
     #[test]
     fn map_out_of_bounds_faults() {
         let insns = vec![
-            Insn::LdImm {
-                dst: r(0),
-                imm: 99,
-            },
+            Insn::LdImm { dst: r(0), imm: 99 },
             Insn::MapLoad {
                 dst: r(1),
                 map: 0,

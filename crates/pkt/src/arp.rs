@@ -138,7 +138,11 @@ impl ArpPacket {
 impl fmt::Display for ArpPacket {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.op {
-            ArpOp::Request => write!(f, "ARP who-has {} tell {} ({})", self.target_ip, self.sender_ip, self.sender_mac),
+            ArpOp::Request => write!(
+                f,
+                "ARP who-has {} tell {} ({})",
+                self.target_ip, self.sender_ip, self.sender_mac
+            ),
             ArpOp::Reply => write!(f, "ARP {} is-at {}", self.sender_ip, self.sender_mac),
             ArpOp::Other(v) => write!(f, "ARP op-{v}"),
         }

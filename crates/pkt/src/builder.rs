@@ -4,7 +4,9 @@ use std::net::Ipv4Addr;
 
 use crate::arp::ArpPacket;
 use crate::ether::{EtherType, EthernetHeader, Mac};
+use crate::flow::FiveTuple;
 use crate::ipv4::{IpProto, Ipv4Header};
+use crate::meta::{self, FrameMeta, PacketClass};
 use crate::packet::Packet;
 use crate::tcp::{TcpFlags, TcpHeader};
 use crate::udp::UdpHeader;
@@ -117,9 +119,7 @@ impl PacketBuilder {
     /// Panics if no TCP segment has been attached.
     pub fn tcp_seq(mut self, seq: u32, ack: u32) -> Self {
         match &mut self.l4 {
-            Some(L4::Tcp {
-                seq: s, ack: a, ..
-            }) => {
+            Some(L4::Tcp { seq: s, ack: a, .. }) => {
                 *s = seq;
                 *a = ack;
             }
@@ -128,7 +128,11 @@ impl PacketBuilder {
         self
     }
 
-    /// Builds the frame, computing lengths and checksums.
+    /// Builds the frame, computing lengths and checksums — and attaching
+    /// a [`FrameMeta`] descriptor, since everything the ingress parse
+    /// would discover is already known here (checksums are correct by
+    /// construction). Frames from the builder therefore never need a
+    /// parse anywhere in the dataplane.
     ///
     /// # Panics
     ///
@@ -142,6 +146,14 @@ impl PacketBuilder {
         let (proto, seg_len) = match &l4 {
             L4::Udp { payload, .. } => (IpProto::UDP, UdpHeader::LEN + payload.len()),
             L4::Tcp { payload, .. } => (IpProto::TCP, TcpHeader::LEN + payload.len()),
+        };
+        let (class, src_port, dst_port, l4_hdr_len) = match &l4 {
+            L4::Udp {
+                src_port, dst_port, ..
+            } => (PacketClass::Udp, *src_port, *dst_port, UdpHeader::LEN),
+            L4::Tcp {
+                src_port, dst_port, ..
+            } => (PacketClass::Tcp, *src_port, *dst_port, TcpHeader::LEN),
         };
 
         let mut frame = vec![0u8; EthernetHeader::LEN + Ipv4Header::LEN + seg_len];
@@ -182,7 +194,30 @@ impl PacketBuilder {
                 tcp.write_segment(src_ip, dst_ip, &payload, seg);
             }
         }
-        Packet::from_bytes(frame)
+
+        let tuple = FiveTuple {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto,
+        };
+        let payload_off = EthernetHeader::LEN + Ipv4Header::LEN + l4_hdr_len;
+        let frame_len = frame.len();
+        Packet::from_bytes(frame).with_meta(FrameMeta {
+            class,
+            frame_len,
+            ethertype: EtherType::IPV4.0,
+            l3_off: EthernetHeader::LEN,
+            l4_off: Some(EthernetHeader::LEN + Ipv4Header::LEN),
+            payload_off,
+            payload_len: frame_len - payload_off,
+            tuple: Some(tuple),
+            flow_hash: meta::flow_hash_of(&tuple),
+            dscp_ecn: self.dscp,
+            l3_checksum_ok: true,
+            l4_checksum_ok: true,
+        })
     }
 
     /// Builds a broadcast ARP who-has request frame.
@@ -209,7 +244,21 @@ impl PacketBuilder {
         }
         .write_to(&mut frame);
         arp.write_to(&mut frame[EthernetHeader::LEN..]);
-        Packet::from_bytes(frame)
+        let frame_len = frame.len();
+        Packet::from_bytes(frame).with_meta(FrameMeta {
+            class: PacketClass::Arp,
+            frame_len,
+            ethertype: EtherType::ARP.0,
+            l3_off: EthernetHeader::LEN,
+            l4_off: None,
+            payload_off: EthernetHeader::LEN,
+            payload_len: ArpPacket::LEN,
+            tuple: None,
+            flow_hash: 0,
+            dscp_ecn: 0,
+            l3_checksum_ok: true,
+            l4_checksum_ok: true,
+        })
     }
 }
 
@@ -234,7 +283,11 @@ mod tests {
         // IPv4 checksum verifies.
         assert!(checksum::verify(&frame[14..34]));
         // UDP checksum verifies through the parser helper.
-        assert!(UdpHeader::verify_segment(addr("192.168.1.1"), addr("192.168.1.2"), &frame[34..]));
+        assert!(UdpHeader::verify_segment(
+            addr("192.168.1.1"),
+            addr("192.168.1.2"),
+            &frame[34..]
+        ));
     }
 
     #[test]

@@ -104,8 +104,18 @@ mod tests {
     #[test]
     fn pseudo_header_includes_addresses() {
         let seg = [0x12u8, 0x34, 0x56, 0x78, 0x00, 0x04, 0x00, 0x00];
-        let a = pseudo_header_checksum("10.0.0.1".parse().unwrap(), "10.0.0.2".parse().unwrap(), 17, &seg);
-        let b = pseudo_header_checksum("10.0.0.1".parse().unwrap(), "10.0.0.3".parse().unwrap(), 17, &seg);
+        let a = pseudo_header_checksum(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.2".parse().unwrap(),
+            17,
+            &seg,
+        );
+        let b = pseudo_header_checksum(
+            "10.0.0.1".parse().unwrap(),
+            "10.0.0.3".parse().unwrap(),
+            17,
+            &seg,
+        );
         assert_ne!(a, b);
     }
 

@@ -57,7 +57,10 @@ impl FromStr for Mac {
     fn from_str(s: &str) -> std::result::Result<Mac, String> {
         let parts: Vec<&str> = s.split(':').collect();
         if parts.len() != 6 {
-            return Err(format!("expected 6 colon-separated octets, got {}", parts.len()));
+            return Err(format!(
+                "expected 6 colon-separated octets, got {}",
+                parts.len()
+            ));
         }
         let mut out = [0u8; 6];
         for (i, p) in parts.iter().enumerate() {

@@ -97,9 +97,9 @@ impl fmt::Display for FiveTuple {
 /// The default RSS secret key from the Microsoft RSS specification; also
 /// the key used by most NIC drivers' verification suites.
 pub const MS_RSS_KEY: [u8; 40] = [
-    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f,
-    0xb0, 0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30,
-    0xf2, 0x0c, 0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
+    0x6d, 0x5a, 0x56, 0xda, 0x25, 0x5b, 0x0e, 0xc2, 0x41, 0x67, 0x25, 0x3d, 0x43, 0xa3, 0x8f, 0xb0,
+    0xd0, 0xca, 0x2b, 0xcb, 0xae, 0x7b, 0x30, 0xb4, 0x77, 0xcb, 0x2d, 0xa3, 0x80, 0x30, 0xf2, 0x0c,
+    0x6a, 0x42, 0xb7, 0x3b, 0xbe, 0xac, 0x01, 0xfa,
 ];
 
 /// A Toeplitz hasher for receive-side scaling.
@@ -152,15 +152,35 @@ impl RssHasher {
         result
     }
 
-    /// Computes the 32-bit RSS hash of a five-tuple (src ip, dst ip,
-    /// src port, dst port), the standard TCP/UDP 4-tuple input.
-    pub fn hash(&self, ft: &FiveTuple) -> u32 {
+    fn hash_input(ft: &FiveTuple) -> [u8; 12] {
         let mut input = [0u8; 12];
         input[0..4].copy_from_slice(&ft.src_ip.octets());
         input[4..8].copy_from_slice(&ft.dst_ip.octets());
         input[8..10].copy_from_slice(&ft.src_port.to_be_bytes());
         input[10..12].copy_from_slice(&ft.dst_port.to_be_bytes());
-        self.toeplitz(&input)
+        input
+    }
+
+    /// Computes the 32-bit RSS hash of a five-tuple (src ip, dst ip,
+    /// src port, dst port), the standard TCP/UDP 4-tuple input.
+    pub fn hash(&self, ft: &FiveTuple) -> u32 {
+        self.toeplitz(&Self::hash_input(ft))
+    }
+
+    /// Incrementally updates a hash after an endpoint rewrite.
+    ///
+    /// Toeplitz is linear over GF(2) — `H(a ^ b) == H(a) ^ H(b)` — so the
+    /// rewritten tuple's hash is the old hash xored with the hash of the
+    /// changed bits. NAT uses this to keep descriptors current without
+    /// re-hashing the full input.
+    pub fn hash_delta(&self, old_hash: u32, old: &FiveTuple, new: &FiveTuple) -> u32 {
+        let a = Self::hash_input(old);
+        let b = Self::hash_input(new);
+        let mut delta = [0u8; 12];
+        for (d, (x, y)) in delta.iter_mut().zip(a.iter().zip(b.iter())) {
+            *d = x ^ y;
+        }
+        old_hash ^ self.toeplitz(&delta)
     }
 
     /// Maps a five-tuple to an RSS queue index.
@@ -188,15 +208,50 @@ mod tests {
     fn microsoft_test_vectors() {
         let h = RssHasher::with_default_key(1);
         let cases = [
-            (("66.9.149.187", 2794), ("161.142.100.80", 1766), 0x51cc_c178u32),
+            (
+                ("66.9.149.187", 2794),
+                ("161.142.100.80", 1766),
+                0x51cc_c178u32,
+            ),
             (("199.92.111.2", 14230), ("65.69.140.83", 4739), 0xc626_b0ea),
-            (("24.19.198.95", 12898), ("12.22.207.184", 38024), 0x5c2b_394a),
-            (("38.27.205.30", 48228), ("209.142.163.6", 2217), 0xafc7_327f),
-            (("153.39.163.191", 44251), ("202.188.127.2", 1303), 0x10e8_28a2),
+            (
+                ("24.19.198.95", 12898),
+                ("12.22.207.184", 38024),
+                0x5c2b_394a,
+            ),
+            (
+                ("38.27.205.30", 48228),
+                ("209.142.163.6", 2217),
+                0xafc7_327f,
+            ),
+            (
+                ("153.39.163.191", 44251),
+                ("202.188.127.2", 1303),
+                0x10e8_28a2,
+            ),
         ];
         for ((src, sp), (dst, dp), expect) in cases {
             let ft = FiveTuple::tcp(addr(src), sp, addr(dst), dp);
             assert_eq!(h.hash(&ft), expect, "vector {src}:{sp} > {dst}:{dp}");
+        }
+    }
+
+    #[test]
+    fn hash_delta_equals_fresh_hash() {
+        let h = RssHasher::with_default_key(1);
+        let old = FiveTuple::tcp(addr("192.168.1.10"), 40_000, addr("8.8.8.8"), 443);
+        let cases = [
+            FiveTuple::tcp(addr("203.0.113.1"), 32_768, addr("8.8.8.8"), 443),
+            FiveTuple::tcp(addr("192.168.1.10"), 40_000, addr("10.0.0.9"), 8443),
+            old.reversed(),
+            old, // no-op rewrite
+        ];
+        for new in cases {
+            assert_eq!(
+                h.hash_delta(h.hash(&old), &old, &new),
+                h.hash(&new),
+                "{new}"
+            );
         }
     }
 
@@ -240,7 +295,10 @@ mod tests {
             .udp(5432, 9000, b"q")
             .build();
         let ft = FiveTuple::from_parsed(&pkt.parse().unwrap()).unwrap();
-        assert_eq!(ft, FiveTuple::udp(addr("10.0.0.1"), 5432, addr("10.0.0.2"), 9000));
+        assert_eq!(
+            ft,
+            FiveTuple::udp(addr("10.0.0.1"), 5432, addr("10.0.0.2"), 9000)
+        );
     }
 
     #[test]

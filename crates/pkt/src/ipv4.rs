@@ -173,7 +173,10 @@ mod tests {
     fn wrong_version_rejected() {
         let mut buf = [0u8; Ipv4Header::LEN];
         buf[0] = 0x65; // version 6
-        assert_eq!(Ipv4Header::parse(&buf).unwrap_err(), PktError::BadVersion(6));
+        assert_eq!(
+            Ipv4Header::parse(&buf).unwrap_err(),
+            PktError::BadVersion(6)
+        );
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`builder`] — fluent, checksum-correct packet construction.
 //! * [`mutate`] — NAT/ECN header rewriting with RFC 1624 incremental
 //!   checksum fixup.
+//! * [`meta`] — the parse-once [`FrameMeta`] descriptor every dataplane
+//!   stage consumes instead of re-parsing, and the [`Frame`] unit that
+//!   pairs it with its buffer.
 
 pub mod arp;
 pub mod builder;
@@ -22,6 +25,7 @@ pub mod checksum;
 pub mod ether;
 pub mod flow;
 pub mod ipv4;
+pub mod meta;
 pub mod mutate;
 pub mod packet;
 pub mod tcp;
@@ -32,6 +36,7 @@ pub use builder::PacketBuilder;
 pub use ether::{EtherType, EthernetHeader, Mac};
 pub use flow::{FiveTuple, RssHasher};
 pub use ipv4::{IpProto, Ipv4Header};
+pub use meta::{Frame, FrameMeta, PacketClass};
 pub use packet::{Packet, Parsed, Payload};
 pub use tcp::{TcpFlags, TcpHeader};
 pub use udp::UdpHeader;

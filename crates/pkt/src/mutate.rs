@@ -11,6 +11,7 @@ use std::net::Ipv4Addr;
 use crate::checksum::incremental_update;
 use crate::ether::{EtherType, EthernetHeader};
 use crate::ipv4::{IpProto, Ipv4Header};
+use crate::meta::{Frame, PacketClass};
 use crate::packet::Packet;
 use crate::{PktError, Result};
 
@@ -115,6 +116,49 @@ pub fn rewrite_ports(
     Ok(Packet::from_bytes(bytes))
 }
 
+/// Rewrites the source and/or destination endpoint (address + port) in a
+/// single pass over a single copy of the frame: the NAT hot path.
+///
+/// Uses the frame's descriptor for the layout — no parse — fixes the IP
+/// and transport checksums incrementally (RFC 1624), and patches the
+/// descriptor in place (offsets are stable; the tuple and flow hash
+/// update incrementally), so nothing downstream ever re-parses.
+pub fn rewrite_endpoints(
+    frame: &Frame,
+    new_src: Option<(Ipv4Addr, u16)>,
+    new_dst: Option<(Ipv4Addr, u16)>,
+) -> Result<Frame> {
+    let meta = &frame.meta;
+    let sum_off = match meta.class {
+        PacketClass::Tcp => 16,
+        PacketClass::Udp => 6,
+        _ => return Err(PktError::BadLength { layer: "l4" }),
+    };
+    let Some(l4_off) = meta.l4_off else {
+        return Err(PktError::BadLength { layer: "l4" });
+    };
+    let mut bytes = frame.bytes().to_vec();
+    // Addresses are in the pseudo-header, so they touch both checksums;
+    // ports only the transport one.
+    let both_sums = [IP_OFF + 10, l4_off + sum_off];
+    let l4_sum = [l4_off + sum_off];
+    if let Some((ip, port)) = new_src {
+        let o = ip.octets();
+        patch_word(&mut bytes, IP_OFF + 12, [o[0], o[1]], &both_sums);
+        patch_word(&mut bytes, IP_OFF + 14, [o[2], o[3]], &both_sums);
+        patch_word(&mut bytes, l4_off, port.to_be_bytes(), &l4_sum);
+    }
+    if let Some((ip, port)) = new_dst {
+        let o = ip.octets();
+        patch_word(&mut bytes, IP_OFF + 16, [o[0], o[1]], &both_sums);
+        patch_word(&mut bytes, IP_OFF + 18, [o[2], o[3]], &both_sums);
+        patch_word(&mut bytes, l4_off + 2, port.to_be_bytes(), &l4_sum);
+    }
+    let mut new_meta = *meta;
+    new_meta.rewrite_endpoints(new_src, new_dst);
+    Ok(Frame::from_parts(Packet::from_bytes(bytes), new_meta))
+}
+
 /// Sets the ECN codepoint in the IPv4 TOS byte (e.g. [`ECN_CE`] when an
 /// AQM marks congestion), fixing the IP checksum incrementally.
 pub fn set_ecn(packet: &Packet, ecn: u8) -> Result<Packet> {
@@ -123,13 +167,17 @@ pub fn set_ecn(packet: &Packet, ecn: u8) -> Result<Packet> {
     let tos_word_off = IP_OFF; // version/IHL byte + TOS byte share a word
     let ver_ihl = bytes[IP_OFF];
     let new_tos = (bytes[IP_OFF + 1] & !0b11) | (ecn & 0b11);
-    patch_word(
-        &mut bytes,
-        tos_word_off,
-        [ver_ihl, new_tos],
-        &[IP_OFF + 10],
-    );
-    Ok(Packet::from_bytes(bytes))
+    patch_word(&mut bytes, tos_word_off, [ver_ihl, new_tos], &[IP_OFF + 10]);
+    let out = Packet::from_bytes(bytes);
+    // Carry an attached descriptor forward; only the DSCP/ECN byte moved.
+    Ok(match packet.meta() {
+        Some(m) => {
+            let mut meta = *m;
+            meta.dscp_ecn = new_tos;
+            out.with_meta(meta)
+        }
+        None => out,
+    })
 }
 
 /// Returns the ECN codepoint of an IPv4 frame.
@@ -213,6 +261,41 @@ mod tests {
     }
 
     #[test]
+    fn rewrite_endpoints_single_pass_matches_two_pass() {
+        for pkt in [udp_pkt(), tcp_pkt()] {
+            let frame = crate::meta::Frame::ingress(pkt.clone()).unwrap();
+            let one = rewrite_endpoints(&frame, Some((addr("203.0.113.7"), 61_000)), None).unwrap();
+            let two = rewrite_ipv4_addrs(&pkt, Some(addr("203.0.113.7")), None).unwrap();
+            let two = rewrite_ports(&two, Some(61_000), None).unwrap();
+            assert_eq!(one.bytes(), two.bytes());
+            // The incrementally maintained descriptor equals a fresh one.
+            assert_eq!(
+                one.meta,
+                crate::meta::FrameMeta::derive(one.bytes()).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn rewrite_endpoints_dst_and_roundtrip() {
+        let frame = crate::meta::Frame::ingress(udp_pkt()).unwrap();
+        let out = rewrite_endpoints(&frame, None, Some((addr("10.0.0.99"), 8443))).unwrap();
+        let t = out.meta.tuple.unwrap();
+        assert_eq!(t.dst_ip, addr("10.0.0.99"));
+        assert_eq!(t.dst_port, 8443);
+        let back = rewrite_endpoints(&out, None, Some((addr("8.8.8.8"), 53))).unwrap();
+        assert_eq!(back.bytes(), frame.bytes());
+        assert_eq!(back.meta, frame.meta);
+    }
+
+    #[test]
+    fn rewrite_endpoints_rejects_non_l4() {
+        let arp = PacketBuilder::arp_request(Mac::local(1), addr("1.1.1.1"), addr("2.2.2.2"));
+        let frame = crate::meta::Frame::ingress(arp).unwrap();
+        assert!(rewrite_endpoints(&frame, Some((addr("1.2.3.4"), 1)), None).is_err());
+    }
+
+    #[test]
     fn ecn_mark_and_read() {
         let pkt = udp_pkt();
         assert_eq!(ecn_of(&pkt).unwrap(), 0);
@@ -222,7 +305,10 @@ mod tests {
         assert!(marked.parse().is_ok());
         // Everything else unchanged.
         assert_eq!(&marked.bytes()[2..IP_OFF + 1], &pkt.bytes()[2..IP_OFF + 1]);
-        assert_eq!(&marked.bytes()[IP_OFF + 2..IP_OFF + 10], &pkt.bytes()[IP_OFF + 2..IP_OFF + 10]);
+        assert_eq!(
+            &marked.bytes()[IP_OFF + 2..IP_OFF + 10],
+            &pkt.bytes()[IP_OFF + 2..IP_OFF + 10]
+        );
     }
 
     #[test]
@@ -250,7 +336,7 @@ mod tests {
         let pkt = udp_pkt();
         let mut bytes = pkt.bytes().to_vec();
         bytes[IP_OFF + 9] = 1; // ICMP
-        // Fix the IP checksum for the protocol change so layout() parses.
+                               // Fix the IP checksum for the protocol change so layout() parses.
         let mut hdr = [0u8; 20];
         hdr.copy_from_slice(&bytes[IP_OFF..IP_OFF + 20]);
         hdr[10] = 0;

@@ -6,6 +6,7 @@ use std::sync::Arc;
 use crate::arp::ArpPacket;
 use crate::ether::{EtherType, EthernetHeader};
 use crate::ipv4::{IpProto, Ipv4Header};
+use crate::meta::FrameMeta;
 use crate::tcp::TcpHeader;
 use crate::udp::UdpHeader;
 use crate::{PktError, Result};
@@ -14,15 +15,47 @@ use crate::{PktError, Result};
 ///
 /// Cloning is cheap (reference-counted), which lets the sniffer tap a copy
 /// of every frame without perturbing the dataplane.
-#[derive(Clone, PartialEq, Eq)]
+///
+/// A packet may carry a parse-once [`FrameMeta`] descriptor (attached at
+/// build time or at ingress); equality and hashing consider only the wire
+/// bytes, so a frame with and without meta is the same frame.
+#[derive(Clone)]
 pub struct Packet {
     data: Arc<[u8]>,
+    meta: Option<FrameMeta>,
 }
+
+impl PartialEq for Packet {
+    fn eq(&self, other: &Packet) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Packet {}
 
 impl Packet {
     /// Wraps raw wire bytes.
     pub fn from_bytes(data: impl Into<Arc<[u8]>>) -> Packet {
-        Packet { data: data.into() }
+        Packet {
+            data: data.into(),
+            meta: None,
+        }
+    }
+
+    /// Attaches a descriptor computed for exactly these bytes.
+    pub fn with_meta(mut self, meta: FrameMeta) -> Packet {
+        debug_assert_eq!(
+            meta.frame_len,
+            self.data.len(),
+            "descriptor/frame length mismatch"
+        );
+        self.meta = Some(meta);
+        self
+    }
+
+    /// Returns the attached parse-once descriptor, if any.
+    pub fn meta(&self) -> Option<&FrameMeta> {
+        self.meta.as_ref()
     }
 
     /// Returns the wire bytes.
@@ -48,6 +81,16 @@ impl Packet {
 
 impl fmt::Debug for Packet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Use the attached descriptor when present so debug logging never
+        // re-parses the frame (and cannot distort cycle accounting).
+        if let Some(meta) = &self.meta {
+            return write!(
+                f,
+                "Packet({} bytes, {})",
+                self.len(),
+                meta.summarize(&self.data)
+            );
+        }
         match self.parse() {
             Ok(p) => write!(f, "Packet({} bytes, {p})", self.len()),
             Err(e) => write!(f, "Packet({} bytes, unparsed: {e})", self.len()),
@@ -196,7 +239,11 @@ impl fmt::Display for Parsed {
             Payload::Udp { ip, udp, payload } => write!(
                 f,
                 "{}:{} > {}:{} udp len {}",
-                ip.src, udp.src_port, ip.dst, udp.dst_port, payload.len()
+                ip.src,
+                udp.src_port,
+                ip.dst,
+                udp.dst_port,
+                payload.len()
             ),
             Payload::OtherIp { ip } => {
                 write!(f, "{} > {} {}", ip.src, ip.dst, ip.proto)

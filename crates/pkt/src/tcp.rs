@@ -188,7 +188,11 @@ mod tests {
         assert_eq!(parsed.ack, 0x9ABCDEF0);
         assert!(parsed.flags.contains(TcpFlags::SYN));
         assert!(parsed.flags.contains(TcpFlags::ACK));
-        assert!(TcpHeader::verify_segment(addr("10.0.0.1"), addr("10.0.0.2"), &buf));
+        assert!(TcpHeader::verify_segment(
+            addr("10.0.0.1"),
+            addr("10.0.0.2"),
+            &buf
+        ));
     }
 
     #[test]
@@ -197,7 +201,11 @@ mod tests {
         let mut buf = vec![0u8; TcpHeader::LEN + 3];
         h.write_segment(addr("1.1.1.1"), addr("2.2.2.2"), &[1, 2, 3], &mut buf);
         buf[21] ^= 0x80;
-        assert!(!TcpHeader::verify_segment(addr("1.1.1.1"), addr("2.2.2.2"), &buf));
+        assert!(!TcpHeader::verify_segment(
+            addr("1.1.1.1"),
+            addr("2.2.2.2"),
+            &buf
+        ));
     }
 
     #[test]
@@ -216,7 +224,11 @@ mod tests {
             TcpHeader::parse(&[0u8; 19]).unwrap_err(),
             PktError::Truncated { need: 20, have: 19 }
         );
-        assert!(!TcpHeader::verify_segment(addr("1.1.1.1"), addr("2.2.2.2"), &[0u8; 10]));
+        assert!(!TcpHeader::verify_segment(
+            addr("1.1.1.1"),
+            addr("2.2.2.2"),
+            &[0u8; 10]
+        ));
     }
 
     #[test]

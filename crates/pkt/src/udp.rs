@@ -114,7 +114,11 @@ mod tests {
         assert_eq!(parsed.dst_port, 9000);
         assert_eq!(parsed.len, 12);
         assert_ne!(parsed.checksum, 0);
-        assert!(UdpHeader::verify_segment(addr("10.0.0.1"), addr("10.0.0.2"), &buf));
+        assert!(UdpHeader::verify_segment(
+            addr("10.0.0.1"),
+            addr("10.0.0.2"),
+            &buf
+        ));
     }
 
     #[test]
@@ -122,7 +126,11 @@ mod tests {
         let h = UdpHeader::new(1, 2, 0);
         let mut buf = vec![0u8; UdpHeader::LEN];
         h.write_segment(addr("10.0.0.1"), addr("10.0.0.2"), &[], &mut buf);
-        assert!(!UdpHeader::verify_segment(addr("10.0.0.9"), addr("10.0.0.2"), &buf));
+        assert!(!UdpHeader::verify_segment(
+            addr("10.0.0.9"),
+            addr("10.0.0.2"),
+            &buf
+        ));
     }
 
     #[test]
@@ -131,7 +139,11 @@ mod tests {
         let mut buf = vec![0u8; UdpHeader::LEN + 2];
         h.write_segment(addr("1.1.1.1"), addr("2.2.2.2"), &[7, 8], &mut buf);
         buf[9] ^= 0xFF;
-        assert!(!UdpHeader::verify_segment(addr("1.1.1.1"), addr("2.2.2.2"), &buf));
+        assert!(!UdpHeader::verify_segment(
+            addr("1.1.1.1"),
+            addr("2.2.2.2"),
+            &buf
+        ));
     }
 
     #[test]
@@ -139,7 +151,11 @@ mod tests {
         let h = UdpHeader::new(1, 2, 0);
         let mut buf = vec![0u8; UdpHeader::LEN];
         h.write_to(&mut buf);
-        assert!(UdpHeader::verify_segment(addr("1.1.1.1"), addr("2.2.2.2"), &buf));
+        assert!(UdpHeader::verify_segment(
+            addr("1.1.1.1"),
+            addr("2.2.2.2"),
+            &buf
+        ));
     }
 
     #[test]

@@ -38,6 +38,21 @@ impl Default for ClassMatch {
     }
 }
 
+impl ClassMatch {
+    /// Builds match attributes from a parse-once frame descriptor plus
+    /// the process-view attributes only the kernel knows — no byte
+    /// access, no re-parse.
+    pub fn from_meta(meta: &pkt::FrameMeta, uid: u32, pid: u32) -> ClassMatch {
+        ClassMatch {
+            tuple: meta.tuple,
+            uid,
+            pid,
+            mark: 0,
+            dscp: meta.dscp_ecn,
+        }
+    }
+}
+
 /// One classification rule: all present fields must match.
 #[derive(Clone, Debug, Default)]
 pub struct ClassifierRule {

@@ -207,7 +207,10 @@ mod tests {
             }
             now += Dur::from_us(120); // ~100 Gbps service of 1500B
         }
-        assert!(q.codel_drops() > 0, "CoDel should engage on a standing queue");
+        assert!(
+            q.codel_drops() > 0,
+            "CoDel should engage on a standing queue"
+        );
         assert!(delivered > 0);
     }
 
@@ -217,7 +220,8 @@ mod tests {
         let mut q = Codel::new(cfg, 4096);
         // Build delay: fill then stall.
         for i in 0..200 {
-            q.enqueue(QPkt::new(i, 1500, Time::ZERO), Time::ZERO).unwrap();
+            q.enqueue(QPkt::new(i, 1500, Time::ZERO), Time::ZERO)
+                .unwrap();
         }
         // Dequeue slowly starting 150 ms later: the sojourn stays above
         // target for longer than one interval, so dropping engages.
@@ -244,8 +248,10 @@ mod tests {
     #[test]
     fn tail_drop_still_applies() {
         let mut q = Codel::new(CodelConfig::default(), 2);
-        q.enqueue(QPkt::new(0, 100, Time::ZERO), Time::ZERO).unwrap();
-        q.enqueue(QPkt::new(1, 100, Time::ZERO), Time::ZERO).unwrap();
+        q.enqueue(QPkt::new(0, 100, Time::ZERO), Time::ZERO)
+            .unwrap();
+        q.enqueue(QPkt::new(1, 100, Time::ZERO), Time::ZERO)
+            .unwrap();
         assert_eq!(
             q.enqueue(QPkt::new(2, 100, Time::ZERO), Time::ZERO),
             Err(EnqueueError::QueueFull)

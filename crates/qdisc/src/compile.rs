@@ -73,8 +73,7 @@ pub fn compile_dscp_prio(bands: &[Vec<u8>]) -> OverlaySchedulerSetup {
     // unmapped entries to class 0, so remap "no entry" by filling every
     // remaining DSCP with the last class.
     let last = bands.len() as u64;
-    let listed: std::collections::HashSet<usize> =
-        map_fills.iter().map(|&(_, k, _)| k).collect();
+    let listed: std::collections::HashSet<usize> = map_fills.iter().map(|&(_, k, _)| k).collect();
     for d in 0..256usize {
         if !listed.contains(&d) {
             map_fills.push((0, d, last));

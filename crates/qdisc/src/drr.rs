@@ -256,7 +256,10 @@ mod tests {
     fn per_class_limit_enforced() {
         let mut q = Drr::new(&[100, 100], 1);
         q.enqueue(pkt(0, 100, 0), Time::ZERO).unwrap();
-        assert_eq!(q.enqueue(pkt(1, 100, 0), Time::ZERO), Err(EnqueueError::QueueFull));
+        assert_eq!(
+            q.enqueue(pkt(1, 100, 0), Time::ZERO),
+            Err(EnqueueError::QueueFull)
+        );
         q.enqueue(pkt(2, 100, 1), Time::ZERO).unwrap();
     }
 

@@ -89,7 +89,8 @@ mod tests {
     fn fifo_order() {
         let mut q = Fifo::new(10);
         for i in 0..5 {
-            q.enqueue(QPkt::new(i, 100, Time::ZERO), Time::ZERO).unwrap();
+            q.enqueue(QPkt::new(i, 100, Time::ZERO), Time::ZERO)
+                .unwrap();
         }
         let ids: Vec<u64> = std::iter::from_fn(|| q.dequeue(Time::ZERO).map(|p| p.id)).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
@@ -111,8 +112,10 @@ mod tests {
     #[test]
     fn backlog_tracks_bytes() {
         let mut q = Fifo::new(10);
-        q.enqueue(QPkt::new(0, 100, Time::ZERO), Time::ZERO).unwrap();
-        q.enqueue(QPkt::new(1, 200, Time::ZERO), Time::ZERO).unwrap();
+        q.enqueue(QPkt::new(0, 100, Time::ZERO), Time::ZERO)
+            .unwrap();
+        q.enqueue(QPkt::new(1, 200, Time::ZERO), Time::ZERO)
+            .unwrap();
         assert_eq!(q.backlog_bytes(), 300);
         q.dequeue(Time::ZERO);
         assert_eq!(q.backlog_bytes(), 200);

@@ -61,7 +61,12 @@ impl Htb {
     ///
     /// Panics if no classes are given, any `ceil < rate`, or any rate is
     /// zero.
-    pub fn new(root_rate: u64, root_burst: u64, classes: &[HtbClass], per_class_limit: usize) -> Htb {
+    pub fn new(
+        root_rate: u64,
+        root_burst: u64,
+        classes: &[HtbClass],
+        per_class_limit: usize,
+    ) -> Htb {
         assert!(!classes.is_empty(), "need at least one class");
         for c in classes {
             assert!(c.rate > 0, "class rate must be positive");
@@ -262,7 +267,10 @@ mod tests {
                 }
             }
             if htb.dequeue(now).is_none() {
-                now = htb.next_ready(now).unwrap_or(now + Dur::from_ms(1)).min(end);
+                now = htb
+                    .next_ready(now)
+                    .unwrap_or(now + Dur::from_ms(1))
+                    .min(end);
             }
         }
         htb.class_bytes_sent()
@@ -299,7 +307,10 @@ mod tests {
                 id += 1;
             }
             if htb.dequeue(now).is_none() {
-                now = htb.next_ready(now).unwrap_or(now + Dur::from_ms(1)).min(end);
+                now = htb
+                    .next_ready(now)
+                    .unwrap_or(now + Dur::from_ms(1))
+                    .min(end);
             }
         }
         let rate = htb.class_bytes_sent()[0] as f64 / 10.0;
@@ -320,11 +331,17 @@ mod tests {
                 id += 1;
             }
             if htb.dequeue(now).is_none() {
-                now = htb.next_ready(now).unwrap_or(now + Dur::from_ms(1)).min(end);
+                now = htb
+                    .next_ready(now)
+                    .unwrap_or(now + Dur::from_ms(1))
+                    .min(end);
             }
         }
         let rate = htb.class_bytes_sent()[0] as f64 / 10.0;
-        assert!((4_000.0..6_000.0).contains(&rate), "capped class sent {rate} B/s");
+        assert!(
+            (4_000.0..6_000.0).contains(&rate),
+            "capped class sent {rate} B/s"
+        );
     }
 
     #[test]

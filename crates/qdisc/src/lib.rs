@@ -40,5 +40,5 @@ pub use htb::{Htb, HtbClass};
 pub use prio::Prio;
 pub use red::{Red, RedConfig, RedDecision};
 pub use tbf::Tbf;
-pub use types::{QPkt, Qdisc, QdiscStats, EnqueueError};
+pub use types::{EnqueueError, QPkt, Qdisc, QdiscStats};
 pub use wfq::Wfq;

@@ -128,7 +128,10 @@ mod tests {
     fn per_band_limits() {
         let mut q = Prio::new(2, 1);
         q.enqueue(pkt(0, 0), Time::ZERO).unwrap();
-        assert_eq!(q.enqueue(pkt(1, 0), Time::ZERO), Err(EnqueueError::QueueFull));
+        assert_eq!(
+            q.enqueue(pkt(1, 0), Time::ZERO),
+            Err(EnqueueError::QueueFull)
+        );
         // Other band unaffected.
         q.enqueue(pkt(2, 1), Time::ZERO).unwrap();
         assert_eq!(q.len(), 2);

@@ -89,8 +89,8 @@ impl Red {
         }
         let mut decision = RedDecision::Accept;
         if self.avg > self.cfg.min_th {
-            let p = self.cfg.max_p * (self.avg - self.cfg.min_th)
-                / (self.cfg.max_th - self.cfg.min_th);
+            let p =
+                self.cfg.max_p * (self.avg - self.cfg.min_th) / (self.cfg.max_th - self.cfg.min_th);
             self.accum += p;
             if self.accum >= 1.0 {
                 self.accum -= 1.0;

@@ -43,8 +43,7 @@ impl Tbf {
     fn refill(&mut self, now: Time) {
         let elapsed = now.saturating_since(self.last_update);
         if !elapsed.is_zero() {
-            self.tokens = (self.tokens
-                + elapsed.as_secs_f64() * self.rate_bytes_per_sec as f64)
+            self.tokens = (self.tokens + elapsed.as_secs_f64() * self.rate_bytes_per_sec as f64)
                 .min(self.burst_bytes as f64);
             self.last_update = now;
         }
@@ -108,7 +107,8 @@ mod tests {
     #[test]
     fn burst_passes_immediately() {
         let mut q = Tbf::new(1000, 500, 16);
-        q.enqueue(QPkt::new(0, 500, Time::ZERO), Time::ZERO).unwrap();
+        q.enqueue(QPkt::new(0, 500, Time::ZERO), Time::ZERO)
+            .unwrap();
         assert!(q.dequeue(Time::ZERO).is_some());
     }
 
@@ -117,8 +117,10 @@ mod tests {
         // 1000 B/s, 100 B burst: a 100 B packet drains the bucket; the
         // next 100 B packet must wait 100 ms.
         let mut q = Tbf::new(1000, 100, 16);
-        q.enqueue(QPkt::new(0, 100, Time::ZERO), Time::ZERO).unwrap();
-        q.enqueue(QPkt::new(1, 100, Time::ZERO), Time::ZERO).unwrap();
+        q.enqueue(QPkt::new(0, 100, Time::ZERO), Time::ZERO)
+            .unwrap();
+        q.enqueue(QPkt::new(1, 100, Time::ZERO), Time::ZERO)
+            .unwrap();
         assert!(q.dequeue(Time::ZERO).is_some());
         assert!(q.dequeue(Time::ZERO).is_none());
         let ready = q.next_ready(Time::ZERO).expect("should report readiness");
@@ -176,7 +178,8 @@ mod tests {
     #[test]
     fn eligible_head_reports_none() {
         let mut q = Tbf::new(1000, 500, 4);
-        q.enqueue(QPkt::new(0, 100, Time::ZERO), Time::ZERO).unwrap();
+        q.enqueue(QPkt::new(0, 100, Time::ZERO), Time::ZERO)
+            .unwrap();
         assert!(q.next_ready(Time::ZERO).is_none());
     }
 }

@@ -38,10 +38,7 @@ impl Wfq {
     /// Panics if `weights` is empty or any weight is non-positive.
     pub fn new(weights: &[f64], per_class_limit: usize) -> Wfq {
         assert!(!weights.is_empty(), "need at least one class");
-        assert!(
-            weights.iter().all(|&w| w > 0.0),
-            "weights must be positive"
-        );
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
         Wfq {
             classes: weights
                 .iter()

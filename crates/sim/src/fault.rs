@@ -174,7 +174,11 @@ impl XorShift64Star {
     fn new(seed: u64) -> XorShift64Star {
         // Zero is the one forbidden state.
         XorShift64Star {
-            state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed },
+            state: if seed == 0 {
+                0x9E37_79B9_7F4A_7C15
+            } else {
+                seed
+            },
         }
     }
 
@@ -266,7 +270,11 @@ impl FaultInjector {
                 if flip {
                     self.in_bad_state = !self.in_bad_state;
                 }
-                let p = if self.in_bad_state { loss_bad } else { loss_good };
+                let p = if self.in_bad_state {
+                    loss_bad
+                } else {
+                    loss_good
+                };
                 self.rng.chance(p)
             }
         };
@@ -553,7 +561,10 @@ mod tests {
         }
         let marginal = losses as f64 / n as f64;
         let conditional = after_loss_lost as f64 / after_loss as f64;
-        assert!(conditional > marginal * 2.0, "marginal {marginal}, conditional {conditional}");
+        assert!(
+            conditional > marginal * 2.0,
+            "marginal {marginal}, conditional {conditional}"
+        );
     }
 
     #[test]
@@ -569,11 +580,7 @@ mod tests {
 
     #[test]
     fn corruption_changes_bytes_and_preserves_length() {
-        let mut fl = FaultyLink::new(
-            Link::hundred_gbe(),
-            5,
-            FaultSchedule::corrupting(1.0),
-        );
+        let mut fl = FaultyLink::new(Link::hundred_gbe(), 5, FaultSchedule::corrupting(1.0));
         let original = frame(128);
         let out = fl.transmit(Time::ZERO, original.clone());
         assert_eq!(out.len(), 1);

@@ -31,7 +31,9 @@ pub mod time;
 pub mod trace;
 
 pub use engine::{EventQueue, ScheduledId};
-pub use fault::{FaultInjector, FaultSchedule, FaultStats, FaultyLink, LossModel, Verdict, WireDelivery};
+pub use fault::{
+    FaultInjector, FaultSchedule, FaultStats, FaultyLink, LossModel, Verdict, WireDelivery,
+};
 pub use link::Link;
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, RateMeter, Summary, TimeSeries};

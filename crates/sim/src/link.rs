@@ -132,7 +132,10 @@ mod tests {
         link.transmit(Time::ZERO, 64);
         // Long after the wire freed up, a send starts at its own time.
         let arrival = link.transmit(Time::from_us(1), 64);
-        assert_eq!(arrival, Time::from_us(1) + Dur::from_ps(6_720) + Dur::from_ns(500));
+        assert_eq!(
+            arrival,
+            Time::from_us(1) + Dur::from_ps(6_720) + Dur::from_ns(500)
+        );
     }
 
     #[test]

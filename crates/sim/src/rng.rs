@@ -46,10 +46,7 @@ impl DetRng {
     /// Returns the next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -184,7 +181,10 @@ impl ZipfTable {
     /// Samples a rank index in `[0, n)`.
     pub fn sample(&self, rng: &mut DetRng) -> usize {
         let u = rng.f64();
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("no NaN")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("no NaN"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }

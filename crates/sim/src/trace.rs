@@ -23,7 +23,13 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>12}] {:<22} {}", self.at.to_string(), self.component, self.message)
+        write!(
+            f,
+            "[{:>12}] {:<22} {}",
+            self.at.to_string(),
+            self.component,
+            self.message
+        )
     }
 }
 
@@ -75,7 +81,9 @@ impl Tracer {
     /// Returns events emitted by components whose name starts with
     /// `prefix`.
     pub fn by_component<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> {
-        self.events.iter().filter(move |e| e.component.starts_with(prefix))
+        self.events
+            .iter()
+            .filter(move |e| e.component.starts_with(prefix))
     }
 
     /// Returns `true` if any event message contains `needle`.

@@ -208,6 +208,9 @@ mod tests {
             sum += s;
         }
         let mean = sum as f64 / n as f64;
-        assert!((mean - Imix::mean()).abs() / Imix::mean() < 0.05, "mean {mean}");
+        assert!(
+            (mean - Imix::mean()).abs() / Imix::mean() < 0.05,
+            "mean {mean}"
+        );
     }
 }

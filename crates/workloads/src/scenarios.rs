@@ -213,6 +213,8 @@ mod tests {
         tb.run_arp_flood(25, Time::ZERO);
         let entries = tb.host.nic.sniffer.entries();
         assert_eq!(entries.len(), 25);
-        assert!(entries.iter().all(|e| e.comm.as_deref() == Some("arp-flooder")));
+        assert!(entries
+            .iter()
+            .all(|e| e.comm.as_deref() == Some("arp-flooder")));
     }
 }

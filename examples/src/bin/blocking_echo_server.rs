@@ -67,8 +67,13 @@ fn main() {
 
     let meter = host.sched.meter(bob);
     println!("served {served} requests in 100 ms simulated");
-    println!("CPU used: {} (busy {}, switching {}, polling {})",
-        meter.total(), meter.busy, meter.switching, meter.polling);
+    println!(
+        "CPU used: {} (busy {}, switching {}, polling {})",
+        meter.total(),
+        meter.busy,
+        meter.switching,
+        meter.polling
+    );
     println!(
         "utilization of one core: {:.3}% — a polling server would use 100%",
         meter.total().as_secs_f64() / 0.1 * 100.0

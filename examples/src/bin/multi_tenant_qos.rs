@@ -66,7 +66,11 @@ fn main() {
 
     let mut tb = AliceTestbed::new();
     let (prod, game) = saturate(&mut tb, 50);
-    println!("without shaping:  productive {:5.1}%   game {:5.1}%", prod * 100.0, game * 100.0);
+    println!(
+        "without shaping:  productive {:5.1}%   game {:5.1}%",
+        prod * 100.0,
+        game * 100.0
+    );
 
     // Alice moves the games into a cgroup with its own class uid and
     // installs 8:1 WFQ — no ports anywhere in the policy.
@@ -80,11 +84,25 @@ fn main() {
     }
     tb.bob_game.conn = tb
         .host
-        .connect(bg.pid, pkt::IpProto::UDP, bg.port, tb.peer_ip, 9000 + bg.port, false)
+        .connect(
+            bg.pid,
+            pkt::IpProto::UDP,
+            bg.port,
+            tb.peer_ip,
+            9000 + bg.port,
+            false,
+        )
         .unwrap();
     tb.charlie_game.conn = tb
         .host
-        .connect(cg.pid, pkt::IpProto::UDP, cg.port, tb.peer_ip, 9000 + cg.port, false)
+        .connect(
+            cg.pid,
+            pkt::IpProto::UDP,
+            cg.port,
+            tb.peer_ip,
+            9000 + cg.port,
+            false,
+        )
         .unwrap();
     kqdisc::install_wfq(
         &mut tb.host,
@@ -94,9 +112,16 @@ fn main() {
     )
     .unwrap();
     let (prod, game) = saturate(&mut tb, 50);
-    println!("with 8:1 WFQ:     productive {:5.1}%   game {:5.1}%", prod * 100.0, game * 100.0);
+    println!(
+        "with 8:1 WFQ:     productive {:5.1}%   game {:5.1}%",
+        prod * 100.0,
+        game * 100.0
+    );
 
-    println!("\nPer-class bytes (kqdisc): {:?}", kqdisc::class_bytes(&tb.host, &Cred::root()).unwrap());
+    println!(
+        "\nPer-class bytes (kqdisc): {:?}",
+        kqdisc::class_bytes(&tb.host, &Cred::root()).unwrap()
+    );
     println!("The game class is pinned near its 1/9 share; the policy never mentioned a port.");
     assert!(game < 0.15);
 }

@@ -49,7 +49,10 @@ fn main() {
             .build();
         let restored = nat.translate_inbound(&reply).unwrap();
         let ft = FiveTuple::from_parsed(&restored.parse().unwrap()).unwrap();
-        println!("  {external}:{}  =>  {}:{}", ext_ports[i], ft.dst_ip, ft.dst_port);
+        println!(
+            "  {external}:{}  =>  {}:{}",
+            ext_ports[i], ft.dst_ip, ft.dst_port
+        );
         assert_eq!(ft.dst_ip.to_string(), *host);
     }
 
@@ -59,7 +62,10 @@ fn main() {
         .ipv4("198.51.100.99".parse().unwrap(), external)
         .udp(53, 4242, b"scan")
         .build();
-    println!("\nstray inbound to unmapped port: {}", nat.translate_inbound(&stray).unwrap_err());
+    println!(
+        "\nstray inbound to unmapped port: {}",
+        nat.translate_inbound(&stray).unwrap_err()
+    );
 
     let (out, inn, miss) = nat.counters();
     println!(

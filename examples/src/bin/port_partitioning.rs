@@ -20,8 +20,13 @@ fn main() {
 
     println!("Installing owner-based port policy via kfilter:");
     for (port, uid, who) in [(5432u16, BOB, "bob"), (3306, CHARLIE, "charlie")] {
-        kfilter::reserve(&mut tb.host, &root, PortReservation::new(port, uid), Time::ZERO)
-            .unwrap();
+        kfilter::reserve(
+            &mut tb.host,
+            &root,
+            PortReservation::new(port, uid),
+            Time::ZERO,
+        )
+        .unwrap();
         println!("  port {port} reserved for {who}");
     }
 
@@ -32,14 +37,9 @@ fn main() {
     assert!(matches!(rep.outcome, DeliveryOutcome::FastPath(_)));
 
     // Charlie cannot even open the port (control-plane refusal).
-    let grab = tb.host.connect(
-        tb.mysql.pid,
-        pkt::IpProto::UDP,
-        5432,
-        tb.peer_ip,
-        1,
-        false,
-    );
+    let grab = tb
+        .host
+        .connect(tb.mysql.pid, pkt::IpProto::UDP, 5432, tb.peer_ip, 1, false);
     println!("charlie tries to open 5432: {}", grab.unwrap_err());
 
     // And if his (buggy) app spoofs sends from source port 5432 over an

@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -12,5 +15,8 @@ cargo test -q
 
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --all-targets -- -D warnings
+
+echo "==> bench smoke (1 iteration per bench)"
+BENCH_SMOKE=1 cargo bench --bench substrates
 
 echo "CI gate passed."

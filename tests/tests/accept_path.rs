@@ -154,7 +154,9 @@ fn two_hosts_request_response_over_wire() {
     // Both administrators retain full visibility of their side.
     let root = oskernel::Cred::root();
     let srv_rows = norman::tools::knetstat::connections(&server, &root).unwrap();
-    assert!(srv_rows.iter().any(|r| r.comm == "server" && r.via == "nic"));
+    assert!(srv_rows
+        .iter()
+        .any(|r| r.comm == "server" && r.via == "nic"));
     let cli_rows = norman::tools::knetstat::connections(&client, &root).unwrap();
     assert!(cli_rows.iter().any(|r| r.comm == "client"));
 }

@@ -130,7 +130,8 @@ fn blocking_io_wakes_through_notification_queue() {
         let r = sock.recv(&mut host, t, true);
         assert!(r.blocked);
         assert_eq!(host.procs.get(bob).unwrap().state, ProcState::Blocked);
-        let rep = host.deliver_from_wire(&peer_frame(&host, 9000, 7000, b"x"), t + Dur::from_us(10));
+        let rep =
+            host.deliver_from_wire(&peer_frame(&host, 9000, 7000, b"x"), t + Dur::from_us(10));
         assert_eq!(rep.woke, Some(bob));
         let r = sock.recv(&mut host, t + Dur::from_us(20), true);
         assert!(r.len.is_some());

@@ -24,7 +24,14 @@ fn bitstream_reprogram_outage_and_recovery_end_to_end() {
     let mut host = Host::new(HostConfig::default());
     let bob = host.spawn(Uid(1001), "bob", "server");
     let sock = NormanSocket::connect(
-        &mut host, bob, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, Mac::local(9), false,
+        &mut host,
+        bob,
+        IpProto::UDP,
+        7000,
+        Ipv4Addr::new(10, 0, 0, 2),
+        9000,
+        Mac::local(9),
+        false,
     )
     .unwrap();
 
@@ -73,7 +80,14 @@ fn notification_queue_overflow_does_not_lose_data() {
     let mut host = Host::new(cfg);
     let bob = host.spawn(Uid(1001), "bob", "server");
     let sock = NormanSocket::connect(
-        &mut host, bob, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, Mac::local(9), true,
+        &mut host,
+        bob,
+        IpProto::UDP,
+        7000,
+        Ipv4Addr::new(10, 0, 0, 2),
+        9000,
+        Mac::local(9),
+        true,
     )
     .unwrap();
     let frame = peer_frame(&host, 9000, 7000, 64);
@@ -96,7 +110,14 @@ fn hostile_program_cannot_wedge_the_dataplane() {
     let mut host = Host::new(HostConfig::default());
     let bob = host.spawn(Uid(1001), "bob", "server");
     let sock = NormanSocket::connect(
-        &mut host, bob, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, Mac::local(9), false,
+        &mut host,
+        bob,
+        IpProto::UDP,
+        7000,
+        Ipv4Addr::new(10, 0, 0, 2),
+        9000,
+        Mac::local(9),
+        false,
     )
     .unwrap();
     let src = "
@@ -128,7 +149,14 @@ fn tx_scheduler_overflow_is_reported_not_silent() {
     let mut host = Host::new(cfg);
     let bob = host.spawn(Uid(1001), "bob", "blaster");
     let sock = NormanSocket::connect(
-        &mut host, bob, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, Mac::local(9), false,
+        &mut host,
+        bob,
+        IpProto::UDP,
+        7000,
+        Ipv4Addr::new(10, 0, 0, 2),
+        9000,
+        Mac::local(9),
+        false,
     )
     .unwrap();
     let mut queued = 0;
@@ -166,7 +194,14 @@ fn slow_path_survives_malformed_frames() {
     // Legitimate traffic still works afterwards.
     let bob = host.spawn(Uid(1001), "bob", "server");
     let sock = NormanSocket::connect(
-        &mut host, bob, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, Mac::local(9), false,
+        &mut host,
+        bob,
+        IpProto::UDP,
+        7000,
+        Ipv4Addr::new(10, 0, 0, 2),
+        9000,
+        Mac::local(9),
+        false,
     )
     .unwrap();
     let frame = peer_frame(&host, 9000, 7000, 64);
@@ -186,7 +221,14 @@ fn sram_exhaustion_recovers_after_close() {
     // Open until exhaustion.
     let mut open = Vec::new();
     for port in 1000..1100u16 {
-        match host.connect(bob, IpProto::UDP, port, Ipv4Addr::new(10, 0, 0, 2), 9000, false) {
+        match host.connect(
+            bob,
+            IpProto::UDP,
+            port,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            false,
+        ) {
             Ok(id) => open.push(id),
             Err(_) => break,
         }
@@ -201,7 +243,14 @@ fn sram_exhaustion_recovers_after_close() {
     let mut reopened = 0;
     for port in 2000..2100u16 {
         if host
-            .connect(bob, IpProto::UDP, port, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
+            .connect(
+                bob,
+                IpProto::UDP,
+                port,
+                Ipv4Addr::new(10, 0, 0, 2),
+                9000,
+                false,
+            )
             .is_ok()
         {
             reopened += 1;

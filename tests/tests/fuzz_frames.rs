@@ -31,8 +31,15 @@ fn valid_udp_frame(h: &Host, payload_len: usize) -> Vec<u8> {
 fn truncation_at_every_offset_is_absorbed() {
     let mut h = Host::new(HostConfig::default());
     let bob = h.spawn(Uid(1001), "bob", "server");
-    h.connect(bob, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
-        .unwrap();
+    h.connect(
+        bob,
+        IpProto::UDP,
+        7000,
+        Ipv4Addr::new(10, 0, 0, 2),
+        9000,
+        false,
+    )
+    .unwrap();
     let full = valid_udp_frame(&h, 64);
     let mut malformed = 0u64;
     for cut in 0..full.len() {
@@ -104,7 +111,10 @@ fn header_claiming_more_than_present_is_rejected() {
 #[test]
 fn bad_ethertype_is_counted_drop() {
     let mut h = Host::new(HostConfig::default());
-    for (i, ethertype) in [[0x86, 0xDD], [0x88, 0x47], [0x12, 0x34]].iter().enumerate() {
+    for (i, ethertype) in [[0x86, 0xDD], [0x88, 0x47], [0x12, 0x34]]
+        .iter()
+        .enumerate()
+    {
         let mut frame = valid_udp_frame(&h, 16);
         frame[12] = ethertype[0];
         frame[13] = ethertype[1];
@@ -126,7 +136,14 @@ fn zero_length_payload_is_legal() {
     let mut h = Host::new(HostConfig::default());
     let bob = h.spawn(Uid(1001), "bob", "server");
     let conn = h
-        .connect(bob, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
+        .connect(
+            bob,
+            IpProto::UDP,
+            7000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            false,
+        )
         .unwrap();
     let frame = Packet::from_bytes(valid_udp_frame(&h, 0));
     let parsed = frame.parse().unwrap();
@@ -143,8 +160,15 @@ fn garbage_storm_never_panics_or_corrupts() {
     let mut r = DetRng::seed_from_u64(0xF077_F077);
     let mut h = Host::new(HostConfig::default());
     let bob = h.spawn(Uid(1001), "bob", "server");
-    h.connect(bob, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, false)
-        .unwrap();
+    h.connect(
+        bob,
+        IpProto::UDP,
+        7000,
+        Ipv4Addr::new(10, 0, 0, 2),
+        9000,
+        false,
+    )
+    .unwrap();
     let sram_before = h.nic.sram.used();
     for i in 0..2000u64 {
         let len = r.range_usize(0, 200);

@@ -43,9 +43,12 @@ fn custom_assembled_filter_runs_on_the_nic() {
     verify(&prog).unwrap();
 
     let mut nic = SmartNic::new(NicConfig::default());
-    nic.open_connection(rx_tuple(443), 0, 1, "web", false).unwrap();
-    nic.open_connection(rx_tuple(8080), 0, 1, "other", false).unwrap();
-    nic.load_program(ProgramSlot::IngressFilter, prog, Time::ZERO).unwrap();
+    nic.open_connection(rx_tuple(443), 0, 1, "web", false)
+        .unwrap();
+    nic.open_connection(rx_tuple(8080), 0, 1, "other", false)
+        .unwrap();
+    nic.load_program(ProgramSlot::IngressFilter, prog, Time::ZERO)
+        .unwrap();
 
     // Small frame to 8080: passes.
     assert!(matches!(
@@ -69,16 +72,28 @@ fn verifier_blocks_unsafe_programs_at_load_time() {
     use overlay::{Insn, Reg, Verdict};
     let bad_programs: Vec<(Program, &'static str)> = vec![
         (
-            Program::new("fall-off", vec![Insn::LdImm { dst: Reg(0), imm: 1 }], vec![]),
+            Program::new(
+                "fall-off",
+                vec![Insn::LdImm {
+                    dst: Reg(0),
+                    imm: 1,
+                }],
+                vec![],
+            ),
             "falls off end",
         ),
         (
             Program::new(
                 "backjump",
                 vec![
-                    Insn::LdImm { dst: Reg(0), imm: 1 },
+                    Insn::LdImm {
+                        dst: Reg(0),
+                        imm: 1,
+                    },
                     Insn::Jmp { target: 0 },
-                    Insn::Ret { verdict: Verdict::Pass },
+                    Insn::Ret {
+                        verdict: Verdict::Pass,
+                    },
                 ],
                 vec![],
             ),
@@ -114,12 +129,18 @@ fn runtime_faults_fail_closed_not_crash() {
     let prog = assemble("oob", src).unwrap();
     verify(&prog).unwrap();
     let mut nic = SmartNic::new(NicConfig::default());
-    nic.open_connection(rx_tuple(8080), 0, 1, "app", false).unwrap();
-    nic.load_program(ProgramSlot::IngressFilter, prog, Time::ZERO).unwrap();
+    nic.open_connection(rx_tuple(8080), 0, 1, "app", false)
+        .unwrap();
+    nic.load_program(ProgramSlot::IngressFilter, prog, Time::ZERO)
+        .unwrap();
     let r = nic.rx(&udp_to(8080, 64), Time::ZERO);
-    assert!(matches!(r.disposition, RxDisposition::Drop { .. }), "fail closed");
+    assert!(
+        matches!(r.disposition, RxDisposition::Drop { .. }),
+        "fail closed"
+    );
     // The dataplane continues for in-bounds traffic.
-    nic.open_connection(rx_tuple(3), 0, 1, "app", false).unwrap();
+    nic.open_connection(rx_tuple(3), 0, 1, "app", false)
+        .unwrap();
     let r = nic.rx(&udp_to(3, 64), Time::ZERO);
     assert!(matches!(r.disposition, RxDisposition::Deliver { .. }));
 }
@@ -138,9 +159,12 @@ fn slowpath_verdict_routes_to_kernel() {
     let prog = assemble("punt", src).unwrap();
     verify(&prog).unwrap();
     let mut nic = SmartNic::new(NicConfig::default());
-    nic.open_connection(rx_tuple(9999), 0, 1, "bulk", false).unwrap();
-    nic.open_connection(rx_tuple(80), 0, 1, "web", false).unwrap();
-    nic.load_program(ProgramSlot::IngressFilter, prog, Time::ZERO).unwrap();
+    nic.open_connection(rx_tuple(9999), 0, 1, "bulk", false)
+        .unwrap();
+    nic.open_connection(rx_tuple(80), 0, 1, "web", false)
+        .unwrap();
+    nic.load_program(ProgramSlot::IngressFilter, prog, Time::ZERO)
+        .unwrap();
     assert!(matches!(
         nic.rx(&udp_to(9999, 64), Time::ZERO).disposition,
         RxDisposition::SlowPath { .. }
@@ -154,7 +178,8 @@ fn slowpath_verdict_routes_to_kernel() {
 #[test]
 fn accounting_maps_readable_from_control_plane() {
     let mut nic = SmartNic::new(NicConfig::default());
-    nic.open_connection(rx_tuple(80), 42, 7, "app", false).unwrap();
+    nic.open_connection(rx_tuple(80), 42, 7, "app", false)
+        .unwrap();
     let slot = nic
         .add_accounting(overlay::builtins::byte_accounting(), Time::ZERO)
         .unwrap();

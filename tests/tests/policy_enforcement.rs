@@ -1,10 +1,10 @@
 //! Cross-crate integration: the §2 policies enforced end-to-end, plus the
 //! §3 isolation requirement (tools and NIC configuration are privileged).
 
+use nicsim::SnifferFilter;
 use norman::host::DeliveryOutcome;
 use norman::policy::{PortReservation, ShapingPolicy};
 use norman::tools::{kfilter, knetstat, kqdisc, ksniff, ToolError};
-use nicsim::SnifferFilter;
 use oskernel::Cred;
 use pkt::PacketBuilder;
 use sim::{Dur, Time};
@@ -14,7 +14,13 @@ use workloads::{AliceTestbed, BOB, CHARLIE};
 fn port_partition_holds_in_both_planes() {
     let mut tb = AliceTestbed::new();
     let root = Cred::root();
-    kfilter::reserve(&mut tb.host, &root, PortReservation::new(5432, BOB), Time::ZERO).unwrap();
+    kfilter::reserve(
+        &mut tb.host,
+        &root,
+        PortReservation::new(5432, BOB),
+        Time::ZERO,
+    )
+    .unwrap();
 
     // Control plane: charlie cannot open 5432.
     assert!(tb
@@ -24,7 +30,14 @@ fn port_partition_holds_in_both_planes() {
     // Control plane: bob can.
     assert!(tb
         .host
-        .connect(tb.postgres.pid, pkt::IpProto::UDP, 5433, tb.peer_ip, 1, false)
+        .connect(
+            tb.postgres.pid,
+            pkt::IpProto::UDP,
+            5433,
+            tb.peer_ip,
+            1,
+            false
+        )
         .is_ok());
 
     // Dataplane egress: charlie's spoofed source port is dropped.
@@ -33,7 +46,11 @@ fn port_partition_holds_in_both_planes() {
         .ipv4(tb.host.cfg.ip, tb.peer_ip)
         .udp(5432, 9000, b"spoof")
         .build();
-    let d = tb.host.nic.tx_enqueue(tb.mysql.conn, &spoof, Time::ZERO).unwrap();
+    let d = tb
+        .host
+        .nic
+        .tx_enqueue(tb.mysql.conn, &spoof, Time::ZERO)
+        .unwrap();
     assert!(matches!(d, nicsim::TxDisposition::Drop { .. }));
 
     // Dataplane ingress: bob's legitimate traffic still flows.
@@ -50,14 +67,12 @@ fn tools_require_privilege() {
         ksniff::start(&mut tb.host, &bob, SnifferFilter::all()),
         Err(ToolError::PermissionDenied { .. })
     ));
-    assert!(kfilter::reserve(
-        &mut tb.host,
-        &bob,
-        PortReservation::new(1, BOB),
-        Time::ZERO
-    )
-    .is_err());
-    assert!(kqdisc::install_wfq(&mut tb.host, &bob, ShapingPolicy::new(vec![]), Time::ZERO).is_err());
+    assert!(
+        kfilter::reserve(&mut tb.host, &bob, PortReservation::new(1, BOB), Time::ZERO).is_err()
+    );
+    assert!(
+        kqdisc::install_wfq(&mut tb.host, &bob, ShapingPolicy::new(vec![]), Time::ZERO).is_err()
+    );
     assert!(knetstat::connections(&tb.host, &bob).is_err());
 }
 
@@ -69,12 +84,27 @@ fn apps_cannot_touch_other_apps_doorbells_or_kernel_registers() {
     let postgres_doorbell = nicsim::SmartNic::rx_doorbell_addr(tb.postgres.conn);
 
     // Owner works.
-    assert!(tb.host.nic.regs.write(postgres_doorbell, 1, Some(postgres_pid)).is_ok());
+    assert!(tb
+        .host
+        .nic
+        .regs
+        .write(postgres_doorbell, 1, Some(postgres_pid))
+        .is_ok());
     // Another tenant's process faults.
-    assert!(tb.host.nic.regs.write(postgres_doorbell, 1, Some(mysql_pid)).is_err());
+    assert!(tb
+        .host
+        .nic
+        .regs
+        .write(postgres_doorbell, 1, Some(mysql_pid))
+        .is_err());
     // Kernel registers reject all apps.
     tb.host.nic.regs.define_kernel(0xC0FFEE);
-    assert!(tb.host.nic.regs.write(0xC0FFEE, 1, Some(postgres_pid)).is_err());
+    assert!(tb
+        .host
+        .nic
+        .regs
+        .write(0xC0FFEE, 1, Some(postgres_pid))
+        .is_err());
     assert!(tb.host.nic.regs.write(0xC0FFEE, 1, None).is_ok());
     assert!(tb.host.nic.regs.violations() >= 2);
 }

@@ -38,7 +38,10 @@ fn arp_for_other_hosts_is_cached_policy_not_answered() {
         Ipv4Addr::new(10, 0, 0, 77),
     );
     host.deliver_from_wire(&req, Time::ZERO);
-    assert!(host.pump_tx(Time::from_us(1)).is_empty(), "no reply for others");
+    assert!(
+        host.pump_tx(Time::from_us(1)).is_empty(),
+        "no reply for others"
+    );
 }
 
 #[test]
@@ -74,7 +77,10 @@ fn arp_reply_contents_are_correct() {
     host.deliver_from_wire(&req, Time::ZERO);
     host.pump_tx(Time::from_us(1));
     // Reconstruct the reply via the cache responder for content check.
-    let reply = host.arp.handle(&req, Time::from_us(2)).expect("still answers");
+    let reply = host
+        .arp
+        .handle(&req, Time::from_us(2))
+        .expect("still answers");
     let arp = parse_arp(&reply);
     assert_eq!(arp.op, ArpOp::Reply);
     assert_eq!(arp.sender_ip, host.cfg.ip);
@@ -86,11 +92,25 @@ fn wait_any_returns_pending_connection_without_blocking() {
     let mut host = Host::new(HostConfig::default());
     let bob = host.spawn(Uid(1001), "bob", "server");
     let s1 = NormanSocket::connect(
-        &mut host, bob, IpProto::UDP, 7000, Ipv4Addr::new(10, 0, 0, 2), 9000, Mac::local(9), true,
+        &mut host,
+        bob,
+        IpProto::UDP,
+        7000,
+        Ipv4Addr::new(10, 0, 0, 2),
+        9000,
+        Mac::local(9),
+        true,
     )
     .unwrap();
     let s2 = NormanSocket::connect(
-        &mut host, bob, IpProto::UDP, 7001, Ipv4Addr::new(10, 0, 0, 2), 9001, Mac::local(9), true,
+        &mut host,
+        bob,
+        IpProto::UDP,
+        7001,
+        Ipv4Addr::new(10, 0, 0, 2),
+        9001,
+        Mac::local(9),
+        true,
     )
     .unwrap();
 
