@@ -322,6 +322,66 @@ fn bench_batch_rx() {
     });
 }
 
+/// The PR-3 introspection guard: the same 32-frame RX loop as
+/// `bench_batch_rx` with lifecycle telemetry left disabled (the default
+/// everywhere — this is the overhead the dataplane pays for *having* the
+/// trace points) and with it enabled (the cost of actually recording).
+/// The disabled number must track `batch/rx_batch1_x32` within noise.
+fn bench_telemetry() {
+    use nicsim::{NicConfig, SmartNic};
+    use telemetry::{Stage, Telemetry, TraceEvent, TraceVerdict};
+
+    let local: std::net::Ipv4Addr = "10.0.0.1".parse().unwrap();
+    let remote: std::net::Ipv4Addr = "10.0.0.2".parse().unwrap();
+    let tuple = FiveTuple::udp(remote, 9000, local, 7000);
+    let pkts: Vec<pkt::Packet> = (0..32)
+        .map(|_| {
+            PacketBuilder::new()
+                .ether(Mac::local(2), Mac::local(1))
+                .ipv4(remote, local)
+                .udp(9000, 7000, &[0u8; 256])
+                .build()
+        })
+        .collect();
+
+    // Disabled hub (the default a fresh SmartNic carries): every trace
+    // point costs one flag load, the event closures never run.
+    let mut nic = SmartNic::new(NicConfig::default());
+    nic.open_connection(tuple, 1001, 42, "app", false).unwrap();
+    bench("telemetry", "rx_x32_disabled", || {
+        for p in &pkts {
+            black_box(nic.rx(p, Time::ZERO));
+        }
+    });
+
+    // Enabled hub: frame-id tagging, event construction, ledger updates,
+    // and per-stage histogram samples all on.
+    let mut nic = SmartNic::new(NicConfig::default());
+    nic.open_connection(tuple, 1001, 42, "app", false).unwrap();
+    let tel = Telemetry::new();
+    tel.set_enabled(true);
+    nic.set_telemetry(tel.clone());
+    bench("telemetry", "rx_x32_enabled", || {
+        for p in &pkts {
+            black_box(nic.rx(p, Time::ZERO));
+        }
+    });
+
+    // The bare cost of a disabled trace point, isolated.
+    let off = Telemetry::new();
+    bench("telemetry", "emit_disabled", || {
+        off.emit(|| TraceEvent {
+            frame_id: 1,
+            at: Time::ZERO,
+            stage: Stage::RxIngress,
+            verdict: TraceVerdict::Pass,
+            tuple: Some(black_box(tuple)),
+            len: 298,
+            owner: None,
+        });
+    });
+}
+
 fn main() {
     bench_pkt();
     bench_qdisc();
@@ -332,4 +392,5 @@ fn main() {
     bench_extensions();
     bench_meta();
     bench_batch_rx();
+    bench_telemetry();
 }

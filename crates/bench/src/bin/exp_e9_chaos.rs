@@ -14,9 +14,12 @@
 //!      no hangs, no panics);
 //!   2. the audit finds zero invariant violations at every checkpoint —
 //!      chaos never corrupts NIC state (SRAM accounting, flow table,
-//!      scheduler);
+//!      scheduler). The sweep runs with lifecycle telemetry *enabled*,
+//!      so every audit also cross-checks the trace-event ledger against
+//!      each layer's counters ([`Host::audit`]): under chaos, the two
+//!      independent accounts of the dataplane must never diverge;
 //!   3. the whole sweep is replayable: the same seed produces
-//!      byte-identical results.
+//!      byte-identical results (tracing on does not perturb replay).
 
 use std::net::Ipv4Addr;
 
@@ -69,6 +72,9 @@ fn run_chaos(scenario: &str, schedule: FaultSchedule, outage: Option<Outage>) ->
             false,
         )
         .unwrap();
+    // Trace the whole run: the audit below then checks the telemetry
+    // ledger against every layer's counters at each checkpoint.
+    host.start_trace();
     let inbound = PacketBuilder::new()
         .ether(Mac::local(9), host.cfg.mac)
         .ipv4(Ipv4Addr::new(10, 0, 0, 2), host.cfg.ip)
@@ -112,7 +118,7 @@ fn run_chaos(scenario: &str, schedule: FaultSchedule, outage: Option<Outage>) ->
         }
         if i % AUDIT_EVERY == 0 {
             audits += 1;
-            let violations = host.nic.audit();
+            let violations = host.audit();
             audit_violations += violations.len() as u64;
             if first_violation.is_none() {
                 first_violation = violations.into_iter().next();
@@ -126,7 +132,7 @@ fn run_chaos(scenario: &str, schedule: FaultSchedule, outage: Option<Outage>) ->
     }
     let _ = host.pump_tx(Time::MAX);
     audits += 1;
-    let final_violations = host.nic.audit();
+    let final_violations = host.audit();
     audit_violations += final_violations.len() as u64;
     if let Some(v) = first_violation.or_else(|| final_violations.into_iter().next()) {
         eprintln!("AUDIT VIOLATION [{scenario}]: {v}");
@@ -266,7 +272,10 @@ fn main() {
     // (4) Zero invariant violations anywhere.
     let total_violations: u64 = rows.iter().map(|r| r.audit_violations).sum();
     let total_audits: u64 = rows.iter().map(|r| r.audits).sum();
-    assert_eq!(total_violations, 0, "chaos must never corrupt NIC state");
+    assert_eq!(
+        total_violations, 0,
+        "chaos must never corrupt NIC state nor diverge the telemetry ledger from the counters"
+    );
 
     // (5) Determinism: the same seed replays byte-identically.
     let replay = run_sweep();

@@ -6,10 +6,16 @@
 //! blocked app is woken through the notification queue, and a reply
 //! leaves through the NIC scheduler. Every hop of Figure 1 appears in
 //! the printed component trace.
+//!
+//! The walkthrough runs with lifecycle tracing enabled, so alongside the
+//! narrative log it prints the *typed* per-stage trace of the request
+//! frame (`ktrace`-rendered: frame id, stage, verdict, owner, per-stage
+//! latency) — the introspection the paper says interposition buys back.
 
 use std::net::Ipv4Addr;
 
-use norman::{Host, HostConfig, NormanSocket};
+use norman::tools::trace as ktrace;
+use norman::{Host, HostConfig, NormanSocket, TraceFilter};
 use oskernel::Uid;
 use pkt::{IpProto, Mac, PacketBuilder};
 use serde::Serialize;
@@ -20,6 +26,23 @@ struct Step {
     t_us: f64,
     component: String,
     event: String,
+}
+
+#[derive(Serialize)]
+struct TypedStep {
+    frame_id: u64,
+    t_us: f64,
+    stage: String,
+    verdict: String,
+    uid: Option<u32>,
+    pid: Option<u32>,
+    comm: Option<String>,
+}
+
+#[derive(Serialize)]
+struct Output {
+    steps: Vec<Step>,
+    lifecycle: Vec<TypedStep>,
 }
 
 fn main() {
@@ -36,6 +59,7 @@ fn main() {
     println!("F1: Norman architecture walkthrough (paper Figure 1)\n");
 
     let mut host = Host::new(HostConfig::default());
+    host.start_trace();
     let mut now = Time::ZERO;
 
     // --- Control plane: connection setup ---------------------------------
@@ -168,6 +192,42 @@ fn main() {
         ),
     );
 
-    bench::write_json("exp_f1_architecture", &steps);
+    // --- The typed lifecycle trace (ktrace) --------------------------------
+    // BPF-ish owner filter: every stage the server's traffic touched,
+    // with uid/pid/comm attribution joined at the kernel boundary.
+    let owned = ktrace::query(&host, &root, &TraceFilter::any().with_comm("server")).unwrap();
+    assert!(!owned.is_empty(), "owner filter must match traced stages");
+    // The request frame's full lifecycle, ingress -> app delivery.
+    let fid = owned[0].frame_id;
+    let life = ktrace::lifecycle(&host, &root, fid).unwrap();
+    println!("\nktrace: typed lifecycle of the request frame (id {fid}):\n");
+    print!("{}", ktrace::render(&life));
+    assert!(
+        life.iter().any(|e| e.stage == norman::Stage::RxIngress),
+        "lifecycle starts at ingress"
+    );
+    assert!(
+        life.iter().any(|e| e.stage == norman::Stage::AppDeliver),
+        "lifecycle ends in the application"
+    );
+    assert!(
+        host.audit().is_empty(),
+        "telemetry ledger must agree with counters: {:?}",
+        host.audit()
+    );
+
+    let lifecycle: Vec<TypedStep> = life
+        .iter()
+        .map(|e| TypedStep {
+            frame_id: e.frame_id,
+            t_us: e.at.as_us_f64(),
+            stage: e.stage.name().to_string(),
+            verdict: e.verdict.to_string(),
+            uid: e.owner.as_ref().map(|o| o.uid),
+            pid: e.owner.as_ref().map(|o| o.pid),
+            comm: e.owner.as_ref().map(|o| o.comm.clone()),
+        })
+        .collect();
+    bench::write_json("exp_f1_architecture", &Output { steps, lifecycle });
     println!("\nF1 walkthrough complete: every Figure 1 component exercised.");
 }

@@ -1,0 +1,246 @@
+//! PR3 — machine-readable performance baseline for the introspection
+//! layer.
+//!
+//! Drives the three steady-state dataplane workloads (RX fast path, RX
+//! fast path with lifecycle tracing on, TX fast path) through a Norman
+//! host, measuring wall-clock throughput per workload, and harvests the
+//! per-stage latency percentiles the telemetry registry now maintains
+//! (`lat.nic.*` histograms, virtual time, deterministic across runs).
+//!
+//! The combined document is written to `BENCH_PR3.json` at the repo root
+//! (and mirrored into `results/`) so the perf trajectory — throughput
+//! per path, tracing overhead, per-stage latency distribution — is
+//! tracked from this PR onward. Wall-clock figures vary by machine; the
+//! stage-latency section and the trace-ledger counters are exact.
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use norman::host::DeliveryOutcome;
+use norman::{Host, HostConfig, Stage};
+use oskernel::Uid;
+use pkt::{IpProto, Mac, Packet, PacketBuilder};
+use serde::Serialize;
+use sim::{Dur, Time};
+
+const FRAMES: u64 = 50_000;
+const GAP: Dur = Dur(200_000);
+
+#[derive(Serialize)]
+struct Experiment {
+    name: String,
+    frames: u64,
+    delivered: u64,
+    wall_ns_per_frame: f64,
+    mpps: f64,
+}
+
+#[derive(Serialize)]
+struct StageLatency {
+    hist: String,
+    count: u64,
+    mean_ns: f64,
+    p50_ns: f64,
+    p99_ns: f64,
+    max_ns: f64,
+}
+
+#[derive(Serialize)]
+struct StageCount {
+    counter: String,
+    count: u64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    schema: &'static str,
+    traced_overhead_pct: f64,
+    experiments: Vec<Experiment>,
+    stage_latency: Vec<StageLatency>,
+    trace_counters: Vec<StageCount>,
+}
+
+fn mk_host() -> (Host, nicsim::ConnId, Packet, Packet) {
+    let mut host = Host::new(HostConfig {
+        ring_slots: 256,
+        ..HostConfig::default()
+    });
+    let pid = host.spawn(Uid(1001), "bob", "server");
+    let conn = host
+        .connect(
+            pid,
+            IpProto::UDP,
+            7000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            false,
+        )
+        .unwrap();
+    let inbound = PacketBuilder::new()
+        .ether(Mac::local(9), host.cfg.mac)
+        .ipv4(Ipv4Addr::new(10, 0, 0, 2), host.cfg.ip)
+        .udp(9000, 7000, &[0u8; 1458])
+        .build();
+    let outbound = PacketBuilder::new()
+        .ether(host.cfg.mac, Mac::local(9))
+        .ipv4(host.cfg.ip, Ipv4Addr::new(10, 0, 0, 2))
+        .udp(7000, 9000, &[0u8; 1458])
+        .build();
+    (host, conn, inbound, outbound)
+}
+
+/// Streams `FRAMES` inbound frames through the fast path, draining the
+/// ring as it goes. Returns (delivered, wall ns/frame).
+fn rx_workload(host: &mut Host, conn: nicsim::ConnId, inbound: &Packet) -> (u64, f64) {
+    let mut delivered = 0u64;
+    let start = Instant::now();
+    for i in 0..FRAMES {
+        let t = Time::ZERO + GAP * i;
+        let rep = host.deliver_from_wire(inbound, t);
+        if matches!(rep.outcome, DeliveryOutcome::FastPath(_)) {
+            delivered += 1;
+        }
+        if i % 8 == 0 {
+            while host.app_recv(conn, t, false).len.is_some() {}
+        }
+    }
+    let ns = start.elapsed().as_nanos() as f64 / FRAMES as f64;
+    (delivered, ns)
+}
+
+fn main() {
+    println!("PR3: perf baseline — dataplane throughput + stage-latency percentiles\n");
+    let mut experiments = Vec::new();
+
+    // --- RX fast path, telemetry disabled (production default) -----------
+    let (mut host, conn, inbound, _) = mk_host();
+    let (delivered, ns_disabled) = rx_workload(&mut host, conn, &inbound);
+    assert_eq!(delivered, FRAMES, "ideal wire: every frame fast-paths");
+    experiments.push(Experiment {
+        name: "rx_fastpath".into(),
+        frames: FRAMES,
+        delivered,
+        wall_ns_per_frame: ns_disabled,
+        mpps: 1e3 / ns_disabled,
+    });
+
+    // --- RX fast path, lifecycle tracing on -------------------------------
+    let (mut host, conn, inbound, _) = mk_host();
+    host.start_trace();
+    let (delivered, ns_traced) = rx_workload(&mut host, conn, &inbound);
+    assert_eq!(delivered, FRAMES);
+    assert!(host.audit().is_empty(), "audit: {:?}", host.audit());
+    experiments.push(Experiment {
+        name: "rx_fastpath_traced".into(),
+        frames: FRAMES,
+        delivered,
+        wall_ns_per_frame: ns_traced,
+        mpps: 1e3 / ns_traced,
+    });
+    let traced_overhead_pct = 100.0 * (ns_traced - ns_disabled) / ns_disabled;
+
+    // Harvest the registry: per-stage latency percentiles (virtual time,
+    // deterministic) and the trace-ledger stage counters.
+    let snap = host.metrics_snapshot();
+    let stage_latency: Vec<StageLatency> = snap
+        .hists
+        .iter()
+        .filter(|h| h.name.starts_with("lat."))
+        .map(|h| StageLatency {
+            hist: h.name.clone(),
+            count: h.count,
+            mean_ns: h.mean_ns,
+            p50_ns: h.p50_ns,
+            p99_ns: h.p99_ns,
+            max_ns: h.max_ns,
+        })
+        .collect();
+    assert!(
+        stage_latency.iter().any(|h| h.hist == "lat.nic.rx_total"),
+        "registry must export NIC stage-latency histograms"
+    );
+    let trace_counters: Vec<StageCount> = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("trace.stage."))
+        .map(|(k, v)| StageCount {
+            counter: k.clone(),
+            count: *v,
+        })
+        .collect();
+    assert_eq!(
+        snap.counter(&format!("trace.stage.{}", Stage::RxIngress.name())),
+        Some(FRAMES),
+        "ledger counts every ingress"
+    );
+
+    // --- TX fast path ------------------------------------------------------
+    let (mut host, conn, _, outbound) = mk_host();
+    let mut queued = 0u64;
+    let start = Instant::now();
+    for i in 0..FRAMES {
+        let t = Time::ZERO + GAP * i;
+        if host.app_send(conn, &outbound, t).queued {
+            queued += 1;
+        }
+        let _ = host.pump_tx(t);
+    }
+    let _ = host.pump_tx(Time::MAX);
+    let ns_tx = start.elapsed().as_nanos() as f64 / FRAMES as f64;
+    assert_eq!(queued, FRAMES);
+    experiments.push(Experiment {
+        name: "tx_fastpath".into(),
+        frames: FRAMES,
+        delivered: queued,
+        wall_ns_per_frame: ns_tx,
+        mpps: 1e3 / ns_tx,
+    });
+
+    let out = Output {
+        schema: "norman-bench-pr3-v1",
+        traced_overhead_pct,
+        experiments,
+        stage_latency,
+        trace_counters,
+    };
+
+    let mut table = bench::Table::new(
+        "PR3 — dataplane throughput",
+        &["experiment", "frames", "ns/frame", "Mpps"],
+    );
+    for e in &out.experiments {
+        table.row(&[
+            e.name.clone(),
+            e.frames.to_string(),
+            format!("{:.1}", e.wall_ns_per_frame),
+            format!("{:.2}", e.mpps),
+        ]);
+    }
+    table.print();
+    let mut lat = bench::Table::new(
+        "PR3 — per-stage latency (virtual ns, from the telemetry registry)",
+        &["histogram", "count", "mean", "p50", "p99", "max"],
+    );
+    for h in &out.stage_latency {
+        lat.row(&[
+            h.hist.clone(),
+            h.count.to_string(),
+            format!("{:.1}", h.mean_ns),
+            format!("{:.1}", h.p50_ns),
+            format!("{:.1}", h.p99_ns),
+            format!("{:.1}", h.max_ns),
+        ]);
+    }
+    lat.print();
+    println!(
+        "\ntracing overhead on the RX fast path: {traced_overhead_pct:.1}% (enabled vs disabled)"
+    );
+
+    // The canonical tracked artifact at the repo root, plus the usual
+    // results/ mirror.
+    let json = serde_json::to_string_pretty(&out).expect("serialize");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR3.json");
+    std::fs::write(&root, &json).expect("write BENCH_PR3.json");
+    println!("[perf baseline written to {}]", root.display());
+    bench::write_json("exp_pr3_bench", &out);
+}

@@ -15,6 +15,7 @@ use overlay::{verify, PktCtx, Program, Verdict, Vm};
 use pkt::{FiveTuple, FrameMeta, IpProto, Packet, PktError};
 use qdisc::{QPkt, Qdisc, Wfq};
 use sim::{Dur, Link, Time};
+use telemetry::{DropCause, HistId, Owner, Registry, Stage, Telemetry, TraceEvent, TraceVerdict};
 
 use crate::flowtable::{ConnEntry, ConnId, FlowTable};
 use crate::notify::{Notification, NotifyKind, NotifyQueue};
@@ -120,6 +121,64 @@ pub struct NicStats {
     pub bitstream_reprograms: u64,
 }
 
+impl NicStats {
+    /// Registers every counter into `reg` under `nic.*` keys — the
+    /// unified-registry view of this struct.
+    pub fn fill_registry(&self, reg: &mut Registry) {
+        reg.set_counter("nic.rx.frames", self.rx_frames);
+        reg.set_counter("nic.rx.delivered", self.rx_delivered);
+        reg.set_counter("nic.rx.slowpath", self.rx_slowpath);
+        reg.set_counter("nic.rx.filtered", self.rx_filtered);
+        reg.set_counter("nic.rx.malformed", self.rx_malformed);
+        reg.set_counter("nic.rx.bad_checksum", self.rx_bad_checksum);
+        reg.set_counter("nic.dropped_reprogramming", self.dropped_reprogramming);
+        reg.set_counter("nic.tx.frames", self.tx_frames);
+        reg.set_counter("nic.tx.filtered", self.tx_filtered);
+        reg.set_counter("nic.tx.sent", self.tx_sent);
+        reg.set_counter("nic.program_swaps", self.program_swaps);
+        reg.set_counter("nic.bitstream_reprograms", self.bitstream_reprograms);
+    }
+}
+
+/// Pre-registered stage-latency histograms for the RX pipeline.
+struct NicHists {
+    parse: HistId,
+    lookup: HistId,
+    overlay: HistId,
+    latency: HistId,
+}
+
+fn register_nic_hists(tel: &Telemetry) -> NicHists {
+    NicHists {
+        parse: tel.register_hist("lat.nic.parse"),
+        lookup: tel.register_hist("lat.nic.lookup"),
+        overlay: tel.register_hist("lat.nic.overlay"),
+        latency: tel.register_hist("lat.nic.rx_total"),
+    }
+}
+
+/// Builds one lifecycle event (shared by every emission site; only runs
+/// when tracing is enabled, via [`Telemetry::emit`]'s closure).
+fn trace_ev(
+    frame_id: u64,
+    at: Time,
+    stage: Stage,
+    verdict: TraceVerdict,
+    meta: Option<&FrameMeta>,
+    len: u32,
+    attr: Option<(u32, u32, &str)>,
+) -> TraceEvent {
+    TraceEvent {
+        frame_id,
+        at,
+        stage,
+        verdict,
+        tuple: meta.and_then(|m| m.tuple),
+        len,
+        owner: attr.map(|(uid, pid, comm)| Owner::new(uid, pid, comm)),
+    }
+}
+
 /// The SmartNIC.
 pub struct SmartNic {
     cfg: NicConfig,
@@ -141,8 +200,16 @@ pub struct SmartNic {
     pipeline_free: Time,
     frozen_until: Time,
     next_pkt_id: u64,
-    tx_pending: HashMap<u64, ConnId>,
+    /// Scheduler packet id → (originating connection, telemetry frame
+    /// id), so departures can be attributed and traced.
+    tx_pending: HashMap<u64, (ConnId, u64)>,
     stats: NicStats,
+    tel: Telemetry,
+    tel_hists: NicHists,
+    /// Counter snapshot taken when the telemetry hub was attached (or the
+    /// trace last restarted); audit cross-checks compare the ledger
+    /// against deltas from here.
+    tel_baseline: NicStats,
 }
 
 impl SmartNic {
@@ -152,6 +219,8 @@ impl SmartNic {
         let sram = Sram::new(cfg.sram_bytes);
         let link = Link::new(cfg.gbps, cfg.propagation);
         let scheduler = Wfq::new(&[1.0], cfg.tx_queue_limit);
+        let tel = Telemetry::new();
+        let tel_hists = register_nic_hists(&tel);
         SmartNic {
             sniffer: Sniffer::new(cfg.sniffer_capacity),
             sram,
@@ -169,8 +238,51 @@ impl SmartNic {
             next_pkt_id: 0,
             tx_pending: HashMap::new(),
             stats: NicStats::default(),
+            tel,
+            tel_hists,
+            tel_baseline: NicStats::default(),
             cfg,
         }
+    }
+
+    /// Attaches a shared telemetry hub (replacing the NIC's private,
+    /// disabled default), re-registers the stage histograms there, and
+    /// snapshots current counters as the audit baseline.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel_hists = register_nic_hists(&tel);
+        self.tel = tel;
+        self.tel_baseline = self.stats;
+    }
+
+    /// Returns the telemetry hub handle.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Re-snapshots the counters as the baseline the telemetry ledger is
+    /// audited against. Call when (re)starting a trace mid-run, after
+    /// clearing the hub.
+    pub fn mark_telemetry_baseline(&mut self) {
+        self.tel_baseline = self.stats;
+    }
+
+    /// Registers the NIC's counters, scheduler stats, sniffer stats and
+    /// SRAM occupancy into the unified metrics registry.
+    pub fn fill_registry(&self, reg: &mut Registry) {
+        self.stats.fill_registry(reg);
+        self.scheduler.stats().fill_registry(reg, "nic.sched");
+        for (i, b) in self.scheduler_class_bytes().iter().enumerate() {
+            reg.set_counter(&format!("nic.sched.class{i}.bytes_sent"), *b);
+        }
+        let (captured, dropped) = self.sniffer.counters();
+        reg.set_counter("nic.sniffer.captured", captured);
+        reg.set_counter("nic.sniffer.dropped", dropped);
+        reg.set_gauge(
+            "nic.sram.used_frac",
+            self.sram.used() as f64 / self.cfg.sram_bytes as f64,
+        );
+        reg.set_counter("nic.flows.exact", self.flows.num_exact() as u64);
+        reg.set_counter("nic.flows.listeners", self.flows.num_listeners() as u64);
     }
 
     /// Returns the configuration.
@@ -541,6 +653,82 @@ impl SmartNic {
             ));
         }
 
+        // Second, independent ledger: when tracing is on, the telemetry
+        // stage totals (accumulated since the trace baseline) must agree
+        // with the dataplane's own counters, and every admitted frame
+        // must terminate in exactly one of deliver/slowpath/drop.
+        if self.tel.is_enabled() {
+            let b = &self.tel_baseline;
+            let s = &self.stats;
+            let stage = |st: Stage| self.tel.stage_count(st);
+            let checks = [
+                (
+                    "rx_ingress vs rx_frames",
+                    stage(Stage::RxIngress),
+                    s.rx_frames - b.rx_frames,
+                ),
+                (
+                    "rx_deliver vs rx_delivered",
+                    stage(Stage::RxDeliver),
+                    s.rx_delivered - b.rx_delivered,
+                ),
+                (
+                    "rx_slowpath vs rx_slowpath",
+                    stage(Stage::RxSlowPath),
+                    s.rx_slowpath - b.rx_slowpath,
+                ),
+                (
+                    "tx_offer vs tx_frames",
+                    stage(Stage::TxOffer),
+                    s.tx_frames - b.tx_frames,
+                ),
+                (
+                    "tx_depart vs tx_sent",
+                    stage(Stage::TxDepart),
+                    s.tx_sent - b.tx_sent,
+                ),
+                (
+                    "drop(malformed) vs rx_malformed+rx_bad_checksum",
+                    self.tel.drop_count(DropCause::Malformed),
+                    (s.rx_malformed - b.rx_malformed) + (s.rx_bad_checksum - b.rx_bad_checksum),
+                ),
+                (
+                    "drop(filter) vs rx_filtered+tx_filtered",
+                    self.tel.drop_count(DropCause::Filter),
+                    (s.rx_filtered - b.rx_filtered) + (s.tx_filtered - b.tx_filtered),
+                ),
+                (
+                    "drop(reprogramming) vs dropped_reprogramming",
+                    self.tel.drop_count(DropCause::Reprogramming),
+                    s.dropped_reprogramming - b.dropped_reprogramming,
+                ),
+            ];
+            for (what, ledger, counters) in checks {
+                if ledger != counters {
+                    violations.push(format!(
+                        "telemetry {what}: ledger {ledger} != counters {counters}"
+                    ));
+                }
+            }
+            let rx_terminal =
+                stage(Stage::RxDeliver) + stage(Stage::RxSlowPath) + stage(Stage::RxDrop);
+            if stage(Stage::RxIngress) != rx_terminal {
+                violations.push(format!(
+                    "RX conservation: {} ingress events != {} terminal (deliver+slowpath+drop)",
+                    stage(Stage::RxIngress),
+                    rx_terminal
+                ));
+            }
+            let tx_terminal = stage(Stage::TxQueue) + stage(Stage::TxDrop);
+            if stage(Stage::TxOffer) != tx_terminal {
+                violations.push(format!(
+                    "TX conservation: {} offer events != {} terminal (queue+drop)",
+                    stage(Stage::TxOffer),
+                    tx_terminal
+                ));
+            }
+        }
+
         violations
     }
 
@@ -608,6 +796,36 @@ impl SmartNic {
                 .sniffer
                 .tap_unparsed(now, Direction::Rx, packet, e, None),
         }
+        let fid = self
+            .tel
+            .adopt_frame_id(meta.ok().map(|m| m.frame_id).unwrap_or(0));
+        let meta_out = meta.ok().copied().map(|mut m| {
+            m.frame_id = fid;
+            m
+        });
+        let len = packet.len() as u32;
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                now,
+                Stage::RxIngress,
+                TraceVerdict::Pass,
+                meta_out.as_ref(),
+                len,
+                None,
+            )
+        });
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                start + latency,
+                Stage::RxDrop,
+                TraceVerdict::Drop(DropCause::Malformed),
+                meta_out.as_ref(),
+                len,
+                None,
+            )
+        });
         RxResult {
             disposition: RxDisposition::Drop {
                 reason: DropReason::Malformed,
@@ -615,14 +833,38 @@ impl SmartNic {
             ready_at: start + latency,
             latency,
             interrupt: false,
-            meta: meta.ok().copied(),
+            meta: meta_out,
         }
     }
 
     /// The reprogramming-window drop (dataplane frozen for a bitstream
     /// reprogram): the frame never enters the pipeline.
-    fn rx_frozen_drop(&mut self, now: Time) -> RxResult {
+    fn rx_frozen_drop(&mut self, packet: &Packet, now: Time) -> RxResult {
         self.stats.dropped_reprogramming += 1;
+        let fid = self.tel.alloc_frame_id();
+        let len = packet.len() as u32;
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                now,
+                Stage::RxIngress,
+                TraceVerdict::Pass,
+                None,
+                len,
+                None,
+            )
+        });
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                now,
+                Stage::RxDrop,
+                TraceVerdict::Drop(DropCause::Reprogramming),
+                None,
+                len,
+                None,
+            )
+        });
         RxResult {
             disposition: RxDisposition::Drop {
                 reason: DropReason::Reprogramming,
@@ -642,6 +884,7 @@ impl SmartNic {
     /// built from garbage bytes.
     ///
     /// Returns `Err(rx_result)` when the frame was consumed as a drop.
+    #[allow(clippy::result_large_err)] // Err is the fully-formed per-frame report
     fn rx_parse(&mut self, packet: &Packet, now: Time) -> Result<FrameMeta, RxResult> {
         match FrameMeta::of(packet) {
             Ok(m) if !m.l4_checksum_ok => {
@@ -660,7 +903,7 @@ impl SmartNic {
     pub fn rx(&mut self, packet: &Packet, now: Time) -> RxResult {
         self.stats.rx_frames += 1;
         if now < self.frozen_until {
-            return self.rx_frozen_drop(now);
+            return self.rx_frozen_drop(packet, now);
         }
         let meta = match self.rx_parse(packet, now) {
             Ok(m) => m,
@@ -676,10 +919,16 @@ impl SmartNic {
     fn rx_finish(
         &mut self,
         packet: &Packet,
-        meta: FrameMeta,
+        mut meta: FrameMeta,
         conn: Option<ConnId>,
         now: Time,
     ) -> RxResult {
+        // Tag the frame for lifecycle tracing: adopt an id assigned by an
+        // upstream stage (e.g. a NAT box sharing the hub) or allocate one.
+        meta.frame_id = self.tel.adopt_frame_id(meta.frame_id);
+        let fid = meta.frame_id;
+        let len = packet.len() as u32;
+
         // Borrow the entry in place: `self.flows` is a distinct field from
         // the sniffer/stats/notify state mutated below, so no clone of the
         // (comm-string-carrying) entry is needed.
@@ -692,7 +941,50 @@ impl SmartNic {
         self.sniffer
             .tap(now, Direction::Rx, packet, &meta, attribution);
 
+        // Lifecycle: admission, the parse stage, and flow-table steering.
+        // Ownership is joined from the flow-table entry the kernel
+        // installed — the paper's process view, with no kernel round-trip.
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                now,
+                Stage::RxIngress,
+                TraceVerdict::Pass,
+                Some(&meta),
+                len,
+                attribution,
+            )
+        });
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                now,
+                Stage::RxParse,
+                TraceVerdict::Pass,
+                Some(&meta),
+                len,
+                attribution,
+            )
+        });
+        let lookup_verdict = if entry_disp.is_some() {
+            TraceVerdict::Hit
+        } else {
+            TraceVerdict::Miss
+        };
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                now,
+                Stage::RxFlowLookup,
+                lookup_verdict,
+                Some(&meta),
+                len,
+                attribution,
+            )
+        });
+
         // Overlay stages.
+        let filter_loaded = self.ingress_filter.is_some();
         let mut overlay_cycles = 0u64;
         let mut verdict = Verdict::Pass;
         if let Some(vm) = self.ingress_filter.as_mut() {
@@ -703,6 +995,19 @@ impl SmartNic {
         for vm in &mut self.accounting {
             let (_, c) = Self::run_vm(vm, &ctx);
             overlay_cycles += c;
+        }
+
+        // The filter stage event. A dropping verdict is *not* recorded
+        // here — the terminal RxDrop event carries the drop cause, so the
+        // ledger counts each dropped frame exactly once.
+        if filter_loaded && verdict != Verdict::Drop {
+            let fv = if verdict == Verdict::SlowPath {
+                TraceVerdict::SlowPath
+            } else {
+                TraceVerdict::Pass
+            };
+            self.tel
+                .emit(|| trace_ev(fid, now, Stage::RxFilter, fv, Some(&meta), len, attribution));
         }
 
         // Timing: latency = all stages; occupancy = the overlay (the
@@ -717,6 +1022,16 @@ impl SmartNic {
         let start = now.max(self.pipeline_free);
         self.pipeline_free = start + occupancy;
         let ready_at = start + latency;
+
+        // Per-stage virtual-time latencies (gated on the same flag).
+        self.tel
+            .record_hist(self.tel_hists.parse, self.cfg.parse_cost);
+        self.tel
+            .record_hist(self.tel_hists.lookup, self.cfg.lookup_cost);
+        if overlay_time > Dur::ZERO {
+            self.tel.record_hist(self.tel_hists.overlay, overlay_time);
+        }
+        self.tel.record_hist(self.tel_hists.latency, latency);
 
         let disposition = match (verdict, entry_disp) {
             (Verdict::Drop, _) => {
@@ -743,6 +1058,25 @@ impl SmartNic {
             }
         };
 
+        // The terminal lifecycle event: exactly one of deliver, slowpath
+        // or drop per admitted frame (the conservation ledger).
+        let (term_stage, term_verdict) = match disposition {
+            RxDisposition::Deliver { .. } => (Stage::RxDeliver, TraceVerdict::Pass),
+            RxDisposition::SlowPath { .. } => (Stage::RxSlowPath, TraceVerdict::SlowPath),
+            RxDisposition::Drop { reason } => (Stage::RxDrop, TraceVerdict::Drop(reason.cause())),
+        };
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                ready_at,
+                term_stage,
+                term_verdict,
+                Some(&meta),
+                len,
+                attribution,
+            )
+        });
+
         // Post notifications for delivered packets on notify connections.
         let mut interrupt = false;
         if let RxDisposition::Deliver { conn, notify: true } = disposition {
@@ -755,6 +1089,17 @@ impl SmartNic {
                     conn,
                     kind: NotifyKind::RxReady,
                     at: ready_at,
+                });
+                self.tel.emit(|| {
+                    trace_ev(
+                        fid,
+                        ready_at,
+                        Stage::Notify,
+                        TraceVerdict::Pass,
+                        Some(&meta),
+                        len,
+                        attribution,
+                    )
                 });
             }
         }
@@ -780,7 +1125,10 @@ impl SmartNic {
     pub fn rx_batch(&mut self, packets: &[Packet], now: Time) -> Vec<RxResult> {
         self.stats.rx_frames += packets.len() as u64;
         if now < self.frozen_until {
-            return packets.iter().map(|_| self.rx_frozen_drop(now)).collect();
+            return packets
+                .iter()
+                .map(|p| self.rx_frozen_drop(p, now))
+                .collect();
         }
 
         // Stage 1: a side-effect-free parser sweep (build-time descriptors
@@ -837,8 +1185,35 @@ impl SmartNic {
         now: Time,
     ) -> Result<TxDisposition, NicError> {
         self.stats.tx_frames += 1;
+        let meta = FrameMeta::of(packet);
+        let fid = self
+            .tel
+            .adopt_frame_id(meta.as_ref().ok().map(|m| m.frame_id).unwrap_or(0));
+        let len = packet.len() as u32;
         if now < self.frozen_until {
             self.stats.dropped_reprogramming += 1;
+            self.tel.emit(|| {
+                trace_ev(
+                    fid,
+                    now,
+                    Stage::TxOffer,
+                    TraceVerdict::Pass,
+                    meta.as_ref().ok(),
+                    len,
+                    None,
+                )
+            });
+            self.tel.emit(|| {
+                trace_ev(
+                    fid,
+                    now,
+                    Stage::TxDrop,
+                    TraceVerdict::Drop(DropCause::Reprogramming),
+                    meta.as_ref().ok(),
+                    len,
+                    None,
+                )
+            });
             return Ok(TxDisposition::Drop {
                 reason: DropReason::Reprogramming,
             });
@@ -846,11 +1221,46 @@ impl SmartNic {
         // Borrow the entry in place: the overlay VMs, scheduler, and
         // sniffer are all distinct NIC fields, so the (comm-string-
         // carrying) entry never needs cloning on the TX hot path.
-        let entry = self.flows.entry(conn).ok_or(NicError::NoSuchConn(conn))?;
-        let meta = FrameMeta::of(packet);
+        let Some(entry) = self.flows.entry(conn) else {
+            self.tel.emit(|| {
+                trace_ev(
+                    fid,
+                    now,
+                    Stage::TxOffer,
+                    TraceVerdict::Pass,
+                    meta.as_ref().ok(),
+                    len,
+                    None,
+                )
+            });
+            self.tel.emit(|| {
+                trace_ev(
+                    fid,
+                    now,
+                    Stage::TxDrop,
+                    TraceVerdict::Drop(DropCause::StaleConn),
+                    meta.as_ref().ok(),
+                    len,
+                    None,
+                )
+            });
+            return Err(NicError::NoSuchConn(conn));
+        };
         let ctx = Self::build_ctx(meta.as_ref().ok(), packet.len(), Some(entry), true, now);
         let attribution = (entry.uid, entry.pid, entry.comm.as_str());
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                now,
+                Stage::TxOffer,
+                TraceVerdict::Pass,
+                meta.as_ref().ok(),
+                len,
+                Some(attribution),
+            )
+        });
 
+        let filter_loaded = self.egress_filter.is_some();
         let mut verdict = Verdict::Pass;
         if let Some(vm) = self.egress_filter.as_mut() {
             let (v, _) = Self::run_vm(vm, &ctx);
@@ -861,8 +1271,32 @@ impl SmartNic {
         }
         if verdict == Verdict::Drop {
             self.stats.tx_filtered += 1;
+            self.tel.emit(|| {
+                trace_ev(
+                    fid,
+                    now,
+                    Stage::TxDrop,
+                    TraceVerdict::Drop(DropCause::Filter),
+                    meta.as_ref().ok(),
+                    len,
+                    Some(attribution),
+                )
+            });
             return Ok(TxDisposition::Drop {
                 reason: DropReason::Filter,
+            });
+        }
+        if filter_loaded {
+            self.tel.emit(|| {
+                trace_ev(
+                    fid,
+                    now,
+                    Stage::TxFilter,
+                    TraceVerdict::Pass,
+                    meta.as_ref().ok(),
+                    len,
+                    Some(attribution),
+                )
             });
         }
 
@@ -880,6 +1314,17 @@ impl SmartNic {
         } else {
             0
         };
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                now,
+                Stage::TxClass,
+                TraceVerdict::Class(class),
+                meta.as_ref().ok(),
+                len,
+                Some(attribution),
+            )
+        });
 
         // The TX tap sees frames accepted for transmission.
         match &meta {
@@ -896,10 +1341,34 @@ impl SmartNic {
         let qpkt = QPkt::new(pkt_id, packet.len() as u32, now).with_class(class);
         match self.scheduler.enqueue(qpkt, now) {
             Ok(()) => {
-                self.tx_pending.insert(pkt_id, conn);
+                self.tx_pending.insert(pkt_id, (conn, fid));
+                self.tel.emit(|| {
+                    trace_ev(
+                        fid,
+                        now,
+                        Stage::TxQueue,
+                        TraceVerdict::Class(class),
+                        meta.as_ref().ok(),
+                        len,
+                        Some(attribution),
+                    )
+                });
                 Ok(TxDisposition::Queued { class })
             }
-            Err(_) => Err(NicError::TxQueueFull),
+            Err(e) => {
+                self.tel.emit(|| {
+                    trace_ev(
+                        fid,
+                        now,
+                        Stage::TxDrop,
+                        TraceVerdict::Drop(e.cause()),
+                        meta.as_ref().ok(),
+                        len,
+                        Some(attribution),
+                    )
+                });
+                Err(NicError::TxQueueFull)
+            }
         }
     }
 
@@ -912,13 +1381,40 @@ impl SmartNic {
         now: Time,
     ) -> Result<TxDisposition, NicError> {
         self.stats.tx_frames += 1;
+        let meta = FrameMeta::of(packet);
+        let fid = self
+            .tel
+            .adopt_frame_id(meta.as_ref().ok().map(|m| m.frame_id).unwrap_or(0));
+        let len = packet.len() as u32;
+        let kernel_attr = Some((0u32, 0u32, "kernel"));
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                now,
+                Stage::TxOffer,
+                TraceVerdict::Pass,
+                meta.as_ref().ok(),
+                len,
+                kernel_attr,
+            )
+        });
         if now < self.frozen_until {
             self.stats.dropped_reprogramming += 1;
+            self.tel.emit(|| {
+                trace_ev(
+                    fid,
+                    now,
+                    Stage::TxDrop,
+                    TraceVerdict::Drop(DropCause::Reprogramming),
+                    meta.as_ref().ok(),
+                    len,
+                    kernel_attr,
+                )
+            });
             return Ok(TxDisposition::Drop {
                 reason: DropReason::Reprogramming,
             });
         }
-        let meta = FrameMeta::of(packet);
         let mut ctx = Self::build_ctx(meta.as_ref().ok(), packet.len(), None, true, now);
         ctx.uid = 0; // the kernel
         let mut verdict = Verdict::Pass;
@@ -928,6 +1424,17 @@ impl SmartNic {
         }
         if verdict == Verdict::Drop {
             self.stats.tx_filtered += 1;
+            self.tel.emit(|| {
+                trace_ev(
+                    fid,
+                    now,
+                    Stage::TxDrop,
+                    TraceVerdict::Drop(DropCause::Filter),
+                    meta.as_ref().ok(),
+                    len,
+                    kernel_attr,
+                )
+            });
             return Ok(TxDisposition::Drop {
                 reason: DropReason::Filter,
             });
@@ -946,10 +1453,34 @@ impl SmartNic {
         let qpkt = QPkt::new(pkt_id, packet.len() as u32, now);
         match self.scheduler.enqueue(qpkt, now) {
             Ok(()) => {
-                self.tx_pending.insert(pkt_id, ConnId(u64::MAX));
+                self.tx_pending.insert(pkt_id, (ConnId(u64::MAX), fid));
+                self.tel.emit(|| {
+                    trace_ev(
+                        fid,
+                        now,
+                        Stage::TxQueue,
+                        TraceVerdict::Class(0),
+                        meta.as_ref().ok(),
+                        len,
+                        kernel_attr,
+                    )
+                });
                 Ok(TxDisposition::Queued { class: 0 })
             }
-            Err(_) => Err(NicError::TxQueueFull),
+            Err(e) => {
+                self.tel.emit(|| {
+                    trace_ev(
+                        fid,
+                        now,
+                        Stage::TxDrop,
+                        TraceVerdict::Drop(e.cause()),
+                        meta.as_ref().ok(),
+                        len,
+                        kernel_attr,
+                    )
+                });
+                Err(NicError::TxQueueFull)
+            }
         }
     }
 
@@ -964,9 +1495,23 @@ impl SmartNic {
             return None;
         }
         let pkt = self.scheduler.dequeue(now)?;
-        let conn = self.tx_pending.remove(&pkt.id).unwrap_or(ConnId(u64::MAX));
+        let (conn, fid) = self
+            .tx_pending
+            .remove(&pkt.id)
+            .unwrap_or((ConnId(u64::MAX), 0));
         let arrives_at = self.link.transmit(now, u64::from(pkt.len));
         self.stats.tx_sent += 1;
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                now,
+                Stage::TxDepart,
+                TraceVerdict::Pass,
+                None,
+                pkt.len,
+                None,
+            )
+        });
         Some(TxDeparture {
             pkt_id: pkt.id,
             conn,

@@ -12,6 +12,8 @@ use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
 use pkt::{mutate, Frame, IpProto, Packet};
+use sim::Time;
+use telemetry::{Stage, Telemetry, TraceEvent, TraceVerdict};
 
 use crate::sram::{Sram, SramCategory, SramError};
 
@@ -71,6 +73,7 @@ pub struct NatTable {
     translated_out: u64,
     translated_in: u64,
     misses: u64,
+    tel: Telemetry,
 }
 
 impl NatTable {
@@ -84,7 +87,29 @@ impl NatTable {
             translated_out: 0,
             translated_in: 0,
             misses: 0,
+            tel: Telemetry::new(),
         }
+    }
+
+    /// Attaches a shared telemetry hub so translations appear in frame
+    /// lifecycles (stage [`Stage::RxNat`]), with the NAT engine tagging
+    /// untagged frames and downstream stages adopting the same id.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
+    }
+
+    /// Emits the RxNat lifecycle event for a translated (or missed)
+    /// frame.
+    fn trace(&self, fid: u64, at: Time, verdict: TraceVerdict, frame: &Frame) {
+        self.tel.emit(|| TraceEvent {
+            frame_id: fid,
+            at,
+            stage: Stage::RxNat,
+            verdict,
+            tuple: frame.meta.tuple,
+            len: frame.len() as u32,
+            owner: None,
+        });
     }
 
     /// Returns the external (masquerade) address.
@@ -139,33 +164,37 @@ impl NatTable {
         sram: &mut Sram,
     ) -> Result<Packet, NatError> {
         let frame = Frame::ingress(packet.clone()).map_err(|_| NatError::NotTranslatable)?;
-        Ok(self.translate_outbound_frame(&frame, sram)?.pkt)
+        Ok(self.translate_outbound_frame(&frame, sram, Time::ZERO)?.pkt)
     }
 
     /// The hot path: translates an outbound frame using its parse-once
     /// descriptor — no parse, a single buffer copy, RFC 1624 checksum
     /// deltas, and an incrementally patched descriptor on the result.
+    /// `now` stamps the lifecycle trace event when telemetry is attached.
     pub fn translate_outbound_frame(
         &mut self,
         frame: &Frame,
         sram: &mut Sram,
+        now: Time,
     ) -> Result<Frame, NatError> {
         let tuple = frame.meta.tuple.ok_or(NatError::NotTranslatable)?;
         let key = (tuple.src_ip, tuple.src_port, tuple.proto);
-        let ext_port = match self.outbound.get(&key) {
-            Some(&p) => p,
+        let (ext_port, verdict) = match self.outbound.get(&key) {
+            Some(&p) => (p, TraceVerdict::Hit),
             None => {
                 let p = self.alloc_port(tuple.proto)?;
                 sram.alloc(SramCategory::Nat, NAT_ENTRY_BYTES)?;
                 self.outbound.insert(key, p);
                 self.inbound
                     .insert((tuple.proto, p), (tuple.src_ip, tuple.src_port));
-                p
+                (p, TraceVerdict::Miss)
             }
         };
         let out = mutate::rewrite_endpoints(frame, Some((self.external_ip, ext_port)), None)
             .map_err(|_| NatError::NotTranslatable)?;
         self.translated_out += 1;
+        let out = self.tag_frame(out);
+        self.trace(out.meta.frame_id, now, verdict, &out);
         Ok(out)
     }
 
@@ -174,15 +203,17 @@ impl NatTable {
     /// [`NatTable::translate_inbound_frame`].
     pub fn translate_inbound(&mut self, packet: &Packet) -> Result<Packet, NatError> {
         let frame = Frame::ingress(packet.clone()).map_err(|_| NatError::NotTranslatable)?;
-        Ok(self.translate_inbound_frame(&frame)?.pkt)
+        Ok(self.translate_inbound_frame(&frame, Time::ZERO)?.pkt)
     }
 
     /// The inbound hot path, descriptor-driven like
     /// [`NatTable::translate_outbound_frame`].
-    pub fn translate_inbound_frame(&mut self, frame: &Frame) -> Result<Frame, NatError> {
+    pub fn translate_inbound_frame(&mut self, frame: &Frame, now: Time) -> Result<Frame, NatError> {
         let tuple = frame.meta.tuple.ok_or(NatError::NotTranslatable)?;
         let Some(&(int_ip, int_port)) = self.inbound.get(&(tuple.proto, tuple.dst_port)) else {
             self.misses += 1;
+            let fid = self.tel.adopt_frame_id(frame.meta.frame_id);
+            self.trace(fid, now, TraceVerdict::Miss, frame);
             return Err(NatError::NoMapping {
                 proto: tuple.proto,
                 port: tuple.dst_port,
@@ -191,7 +222,33 @@ impl NatTable {
         let out = mutate::rewrite_endpoints(frame, None, Some((int_ip, int_port)))
             .map_err(|_| NatError::NotTranslatable)?;
         self.translated_in += 1;
+        let out = self.tag_frame(out);
+        self.trace(out.meta.frame_id, now, TraceVerdict::Hit, &out);
         Ok(out)
+    }
+
+    /// Ensures the (rewritten) frame carries a nonzero lifecycle id,
+    /// allocating one from the hub when the input was untagged. The id
+    /// rides in the descriptor, so the NIC downstream adopts it.
+    fn tag_frame(&self, frame: Frame) -> Frame {
+        let fid = self.tel.adopt_frame_id(frame.meta.frame_id);
+        if fid == frame.meta.frame_id {
+            return frame;
+        }
+        let mut meta = frame.meta;
+        meta.frame_id = fid;
+        Frame {
+            pkt: frame.pkt.with_meta(meta),
+            meta,
+        }
+    }
+
+    /// Registers NAT counters and occupancy into the unified registry.
+    pub fn fill_registry(&self, reg: &mut telemetry::Registry) {
+        reg.set_counter("nat.translated_out", self.translated_out);
+        reg.set_counter("nat.translated_in", self.translated_in);
+        reg.set_counter("nat.misses", self.misses);
+        reg.set_counter("nat.mappings", self.inbound.len() as u64);
     }
 
     /// Expires the mapping for an internal endpoint, returning SRAM.

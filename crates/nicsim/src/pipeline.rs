@@ -107,6 +107,19 @@ pub enum DropReason {
     Malformed,
 }
 
+impl DropReason {
+    /// Maps this NIC-local reason onto the stack-wide telemetry
+    /// vocabulary, so trace consumers see one drop taxonomy.
+    pub fn cause(self) -> telemetry::DropCause {
+        match self {
+            DropReason::Filter => telemetry::DropCause::Filter,
+            DropReason::Reprogramming => telemetry::DropCause::Reprogramming,
+            DropReason::PolicyFault => telemetry::DropCause::PolicyFault,
+            DropReason::Malformed => telemetry::DropCause::Malformed,
+        }
+    }
+}
+
 /// Result of ingress processing.
 #[derive(Clone, Debug)]
 pub struct RxResult {

@@ -27,6 +27,7 @@ use overlay::builtins;
 use pkt::{FiveTuple, IpProto, Mac, Packet};
 use qdisc::compile;
 use sim::{Dur, Time};
+use telemetry::{DropCause, Owner, Registry, Snapshot, Stage, Telemetry, TraceEvent, TraceVerdict};
 
 use crate::policy::{PortReservation, ShapingPolicy};
 
@@ -242,19 +243,43 @@ pub struct Host {
     /// Kernel CPU consumed by the slow path and control plane.
     pub kernel_cpu: Dur,
     stats: HostStats,
+    /// The shared telemetry hub every layer (NIC, stack, host) emits into.
+    tel: Telemetry,
+    /// Frame ids currently sitting in each RX ring, FIFO order — lets
+    /// `app_recv` attribute the dequeued slot to the frame that filled it
+    /// (rings carry bytes, not descriptors). Maintained only while
+    /// tracing is enabled.
+    ring_frame_ids: HashMap<RingKey, VecDeque<u64>>,
+    /// Host counters at the moment tracing was last enabled, so audits
+    /// compare the event ledger against counter *deltas*.
+    tel_baseline: HostStats,
 }
 
 impl Host {
     /// Creates a host.
+    ///
+    /// One telemetry hub is shared by every layer — the NIC, the
+    /// software stack, and the host's own ring bookkeeping all emit into
+    /// it, so a single frame id threads the full lifecycle. Tracing
+    /// starts disabled (free dataplane) unless `NORMAN_TELEMETRY=1` is
+    /// set in the environment.
     pub fn new(cfg: HostConfig) -> Host {
+        let tel = Telemetry::new();
+        if std::env::var("NORMAN_TELEMETRY").as_deref() == Ok("1") {
+            tel.set_enabled(true);
+        }
+        let mut nic = SmartNic::new(cfg.nic.clone());
+        nic.set_telemetry(tel.clone());
+        let mut stack = NetStack::new();
+        stack.set_telemetry(tel.clone());
         Host {
             procs: ProcessTable::new(),
             cgroups: CgroupTree::new(),
             sched: Scheduler::with_defaults(),
             llc: Llc::new(cfg.llc.clone()),
             mmio: MmioBus::new(),
-            nic: SmartNic::new(cfg.nic.clone()),
-            stack: NetStack::new(),
+            nic,
+            stack,
             arp: ArpCache::new(cfg.ip, cfg.mac),
             conns: HashMap::new(),
             listeners: HashMap::new(),
@@ -268,6 +293,9 @@ impl Host {
             ring_ops_since_doorbell: 0,
             kernel_cpu: Dur::ZERO,
             stats: HostStats::default(),
+            tel,
+            ring_frame_ids: HashMap::new(),
+            tel_baseline: HostStats::default(),
             cfg,
         }
     }
@@ -275,6 +303,102 @@ impl Host {
     /// Returns host counters.
     pub fn stats(&self) -> HostStats {
         self.stats
+    }
+
+    /// Returns the shared telemetry handle (the hub every layer emits
+    /// into).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.tel
+    }
+
+    /// Starts (or restarts) per-packet lifecycle tracing: clears the
+    /// event buffer, rebaselines every layer's counters, and enables the
+    /// hub. The `ktrace` analogue of `tcpdump -i any` + `strace` in one.
+    pub fn start_trace(&mut self) {
+        self.tel.clear();
+        self.ring_frame_ids.clear();
+        self.tel.set_enabled(true);
+        self.nic.mark_telemetry_baseline();
+        self.tel_baseline = self.stats;
+    }
+
+    /// Stops tracing; the captured events remain queryable.
+    pub fn stop_trace(&mut self) {
+        self.tel.set_enabled(false);
+    }
+
+    fn owner_of(&self, pid: Pid) -> Option<Owner> {
+        self.procs
+            .get(pid)
+            .map(|p| Owner::new(p.cred.uid.0, pid.0, &p.comm))
+    }
+
+    /// Cross-checks the telemetry event ledger against the host's and
+    /// NIC's independently maintained counters. Returns every violated
+    /// invariant (empty = consistent). The trace ledger gives the audit
+    /// a second, structurally different account of the same dataplane,
+    /// so a bug has to corrupt both in the same way to hide.
+    pub fn audit(&self) -> Vec<String> {
+        let mut violations = self.nic.audit();
+        if !self.tel.is_enabled() {
+            return violations;
+        }
+        let mut check = |what: &str, ledger: u64, counters: u64| {
+            if ledger != counters {
+                violations.push(format!(
+                    "telemetry {what}: ledger {ledger} != counters {counters}"
+                ));
+            }
+        };
+        let d = |now: u64, base: u64| now.saturating_sub(base);
+        let ring_full = self.tel.drop_count(DropCause::RingFull);
+        let ring_enq_pass = self
+            .tel
+            .stage_count(Stage::RingEnqueue)
+            .saturating_sub(ring_full);
+        check(
+            "ring enqueue",
+            ring_enq_pass,
+            d(self.stats.fast_delivered, self.tel_baseline.fast_delivered),
+        );
+        check(
+            "ring-full drops",
+            ring_full,
+            d(self.stats.ring_drops, self.tel_baseline.ring_drops),
+        );
+        let queued: u64 = self.ring_frame_ids.values().map(|q| q.len() as u64).sum();
+        check(
+            "ring occupancy",
+            ring_enq_pass.saturating_sub(self.tel.stage_count(Stage::RingDequeue)),
+            queued,
+        );
+        violations
+    }
+
+    /// Builds one unified metrics snapshot across every layer: NIC
+    /// pipeline counters and stage histograms, scheduler classes,
+    /// software-stack counters, host delivery counters, and the trace
+    /// ledger itself. The single structured document the paper's
+    /// "one place to look" management tools read.
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut reg = Registry::new();
+        self.nic.fill_registry(&mut reg);
+        self.stack.fill_registry(&mut reg);
+        self.tel.fill_registry(&mut reg);
+        reg.set_counter("host.fast_delivered", self.stats.fast_delivered);
+        reg.set_counter("host.ring_drops", self.stats.ring_drops);
+        reg.set_counter("host.slowpath", self.stats.slowpath);
+        reg.set_counter("host.nic_dropped", self.stats.nic_dropped);
+        reg.set_counter("host.malformed_dropped", self.stats.malformed_dropped);
+        reg.set_counter("host.ring_missing", self.stats.ring_missing);
+        reg.set_counter("host.conns_refused", self.stats.conns_refused);
+        reg.set_counter("host.tx_deferred", self.stats.tx_deferred);
+        reg.set_counter("host.tx_retry_flushed", self.stats.tx_retry_flushed);
+        reg.set_counter("host.tx_retry_dropped", self.stats.tx_retry_dropped);
+        reg.set_counter("host.connections", self.conns.len() as u64);
+        reg.set_counter("host.tx_retry_len", self.tx_retry.len() as u64);
+        reg.set_gauge("host.kernel_cpu_us", self.kernel_cpu.as_us_f64());
+        reg.snapshot()
     }
 
     /// Returns how many TX frames currently wait in the reprogram-outage
@@ -514,6 +638,7 @@ impl Host {
         let _ = self.nic.close_connection(id);
         if let RingKey::Conn(_) = conn.ring_key {
             self.rings.remove(&conn.ring_key);
+            self.ring_frame_ids.remove(&conn.ring_key);
         }
         true
     }
@@ -643,15 +768,39 @@ impl Host {
                     report.outcome = DeliveryOutcome::SlowPath;
                     return report;
                 };
+                let fid = rx.meta.map_or(0, |m| m.frame_id);
+                let tuple = rx.meta.and_then(|m| m.tuple);
+                let len = packet.len() as u32;
                 match rx_ring.produce_dma(packet.len(), &mut self.llc, &mem) {
                     Ok(cost) => {
                         report.mem_cost = cost;
                         report.outcome = DeliveryOutcome::FastPath(conn);
                         self.stats.fast_delivered += 1;
+                        if self.tel.is_enabled() {
+                            self.ring_frame_ids.entry(key).or_default().push_back(fid);
+                            self.tel.emit(|| TraceEvent {
+                                frame_id: fid,
+                                at: rx.ready_at,
+                                stage: Stage::RingEnqueue,
+                                verdict: TraceVerdict::Pass,
+                                tuple,
+                                len,
+                                owner: None,
+                            });
+                        }
                     }
                     Err(_) => {
                         report.outcome = DeliveryOutcome::RingFull(conn);
                         self.stats.ring_drops += 1;
+                        self.tel.emit(|| TraceEvent {
+                            frame_id: fid,
+                            at: rx.ready_at,
+                            stage: Stage::RingEnqueue,
+                            verdict: TraceVerdict::Drop(DropCause::RingFull),
+                            tuple,
+                            len,
+                            owner: None,
+                        });
                         return report;
                     }
                 }
@@ -729,6 +878,32 @@ impl Host {
             Some((len, cost)) => {
                 let cpu = cost + self.doorbell_cost();
                 self.sched.charge_busy(pid, cpu);
+                if self.tel.is_enabled() {
+                    let fid = self
+                        .ring_frame_ids
+                        .get_mut(&key)
+                        .and_then(|q| q.pop_front())
+                        .unwrap_or(0);
+                    let owner = self.owner_of(pid);
+                    self.tel.emit(|| TraceEvent {
+                        frame_id: fid,
+                        at: now,
+                        stage: Stage::RingDequeue,
+                        verdict: TraceVerdict::Pass,
+                        tuple: None,
+                        len: len as u32,
+                        owner: None,
+                    });
+                    self.tel.emit(|| TraceEvent {
+                        frame_id: fid,
+                        at: now,
+                        stage: Stage::AppDeliver,
+                        verdict: TraceVerdict::Pass,
+                        tuple: None,
+                        len: len as u32,
+                        owner,
+                    });
+                }
                 RecvResult {
                     len: Some(len),
                     cpu,

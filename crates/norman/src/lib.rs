@@ -17,8 +17,10 @@
 //! * [`policy`] — the administrator-facing policy types (port
 //!   reservations, shaping policies) and how they lower onto the NIC.
 //! * [`tools`] — `ksniff` (tcpdump), `kfilter` (iptables), `kqdisc`
-//!   (tc), and `knetstat` (netstat): each routes through the control
-//!   plane, never the dataplane.
+//!   (tc), `knetstat` (netstat), and [`tools::trace`] (`ktrace`, the
+//!   per-packet lifecycle introspector the paper argues interposition
+//!   makes possible): each routes through the control plane, never the
+//!   dataplane.
 //! * [`lib_api`] — the Norman library: [`lib_api::NormanSocket`], a
 //!   POSIX-flavoured handle whose data operations never leave userspace
 //!   plus the NIC (§4.3).
@@ -36,3 +38,4 @@ pub use arch::{Architecture, Capabilities, DatapathKind};
 pub use host::{ConnectError, Connection, DeliveryReport, Host, HostConfig};
 pub use lib_api::NormanSocket;
 pub use policy::{PortReservation, ShapingPolicy};
+pub use telemetry::{DropCause, Owner, Snapshot, Stage, TraceEvent, TraceFilter, TraceVerdict};

@@ -1,4 +1,5 @@
-//! Administrative tools: `ksniff`, `kfilter`, `kqdisc`, `knetstat`.
+//! Administrative tools: `ksniff`, `kfilter`, `kqdisc`, `knetstat`,
+//! `trace` (`ktrace`).
 //!
 //! Each tool is the Norman analogue of a classic utility (tcpdump,
 //! iptables, tc, netstat) and works the way Figure 1 prescribes: the
@@ -231,6 +232,94 @@ pub mod knetstat {
     }
 }
 
+/// `trace` (`ktrace`) — the paper's missing tool: per-packet lifecycle
+/// introspection across the whole dataplane with process attribution.
+///
+/// Where `ksniff` gives the *global view* (every frame on the wire) and
+/// `knetstat` the *process view* (who owns which connection), `ktrace`
+/// joins them per packet: one query shows a frame's full path — NIC
+/// pipeline stages, NAT rewrites, ring DMA, notification, kernel
+/// delivery — with the owning (uid, pid, comm) and per-stage timing,
+/// filtered BPF-style by flow, owner, stage, or verdict.
+pub mod trace {
+    use super::*;
+    use telemetry::{Snapshot, TraceEvent, TraceFilter};
+
+    /// Starts (or restarts) lifecycle tracing.
+    pub fn start(host: &mut Host, cred: &Cred) -> Result<(), ToolError> {
+        require_root(cred, "ktrace")?;
+        host.start_trace();
+        Ok(())
+    }
+
+    /// Stops tracing; captured events stay queryable.
+    pub fn stop(host: &mut Host, cred: &Cred) -> Result<(), ToolError> {
+        require_root(cred, "ktrace")?;
+        host.stop_trace();
+        Ok(())
+    }
+
+    /// Returns every captured event matching `filter`, in emission
+    /// order.
+    pub fn query(
+        host: &Host,
+        cred: &Cred,
+        filter: &TraceFilter,
+    ) -> Result<Vec<TraceEvent>, ToolError> {
+        require_root(cred, "ktrace")?;
+        Ok(host.telemetry().query(filter))
+    }
+
+    /// Returns the full lifecycle of one frame id.
+    pub fn lifecycle(
+        host: &Host,
+        cred: &Cred,
+        frame_id: u64,
+    ) -> Result<Vec<TraceEvent>, ToolError> {
+        require_root(cred, "ktrace")?;
+        Ok(host.telemetry().lifecycle(frame_id))
+    }
+
+    /// Returns the unified cross-layer metrics snapshot.
+    pub fn metrics(host: &Host, cred: &Cred) -> Result<Snapshot, ToolError> {
+        require_root(cred, "ktrace")?;
+        Ok(host.metrics_snapshot())
+    }
+
+    /// Renders events as a human-readable trace, one line per stage,
+    /// with the virtual-time delta from the previous stage of the *same
+    /// frame* in the right-hand column.
+    pub fn render(events: &[TraceEvent]) -> String {
+        use std::collections::HashMap;
+        let mut out = String::from(
+            "frame     time_us      stage             verdict       owner              +delta_ns\n",
+        );
+        let mut last_at: HashMap<u64, sim::Time> = HashMap::new();
+        for e in events {
+            let delta = last_at
+                .get(&e.frame_id)
+                .map(|&prev| format!("{:+.1}", (e.at.0.saturating_sub(prev.0)) as f64 / 1000.0))
+                .unwrap_or_else(|| "-".to_string());
+            last_at.insert(e.frame_id, e.at);
+            let owner = e
+                .owner
+                .as_ref()
+                .map(|o| format!("{}/{}({})", o.uid, o.pid, o.comm))
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!(
+                "{:<9} {:<12.3} {:<17} {:<13} {:<18} {}\n",
+                e.frame_id,
+                e.at.0 as f64 / 1e6,
+                e.stage.name(),
+                e.verdict.to_string(),
+                owner,
+                delta
+            ));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +426,42 @@ mod tests {
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].0, Ipv4Addr::new(10, 0, 0, 2));
         assert!(knetstat::arp_cache(&h, &Cred::new(Uid(1001), "bob")).is_err());
+    }
+
+    #[test]
+    fn ktrace_requires_root_and_traces_a_lifecycle() {
+        use telemetry::{Stage, TraceFilter};
+        let (mut h, _) = host_with_conn();
+        let bob = Cred::new(Uid(1001), "bob");
+        assert_eq!(
+            trace::start(&mut h, &bob),
+            Err(ToolError::PermissionDenied { tool: "ktrace" })
+        );
+        let root = Cred::root();
+        trace::start(&mut h, &root).unwrap();
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(9), h.cfg.mac)
+            .ipv4(Ipv4Addr::new(10, 0, 0, 2), h.cfg.ip)
+            .udp(9000, 5432, b"query")
+            .build();
+        h.deliver_from_wire(&pkt, Time::ZERO);
+        // Owner filter: everything postgres touched.
+        let events = trace::query(&h, &root, &TraceFilter::any().with_comm("postgres")).unwrap();
+        assert!(!events.is_empty());
+        // The frame's lifecycle runs ingress → ring enqueue.
+        let fid = events[0].frame_id;
+        let life = trace::lifecycle(&h, &root, fid).unwrap();
+        let stages: Vec<Stage> = life.iter().map(|e| e.stage).collect();
+        assert_eq!(stages.first(), Some(&Stage::RxIngress));
+        assert_eq!(stages.last(), Some(&Stage::RingEnqueue));
+        let table = trace::render(&life);
+        assert!(table.contains("rx_ingress"));
+        assert!(table.contains("ring_enqueue"));
+        // Unified metrics include NIC counters and trace ledger keys.
+        let snap = trace::metrics(&h, &root).unwrap();
+        assert_eq!(snap.counter("nic.rx.frames"), Some(1));
+        assert_eq!(snap.counter("trace.stage.rx_ingress"), Some(1));
+        assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
     }
 
     #[test]

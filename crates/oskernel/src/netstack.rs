@@ -10,8 +10,9 @@ use std::collections::{HashMap, VecDeque};
 
 use pkt::{FrameMeta, IpProto, Packet};
 use qdisc::classify::ClassMatch;
-use qdisc::{Fifo, QPkt, Qdisc};
+use qdisc::{Fifo, QPkt, Qdisc, QdiscStats};
 use sim::{Dur, Time};
+use telemetry::{DropCause, Owner, Stage, Telemetry, TraceEvent, TraceVerdict};
 
 use crate::hooks::{Chain, HookVerdict};
 use crate::process::{Pid, ProcessTable};
@@ -35,6 +36,28 @@ impl Default for StackCosts {
             protocol: Dur::from_ns(250),
             softirq: Dur::from_ns(200),
         }
+    }
+}
+
+/// Builds a netstack lifecycle event (free function so hot paths can
+/// defer construction behind [`Telemetry::emit`]'s enabled gate).
+fn stack_ev(
+    fid: u64,
+    at: Time,
+    stage: Stage,
+    verdict: TraceVerdict,
+    tuple: Option<pkt::FiveTuple>,
+    len: u32,
+    owner: Option<(u32, u32, &str)>,
+) -> TraceEvent {
+    TraceEvent {
+        frame_id: fid,
+        at,
+        stage,
+        verdict,
+        tuple,
+        len,
+        owner: owner.map(|(uid, pid, comm)| Owner::new(uid, pid, comm)),
     }
 }
 
@@ -100,6 +123,7 @@ pub struct NetStack {
     next_tx_id: u64,
     rx_packets: u64,
     tx_packets: u64,
+    tel: Telemetry,
 }
 
 impl NetStack {
@@ -121,7 +145,14 @@ impl NetStack {
             next_tx_id: 0,
             rx_packets: 0,
             tx_packets: 0,
+            tel: Telemetry::new(),
         }
+    }
+
+    /// Attaches a shared telemetry hub; the stack then emits
+    /// `Netstack*` lifecycle events for every frame it handles.
+    pub fn set_telemetry(&mut self, tel: Telemetry) {
+        self.tel = tel;
     }
 
     /// Returns the cost model.
@@ -176,6 +207,19 @@ impl NetStack {
             Ok(meta) => self.rx_with_meta(packet, &meta, now),
             Err(_) => {
                 self.rx_packets += 1;
+                let fid = self.tel.adopt_frame_id(0);
+                let len = packet.len() as u32;
+                self.tel.emit(|| {
+                    stack_ev(
+                        fid,
+                        now,
+                        Stage::NetstackDrop,
+                        TraceVerdict::Drop(DropCause::Malformed),
+                        None,
+                        len,
+                        None,
+                    )
+                });
                 (
                     RxOutcome::NoSocket,
                     self.costs.softirq + self.costs.protocol,
@@ -190,13 +234,26 @@ impl NetStack {
         &mut self,
         packet: &Packet,
         meta: &FrameMeta,
-        _now: Time,
+        now: Time,
     ) -> (RxOutcome, Dur) {
         self.rx_packets += 1;
         let mut cost = self.costs.softirq + self.costs.protocol;
+        let fid = self.tel.adopt_frame_id(meta.frame_id);
+        let len = packet.len() as u32;
         let Some(tuple) = meta.tuple else {
             // Non-TCP/UDP (e.g. ARP) is handled by the kernel itself, not
             // delivered to sockets.
+            self.tel.emit(|| {
+                stack_ev(
+                    fid,
+                    now,
+                    Stage::NetstackDrop,
+                    TraceVerdict::Drop(DropCause::NoSocket),
+                    None,
+                    len,
+                    None,
+                )
+            });
             return (RxOutcome::NoSocket, cost);
         };
         let key = (tuple.proto, tuple.dst_port);
@@ -204,12 +261,36 @@ impl NetStack {
         // socket's identity.
         let (uid, pid, comm) = match self.sockets.get(&key) {
             Some(s) => (s.uid, s.pid, s.comm.clone()),
-            None => return (RxOutcome::NoSocket, cost),
+            None => {
+                self.tel.emit(|| {
+                    stack_ev(
+                        fid,
+                        now,
+                        Stage::NetstackDrop,
+                        TraceVerdict::Drop(DropCause::NoSocket),
+                        Some(tuple),
+                        len,
+                        None,
+                    )
+                });
+                return (RxOutcome::NoSocket, cost);
+            }
         };
         let m = ClassMatch::from_meta(meta, uid, pid.0);
         let (verdict, hook_cost) = self.input.evaluate(&m, Some(&comm));
         cost += hook_cost;
         if verdict == HookVerdict::Drop {
+            self.tel.emit(|| {
+                stack_ev(
+                    fid,
+                    now,
+                    Stage::NetstackDrop,
+                    TraceVerdict::Drop(DropCause::NetfilterDrop),
+                    Some(tuple),
+                    len,
+                    Some((uid, pid.0, &comm)),
+                )
+            });
             return (RxOutcome::Filtered, cost);
         }
         let entry = self.sockets.get_mut(&key).expect("checked above");
@@ -219,6 +300,17 @@ impl NetStack {
         if wake {
             entry.blocking_reader = false;
         }
+        self.tel.emit(|| {
+            stack_ev(
+                fid,
+                now,
+                Stage::NetstackDeliver,
+                TraceVerdict::Pass,
+                Some(tuple),
+                len,
+                Some((uid, pid.0, &comm)),
+            )
+        });
         (RxOutcome::Delivered { pid, wake }, cost)
     }
 
@@ -278,7 +370,20 @@ impl NetStack {
         };
         let (verdict, hook_cost) = self.output.evaluate(&m, Some(&comm));
         cost += hook_cost;
+        let fid = self.tel.adopt_frame_id(meta.map_or(0, |m| m.frame_id));
+        let len = packet.len() as u32;
         if verdict == HookVerdict::Drop {
+            self.tel.emit(|| {
+                stack_ev(
+                    fid,
+                    now,
+                    Stage::NetstackTxDrop,
+                    TraceVerdict::Drop(DropCause::NetfilterDrop),
+                    tuple,
+                    len,
+                    Some((uid, pid.0, &comm)),
+                )
+            });
             return (false, cost);
         }
         if let Some(t) = tuple {
@@ -292,9 +397,33 @@ impl NetStack {
         match self.egress.enqueue(qpkt, now) {
             Ok(()) => {
                 self.tx_frames.insert(id, packet.clone());
+                self.tel.emit(|| {
+                    stack_ev(
+                        fid,
+                        now,
+                        Stage::NetstackTx,
+                        TraceVerdict::Pass,
+                        tuple,
+                        len,
+                        Some((uid, pid.0, &comm)),
+                    )
+                });
                 (true, cost)
             }
-            Err(_) => (false, cost),
+            Err(e) => {
+                self.tel.emit(|| {
+                    stack_ev(
+                        fid,
+                        now,
+                        Stage::NetstackTxDrop,
+                        TraceVerdict::Drop(e.cause()),
+                        tuple,
+                        len,
+                        Some((uid, pid.0, &comm)),
+                    )
+                });
+                (false, cost)
+            }
         }
     }
 
@@ -317,6 +446,22 @@ impl NetStack {
     /// Returns (rx_packets, tx_packets) seen by the stack.
     pub fn counters(&self) -> (u64, u64) {
         (self.rx_packets, self.tx_packets)
+    }
+
+    /// Returns the egress qdisc's accumulated counters.
+    pub fn egress_stats(&self) -> QdiscStats {
+        self.egress.stats()
+    }
+
+    /// Registers the stack's counters into the unified registry under
+    /// `netstack.*` keys.
+    pub fn fill_registry(&self, reg: &mut telemetry::Registry) {
+        reg.set_counter("netstack.rx.packets", self.rx_packets);
+        reg.set_counter("netstack.tx.packets", self.tx_packets);
+        reg.set_counter("netstack.sockets", self.sockets.len() as u64);
+        reg.set_counter("netstack.input.rules", self.input.len() as u64);
+        reg.set_counter("netstack.output.rules", self.output.len() as u64);
+        self.egress.stats().fill_registry(reg, "netstack.egress");
     }
 
     /// Returns `knetstat`-style rows for every socket.

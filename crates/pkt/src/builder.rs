@@ -205,6 +205,7 @@ impl PacketBuilder {
         let payload_off = EthernetHeader::LEN + Ipv4Header::LEN + l4_hdr_len;
         let frame_len = frame.len();
         Packet::from_bytes(frame).with_meta(FrameMeta {
+            frame_id: 0,
             class,
             frame_len,
             ethertype: EtherType::IPV4.0,
@@ -246,6 +247,7 @@ impl PacketBuilder {
         arp.write_to(&mut frame[EthernetHeader::LEN..]);
         let frame_len = frame.len();
         Packet::from_bytes(frame).with_meta(FrameMeta {
+            frame_id: 0,
             class: PacketClass::Arp,
             frame_len,
             ethertype: EtherType::ARP.0,

@@ -60,8 +60,17 @@ pub fn flow_hash_of(tuple: &FiveTuple) -> u32 {
 ///
 /// `Copy` on purpose: the descriptor is 64-ish bytes of plain data, cheap
 /// to hand through every pipeline stage without allocation.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Equality is *structural*: [`FrameMeta::frame_id`] — the telemetry
+/// lifecycle tag, assigned at dataplane admission — is excluded, so the
+/// parse-once audit invariant ("a carried descriptor equals one freshly
+/// derived from the bytes") still holds after a frame is tagged.
+#[derive(Clone, Copy, Debug)]
 pub struct FrameMeta {
+    /// Dataplane-unique trace id (0 = not yet admitted/tagged). Assigned
+    /// by the first telemetry-aware stage the frame crosses and carried
+    /// unchanged through rewrites; excluded from equality.
+    pub frame_id: u64,
     /// Packet class (dispatch key for every stage).
     pub class: PacketClass,
     /// Total frame length in bytes.
@@ -89,6 +98,26 @@ pub struct FrameMeta {
     /// for frames without one).
     pub l4_checksum_ok: bool,
 }
+
+impl PartialEq for FrameMeta {
+    fn eq(&self, other: &FrameMeta) -> bool {
+        // Everything except `frame_id` (see the struct docs).
+        self.class == other.class
+            && self.frame_len == other.frame_len
+            && self.ethertype == other.ethertype
+            && self.l3_off == other.l3_off
+            && self.l4_off == other.l4_off
+            && self.payload_off == other.payload_off
+            && self.payload_len == other.payload_len
+            && self.tuple == other.tuple
+            && self.flow_hash == other.flow_hash
+            && self.dscp_ecn == other.dscp_ecn
+            && self.l3_checksum_ok == other.l3_checksum_ok
+            && self.l4_checksum_ok == other.l4_checksum_ok
+    }
+}
+
+impl Eq for FrameMeta {}
 
 impl FrameMeta {
     /// Derives a descriptor from wire bytes: the single ingress parse.
@@ -130,6 +159,7 @@ impl FrameMeta {
         };
         let tuple = FiveTuple::from_parsed(parsed);
         FrameMeta {
+            frame_id: 0,
             class,
             frame_len: frame.len(),
             ethertype: parsed.ether.ethertype.0,

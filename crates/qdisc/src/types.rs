@@ -58,6 +58,15 @@ impl fmt::Display for EnqueueError {
 
 impl std::error::Error for EnqueueError {}
 
+impl EnqueueError {
+    /// Maps this refusal onto the stack-wide telemetry drop vocabulary
+    /// (both variants are tail-drop-at-the-queue from the frame's point
+    /// of view).
+    pub fn cause(self) -> telemetry::DropCause {
+        telemetry::DropCause::QdiscFull
+    }
+}
+
 /// Counters every discipline maintains.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct QdiscStats {
@@ -71,6 +80,18 @@ pub struct QdiscStats {
     pub bytes_enqueued: u64,
     /// Bytes released.
     pub bytes_dequeued: u64,
+}
+
+impl QdiscStats {
+    /// Registers every counter into `reg` under `{prefix}.*` keys — the
+    /// unified-registry replacement for reading this struct ad hoc.
+    pub fn fill_registry(&self, reg: &mut telemetry::Registry, prefix: &str) {
+        reg.set_counter(&format!("{prefix}.enqueued"), self.enqueued);
+        reg.set_counter(&format!("{prefix}.dequeued"), self.dequeued);
+        reg.set_counter(&format!("{prefix}.dropped"), self.dropped);
+        reg.set_counter(&format!("{prefix}.bytes_enqueued"), self.bytes_enqueued);
+        reg.set_counter(&format!("{prefix}.bytes_dequeued"), self.bytes_dequeued);
+    }
 }
 
 /// A queueing discipline.

@@ -1,10 +1,13 @@
-//! Component trace recorder.
+//! Component trace recorder (legacy compatibility shim).
 //!
-//! [`Tracer`] records (time, component, message) triples as a simulation
-//! runs. The F1 experiment uses it to print the end-to-end walkthrough of
-//! the paper's Figure 1 (app → library → kernel control plane → SmartNIC
-//! dataplane → ring buffer → notification), and tests use it to assert
-//! that traffic takes the intended path through the architecture.
+//! [`Tracer`] records free-form (time, component, message) triples as a
+//! simulation runs. It predates the `telemetry` crate's typed per-packet
+//! lifecycle events (`telemetry::TraceEvent`), which carry frame ids,
+//! stages, verdicts, and owner attribution and are what the dataplane
+//! and the `ktrace` tool emit and query. New code should emit typed
+//! events through a shared `telemetry::Telemetry` hub; this module stays
+//! for narrative component logs (human-facing walkthrough prose) and for
+//! existing tests that assert on message text.
 
 use std::fmt;
 

@@ -1,0 +1,546 @@
+//! Typed per-packet lifecycle events and BPF-ish trace filters.
+//!
+//! Every frame admitted into the dataplane gets a nonzero `frame_id`
+//! (allocated by [`crate::Telemetry`], carried in `pkt::FrameMeta`), and
+//! each stage it crosses emits one [`TraceEvent`]. The stage vocabulary is
+//! closed ([`Stage`]) so the hub can keep an exact per-stage ledger, and
+//! every drop is typed ([`DropCause`]) so "no silent drops" is checkable
+//! as a property, not a convention.
+
+use std::fmt;
+
+use pkt::FiveTuple;
+use sim::Time;
+
+/// A pipeline stage a frame can cross. The variants are ordered roughly
+/// in lifecycle order: NIC RX, host ring/notification, kernel slow path,
+/// NIC TX.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Frame arrived from the wire at the NIC MAC.
+    RxIngress,
+    /// NIC parser stage produced (or failed to produce) a descriptor.
+    RxParse,
+    /// NAT translation applied (verdict carries hit/miss).
+    RxNat,
+    /// Ingress filter program ran (verdict carries pass/drop).
+    RxFilter,
+    /// Flow-table lookup (verdict carries hit/miss).
+    RxFlowLookup,
+    /// Terminal: frame handed to a per-connection ring (fast path).
+    RxDeliver,
+    /// Terminal: frame punted to the kernel slow path.
+    RxSlowPath,
+    /// Terminal: frame dropped in the NIC RX pipeline.
+    RxDrop,
+    /// Host attempted to enqueue the frame onto a shared-memory ring.
+    RingEnqueue,
+    /// Application consumed the frame from its ring.
+    RingDequeue,
+    /// NIC posted a notification (interrupt-style wakeup) for the frame.
+    Notify,
+    /// Terminal (slow path): kernel netstack delivered to a socket.
+    NetstackDeliver,
+    /// Terminal (slow path): kernel netstack dropped the frame.
+    NetstackDrop,
+    /// Kernel netstack queued a frame for transmission.
+    NetstackTx,
+    /// Kernel netstack dropped a frame on its TX path.
+    NetstackTxDrop,
+    /// Frame delivered into the application (end of the RX lifecycle).
+    AppDeliver,
+    /// Frame offered to the NIC TX pipeline.
+    TxOffer,
+    /// Egress filter program ran.
+    TxFilter,
+    /// Overlay classifier assigned a scheduler class.
+    TxClass,
+    /// Frame accepted by the NIC scheduler (qdisc) for transmission.
+    TxQueue,
+    /// Terminal: frame dropped in the TX pipeline.
+    TxDrop,
+    /// Terminal: frame left the NIC onto the wire.
+    TxDepart,
+}
+
+impl Stage {
+    /// Number of stages (ledger array size).
+    pub const COUNT: usize = 22;
+
+    /// All stages, in lifecycle order (ledger iteration order).
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::RxIngress,
+        Stage::RxParse,
+        Stage::RxNat,
+        Stage::RxFilter,
+        Stage::RxFlowLookup,
+        Stage::RxDeliver,
+        Stage::RxSlowPath,
+        Stage::RxDrop,
+        Stage::RingEnqueue,
+        Stage::RingDequeue,
+        Stage::Notify,
+        Stage::NetstackDeliver,
+        Stage::NetstackDrop,
+        Stage::NetstackTx,
+        Stage::NetstackTxDrop,
+        Stage::AppDeliver,
+        Stage::TxOffer,
+        Stage::TxFilter,
+        Stage::TxClass,
+        Stage::TxQueue,
+        Stage::TxDrop,
+        Stage::TxDepart,
+    ];
+
+    /// Dense ledger index of this stage.
+    pub fn index(self) -> usize {
+        Stage::ALL.iter().position(|s| *s == self).unwrap()
+    }
+
+    /// Stable lower-snake name (metric keys, JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::RxIngress => "rx_ingress",
+            Stage::RxParse => "rx_parse",
+            Stage::RxNat => "rx_nat",
+            Stage::RxFilter => "rx_filter",
+            Stage::RxFlowLookup => "rx_flow_lookup",
+            Stage::RxDeliver => "rx_deliver",
+            Stage::RxSlowPath => "rx_slowpath",
+            Stage::RxDrop => "rx_drop",
+            Stage::RingEnqueue => "ring_enqueue",
+            Stage::RingDequeue => "ring_dequeue",
+            Stage::Notify => "notify",
+            Stage::NetstackDeliver => "netstack_deliver",
+            Stage::NetstackDrop => "netstack_drop",
+            Stage::NetstackTx => "netstack_tx",
+            Stage::NetstackTxDrop => "netstack_tx_drop",
+            Stage::AppDeliver => "app_deliver",
+            Stage::TxOffer => "tx_offer",
+            Stage::TxFilter => "tx_filter",
+            Stage::TxClass => "tx_class",
+            Stage::TxQueue => "tx_queue",
+            Stage::TxDrop => "tx_drop",
+            Stage::TxDepart => "tx_depart",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Why a frame was dropped — the unified vocabulary across every layer.
+/// Each producing crate maps its local error type onto one of these, so
+/// "every drop is typed" holds stack-wide.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DropCause {
+    /// An ingress/egress filter program rejected the frame.
+    Filter,
+    /// The NIC was frozen mid-bitstream-reprogram.
+    Reprogramming,
+    /// A policy/accounting VM faulted while processing the frame.
+    PolicyFault,
+    /// The frame failed to parse or failed checksum verification.
+    Malformed,
+    /// The destination shared-memory ring was full.
+    RingFull,
+    /// A qdisc (NIC scheduler or netstack egress) refused the frame.
+    QdiscFull,
+    /// No socket was bound to the frame's destination.
+    NoSocket,
+    /// A netfilter chain verdict dropped the frame.
+    NetfilterDrop,
+    /// NAT had no mapping (or no translation applies) for the frame.
+    NatMiss,
+    /// The connection state for the frame vanished (stale entry).
+    StaleConn,
+    /// The TX retry buffer overflowed during an outage.
+    RetryOverflow,
+}
+
+impl DropCause {
+    /// Number of drop causes (ledger array size).
+    pub const COUNT: usize = 11;
+
+    /// All causes (ledger iteration order).
+    pub const ALL: [DropCause; DropCause::COUNT] = [
+        DropCause::Filter,
+        DropCause::Reprogramming,
+        DropCause::PolicyFault,
+        DropCause::Malformed,
+        DropCause::RingFull,
+        DropCause::QdiscFull,
+        DropCause::NoSocket,
+        DropCause::NetfilterDrop,
+        DropCause::NatMiss,
+        DropCause::StaleConn,
+        DropCause::RetryOverflow,
+    ];
+
+    /// Dense ledger index of this cause.
+    pub fn index(self) -> usize {
+        DropCause::ALL.iter().position(|c| *c == self).unwrap()
+    }
+
+    /// Stable lower-snake name (metric keys, JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            DropCause::Filter => "filter",
+            DropCause::Reprogramming => "reprogramming",
+            DropCause::PolicyFault => "policy_fault",
+            DropCause::Malformed => "malformed",
+            DropCause::RingFull => "ring_full",
+            DropCause::QdiscFull => "qdisc_full",
+            DropCause::NoSocket => "no_socket",
+            DropCause::NetfilterDrop => "netfilter_drop",
+            DropCause::NatMiss => "nat_miss",
+            DropCause::StaleConn => "stale_conn",
+            DropCause::RetryOverflow => "retry_overflow",
+        }
+    }
+}
+
+impl fmt::Display for DropCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What a stage decided about the frame.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceVerdict {
+    /// The stage let the frame continue.
+    Pass,
+    /// A lookup stage matched (flow table, NAT mapping).
+    Hit,
+    /// A lookup stage did not match.
+    Miss,
+    /// A classifier assigned the frame to this scheduler class.
+    Class(u32),
+    /// The stage punted the frame to the slow path.
+    SlowPath,
+    /// The stage dropped the frame, with a typed cause.
+    Drop(DropCause),
+}
+
+impl TraceVerdict {
+    /// Returns the drop cause if this verdict is a drop.
+    pub fn drop_cause(&self) -> Option<DropCause> {
+        match self {
+            TraceVerdict::Drop(c) => Some(*c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for TraceVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceVerdict::Pass => write!(f, "pass"),
+            TraceVerdict::Hit => write!(f, "hit"),
+            TraceVerdict::Miss => write!(f, "miss"),
+            TraceVerdict::Class(c) => write!(f, "class={c}"),
+            TraceVerdict::SlowPath => write!(f, "slowpath"),
+            TraceVerdict::Drop(c) => write!(f, "drop:{c}"),
+        }
+    }
+}
+
+/// Process attribution joined at the kernel boundary: the paper's
+/// *process view*. The NIC's flow-table entry records uid/pid/comm when
+/// the kernel installs it, so dataplane events can carry ownership
+/// without consulting the kernel per packet.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Owner {
+    /// Owning user id (0 for kernel-originated traffic).
+    pub uid: u32,
+    /// Owning process id (0 for kernel-originated traffic).
+    pub pid: u32,
+    /// Process command name (e.g. `"memcached"`, `"kernel"`).
+    pub comm: String,
+}
+
+impl Owner {
+    /// Builds an owner record.
+    pub fn new(uid: u32, pid: u32, comm: &str) -> Owner {
+        Owner {
+            uid,
+            pid,
+            comm: comm.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for Owner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uid={} pid={} comm={}", self.uid, self.pid, self.comm)
+    }
+}
+
+/// One recorded lifecycle event: frame `frame_id` crossed `stage` at
+/// virtual time `at` with `verdict`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// The frame's dataplane-unique id (see `pkt::FrameMeta::frame_id`).
+    pub frame_id: u64,
+    /// Virtual time the stage completed.
+    pub at: Time,
+    /// The stage crossed.
+    pub stage: Stage,
+    /// What the stage decided.
+    pub verdict: TraceVerdict,
+    /// The frame's 5-tuple, when parsed (the *global view* key).
+    pub tuple: Option<FiveTuple>,
+    /// Frame length in bytes (0 when unknown, e.g. truncated frames).
+    pub len: u32,
+    /// Owning process, when attribution is known (the *process view*).
+    pub owner: Option<Owner>,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12}] #{:<6} {:<16} {:<18}",
+            self.at.to_string(),
+            self.frame_id,
+            self.stage.name(),
+            self.verdict.to_string(),
+        )?;
+        if let Some(t) = &self.tuple {
+            write!(
+                f,
+                " {}:{}>{}:{}",
+                t.src_ip, t.src_port, t.dst_ip, t.dst_port
+            )?;
+        }
+        if let Some(o) = &self.owner {
+            write!(f, " [{o}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// A BPF-ish conjunctive trace filter: every populated field must match.
+/// Built with the `with_*` combinators; an empty filter matches all
+/// events.
+#[derive(Clone, Debug, Default)]
+pub struct TraceFilter {
+    /// Match a single frame's lifecycle.
+    pub frame_id: Option<u64>,
+    /// Match events attributed to this uid.
+    pub uid: Option<u32>,
+    /// Match events attributed to this pid.
+    pub pid: Option<u32>,
+    /// Match events attributed to this command name.
+    pub comm: Option<String>,
+    /// Match events at this stage.
+    pub stage: Option<Stage>,
+    /// Match the exact 5-tuple.
+    pub tuple: Option<FiveTuple>,
+    /// Match either endpoint port (src or dst) — tcpdump's `port N`.
+    pub port: Option<u16>,
+    /// Match only drop verdicts (any cause).
+    pub drops_only: bool,
+}
+
+impl TraceFilter {
+    /// A filter matching every event.
+    pub fn any() -> TraceFilter {
+        TraceFilter::default()
+    }
+
+    /// Restricts to one frame's lifecycle.
+    pub fn with_frame(mut self, id: u64) -> TraceFilter {
+        self.frame_id = Some(id);
+        self
+    }
+
+    /// Restricts to events owned by `uid`.
+    pub fn with_uid(mut self, uid: u32) -> TraceFilter {
+        self.uid = Some(uid);
+        self
+    }
+
+    /// Restricts to events owned by `pid`.
+    pub fn with_pid(mut self, pid: u32) -> TraceFilter {
+        self.pid = Some(pid);
+        self
+    }
+
+    /// Restricts to events owned by command `comm`.
+    pub fn with_comm(mut self, comm: &str) -> TraceFilter {
+        self.comm = Some(comm.to_string());
+        self
+    }
+
+    /// Restricts to events at `stage`.
+    pub fn with_stage(mut self, stage: Stage) -> TraceFilter {
+        self.stage = Some(stage);
+        self
+    }
+
+    /// Restricts to events carrying exactly `tuple`.
+    pub fn with_tuple(mut self, tuple: FiveTuple) -> TraceFilter {
+        self.tuple = Some(tuple);
+        self
+    }
+
+    /// Restricts to events whose 5-tuple touches `port` on either end.
+    pub fn with_port(mut self, port: u16) -> TraceFilter {
+        self.port = Some(port);
+        self
+    }
+
+    /// Restricts to drop verdicts.
+    pub fn drops(mut self) -> TraceFilter {
+        self.drops_only = true;
+        self
+    }
+
+    /// Returns `true` when `event` satisfies every populated field.
+    pub fn matches(&self, event: &TraceEvent) -> bool {
+        if let Some(id) = self.frame_id {
+            if event.frame_id != id {
+                return false;
+            }
+        }
+        if let Some(stage) = self.stage {
+            if event.stage != stage {
+                return false;
+            }
+        }
+        if self.drops_only && event.verdict.drop_cause().is_none() {
+            return false;
+        }
+        if self.uid.is_some() || self.pid.is_some() || self.comm.is_some() {
+            let Some(o) = &event.owner else { return false };
+            if self.uid.is_some_and(|u| o.uid != u) {
+                return false;
+            }
+            if self.pid.is_some_and(|p| o.pid != p) {
+                return false;
+            }
+            if self.comm.as_deref().is_some_and(|c| o.comm != c) {
+                return false;
+            }
+        }
+        if self.tuple.is_some() || self.port.is_some() {
+            let Some(t) = &event.tuple else { return false };
+            if self.tuple.as_ref().is_some_and(|want| t != want) {
+                return false;
+            }
+            if self
+                .port
+                .is_some_and(|p| t.src_port != p && t.dst_port != p)
+            {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pkt::IpProto;
+    use std::net::Ipv4Addr;
+
+    fn tuple(sp: u16, dp: u16) -> FiveTuple {
+        FiveTuple {
+            src_ip: Ipv4Addr::new(10, 0, 0, 1),
+            dst_ip: Ipv4Addr::new(10, 0, 0, 2),
+            src_port: sp,
+            dst_port: dp,
+            proto: IpProto::UDP,
+        }
+    }
+
+    fn event(stage: Stage, verdict: TraceVerdict) -> TraceEvent {
+        TraceEvent {
+            frame_id: 7,
+            at: Time::from_ns(100),
+            stage,
+            verdict,
+            tuple: Some(tuple(5432, 9000)),
+            len: 64,
+            owner: Some(Owner::new(1000, 42, "memcached")),
+        }
+    }
+
+    #[test]
+    fn stage_index_is_dense_and_stable() {
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+        for (i, c) in DropCause::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn empty_filter_matches_everything() {
+        let e = event(Stage::RxIngress, TraceVerdict::Pass);
+        assert!(TraceFilter::any().matches(&e));
+    }
+
+    #[test]
+    fn owner_filter_requires_attribution() {
+        let mut e = event(Stage::RxDeliver, TraceVerdict::Pass);
+        assert!(TraceFilter::any().with_uid(1000).matches(&e));
+        assert!(!TraceFilter::any().with_uid(1001).matches(&e));
+        assert!(TraceFilter::any().with_pid(42).matches(&e));
+        assert!(TraceFilter::any().with_comm("memcached").matches(&e));
+        assert!(!TraceFilter::any().with_comm("nginx").matches(&e));
+        e.owner = None;
+        assert!(!TraceFilter::any().with_uid(1000).matches(&e));
+    }
+
+    #[test]
+    fn tuple_and_port_filters() {
+        let e = event(Stage::RxFlowLookup, TraceVerdict::Hit);
+        assert!(TraceFilter::any().with_tuple(tuple(5432, 9000)).matches(&e));
+        assert!(!TraceFilter::any().with_tuple(tuple(1, 2)).matches(&e));
+        assert!(TraceFilter::any().with_port(9000).matches(&e));
+        assert!(TraceFilter::any().with_port(5432).matches(&e));
+        assert!(!TraceFilter::any().with_port(80).matches(&e));
+    }
+
+    #[test]
+    fn stage_and_drop_filters() {
+        let pass = event(Stage::RxFilter, TraceVerdict::Pass);
+        let drop = event(Stage::RxDrop, TraceVerdict::Drop(DropCause::Filter));
+        assert!(TraceFilter::any()
+            .with_stage(Stage::RxFilter)
+            .matches(&pass));
+        assert!(!TraceFilter::any().with_stage(Stage::RxDrop).matches(&pass));
+        assert!(TraceFilter::any().drops().matches(&drop));
+        assert!(!TraceFilter::any().drops().matches(&pass));
+    }
+
+    #[test]
+    fn conjunction_of_fields() {
+        let e = event(Stage::RxDeliver, TraceVerdict::Pass);
+        let f = TraceFilter::any()
+            .with_uid(1000)
+            .with_port(9000)
+            .with_stage(Stage::RxDeliver);
+        assert!(f.matches(&e));
+        let f2 = f.with_frame(8); // wrong frame id
+        assert!(!f2.matches(&e));
+    }
+
+    #[test]
+    fn display_renders_stage_verdict_owner() {
+        let e = event(Stage::RxDrop, TraceVerdict::Drop(DropCause::Malformed));
+        let s = e.to_string();
+        assert!(s.contains("rx_drop"));
+        assert!(s.contains("drop:malformed"));
+        assert!(s.contains("memcached"));
+    }
+}

@@ -1,0 +1,365 @@
+//! The shared telemetry hub.
+//!
+//! One [`Telemetry`] handle is cloned into every component of a simulated
+//! host (NIC, netstack, NAT, host glue). It is an `Rc` over interior-
+//! mutable state — the whole workspace is single-threaded and
+//! deterministic, so no locking is needed and event order is exactly
+//! simulation order.
+//!
+//! Overhead discipline (the "effectively free when disabled" guarantee):
+//!
+//! * [`Telemetry::emit`] takes a *closure*. When tracing is off the only
+//!   work done is one `Cell<bool>` load — the event (and any `String`
+//!   attribution inside it) is never constructed.
+//! * [`Telemetry::record_hist`] is likewise gated on the same flag before
+//!   touching the `RefCell`.
+//! * Frame-id allocation is a bare `Cell<u64>` increment and runs even
+//!   when disabled, so ids are stable across enable/disable and replay
+//!   remains deterministic.
+//!
+//! Two data structures live behind the handle:
+//!
+//! * the **event buffer** — a bounded ring of [`TraceEvent`]s (oldest
+//!   evicted first, with an eviction counter so truncation is visible);
+//! * the **ledger** — per-[`Stage`] and per-[`DropCause`] totals that
+//!   never evict. Audits cross-check the ledger (not the buffer) against
+//!   dataplane counters, so conservation checking survives buffer wrap.
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use sim::stats::Histogram;
+use sim::Dur;
+
+use crate::event::{DropCause, Stage, TraceEvent, TraceFilter};
+use crate::metrics::Registry;
+
+/// Default event-buffer capacity (events, not bytes).
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Handle to a pre-registered latency histogram; lets hot paths record
+/// by index without a name lookup.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistId(usize);
+
+struct Hub {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    evicted: u64,
+    stage_counts: [u64; Stage::COUNT],
+    drop_counts: [u64; DropCause::COUNT],
+    hists: Vec<(String, Histogram)>,
+}
+
+impl Hub {
+    fn push(&mut self, event: TraceEvent) {
+        self.stage_counts[event.stage.index()] += 1;
+        if let Some(cause) = event.verdict.drop_cause() {
+            self.drop_counts[cause.index()] += 1;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.evicted += 1;
+        }
+        self.events.push_back(event);
+    }
+}
+
+/// The shared, cheaply-cloneable telemetry handle.
+#[derive(Clone)]
+pub struct Telemetry {
+    enabled: Rc<Cell<bool>>,
+    next_frame_id: Rc<Cell<u64>>,
+    hub: Rc<RefCell<Hub>>,
+}
+
+impl Default for Telemetry {
+    fn default() -> Telemetry {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// Creates a disabled hub with the default event-buffer capacity.
+    pub fn new() -> Telemetry {
+        Telemetry::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// Creates a disabled hub bounding the event buffer at `capacity`.
+    pub fn with_capacity(capacity: usize) -> Telemetry {
+        Telemetry {
+            enabled: Rc::new(Cell::new(false)),
+            next_frame_id: Rc::new(Cell::new(1)),
+            hub: Rc::new(RefCell::new(Hub {
+                events: VecDeque::new(),
+                capacity: capacity.max(1),
+                evicted: 0,
+                stage_counts: [0; Stage::COUNT],
+                drop_counts: [0; DropCause::COUNT],
+                hists: Vec::new(),
+            })),
+        }
+    }
+
+    /// Returns whether events are being recorded.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.get()
+    }
+
+    /// Turns recording on or off. Turning it on does not clear existing
+    /// state; callers that need a clean ledger (audit baselines) call
+    /// [`Telemetry::clear`] first.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.set(on);
+    }
+
+    /// Allocates the next dataplane-unique frame id (never 0). Runs even
+    /// when disabled so ids — and therefore replay — are independent of
+    /// whether anyone is watching.
+    #[inline]
+    pub fn alloc_frame_id(&self) -> u64 {
+        let id = self.next_frame_id.get();
+        self.next_frame_id.set(id + 1);
+        id
+    }
+
+    /// Adopts an id already carried by a frame (nonzero) or allocates a
+    /// fresh one. Lets an upstream stage (e.g. a NAT box in front of the
+    /// NIC) tag the frame first and have the NIC keep the same id.
+    #[inline]
+    pub fn adopt_frame_id(&self, carried: u64) -> u64 {
+        if carried != 0 {
+            carried
+        } else {
+            self.alloc_frame_id()
+        }
+    }
+
+    /// Records the event built by `build` — if tracing is enabled. When
+    /// disabled, `build` is never called; the cost is one flag load.
+    #[inline]
+    pub fn emit(&self, build: impl FnOnce() -> TraceEvent) {
+        if self.enabled.get() {
+            self.hub.borrow_mut().push(build());
+        }
+    }
+
+    /// Registers (or finds) the latency histogram `name`, returning a
+    /// dense handle for hot-path recording.
+    pub fn register_hist(&self, name: &str) -> HistId {
+        let mut hub = self.hub.borrow_mut();
+        if let Some(i) = hub.hists.iter().position(|(n, _)| n == name) {
+            return HistId(i);
+        }
+        hub.hists.push((name.to_string(), Histogram::new()));
+        HistId(hub.hists.len() - 1)
+    }
+
+    /// Records a virtual-time sample into a pre-registered histogram —
+    /// if tracing is enabled.
+    #[inline]
+    pub fn record_hist(&self, id: HistId, d: Dur) {
+        if self.enabled.get() {
+            self.hub.borrow_mut().hists[id.0].1.record_dur(d);
+        }
+    }
+
+    /// Total events recorded at `stage` (ledger; survives buffer wrap).
+    pub fn stage_count(&self, stage: Stage) -> u64 {
+        self.hub.borrow().stage_counts[stage.index()]
+    }
+
+    /// Total drops recorded with `cause` (ledger; survives buffer wrap).
+    pub fn drop_count(&self, cause: DropCause) -> u64 {
+        self.hub.borrow().drop_counts[cause.index()]
+    }
+
+    /// Total drops across all causes.
+    pub fn total_drops(&self) -> u64 {
+        self.hub.borrow().drop_counts.iter().sum()
+    }
+
+    /// Number of events evicted from the bounded buffer so far.
+    pub fn evicted(&self) -> u64 {
+        self.hub.borrow().evicted
+    }
+
+    /// Number of events currently buffered.
+    pub fn len(&self) -> usize {
+        self.hub.borrow().events.len()
+    }
+
+    /// Returns `true` when no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all buffered events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.hub.borrow().events.iter().cloned().collect()
+    }
+
+    /// Buffered events matching `filter`, oldest first.
+    pub fn query(&self, filter: &TraceFilter) -> Vec<TraceEvent> {
+        self.hub
+            .borrow()
+            .events
+            .iter()
+            .filter(|e| filter.matches(e))
+            .cloned()
+            .collect()
+    }
+
+    /// The full buffered lifecycle of one frame, oldest first.
+    pub fn lifecycle(&self, frame_id: u64) -> Vec<TraceEvent> {
+        self.query(&TraceFilter::any().with_frame(frame_id))
+    }
+
+    /// Clears the event buffer, ledger, eviction counter and histogram
+    /// contents (registrations survive). Frame-id allocation is *not*
+    /// reset — ids stay unique for the life of the hub.
+    pub fn clear(&self) {
+        let mut hub = self.hub.borrow_mut();
+        hub.events.clear();
+        hub.evicted = 0;
+        hub.stage_counts = [0; Stage::COUNT];
+        hub.drop_counts = [0; DropCause::COUNT];
+        for (_, h) in hub.hists.iter_mut() {
+            *h = Histogram::new();
+        }
+    }
+
+    /// Dumps the ledger and histograms into `reg` under `trace.*` /
+    /// `lat.*` keys.
+    pub fn fill_registry(&self, reg: &mut Registry) {
+        let hub = self.hub.borrow();
+        for stage in Stage::ALL {
+            let n = hub.stage_counts[stage.index()];
+            if n != 0 {
+                reg.set_counter(&format!("trace.stage.{}", stage.name()), n);
+            }
+        }
+        for cause in DropCause::ALL {
+            let n = hub.drop_counts[cause.index()];
+            if n != 0 {
+                reg.set_counter(&format!("trace.drop.{}", cause.name()), n);
+            }
+        }
+        reg.set_counter("trace.buffer.evicted", hub.evicted);
+        reg.set_counter("trace.buffer.len", hub.events.len() as u64);
+        for (name, h) in hub.hists.iter() {
+            reg.merge_hist(name, h);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceVerdict;
+    use sim::Time;
+
+    fn ev(id: u64, stage: Stage, verdict: TraceVerdict) -> TraceEvent {
+        TraceEvent {
+            frame_id: id,
+            at: Time::from_ns(id),
+            stage,
+            verdict,
+            tuple: None,
+            len: 64,
+            owner: None,
+        }
+    }
+
+    #[test]
+    fn disabled_hub_never_builds_events() {
+        let tel = Telemetry::new();
+        let mut built = false;
+        tel.emit(|| {
+            built = true;
+            ev(1, Stage::RxIngress, TraceVerdict::Pass)
+        });
+        assert!(!built, "closure must not run when disabled");
+        assert!(tel.is_empty());
+        assert_eq!(tel.stage_count(Stage::RxIngress), 0);
+    }
+
+    #[test]
+    fn ledger_and_buffer_track_events() {
+        let tel = Telemetry::new();
+        tel.set_enabled(true);
+        tel.emit(|| ev(1, Stage::RxIngress, TraceVerdict::Pass));
+        tel.emit(|| ev(1, Stage::RxDrop, TraceVerdict::Drop(DropCause::Malformed)));
+        assert_eq!(tel.len(), 2);
+        assert_eq!(tel.stage_count(Stage::RxIngress), 1);
+        assert_eq!(tel.stage_count(Stage::RxDrop), 1);
+        assert_eq!(tel.drop_count(DropCause::Malformed), 1);
+        assert_eq!(tel.total_drops(), 1);
+    }
+
+    #[test]
+    fn buffer_bounds_but_ledger_survives() {
+        let tel = Telemetry::with_capacity(4);
+        tel.set_enabled(true);
+        for i in 0..10 {
+            tel.emit(|| ev(i, Stage::RxIngress, TraceVerdict::Pass));
+        }
+        assert_eq!(tel.len(), 4);
+        assert_eq!(tel.evicted(), 6);
+        assert_eq!(tel.stage_count(Stage::RxIngress), 10);
+        // Oldest evicted first: remaining ids are 6..10.
+        assert_eq!(tel.events()[0].frame_id, 6);
+    }
+
+    #[test]
+    fn frame_ids_are_unique_and_enable_independent() {
+        let tel = Telemetry::new();
+        let a = tel.alloc_frame_id();
+        tel.set_enabled(true);
+        let b = tel.alloc_frame_id();
+        assert!(a != 0 && b != 0 && a != b);
+        assert_eq!(tel.adopt_frame_id(a), a);
+        let c = tel.adopt_frame_id(0);
+        assert!(c > b);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let tel = Telemetry::new();
+        let other = tel.clone();
+        other.set_enabled(true);
+        tel.emit(|| ev(3, Stage::TxOffer, TraceVerdict::Pass));
+        assert_eq!(other.stage_count(Stage::TxOffer), 1);
+        assert_eq!(other.lifecycle(3).len(), 1);
+    }
+
+    #[test]
+    fn hist_registration_and_gated_recording() {
+        let tel = Telemetry::new();
+        let h = tel.register_hist("lat.nic.parse");
+        let again = tel.register_hist("lat.nic.parse");
+        assert_eq!(h, again);
+        tel.record_hist(h, Dur::from_ns(50)); // disabled: dropped
+        tel.set_enabled(true);
+        tel.record_hist(h, Dur::from_ns(30));
+        let mut reg = Registry::new();
+        tel.fill_registry(&mut reg);
+        let snap = reg.snapshot();
+        let row = snap.hist("lat.nic.parse").expect("hist present");
+        assert_eq!(row.count, 1);
+    }
+
+    #[test]
+    fn clear_resets_ledger_not_ids() {
+        let tel = Telemetry::new();
+        tel.set_enabled(true);
+        let before = tel.alloc_frame_id();
+        tel.emit(|| ev(9, Stage::RxIngress, TraceVerdict::Pass));
+        tel.clear();
+        assert!(tel.is_empty());
+        assert_eq!(tel.stage_count(Stage::RxIngress), 0);
+        assert!(tel.alloc_frame_id() > before);
+    }
+}

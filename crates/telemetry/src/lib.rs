@@ -1,0 +1,41 @@
+//! Norman's introspection layer: typed per-packet lifecycle tracing and a
+//! unified metrics registry.
+//!
+//! The paper's §2 argues that kernel bypass destroys two things operators
+//! rely on: the *global view* (tcpdump — what is crossing the wire) and
+//! the *process view* (which uid/pid/command owns each flow). KOPI's
+//! promise is to restore both from the interposition point itself, without
+//! extra data movement. This crate is that observation plane for the
+//! simulated stack:
+//!
+//! * [`event`] — typed stage events ([`TraceEvent`]): every frame entering
+//!   the dataplane is tagged with a `frame_id` (carried in
+//!   `pkt::FrameMeta`) and each pipeline stage (ingress, parse, filter,
+//!   NAT, flow lookup, ring, notification, netstack, qdisc, departure)
+//!   records what happened to it, with uid/pid/comm attribution joined at
+//!   the kernel boundary. [`TraceFilter`] gives tcpdump/BPF-ish querying
+//!   by 5-tuple, owner, stage and verdict.
+//! * [`hub`] — the [`Telemetry`] handle every component shares. A single
+//!   `Cell<bool>` gate makes the disabled path effectively free: `emit`
+//!   takes a closure, so no event is even constructed unless tracing is
+//!   on. The hub also keeps an aggregate *ledger* (per-stage and per-drop
+//!   cause totals) that never evicts, which `SmartNic::audit` /
+//!   `Host::audit` cross-check against the dataplane's own counters:
+//!   every ingress event must terminate in exactly one of
+//!   delivered/forwarded/dropped.
+//! * [`metrics`] — a named [`Registry`] of counters, gauges and
+//!   virtual-time latency histograms (reusing [`sim::stats::Histogram`])
+//!   replacing the per-crate ad-hoc counter structs, snapshot-able as one
+//!   structured document and exportable as JSON.
+//!
+//! The crate depends only on `sim` (time, histograms) and `pkt`
+//! (5-tuples, frame meta) so every layer above — nicsim, oskernel, qdisc,
+//! norman, bench — can register into the same hub.
+
+pub mod event;
+pub mod hub;
+pub mod metrics;
+
+pub use event::{DropCause, Owner, Stage, TraceEvent, TraceFilter, TraceVerdict};
+pub use hub::{HistId, Telemetry};
+pub use metrics::{HistRow, Registry, Snapshot};

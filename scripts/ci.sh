@@ -13,6 +13,11 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q (lifecycle tracing enabled)"
+# The whole suite again with every Host tracing from construction:
+# telemetry must never change behaviour, only observe it.
+NORMAN_TELEMETRY=1 cargo test -q
+
 echo "==> cargo clippy -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
