@@ -378,6 +378,7 @@ fn bench_telemetry() {
             tuple: Some(black_box(tuple)),
             len: 298,
             owner: None,
+            generation: 0,
         });
     });
 }

@@ -55,6 +55,7 @@ fn main() {
                 arp_only: true,
                 ..SnifferFilter::all()
             },
+            Time::ZERO,
         )
         .unwrap();
         // Background: the legitimate apps send normal traffic.

@@ -10,10 +10,9 @@
 
 use std::net::Ipv4Addr;
 
-use nicsim::device::ProgramSlot;
 use nicsim::SnifferFilter;
 use norman::host::DeliveryOutcome;
-use norman::{Host, HostConfig};
+use norman::{Host, HostConfig, PortReservation, ShapingPolicy};
 use oskernel::Uid;
 use overlay::builtins;
 use pkt::{IpProto, Mac, PacketBuilder};
@@ -42,35 +41,23 @@ fn run(features: &'static str) -> Row {
         )
         .unwrap();
 
-    if features.contains("filter") {
-        host.nic
-            .load_program(
-                ProgramSlot::IngressFilter,
-                builtins::port_owner_filter(),
-                Time::ZERO,
-            )
-            .unwrap();
-    }
-    if features.contains("classify") {
-        host.nic
-            .load_program(
-                ProgramSlot::Classifier,
-                builtins::uid_classifier(),
-                Time::ZERO,
-            )
-            .unwrap();
-    }
-    if features.contains("account") {
-        host.nic
-            .add_accounting(builtins::byte_accounting(), Time::ZERO)
-            .unwrap();
-        host.nic
-            .add_accounting(builtins::arp_counter(), Time::ZERO)
-            .unwrap();
-    }
-    if features.contains("sniff") {
-        host.nic.enable_sniffer(SnifferFilter::all());
-    }
+    // Every feature is declared in the kernel policy store and lowered
+    // onto the NIC by one two-phase control-plane commit.
+    host.update_policy(Time::ZERO, |p| {
+        if features.contains("filter") {
+            p.reservations.push(PortReservation::new(7000, Uid(1001)));
+        }
+        if features.contains("classify") {
+            p.shaping = Some(ShapingPolicy::new(vec![(Uid(1001), 1.0)]));
+        }
+        if features.contains("account") {
+            p.accounting = vec![builtins::byte_accounting(), builtins::arp_counter()];
+        }
+        if features.contains("sniff") {
+            p.sniffer = Some(SnifferFilter::all());
+        }
+    })
+    .unwrap();
 
     let frame = PacketBuilder::new()
         .ether(Mac::local(9), host.cfg.mac)

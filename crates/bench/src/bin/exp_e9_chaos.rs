@@ -9,7 +9,16 @@
 //! outage — through a [`sim::FaultyLink`] into a Norman host while
 //! continuously running the NIC's cross-layer state audit.
 //!
-//! Three results, all checked at the bottom:
+//! The run also churns the *control plane* while the wire misbehaves: a
+//! seeded [`sim::fault::OpFaultInjector`] fails individual apply
+//! operations mid-commit, so policy transactions randomly roll back.
+//! Every audit checkpoint therefore also exercises the third ledger
+//! ([`norman::ctrl`]): NIC-resident policy state must exactly match the
+//! kernel policy store — no partially-applied bundles, ever, including
+//! across the mid-run bitstream reprogram (where the control plane must
+//! reconcile the full bundle onto the wiped NIC).
+//!
+//! Four results, all checked at the bottom:
 //!   1. goodput degrades smoothly with injected fault rates (no cliffs,
 //!      no hangs, no panics);
 //!   2. the audit finds zero invariant violations at every checkpoint —
@@ -18,22 +27,30 @@
 //!      so every audit also cross-checks the trace-event ledger against
 //!      each layer's counters ([`Host::audit`]): under chaos, the two
 //!      independent accounts of the dataplane must never diverge;
-//!   3. the whole sweep is replayable: the same seed produces
+//!   3. mid-commit policy faults really fire (rollbacks > 0) and never
+//!      leave a partially-applied bundle behind;
+//!   4. the whole sweep is replayable: the same seed produces
 //!      byte-identical results (tracing on does not perturb replay).
 
 use std::net::Ipv4Addr;
 
 use norman::host::DeliveryOutcome;
-use norman::{Host, HostConfig};
+use norman::{CtrlError, Host, HostConfig, NatRule, PortReservation, ShapingPolicy};
 use oskernel::Uid;
 use pkt::{IpProto, Mac, Packet, PacketBuilder};
 use serde::Serialize;
+use sim::fault::OpFaultInjector;
 use sim::{Dur, FaultSchedule, FaultyLink, Link, Time};
 
 const SEED: u64 = 0xE9_C4A0;
 const FRAMES: u64 = 20_000;
 const PKT_GAP: Dur = Dur(200_000); // one 1500B frame every 200 ns
 const AUDIT_EVERY: u64 = 500;
+/// Attempt a policy commit this often (offset from the audit cadence so
+/// commits land between checkpoints).
+const POLICY_EVERY: u64 = 750;
+/// Per-operation probability that a commit step fails mid-apply.
+const POLICY_FAULT_RATE: f64 = 0.05;
 
 #[derive(Serialize, Clone, PartialEq)]
 struct Row {
@@ -48,6 +65,11 @@ struct Row {
     tx_retry_flushed: u64,
     audits: u64,
     audit_violations: u64,
+    policy_commits: u64,
+    policy_rollbacks: u64,
+    policy_frozen: u64,
+    reconciles: u64,
+    generation: u64,
 }
 
 struct Outage {
@@ -72,6 +94,27 @@ fn run_chaos(scenario: &str, schedule: FaultSchedule, outage: Option<Outage>) ->
             false,
         )
         .unwrap();
+    // Baseline policy before traffic: a reservation on the traffic port
+    // (owned by bob, so goodput is unaffected), a fixed shaping policy,
+    // and a static NAT forward — all of which must survive rollbacks
+    // and the mid-run bitstream reprogram intact.
+    host.update_policy(Time::ZERO, |p| {
+        p.reservations.push(PortReservation::new(7000, Uid(1001)));
+        p.shaping = Some(ShapingPolicy::new(vec![(Uid(1001), 4.0)]));
+        p.nat_external_ip = Some(Ipv4Addr::new(198, 51, 100, 1));
+        p.nat_rules.push(NatRule {
+            proto: IpProto::UDP,
+            ext_port: 8080,
+            internal: (Ipv4Addr::new(192, 168, 0, 2), 80),
+        });
+    })
+    .unwrap();
+    // From here on, individual commit operations fail with a seeded
+    // probability: transactions must roll back cleanly or not at all.
+    host.set_policy_fault_injector(OpFaultInjector::seeded_rate(SEED ^ 0x22, POLICY_FAULT_RATE));
+    let mut policy_commits = 0u64;
+    let mut policy_rollbacks = 0u64;
+    let mut policy_frozen = 0u64;
     // Trace the whole run: the audit below then checks the telemetry
     // ledger against every layer's counters at each checkpoint.
     host.start_trace();
@@ -104,13 +147,30 @@ fn run_chaos(scenario: &str, schedule: FaultSchedule, outage: Option<Outage>) ->
         let t = Time::ZERO + PKT_GAP * i;
         if let Some(o) = &outage {
             if i == o.at_frame {
-                host.nic.reprogram_bitstream(t);
+                host.reprogram_nic(t);
             }
             // While reprogramming, the app keeps trying to send: those
             // frames must defer into the retry buffer, not vanish.
             if i % 100 == 0 {
                 let _ = host.app_send(conn, &outbound, t);
                 let _ = host.pump_tx(t);
+            }
+        }
+        // Policy churn under fire: flip a second reservation on an
+        // unrelated port through a full two-phase commit. Ports rotate
+        // so successive bundles differ (real map-fill churn), while the
+        // shaping weights stay fixed so the TX scheduler - which may
+        // hold queued frames - is never reconfigured mid-run.
+        if i % POLICY_EVERY == POLICY_EVERY - 1 {
+            let port = 4000 + (i / POLICY_EVERY) as u16 % 16;
+            match host.update_policy(t, |p| {
+                p.reservations.retain(|r| r.port == 7000);
+                p.reservations.push(PortReservation::new(port, Uid(1002)));
+            }) {
+                Ok(_) => policy_commits += 1,
+                Err(CtrlError::CommitFailed { .. }) => policy_rollbacks += 1,
+                Err(CtrlError::Frozen { .. }) => policy_frozen += 1,
+                Err(e) => panic!("unexpected control-plane error: {e}"),
             }
         }
         for d in wire.transmit(t, inbound.bytes().to_vec()) {
@@ -153,6 +213,11 @@ fn run_chaos(scenario: &str, schedule: FaultSchedule, outage: Option<Outage>) ->
         tx_retry_flushed: hs.tx_retry_flushed,
         audits,
         audit_violations,
+        policy_commits,
+        policy_rollbacks,
+        policy_frozen,
+        reconciles: host.ctrl().stats().reconciles,
+        generation: host.policy_generation(),
     }
 }
 
@@ -215,6 +280,8 @@ fn main() {
             "rx malformed",
             "goodput",
             "tx deferred/flushed",
+            "policy ok/rb/frz",
+            "gen",
             "audit violations",
         ],
     );
@@ -226,6 +293,11 @@ fn main() {
             r.rx_malformed.to_string(),
             format!("{:.2}%", r.goodput_pct),
             format!("{}/{}", r.tx_deferred, r.tx_retry_flushed),
+            format!(
+                "{}/{}/{}",
+                r.policy_commits, r.policy_rollbacks, r.policy_frozen
+            ),
+            r.generation.to_string(),
             format!("{}/{} audits", r.audit_violations, r.audits),
         ]);
     }
@@ -269,12 +341,38 @@ fn main() {
         sink.tx_retry_flushed > 0,
         "recovery must flush the deferrals"
     );
-    // (4) Zero invariant violations anywhere.
+    // (4) Zero invariant violations anywhere. Every audit includes the
+    // control plane's third ledger, so this also proves that no commit —
+    // successful, rolled back, or interrupted by the reprogram — ever
+    // left a partially-applied bundle on the NIC.
     let total_violations: u64 = rows.iter().map(|r| r.audit_violations).sum();
     let total_audits: u64 = rows.iter().map(|r| r.audits).sum();
     assert_eq!(
         total_violations, 0,
         "chaos must never corrupt NIC state nor diverge the telemetry ledger from the counters"
+    );
+    // (4b) The control-plane chaos actually fired: across the sweep some
+    // commits landed and some rolled back mid-apply, and each row's live
+    // generation counts exactly the successful commits (baseline + churn).
+    let total_commits: u64 = rows.iter().map(|r| r.policy_commits).sum();
+    let total_rollbacks: u64 = rows.iter().map(|r| r.policy_rollbacks).sum();
+    assert!(total_commits > 0, "policy churn must commit sometimes");
+    assert!(
+        total_rollbacks > 0,
+        "mid-commit policy faults must fire and roll back"
+    );
+    for r in &rows {
+        assert_eq!(
+            r.generation,
+            1 + r.policy_commits,
+            "{}: generation must count successful commits only",
+            r.scenario
+        );
+    }
+    // The reprogram scenario must have reconciled policy onto the wiped NIC.
+    assert!(
+        sink.reconciles >= 1,
+        "bitstream reprogram must trigger a control-plane reconcile"
     );
 
     // (5) Determinism: the same seed replays byte-identically.
@@ -287,6 +385,9 @@ fn main() {
     println!("corrupted frames are caught at the parser, outage TX defers and flushes, and");
     println!(
         "{total_audits} audits across the sweep found {total_violations} invariant violations; replay is byte-identical."
+    );
+    println!(
+        "Control plane under fire: {total_commits} commits landed, {total_rollbacks} rolled back mid-apply — zero partially-applied bundles."
     );
 
     bench::write_json("exp_e9_chaos", &rows);

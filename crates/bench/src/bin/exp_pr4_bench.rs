@@ -1,0 +1,271 @@
+//! PR4 — machine-readable baseline for the unified control plane.
+//!
+//! Three questions about the `norman::ctrl` transaction path, answered
+//! with numbers and written to `BENCH_PR4.json` at the repo root (plus
+//! the usual `results/` mirror):
+//!
+//! 1. **Policy-swap latency** — the kernel CPU (virtual time, exact and
+//!    deterministic) one two-phase commit charges: compile + verify +
+//!    per-operation MMIO to reprogram the NIC + the generation-register
+//!    write. Reported per-commit mean/min/max over a long toggle run.
+//! 2. **Churn goodput** — an RX fast-path workload with a policy commit
+//!    every [`CHURN_EVERY`] frames versus the identical workload with no
+//!    churn. The dataplane never stalls for control-plane work, so churn
+//!    goodput must stay within 5% of the quiet run (acceptance bar).
+//! 3. **Rollback cost** — kernel CPU for a commit whose apply fails
+//!    mid-flight (injected) and is rolled back, versus a successful
+//!    commit of the same mutation. Rollback re-applies the prior bundle,
+//!    so it costs roughly one extra apply — bounded, not pathological.
+//!
+//! Wall-clock figures vary by machine; every virtual-time figure and the
+//! goodput ratio are exact.
+
+use std::net::Ipv4Addr;
+use std::time::Instant;
+
+use norman::host::DeliveryOutcome;
+use norman::{CtrlError, Host, HostConfig, PortReservation, ShapingPolicy};
+use oskernel::Uid;
+use pkt::{IpProto, Mac, Packet, PacketBuilder};
+use serde::Serialize;
+use sim::fault::OpFaultInjector;
+use sim::{Dur, Time};
+
+const FRAMES: u64 = 50_000;
+const GAP: Dur = Dur(200_000);
+const SWAP_COMMITS: u64 = 256;
+const CHURN_EVERY: u64 = 500;
+
+#[derive(Serialize)]
+struct SwapLatency {
+    commits: u64,
+    mean_kernel_ns: f64,
+    min_kernel_ns: f64,
+    max_kernel_ns: f64,
+    wall_us_per_commit: f64,
+    final_generation: u64,
+}
+
+#[derive(Serialize)]
+struct ChurnGoodput {
+    frames: u64,
+    quiet_delivered: u64,
+    churn_delivered: u64,
+    churn_commits: u64,
+    quiet_goodput_pct: f64,
+    churn_goodput_pct: f64,
+    churn_over_quiet_pct: f64,
+}
+
+#[derive(Serialize)]
+struct RollbackCost {
+    commit_kernel_ns: f64,
+    rollback_kernel_ns: f64,
+    rollback_over_commit: f64,
+}
+
+#[derive(Serialize)]
+struct Output {
+    schema: &'static str,
+    swap: SwapLatency,
+    churn: ChurnGoodput,
+    rollback: RollbackCost,
+}
+
+fn mk_host() -> (Host, nicsim::ConnId, Packet) {
+    let mut host = Host::new(HostConfig {
+        ring_slots: 256,
+        ..HostConfig::default()
+    });
+    let pid = host.spawn(Uid(1001), "bob", "server");
+    let conn = host
+        .connect(
+            pid,
+            IpProto::UDP,
+            7000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            false,
+        )
+        .unwrap();
+    // A realistic standing policy: traffic-port reservation, fixed
+    // shaping, so every toggle commit re-lowers a non-trivial bundle.
+    host.update_policy(Time::ZERO, |p| {
+        p.reservations.push(PortReservation::new(7000, Uid(1001)));
+        p.shaping = Some(ShapingPolicy::new(vec![(Uid(1001), 4.0)]));
+    })
+    .unwrap();
+    let inbound = PacketBuilder::new()
+        .ether(Mac::local(9), host.cfg.mac)
+        .ipv4(Ipv4Addr::new(10, 0, 0, 2), host.cfg.ip)
+        .udp(9000, 7000, &[0u8; 1458])
+        .build();
+    (host, conn, inbound)
+}
+
+/// Toggles a secondary reservation through a full commit, returning the
+/// kernel-CPU charge of that commit in virtual ns.
+fn toggle_commit(host: &mut Host, t: Time, i: u64) -> f64 {
+    let before = host.kernel_cpu;
+    host.update_policy(t, |p| {
+        p.reservations.retain(|r| r.port == 7000);
+        p.reservations
+            .push(PortReservation::new(4000 + (i % 16) as u16, Uid(1002)));
+    })
+    .unwrap();
+    (host.kernel_cpu - before).as_ns_f64()
+}
+
+fn rx_workload(host: &mut Host, conn: nicsim::ConnId, inbound: &Packet, churn: bool) -> (u64, u64) {
+    let mut delivered = 0u64;
+    let mut commits = 0u64;
+    for i in 0..FRAMES {
+        let t = Time::ZERO + GAP * i;
+        if churn && i % CHURN_EVERY == CHURN_EVERY - 1 {
+            toggle_commit(host, t, i / CHURN_EVERY);
+            commits += 1;
+        }
+        let rep = host.deliver_from_wire(inbound, t);
+        if matches!(rep.outcome, DeliveryOutcome::FastPath(_)) {
+            delivered += 1;
+        }
+        if i % 8 == 0 {
+            while host.app_recv(conn, t, false).len.is_some() {}
+        }
+    }
+    (delivered, commits)
+}
+
+fn main() {
+    println!("PR4: control-plane baseline — swap latency, churn goodput, rollback cost\n");
+
+    // --- 1. policy-swap latency -------------------------------------------
+    let (mut host, _, _) = mk_host();
+    let mut per_commit = Vec::with_capacity(SWAP_COMMITS as usize);
+    let start = Instant::now();
+    for i in 0..SWAP_COMMITS {
+        per_commit.push(toggle_commit(&mut host, Time::ZERO + GAP * i, i));
+    }
+    let wall_us = start.elapsed().as_micros() as f64 / SWAP_COMMITS as f64;
+    let mean = per_commit.iter().sum::<f64>() / per_commit.len() as f64;
+    let min = per_commit.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_commit.iter().cloned().fold(0.0f64, f64::max);
+    assert!(host.audit().is_empty(), "audit: {:?}", host.audit());
+    let swap = SwapLatency {
+        commits: SWAP_COMMITS,
+        mean_kernel_ns: mean,
+        min_kernel_ns: min,
+        max_kernel_ns: max,
+        wall_us_per_commit: wall_us,
+        final_generation: host.policy_generation(),
+    };
+    assert_eq!(swap.final_generation, 1 + SWAP_COMMITS);
+
+    // --- 2. goodput under churn vs quiet ----------------------------------
+    let (mut quiet_host, conn, inbound) = mk_host();
+    let (quiet_delivered, _) = rx_workload(&mut quiet_host, conn, &inbound, false);
+    let (mut churn_host, conn, inbound) = mk_host();
+    let (churn_delivered, churn_commits) = rx_workload(&mut churn_host, conn, &inbound, true);
+    assert!(churn_host.audit().is_empty());
+    let quiet_pct = 100.0 * quiet_delivered as f64 / FRAMES as f64;
+    let churn_pct = 100.0 * churn_delivered as f64 / FRAMES as f64;
+    let ratio_pct = 100.0 * churn_delivered as f64 / quiet_delivered as f64;
+    let churn = ChurnGoodput {
+        frames: FRAMES,
+        quiet_delivered,
+        churn_delivered,
+        churn_commits,
+        quiet_goodput_pct: quiet_pct,
+        churn_goodput_pct: churn_pct,
+        churn_over_quiet_pct: ratio_pct,
+    };
+
+    // --- 3. rollback cost --------------------------------------------------
+    let (mut host, _, _) = mk_host();
+    // Reference: the same mutation committing cleanly.
+    let commit_ns = toggle_commit(&mut host, Time::ZERO, 0);
+    // Now fail the apply midway: phase 2 must undo the partial work by
+    // re-applying the prior bundle, and the host charges for both.
+    host.set_policy_fault_injector(OpFaultInjector::fail_nth(3));
+    let before = host.kernel_cpu;
+    let err = host.update_policy(Time::ZERO, |p| {
+        p.reservations.retain(|r| r.port == 7000);
+        p.reservations.push(PortReservation::new(4001, Uid(1002)));
+    });
+    assert!(matches!(err, Err(CtrlError::CommitFailed { .. })));
+    let rollback_ns = (host.kernel_cpu - before).as_ns_f64();
+    host.set_policy_fault_injector(OpFaultInjector::never());
+    assert!(host.audit().is_empty(), "rollback left partial state");
+    let rollback = RollbackCost {
+        commit_kernel_ns: commit_ns,
+        rollback_kernel_ns: rollback_ns,
+        rollback_over_commit: rollback_ns / commit_ns,
+    };
+
+    let out = Output {
+        schema: "norman-bench-pr4-v1",
+        swap,
+        churn,
+        rollback,
+    };
+
+    let mut table = bench::Table::new(
+        "PR4 — control-plane costs (virtual kernel ns)",
+        &["metric", "value"],
+    );
+    table.row(&[
+        "swap mean / min / max (ns)".into(),
+        format!(
+            "{:.0} / {:.0} / {:.0}",
+            out.swap.mean_kernel_ns, out.swap.min_kernel_ns, out.swap.max_kernel_ns
+        ),
+    ]);
+    table.row(&[
+        "swap wall clock (us/commit)".into(),
+        format!("{:.1}", out.swap.wall_us_per_commit),
+    ]);
+    table.row(&[
+        "goodput quiet / churn (%)".into(),
+        format!(
+            "{:.2} / {:.2} ({} commits)",
+            out.churn.quiet_goodput_pct, out.churn.churn_goodput_pct, out.churn.churn_commits
+        ),
+    ]);
+    table.row(&[
+        "rollback vs commit (ns)".into(),
+        format!(
+            "{:.0} vs {:.0} ({:.2}x)",
+            out.rollback.rollback_kernel_ns,
+            out.rollback.commit_kernel_ns,
+            out.rollback.rollback_over_commit
+        ),
+    ]);
+    table.print();
+
+    // Acceptance bars.
+    assert!(
+        out.churn.churn_over_quiet_pct >= 95.0,
+        "churn goodput {:.2}% of quiet — policy swaps must not stall the dataplane",
+        out.churn.churn_over_quiet_pct
+    );
+    assert!(
+        out.rollback.rollback_over_commit < 3.0,
+        "rollback should cost at most a couple of applies, got {:.2}x",
+        out.rollback.rollback_over_commit
+    );
+    assert!(out.swap.mean_kernel_ns > 0.0);
+    println!(
+        "\nShape check PASSED: commits swap policy for ~{:.0} ns of kernel CPU, churn keeps",
+        out.swap.mean_kernel_ns
+    );
+    println!(
+        "{:.2}% of quiet goodput (bar: 95%), and a mid-apply failure rolls back for {:.2}x a clean commit.",
+        out.churn.churn_over_quiet_pct, out.rollback.rollback_over_commit
+    );
+
+    let json = serde_json::to_string_pretty(&out).expect("serialize");
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_PR4.json");
+    std::fs::write(&root, &json).expect("write BENCH_PR4.json");
+    println!("[control-plane baseline written to {}]", root.display());
+    bench::write_json("exp_pr4_bench", &out);
+}

@@ -45,6 +45,7 @@ fn main() {
             arp_only: true,
             ..SnifferFilter::all()
         },
+        Time::ZERO,
     )
     .unwrap();
     tb.run_arp_flood(10, Time::ZERO);

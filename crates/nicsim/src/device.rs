@@ -44,6 +44,12 @@ pub enum ProgramSlot {
     Classifier,
 }
 
+/// Kernel-region MMIO register holding the installed policy generation.
+/// Written only by the control plane's commit step; apps reading or
+/// writing it fault. The audit third ledger cross-checks it against the
+/// kernel's policy store.
+pub const POLICY_GENERATION_REG: u64 = 0x20_0000;
+
 /// Errors from NIC operations.
 #[derive(Debug)]
 pub enum NicError {
@@ -64,6 +70,13 @@ pub enum NicError {
     AccountingSlotsFull,
     /// Map access outside any loaded program's maps.
     NoSuchMap,
+    /// Scheduler weights rejected (empty, non-finite, or non-positive).
+    InvalidWeights {
+        /// Index of the offending weight (0 for an empty list).
+        index: usize,
+        /// The offending value (0.0 for an empty list).
+        weight: f64,
+    },
 }
 
 impl std::fmt::Display for NicError {
@@ -78,6 +91,12 @@ impl std::fmt::Display for NicError {
             NicError::TxQueueFull => write!(f, "TX scheduler queue full"),
             NicError::AccountingSlotsFull => write!(f, "all accounting slots in use"),
             NicError::NoSuchMap => write!(f, "no such program map"),
+            NicError::InvalidWeights { index, weight } => {
+                write!(
+                    f,
+                    "scheduler weight {weight} at index {index} must be finite and positive"
+                )
+            }
         }
     }
 }
@@ -176,6 +195,7 @@ fn trace_ev(
         tuple: meta.and_then(|m| m.tuple),
         len,
         owner: attr.map(|(uid, pid, comm)| Owner::new(uid, pid, comm)),
+        generation: 0,
     }
 }
 
@@ -221,11 +241,13 @@ impl SmartNic {
         let scheduler = Wfq::new(&[1.0], cfg.tx_queue_limit);
         let tel = Telemetry::new();
         let tel_hists = register_nic_hists(&tel);
+        let mut regs = RegFile::new();
+        regs.define_kernel(POLICY_GENERATION_REG);
         SmartNic {
             sniffer: Sniffer::new(cfg.sniffer_capacity),
             sram,
             flows: FlowTable::new(),
-            regs: RegFile::new(),
+            regs,
             link,
             ingress_filter: None,
             egress_filter: None,
@@ -408,14 +430,17 @@ impl SmartNic {
         }
     }
 
-    /// Reads a map entry from a loaded program.
-    pub fn read_map(&mut self, slot: ProgramSlot, map: usize, key: usize) -> Option<u64> {
+    fn slot_vm(&self, slot: ProgramSlot) -> Option<&Vm> {
         match slot {
             ProgramSlot::IngressFilter => self.ingress_filter.as_ref(),
             ProgramSlot::EgressFilter => self.egress_filter.as_ref(),
             ProgramSlot::Classifier => self.classifier.as_ref(),
-        }?
-        .map_get(map, key)
+        }
+    }
+
+    /// Reads a map entry from a loaded program.
+    pub fn read_map(&self, slot: ProgramSlot, map: usize, key: usize) -> Option<u64> {
+        self.slot_vm(slot)?.map_get(map, key)
     }
 
     /// Reads a map entry from an accounting program.
@@ -423,9 +448,50 @@ impl SmartNic {
         self.accounting.get(index)?.map_get(map, key)
     }
 
-    /// Configures the TX scheduler with per-class weights.
-    pub fn configure_scheduler(&mut self, weights: &[f64]) {
+    /// Returns whether `slot` currently holds a program.
+    pub fn program_loaded(&self, slot: ProgramSlot) -> bool {
+        self.slot_vm(slot).is_some()
+    }
+
+    /// Content fingerprint of the program resident in `slot`, if any
+    /// (the control plane's audit compares this against its policy store).
+    pub fn program_fingerprint(&self, slot: ProgramSlot) -> Option<u64> {
+        self.slot_vm(slot).map(|vm| vm.program().fingerprint())
+    }
+
+    /// Number of resident accounting programs.
+    pub fn num_accounting(&self) -> usize {
+        self.accounting.len()
+    }
+
+    /// Content fingerprints of resident accounting programs, in slot
+    /// order.
+    pub fn accounting_fingerprints(&self) -> Vec<u64> {
+        self.accounting
+            .iter()
+            .map(|vm| vm.program().fingerprint())
+            .collect()
+    }
+
+    /// Configures the TX scheduler with per-class weights. Rejects empty,
+    /// non-finite, or non-positive weights — a NaN weight would silently
+    /// wedge the WFQ virtual-time arithmetic.
+    pub fn configure_scheduler(&mut self, weights: &[f64]) -> Result<(), NicError> {
+        if weights.is_empty() {
+            return Err(NicError::InvalidWeights {
+                index: 0,
+                weight: 0.0,
+            });
+        }
+        if let Some((index, &weight)) = weights
+            .iter()
+            .enumerate()
+            .find(|&(_, &w)| !(w.is_finite() && w > 0.0))
+        {
+            return Err(NicError::InvalidWeights { index, weight });
+        }
         self.scheduler = Wfq::new(weights, self.cfg.tx_queue_limit);
+        Ok(())
     }
 
     /// Returns per-class bytes sent by the scheduler.
@@ -556,6 +622,17 @@ impl SmartNic {
         } else {
             Ok(())
         }
+    }
+
+    /// Returns whether the dataplane is down for a bitstream reprogram at
+    /// `now`.
+    pub fn is_frozen(&self, now: Time) -> bool {
+        now < self.frozen_until
+    }
+
+    /// When the current (or last) bitstream reprogram window ends.
+    pub fn frozen_until(&self) -> Time {
+        self.frozen_until
     }
 
     /// Cross-layer invariant audit: verifies that SRAM accounting matches
@@ -1752,7 +1829,7 @@ mod tests {
         let id = nic
             .open_connection(rx_tuple(5000), 1001, 7, "app", false)
             .unwrap();
-        nic.configure_scheduler(&[1.0, 3.0]);
+        nic.configure_scheduler(&[1.0, 3.0]).unwrap();
         nic.load_program(
             ProgramSlot::Classifier,
             builtins::uid_classifier(),
@@ -1767,6 +1844,37 @@ mod tests {
         assert_eq!(dep.conn, id);
         assert!(dep.arrives_at > Time::ZERO);
         assert_eq!(nic.stats().tx_sent, 1);
+    }
+
+    #[test]
+    fn scheduler_rejects_degenerate_weights() {
+        let mut nic = nic();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, 0.0, -1.0] {
+            let err = nic.configure_scheduler(&[1.0, bad]);
+            assert!(
+                matches!(err, Err(NicError::InvalidWeights { index: 1, .. })),
+                "{bad} accepted"
+            );
+        }
+        assert!(matches!(
+            nic.configure_scheduler(&[]),
+            Err(NicError::InvalidWeights { index: 0, .. })
+        ));
+        // The existing (valid) scheduler survives every rejection.
+        assert!(nic.configure_scheduler(&[2.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn generation_register_is_kernel_only() {
+        let mut nic = nic();
+        assert_eq!(nic.regs.peek(POLICY_GENERATION_REG), Some(0));
+        assert!(nic.regs.write(POLICY_GENERATION_REG, 3, None).is_ok());
+        assert_eq!(nic.regs.peek(POLICY_GENERATION_REG), Some(3));
+        // An app touching the generation register faults and changes
+        // nothing.
+        assert!(nic.regs.write(POLICY_GENERATION_REG, 9, Some(42)).is_err());
+        assert_eq!(nic.regs.peek(POLICY_GENERATION_REG), Some(3));
+        assert_eq!(nic.regs.violations(), 1);
     }
 
     #[test]

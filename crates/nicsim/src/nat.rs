@@ -37,6 +37,14 @@ pub enum NatError {
     },
     /// The external port pool is exhausted.
     PortsExhausted,
+    /// A static rule would collide with an existing mapping on this
+    /// (proto, external port).
+    Conflict {
+        /// The transport protocol.
+        proto: IpProto,
+        /// The contested external port.
+        port: u16,
+    },
     /// The NIC SRAM budget refused a new entry.
     Sram(SramError),
 }
@@ -49,6 +57,9 @@ impl std::fmt::Display for NatError {
                 write!(f, "no NAT mapping for inbound {proto} port {port}")
             }
             NatError::PortsExhausted => write!(f, "NAT external port pool exhausted"),
+            NatError::Conflict { proto, port } => {
+                write!(f, "NAT mapping for {proto} port {port} already exists")
+            }
             NatError::Sram(e) => write!(f, "{e}"),
         }
     }
@@ -69,6 +80,9 @@ pub struct NatTable {
     outbound: HashMap<(Ipv4Addr, u16, IpProto), u16>,
     /// (proto, external port) → (internal ip, internal port).
     inbound: HashMap<(IpProto, u16), (Ipv4Addr, u16)>,
+    /// Keys in `inbound` pinned by control-plane static rules (port
+    /// forwards); never expired by dataplane aging.
+    statics: HashMap<(IpProto, u16), (Ipv4Addr, u16)>,
     next_port: u16,
     translated_out: u64,
     translated_in: u64,
@@ -83,6 +97,7 @@ impl NatTable {
             external_ip,
             outbound: HashMap::new(),
             inbound: HashMap::new(),
+            statics: HashMap::new(),
             next_port: PORT_LO,
             translated_out: 0,
             translated_in: 0,
@@ -109,6 +124,7 @@ impl NatTable {
             tuple: frame.meta.tuple,
             len: frame.len() as u32,
             owner: None,
+            generation: 0,
         });
     }
 
@@ -249,18 +265,85 @@ impl NatTable {
         reg.set_counter("nat.translated_in", self.translated_in);
         reg.set_counter("nat.misses", self.misses);
         reg.set_counter("nat.mappings", self.inbound.len() as u64);
+        reg.set_counter("nat.static_mappings", self.statics.len() as u64);
     }
 
     /// Expires the mapping for an internal endpoint, returning SRAM.
+    /// Static rules are control-plane state and never expire this way.
     pub fn expire(&mut self, internal: (Ipv4Addr, u16, IpProto), sram: &mut Sram) -> bool {
-        match self.outbound.remove(&internal) {
-            Some(ext_port) => {
-                self.inbound.remove(&(internal.2, ext_port));
-                sram.release(SramCategory::Nat, NAT_ENTRY_BYTES);
-                true
-            }
-            None => false,
+        let Some(&ext_port) = self.outbound.get(&internal) else {
+            return false;
+        };
+        if self.statics.contains_key(&(internal.2, ext_port)) {
+            return false;
         }
+        self.outbound.remove(&internal);
+        self.inbound.remove(&(internal.2, ext_port));
+        sram.release(SramCategory::Nat, NAT_ENTRY_BYTES);
+        true
+    }
+
+    /// Installs a static inbound rule (port forward): traffic to
+    /// `(proto, ext_port)` on the external address is rewritten to
+    /// `internal`, and outbound traffic from `internal` masquerades with
+    /// the same external port. Charges one SRAM entry; refuses ports
+    /// already mapped (dynamically or statically).
+    pub fn install_static(
+        &mut self,
+        proto: IpProto,
+        ext_port: u16,
+        internal: (Ipv4Addr, u16),
+        sram: &mut Sram,
+    ) -> Result<(), NatError> {
+        if self.inbound.contains_key(&(proto, ext_port)) {
+            return Err(NatError::Conflict {
+                proto,
+                port: ext_port,
+            });
+        }
+        sram.alloc(SramCategory::Nat, NAT_ENTRY_BYTES)?;
+        self.inbound.insert((proto, ext_port), internal);
+        self.statics.insert((proto, ext_port), internal);
+        self.outbound
+            .insert((internal.0, internal.1, proto), ext_port);
+        Ok(())
+    }
+
+    /// Removes a static rule, returning its SRAM. `false` when no such
+    /// rule exists.
+    pub fn remove_static(&mut self, proto: IpProto, ext_port: u16, sram: &mut Sram) -> bool {
+        let Some(internal) = self.statics.remove(&(proto, ext_port)) else {
+            return false;
+        };
+        self.inbound.remove(&(proto, ext_port));
+        self.outbound.remove(&(internal.0, internal.1, proto));
+        sram.release(SramCategory::Nat, NAT_ENTRY_BYTES);
+        true
+    }
+
+    /// Removes every static rule (control-plane bundle teardown).
+    pub fn clear_statics(&mut self, sram: &mut Sram) {
+        let keys: Vec<(IpProto, u16)> = self.statics.keys().copied().collect();
+        for (proto, port) in keys {
+            self.remove_static(proto, port, sram);
+        }
+    }
+
+    /// Number of installed static rules.
+    pub fn num_statics(&self) -> usize {
+        self.statics.len()
+    }
+
+    /// The internal endpoint a static rule forwards `(proto, ext_port)`
+    /// to, if one is installed (audit hook; non-mutating, no miss count).
+    pub fn static_target(&self, proto: IpProto, ext_port: u16) -> Option<(Ipv4Addr, u16)> {
+        self.statics.get(&(proto, ext_port)).copied()
+    }
+
+    /// Non-mutating inbound lookup for audits: what the dataplane would
+    /// rewrite `(proto, ext_port)` to, without counting a miss.
+    pub fn lookup_inbound(&self, proto: IpProto, ext_port: u16) -> Option<(Ipv4Addr, u16)> {
+        self.inbound.get(&(proto, ext_port)).copied()
     }
 }
 
@@ -393,6 +476,63 @@ mod tests {
             .build();
         assert!(nat.translate_inbound(&reply).is_err());
         assert!(!nat.expire((addr("192.168.1.10"), 5555, IpProto::UDP), &mut sram));
+    }
+
+    #[test]
+    fn static_rules_forward_and_survive_expiry() {
+        let (mut nat, mut sram) = setup();
+        nat.install_static(IpProto::UDP, 8053, (addr("192.168.1.10"), 53), &mut sram)
+            .unwrap();
+        assert_eq!(nat.num_statics(), 1);
+        assert_eq!(
+            nat.static_target(IpProto::UDP, 8053),
+            Some((addr("192.168.1.10"), 53))
+        );
+        assert_eq!(sram.used_by(SramCategory::Nat), NAT_ENTRY_BYTES);
+
+        // Inbound traffic to the forwarded port reaches the internal host.
+        let inbound = PacketBuilder::new()
+            .ether(Mac::local(2), Mac::local(1))
+            .ipv4(addr("8.8.8.8"), addr("203.0.113.1"))
+            .udp(5353, 8053, b"query")
+            .build();
+        let fwd = nat.translate_inbound(&inbound).unwrap();
+        let ft = FiveTuple::from_parsed(&fwd.parse().unwrap()).unwrap();
+        assert_eq!((ft.dst_ip, ft.dst_port), (addr("192.168.1.10"), 53));
+
+        // A second rule on the same port conflicts.
+        assert!(matches!(
+            nat.install_static(IpProto::UDP, 8053, (addr("192.168.1.11"), 53), &mut sram),
+            Err(NatError::Conflict { port: 8053, .. })
+        ));
+
+        // Dataplane expiry cannot evict control-plane state.
+        assert!(!nat.expire((addr("192.168.1.10"), 53, IpProto::UDP), &mut sram));
+        assert_eq!(nat.num_statics(), 1);
+
+        // Removal returns the SRAM.
+        assert!(nat.remove_static(IpProto::UDP, 8053, &mut sram));
+        assert_eq!(sram.used_by(SramCategory::Nat), 0);
+        assert!(nat.lookup_inbound(IpProto::UDP, 8053).is_none());
+    }
+
+    #[test]
+    fn clear_statics_releases_everything_but_dynamics() {
+        let (mut nat, mut sram) = setup();
+        nat.translate_outbound(&outbound_pkt("192.168.1.50", 9999), &mut sram)
+            .unwrap();
+        nat.install_static(IpProto::UDP, 8053, (addr("192.168.1.10"), 53), &mut sram)
+            .unwrap();
+        nat.install_static(IpProto::UDP, 8054, (addr("192.168.1.11"), 53), &mut sram)
+            .unwrap();
+        assert_eq!(sram.used_by(SramCategory::Nat), 3 * NAT_ENTRY_BYTES);
+        nat.clear_statics(&mut sram);
+        assert_eq!(nat.num_statics(), 0);
+        assert_eq!(sram.used_by(SramCategory::Nat), NAT_ENTRY_BYTES);
+        // The dynamic mapping still translates.
+        assert!(nat
+            .translate_outbound(&outbound_pkt("192.168.1.50", 9999), &mut sram)
+            .is_ok());
     }
 
     #[test]

@@ -151,6 +151,12 @@ impl RegFile {
         self.check(addr, pid)?;
         Ok(self.regs[&addr].value)
     }
+
+    /// Non-mutating privileged read for audits: no access check, no
+    /// violation accounting, `None` when the register does not exist.
+    pub fn peek(&self, addr: u64) -> Option<u64> {
+        self.regs.get(&addr).map(|r| r.value)
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +213,16 @@ mod tests {
             rf.write(0x2000, 1, Some(10)),
             Err(RegError::NoSuchRegister { .. })
         ));
+    }
+
+    #[test]
+    fn peek_never_faults_or_counts() {
+        let mut rf = RegFile::new();
+        rf.define_kernel(0x1000);
+        rf.write(0x1000, 9, None).unwrap();
+        assert_eq!(rf.peek(0x1000), Some(9));
+        assert_eq!(rf.peek(0x9999), None);
+        assert_eq!(rf.violations(), 0);
     }
 
     #[test]

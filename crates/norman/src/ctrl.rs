@@ -1,0 +1,759 @@
+//! The unified, transactional control plane: the *only* writer of
+//! dataplane policy.
+//!
+//! The paper's architecture (§4.4) has exactly one configurer of the
+//! on-path SmartNIC — the kernel. This module enforces that shape in the
+//! simulator: every policy the administrator can express (port
+//! reservations, per-user shaping, capture filters, NAT forwards, raw
+//! accounting programs) lives in one kernel-resident [`PolicyStore`],
+//! compiles into one [`PolicyBundle`] (overlay programs + map fills +
+//! scheduler weights + NAT entries + register writes), and reaches the
+//! NIC only through an epoch-versioned two-phase commit:
+//!
+//! * **Phase 1 — verify & stage.** The bundle is compiled and every
+//!   overlay program is run through the verifier; scheduler weights are
+//!   validated. Nothing on the NIC changes. A staged bundle is plain
+//!   kernel memory — a concurrent app poking MMIO registers can fault
+//!   all it wants without corrupting it.
+//! * **Phase 2 — swap.** The resident bundle is replaced step by step
+//!   and the new **generation number** is written to the NIC's
+//!   kernel-only generation register ([`nicsim::POLICY_GENERATION_REG`])
+//!   and stamped into every subsequent telemetry event. If any step
+//!   fails mid-commit (injectable via [`sim::fault::OpFaultInjector`]),
+//!   the control plane rolls the NIC back to the prior bundle and the
+//!   generation does not advance — observers never see a
+//!   partially-applied policy across a commit boundary.
+//!
+//! Two more duties round out the OS-owns-the-NIC story:
+//!
+//! * **Reconciliation.** A bitstream reprogram wipes all NIC-resident
+//!   overlay state. The control plane notices (the reprogram counter
+//!   moved) and re-derives and reinstalls the full bundle from the
+//!   policy store as soon as the dataplane is back — policies survive
+//!   new hardware.
+//! * **The third audit ledger.** [`ControlPlane::audit`] cross-checks
+//!   NIC-resident state (program fingerprints, filter map entries,
+//!   scheduler classes, sniffer, NAT statics, the generation register)
+//!   against the kernel's policy store, giving `Host::audit` a third,
+//!   structurally independent account of the dataplane.
+
+use std::net::Ipv4Addr;
+
+use nicsim::device::ProgramSlot;
+use nicsim::{NatTable, SmartNic, POLICY_GENERATION_REG};
+use overlay::{builtins, Program};
+use pkt::IpProto;
+use qdisc::compile;
+use sim::fault::OpFaultInjector;
+use sim::Time;
+use telemetry::{Registry, Telemetry};
+
+use crate::policy::{PortReservation, ShapingPolicy};
+use nicsim::SnifferFilter;
+
+/// Commit history entries kept for `npolicy status`.
+const HISTORY_CAP: usize = 64;
+
+/// A static NAT forward: inbound `(proto, ext_port)` is rewritten to
+/// `internal`, and outbound traffic from `internal` masquerades with the
+/// same external port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NatRule {
+    /// Transport protocol.
+    pub proto: IpProto,
+    /// External (public) port.
+    pub ext_port: u16,
+    /// Internal endpoint the rule forwards to.
+    pub internal: (Ipv4Addr, u16),
+}
+
+/// The kernel's complete, authoritative policy state. Mutated only
+/// inside [`ControlPlane::update`]-style transactions; the store never
+/// diverges from the installed bundle except while a reconcile is
+/// pending after a bitstream reprogram.
+#[derive(Clone, Debug, Default)]
+pub struct PolicyStore {
+    /// Port reservations (lowered to ingress+egress owner filters).
+    pub reservations: Vec<PortReservation>,
+    /// Per-user WFQ shaping (lowered to a classifier + scheduler
+    /// weights).
+    pub shaping: Option<ShapingPolicy>,
+    /// Capture-tap filter, when sniffing is on.
+    pub sniffer: Option<SnifferFilter>,
+    /// Raw passive accounting programs (verdicts ignored).
+    pub accounting: Vec<Program>,
+    /// NAT masquerade address, when NAT policy is in force.
+    pub nat_external_ip: Option<Ipv4Addr>,
+    /// Static NAT forwards (require `nat_external_ip`).
+    pub nat_rules: Vec<NatRule>,
+}
+
+/// Everything phase 2 installs, in apply order. Compiled from a
+/// [`PolicyStore`] by [`PolicyBundle::compile`]; immutable afterwards.
+#[derive(Clone, Debug)]
+pub struct PolicyBundle {
+    /// Programs per overlay slot.
+    programs: Vec<(ProgramSlot, Program)>,
+    /// `(slot, map, key, value)` MMIO data writes after load.
+    map_fills: Vec<(ProgramSlot, usize, usize, u64)>,
+    /// Scheduler weights (always at least one class).
+    sched_weights: Vec<f64>,
+    /// Passive accounting programs.
+    accounting: Vec<Program>,
+    /// Capture-tap filter.
+    sniffer: Option<SnifferFilter>,
+    /// NAT masquerade address + static forwards.
+    nat: Option<(Ipv4Addr, Vec<NatRule>)>,
+}
+
+impl PolicyBundle {
+    /// The boot-time bundle: pass-through overlay, single-class
+    /// scheduler, no taps, no NAT.
+    pub fn empty() -> PolicyBundle {
+        PolicyBundle {
+            programs: Vec::new(),
+            map_fills: Vec::new(),
+            sched_weights: vec![1.0],
+            accounting: Vec::new(),
+            sniffer: None,
+            nat: None,
+        }
+    }
+
+    /// Phase 1: lowers the store to an installable bundle, running every
+    /// program through the overlay verifier and validating scheduler
+    /// weights. Pure — no NIC state is touched.
+    pub fn compile(store: &PolicyStore) -> Result<PolicyBundle, CtrlError> {
+        let mut programs = Vec::new();
+        let mut map_fills = Vec::new();
+
+        if !store.reservations.is_empty() {
+            for slot in [ProgramSlot::IngressFilter, ProgramSlot::EgressFilter] {
+                programs.push((slot, builtins::port_owner_filter()));
+                for r in &store.reservations {
+                    // uid+1 in the rules map (0 = unreserved).
+                    map_fills.push((slot, 0, r.port as usize, u64::from(r.uid.0) + 1));
+                }
+            }
+        }
+
+        let sched_weights = match &store.shaping {
+            Some(policy) => {
+                let users: Vec<(u32, f64)> = policy
+                    .user_weights
+                    .iter()
+                    .map(|&(uid, w)| (uid.0, w))
+                    .collect();
+                let setup = compile::try_compile_uid_wfq(&users, policy.default_weight)
+                    .map_err(|e| CtrlError::Compile(e.to_string()))?;
+                for (map, key, value) in setup.map_fills {
+                    map_fills.push((ProgramSlot::Classifier, map, key, value));
+                }
+                programs.push((ProgramSlot::Classifier, setup.program));
+                setup.class_weights
+            }
+            None => vec![1.0],
+        };
+
+        let nat = match (store.nat_external_ip, store.nat_rules.is_empty()) {
+            (Some(ip), _) => {
+                let mut seen = std::collections::HashSet::new();
+                for r in &store.nat_rules {
+                    if !seen.insert((r.proto, r.ext_port)) {
+                        return Err(CtrlError::Compile(format!(
+                            "duplicate NAT rule for {} port {}",
+                            r.proto, r.ext_port
+                        )));
+                    }
+                }
+                Some((ip, store.nat_rules.clone()))
+            }
+            (None, false) => {
+                return Err(CtrlError::Compile(
+                    "NAT rules require an external ip".to_string(),
+                ));
+            }
+            (None, true) => None,
+        };
+
+        // Verify every program the bundle would install (the load path
+        // verifies again; this keeps phase 1 side-effect-free while
+        // still refusing bad bundles before anything is staged).
+        for (_, program) in &programs {
+            overlay::verify(program).map_err(|e| {
+                CtrlError::Compile(format!("program '{}' rejected: {e}", program.name))
+            })?;
+        }
+        for program in &store.accounting {
+            overlay::verify(program).map_err(|e| {
+                CtrlError::Compile(format!("accounting '{}' rejected: {e}", program.name))
+            })?;
+        }
+
+        Ok(PolicyBundle {
+            programs,
+            map_fills,
+            sched_weights,
+            accounting: store.accounting.clone(),
+            sniffer: store.sniffer,
+            nat,
+        })
+    }
+
+    fn program_for(&self, slot: ProgramSlot) -> Option<&Program> {
+        self.programs
+            .iter()
+            .find(|(s, _)| *s == slot)
+            .map(|(_, p)| p)
+    }
+}
+
+/// A bundle that passed phase 1 and is waiting for phase 2. Plain
+/// kernel memory: NIC-side faults (e.g. an app writing control
+/// registers) cannot touch it.
+#[derive(Clone, Debug)]
+pub struct StagedCommit {
+    store: PolicyStore,
+    bundle: PolicyBundle,
+}
+
+impl StagedCommit {
+    /// The store this staged commit will install.
+    pub fn store(&self) -> &PolicyStore {
+        &self.store
+    }
+}
+
+/// Control-plane failures.
+#[derive(Debug)]
+pub enum CtrlError {
+    /// Phase 1 refused the policy (verifier, weights, NAT conflicts).
+    Compile(String),
+    /// The dataplane is down for a bitstream reprogram.
+    Frozen {
+        /// When it comes back.
+        until: Time,
+    },
+    /// Phase 2 failed at `step`; the NIC was rolled back to the prior
+    /// generation.
+    CommitFailed {
+        /// The apply step that failed.
+        step: String,
+    },
+    /// Phase 2 failed *and* the rollback failed — the NIC state is
+    /// undefined. Only reachable if the fault model breaks the
+    /// recovery path's invariants; treated as fatal by callers.
+    RollbackFailed {
+        /// The rollback step that failed.
+        step: String,
+    },
+}
+
+impl std::fmt::Display for CtrlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CtrlError::Compile(e) => write!(f, "policy rejected: {e}"),
+            CtrlError::Frozen { until } => write!(f, "dataplane reprogramming until {until}"),
+            CtrlError::CommitFailed { step } => {
+                write!(
+                    f,
+                    "commit failed at {step}; rolled back to prior generation"
+                )
+            }
+            CtrlError::RollbackFailed { step } => {
+                write!(f, "rollback failed at {step}; NIC state undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CtrlError {}
+
+/// What a history entry records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommitAction {
+    /// A bundle was committed under a new generation.
+    Committed,
+    /// A commit failed mid-apply and the prior bundle was restored.
+    RolledBack,
+    /// The bundle was reinstalled after a bitstream reprogram.
+    Reconciled,
+}
+
+impl std::fmt::Display for CommitAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitAction::Committed => write!(f, "committed"),
+            CommitAction::RolledBack => write!(f, "rolled-back"),
+            CommitAction::Reconciled => write!(f, "reconciled"),
+        }
+    }
+}
+
+/// One line of commit history.
+#[derive(Clone, Debug)]
+pub struct CommitRecord {
+    /// The generation in force *after* the action.
+    pub generation: u64,
+    /// Virtual time of the action.
+    pub at: Time,
+    /// What happened.
+    pub action: CommitAction,
+    /// Human detail (failing step, program counts).
+    pub detail: String,
+}
+
+/// Control-plane counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CtrlStats {
+    /// Successful commits (== generation).
+    pub commits: u64,
+    /// Mid-commit failures recovered by rollback.
+    pub rollbacks: u64,
+    /// Bundle reinstalls after bitstream reprograms.
+    pub reconciles: u64,
+    /// Individual apply operations executed (including rollbacks).
+    pub apply_ops: u64,
+}
+
+/// The kernel control plane: policy store, installed bundle, generation
+/// counter, and the commit/reconcile machinery.
+pub struct ControlPlane {
+    store: PolicyStore,
+    installed: PolicyBundle,
+    generation: u64,
+    /// Scheduler weights currently programmed — the scheduler holds
+    /// queued frames and per-class counters, so apply only reconfigures
+    /// it when the weights actually change.
+    applied_weights: Vec<f64>,
+    /// Bitstream reprograms already reflected in NIC-resident state.
+    reprograms_seen: u64,
+    faults: OpFaultInjector,
+    stats: CtrlStats,
+    history: Vec<CommitRecord>,
+    tel: Telemetry,
+}
+
+impl ControlPlane {
+    /// Creates a boot-state control plane sharing the host's telemetry
+    /// hub (generation stamps).
+    pub fn new(tel: Telemetry) -> ControlPlane {
+        ControlPlane {
+            store: PolicyStore::default(),
+            installed: PolicyBundle::empty(),
+            generation: 0,
+            applied_weights: vec![1.0],
+            reprograms_seen: 0,
+            faults: OpFaultInjector::never(),
+            stats: CtrlStats::default(),
+            history: Vec::new(),
+            tel,
+        }
+    }
+
+    /// The authoritative policy store.
+    pub fn store(&self) -> &PolicyStore {
+        &self.store
+    }
+
+    /// The installed policy generation (0 = boot, nothing committed).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Control-plane counters.
+    pub fn stats(&self) -> CtrlStats {
+        self.stats
+    }
+
+    /// Commit history, oldest first (bounded).
+    pub fn history(&self) -> &[CommitRecord] {
+        &self.history
+    }
+
+    /// Arms (or disarms) fault injection on phase-2 apply steps. The
+    /// injector is consulted once per operation during commits — never
+    /// during rollback or reconcile — so chaos schedules replay
+    /// deterministically.
+    pub fn set_fault_injector(&mut self, faults: OpFaultInjector) {
+        self.faults = faults;
+    }
+
+    /// Phase 1: applies `mutate` to a scratch copy of the store and
+    /// compiles + verifies the result. Pure; the live store, the NIC,
+    /// and the generation are untouched.
+    pub fn stage(&self, mutate: impl FnOnce(&mut PolicyStore)) -> Result<StagedCommit, CtrlError> {
+        let mut store = self.store.clone();
+        mutate(&mut store);
+        let bundle = PolicyBundle::compile(&store)?;
+        Ok(StagedCommit { store, bundle })
+    }
+
+    /// Phase 2: atomically swaps the staged bundle in under a new
+    /// generation. On a mid-commit failure the prior bundle is fully
+    /// reinstalled (rollback), the generation does not advance, and the
+    /// store keeps its previous contents.
+    pub fn commit_staged(
+        &mut self,
+        nic: &mut SmartNic,
+        nat: &mut Option<NatTable>,
+        staged: StagedCommit,
+        now: Time,
+    ) -> Result<u64, CtrlError> {
+        if nic.is_frozen(now) {
+            return Err(CtrlError::Frozen {
+                until: nic.frozen_until(),
+            });
+        }
+        let prior = self.installed.clone();
+        match self.apply(nic, nat, &staged.bundle, now, true) {
+            Ok(()) => {
+                self.generation += 1;
+                self.finish_apply(nic, &staged.bundle);
+                self.store = staged.store;
+                self.installed = staged.bundle;
+                self.stats.commits += 1;
+                self.record(
+                    now,
+                    CommitAction::Committed,
+                    format!(
+                        "{} programs, {} fills, {} classes",
+                        self.installed.programs.len(),
+                        self.installed.map_fills.len(),
+                        self.installed.sched_weights.len()
+                    ),
+                );
+                Ok(self.generation)
+            }
+            Err(step) => {
+                // Roll back: reinstall the prior bundle, with fault
+                // injection off — recovery must not recurse.
+                // `applied_weights` tracks the *actual* scheduler state,
+                // so the rollback reconfigures the scheduler only if the
+                // failed apply got far enough to change it.
+                if let Err(rb_step) = self.apply(nic, nat, &prior, now, false) {
+                    return Err(CtrlError::RollbackFailed { step: rb_step });
+                }
+                self.finish_apply(nic, &prior);
+                self.stats.rollbacks += 1;
+                self.record(now, CommitAction::RolledBack, format!("failed at {step}"));
+                Err(CtrlError::CommitFailed { step })
+            }
+        }
+    }
+
+    /// The transaction most callers want: stage + commit in one call.
+    /// On any failure the store is left exactly as before.
+    pub fn update(
+        &mut self,
+        nic: &mut SmartNic,
+        nat: &mut Option<NatTable>,
+        now: Time,
+        mutate: impl FnOnce(&mut PolicyStore),
+    ) -> Result<u64, CtrlError> {
+        let staged = self.stage(mutate)?;
+        self.commit_staged(nic, nat, staged, now)
+    }
+
+    /// Whether NIC-resident state predates the last bitstream reprogram
+    /// and must be reinstalled.
+    pub fn needs_reconcile(&self, nic: &SmartNic) -> bool {
+        nic.stats().bitstream_reprograms != self.reprograms_seen
+    }
+
+    /// Reinstalls the full bundle from the policy store after a
+    /// bitstream reprogram wiped the NIC (same generation — the policy
+    /// did not change, the hardware did). No-op while the dataplane is
+    /// still frozen or when no reprogram happened. Returns whether a
+    /// reconcile ran.
+    pub fn reconcile(
+        &mut self,
+        nic: &mut SmartNic,
+        nat: &mut Option<NatTable>,
+        now: Time,
+    ) -> Result<bool, CtrlError> {
+        if !self.needs_reconcile(nic) || nic.is_frozen(now) {
+            return Ok(false);
+        }
+        let bundle = self.installed.clone();
+        // The reprogram wiped overlay state but not the scheduler;
+        // applied_weights stays valid. Apply with faults off: reconcile
+        // is the recovery path.
+        if let Err(step) = self.apply(nic, nat, &bundle, now, false) {
+            return Err(CtrlError::RollbackFailed { step });
+        }
+        self.finish_apply(nic, &bundle);
+        self.reprograms_seen = nic.stats().bitstream_reprograms;
+        self.stats.reconciles += 1;
+        self.record(
+            now,
+            CommitAction::Reconciled,
+            format!("after reprogram #{}", self.reprograms_seen),
+        );
+        Ok(true)
+    }
+
+    /// Wipe-then-install of `bundle` onto the NIC. Returns the failing
+    /// step name on error. When `use_faults`, the op-fault injector is
+    /// consulted before every operation.
+    fn apply(
+        &mut self,
+        nic: &mut SmartNic,
+        nat: &mut Option<NatTable>,
+        bundle: &PolicyBundle,
+        now: Time,
+        use_faults: bool,
+    ) -> Result<(), String> {
+        let op = |stats: &mut CtrlStats,
+                  faults: &mut OpFaultInjector,
+                  step: &str|
+         -> Result<(), String> {
+            stats.apply_ops += 1;
+            if use_faults && faults.should_fail() {
+                return Err(format!("{step} (injected)"));
+            }
+            Ok(())
+        };
+
+        // Wipe the overlay slots the bundle does not reinstall, so a
+        // shrinking policy converges too. Slots it does reinstall are
+        // hot-swapped by load_program (no pass-through window beyond
+        // the swap itself).
+        for slot in [
+            ProgramSlot::IngressFilter,
+            ProgramSlot::EgressFilter,
+            ProgramSlot::Classifier,
+        ] {
+            if bundle.program_for(slot).is_none() && nic.program_loaded(slot) {
+                op(&mut self.stats, &mut self.faults, "unload_program")?;
+                nic.unload_program(slot);
+            }
+        }
+        while nic.num_accounting() > 0 {
+            op(&mut self.stats, &mut self.faults, "clear_accounting")?;
+            nic.remove_accounting(nic.num_accounting() - 1);
+        }
+
+        for (slot, program) in &bundle.programs {
+            op(&mut self.stats, &mut self.faults, "load_program")?;
+            nic.load_program(*slot, program.clone(), now)
+                .map_err(|e| format!("load_program: {e}"))?;
+        }
+        for &(slot, map, key, value) in &bundle.map_fills {
+            op(&mut self.stats, &mut self.faults, "fill_map")?;
+            nic.fill_map(slot, map, key, value)
+                .map_err(|e| format!("fill_map: {e}"))?;
+        }
+
+        if self.applied_weights != bundle.sched_weights {
+            op(&mut self.stats, &mut self.faults, "configure_scheduler")?;
+            nic.configure_scheduler(&bundle.sched_weights)
+                .map_err(|e| format!("configure_scheduler: {e}"))?;
+            self.applied_weights = bundle.sched_weights.clone();
+        }
+
+        for program in &bundle.accounting {
+            op(&mut self.stats, &mut self.faults, "add_accounting")?;
+            nic.add_accounting(program.clone(), now)
+                .map_err(|e| format!("add_accounting: {e}"))?;
+        }
+
+        op(&mut self.stats, &mut self.faults, "sniffer")?;
+        match bundle.sniffer {
+            Some(filter) => nic.enable_sniffer(filter),
+            None => nic.disable_sniffer(),
+        }
+
+        match &bundle.nat {
+            Some((ip, rules)) => {
+                if nat.is_none() {
+                    op(&mut self.stats, &mut self.faults, "nat_create")?;
+                    let mut table = NatTable::new(*ip);
+                    table.set_telemetry(self.tel.clone());
+                    *nat = Some(table);
+                }
+                let table = nat.as_mut().expect("just ensured");
+                if table.external_ip() != *ip {
+                    return Err("nat_rebind: external ip changed under live table".to_string());
+                }
+                table.clear_statics(&mut nic.sram);
+                for r in rules {
+                    op(&mut self.stats, &mut self.faults, "nat_static")?;
+                    table
+                        .install_static(r.proto, r.ext_port, r.internal, &mut nic.sram)
+                        .map_err(|e| format!("nat_static: {e}"))?;
+                }
+            }
+            None => {
+                if let Some(table) = nat.as_mut() {
+                    table.clear_statics(&mut nic.sram);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-apply bookkeeping shared by commit, rollback, and
+    /// reconcile: write the generation register and restamp telemetry.
+    fn finish_apply(&mut self, nic: &mut SmartNic, _bundle: &PolicyBundle) {
+        let _ = nic.regs.write(POLICY_GENERATION_REG, self.generation, None);
+        self.tel.set_generation(self.generation);
+    }
+
+    fn record(&mut self, at: Time, action: CommitAction, detail: String) {
+        if self.history.len() == HISTORY_CAP {
+            self.history.remove(0);
+        }
+        self.history.push(CommitRecord {
+            generation: self.generation,
+            at,
+            action,
+            detail,
+        });
+    }
+
+    /// The third audit ledger: cross-checks NIC-resident state against
+    /// the kernel policy store. Returns violations (empty = the NIC
+    /// holds exactly what the kernel believes it holds).
+    ///
+    /// While a reconcile is pending (a reprogram wiped the NIC and the
+    /// control plane has not yet run), NIC-resident checks are skipped —
+    /// the divergence is real, known, and about to be repaired; only
+    /// the generation stamps are still required to agree.
+    pub fn audit(&self, nic: &SmartNic, nat: Option<&NatTable>) -> Vec<String> {
+        let mut violations = Vec::new();
+
+        match nic.regs.peek(POLICY_GENERATION_REG) {
+            Some(reg) if reg == self.generation => {}
+            Some(reg) => violations.push(format!(
+                "generation register {reg} != kernel generation {}",
+                self.generation
+            )),
+            None => violations.push("generation register missing".to_string()),
+        }
+        if self.tel.generation() != self.generation {
+            violations.push(format!(
+                "telemetry generation {} != kernel generation {}",
+                self.tel.generation(),
+                self.generation
+            ));
+        }
+
+        if self.needs_reconcile(nic) {
+            return violations;
+        }
+
+        let bundle = &self.installed;
+        for slot in [
+            ProgramSlot::IngressFilter,
+            ProgramSlot::EgressFilter,
+            ProgramSlot::Classifier,
+        ] {
+            match (bundle.program_for(slot), nic.program_fingerprint(slot)) {
+                (Some(want), Some(got)) => {
+                    if want.fingerprint() != got {
+                        violations.push(format!(
+                            "{slot:?}: resident program fingerprint {got:#x} != store '{}'",
+                            want.name
+                        ));
+                    }
+                }
+                (Some(want), None) => violations.push(format!(
+                    "{slot:?}: store expects '{}' but no program resident",
+                    want.name
+                )),
+                (None, Some(_)) => violations.push(format!(
+                    "{slot:?}: resident program not present in policy store"
+                )),
+                (None, None) => {}
+            }
+        }
+
+        for r in &self.store.reservations {
+            for slot in [ProgramSlot::IngressFilter, ProgramSlot::EgressFilter] {
+                let want = u64::from(r.uid.0) + 1;
+                match nic.read_map(slot, 0, r.port as usize) {
+                    Some(got) if got == want => {}
+                    got => violations.push(format!(
+                        "{slot:?} map[port {}]: resident {got:?} != reserved uid+1 {want}",
+                        r.port
+                    )),
+                }
+            }
+        }
+
+        let classes = nic.scheduler_class_bytes().len();
+        if classes != bundle.sched_weights.len() {
+            violations.push(format!(
+                "scheduler has {classes} classes, store expects {}",
+                bundle.sched_weights.len()
+            ));
+        }
+
+        if nic.sniffer.is_enabled() != bundle.sniffer.is_some() {
+            violations.push(format!(
+                "sniffer enabled={} but store says {}",
+                nic.sniffer.is_enabled(),
+                bundle.sniffer.is_some()
+            ));
+        }
+
+        let acct = nic.accounting_fingerprints();
+        let want_acct: Vec<u64> = bundle.accounting.iter().map(Program::fingerprint).collect();
+        if acct != want_acct {
+            violations.push(format!(
+                "accounting programs resident {} != store {}",
+                acct.len(),
+                want_acct.len()
+            ));
+        }
+
+        match (&bundle.nat, nat) {
+            (Some((ip, rules)), Some(table)) => {
+                if table.external_ip() != *ip {
+                    violations.push(format!(
+                        "NAT external ip {} != store {ip}",
+                        table.external_ip()
+                    ));
+                }
+                if table.num_statics() != rules.len() {
+                    violations.push(format!(
+                        "NAT statics resident {} != store {}",
+                        table.num_statics(),
+                        rules.len()
+                    ));
+                }
+                for r in rules {
+                    if table.static_target(r.proto, r.ext_port) != Some(r.internal) {
+                        violations.push(format!(
+                            "NAT static {} port {} does not forward to {:?}",
+                            r.proto, r.ext_port, r.internal
+                        ));
+                    }
+                }
+            }
+            (Some(_), None) => violations.push("store has NAT policy but no table".to_string()),
+            (None, Some(table)) => {
+                if table.num_statics() != 0 {
+                    violations.push(format!(
+                        "{} NAT statics resident with no NAT policy in store",
+                        table.num_statics()
+                    ));
+                }
+            }
+            (None, None) => {}
+        }
+
+        violations
+    }
+
+    /// Registers control-plane counters under `ctrl.*`.
+    pub fn fill_registry(&self, reg: &mut Registry) {
+        reg.set_counter("ctrl.generation", self.generation);
+        reg.set_counter("ctrl.commits", self.stats.commits);
+        reg.set_counter("ctrl.rollbacks", self.stats.rollbacks);
+        reg.set_counter("ctrl.reconciles", self.stats.reconciles);
+        reg.set_counter("ctrl.apply_ops", self.stats.apply_ops);
+        reg.set_counter("ctrl.fault_injected", self.faults.injected());
+    }
+}

@@ -14,21 +14,20 @@ use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
 use memsim::{HostRing, Llc, LlcConfig, MemCosts, MmioBus};
-use nicsim::device::ProgramSlot;
 use nicsim::pipeline::{DropReason, TxDeparture};
 use nicsim::{
-    ConnId, NicConfig, NicError, Notification, NotifyKind, RxDisposition, SmartNic, SnifferFilter,
-    TxDisposition,
+    ConnId, NatTable, NicConfig, NicError, Notification, NotifyKind, RxDisposition, SmartNic,
+    SnifferFilter, TxDisposition,
 };
 use oskernel::{
     ArpCache, CgroupId, CgroupTree, Cred, NetStack, Pid, ProcessTable, RxOutcome, Scheduler, Uid,
 };
-use overlay::builtins;
 use pkt::{FiveTuple, IpProto, Mac, Packet};
-use qdisc::compile;
+use sim::fault::OpFaultInjector;
 use sim::{Dur, Time};
 use telemetry::{DropCause, Owner, Registry, Snapshot, Stage, Telemetry, TraceEvent, TraceVerdict};
 
+use crate::ctrl::{ControlPlane, CtrlError, PolicyStore, StagedCommit};
 use crate::policy::{PortReservation, ShapingPolicy};
 
 /// Host configuration.
@@ -235,9 +234,11 @@ pub struct Host {
     pending_accepts: HashMap<ConnId, std::collections::VecDeque<FiveTuple>>,
     rings: HashMap<RingKey, (HostRing, HostRing)>,
     tx_retry: VecDeque<(ConnId, Packet)>,
-    reservations: Vec<PortReservation>,
-    port_filter_loaded: bool,
-    shaping: Option<ShapingPolicy>,
+    /// The unified control plane: the only writer of dataplane policy.
+    ctrl: ControlPlane,
+    /// The kernel-owned NAT table, created and populated solely by
+    /// `ctrl` when NAT policy is in force.
+    nat: Option<NatTable>,
     next_ring_index: u64,
     ring_ops_since_doorbell: u64,
     /// Kernel CPU consumed by the slow path and control plane.
@@ -286,9 +287,8 @@ impl Host {
             pending_accepts: HashMap::new(),
             rings: HashMap::new(),
             tx_retry: VecDeque::new(),
-            reservations: Vec::new(),
-            port_filter_loaded: false,
-            shaping: None,
+            ctrl: ControlPlane::new(tel.clone()),
+            nat: None,
             next_ring_index: 0,
             ring_ops_since_doorbell: 0,
             kernel_cpu: Dur::ZERO,
@@ -340,6 +340,8 @@ impl Host {
     /// so a bug has to corrupt both in the same way to hide.
     pub fn audit(&self) -> Vec<String> {
         let mut violations = self.nic.audit();
+        // Third ledger: NIC-resident policy state vs the kernel store.
+        violations.extend(self.ctrl.audit(&self.nic, self.nat.as_ref()));
         if !self.tel.is_enabled() {
             return violations;
         }
@@ -385,6 +387,10 @@ impl Host {
         self.nic.fill_registry(&mut reg);
         self.stack.fill_registry(&mut reg);
         self.tel.fill_registry(&mut reg);
+        self.ctrl.fill_registry(&mut reg);
+        if let Some(nat) = &self.nat {
+            nat.fill_registry(&mut reg);
+        }
         reg.set_counter("host.fast_delivered", self.stats.fast_delivered);
         reg.set_counter("host.ring_drops", self.stats.ring_drops);
         reg.set_counter("host.slowpath", self.stats.slowpath);
@@ -431,74 +437,159 @@ impl Host {
         self.procs.spawn(Cred::new(uid, user), comm, cg)
     }
 
-    /// Installs a port reservation: recorded in the control plane (so
-    /// `connect` refuses violators up front) *and* lowered onto the NIC's
-    /// ingress and egress filters (so even a buggy or malicious bypass
-    /// user cannot violate it in the dataplane).
-    pub fn reserve_port(&mut self, r: PortReservation, now: Time) -> Result<(), ConnectError> {
-        if !self.port_filter_loaded {
-            self.nic
-                .load_program(
-                    ProgramSlot::IngressFilter,
-                    builtins::port_owner_filter(),
-                    now,
-                )
-                .map_err(|e| ConnectError::NicResources(e.to_string()))?;
-            self.nic
-                .load_program(
-                    ProgramSlot::EgressFilter,
-                    builtins::port_owner_filter(),
-                    now,
-                )
-                .map_err(|e| ConnectError::NicResources(e.to_string()))?;
-            self.port_filter_loaded = true;
-        }
-        // uid+1 in the rules map (0 = unreserved).
-        for slot in [ProgramSlot::IngressFilter, ProgramSlot::EgressFilter] {
-            self.nic
-                .fill_map(slot, 0, r.port as usize, u64::from(r.uid.0) + 1)
-                .map_err(|e| ConnectError::NicResources(e.to_string()))?;
+    /// Mutates the kernel policy store inside a two-phase transaction:
+    /// the mutated store is compiled and verified (phase 1), then swapped
+    /// onto the NIC atomically under a new generation (phase 2). On any
+    /// failure — compile rejection, frozen dataplane, or a mid-commit
+    /// fault — the store, the NIC, and the generation are exactly as
+    /// before. Returns the new generation.
+    ///
+    /// This is the *only* path that changes dataplane policy.
+    pub fn update_policy(
+        &mut self,
+        now: Time,
+        mutate: impl FnOnce(&mut PolicyStore),
+    ) -> Result<u64, CtrlError> {
+        let ops_before = self.ctrl.stats().apply_ops;
+        let Host {
+            ref mut ctrl,
+            ref mut nic,
+            ref mut nat,
+            ..
+        } = *self;
+        let result = ctrl.update(nic, nat, now, mutate);
+        self.charge_policy_ops(ops_before);
+        result
+    }
+
+    /// Phase 1 only: compiles and verifies a mutated copy of the policy
+    /// store without touching the NIC or the live store. Commit the
+    /// result with [`Host::commit_staged_policy`].
+    pub fn stage_policy(
+        &self,
+        mutate: impl FnOnce(&mut PolicyStore),
+    ) -> Result<StagedCommit, CtrlError> {
+        self.ctrl.stage(mutate)
+    }
+
+    /// Phase 2 for a previously staged commit.
+    pub fn commit_staged_policy(
+        &mut self,
+        staged: StagedCommit,
+        now: Time,
+    ) -> Result<u64, CtrlError> {
+        let ops_before = self.ctrl.stats().apply_ops;
+        let Host {
+            ref mut ctrl,
+            ref mut nic,
+            ref mut nat,
+            ..
+        } = *self;
+        let result = ctrl.commit_staged(nic, nat, staged, now);
+        self.charge_policy_ops(ops_before);
+        result
+    }
+
+    /// Charges kernel CPU for a policy transaction: one control syscall
+    /// plus one MMIO write per apply operation the commit executed.
+    fn charge_policy_ops(&mut self, ops_before: u64) {
+        let ops = self.ctrl.stats().apply_ops - ops_before;
+        self.kernel_cpu += self.stack.costs().syscalls.control_call();
+        for _ in 0..ops {
             self.kernel_cpu += self.mmio.write(&self.cfg.mem.clone());
         }
-        self.reservations.push(r);
-        Ok(())
+    }
+
+    /// The control plane (generation, commit history, third audit
+    /// ledger).
+    pub fn ctrl(&self) -> &ControlPlane {
+        &self.ctrl
+    }
+
+    /// The authoritative kernel policy store.
+    pub fn policy(&self) -> &PolicyStore {
+        self.ctrl.store()
+    }
+
+    /// The installed policy generation.
+    pub fn policy_generation(&self) -> u64 {
+        self.ctrl.generation()
+    }
+
+    /// The kernel-owned NAT table, if NAT policy is in force.
+    pub fn nat(&self) -> Option<&NatTable> {
+        self.nat.as_ref()
+    }
+
+    /// Arms fault injection on policy-commit apply steps (chaos testing;
+    /// see [`sim::fault::OpFaultInjector`]).
+    pub fn set_policy_fault_injector(&mut self, faults: OpFaultInjector) {
+        self.ctrl.set_fault_injector(faults);
+    }
+
+    /// Takes the NIC down for a bitstream reprogram and returns when the
+    /// dataplane comes back. The control plane reconciles — reinstalls
+    /// the full policy bundle onto the new hardware — on the first
+    /// dataplane operation after recovery.
+    pub fn reprogram_nic(&mut self, now: Time) -> Time {
+        self.nic.reprogram_bitstream(now)
+    }
+
+    /// Reinstalls the policy bundle if a bitstream reprogram wiped the
+    /// NIC and the dataplane is back up. Called on every dataplane entry
+    /// point so policies re-attach before the first post-recovery frame.
+    fn maybe_reconcile(&mut self, now: Time) {
+        if !self.ctrl.needs_reconcile(&self.nic) || self.nic.is_frozen(now) {
+            return;
+        }
+        let ops_before = self.ctrl.stats().apply_ops;
+        let Host {
+            ref mut ctrl,
+            ref mut nic,
+            ref mut nat,
+            ..
+        } = *self;
+        ctrl.reconcile(nic, nat, now)
+            .expect("reconcile runs fault-free and reinstalls onto an empty NIC");
+        self.charge_policy_ops(ops_before);
     }
 
     /// Returns the active reservations.
     pub fn reservations(&self) -> &[PortReservation] {
-        &self.reservations
+        &self.ctrl.store().reservations
+    }
+
+    /// Installs a port reservation: recorded in the control plane (so
+    /// `connect` refuses violators up front) *and* lowered onto the NIC's
+    /// ingress and egress filters (so even a buggy or malicious bypass
+    /// user cannot violate it in the dataplane).
+    #[deprecated(note = "transition shim: use Host::update_policy")]
+    pub fn reserve_port(&mut self, r: PortReservation, now: Time) -> Result<(), ConnectError> {
+        self.update_policy(now, |p| p.reservations.push(r))
+            .map(|_| ())
+            .map_err(|e| ConnectError::NicResources(e.to_string()))
     }
 
     /// Installs a per-user WFQ shaping policy: compiles the classifier to
     /// an overlay program, loads it, fills its maps, and configures the
     /// NIC scheduler weights.
+    #[deprecated(note = "transition shim: use Host::update_policy")]
     pub fn install_shaping(
         &mut self,
         policy: ShapingPolicy,
         now: Time,
     ) -> Result<(), ConnectError> {
-        let users: Vec<(u32, f64)> = policy
-            .user_weights
-            .iter()
-            .map(|&(uid, w)| (uid.0, w))
-            .collect();
-        let setup = compile::compile_uid_wfq(&users, policy.default_weight);
-        self.nic
-            .load_program(ProgramSlot::Classifier, setup.program, now)
-            .map_err(|e| ConnectError::NicResources(e.to_string()))?;
-        for (map, key, value) in setup.map_fills {
-            self.nic
-                .fill_map(ProgramSlot::Classifier, map, key, value)
-                .map_err(|e| ConnectError::NicResources(e.to_string()))?;
-        }
-        self.nic.configure_scheduler(&setup.class_weights);
-        self.shaping = Some(policy);
-        Ok(())
+        self.update_policy(now, |p| p.shaping = Some(policy))
+            .map(|_| ())
+            .map_err(|e| ConnectError::NicResources(e.to_string()))
     }
 
     /// Enables the NIC capture tap (privileged; `ksniff`).
-    pub fn enable_sniffer(&mut self, filter: SnifferFilter) {
-        self.nic.enable_sniffer(filter);
+    #[deprecated(note = "transition shim: use Host::update_policy")]
+    pub fn enable_sniffer(&mut self, filter: SnifferFilter, now: Time) -> Result<(), ConnectError> {
+        self.update_policy(now, |p| p.sniffer = Some(filter))
+            .map(|_| ())
+            .map_err(|e| ConnectError::NicResources(e.to_string()))
     }
 
     /// Opens a connection for `pid` on `local_port` to
@@ -526,7 +617,13 @@ impl Host {
         };
         // Policy check at setup time (defense in depth: the NIC filter
         // also enforces it per packet).
-        if let Some(r) = self.reservations.iter().find(|r| r.port == local_port) {
+        if let Some(r) = self
+            .ctrl
+            .store()
+            .reservations
+            .iter()
+            .find(|r| r.port == local_port)
+        {
             if !r.permits(uid, &comm) {
                 return Err(ConnectError::PolicyDenied {
                     port: local_port,
@@ -589,7 +686,13 @@ impl Host {
                 .ok_or(ConnectError::NoSuchProcess(pid))?;
             (p.cred.uid, p.comm.clone())
         };
-        if let Some(r) = self.reservations.iter().find(|r| r.port == port) {
+        if let Some(r) = self
+            .ctrl
+            .store()
+            .reservations
+            .iter()
+            .find(|r| r.port == port)
+        {
             if !r.permits(uid, &comm) {
                 return Err(ConnectError::PolicyDenied { port, uid });
             }
@@ -692,6 +795,7 @@ impl Host {
 
     /// A frame arrives from the wire at `now`.
     pub fn deliver_from_wire(&mut self, packet: &Packet, now: Time) -> DeliveryReport {
+        self.maybe_reconcile(now);
         let rx = self.nic.rx(packet, now);
         self.finish_delivery(packet, rx, now)
     }
@@ -706,6 +810,7 @@ impl Host {
         packets: &[Packet],
         now: Time,
     ) -> (Vec<DeliveryReport>, Vec<TxDeparture>) {
+        self.maybe_reconcile(now);
         let rxs = self.nic.rx_batch(packets, now);
         let deliveries = packets
             .iter()
@@ -786,6 +891,7 @@ impl Host {
                                 tuple,
                                 len,
                                 owner: None,
+                                generation: 0,
                             });
                         }
                     }
@@ -800,6 +906,7 @@ impl Host {
                             tuple,
                             len,
                             owner: None,
+                            generation: 0,
                         });
                         return report;
                     }
@@ -893,6 +1000,7 @@ impl Host {
                         tuple: None,
                         len: len as u32,
                         owner: None,
+                        generation: 0,
                     });
                     self.tel.emit(|| TraceEvent {
                         frame_id: fid,
@@ -902,6 +1010,7 @@ impl Host {
                         tuple: None,
                         len: len as u32,
                         owner,
+                        generation: 0,
                     });
                 }
                 RecvResult {
@@ -1046,6 +1155,7 @@ impl Host {
     /// first re-offering any TX frames deferred during a reprogram
     /// outage.
     pub fn pump_tx(&mut self, now: Time) -> Vec<TxDeparture> {
+        self.maybe_reconcile(now);
         if !self.tx_retry.is_empty() {
             self.flush_tx_retry(now);
         }
@@ -1168,8 +1278,10 @@ mod tests {
         let mut h = host();
         let bob = h.spawn(Uid(1001), "bob", "postgres");
         let charlie = h.spawn(Uid(1002), "charlie", "mysqld");
-        h.reserve_port(PortReservation::new(5432, Uid(1001)), Time::ZERO)
-            .unwrap();
+        h.update_policy(Time::ZERO, |p| {
+            p.reservations.push(PortReservation::new(5432, Uid(1001)))
+        })
+        .unwrap();
         assert!(h
             .connect(
                 bob,
@@ -1201,8 +1313,10 @@ mod tests {
         let mut h = host();
         let charlie = h.spawn(Uid(1002), "charlie", "mysqld");
         let conn = open_conn(&mut h, charlie, 5432, false);
-        h.reserve_port(PortReservation::new(5432, Uid(1001)), Time::ZERO)
-            .unwrap();
+        h.update_policy(Time::ZERO, |p| {
+            p.reservations.push(PortReservation::new(5432, Uid(1001)))
+        })
+        .unwrap();
         let pkt = wire_udp(h.cfg.ip, 9000, 5432, 100);
         let report = h.deliver_from_wire(&pkt, Time::ZERO);
         assert_eq!(report.outcome, DeliveryOutcome::Dropped);
@@ -1269,13 +1383,13 @@ mod tests {
     #[test]
     fn shaping_policy_configures_scheduler() {
         let mut h = host();
-        h.install_shaping(
-            ShapingPolicy::new(vec![(Uid(1001), 4.0), (Uid(1002), 1.0)]),
-            Time::ZERO,
-        )
+        h.update_policy(Time::ZERO, |p| {
+            p.shaping = Some(ShapingPolicy::new(vec![(Uid(1001), 4.0), (Uid(1002), 1.0)]))
+        })
         .unwrap();
         // Scheduler now has 3 classes (default + 2 users).
         assert_eq!(h.nic.scheduler_class_bytes().len(), 3);
+        assert_eq!(h.policy_generation(), 1);
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //! * [`host`] — [`Host`], one simulated machine: process table, cgroups,
 //!   scheduler, LLC/DDIO, the SmartNIC, the software slow path, and the
 //!   in-kernel control plane that mediates *all* NIC configuration.
+//! * [`ctrl`] — the unified control plane: one policy store, compiled
+//!   into one bundle, applied with a two-phase epoch-versioned commit
+//!   (verify/stage, then atomic swap with rollback), reconciled after
+//!   bitstream reprograms, and audited against the NIC.
 //! * [`policy`] — the administrator-facing policy types (port
 //!   reservations, shaping policies) and how they lower onto the NIC.
 //! * [`tools`] — `ksniff` (tcpdump), `kfilter` (iptables), `kqdisc`
@@ -29,12 +33,14 @@
 //!   sidecar (IX/Snap), hypervisor SmartNIC switch (AccelNet), and KOPI.
 
 pub mod arch;
+pub mod ctrl;
 pub mod host;
 pub mod lib_api;
 pub mod policy;
 pub mod tools;
 
 pub use arch::{Architecture, Capabilities, DatapathKind};
+pub use ctrl::{ControlPlane, CtrlError, NatRule, PolicyBundle, PolicyStore, StagedCommit};
 pub use host::{ConnectError, Connection, DeliveryReport, Host, HostConfig};
 pub use lib_api::NormanSocket;
 pub use policy::{PortReservation, ShapingPolicy};

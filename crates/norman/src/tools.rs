@@ -1,5 +1,5 @@
 //! Administrative tools: `ksniff`, `kfilter`, `kqdisc`, `knetstat`,
-//! `trace` (`ktrace`).
+//! `npolicy`, `trace` (`ktrace`).
 //!
 //! Each tool is the Norman analogue of a classic utility (tcpdump,
 //! iptables, tc, netstat) and works the way Figure 1 prescribes: the
@@ -7,6 +7,12 @@
 //! on-NIC dataplane — the data path itself is never detoured. All tools
 //! require privileged credentials; an unprivileged user cannot inspect
 //! global traffic or rewrite policy (the isolation requirement of §3).
+//!
+//! Every policy-writing tool is a front-end over one transaction path:
+//! [`Host::update_policy`], the two-phase epoch-versioned commit of
+//! [`crate::ctrl`]. `npolicy` is the unified view onto that machinery —
+//! the live generation number, commit/rollback/reconcile history, and a
+//! whole-store apply.
 
 use nicsim::sniff::CaptureEntry;
 use nicsim::SnifferFilter;
@@ -14,7 +20,7 @@ use oskernel::Cred;
 use pkt::IpProto;
 use sim::Time;
 
-use crate::host::{ConnectError, Host};
+use crate::host::Host;
 use crate::policy::{PortReservation, ShapingPolicy};
 
 /// Tool failures.
@@ -50,7 +56,7 @@ fn require_root(cred: &Cred, tool: &'static str) -> Result<(), ToolError> {
     }
 }
 
-fn control(e: ConnectError) -> ToolError {
+fn control(e: impl std::fmt::Display) -> ToolError {
     ToolError::Control(e.to_string())
 }
 
@@ -58,18 +64,26 @@ fn control(e: ConnectError) -> ToolError {
 pub mod ksniff {
     use super::*;
 
-    /// Starts capturing with `filter`.
-    pub fn start(host: &mut Host, cred: &Cred, filter: SnifferFilter) -> Result<(), ToolError> {
+    /// Starts capturing with `filter` (a policy commit: the tap is part
+    /// of the kernel policy store and survives NIC reprograms).
+    pub fn start(
+        host: &mut Host,
+        cred: &Cred,
+        filter: SnifferFilter,
+        now: Time,
+    ) -> Result<(), ToolError> {
         require_root(cred, "ksniff")?;
-        host.enable_sniffer(filter);
-        Ok(())
+        host.update_policy(now, |p| p.sniffer = Some(filter))
+            .map(|_| ())
+            .map_err(control)
     }
 
     /// Stops capturing.
-    pub fn stop(host: &mut Host, cred: &Cred) -> Result<(), ToolError> {
+    pub fn stop(host: &mut Host, cred: &Cred, now: Time) -> Result<(), ToolError> {
         require_root(cred, "ksniff")?;
-        host.nic.disable_sniffer();
-        Ok(())
+        host.update_policy(now, |p| p.sniffer = None)
+            .map(|_| ())
+            .map_err(control)
     }
 
     /// Drains and returns captured entries.
@@ -110,7 +124,9 @@ pub mod kfilter {
         now: Time,
     ) -> Result<(), ToolError> {
         require_root(cred, "kfilter")?;
-        host.reserve_port(r, now).map_err(control)
+        host.update_policy(now, |p| p.reservations.push(r))
+            .map(|_| ())
+            .map_err(control)
     }
 
     /// Lists active reservations.
@@ -132,13 +148,102 @@ pub mod kqdisc {
         now: Time,
     ) -> Result<(), ToolError> {
         require_root(cred, "kqdisc")?;
-        host.install_shaping(policy, now).map_err(control)
+        host.update_policy(now, |p| p.shaping = Some(policy))
+            .map(|_| ())
+            .map_err(control)
     }
 
     /// Returns per-class bytes transmitted (class 0 = default).
     pub fn class_bytes(host: &Host, cred: &Cred) -> Result<Vec<u64>, ToolError> {
         require_root(cred, "kqdisc")?;
         Ok(host.nic.scheduler_class_bytes())
+    }
+}
+
+/// `npolicy` — the unified policy front-end over the [`crate::ctrl`]
+/// control plane: apply whole-store transactions, read the live
+/// generation, and inspect commit/rollback/reconcile history.
+pub mod npolicy {
+    use super::*;
+    use crate::ctrl::{CommitRecord, PolicyStore};
+
+    /// Applies one policy transaction (two-phase commit). Returns the
+    /// new generation.
+    pub fn apply(
+        host: &mut Host,
+        cred: &Cred,
+        now: Time,
+        mutate: impl FnOnce(&mut PolicyStore),
+    ) -> Result<u64, ToolError> {
+        require_root(cred, "npolicy")?;
+        host.update_policy(now, mutate).map_err(control)
+    }
+
+    /// A point-in-time view of the control plane.
+    #[derive(Clone, Debug)]
+    pub struct Status {
+        /// The live policy generation.
+        pub generation: u64,
+        /// Successful commits.
+        pub commits: u64,
+        /// Mid-commit failures recovered by rollback.
+        pub rollbacks: u64,
+        /// Bundle reinstalls after bitstream reprograms.
+        pub reconciles: u64,
+        /// Active port reservations.
+        pub reservations: usize,
+        /// Whether shaping policy is in force.
+        pub shaping: bool,
+        /// Whether the capture tap is on.
+        pub sniffer: bool,
+        /// Static NAT forwards in force.
+        pub nat_rules: usize,
+        /// Commit history, oldest first (bounded).
+        pub history: Vec<CommitRecord>,
+    }
+
+    /// Reads control-plane status.
+    pub fn status(host: &Host, cred: &Cred) -> Result<Status, ToolError> {
+        require_root(cred, "npolicy")?;
+        let store = host.policy();
+        let stats = host.ctrl().stats();
+        Ok(Status {
+            generation: host.policy_generation(),
+            commits: stats.commits,
+            rollbacks: stats.rollbacks,
+            reconciles: stats.reconciles,
+            reservations: store.reservations.len(),
+            shaping: store.shaping.is_some(),
+            sniffer: store.sniffer.is_some(),
+            nat_rules: store.nat_rules.len(),
+            history: host.ctrl().history().to_vec(),
+        })
+    }
+
+    /// Renders status as a human-readable report.
+    pub fn render(s: &Status) -> String {
+        let mut out = format!(
+            "generation {}  (commits {}, rollbacks {}, reconciles {})\n\
+             reservations {}  shaping {}  sniffer {}  nat-rules {}\n",
+            s.generation,
+            s.commits,
+            s.rollbacks,
+            s.reconciles,
+            s.reservations,
+            if s.shaping { "on" } else { "off" },
+            if s.sniffer { "on" } else { "off" },
+            s.nat_rules,
+        );
+        for r in &s.history {
+            out.push_str(&format!(
+                "  gen {:<4} t={:<12} {:<11} {}\n",
+                r.generation,
+                r.at.to_string(),
+                r.action.to_string(),
+                r.detail
+            ));
+        }
+        out
     }
 }
 
@@ -348,12 +453,13 @@ mod tests {
         let (mut h, _) = host_with_conn();
         let bob = Cred::new(Uid(1001), "bob");
         assert_eq!(
-            ksniff::start(&mut h, &bob, SnifferFilter::all()),
+            ksniff::start(&mut h, &bob, SnifferFilter::all(), Time::ZERO),
             Err(ToolError::PermissionDenied { tool: "ksniff" })
         );
         assert!(kfilter::list(&h, &bob).is_err());
         assert!(kqdisc::class_bytes(&h, &bob).is_err());
         assert!(knetstat::connections(&h, &bob).is_err());
+        assert!(npolicy::status(&h, &bob).is_err());
     }
 
     #[test]
@@ -374,7 +480,7 @@ mod tests {
     fn ksniff_captures_with_attribution_via_control_plane() {
         let (mut h, _) = host_with_conn();
         let root = Cred::root();
-        ksniff::start(&mut h, &root, SnifferFilter::all()).unwrap();
+        ksniff::start(&mut h, &root, SnifferFilter::all(), Time::ZERO).unwrap();
         let pkt = PacketBuilder::new()
             .ether(Mac::local(9), h.cfg.mac)
             .ipv4(Ipv4Addr::new(10, 0, 0, 2), h.cfg.ip)
@@ -384,7 +490,7 @@ mod tests {
         let entries = ksniff::dump(&mut h, &root).unwrap();
         assert_eq!(entries.len(), 1);
         assert_eq!(entries[0].comm.as_deref(), Some("postgres"));
-        ksniff::stop(&mut h, &root).unwrap();
+        ksniff::stop(&mut h, &root, Time::ZERO).unwrap();
     }
 
     #[test]
@@ -493,5 +599,29 @@ mod tests {
         .unwrap();
         let bytes = kqdisc::class_bytes(&h, &root).unwrap();
         assert_eq!(bytes.len(), 2);
+    }
+
+    #[test]
+    fn npolicy_reports_generation_and_history() {
+        let (mut h, _) = host_with_conn();
+        let root = Cred::root();
+        npolicy::apply(&mut h, &root, Time::ZERO, |p| {
+            p.reservations.push(PortReservation::new(5432, Uid(1001)));
+        })
+        .unwrap();
+        npolicy::apply(&mut h, &root, Time::from_us(5), |p| {
+            p.shaping = Some(ShapingPolicy::new(vec![(Uid(1001), 2.0)]));
+        })
+        .unwrap();
+        let s = npolicy::status(&h, &root).unwrap();
+        assert_eq!(s.generation, 2);
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.rollbacks, 0);
+        assert_eq!(s.reservations, 1);
+        assert!(s.shaping);
+        assert_eq!(s.history.len(), 2);
+        let report = npolicy::render(&s);
+        assert!(report.contains("generation 2"));
+        assert!(report.contains("committed"));
     }
 }

@@ -58,6 +58,7 @@ fn stack_ev(
         tuple,
         len,
         owner: owner.map(|(uid, pid, comm)| Owner::new(uid, pid, comm)),
+        generation: 0,
     }
 }
 

@@ -95,7 +95,7 @@ impl fmt::Display for CtxField {
 }
 
 /// ALU operations. Division and modulo by zero yield zero (as in eBPF).
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum AluOp {
     /// Wrapping addition.
     Add,
@@ -124,7 +124,7 @@ pub enum AluOp {
 }
 
 /// Comparison operations for conditional jumps.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CmpOp {
     /// Equal.
     Eq,
@@ -155,7 +155,7 @@ impl CmpOp {
 }
 
 /// A register or immediate operand.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Operand {
     /// A register.
     Reg(Reg),
@@ -176,7 +176,7 @@ impl fmt::Display for Operand {
 pub type MapId = usize;
 
 /// One overlay instruction.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Insn {
     /// `dst = imm`.
     LdImm {
@@ -270,7 +270,7 @@ pub enum Insn {
 }
 
 /// A terminal policy decision.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Verdict {
     /// Deliver the packet on the fast path.
     Pass,

@@ -70,6 +70,46 @@ impl Program {
     pub fn sram_bytes(&self) -> u64 {
         self.insns.len() as u64 * 8 + self.maps.iter().map(MapSpec::bytes).sum::<u64>()
     }
+
+    /// A deterministic content fingerprint (FNV-1a over name, instruction
+    /// stream and map layout). Two programs fingerprint equal iff their
+    /// loaded behaviour is identical, so the control plane's audit can
+    /// compare NIC-resident programs against the policy store without
+    /// holding full copies.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = Fnv1a::new();
+        self.name.hash(&mut h);
+        self.insns.hash(&mut h);
+        for m in &self.maps {
+            m.name.hash(&mut h);
+            m.size.hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+/// FNV-1a, used so fingerprints are stable across runs and toolchains
+/// (`DefaultHasher` promises neither).
+struct Fnv1a(u64);
+
+impl Fnv1a {
+    fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -94,5 +134,29 @@ mod tests {
     #[test]
     fn map_spec_bytes() {
         assert_eq!(MapSpec::new("m", 1024).bytes(), 8192);
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let base = Program::new(
+            "p",
+            vec![Insn::Ret {
+                verdict: Verdict::Pass,
+            }],
+            vec![MapSpec::new("counters", 256)],
+        );
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+        let renamed = Program::new("q", base.insns.clone(), base.maps.clone());
+        assert_ne!(base.fingerprint(), renamed.fingerprint());
+        let reinsn = Program::new(
+            "p",
+            vec![Insn::Ret {
+                verdict: Verdict::Drop,
+            }],
+            base.maps.clone(),
+        );
+        assert_ne!(base.fingerprint(), reinsn.fingerprint());
+        let remap = Program::new("p", base.insns.clone(), vec![MapSpec::new("counters", 128)]);
+        assert_ne!(base.fingerprint(), remap.fingerprint());
     }
 }

@@ -470,6 +470,92 @@ impl FaultyLink {
     }
 }
 
+/// A seeded, replayable fault stream for *control-plane operations* (as
+/// opposed to the per-packet [`FaultInjector`]). A policy commit asks it
+/// once per apply step whether that step fails; the answer sequence is a
+/// pure function of the seed and plan, so chaos runs replay bit-identically.
+#[derive(Clone, Debug)]
+pub struct OpFaultInjector {
+    plan: OpFaultPlan,
+    rng: XorShift64Star,
+    ops: u64,
+    injected: u64,
+}
+
+#[derive(Clone, Debug)]
+enum OpFaultPlan {
+    Never,
+    /// Fail exactly the `n`th op (1-based), succeed everywhere else.
+    Nth(u64),
+    /// Fail each op independently with probability `rate`.
+    Rate(f64),
+}
+
+impl OpFaultInjector {
+    /// An injector that never fails an operation.
+    pub fn never() -> OpFaultInjector {
+        OpFaultInjector {
+            plan: OpFaultPlan::Never,
+            rng: XorShift64Star::new(1),
+            ops: 0,
+            injected: 0,
+        }
+    }
+
+    /// Fails exactly the `n`th operation (1-based) it is asked about,
+    /// then recovers. `n == 0` never fails.
+    pub fn fail_nth(n: u64) -> OpFaultInjector {
+        OpFaultInjector {
+            plan: if n == 0 {
+                OpFaultPlan::Never
+            } else {
+                OpFaultPlan::Nth(n)
+            },
+            rng: XorShift64Star::new(1),
+            ops: 0,
+            injected: 0,
+        }
+    }
+
+    /// Fails each operation independently with probability `rate`, from a
+    /// stream derived from `seed` (own stream: enabling op faults never
+    /// perturbs packet-level fault sampling).
+    pub fn seeded_rate(seed: u64, rate: f64) -> OpFaultInjector {
+        let mut sm = seed;
+        let expanded = crate::rng::splitmix64(&mut sm);
+        OpFaultInjector {
+            plan: OpFaultPlan::Rate(rate),
+            rng: XorShift64Star::new(expanded),
+            ops: 0,
+            injected: 0,
+        }
+    }
+
+    /// Decides whether the next operation fails. Advances the stream.
+    pub fn should_fail(&mut self) -> bool {
+        self.ops += 1;
+        let fail = match self.plan {
+            OpFaultPlan::Never => false,
+            OpFaultPlan::Nth(n) => self.ops == n,
+            OpFaultPlan::Rate(rate) => self.rng.chance(rate),
+        };
+        if fail {
+            self.injected += 1;
+        }
+        fail
+    }
+
+    /// Total operations consulted.
+    pub fn ops(&self) -> u64 {
+        self.ops
+    }
+
+    /// Total failures injected.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -692,5 +778,27 @@ mod tests {
         };
         assert_eq!(run(42), run(42));
         assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn op_fault_injector_modes() {
+        let mut never = OpFaultInjector::never();
+        assert!((0..100).all(|_| !never.should_fail()));
+        assert_eq!(never.ops(), 100);
+        assert_eq!(never.injected(), 0);
+
+        let mut nth = OpFaultInjector::fail_nth(3);
+        let fired: Vec<bool> = (0..5).map(|_| nth.should_fail()).collect();
+        assert_eq!(fired, vec![false, false, true, false, false]);
+        assert_eq!(nth.injected(), 1);
+
+        assert!(!OpFaultInjector::fail_nth(0).should_fail());
+
+        let draw = |seed: u64| {
+            let mut inj = OpFaultInjector::seeded_rate(seed, 0.5);
+            (0..64).map(|_| inj.should_fail()).collect::<Vec<bool>>()
+        };
+        assert_eq!(draw(7), draw(7), "same seed replays the same stream");
+        assert_ne!(draw(7), draw(8));
     }
 }

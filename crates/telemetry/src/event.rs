@@ -299,6 +299,10 @@ pub struct TraceEvent {
     pub len: u32,
     /// Owning process, when attribution is known (the *process view*).
     pub owner: Option<Owner>,
+    /// Policy generation installed when the event was recorded. Stamped
+    /// by the hub at emit time (producers leave it 0), so every event is
+    /// attributable to the exact control-plane epoch that shaped it.
+    pub generation: u64,
 }
 
 impl fmt::Display for TraceEvent {
@@ -344,6 +348,8 @@ pub struct TraceFilter {
     pub tuple: Option<FiveTuple>,
     /// Match either endpoint port (src or dst) — tcpdump's `port N`.
     pub port: Option<u16>,
+    /// Match events stamped with this policy generation.
+    pub generation: Option<u64>,
     /// Match only drop verdicts (any cause).
     pub drops_only: bool,
 }
@@ -396,6 +402,12 @@ impl TraceFilter {
         self
     }
 
+    /// Restricts to events stamped with policy generation `generation`.
+    pub fn with_generation(mut self, generation: u64) -> TraceFilter {
+        self.generation = Some(generation);
+        self
+    }
+
     /// Restricts to drop verdicts.
     pub fn drops(mut self) -> TraceFilter {
         self.drops_only = true;
@@ -411,6 +423,11 @@ impl TraceFilter {
         }
         if let Some(stage) = self.stage {
             if event.stage != stage {
+                return false;
+            }
+        }
+        if let Some(generation) = self.generation {
+            if event.generation != generation {
                 return false;
             }
         }
@@ -470,6 +487,7 @@ mod tests {
             tuple: Some(tuple(5432, 9000)),
             len: 64,
             owner: Some(Owner::new(1000, 42, "memcached")),
+            generation: 3,
         }
     }
 
@@ -521,6 +539,13 @@ mod tests {
         assert!(!TraceFilter::any().with_stage(Stage::RxDrop).matches(&pass));
         assert!(TraceFilter::any().drops().matches(&drop));
         assert!(!TraceFilter::any().drops().matches(&pass));
+    }
+
+    #[test]
+    fn generation_filter_matches_stamp() {
+        let e = event(Stage::RxDeliver, TraceVerdict::Pass);
+        assert!(TraceFilter::any().with_generation(3).matches(&e));
+        assert!(!TraceFilter::any().with_generation(2).matches(&e));
     }
 
     #[test]

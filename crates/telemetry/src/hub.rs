@@ -71,6 +71,7 @@ impl Hub {
 pub struct Telemetry {
     enabled: Rc<Cell<bool>>,
     next_frame_id: Rc<Cell<u64>>,
+    generation: Rc<Cell<u64>>,
     hub: Rc<RefCell<Hub>>,
 }
 
@@ -91,6 +92,7 @@ impl Telemetry {
         Telemetry {
             enabled: Rc::new(Cell::new(false)),
             next_frame_id: Rc::new(Cell::new(1)),
+            generation: Rc::new(Cell::new(0)),
             hub: Rc::new(RefCell::new(Hub {
                 events: VecDeque::new(),
                 capacity: capacity.max(1),
@@ -137,12 +139,28 @@ impl Telemetry {
         }
     }
 
+    /// Sets the policy generation stamped into every subsequently emitted
+    /// event. The control plane calls this at commit time so telemetry is
+    /// attributable to the exact policy epoch in force.
+    pub fn set_generation(&self, generation: u64) {
+        self.generation.set(generation);
+    }
+
+    /// The policy generation currently stamped into emitted events.
+    pub fn generation(&self) -> u64 {
+        self.generation.get()
+    }
+
     /// Records the event built by `build` — if tracing is enabled. When
-    /// disabled, `build` is never called; the cost is one flag load.
+    /// disabled, `build` is never called; the cost is one flag load. The
+    /// hub stamps the current policy generation over whatever the builder
+    /// left in `generation` (producers write 0).
     #[inline]
     pub fn emit(&self, build: impl FnOnce() -> TraceEvent) {
         if self.enabled.get() {
-            self.hub.borrow_mut().push(build());
+            let mut event = build();
+            event.generation = self.generation.get();
+            self.hub.borrow_mut().push(event);
         }
     }
 
@@ -270,6 +288,7 @@ mod tests {
             tuple: None,
             len: 64,
             owner: None,
+            generation: 0,
         }
     }
 
@@ -349,6 +368,21 @@ mod tests {
         let snap = reg.snapshot();
         let row = snap.hist("lat.nic.parse").expect("hist present");
         assert_eq!(row.count, 1);
+    }
+
+    #[test]
+    fn emit_stamps_current_generation() {
+        let tel = Telemetry::new();
+        tel.set_enabled(true);
+        tel.emit(|| ev(1, Stage::RxIngress, TraceVerdict::Pass));
+        tel.set_generation(5);
+        tel.emit(|| ev(2, Stage::RxIngress, TraceVerdict::Pass));
+        let events = tel.events();
+        assert_eq!(events[0].generation, 0);
+        assert_eq!(events[1].generation, 5);
+        assert_eq!(tel.generation(), 5);
+        let clone = tel.clone();
+        assert_eq!(clone.generation(), 5, "clones share the generation cell");
     }
 
     #[test]

@@ -206,10 +206,14 @@ mod tests {
     #[test]
     fn arp_flood_is_attributable_through_sniffer() {
         let mut tb = AliceTestbed::new();
-        tb.host.enable_sniffer(nicsim::SnifferFilter {
-            arp_only: true,
-            ..nicsim::SnifferFilter::all()
-        });
+        tb.host
+            .update_policy(Time::ZERO, |p| {
+                p.sniffer = Some(nicsim::SnifferFilter {
+                    arp_only: true,
+                    ..nicsim::SnifferFilter::all()
+                })
+            })
+            .unwrap();
         tb.run_arp_flood(25, Time::ZERO);
         let entries = tb.host.nic.sniffer.entries();
         assert_eq!(entries.len(), 25);

@@ -28,6 +28,7 @@ fn main() {
             arp_only: true,
             ..SnifferFilter::all()
         },
+        Time::ZERO,
     )
     .unwrap();
 

@@ -18,7 +18,7 @@ echo "==> cargo test -q (lifecycle tracing enabled)"
 # telemetry must never change behaviour, only observe it.
 NORMAN_TELEMETRY=1 cargo test -q
 
-echo "==> cargo clippy -- -D warnings"
+echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
 echo "==> bench smoke (1 iteration per bench)"

@@ -65,10 +65,10 @@ fn listener_respects_port_reservations() {
     let mut host = Host::new(HostConfig::default());
     let bob = host.spawn(Uid(1001), "bob", "postgres");
     let charlie = host.spawn(Uid(1002), "charlie", "mysqld");
-    host.reserve_port(
-        norman::policy::PortReservation::new(5432, Uid(1001)),
-        Time::ZERO,
-    )
+    host.update_policy(Time::ZERO, |p| {
+        p.reservations
+            .push(norman::policy::PortReservation::new(5432, Uid(1001)))
+    })
     .unwrap();
     assert!(host.listen(charlie, IpProto::UDP, 5432).is_err());
     assert!(host.listen(bob, IpProto::UDP, 5432).is_ok());

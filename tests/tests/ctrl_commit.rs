@@ -1,0 +1,347 @@
+//! Integration tests for the unified control plane (`norman::ctrl`):
+//! two-phase epoch-versioned commits, rollback under injected
+//! mid-commit faults, reconciliation after bitstream reprograms, and
+//! the third audit ledger that cross-checks NIC-resident state against
+//! the kernel policy store.
+
+use std::net::Ipv4Addr;
+
+use nicsim::{SnifferFilter, POLICY_GENERATION_REG};
+use norman::host::DeliveryOutcome;
+use norman::{CtrlError, Host, HostConfig, NatRule, PortReservation, ShapingPolicy};
+use oskernel::Uid;
+use pkt::{IpProto, Mac, Packet, PacketBuilder};
+use sim::fault::OpFaultInjector;
+use sim::{Dur, Time};
+
+fn wire_udp(host_ip: Ipv4Addr, src_port: u16, dst_port: u16, len: usize) -> Packet {
+    PacketBuilder::new()
+        .ether(Mac::local(9), Mac::local(1))
+        .ipv4(Ipv4Addr::new(10, 0, 0, 2), host_ip)
+        .udp(src_port, dst_port, &vec![0u8; len])
+        .build()
+}
+
+fn full_policy(h: &mut Host, now: Time) -> u64 {
+    h.update_policy(now, |p| {
+        p.reservations.push(PortReservation::new(5432, Uid(1001)));
+        p.shaping = Some(ShapingPolicy::new(vec![(Uid(1001), 4.0), (Uid(1002), 1.0)]));
+        p.sniffer = Some(SnifferFilter::all());
+        p.nat_external_ip = Some(Ipv4Addr::new(198, 51, 100, 1));
+        p.nat_rules.push(NatRule {
+            proto: IpProto::UDP,
+            ext_port: 8080,
+            internal: (Ipv4Addr::new(192, 168, 0, 2), 80),
+        });
+    })
+    .unwrap()
+}
+
+#[test]
+fn commit_bumps_generation_register_and_telemetry() {
+    let mut h = Host::new(HostConfig::default());
+    assert_eq!(h.policy_generation(), 0);
+    let g1 = h
+        .update_policy(Time::ZERO, |p| {
+            p.reservations.push(PortReservation::new(5432, Uid(1001)))
+        })
+        .unwrap();
+    assert_eq!(g1, 1);
+    // The NIC's kernel-only generation register carries the epoch.
+    assert_eq!(h.nic.regs.peek(POLICY_GENERATION_REG), Some(1));
+    assert_eq!(h.telemetry().generation(), 1);
+    let g2 = full_policy(&mut h, Time::from_us(10));
+    assert_eq!(g2, 2);
+    assert_eq!(h.nic.regs.peek(POLICY_GENERATION_REG), Some(2));
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+    assert_eq!(h.ctrl().stats().commits, 2);
+}
+
+#[test]
+fn compile_rejection_leaves_everything_untouched() {
+    let mut h = Host::new(HostConfig::default());
+    full_policy(&mut h, Time::ZERO);
+    let before = h.policy().clone();
+    // NAT rules without an external ip are refused in phase 1.
+    let err = h
+        .update_policy(Time::from_us(1), |p| {
+            p.nat_external_ip = None;
+        })
+        .unwrap_err();
+    assert!(matches!(err, CtrlError::Compile(_)), "got {err}");
+    assert_eq!(h.policy_generation(), 1);
+    assert_eq!(h.policy().reservations, before.reservations);
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+}
+
+#[test]
+fn mid_commit_fault_rolls_back_to_prior_generation() {
+    let mut h = Host::new(HostConfig::default());
+    full_policy(&mut h, Time::ZERO);
+    let reserved = wire_udp(h.cfg.ip, 9000, 5432, 100);
+
+    // Fail the 3rd apply operation of the next commit.
+    h.set_policy_fault_injector(OpFaultInjector::fail_nth(3));
+    let err = h
+        .update_policy(Time::from_us(5), |p| {
+            p.reservations.push(PortReservation::new(7777, Uid(1002)));
+            p.shaping = Some(ShapingPolicy::new(vec![(Uid(1002), 9.0)]));
+        })
+        .unwrap_err();
+    assert!(matches!(err, CtrlError::CommitFailed { .. }), "got {err}");
+
+    // Generation did not advance; the store still holds generation 1's
+    // policy; the NIC matches it exactly (third ledger: no divergence).
+    assert_eq!(h.policy_generation(), 1);
+    assert_eq!(h.ctrl().stats().rollbacks, 1);
+    assert_eq!(h.policy().reservations.len(), 1);
+    assert!(h.policy().reservations.iter().all(|r| r.port == 5432));
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+
+    // Generation 1's dataplane policy still enforces: uid 1001 owns
+    // 5432, and unowned traffic to it is dropped by the NIC filter.
+    let report = h.deliver_from_wire(&reserved, Time::from_us(6));
+    assert_eq!(report.outcome, DeliveryOutcome::Dropped);
+
+    // With the fault consumed, the same transaction now commits.
+    let g = h
+        .update_policy(Time::from_us(7), |p| {
+            p.reservations.push(PortReservation::new(7777, Uid(1002)));
+        })
+        .unwrap();
+    assert_eq!(g, 2);
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+}
+
+#[test]
+fn chaos_sweep_never_leaves_partial_bundles() {
+    // Seeded random mid-commit faults across a churn of commits: after
+    // every attempt — success or rollback — the third ledger must show
+    // zero divergence between NIC-resident state and the kernel store.
+    let mut h = Host::new(HostConfig::default());
+    h.set_policy_fault_injector(OpFaultInjector::seeded_rate(0xC0FFEE, 0.08));
+    let mut committed = 0u64;
+    let mut rolled_back = 0u64;
+    for i in 0..60u16 {
+        let now = Time::from_us(u64::from(i) * 10);
+        let result = h.update_policy(now, |p| {
+            p.reservations
+                .push(PortReservation::new(1000 + i, Uid(1001)));
+            p.shaping = Some(ShapingPolicy::new(vec![(
+                Uid(1001),
+                1.0 + f64::from(i % 7),
+            )]));
+            p.sniffer = if i % 2 == 0 {
+                Some(SnifferFilter::all())
+            } else {
+                None
+            };
+        });
+        match result {
+            Ok(_) => committed += 1,
+            Err(CtrlError::CommitFailed { .. }) => rolled_back += 1,
+            Err(e) => panic!("unexpected control-plane error: {e}"),
+        }
+        let violations = h.audit();
+        assert!(
+            violations.is_empty(),
+            "iteration {i}: partially-applied bundle: {violations:?}"
+        );
+    }
+    assert!(committed > 0, "chaos rate too high: nothing committed");
+    assert!(rolled_back > 0, "chaos rate too low: nothing rolled back");
+    assert_eq!(h.ctrl().stats().rollbacks, rolled_back);
+    assert_eq!(h.policy_generation(), committed);
+}
+
+#[test]
+fn reconcile_reinstalls_policy_after_bitstream_reprogram() {
+    // Satellite regression: a bitstream reprogram wipes all NIC-resident
+    // overlay state; the control plane must notice and reinstall the
+    // full bundle before the first post-recovery frame.
+    let mut h = Host::new(HostConfig::default());
+    full_policy(&mut h, Time::ZERO);
+    let gen_before = h.policy_generation();
+
+    let back_at = h.reprogram_nic(Time::from_us(10));
+
+    // While down: NIC-resident programs are gone, but the audit knows a
+    // reconcile is pending and does not report false divergence.
+    assert!(h.ctrl().needs_reconcile(&h.nic));
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+
+    // First frame after recovery: reconcile runs, then the reinstalled
+    // ingress filter drops the violating packet.
+    let violating = wire_udp(h.cfg.ip, 9000, 5432, 100);
+    let report = h.deliver_from_wire(&violating, back_at + Dur::from_us(1));
+    assert_eq!(
+        report.outcome,
+        DeliveryOutcome::Dropped,
+        "reservation must survive the reprogram"
+    );
+    assert!(!h.ctrl().needs_reconcile(&h.nic));
+    assert_eq!(h.ctrl().stats().reconciles, 1);
+    // Reconcile reinstalls the same policy: the generation is unchanged.
+    assert_eq!(h.policy_generation(), gen_before);
+    assert_eq!(h.nic.regs.peek(POLICY_GENERATION_REG), Some(gen_before));
+    // Scheduler classes, sniffer, and NAT statics are all back.
+    assert_eq!(h.nic.scheduler_class_bytes().len(), 3);
+    assert!(h.nic.sniffer.is_enabled());
+    assert_eq!(h.nat().unwrap().num_statics(), 1);
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+}
+
+#[test]
+fn commits_while_frozen_are_refused() {
+    let mut h = Host::new(HostConfig::default());
+    full_policy(&mut h, Time::ZERO);
+    h.reprogram_nic(Time::from_us(10));
+    let err = h
+        .update_policy(Time::from_us(11), |p| {
+            p.reservations.push(PortReservation::new(9999, Uid(1002)))
+        })
+        .unwrap_err();
+    assert!(matches!(err, CtrlError::Frozen { .. }), "got {err}");
+    assert_eq!(h.policy_generation(), 1);
+}
+
+#[test]
+fn degenerate_scheduler_weights_are_rejected_in_phase_one() {
+    // Satellite: configure_scheduler validates weights, and the policy
+    // compiler refuses them before anything is staged.
+    let mut h = Host::new(HostConfig::default());
+    for bad in [f64::NAN, f64::INFINITY, 0.0, -2.0] {
+        let err = h
+            .update_policy(Time::ZERO, |p| {
+                p.shaping = Some(ShapingPolicy::new(vec![(Uid(1001), bad)]))
+            })
+            .unwrap_err();
+        assert!(matches!(err, CtrlError::Compile(_)), "weight {bad}: {err}");
+        assert_eq!(h.policy_generation(), 0);
+    }
+    // The NIC-level guard also refuses direct degenerate configuration.
+    assert!(h.nic.configure_scheduler(&[1.0, f64::NAN]).is_err());
+    assert!(h.nic.configure_scheduler(&[]).is_err());
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+}
+
+#[test]
+fn app_register_writes_cannot_corrupt_a_staged_bundle() {
+    // Satellite: a staged (phase-1) bundle is plain kernel memory. An
+    // application hammering NIC control registers mid-transaction gets
+    // privilege faults, and the commit that follows is byte-identical
+    // to one staged without the interference.
+    let mut h = Host::new(HostConfig::default());
+    let staged = h
+        .stage_policy(|p| {
+            p.reservations.push(PortReservation::new(5432, Uid(1001)));
+            p.shaping = Some(ShapingPolicy::new(vec![(Uid(1001), 3.0)]));
+        })
+        .unwrap();
+
+    // An app (pid 42) tries to write the kernel-only generation register
+    // and a nonexistent control register between stage and commit.
+    let violations_before = h.nic.regs.violations();
+    assert!(h
+        .nic
+        .regs
+        .write(POLICY_GENERATION_REG, 0xDEAD, Some(42))
+        .is_err());
+    assert!(h.nic.regs.write(0x20_1234, 0xBEEF, Some(42)).is_err());
+    assert_eq!(h.nic.regs.violations(), violations_before + 2);
+
+    // The staged store is untouched and the commit applies it exactly.
+    assert_eq!(staged.store().reservations.len(), 1);
+    let g = h.commit_staged_policy(staged, Time::from_us(1)).unwrap();
+    assert_eq!(g, 1);
+    assert_eq!(h.nic.regs.peek(POLICY_GENERATION_REG), Some(1));
+    assert_eq!(h.policy().reservations[0].port, 5432);
+    assert_eq!(h.nic.scheduler_class_bytes().len(), 2);
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+}
+
+#[test]
+fn nat_rules_are_kernel_owned_and_conflict_checked() {
+    let mut h = Host::new(HostConfig::default());
+    full_policy(&mut h, Time::ZERO);
+    let nat = h.nat().expect("NAT policy creates the kernel table");
+    assert_eq!(
+        nat.static_target(IpProto::UDP, 8080),
+        Some((Ipv4Addr::new(192, 168, 0, 2), 80))
+    );
+
+    // Duplicate external ports are a phase-1 conflict.
+    let err = h
+        .update_policy(Time::from_us(1), |p| {
+            p.nat_rules.push(NatRule {
+                proto: IpProto::UDP,
+                ext_port: 8080,
+                internal: (Ipv4Addr::new(192, 168, 0, 3), 81),
+            })
+        })
+        .unwrap_err();
+    assert!(matches!(err, CtrlError::Compile(_)), "got {err}");
+
+    // Dropping the rules removes the statics (and the audit agrees).
+    h.update_policy(Time::from_us(2), |p| p.nat_rules.clear())
+        .unwrap();
+    assert_eq!(h.nat().unwrap().num_statics(), 0);
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+}
+
+#[test]
+fn telemetry_events_carry_the_live_generation() {
+    let mut h = Host::new(HostConfig::default());
+    h.start_trace();
+    let bob = h.spawn(Uid(1001), "bob", "server");
+    h.connect(
+        bob,
+        IpProto::UDP,
+        7000,
+        Ipv4Addr::new(10, 0, 0, 2),
+        9000,
+        false,
+    )
+    .unwrap();
+
+    // Traffic before any commit is stamped generation 0.
+    let pkt = wire_udp(h.cfg.ip, 9000, 7000, 64);
+    h.deliver_from_wire(&pkt, Time::ZERO);
+    full_policy(&mut h, Time::from_us(5));
+    // Traffic after the commit is stamped with the new generation.
+    h.deliver_from_wire(&pkt, Time::from_us(10));
+
+    let gen0 = h
+        .telemetry()
+        .query(&norman::TraceFilter::any().with_generation(0));
+    let gen1 = h
+        .telemetry()
+        .query(&norman::TraceFilter::any().with_generation(1));
+    assert!(!gen0.is_empty(), "pre-commit events stamped 0");
+    assert!(!gen1.is_empty(), "post-commit events stamped 1");
+    assert!(gen0.iter().all(|e| e.generation == 0));
+    assert!(gen1.iter().all(|e| e.generation == 1));
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+}
+
+#[test]
+fn deprecated_shims_still_route_through_the_control_plane() {
+    // The transition shims must be thin wrappers over update_policy:
+    // each call is a full two-phase commit with its own generation.
+    let mut h = Host::new(HostConfig::default());
+    #[allow(deprecated)]
+    {
+        h.reserve_port(PortReservation::new(5432, Uid(1001)), Time::ZERO)
+            .unwrap();
+        h.install_shaping(ShapingPolicy::new(vec![(Uid(1001), 2.0)]), Time::from_us(1))
+            .unwrap();
+        h.enable_sniffer(SnifferFilter::all(), Time::from_us(2))
+            .unwrap();
+    }
+    assert_eq!(h.policy_generation(), 3);
+    assert_eq!(h.ctrl().stats().commits, 3);
+    assert_eq!(h.reservations().len(), 1);
+    assert!(h.policy().shaping.is_some());
+    assert!(h.nic.sniffer.is_enabled());
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+}

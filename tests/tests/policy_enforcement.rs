@@ -64,7 +64,7 @@ fn tools_require_privilege() {
     let mut tb = AliceTestbed::new();
     let bob = Cred::new(BOB, "bob");
     assert!(matches!(
-        ksniff::start(&mut tb.host, &bob, SnifferFilter::all()),
+        ksniff::start(&mut tb.host, &bob, SnifferFilter::all(), Time::ZERO),
         Err(ToolError::PermissionDenied { .. })
     ));
     assert!(
@@ -134,6 +134,7 @@ fn sniffer_uid_filter_isolates_one_tenant() {
             uid: Some(CHARLIE.0),
             ..SnifferFilter::all()
         },
+        Time::ZERO,
     )
     .unwrap();
     for app in [tb.postgres.clone(), tb.mysql.clone()] {

@@ -48,7 +48,10 @@ fn arp_for_other_hosts_is_cached_policy_not_answered() {
 fn kernel_arp_reply_is_visible_to_ksniff() {
     // Even the kernel's own transmissions pass the tap: full global view.
     let mut host = Host::new(HostConfig::default());
-    host.enable_sniffer(nicsim::SnifferFilter::all());
+    host.update_policy(Time::ZERO, |p| {
+        p.sniffer = Some(nicsim::SnifferFilter::all())
+    })
+    .unwrap();
     let req = PacketBuilder::arp_request(Mac::local(9), Ipv4Addr::new(10, 0, 0, 2), host.cfg.ip);
     host.deliver_from_wire(&req, Time::ZERO);
     host.pump_tx(Time::from_us(1));

@@ -38,8 +38,10 @@ fn conservation_under(schedule: FaultSchedule, seed: u64, drain: bool) {
     // Reserve a second port for a different uid: traffic to it from the
     // wire passes the NIC filter map check only for the owner, giving a
     // deterministic source of Filter drops.
-    host.reserve_port(PortReservation::new(4444, Uid(1002)), Time::ZERO)
-        .unwrap();
+    host.update_policy(Time::ZERO, |p| {
+        p.reservations.push(PortReservation::new(4444, Uid(1002)))
+    })
+    .unwrap();
     let conn = host
         .connect(
             bob,

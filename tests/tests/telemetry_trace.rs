@@ -29,8 +29,10 @@ fn one_packet_full_lifecycle_with_nat_and_attribution() {
     let bob = host.spawn(Uid(1001), "bob", "server");
     // A port reservation loads the NIC ingress+egress filters, so the
     // lifecycle includes explicit filter PASS stages.
-    host.reserve_port(PortReservation::new(7000, Uid(1001)), Time::ZERO)
-        .unwrap();
+    host.update_policy(Time::ZERO, |p| {
+        p.reservations.push(PortReservation::new(7000, Uid(1001)))
+    })
+    .unwrap();
     let sock = NormanSocket::connect(
         &mut host,
         bob,
