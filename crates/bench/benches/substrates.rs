@@ -8,7 +8,10 @@
 //! duration. Run with `cargo bench --bench substrates`.
 
 use std::hint::black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+use serde::Serialize;
 
 use memsim::{HostRing, Llc, LlcConfig, MemCosts};
 use nicsim::{FlowTable, Sram};
@@ -23,12 +26,34 @@ fn smoke_mode() -> bool {
     std::env::var_os("BENCH_SMOKE").is_some()
 }
 
+/// One benchmark's result, mirrored to `results/substrates.json` so
+/// `scripts/check_bench.py` can diff coverage (and, on timed runs,
+/// wall-clock cost) against the committed baseline.
+#[derive(Serialize)]
+struct BenchResult {
+    group: String,
+    name: String,
+    /// Mean wall-clock ns/iter; `None` in smoke mode (one untimed iter).
+    ns_per_iter: Option<f64>,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+fn record(group: &str, name: &str, ns_per_iter: Option<f64>) {
+    RESULTS.lock().unwrap().push(BenchResult {
+        group: group.to_string(),
+        name: name.to_string(),
+        ns_per_iter,
+    });
+}
+
 /// Runs `f` repeatedly for ~200 ms after a 20 ms warmup and prints the
 /// mean wall-clock cost per iteration.
 fn bench(group: &str, name: &str, mut f: impl FnMut()) {
     if smoke_mode() {
         f();
         println!("{group}/{name}: smoke ok (1 iter)");
+        record(group, name, None);
         return;
     }
     let warmup = Instant::now();
@@ -46,6 +71,7 @@ fn bench(group: &str, name: &str, mut f: impl FnMut()) {
     }
     let ns = start.elapsed().as_nanos() as f64 / iters as f64;
     println!("{group}/{name}: {ns:10.1} ns/iter  ({iters} iters)");
+    record(group, name, Some(ns));
 }
 
 fn bench_pkt() {
@@ -383,6 +409,13 @@ fn bench_telemetry() {
     });
 }
 
+#[derive(Serialize)]
+struct Output {
+    schema: &'static str,
+    mode: &'static str,
+    benches: Vec<BenchResult>,
+}
+
 fn main() {
     bench_pkt();
     bench_qdisc();
@@ -394,4 +427,10 @@ fn main() {
     bench_meta();
     bench_batch_rx();
     bench_telemetry();
+    let out = Output {
+        schema: "norman-bench-substrates-v1",
+        mode: if smoke_mode() { "smoke" } else { "timed" },
+        benches: std::mem::take(&mut RESULTS.lock().unwrap()),
+    };
+    bench::write_json("substrates", &out);
 }

@@ -31,6 +31,12 @@
 //!      leave a partially-applied bundle behind;
 //!   4. the whole sweep is replayable: the same seed produces
 //!      byte-identical results (tracing on does not perturb replay).
+//!
+//! A final sharded segment reruns the kitchen-sink wire against a
+//! 4-queue host with one worker per RSS queue ([`Host::run_workers`]):
+//! the audits — which now cross shard boundaries through the quiesce
+//! barrier — must stay just as clean, and the segment must replay
+//! byte-identically despite real worker threads.
 
 use std::net::Ipv4Addr;
 
@@ -221,6 +227,166 @@ fn run_chaos(scenario: &str, schedule: FaultSchedule, outage: Option<Outage>) ->
     }
 }
 
+/// The sharded chaos segment: a 4-queue host with one worker per RSS
+/// queue under the kitchen-sink wire, plus steering churn (the
+/// indirection table rotates through faulted two-phase commits). Audits
+/// run on the same cadence as the scalar sweep and must stay clean —
+/// the quiesce barrier makes each checkpoint a cross-shard snapshot.
+fn run_chaos_sharded() -> Row {
+    const QUEUES: usize = 4;
+    let cfg = HostConfig {
+        nic: nicsim::NicConfig {
+            num_queues: QUEUES,
+            ..nicsim::NicConfig::default()
+        },
+        ring_slots: 64,
+        ..HostConfig::default()
+    };
+    let mut host = Host::new(cfg);
+    let pid = host.spawn(Uid(1001), "bob", "server");
+    // Two flows per queue under the boot-time uniform table, so every
+    // worker sees traffic from the first burst.
+    let table = nicsim::RssTable::uniform(QUEUES);
+    let mut buckets: Vec<Vec<u16>> = vec![Vec::new(); QUEUES];
+    for port in 7000..9000u16 {
+        let tuple = pkt::FiveTuple::udp(Ipv4Addr::new(10, 0, 0, 2), 9000, host.cfg.ip, port);
+        let q = usize::from(table.queue_for(pkt::meta::flow_hash_of(&tuple)));
+        if buckets[q].len() < 2 {
+            buckets[q].push(port);
+        }
+        if buckets.iter().all(|b| b.len() == 2) {
+            break;
+        }
+    }
+    let mut ports: Vec<u16> = buckets.into_iter().flatten().collect();
+    ports.sort_unstable();
+    let conns: Vec<_> = ports
+        .iter()
+        .map(|&port| {
+            host.connect(
+                pid,
+                IpProto::UDP,
+                port,
+                Ipv4Addr::new(10, 0, 0, 2),
+                9000,
+                false,
+            )
+            .unwrap()
+        })
+        .collect();
+    host.run_workers(QUEUES).unwrap();
+    host.start_trace();
+    host.set_policy_fault_injector(OpFaultInjector::seeded_rate(SEED ^ 0x44, POLICY_FAULT_RATE));
+
+    let frames: Vec<Packet> = ports
+        .iter()
+        .map(|&port| {
+            PacketBuilder::new()
+                .ether(Mac::local(9), host.cfg.mac)
+                .ipv4(Ipv4Addr::new(10, 0, 0, 2), host.cfg.ip)
+                .udp(9000, port, &[0u8; 1458])
+                .build()
+        })
+        .collect();
+    let schedule = FaultSchedule {
+        corrupt_rate: 0.002,
+        reorder_rate: 0.01,
+        reorder_window: 4,
+        delay_rate: 0.01,
+        max_extra_delay: Dur::from_us(5),
+        ..FaultSchedule::steady_loss(0.01)
+    };
+    let mut wire = FaultyLink::new(Link::hundred_gbe(), SEED ^ 0x33, schedule);
+
+    let mut delivered_ok = 0u64;
+    let mut audits = 0u64;
+    let mut audit_violations = 0u64;
+    let mut policy_commits = 0u64;
+    let mut policy_rollbacks = 0u64;
+    let mut first_violation: Option<String> = None;
+    for i in 0..FRAMES {
+        let t = Time::ZERO + PKT_GAP * i;
+        let flow = (i % ports.len() as u64) as usize;
+        // Steering churn under fire: rotate the indirection table through
+        // a faulted two-phase commit; rollbacks must leave the old
+        // steering (and every shard's ring ownership) intact.
+        if i % POLICY_EVERY == POLICY_EVERY - 1 {
+            let rotate = (i / POLICY_EVERY) as usize + 1;
+            let rss_table: Vec<u16> = (0..nicsim::RSS_TABLE_SIZE)
+                .map(|j| ((j + rotate) % QUEUES) as u16)
+                .collect();
+            match host.update_policy(t, |p| {
+                p.rss = Some(norman::RssPolicy {
+                    num_queues: QUEUES,
+                    indirection: rss_table.clone(),
+                });
+            }) {
+                Ok(_) => policy_commits += 1,
+                Err(CtrlError::CommitFailed { .. }) => policy_rollbacks += 1,
+                Err(e) => panic!("unexpected control-plane error: {e}"),
+            }
+        }
+        for d in wire.transmit(t, frames[flow].bytes().to_vec()) {
+            let rep = host.deliver_from_wire(&Packet::from_bytes(d.frame), d.at);
+            if let DeliveryOutcome::FastPath(_) = rep.outcome {
+                delivered_ok += 1;
+                let _ = host.app_recv(conns[flow], d.at, false);
+            }
+        }
+        // Reordered frames can land on a different flow than the one
+        // just offered; a periodic full drain bounds every ring.
+        if i % 64 == 0 {
+            for &c in &conns {
+                while host.app_recv(c, t, false).len.is_some() {}
+            }
+        }
+        if i % AUDIT_EVERY == 0 {
+            audits += 1;
+            let violations = host.audit();
+            audit_violations += violations.len() as u64;
+            if first_violation.is_none() {
+                first_violation = violations.into_iter().next();
+            }
+        }
+    }
+    for d in wire.flush(Time::ZERO + PKT_GAP * FRAMES) {
+        let rep = host.deliver_from_wire(&Packet::from_bytes(d.frame), d.at);
+        if let DeliveryOutcome::FastPath(_) = rep.outcome {
+            delivered_ok += 1;
+        }
+    }
+    audits += 1;
+    let final_violations = host.audit();
+    audit_violations += final_violations.len() as u64;
+    if let Some(v) = first_violation.or_else(|| final_violations.into_iter().next()) {
+        eprintln!("AUDIT VIOLATION [sharded N=4]: {v}");
+    }
+    host.quiesce();
+    // Every worker core did real work under chaos.
+    assert_eq!(host.sched.num_cores_charged(), QUEUES);
+
+    let fs = wire.fault_stats();
+    let ns = host.nic.stats();
+    Row {
+        scenario: "kitchen sink, 4 RSS queues / 4 workers".to_string(),
+        offered: FRAMES,
+        wire_dropped: fs.dropped + fs.outage_dropped,
+        wire_corrupted: fs.corrupted,
+        delivered_ok,
+        rx_malformed: ns.rx_malformed + ns.rx_bad_checksum,
+        goodput_pct: 100.0 * delivered_ok as f64 / FRAMES as f64,
+        tx_deferred: 0,
+        tx_retry_flushed: 0,
+        audits,
+        audit_violations,
+        policy_commits,
+        policy_rollbacks,
+        policy_frozen: 0,
+        reconciles: host.ctrl().stats().reconciles,
+        generation: host.policy_generation(),
+    }
+}
+
 fn run_sweep() -> Vec<Row> {
     let mut rows = Vec::new();
 
@@ -270,6 +436,7 @@ fn main() {
     println!("E9: chaos sweep — seeded fault injection with continuous state audits\n");
 
     let rows = run_sweep();
+    let sharded = run_chaos_sharded();
 
     let mut table = bench::Table::new(
         "E9 — goodput under injected faults",
@@ -285,7 +452,7 @@ fn main() {
             "audit violations",
         ],
     );
-    for r in &rows {
+    for r in rows.iter().chain(std::iter::once(&sharded)) {
         table.row(&[
             r.scenario.clone(),
             r.wire_dropped.to_string(),
@@ -375,11 +542,38 @@ fn main() {
         "bitstream reprogram must trigger a control-plane reconcile"
     );
 
-    // (5) Determinism: the same seed replays byte-identically.
+    // (4c) The sharded segment: four worker threads under the same
+    // chaos, and the cross-shard audits stay just as clean.
+    assert_eq!(
+        sharded.audit_violations, 0,
+        "sharded chaos must never diverge a shard's ledger from the counters"
+    );
+    assert!(
+        sharded.goodput_pct > 90.0,
+        "sharded goodput collapsed to {:.2}%",
+        sharded.goodput_pct
+    );
+    assert!(
+        sharded.policy_commits > 0,
+        "steering churn must commit sometimes"
+    );
+    assert_eq!(
+        sharded.generation, sharded.policy_commits,
+        "sharded generation must count successful commits only"
+    );
+
+    // (5) Determinism: the same seed replays byte-identically — including
+    // the sharded segment, despite real worker threads.
     let replay = run_sweep();
     let a = serde_json::to_string(&rows).unwrap();
     let b = serde_json::to_string(&replay).unwrap();
     assert_eq!(a, b, "same seed must reproduce byte-identical results");
+    let sharded_replay = run_chaos_sharded();
+    assert_eq!(
+        serde_json::to_string(&sharded).unwrap(),
+        serde_json::to_string(&sharded_replay).unwrap(),
+        "sharded replay must be byte-identical"
+    );
 
     println!("\nShape check PASSED: goodput degrades smoothly with injected loss/corruption,");
     println!("corrupted frames are caught at the parser, outage TX defers and flushes, and");
@@ -390,5 +584,7 @@ fn main() {
         "Control plane under fire: {total_commits} commits landed, {total_rollbacks} rolled back mid-apply — zero partially-applied bundles."
     );
 
-    bench::write_json("exp_e9_chaos", &rows);
+    let mut all = rows;
+    all.push(sharded);
+    bench::write_json("exp_e9_chaos", &all);
 }

@@ -13,7 +13,7 @@ use std::collections::HashMap;
 
 use overlay::{verify, PktCtx, Program, Verdict, Vm};
 use pkt::{FiveTuple, FrameMeta, IpProto, Packet, PktError};
-use qdisc::{QPkt, Qdisc, Wfq};
+use qdisc::{MultiQueue, QPkt, Qdisc};
 use sim::{Dur, Link, Time};
 use telemetry::{DropCause, HistId, Owner, Registry, Stage, Telemetry, TraceEvent, TraceVerdict};
 
@@ -23,6 +23,7 @@ use crate::pipeline::{
     DropReason, NicConfig, RxDisposition, RxResult, SlowPathReason, TxDeparture, TxDisposition,
 };
 use crate::regs::RegFile;
+use crate::rss::{RssError, RssTable, RSS_NUM_QUEUES_REG};
 use crate::sniff::{Direction, Sniffer, SnifferFilter};
 use crate::sram::{Sram, SramCategory, SramError};
 
@@ -77,6 +78,9 @@ pub enum NicError {
         /// The offending value (0.0 for an empty list).
         weight: f64,
     },
+    /// RSS configuration rejected (bad queue count, table size, or a
+    /// table entry naming a nonexistent queue).
+    Rss(RssError),
 }
 
 impl std::fmt::Display for NicError {
@@ -97,6 +101,7 @@ impl std::fmt::Display for NicError {
                     "scheduler weight {weight} at index {index} must be finite and positive"
                 )
             }
+            NicError::Rss(e) => write!(f, "RSS configuration rejected: {e}"),
         }
     }
 }
@@ -106,6 +111,12 @@ impl std::error::Error for NicError {}
 impl From<SramError> for NicError {
     fn from(e: SramError) -> NicError {
         NicError::Sram(e)
+    }
+}
+
+impl From<RssError> for NicError {
+    fn from(e: RssError) -> NicError {
+        NicError::Rss(e)
     }
 }
 
@@ -215,7 +226,10 @@ pub struct SmartNic {
     egress_filter: Option<Vm>,
     classifier: Option<Vm>,
     accounting: Vec<Vm>,
-    scheduler: Wfq,
+    scheduler: MultiQueue,
+    /// The active RSS steering table; programmed only via
+    /// [`SmartNic::configure_rss`] (the control-plane path).
+    rss: RssTable,
     notify_queues: HashMap<u32, NotifyQueue>,
     pipeline_free: Time,
     frozen_until: Time,
@@ -233,16 +247,21 @@ pub struct SmartNic {
 }
 
 impl SmartNic {
-    /// Creates a NIC with the given configuration and a single-class
-    /// (FIFO-equivalent) scheduler.
+    /// Creates a NIC with the given configuration, `cfg.num_queues`
+    /// RX/TX queue pairs behind a uniform boot-time RSS table, and a
+    /// single-class (FIFO-equivalent) scheduler per queue.
     pub fn new(cfg: NicConfig) -> SmartNic {
         let sram = Sram::new(cfg.sram_bytes);
         let link = Link::new(cfg.gbps, cfg.propagation);
-        let scheduler = Wfq::new(&[1.0], cfg.tx_queue_limit);
+        let scheduler = MultiQueue::new(cfg.num_queues, &[1.0], cfg.tx_queue_limit);
+        let rss = RssTable::uniform(cfg.num_queues);
         let tel = Telemetry::new();
         let tel_hists = register_nic_hists(&tel);
         let mut regs = RegFile::new();
         regs.define_kernel(POLICY_GENERATION_REG);
+        regs.define_kernel(RSS_NUM_QUEUES_REG);
+        regs.write(RSS_NUM_QUEUES_REG, cfg.num_queues as u64, None)
+            .expect("kernel write to a kernel register");
         SmartNic {
             sniffer: Sniffer::new(cfg.sniffer_capacity),
             sram,
@@ -254,6 +273,7 @@ impl SmartNic {
             classifier: None,
             accounting: Vec::new(),
             scheduler,
+            rss,
             notify_queues: HashMap::new(),
             pipeline_free: Time::ZERO,
             frozen_until: Time::ZERO,
@@ -299,6 +319,7 @@ impl SmartNic {
         let (captured, dropped) = self.sniffer.counters();
         reg.set_counter("nic.sniffer.captured", captured);
         reg.set_counter("nic.sniffer.dropped", dropped);
+        reg.set_counter("nic.rss.queues", self.rss.num_queues() as u64);
         reg.set_gauge(
             "nic.sram.used_frac",
             self.sram.used() as f64 / self.cfg.sram_bytes as f64,
@@ -490,8 +511,46 @@ impl SmartNic {
         {
             return Err(NicError::InvalidWeights { index, weight });
         }
-        self.scheduler = Wfq::new(weights, self.cfg.tx_queue_limit);
+        self.scheduler.reconfigure(weights);
         Ok(())
+    }
+
+    /// Programs the RSS queue count and indirection table (kernel-only;
+    /// callers route through the control plane's two-phase commit).
+    /// Validation is all-or-nothing: on error the active table is
+    /// untouched. A queue-count change rebuilds the per-queue TX
+    /// scheduler bank (like a weight swap); an indirection-only change
+    /// is pure steering and leaves TX state alone.
+    pub fn configure_rss(
+        &mut self,
+        num_queues: usize,
+        indirection: &[u16],
+        now: Time,
+    ) -> Result<Dur, NicError> {
+        self.check_frozen(now)?;
+        let table = RssTable::validated(num_queues, indirection)?;
+        if table.num_queues() != self.scheduler.num_queues() {
+            self.scheduler = MultiQueue::new(
+                table.num_queues(),
+                self.scheduler.weights(),
+                self.cfg.tx_queue_limit,
+            );
+        }
+        self.rss = table;
+        self.regs
+            .write(RSS_NUM_QUEUES_REG, num_queues as u64, None)
+            .expect("kernel write to a kernel register");
+        Ok(self.cfg.overlay_swap_cost)
+    }
+
+    /// Number of active RX/TX queue pairs.
+    pub fn num_queues(&self) -> usize {
+        self.rss.num_queues()
+    }
+
+    /// The active RSS steering table.
+    pub fn rss(&self) -> &RssTable {
+        &self.rss
     }
 
     /// Returns per-class bytes sent by the scheduler.
@@ -727,6 +786,36 @@ impl SmartNic {
                 "TX scheduler holds {} frames but {} pending-conn records",
                 self.scheduler.len(),
                 self.tx_pending.len()
+            ));
+        }
+
+        // RSS state is internally consistent: the TX scheduler bank has
+        // one queue per RSS queue, every indirection entry names a live
+        // queue, and the kernel register mirrors the active count.
+        if self.scheduler.num_queues() != self.rss.num_queues() {
+            violations.push(format!(
+                "TX scheduler has {} queues but RSS table has {}",
+                self.scheduler.num_queues(),
+                self.rss.num_queues()
+            ));
+        }
+        if let Some((index, &queue)) = self
+            .rss
+            .indirection()
+            .iter()
+            .enumerate()
+            .find(|&(_, &q)| usize::from(q) >= self.rss.num_queues())
+        {
+            violations.push(format!(
+                "RSS indirection[{index}] = {queue} names a nonexistent queue (have {})",
+                self.rss.num_queues()
+            ));
+        }
+        if self.regs.peek(RSS_NUM_QUEUES_REG) != Some(self.rss.num_queues() as u64) {
+            violations.push(format!(
+                "RSS queue-count register {:?} != active table's {}",
+                self.regs.peek(RSS_NUM_QUEUES_REG),
+                self.rss.num_queues()
             ));
         }
 
@@ -1003,6 +1092,9 @@ impl SmartNic {
         // Tag the frame for lifecycle tracing: adopt an id assigned by an
         // upstream stage (e.g. a NAT box sharing the hub) or allocate one.
         meta.frame_id = self.tel.adopt_frame_id(meta.frame_id);
+        // RSS steering: the indirection table maps the Toeplitz hash to
+        // the RX queue this frame is delivered on.
+        meta.queue = self.rss.queue_for(meta.flow_hash);
         let fid = meta.frame_id;
         let len = packet.len() as u32;
 
@@ -1415,8 +1507,16 @@ impl SmartNic {
 
         let pkt_id = self.next_pkt_id;
         self.next_pkt_id += 1;
+        // TX queue selection mirrors RX steering: the same hash → queue
+        // mapping, so a connection's traffic stays on one queue pair in
+        // both directions.
+        let txq = meta
+            .as_ref()
+            .ok()
+            .map(|m| usize::from(self.rss.queue_for(m.flow_hash)))
+            .unwrap_or(0);
         let qpkt = QPkt::new(pkt_id, packet.len() as u32, now).with_class(class);
-        match self.scheduler.enqueue(qpkt, now) {
+        match self.scheduler.enqueue_on(txq, qpkt, now) {
             Ok(()) => {
                 self.tx_pending.insert(pkt_id, (conn, fid));
                 self.tel.emit(|| {
@@ -1527,8 +1627,9 @@ impl SmartNic {
         }
         let pkt_id = self.next_pkt_id;
         self.next_pkt_id += 1;
+        // Kernel frames (ARP, slow-path responses) always use queue 0.
         let qpkt = QPkt::new(pkt_id, packet.len() as u32, now);
-        match self.scheduler.enqueue(qpkt, now) {
+        match self.scheduler.enqueue_on(0, qpkt, now) {
             Ok(()) => {
                 self.tx_pending.insert(pkt_id, (ConnId(u64::MAX), fid));
                 self.tel.emit(|| {
@@ -2000,5 +2101,106 @@ mod tests {
         let mut nic = nic();
         let err = nic.tx_enqueue(ConnId(99), &udp_to(1), Time::ZERO);
         assert!(matches!(err, Err(NicError::NoSuchConn(ConnId(99)))));
+    }
+
+    #[test]
+    fn single_queue_nic_stamps_queue_zero() {
+        let mut nic = nic();
+        nic.open_connection(rx_tuple(80), 0, 1, "a", false).unwrap();
+        let r = nic.rx(&udp_to(80), Time::ZERO);
+        assert_eq!(nic.num_queues(), 1);
+        assert_eq!(r.meta.unwrap().queue, 0);
+    }
+
+    #[test]
+    fn rss_steers_by_hash_and_spreads_flows() {
+        let cfg = NicConfig {
+            num_queues: 4,
+            ..NicConfig::default()
+        };
+        let mut nic = SmartNic::new(cfg);
+        let mut seen = [false; 4];
+        for port in 5000..5064 {
+            nic.open_connection(rx_tuple(port), 0, 1, "a", false)
+                .unwrap();
+            let r = nic.rx(&udp_to(port), Time::ZERO);
+            assert!(matches!(r.disposition, RxDisposition::Deliver { .. }));
+            let m = r.meta.unwrap();
+            // Stamp agrees with the table the kernel programmed.
+            assert_eq!(m.queue, nic.rss().queue_for(m.flow_hash));
+            seen[usize::from(m.queue)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "64 distinct flows should touch all 4 queues: {seen:?}"
+        );
+    }
+
+    #[test]
+    fn tx_stays_on_the_flow_queue() {
+        let cfg = NicConfig {
+            num_queues: 4,
+            ..NicConfig::default()
+        };
+        let mut nic = SmartNic::new(cfg);
+        let id = nic
+            .open_connection(rx_tuple(5000), 0, 1, "a", false)
+            .unwrap();
+        let pkt = udp_to(9000);
+        let hash = FrameMeta::of(&pkt).unwrap().flow_hash;
+        nic.tx_enqueue(id, &pkt, Time::ZERO).unwrap();
+        let q = usize::from(nic.rss().queue_for(hash));
+        // The frame sits on exactly the queue its hash steers to.
+        for other in 0..4 {
+            let expect = usize::from(other == q);
+            assert_eq!(nic.scheduler.queue_len(other), expect, "queue {other}");
+        }
+        assert!(nic.tx_poll(Time::ZERO).is_some());
+    }
+
+    #[test]
+    fn configure_rss_validates_atomically() {
+        let cfg = NicConfig {
+            num_queues: 2,
+            ..NicConfig::default()
+        };
+        let mut nic = SmartNic::new(cfg);
+        let before = nic.rss().clone();
+        // Entry out of range: refused, nothing changes, audit stays clean.
+        let mut bad = vec![0u16; crate::rss::RSS_TABLE_SIZE];
+        bad[3] = 5;
+        assert!(matches!(
+            nic.configure_rss(2, &bad, Time::ZERO),
+            Err(NicError::Rss(RssError::BadEntry { index: 3, queue: 5 }))
+        ));
+        assert_eq!(*nic.rss(), before);
+        assert!(nic.audit().is_empty(), "{:?}", nic.audit());
+        // A valid skewed table installs; a queue-count change resizes the
+        // TX bank and the kernel register follows.
+        let skew: Vec<u16> = (0..crate::rss::RSS_TABLE_SIZE)
+            .map(|i| (i % 4) as u16)
+            .collect();
+        nic.configure_rss(4, &skew, Time::ZERO).unwrap();
+        assert_eq!(nic.num_queues(), 4);
+        assert_eq!(nic.regs.peek(RSS_NUM_QUEUES_REG), Some(4));
+        assert!(nic.audit().is_empty(), "{:?}", nic.audit());
+    }
+
+    #[test]
+    fn audit_catches_rss_register_drift() {
+        let mut nic = nic();
+        nic.regs.write(RSS_NUM_QUEUES_REG, 9, None).unwrap();
+        let v = nic.audit();
+        assert!(
+            v.iter().any(|s| s.contains("RSS queue-count register")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn rss_register_is_kernel_only() {
+        let mut nic = nic();
+        assert!(nic.regs.write(RSS_NUM_QUEUES_REG, 8, Some(42)).is_err());
+        assert_eq!(nic.regs.peek(RSS_NUM_QUEUES_REG), Some(1));
     }
 }

@@ -25,6 +25,9 @@
 //! * [`cc`] — DCTCP-style on-NIC congestion control (§4.2 lists
 //!   congestion control in the dataplane), reacting to ECN marks from
 //!   the RED AQM.
+//! * [`rss`] — the receive-side-scaling indirection table steering each
+//!   frame's Toeplitz hash to one of N RX/TX queue pairs, programmable
+//!   only through the kernel control plane.
 //! * [`pipeline`] — per-stage latency configuration and verdict types.
 //! * [`device`] — [`device::SmartNic`], composing all of the above with
 //!   up to four overlay program slots (ingress filter, egress filter,
@@ -37,6 +40,7 @@ pub mod nat;
 pub mod notify;
 pub mod pipeline;
 pub mod regs;
+pub mod rss;
 pub mod sniff;
 pub mod sram;
 
@@ -47,5 +51,6 @@ pub use nat::{NatError, NatTable};
 pub use notify::{Notification, NotifyKind, NotifyQueue};
 pub use pipeline::{NicConfig, RxDisposition, RxResult, TxDisposition};
 pub use regs::{RegFile, RegRegion};
+pub use rss::{RssError, RssTable, MAX_QUEUES, RSS_NUM_QUEUES_REG, RSS_TABLE_SIZE};
 pub use sniff::{CaptureEntry, Direction, Sniffer, SnifferFilter};
 pub use sram::{Sram, SramCategory, SramError};

@@ -40,6 +40,11 @@ pub struct NicConfig {
     /// Duration of a full bitstream reprogram, during which the dataplane
     /// is down (§4.4: "these operations take seconds or longer").
     pub bitstream_reprogram: Dur,
+    /// Number of RX/TX queue pairs the NIC exposes. The boot-time RSS
+    /// indirection table spreads hashes uniformly across them; the kernel
+    /// can reprogram both via the control plane. `1` (the default) is the
+    /// pre-multi-queue NIC, byte-identical to the single-queue pipeline.
+    pub num_queues: usize,
 }
 
 impl Default for NicConfig {
@@ -57,6 +62,7 @@ impl Default for NicConfig {
             tx_queue_limit: 1024,
             overlay_swap_cost: Dur::from_us(20),
             bitstream_reprogram: Dur::from_secs(3),
+            num_queues: 1,
         }
     }
 }

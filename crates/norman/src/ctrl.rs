@@ -40,6 +40,7 @@
 use std::net::Ipv4Addr;
 
 use nicsim::device::ProgramSlot;
+use nicsim::rss::{RssTable, MAX_QUEUES, RSS_TABLE_SIZE};
 use nicsim::{NatTable, SmartNic, POLICY_GENERATION_REG};
 use overlay::{builtins, Program};
 use pkt::IpProto;
@@ -53,6 +54,31 @@ use nicsim::SnifferFilter;
 
 /// Commit history entries kept for `npolicy status`.
 const HISTORY_CAP: usize = 64;
+
+/// Kernel RSS steering policy: the queue count and, optionally, an
+/// explicit indirection table. An empty `indirection` means "spread
+/// uniformly" (entry `i` → queue `i % num_queues`); a non-empty one must
+/// have exactly [`nicsim::RSS_TABLE_SIZE`] entries, each naming a live
+/// queue. Like every other policy, RSS reaches the NIC only through the
+/// two-phase commit — a half-written steering table would misdeliver
+/// frames to workers that do not own their connections.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RssPolicy {
+    /// RX/TX queue pairs to expose (`1..=nicsim::MAX_QUEUES`).
+    pub num_queues: usize,
+    /// Explicit indirection table, or empty for uniform spread.
+    pub indirection: Vec<u16>,
+}
+
+impl RssPolicy {
+    /// Uniform steering across `num_queues` queues.
+    pub fn uniform(num_queues: usize) -> RssPolicy {
+        RssPolicy {
+            num_queues,
+            indirection: Vec::new(),
+        }
+    }
+}
 
 /// A static NAT forward: inbound `(proto, ext_port)` is rewritten to
 /// `internal`, and outbound traffic from `internal` masquerades with the
@@ -86,6 +112,10 @@ pub struct PolicyStore {
     pub nat_external_ip: Option<Ipv4Addr>,
     /// Static NAT forwards (require `nat_external_ip`).
     pub nat_rules: Vec<NatRule>,
+    /// RSS steering (queue count + indirection). `None` leaves the NIC's
+    /// boot-time configuration untouched, so unrelated commits never
+    /// perturb queue steering.
+    pub rss: Option<RssPolicy>,
 }
 
 /// Everything phase 2 installs, in apply order. Compiled from a
@@ -104,6 +134,10 @@ pub struct PolicyBundle {
     sniffer: Option<SnifferFilter>,
     /// NAT masquerade address + static forwards.
     nat: Option<(Ipv4Addr, Vec<NatRule>)>,
+    /// RSS steering, fully resolved: `(num_queues, explicit indirection
+    /// table)`. `None` = the store has no RSS policy; the NIC keeps its
+    /// boot configuration.
+    rss: Option<(usize, Vec<u16>)>,
 }
 
 impl PolicyBundle {
@@ -117,6 +151,7 @@ impl PolicyBundle {
             accounting: Vec::new(),
             sniffer: None,
             nat: None,
+            rss: None,
         }
     }
 
@@ -176,6 +211,28 @@ impl PolicyBundle {
             (None, true) => None,
         };
 
+        let rss = match &store.rss {
+            Some(policy) => {
+                if !(1..=MAX_QUEUES).contains(&policy.num_queues) {
+                    return Err(CtrlError::Compile(format!(
+                        "RSS queue count {} outside 1..={MAX_QUEUES}",
+                        policy.num_queues
+                    )));
+                }
+                let table: Vec<u16> = if policy.indirection.is_empty() {
+                    (0..RSS_TABLE_SIZE)
+                        .map(|i| (i % policy.num_queues) as u16)
+                        .collect()
+                } else {
+                    policy.indirection.clone()
+                };
+                RssTable::validated(policy.num_queues, &table)
+                    .map_err(|e| CtrlError::Compile(format!("RSS policy rejected: {e}")))?;
+                Some((policy.num_queues, table))
+            }
+            None => None,
+        };
+
         // Verify every program the bundle would install (the load path
         // verifies again; this keeps phase 1 side-effect-free while
         // still refusing bad bundles before anything is staged).
@@ -197,6 +254,7 @@ impl PolicyBundle {
             accounting: store.accounting.clone(),
             sniffer: store.sniffer,
             nat,
+            rss,
         })
     }
 
@@ -326,6 +384,12 @@ pub struct ControlPlane {
     /// queued frames and per-class counters, so apply only reconfigures
     /// it when the weights actually change.
     applied_weights: Vec<f64>,
+    /// RSS configuration the control plane has programmed, if any
+    /// (`None` = the NIC still runs its boot-time steering). Reprogramming
+    /// the indirection table mid-stream would re-steer in-flight flows,
+    /// so apply only touches it on actual change — the same idempotence
+    /// discipline as `applied_weights`.
+    applied_rss: Option<(usize, Vec<u16>)>,
     /// Bitstream reprograms already reflected in NIC-resident state.
     reprograms_seen: u64,
     faults: OpFaultInjector,
@@ -343,6 +407,7 @@ impl ControlPlane {
             installed: PolicyBundle::empty(),
             generation: 0,
             applied_weights: vec![1.0],
+            applied_rss: None,
             reprograms_seen: 0,
             faults: OpFaultInjector::never(),
             stats: CtrlStats::default(),
@@ -552,6 +617,37 @@ impl ControlPlane {
             self.applied_weights = bundle.sched_weights.clone();
         }
 
+        match &bundle.rss {
+            Some((queues, table)) => {
+                let differs = match &self.applied_rss {
+                    Some((q, t)) => q != queues || t != table,
+                    None => true,
+                };
+                if differs {
+                    op(&mut self.stats, &mut self.faults, "configure_rss")?;
+                    nic.configure_rss(*queues, table, now)
+                        .map_err(|e| format!("configure_rss: {e}"))?;
+                    self.applied_rss = Some((*queues, table.clone()));
+                }
+            }
+            None => {
+                // Wipe-then-install: a bundle without RSS policy reverts
+                // the NIC to its boot-time uniform steering — but only if
+                // the control plane programmed RSS before (so unrelated
+                // commits on a freshly booted NIC never touch steering,
+                // and rollbacks of a first RSS commit fully undo it).
+                if self.applied_rss.is_some() {
+                    op(&mut self.stats, &mut self.faults, "configure_rss")?;
+                    let boot = nic.config().num_queues;
+                    let uniform: Vec<u16> =
+                        (0..RSS_TABLE_SIZE).map(|i| (i % boot) as u16).collect();
+                    nic.configure_rss(boot, &uniform, now)
+                        .map_err(|e| format!("configure_rss: {e}"))?;
+                    self.applied_rss = None;
+                }
+            }
+        }
+
         for program in &bundle.accounting {
             op(&mut self.stats, &mut self.faults, "add_accounting")?;
             nic.add_accounting(program.clone(), now)
@@ -690,6 +786,19 @@ impl ControlPlane {
             ));
         }
 
+        if let Some((queues, table)) = &bundle.rss {
+            if nic.num_queues() != *queues {
+                violations.push(format!(
+                    "NIC exposes {} queues, RSS policy expects {queues}",
+                    nic.num_queues()
+                ));
+            }
+            if nic.rss().indirection() != &table[..] {
+                violations
+                    .push("NIC RSS indirection table diverges from the policy store".to_string());
+            }
+        }
+
         if nic.sniffer.is_enabled() != bundle.sniffer.is_some() {
             violations.push(format!(
                 "sniffer enabled={} but store says {}",
@@ -755,5 +864,13 @@ impl ControlPlane {
         reg.set_counter("ctrl.reconciles", self.stats.reconciles);
         reg.set_counter("ctrl.apply_ops", self.stats.apply_ops);
         reg.set_counter("ctrl.fault_injected", self.faults.injected());
+        reg.set_counter(
+            "ctrl.rss_queues",
+            self.store
+                .rss
+                .as_ref()
+                .map(|p| p.num_queues as u64)
+                .unwrap_or(0),
+        );
     }
 }

@@ -29,6 +29,7 @@ use telemetry::{DropCause, Owner, Registry, Snapshot, Stage, Telemetry, TraceEve
 
 use crate::ctrl::{ControlPlane, CtrlError, PolicyStore, StagedCommit};
 use crate::policy::{PortReservation, ShapingPolicy};
+use crate::workers::{DeliverJob, RecvReply, SendReply, ShardOutcome, WorkerError, WorkerPool};
 
 /// Host configuration.
 #[derive(Clone, Debug)]
@@ -107,9 +108,20 @@ impl std::fmt::Display for ConnectError {
 impl std::error::Error for ConnectError {}
 
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
-enum RingKey {
+pub(crate) enum RingKey {
     Conn(ConnId),
     Proc(Pid),
+}
+
+impl RingKey {
+    /// A total order so worker shards can drain their rings
+    /// deterministically regardless of hash-map iteration order.
+    pub(crate) fn order(&self) -> (u8, u64) {
+        match self {
+            RingKey::Conn(c) => (0, c.0),
+            RingKey::Proc(p) => (1, u64::from(p.0)),
+        }
+    }
 }
 
 /// One open connection.
@@ -254,6 +266,10 @@ pub struct Host {
     /// Host counters at the moment tracing was last enabled, so audits
     /// compare the event ledger against counter *deltas*.
     tel_baseline: HostStats,
+    /// The per-queue worker fleet, when multi-queue mode is active
+    /// ([`Host::run_workers`]). While set, every ring pair lives inside
+    /// a worker shard and the maps above hold only non-sharded state.
+    workers: Option<WorkerPool>,
 }
 
 impl Host {
@@ -296,8 +312,133 @@ impl Host {
             tel,
             ring_frame_ids: HashMap::new(),
             tel_baseline: HostStats::default(),
+            workers: None,
             cfg,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-queue workers
+    // ------------------------------------------------------------------
+
+    /// Starts multi-queue mode: one worker thread per NIC RSS queue,
+    /// each owning the ring pairs of every connection whose flow hash
+    /// steers to its queue. `n` must equal the NIC's configured queue
+    /// count so ownership is 1:1.
+    ///
+    /// Existing rings migrate into their owning shards; new connections
+    /// are placed by the live RSS indirection table. Shard-local
+    /// counters, CPU time, and trace events merge back into the host at
+    /// the [`Host::quiesce`] barrier, which policy commits, reconciles,
+    /// and audits all take automatically.
+    ///
+    /// With `n == 1` the worker path is byte-identical to the
+    /// single-queue [`Host::pump`] path on a fresh host.
+    pub fn run_workers(&mut self, n: usize) -> Result<(), WorkerError> {
+        if self.workers.is_some() {
+            return Err(WorkerError::AlreadyRunning);
+        }
+        if self.cfg.shared_rings {
+            return Err(WorkerError::SharedRings);
+        }
+        let queues = self.nic.num_queues();
+        if n == 0 || n != queues {
+            return Err(WorkerError::QueueMismatch { workers: n, queues });
+        }
+        let mut pool = WorkerPool::new(n, self.cfg.llc.clone(), self.cfg.mem.clone());
+        let mut placements: Vec<(RingKey, usize)> = self
+            .conns
+            .values()
+            .map(|c| (c.ring_key, self.shard_for_tuple(&c.tuple, n)))
+            .collect();
+        placements.sort_unstable_by_key(|(k, _)| k.order());
+        for (key, shard) in placements {
+            if let Some((rx, tx)) = self.rings.remove(&key) {
+                let fids = self.ring_frame_ids.remove(&key).unwrap_or_default();
+                pool.install(shard, key, rx, tx, fids);
+            }
+        }
+        self.workers = Some(pool);
+        Ok(())
+    }
+
+    /// Stops multi-queue mode: quiesces every shard, folds the rings
+    /// back into the host, and joins the worker threads. The host then
+    /// behaves exactly as before [`Host::run_workers`].
+    pub fn stop_workers(&mut self) {
+        self.quiesce();
+        let Some(mut pool) = self.workers.take() else {
+            return;
+        };
+        for e in pool.drain_all() {
+            if !e.fids.is_empty() {
+                self.ring_frame_ids.insert(e.key, e.fids);
+            }
+            self.rings.insert(e.key, (e.rx, e.tx));
+        }
+        pool.stop();
+    }
+
+    /// Whether multi-queue worker mode is active.
+    pub fn workers_active(&self) -> bool {
+        self.workers.is_some()
+    }
+
+    /// How many worker shards are running (0 in single-queue mode).
+    pub fn num_workers(&self) -> usize {
+        self.workers.as_ref().map_or(0, |p| p.num_workers())
+    }
+
+    /// The quiesce barrier: every worker drains its delivery counters,
+    /// busy time, and buffered trace events back into the host — stats
+    /// merge into [`Host::stats`], busy time lands on the per-core CPU
+    /// meters, and events are absorbed into the telemetry hub with
+    /// their original generation stamps. Returns the number of frames
+    /// still resident in shard RX rings (the audit's occupancy ledger).
+    ///
+    /// Policy commits, bitstream reconciles, audits, and trace restarts
+    /// all quiesce first, so a generation swap is atomic across shards.
+    /// A no-op (returning 0) in single-queue mode.
+    pub fn quiesce(&mut self) -> u64 {
+        let Some(pool) = self.workers.as_mut() else {
+            return 0;
+        };
+        let mut queued = 0;
+        for (core, rep) in pool.quiesce().into_iter().enumerate() {
+            self.stats.fast_delivered += rep.stats.fast_delivered;
+            self.stats.ring_drops += rep.stats.ring_drops;
+            self.stats.ring_missing += rep.stats.ring_missing;
+            self.sched.charge_core_busy(core, rep.busy);
+            self.tel.absorb(rep.events);
+            queued += rep.queued_fids;
+        }
+        queued
+    }
+
+    /// Which shard owns a connection with this RX tuple under the live
+    /// RSS indirection table (modulo the worker count, so a policy that
+    /// shrinks the queue set cannot strand a ring without an owner).
+    fn shard_for_tuple(&self, tuple: &FiveTuple, n: usize) -> usize {
+        usize::from(self.nic.rss().queue_for(pkt::meta::flow_hash_of(tuple))) % n
+    }
+
+    /// Re-shards ring ownership after a policy transaction may have
+    /// changed the RSS steering. Runs under the quiesce barrier the
+    /// caller already took; a commit that left the table unchanged
+    /// reshuffles rings between shards without losing any state.
+    fn rebalance_workers(&mut self) {
+        let Some(pool) = self.workers.take() else {
+            return;
+        };
+        let n = pool.num_workers();
+        let assign: HashMap<RingKey, usize> = self
+            .conns
+            .values()
+            .map(|c| (c.ring_key, self.shard_for_tuple(&c.tuple, n)))
+            .collect();
+        let mut pool = pool;
+        pool.rebalance(&assign);
+        self.workers = Some(pool);
     }
 
     /// Returns host counters.
@@ -315,8 +456,12 @@ impl Host {
     /// event buffer, rebaselines every layer's counters, and enables the
     /// hub. The `ktrace` analogue of `tcpdump -i any` + `strace` in one.
     pub fn start_trace(&mut self) {
+        self.quiesce();
         self.tel.clear();
         self.ring_frame_ids.clear();
+        if let Some(pool) = self.workers.as_mut() {
+            pool.clear_trace();
+        }
         self.tel.set_enabled(true);
         self.nic.mark_telemetry_baseline();
         self.tel_baseline = self.stats;
@@ -338,7 +483,13 @@ impl Host {
     /// invariant (empty = consistent). The trace ledger gives the audit
     /// a second, structurally different account of the same dataplane,
     /// so a bug has to corrupt both in the same way to hide.
-    pub fn audit(&self) -> Vec<String> {
+    ///
+    /// In multi-queue mode the audit first takes the quiesce barrier, so
+    /// shard-local counters and events are merged before any ledger is
+    /// compared — a frame resident in shard *k*'s rings counts toward
+    /// occupancy exactly like one in a host-owned ring.
+    pub fn audit(&mut self) -> Vec<String> {
+        let shard_queued = self.quiesce();
         let mut violations = self.nic.audit();
         // Third ledger: NIC-resident policy state vs the kernel store.
         violations.extend(self.ctrl.audit(&self.nic, self.nat.as_ref()));
@@ -368,7 +519,12 @@ impl Host {
             ring_full,
             d(self.stats.ring_drops, self.tel_baseline.ring_drops),
         );
-        let queued: u64 = self.ring_frame_ids.values().map(|q| q.len() as u64).sum();
+        let queued: u64 = self
+            .ring_frame_ids
+            .values()
+            .map(|q| q.len() as u64)
+            .sum::<u64>()
+            + shard_queued;
         check(
             "ring occupancy",
             ring_enq_pass.saturating_sub(self.tel.stage_count(Stage::RingDequeue)),
@@ -403,6 +559,7 @@ impl Host {
         reg.set_counter("host.tx_retry_dropped", self.stats.tx_retry_dropped);
         reg.set_counter("host.connections", self.conns.len() as u64);
         reg.set_counter("host.tx_retry_len", self.tx_retry.len() as u64);
+        reg.set_counter("host.workers", self.num_workers() as u64);
         reg.set_gauge("host.kernel_cpu_us", self.kernel_cpu.as_us_f64());
         reg.snapshot()
     }
@@ -450,6 +607,7 @@ impl Host {
         now: Time,
         mutate: impl FnOnce(&mut PolicyStore),
     ) -> Result<u64, CtrlError> {
+        self.quiesce();
         let ops_before = self.ctrl.stats().apply_ops;
         let Host {
             ref mut ctrl,
@@ -459,6 +617,7 @@ impl Host {
         } = *self;
         let result = ctrl.update(nic, nat, now, mutate);
         self.charge_policy_ops(ops_before);
+        self.rebalance_workers();
         result
     }
 
@@ -478,6 +637,7 @@ impl Host {
         staged: StagedCommit,
         now: Time,
     ) -> Result<u64, CtrlError> {
+        self.quiesce();
         let ops_before = self.ctrl.stats().apply_ops;
         let Host {
             ref mut ctrl,
@@ -487,6 +647,7 @@ impl Host {
         } = *self;
         let result = ctrl.commit_staged(nic, nat, staged, now);
         self.charge_policy_ops(ops_before);
+        self.rebalance_workers();
         result
     }
 
@@ -542,6 +703,7 @@ impl Host {
         if !self.ctrl.needs_reconcile(&self.nic) || self.nic.is_frozen(now) {
             return;
         }
+        self.quiesce();
         let ops_before = self.ctrl.stats().apply_ops;
         let Host {
             ref mut ctrl,
@@ -552,6 +714,7 @@ impl Host {
         ctrl.reconcile(nic, nat, now)
             .expect("reconcile runs fault-free and reinstalls onto an empty NIC");
         self.charge_policy_ops(ops_before);
+        self.rebalance_workers();
     }
 
     /// Returns the active reservations.
@@ -652,7 +815,24 @@ impl Host {
         };
         let slots = self.cfg.ring_slots;
         let slot_bytes = self.cfg.ring_slot_bytes;
-        if !self.rings.contains_key(&ring_key) {
+        if self.workers.is_some() {
+            // Multi-queue mode: the ring pair is born inside the shard
+            // whose RSS queue the connection's flows steer to.
+            let pool = self.workers.as_ref().expect("checked above");
+            if pool.owner_of(ring_key).is_none() {
+                let n = pool.num_workers();
+                let shard = self.shard_for_tuple(&tuple, n);
+                let rx = HostRing::new(self.alloc_ring_addr(), slots, slot_bytes);
+                let tx = HostRing::new(self.alloc_ring_addr(), slots, slot_bytes);
+                self.workers.as_mut().expect("checked above").install(
+                    shard,
+                    ring_key,
+                    rx,
+                    tx,
+                    VecDeque::new(),
+                );
+            }
+        } else if !self.rings.contains_key(&ring_key) {
             let rx = HostRing::new(self.alloc_ring_addr(), slots, slot_bytes);
             let tx = HostRing::new(self.alloc_ring_addr(), slots, slot_bytes);
             self.rings.insert(ring_key, (rx, tx));
@@ -740,8 +920,12 @@ impl Host {
         };
         let _ = self.nic.close_connection(id);
         if let RingKey::Conn(_) = conn.ring_key {
-            self.rings.remove(&conn.ring_key);
-            self.ring_frame_ids.remove(&conn.ring_key);
+            if let Some(pool) = self.workers.as_mut() {
+                pool.close(conn.ring_key);
+            } else {
+                self.rings.remove(&conn.ring_key);
+                self.ring_frame_ids.remove(&conn.ring_key);
+            }
         }
         true
     }
@@ -797,6 +981,12 @@ impl Host {
     pub fn deliver_from_wire(&mut self, packet: &Packet, now: Time) -> DeliveryReport {
         self.maybe_reconcile(now);
         let rx = self.nic.rx(packet, now);
+        if self.workers.is_some() {
+            return self
+                .finish_batch_workers(std::slice::from_ref(packet), vec![rx], now)
+                .pop()
+                .expect("one frame in, one report out");
+        }
         self.finish_delivery(packet, rx, now)
     }
 
@@ -812,13 +1002,102 @@ impl Host {
     ) -> (Vec<DeliveryReport>, Vec<TxDeparture>) {
         self.maybe_reconcile(now);
         let rxs = self.nic.rx_batch(packets, now);
-        let deliveries = packets
-            .iter()
-            .zip(rxs)
-            .map(|(p, rx)| self.finish_delivery(p, rx, now))
-            .collect();
+        let deliveries = if self.workers.is_some() {
+            self.finish_batch_workers(packets, rxs, now)
+        } else {
+            packets
+                .iter()
+                .zip(rxs)
+                .map(|(p, rx)| self.finish_delivery(p, rx, now))
+                .collect()
+        };
         let departures = self.pump_tx(now);
         (deliveries, departures)
+    }
+
+    /// The multi-queue half of ingress: fast-path frames fan out to the
+    /// worker owning their RSS queue (all shards run concurrently), while
+    /// listener, slow-path, ARP, and drop verdicts stay on this thread.
+    /// Replies reassemble in arrival order and wakeups are applied in
+    /// arrival order, so the result is deterministic and — for one
+    /// worker — byte-identical to [`Host::finish_delivery`] per frame.
+    fn finish_batch_workers(
+        &mut self,
+        packets: &[Packet],
+        rxs: Vec<nicsim::RxResult>,
+        now: Time,
+    ) -> Vec<DeliveryReport> {
+        let n = self.num_workers();
+        let trace = self.tel.is_enabled();
+        let generation = self.tel.generation();
+        let mut batches: Vec<Vec<DeliverJob>> = vec![Vec::new(); n];
+        let mut reports: Vec<DeliveryReport> = Vec::with_capacity(packets.len());
+        // conn + pending wake for each worker-dispatched index.
+        let mut pending: HashMap<usize, (ConnId, Option<Pid>, Time)> = HashMap::new();
+        for (idx, (packet, rx)) in packets.iter().zip(rxs).enumerate() {
+            let fast_conn = match rx.disposition {
+                RxDisposition::Deliver { conn, .. }
+                    if !self.listeners.contains_key(&conn) && self.conns.contains_key(&conn) =>
+                {
+                    Some(conn)
+                }
+                _ => None,
+            };
+            let Some(conn) = fast_conn else {
+                // Listener, stale-connection, slow-path, ARP, and drop
+                // verdicts never touch a shard; handle them inline.
+                reports.push(self.finish_delivery(packet, rx, now));
+                continue;
+            };
+            let c = &self.conns[&conn];
+            let shard = usize::from(rx.meta.map_or(0, |m| m.queue)) % n;
+            batches[shard].push(DeliverJob {
+                idx,
+                key: c.ring_key,
+                len: packet.len(),
+                fid: rx.meta.map_or(0, |m| m.frame_id),
+                tuple: rx.meta.and_then(|m| m.tuple),
+                ready_at: rx.ready_at,
+                trace,
+                generation,
+            });
+            let wake = if rx.interrupt { Some(c.pid) } else { None };
+            pending.insert(idx, (conn, wake, rx.ready_at));
+            reports.push(DeliveryReport {
+                outcome: DeliveryOutcome::Dropped, // overwritten by the reply
+                mem_cost: Dur::ZERO,
+                nic_latency: rx.latency,
+                kernel_cpu: Dur::ZERO,
+                woke: None,
+            });
+        }
+        let pool = self.workers.as_mut().expect("worker mode active");
+        let mut replies = pool.deliver(batches);
+        // Worker order is arbitrary across shards; arrival order is the
+        // contract.
+        replies.sort_unstable_by_key(|r| r.idx);
+        for reply in replies {
+            let (conn, wake, ready_at) = pending[&reply.idx];
+            let report = &mut reports[reply.idx];
+            match reply.outcome {
+                ShardOutcome::Fast(cost) => {
+                    report.outcome = DeliveryOutcome::FastPath(conn);
+                    report.mem_cost = cost;
+                    if let Some(pid) = wake {
+                        if self.sched.wake(pid, ready_at, &mut self.procs).is_some() {
+                            report.woke = Some(pid);
+                        }
+                    }
+                }
+                ShardOutcome::RingFull => {
+                    report.outcome = DeliveryOutcome::RingFull(conn);
+                }
+                ShardOutcome::RingMissing => {
+                    report.outcome = DeliveryOutcome::SlowPath;
+                }
+            }
+        }
+        reports
     }
 
     /// The host-side half of ingress: routes one NIC verdict to rings,
@@ -971,6 +1250,9 @@ impl Host {
         let pid = conn.pid;
         let notify = conn.notify;
         let key = conn.ring_key;
+        if self.workers.is_some() {
+            return self.app_recv_workers(pid, notify, key, now, blocking);
+        }
         let mem = self.cfg.mem.clone();
         let Some((rx_ring, _)) = self.rings.get_mut(&key) else {
             // Rings already torn down: nothing to receive.
@@ -1038,6 +1320,96 @@ impl Host {
         }
     }
 
+    /// [`Host::app_recv`] with the ring in a worker shard: the dequeue
+    /// (and its LLC traffic) happens on the owning worker; doorbells,
+    /// scheduling, and trace emission stay here. Costs and events match
+    /// the single-queue path exactly.
+    fn app_recv_workers(
+        &mut self,
+        pid: Pid,
+        notify: bool,
+        key: RingKey,
+        now: Time,
+        blocking: bool,
+    ) -> RecvResult {
+        let trace = self.tel.is_enabled();
+        let owner = self
+            .workers
+            .as_ref()
+            .expect("worker mode active")
+            .owner_of(key);
+        let Some(shard) = owner else {
+            self.stats.ring_missing += 1;
+            return RecvResult {
+                len: None,
+                cpu: Dur::ZERO,
+                blocked: false,
+            };
+        };
+        let reply = self
+            .workers
+            .as_mut()
+            .expect("worker mode active")
+            .recv(shard, key, trace);
+        match reply {
+            RecvReply::Data { len, cost, fid } => {
+                let cpu = cost + self.doorbell_cost();
+                self.sched.charge_busy(pid, cpu);
+                if trace {
+                    let owner = self.owner_of(pid);
+                    self.tel.emit(|| TraceEvent {
+                        frame_id: fid,
+                        at: now,
+                        stage: Stage::RingDequeue,
+                        verdict: TraceVerdict::Pass,
+                        tuple: None,
+                        len: len as u32,
+                        owner: None,
+                        generation: 0,
+                    });
+                    self.tel.emit(|| TraceEvent {
+                        frame_id: fid,
+                        at: now,
+                        stage: Stage::AppDeliver,
+                        verdict: TraceVerdict::Pass,
+                        tuple: None,
+                        len: len as u32,
+                        owner,
+                        generation: 0,
+                    });
+                }
+                RecvResult {
+                    len: Some(len),
+                    cpu,
+                    blocked: false,
+                }
+            }
+            RecvReply::Empty => {
+                let cpu = self.cfg.mem.llc_hit;
+                let mut blocked = false;
+                if blocking && notify {
+                    self.nic.arm_interrupt(pid.0);
+                    blocked = self.sched.block(pid, now, &mut self.procs);
+                } else {
+                    self.sched.charge_polling(pid, cpu);
+                }
+                RecvResult {
+                    len: None,
+                    cpu,
+                    blocked,
+                }
+            }
+            RecvReply::Missing => {
+                self.stats.ring_missing += 1;
+                RecvResult {
+                    len: None,
+                    cpu: Dur::ZERO,
+                    blocked: false,
+                }
+            }
+        }
+    }
+
     /// POSIX-compatibility receive: like [`Host::app_recv`] but models
     /// `recv(2)` semantics where the payload is *copied* out of the ring
     /// into a caller-supplied buffer. §4.2: the Norman library "provides
@@ -1069,6 +1441,9 @@ impl Host {
         };
         let pid = conn.pid;
         let key = conn.ring_key;
+        if self.workers.is_some() {
+            return self.app_send_workers(id, pid, key, packet, now);
+        }
         let mem = self.cfg.mem.clone();
         let Some((_, tx_ring)) = self.rings.get_mut(&key) else {
             self.stats.ring_missing += 1;
@@ -1093,7 +1468,21 @@ impl Host {
         if let Some((_, tx_ring)) = self.rings.get_mut(&key) {
             let _ = tx_ring.consume_dma(&mut self.llc, &mem);
         }
-        let (queued, deferred) = match self.nic.tx_enqueue(id, packet, now) {
+        let (queued, deferred) = self.offer_tx(id, packet, now);
+        let cpu = produce + doorbell;
+        self.sched.charge_busy(pid, cpu);
+        SendResult {
+            queued,
+            deferred,
+            cpu,
+        }
+    }
+
+    /// Offers a frame to the NIC TX path, buffering it for retry when the
+    /// dataplane is down for a bitstream reprogram. Returns
+    /// `(queued, deferred)`.
+    fn offer_tx(&mut self, id: ConnId, packet: &Packet, now: Time) -> (bool, bool) {
+        match self.nic.tx_enqueue(id, packet, now) {
             Ok(TxDisposition::Queued { .. }) => (true, false),
             Ok(TxDisposition::Drop {
                 reason: DropReason::Reprogramming,
@@ -1114,7 +1503,59 @@ impl Host {
             }
             Ok(TxDisposition::Drop { .. }) => (false, false),
             Err(_) => (false, false),
+        }
+    }
+
+    /// [`Host::app_send`] with the ring in a worker shard: the payload
+    /// store and NIC DMA-read (and their LLC traffic) happen on the
+    /// owning worker; doorbells, TX scheduling, and retry buffering stay
+    /// here. Costs match the single-queue path exactly.
+    fn app_send_workers(
+        &mut self,
+        id: ConnId,
+        pid: Pid,
+        key: RingKey,
+        packet: &Packet,
+        now: Time,
+    ) -> SendResult {
+        let owner = self
+            .workers
+            .as_ref()
+            .expect("worker mode active")
+            .owner_of(key);
+        let Some(shard) = owner else {
+            self.stats.ring_missing += 1;
+            return SendResult {
+                queued: false,
+                deferred: false,
+                cpu: Dur::ZERO,
+            };
         };
+        let reply =
+            self.workers
+                .as_mut()
+                .expect("worker mode active")
+                .send(shard, key, packet.len());
+        let produce = match reply {
+            SendReply::Produced(cost) => cost,
+            SendReply::Full => {
+                return SendResult {
+                    queued: false,
+                    deferred: false,
+                    cpu: self.cfg.mem.llc_hit,
+                }
+            }
+            SendReply::Missing => {
+                self.stats.ring_missing += 1;
+                return SendResult {
+                    queued: false,
+                    deferred: false,
+                    cpu: Dur::ZERO,
+                };
+            }
+        };
+        let doorbell = self.doorbell_cost();
+        let (queued, deferred) = self.offer_tx(id, packet, now);
         let cpu = produce + doorbell;
         self.sched.charge_busy(pid, cpu);
         SendResult {

@@ -20,6 +20,10 @@
 //!   bitstream reprograms, and audited against the NIC.
 //! * [`policy`] — the administrator-facing policy types (port
 //!   reservations, shaping policies) and how they lower onto the NIC.
+//! * [`workers`] — the multi-queue sharding layer: [`Host::run_workers`]
+//!   pins one worker thread per RSS queue, each owning its connections'
+//!   ring pairs and telemetry shard, merged at a quiesce barrier so
+//!   policy commits stay atomic across shards.
 //! * [`tools`] — `ksniff` (tcpdump), `kfilter` (iptables), `kqdisc`
 //!   (tc), `knetstat` (netstat), and [`tools::trace`] (`ktrace`, the
 //!   per-packet lifecycle introspector the paper argues interposition
@@ -38,10 +42,14 @@ pub mod host;
 pub mod lib_api;
 pub mod policy;
 pub mod tools;
+pub mod workers;
 
 pub use arch::{Architecture, Capabilities, DatapathKind};
-pub use ctrl::{ControlPlane, CtrlError, NatRule, PolicyBundle, PolicyStore, StagedCommit};
+pub use ctrl::{
+    ControlPlane, CtrlError, NatRule, PolicyBundle, PolicyStore, RssPolicy, StagedCommit,
+};
 pub use host::{ConnectError, Connection, DeliveryReport, Host, HostConfig};
 pub use lib_api::NormanSocket;
 pub use policy::{PortReservation, ShapingPolicy};
 pub use telemetry::{DropCause, Owner, Snapshot, Stage, TraceEvent, TraceFilter, TraceVerdict};
+pub use workers::{ShardReport, ShardStats, WorkerError};

@@ -1,0 +1,571 @@
+//! Per-queue dataplane workers: the multi-queue sharding layer.
+//!
+//! [`Host::run_workers`](crate::Host::run_workers) pins one worker thread
+//! per NIC RSS queue. Each worker owns a *shard*: the ring pairs of every
+//! connection whose flow hash steers to its queue, a private LLC slice,
+//! local delivery counters, and a buffer of trace events stamped with the
+//! policy generation in force when the frame was handled. Nothing a
+//! worker owns is shared — the host talks to workers over channels, so
+//! the dataplane hot path never takes a lock.
+//!
+//! Shard-local state is reconciled at a **quiesce barrier**
+//! ([`Host::quiesce`](crate::Host::quiesce)): every worker drains its
+//! counters, busy time, and buffered events back to the host, which
+//! merges them into the global [`HostStats`](crate::host::HostStats),
+//! the per-core CPU meters, and the telemetry hub (via
+//! [`telemetry::Telemetry::absorb`], which preserves each event's
+//! generation stamp). Policy commits, bitstream-reprogram reconciles,
+//! and audits all quiesce first, so a generation swap is atomic across
+//! shards: no shard can keep emitting under the old generation after the
+//! commit returns.
+//!
+//! Determinism: workers run on real threads, but every exchange is a
+//! bounded request/reply over per-worker channels and the host collects
+//! replies in worker order, then reassembles per-frame results in
+//! arrival order. A multi-worker run is therefore a pure function of its
+//! inputs — replaying the same frame schedule twice produces identical
+//! reports, and `run_workers(1)` is byte-identical to the single-queue
+//! [`Host::pump`](crate::Host::pump) path.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use memsim::{HostRing, Llc, LlcConfig, MemCosts};
+use pkt::FiveTuple;
+use sim::{Dur, Time};
+use telemetry::{DropCause, Stage, TraceEvent, TraceVerdict};
+
+use crate::host::RingKey;
+
+/// Why [`Host::run_workers`](crate::Host::run_workers) refused.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WorkerError {
+    /// Worker mode is already active; stop it first.
+    AlreadyRunning,
+    /// The worker count must match the NIC's RSS queue count so each
+    /// queue has exactly one owner.
+    QueueMismatch {
+        /// Requested worker count.
+        workers: usize,
+        /// The NIC's configured RSS queue count.
+        queues: usize,
+    },
+    /// Shared (per-process) rings cannot be sharded by flow: two
+    /// connections of one process may steer to different queues.
+    SharedRings,
+}
+
+impl std::fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerError::AlreadyRunning => write!(f, "workers already running"),
+            WorkerError::QueueMismatch { workers, queues } => {
+                write!(f, "{workers} workers cannot own {queues} RSS queues 1:1")
+            }
+            WorkerError::SharedRings => {
+                write!(f, "shared per-process rings cannot be sharded by flow")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkerError {}
+
+/// Delivery counters a shard maintains locally between quiesces.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Frames DMA'd into this shard's RX rings.
+    pub fast_delivered: u64,
+    /// Frames dropped because the target ring was full.
+    pub ring_drops: u64,
+    /// Frames whose connection had no ring in this shard.
+    pub ring_missing: u64,
+}
+
+/// What one worker hands back at a quiesce barrier. Counters and events
+/// are *deltas* since the previous quiesce; the worker resets them after
+/// reporting.
+#[derive(Debug)]
+pub struct ShardReport {
+    /// Delivery counters accumulated since the last quiesce.
+    pub stats: ShardStats,
+    /// Trace events buffered since the last quiesce, each stamped with
+    /// the policy generation in force when it was recorded.
+    pub events: Vec<TraceEvent>,
+    /// Worker CPU consumed on deliveries since the last quiesce.
+    pub busy: Dur,
+    /// Frames currently resident in this shard's RX rings (an absolute
+    /// occupancy, not a delta — the audit's third ledger).
+    pub queued_fids: u64,
+}
+
+/// One frame the host asks a worker to DMA into its shard.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DeliverJob {
+    /// Position in the pump batch, for reassembly in arrival order.
+    pub idx: usize,
+    /// The ring pair the frame targets.
+    pub key: RingKey,
+    /// Frame length on the wire.
+    pub len: usize,
+    /// Telemetry frame id (0 when tracing is off).
+    pub fid: u64,
+    /// RX five-tuple, for trace events.
+    pub tuple: Option<FiveTuple>,
+    /// When the NIC finished with the frame.
+    pub ready_at: Time,
+    /// Whether tracing is enabled for this batch.
+    pub trace: bool,
+    /// Policy generation in force when the batch was dispatched.
+    pub generation: u64,
+}
+
+/// Worker-side outcome of one [`DeliverJob`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct DeliverReply {
+    pub idx: usize,
+    pub outcome: ShardOutcome,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ShardOutcome {
+    /// DMA'd into the RX ring at this memory cost.
+    Fast(Dur),
+    /// The ring was full; the frame was dropped.
+    RingFull,
+    /// The shard has no ring for this key (torn-down state mid-race).
+    RingMissing,
+}
+
+/// Worker-side outcome of one receive.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum RecvReply {
+    /// Dequeued `len` bytes at this cost; `fid` is the frame id that
+    /// filled the slot (0 when untracked).
+    Data { len: usize, cost: Dur, fid: u64 },
+    /// The ring is empty.
+    Empty,
+    /// The shard has no ring for this key.
+    Missing,
+}
+
+/// Worker-side outcome of one send (payload write + NIC DMA read).
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum SendReply {
+    /// Payload written into the TX ring at this CPU cost.
+    Produced(Dur),
+    /// The TX ring is full.
+    Full,
+    /// The shard has no ring for this key.
+    Missing,
+}
+
+/// One ring pair in flight between shards (rebalance / teardown).
+pub(crate) struct RingEntry {
+    pub key: RingKey,
+    pub rx: HostRing,
+    pub tx: HostRing,
+    pub fids: VecDeque<u64>,
+}
+
+enum Op {
+    Deliver(Vec<DeliverJob>),
+    Recv { key: RingKey, trace: bool },
+    Send { key: RingKey, len: usize },
+    InstallRing(Box<RingEntry>),
+    CloseRing { key: RingKey },
+    DrainRings,
+    Quiesce,
+    ClearTrace,
+    Stop,
+}
+
+enum Reply {
+    Delivered(Vec<DeliverReply>),
+    Recv(RecvReply),
+    Send(SendReply),
+    Rings(Vec<RingEntry>),
+    Quiesce(Box<ShardReport>),
+    Done,
+}
+
+/// The state one worker thread owns outright.
+struct Shard {
+    rings: HashMap<RingKey, (HostRing, HostRing)>,
+    ring_frame_ids: HashMap<RingKey, VecDeque<u64>>,
+    llc: Llc,
+    mem: MemCosts,
+    stats: ShardStats,
+    events: Vec<TraceEvent>,
+    busy: Dur,
+}
+
+impl Shard {
+    fn new(llc: LlcConfig, mem: MemCosts) -> Shard {
+        Shard {
+            rings: HashMap::new(),
+            ring_frame_ids: HashMap::new(),
+            llc: Llc::new(llc),
+            mem,
+            stats: ShardStats::default(),
+            events: Vec::new(),
+            busy: Dur::ZERO,
+        }
+    }
+
+    fn deliver(&mut self, job: DeliverJob) -> DeliverReply {
+        let Some((rx_ring, _)) = self.rings.get_mut(&job.key) else {
+            self.stats.ring_missing += 1;
+            return DeliverReply {
+                idx: job.idx,
+                outcome: ShardOutcome::RingMissing,
+            };
+        };
+        match rx_ring.produce_dma(job.len, &mut self.llc, &self.mem) {
+            Ok(cost) => {
+                self.stats.fast_delivered += 1;
+                self.busy += cost;
+                if job.trace {
+                    self.ring_frame_ids
+                        .entry(job.key)
+                        .or_default()
+                        .push_back(job.fid);
+                    self.events.push(TraceEvent {
+                        frame_id: job.fid,
+                        at: job.ready_at,
+                        stage: Stage::RingEnqueue,
+                        verdict: TraceVerdict::Pass,
+                        tuple: job.tuple,
+                        len: job.len as u32,
+                        owner: None,
+                        generation: job.generation,
+                    });
+                }
+                DeliverReply {
+                    idx: job.idx,
+                    outcome: ShardOutcome::Fast(cost),
+                }
+            }
+            Err(_) => {
+                self.stats.ring_drops += 1;
+                if job.trace {
+                    self.events.push(TraceEvent {
+                        frame_id: job.fid,
+                        at: job.ready_at,
+                        stage: Stage::RingEnqueue,
+                        verdict: TraceVerdict::Drop(DropCause::RingFull),
+                        tuple: job.tuple,
+                        len: job.len as u32,
+                        owner: None,
+                        generation: job.generation,
+                    });
+                }
+                DeliverReply {
+                    idx: job.idx,
+                    outcome: ShardOutcome::RingFull,
+                }
+            }
+        }
+    }
+
+    fn recv(&mut self, key: RingKey, trace: bool) -> RecvReply {
+        let Some((rx_ring, _)) = self.rings.get_mut(&key) else {
+            return RecvReply::Missing;
+        };
+        match rx_ring.consume_cpu(&mut self.llc, &self.mem) {
+            Some((len, cost)) => {
+                let fid = if trace {
+                    self.ring_frame_ids
+                        .get_mut(&key)
+                        .and_then(|q| q.pop_front())
+                        .unwrap_or(0)
+                } else {
+                    0
+                };
+                RecvReply::Data { len, cost, fid }
+            }
+            None => RecvReply::Empty,
+        }
+    }
+
+    fn send(&mut self, key: RingKey, len: usize) -> SendReply {
+        let Some((_, tx_ring)) = self.rings.get_mut(&key) else {
+            return SendReply::Missing;
+        };
+        match tx_ring.produce_cpu(len, &mut self.llc, &self.mem) {
+            Ok(cost) => {
+                // NIC side: DMA-read the frame back out of the ring.
+                let _ = tx_ring.consume_dma(&mut self.llc, &self.mem);
+                SendReply::Produced(cost)
+            }
+            Err(_) => SendReply::Full,
+        }
+    }
+
+    fn drain_rings(&mut self) -> Vec<RingEntry> {
+        let mut keys: Vec<RingKey> = self.rings.keys().copied().collect();
+        keys.sort_unstable_by_key(|k| k.order());
+        keys.into_iter()
+            .map(|key| {
+                let (rx, tx) = self.rings.remove(&key).expect("key came from the map");
+                RingEntry {
+                    key,
+                    rx,
+                    tx,
+                    fids: self.ring_frame_ids.remove(&key).unwrap_or_default(),
+                }
+            })
+            .collect()
+    }
+
+    fn report(&mut self) -> ShardReport {
+        ShardReport {
+            stats: std::mem::take(&mut self.stats),
+            events: std::mem::take(&mut self.events),
+            busy: std::mem::replace(&mut self.busy, Dur::ZERO),
+            queued_fids: self.ring_frame_ids.values().map(|q| q.len() as u64).sum(),
+        }
+    }
+
+    fn run(mut self, ops: Receiver<Op>, replies: Sender<Reply>) {
+        for op in ops {
+            let reply = match op {
+                Op::Deliver(jobs) => {
+                    Reply::Delivered(jobs.into_iter().map(|j| self.deliver(j)).collect())
+                }
+                Op::Recv { key, trace } => Reply::Recv(self.recv(key, trace)),
+                Op::Send { key, len } => Reply::Send(self.send(key, len)),
+                Op::InstallRing(e) => {
+                    if !e.fids.is_empty() {
+                        self.ring_frame_ids.insert(e.key, e.fids);
+                    }
+                    self.rings.insert(e.key, (e.rx, e.tx));
+                    Reply::Done
+                }
+                Op::CloseRing { key } => {
+                    self.rings.remove(&key);
+                    self.ring_frame_ids.remove(&key);
+                    Reply::Done
+                }
+                Op::DrainRings => Reply::Rings(self.drain_rings()),
+                Op::Quiesce => Reply::Quiesce(Box::new(self.report())),
+                Op::ClearTrace => {
+                    self.events.clear();
+                    self.ring_frame_ids.clear();
+                    Reply::Done
+                }
+                Op::Stop => {
+                    let _ = replies.send(Reply::Done);
+                    return;
+                }
+            };
+            if replies.send(reply).is_err() {
+                return; // host side went away
+            }
+        }
+    }
+}
+
+struct Worker {
+    ops: Sender<Op>,
+    replies: Receiver<Reply>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Worker {
+    fn call(&self, op: Op) -> Reply {
+        self.ops.send(op).expect("worker thread alive");
+        self.replies.recv().expect("worker thread alive")
+    }
+}
+
+/// The host-side handle to the worker fleet: one channel pair per
+/// worker, plus the key→shard ownership map.
+pub(crate) struct WorkerPool {
+    workers: Vec<Worker>,
+    shard_of: HashMap<RingKey, usize>,
+}
+
+impl WorkerPool {
+    pub(crate) fn new(n: usize, llc: LlcConfig, mem: MemCosts) -> WorkerPool {
+        assert!(n > 0, "need at least one worker");
+        let workers = (0..n)
+            .map(|i| {
+                let (op_tx, op_rx) = channel::<Op>();
+                let (reply_tx, reply_rx) = channel::<Reply>();
+                let shard = Shard::new(llc.clone(), mem.clone());
+                let handle = std::thread::Builder::new()
+                    .name(format!("norman-worker-{i}"))
+                    .spawn(move || shard.run(op_rx, reply_tx))
+                    .expect("spawn worker thread");
+                Worker {
+                    ops: op_tx,
+                    replies: reply_rx,
+                    handle: Some(handle),
+                }
+            })
+            .collect();
+        WorkerPool {
+            workers,
+            shard_of: HashMap::new(),
+        }
+    }
+
+    pub(crate) fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Which shard owns `key`, if any.
+    pub(crate) fn owner_of(&self, key: RingKey) -> Option<usize> {
+        self.shard_of.get(&key).copied()
+    }
+
+    /// Installs a ring pair (with its tracked frame ids) into `shard`.
+    pub(crate) fn install(
+        &mut self,
+        shard: usize,
+        key: RingKey,
+        rx: HostRing,
+        tx: HostRing,
+        fids: VecDeque<u64>,
+    ) {
+        self.shard_of.insert(key, shard);
+        match self.workers[shard].call(Op::InstallRing(Box::new(RingEntry { key, rx, tx, fids }))) {
+            Reply::Done => {}
+            _ => unreachable!("install reply"),
+        }
+    }
+
+    /// Tears down `key`'s rings wherever they live.
+    pub(crate) fn close(&mut self, key: RingKey) {
+        if let Some(shard) = self.shard_of.remove(&key) {
+            match self.workers[shard].call(Op::CloseRing { key }) {
+                Reply::Done => {}
+                _ => unreachable!("close reply"),
+            }
+        }
+    }
+
+    /// Dispatches one per-shard job batch to every worker at once, lets
+    /// them run concurrently, and returns the union of replies. Replies
+    /// are collected in worker order, so the result is deterministic
+    /// regardless of thread scheduling.
+    pub(crate) fn deliver(&mut self, batches: Vec<Vec<DeliverJob>>) -> Vec<DeliverReply> {
+        assert_eq!(batches.len(), self.workers.len());
+        let mut busy = Vec::new();
+        for (i, jobs) in batches.into_iter().enumerate() {
+            if jobs.is_empty() {
+                continue;
+            }
+            self.workers[i]
+                .ops
+                .send(Op::Deliver(jobs))
+                .expect("worker thread alive");
+            busy.push(i);
+        }
+        let mut replies = Vec::new();
+        for i in busy {
+            match self.workers[i].replies.recv().expect("worker thread alive") {
+                Reply::Delivered(mut r) => replies.append(&mut r),
+                _ => unreachable!("deliver reply"),
+            }
+        }
+        replies
+    }
+
+    pub(crate) fn recv(&mut self, shard: usize, key: RingKey, trace: bool) -> RecvReply {
+        match self.workers[shard].call(Op::Recv { key, trace }) {
+            Reply::Recv(r) => r,
+            _ => unreachable!("recv reply"),
+        }
+    }
+
+    pub(crate) fn send(&mut self, shard: usize, key: RingKey, len: usize) -> SendReply {
+        match self.workers[shard].call(Op::Send { key, len }) {
+            Reply::Send(r) => r,
+            _ => unreachable!("send reply"),
+        }
+    }
+
+    /// The quiesce barrier: every worker drains its counters, busy time,
+    /// and buffered events. Reports come back in worker (core) order.
+    pub(crate) fn quiesce(&mut self) -> Vec<ShardReport> {
+        for w in &self.workers {
+            w.ops.send(Op::Quiesce).expect("worker thread alive");
+        }
+        self.workers
+            .iter()
+            .map(|w| match w.replies.recv().expect("worker thread alive") {
+                Reply::Quiesce(r) => *r,
+                _ => unreachable!("quiesce reply"),
+            })
+            .collect()
+    }
+
+    /// Clears trace buffers in every shard (a `start_trace` restart).
+    pub(crate) fn clear_trace(&mut self) {
+        for w in &self.workers {
+            w.ops.send(Op::ClearTrace).expect("worker thread alive");
+        }
+        for w in &self.workers {
+            match w.replies.recv().expect("worker thread alive") {
+                Reply::Done => {}
+                _ => unreachable!("clear-trace reply"),
+            }
+        }
+    }
+
+    /// Pulls every ring pair out of every shard (teardown or rebalance).
+    pub(crate) fn drain_all(&mut self) -> Vec<RingEntry> {
+        let mut entries = Vec::new();
+        for w in &self.workers {
+            w.ops.send(Op::DrainRings).expect("worker thread alive");
+        }
+        for w in &self.workers {
+            match w.replies.recv().expect("worker thread alive") {
+                Reply::Rings(mut r) => entries.append(&mut r),
+                _ => unreachable!("drain reply"),
+            }
+        }
+        self.shard_of.clear();
+        entries
+    }
+
+    /// Moves every ring pair to the shard `assign` names (missing keys
+    /// default to shard 0). Called after a policy commit changed the RSS
+    /// steering, under the quiesce barrier.
+    pub(crate) fn rebalance(&mut self, assign: &HashMap<RingKey, usize>) {
+        for e in self.drain_all() {
+            let shard = assign.get(&e.key).copied().unwrap_or(0) % self.workers.len();
+            self.install(shard, e.key, e.rx, e.tx, e.fids);
+        }
+    }
+
+    /// Stops every worker thread and waits for it to exit.
+    pub(crate) fn stop(&mut self) {
+        for w in &self.workers {
+            let _ = w.ops.send(Op::Stop);
+        }
+        for w in &mut self.workers {
+            let _ = w.replies.recv();
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+        self.workers.clear();
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Dropping the op senders ends each worker's loop; join so no
+        // thread outlives the pool.
+        for w in &mut self.workers {
+            drop(std::mem::replace(&mut w.ops, channel().0));
+            if let Some(h) = w.handle.take() {
+                let _ = h.join();
+            }
+        }
+    }
+}

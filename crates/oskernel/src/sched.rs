@@ -46,6 +46,10 @@ pub struct Scheduler {
     /// Cost of one context switch (block or wake transition).
     pub ctx_switch: Dur,
     meters: HashMap<Pid, CpuMeter>,
+    /// Per-core kernel-worker meters (multi-queue mode pins one dataplane
+    /// worker per core; this records where each core's cycles went,
+    /// independent of process attribution).
+    core_meters: Vec<CpuMeter>,
     blocked_since: HashMap<Pid, Time>,
     wakeups: u64,
     blocks: u64,
@@ -59,6 +63,7 @@ impl Scheduler {
         Scheduler {
             ctx_switch,
             meters: HashMap::new(),
+            core_meters: Vec::new(),
             blocked_since: HashMap::new(),
             wakeups: 0,
             blocks: 0,
@@ -88,6 +93,25 @@ impl Scheduler {
     /// Charges poll-loop spinning to `pid`.
     pub fn charge_polling(&mut self, pid: Pid, d: Dur) {
         self.meters.entry(pid).or_default().polling += d;
+    }
+
+    /// Charges useful kernel-worker work to `core` (growing the per-core
+    /// meter bank on first touch).
+    pub fn charge_core_busy(&mut self, core: usize, d: Dur) {
+        if core >= self.core_meters.len() {
+            self.core_meters.resize(core + 1, CpuMeter::default());
+        }
+        self.core_meters[core].busy += d;
+    }
+
+    /// Returns the CPU meter for `core` (zeroed if never charged).
+    pub fn core_meter(&self, core: usize) -> CpuMeter {
+        self.core_meters.get(core).copied().unwrap_or_default()
+    }
+
+    /// Number of cores that have been charged at least once.
+    pub fn num_cores_charged(&self) -> usize {
+        self.core_meters.len()
     }
 
     /// Blocks `pid` at `now`, charging half a context switch (the switch
@@ -184,6 +208,20 @@ mod tests {
     fn idle_meter_is_fully_efficient() {
         let (sched, _procs, pid) = setup();
         assert_eq!(sched.meter(pid).efficiency(), 1.0);
+    }
+
+    #[test]
+    fn core_meters_track_per_core_work() {
+        let (mut sched, _procs, _pid) = setup();
+        assert_eq!(sched.num_cores_charged(), 0);
+        assert_eq!(sched.core_meter(3), CpuMeter::default());
+        sched.charge_core_busy(2, Dur::from_us(50));
+        sched.charge_core_busy(0, Dur::from_us(10));
+        sched.charge_core_busy(2, Dur::from_us(25));
+        assert_eq!(sched.num_cores_charged(), 3);
+        assert_eq!(sched.core_meter(2).busy, Dur::from_us(75));
+        assert_eq!(sched.core_meter(0).busy, Dur::from_us(10));
+        assert_eq!(sched.core_meter(1), CpuMeter::default());
     }
 
     #[test]

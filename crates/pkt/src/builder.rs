@@ -218,6 +218,7 @@ impl PacketBuilder {
             dscp_ecn: self.dscp,
             l3_checksum_ok: true,
             l4_checksum_ok: true,
+            queue: 0,
         })
     }
 
@@ -260,6 +261,7 @@ impl PacketBuilder {
             dscp_ecn: 0,
             l3_checksum_ok: true,
             l4_checksum_ok: true,
+            queue: 0,
         })
     }
 }

@@ -97,11 +97,16 @@ pub struct FrameMeta {
     /// L4 checksum verified (TCP/UDP pseudo-header sum; trivially true
     /// for frames without one).
     pub l4_checksum_ok: bool,
+    /// RSS queue the NIC steered this frame to (0 until the frame crosses
+    /// the RSS stage — parsing never assigns a queue, the indirection
+    /// table does). Like [`FrameMeta::frame_id`], this is a dataplane
+    /// tag, not parsed content, so it is excluded from equality.
+    pub queue: u16,
 }
 
 impl PartialEq for FrameMeta {
     fn eq(&self, other: &FrameMeta) -> bool {
-        // Everything except `frame_id` (see the struct docs).
+        // Everything except `frame_id` and `queue` (see the struct docs).
         self.class == other.class
             && self.frame_len == other.frame_len
             && self.ethertype == other.ethertype
@@ -172,6 +177,7 @@ impl FrameMeta {
             dscp_ecn,
             l3_checksum_ok: true,
             l4_checksum_ok: l4_ok,
+            queue: 0,
         }
     }
 

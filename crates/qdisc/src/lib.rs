@@ -15,7 +15,8 @@
 //! ([`Prio`]), token-bucket shaping ([`Tbf`]), deficit round-robin
 //! ([`Drr`]), weighted fair queueing ([`Wfq`], start-time fair queueing
 //! variant), a two-level hierarchical token bucket ([`Htb`]), RED with
-//! ECN marking ([`Red`]), and CoDel ([`Codel`]).
+//! ECN marking ([`Red`]), CoDel ([`Codel`]), and a per-hardware-queue
+//! bank of WFQ schedulers for multi-queue NICs ([`MultiQueue`]).
 //! [`classify`] provides software classification rules (the kernel-side
 //! mirror of overlay classifiers) and [`compile`] lowers qdisc
 //! configurations to overlay programs for the NIC.
@@ -26,6 +27,7 @@ pub mod compile;
 pub mod drr;
 pub mod fifo;
 pub mod htb;
+pub mod mq;
 pub mod prio;
 pub mod red;
 pub mod tbf;
@@ -37,6 +39,7 @@ pub use codel::{Codel, CodelConfig};
 pub use drr::Drr;
 pub use fifo::Fifo;
 pub use htb::{Htb, HtbClass};
+pub use mq::MultiQueue;
 pub use prio::Prio;
 pub use red::{Red, RedConfig, RedDecision};
 pub use tbf::Tbf;

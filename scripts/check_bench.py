@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Bench-regression guard for CI.
+
+Compares freshly generated bench artifacts against the committed
+baselines in scripts/bench_baselines/ and fails on regression:
+
+* BENCH_PR5.json (multi-queue scaling, virtual-time — deterministic):
+  per-worker-count aggregate goodput must not regress by more than
+  --tolerance (default 10%), the 4-worker speedup must stay over the
+  2.5x acceptance bar, and single-queue parity must hold. Virtual-time
+  numbers only move when dataplane code changes, so a tight tolerance
+  is safe. Comparison requires the same run length (bursts); a length
+  mismatch is reported and skipped rather than failed, so a local full
+  run does not trip over the smoke baseline CI uses.
+
+* results/substrates.json (microbench sweep): the benchmark *coverage*
+  must include everything in the baseline — a bench that silently
+  disappears fails the gate. Wall-clock ns/iter is compared only when
+  both sides were timed runs (CI runs BENCH_SMOKE=1, which records no
+  timings), and then against the looser --wall-tolerance (default 50%)
+  because wall clock on shared runners is noisy.
+
+Usage:
+  scripts/check_bench.py [--baseline-dir scripts/bench_baselines]
+                         [--tolerance 0.10] [--wall-tolerance 0.50]
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        return None
+
+
+def check_pr5(fresh, base, tol, failures):
+    if fresh is None:
+        failures.append("BENCH_PR5.json missing — run exp_pr5_bench first")
+        return
+    if base is None:
+        failures.append("baseline BENCH_PR5.json missing")
+        return
+    if fresh.get("bursts") != base.get("bursts"):
+        print(
+            f"  pr5: run length differs (fresh bursts={fresh.get('bursts')}, "
+            f"baseline bursts={base.get('bursts')}) — skipping numeric comparison"
+        )
+        return
+    base_points = {p["workers"]: p for p in base.get("scaling", [])}
+    for point in fresh.get("scaling", []):
+        workers = point["workers"]
+        ref = base_points.get(workers)
+        if ref is None:
+            print(f"  pr5: no baseline for {workers} workers — skipping")
+            continue
+        got, want = point["goodput_gbps"], ref["goodput_gbps"]
+        floor = want * (1.0 - tol)
+        status = "ok" if got >= floor else "REGRESSION"
+        print(
+            f"  pr5: {workers} workers — goodput {got:.2f} Gbps "
+            f"(baseline {want:.2f}, floor {floor:.2f}) {status}"
+        )
+        if got < floor:
+            failures.append(
+                f"pr5 scaling: {workers}-worker goodput {got:.2f} Gbps "
+                f"regressed >{tol:.0%} vs baseline {want:.2f}"
+            )
+    four = next((p for p in fresh.get("scaling", []) if p["workers"] == 4), None)
+    if four is None:
+        failures.append("pr5 scaling: 4-worker point missing")
+    elif four["speedup_vs_1"] < 2.5:
+        failures.append(
+            f"pr5 scaling: 4-worker speedup {four['speedup_vs_1']:.2f}x "
+            "below the 2.5x acceptance bar"
+        )
+    if not fresh.get("parity", {}).get("identical", False):
+        failures.append("pr5 parity: single-queue worker mode diverged from pump")
+
+
+def check_substrates(fresh, base, wall_tol, failures):
+    if fresh is None:
+        failures.append("results/substrates.json missing — run the substrates bench first")
+        return
+    if base is None:
+        failures.append("baseline substrates.json missing")
+        return
+    fresh_by_key = {(b["group"], b["name"]): b for b in fresh.get("benches", [])}
+    missing = [k for b in base.get("benches", []) if (k := (b["group"], b["name"])) not in fresh_by_key]
+    for group, name in missing:
+        failures.append(f"substrates: benchmark {group}/{name} vanished from the sweep")
+    covered = len(base.get("benches", [])) - len(missing)
+    print(f"  substrates: coverage {covered}/{len(base.get('benches', []))} baseline benches present")
+    if fresh.get("mode") != "timed" or base.get("mode") != "timed":
+        print("  substrates: smoke run — wall-clock comparison skipped")
+        return
+    for b in base.get("benches", []):
+        key = (b["group"], b["name"])
+        ref_ns, got = b.get("ns_per_iter"), fresh_by_key.get(key)
+        if ref_ns is None or got is None or got.get("ns_per_iter") is None:
+            continue
+        ceiling = ref_ns * (1.0 + wall_tol)
+        if got["ns_per_iter"] > ceiling:
+            failures.append(
+                f"substrates: {key[0]}/{key[1]} slowed to {got['ns_per_iter']:.1f} ns/iter "
+                f"(baseline {ref_ns:.1f}, ceiling {ceiling:.1f})"
+            )
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline-dir", default=str(REPO / "scripts" / "bench_baselines"))
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="max allowed regression on virtual-time throughput (fraction)")
+    ap.add_argument("--wall-tolerance", type=float, default=0.50,
+                    help="max allowed slowdown on wall-clock microbenches (fraction)")
+    args = ap.parse_args()
+    baselines = Path(args.baseline_dir)
+
+    failures = []
+    print("check_bench: BENCH_PR5.json vs baseline")
+    check_pr5(load(REPO / "BENCH_PR5.json"), load(baselines / "BENCH_PR5.json"),
+              args.tolerance, failures)
+    print("check_bench: results/substrates.json vs baseline")
+    check_substrates(load(REPO / "results" / "substrates.json"),
+                     load(baselines / "substrates.json"),
+                     args.wall_tolerance, failures)
+
+    if failures:
+        print("\nFAIL:")
+        for f in failures:
+            print(f"  - {f}")
+        sys.exit(1)
+    print("\ncheck_bench: all gates passed")
+
+
+if __name__ == "__main__":
+    main()

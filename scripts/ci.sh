@@ -1,27 +1,80 @@
 #!/usr/bin/env bash
-# Tier-1 gate: build, tests, lints. Run from anywhere; no network needed
-# (the workspace is hermetic — all dependencies are in-tree).
+# Local mirror of .github/workflows/ci.yml. Run from anywhere; no network
+# needed (the workspace is hermetic — all dependencies are in-tree).
+#
+#   scripts/ci.sh                 # every job, sequentially
+#   scripts/ci.sh --job lint      # one job: lint | build-test |
+#                                 #   telemetry-test | bench-smoke | all
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
-cargo fmt --check
+job="all"
+if [[ "${1:-}" == "--job" ]]; then
+  job="${2:?usage: ci.sh [--job lint|build-test|telemetry-test|bench-smoke|all]}"
+elif [[ -n "${1:-}" ]]; then
+  echo "usage: ci.sh [--job lint|build-test|telemetry-test|bench-smoke|all]" >&2
+  exit 2
+fi
 
-echo "==> cargo build --release"
-cargo build --release
+run_lint() {
+  echo "==> cargo fmt --check"
+  cargo fmt --check
 
-echo "==> cargo test -q"
-cargo test -q
+  echo "==> cargo clippy --all-targets -- -D warnings"
+  cargo clippy --all-targets -- -D warnings
 
-echo "==> cargo test -q (lifecycle tracing enabled)"
-# The whole suite again with every Host tracing from construction:
-# telemetry must never change behaviour, only observe it.
-NORMAN_TELEMETRY=1 cargo test -q
+  echo "==> cargo doc --no-deps (warnings are errors)"
+  RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+  if command -v shellcheck >/dev/null 2>&1; then
+    echo "==> shellcheck scripts/*.sh"
+    shellcheck scripts/*.sh
+  else
+    echo "==> shellcheck not installed; skipping (CI runs it)"
+  fi
+}
 
-echo "==> bench smoke (1 iteration per bench)"
-BENCH_SMOKE=1 cargo bench --bench substrates
+run_build_test() {
+  echo "==> cargo build --release"
+  cargo build --release
 
-echo "CI gate passed."
+  echo "==> cargo test -q"
+  cargo test -q
+}
+
+run_telemetry_test() {
+  echo "==> cargo test -q (lifecycle tracing enabled)"
+  # The whole suite again with every Host tracing from construction:
+  # telemetry must never change behaviour, only observe it.
+  NORMAN_TELEMETRY=1 cargo test -q
+}
+
+run_bench_smoke() {
+  echo "==> bench smoke (1 iteration per bench)"
+  BENCH_SMOKE=1 cargo bench --bench substrates
+
+  echo "==> multi-queue scaling bench (smoke)"
+  BENCH_SMOKE=1 cargo run --release -p bench --bin exp_pr5_bench
+
+  echo "==> bench regression guard"
+  python3 scripts/check_bench.py
+}
+
+case "$job" in
+  lint) run_lint ;;
+  build-test) run_build_test ;;
+  telemetry-test) run_telemetry_test ;;
+  bench-smoke) run_bench_smoke ;;
+  all)
+    run_lint
+    run_build_test
+    run_telemetry_test
+    run_bench_smoke
+    ;;
+  *)
+    echo "unknown job: $job (want lint, build-test, telemetry-test, bench-smoke, or all)" >&2
+    exit 2
+    ;;
+esac
+
+echo "CI gate passed ($job)."
