@@ -41,11 +41,13 @@
 use std::net::Ipv4Addr;
 
 use norman::host::DeliveryOutcome;
-use norman::{CtrlError, Host, HostConfig, NatRule, PortReservation, ShapingPolicy};
+use norman::{
+    CtrlError, DegradationPolicy, Host, HostConfig, NatRule, PortReservation, ShapingPolicy,
+};
 use oskernel::Uid;
 use pkt::{IpProto, Mac, Packet, PacketBuilder};
 use serde::Serialize;
-use sim::fault::OpFaultInjector;
+use sim::fault::{CrashInjector, OpFaultInjector};
 use sim::{Dur, FaultSchedule, FaultyLink, Link, Time};
 
 const SEED: u64 = 0xE9_C4A0;
@@ -76,6 +78,12 @@ struct Row {
     policy_frozen: u64,
     reconciles: u64,
     generation: u64,
+    // Recovery stats (PR6 fault kinds: NIC crash, shard panic, overload).
+    nic_crashes: u64,
+    nic_resets: u64,
+    shard_restarts: u64,
+    degraded_slowpath: u64,
+    audits_skipped: u64,
 }
 
 struct Outage {
@@ -224,6 +232,155 @@ fn run_chaos(scenario: &str, schedule: FaultSchedule, outage: Option<Outage>) ->
         policy_frozen,
         reconciles: host.ctrl().stats().reconciles,
         generation: host.policy_generation(),
+        nic_crashes: 0,
+        nic_resets: ns.resets,
+        shard_restarts: 0,
+        degraded_slowpath: hs.degraded_slowpath,
+        audits_skipped: 0,
+    }
+}
+
+/// The recovery chaos segment (PR6 fault kinds): a seeded NIC crash
+/// storm plus sustained ring overload, on a lossy wire, with lifecycle
+/// tracing on. The kernel must reset + restore + reconcile after every
+/// crash, the watermark detector must demote the low-priority flow to
+/// the software slow path, and every steady-state audit checkpoint must
+/// be clean.
+fn run_chaos_recovery() -> Row {
+    const ROUNDS: u64 = 2_000;
+    const GAP: Dur = Dur::from_ms(5);
+    let cfg = HostConfig {
+        ring_slots: 8,
+        ..HostConfig::default()
+    };
+    let mut host = Host::new(cfg);
+    let pid = host.spawn(Uid(1001), "bob", "server");
+    let hi = host
+        .connect(
+            pid,
+            IpProto::UDP,
+            7000,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            false,
+        )
+        .unwrap();
+    let _lo = host
+        .connect(
+            pid,
+            IpProto::UDP,
+            7001,
+            Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            false,
+        )
+        .unwrap();
+    host.update_policy(Time::ZERO, |p| {
+        p.shaping = Some(ShapingPolicy::new(vec![(Uid(1001), 4.0)]));
+        p.degradation = Some(DegradationPolicy {
+            high_watermark: 0.5,
+            low_watermark: 0.1,
+            window: 8,
+            low_prio_ports: vec![7001],
+        });
+    })
+    .unwrap();
+    host.set_nic_crash_injector(CrashInjector::seeded_rate(SEED ^ 0x55, 0.001));
+    host.start_trace();
+
+    let mk = |host: &Host, port: u16| {
+        PacketBuilder::new()
+            .ether(Mac::local(9), host.cfg.mac)
+            .ipv4(Ipv4Addr::new(10, 0, 0, 2), host.cfg.ip)
+            .udp(9000, port, &[0u8; 1458])
+            .build()
+    };
+    let hp = mk(&host, 7000);
+    let lp = mk(&host, 7001);
+    let mut wire = FaultyLink::new(
+        Link::hundred_gbe(),
+        SEED ^ 0x66,
+        FaultSchedule::steady_loss(0.01),
+    );
+
+    let mut delivered_ok = 0u64;
+    let mut audits = 0u64;
+    let mut audits_skipped = 0u64;
+    let mut audit_violations = 0u64;
+    let mut first_violation: Option<String> = None;
+    for i in 0..ROUNDS {
+        let t = Time::ZERO + GAP * i;
+        for d in wire.transmit(t, hp.bytes().to_vec()) {
+            let rep = host.deliver_from_wire(&Packet::from_bytes(d.frame), d.at);
+            if let DeliveryOutcome::FastPath(_) = rep.outcome {
+                delivered_ok += 1;
+            }
+        }
+        for d in wire.transmit(t, lp.bytes().to_vec()) {
+            let _ = host.deliver_from_wire(&Packet::from_bytes(d.frame), d.at);
+        }
+        // The app drains ONLY the high-priority ring, so the low-prio
+        // ring saturates and keeps the watermark detector pressured.
+        let _ = host.app_recv(hi, t, false);
+        // Audit at steady-state checkpoints. Mid-recovery (dead, frozen,
+        // or not yet reconciled) the NIC legitimately disagrees with the
+        // kernel store — those checkpoints are skipped and counted.
+        if i % 100 == 99 {
+            let settled = !host.nic.is_dead()
+                && !host.nic.is_frozen(t)
+                && !host.ctrl().needs_reconcile(&host.nic);
+            if settled {
+                audits += 1;
+                let violations = host.audit();
+                audit_violations += violations.len() as u64;
+                if first_violation.is_none() {
+                    first_violation = violations.into_iter().next();
+                }
+            } else {
+                audits_skipped += 1;
+            }
+        }
+    }
+    // Settle: disarm the injector (capturing its counts first), drive
+    // any outstanding reset + reconcile to completion, then take the
+    // final audit.
+    let (_, crashes) = host.nic.crash_injector_stats();
+    host.set_nic_crash_injector(CrashInjector::never());
+    let end = Time::ZERO + GAP * ROUNDS;
+    host.pump(std::slice::from_ref(&hp), end);
+    host.pump(std::slice::from_ref(&hp), end + Dur::from_ms(500));
+    audits += 1;
+    let final_violations = host.audit();
+    audit_violations += final_violations.len() as u64;
+    if let Some(v) = first_violation.or_else(|| final_violations.into_iter().next()) {
+        eprintln!("AUDIT VIOLATION [recovery storm]: {v}");
+    }
+
+    let fs = wire.fault_stats();
+    let hs = host.stats();
+    let ns = host.nic.stats();
+    Row {
+        scenario: "1% loss + seeded NIC crash storm + overload degradation".to_string(),
+        offered: ROUNDS,
+        wire_dropped: fs.dropped + fs.outage_dropped,
+        wire_corrupted: fs.corrupted,
+        delivered_ok,
+        rx_malformed: ns.rx_malformed + ns.rx_bad_checksum,
+        goodput_pct: 100.0 * delivered_ok as f64 / ROUNDS as f64,
+        tx_deferred: hs.tx_deferred,
+        tx_retry_flushed: hs.tx_retry_flushed,
+        audits,
+        audit_violations,
+        policy_commits: 0,
+        policy_rollbacks: 0,
+        policy_frozen: 0,
+        reconciles: host.ctrl().stats().reconciles,
+        generation: host.policy_generation(),
+        nic_crashes: crashes,
+        nic_resets: ns.resets,
+        shard_restarts: 0,
+        degraded_slowpath: hs.degraded_slowpath,
+        audits_skipped,
     }
 }
 
@@ -326,6 +483,14 @@ fn run_chaos_sharded() -> Row {
                 Err(e) => panic!("unexpected control-plane error: {e}"),
             }
         }
+        // Worker chaos: panic a shard (round-robin) every 2500 frames;
+        // the supervisor must salvage its rings and restart it without
+        // losing a frame or dirtying a single cross-shard audit.
+        if i % 2500 == 2499 {
+            let shard = ((i / 2500) % QUEUES as u64) as usize;
+            host.inject_worker_panic(shard, "e9 chaos: shard panic", t)
+                .expect_err("panic injection must report the crash");
+        }
         for d in wire.transmit(t, frames[flow].bytes().to_vec()) {
             let rep = host.deliver_from_wire(&Packet::from_bytes(d.frame), d.at);
             if let DeliveryOutcome::FastPath(_) = rep.outcome {
@@ -366,9 +531,10 @@ fn run_chaos_sharded() -> Row {
     assert_eq!(host.sched.num_cores_charged(), QUEUES);
 
     let fs = wire.fault_stats();
+    let hs = host.stats();
     let ns = host.nic.stats();
     Row {
-        scenario: "kitchen sink, 4 RSS queues / 4 workers".to_string(),
+        scenario: "kitchen sink, 4 RSS queues / 4 workers + shard panics".to_string(),
         offered: FRAMES,
         wire_dropped: fs.dropped + fs.outage_dropped,
         wire_corrupted: fs.corrupted,
@@ -384,6 +550,11 @@ fn run_chaos_sharded() -> Row {
         policy_frozen: 0,
         reconciles: host.ctrl().stats().reconciles,
         generation: host.policy_generation(),
+        nic_crashes: 0,
+        nic_resets: ns.resets,
+        shard_restarts: hs.worker_restarts,
+        degraded_slowpath: hs.degraded_slowpath,
+        audits_skipped: 0,
     }
 }
 
@@ -429,6 +600,8 @@ fn run_sweep() -> Vec<Row> {
             at_frame: FRAMES / 2,
         }),
     ));
+    // PR6 fault kinds: NIC crashes, kernel resets, overload degradation.
+    rows.push(run_chaos_recovery());
     rows
 }
 
@@ -449,6 +622,7 @@ fn main() {
             "tx deferred/flushed",
             "policy ok/rb/frz",
             "gen",
+            "crash/reset/restart/degr",
             "audit violations",
         ],
     );
@@ -465,6 +639,10 @@ fn main() {
                 r.policy_commits, r.policy_rollbacks, r.policy_frozen
             ),
             r.generation.to_string(),
+            format!(
+                "{}/{}/{}/{}",
+                r.nic_crashes, r.nic_resets, r.shard_restarts, r.degraded_slowpath
+            ),
             format!("{}/{} audits", r.audit_violations, r.audits),
         ]);
     }
@@ -502,7 +680,7 @@ fn main() {
         );
     }
     // (3) The outage scenario deferred and then flushed app TX.
-    let sink = rows.last().unwrap();
+    let sink = &rows[9];
     assert!(sink.tx_deferred > 0, "outage must defer app TX");
     assert!(
         sink.tx_retry_flushed > 0,
@@ -542,6 +720,30 @@ fn main() {
         "bitstream reprogram must trigger a control-plane reconcile"
     );
 
+    // (4d) The recovery storm: the crash schedule really fired, every
+    // crash was met with a kernel reset (fail-operational, not fail-
+    // stop), overload really demoted the low-prio flow, and the high-
+    // prio flow kept the bulk of its goodput through it all.
+    let storm = rows.last().unwrap();
+    assert!(storm.nic_crashes >= 2, "crash storm must fire");
+    assert_eq!(
+        storm.nic_resets, storm.nic_crashes,
+        "every crash must be answered by a kernel reset"
+    );
+    assert!(
+        storm.reconciles >= storm.nic_crashes,
+        "every reset must be followed by a reconcile"
+    );
+    assert!(
+        storm.degraded_slowpath > 0,
+        "sustained overload must demote the low-prio flow"
+    );
+    assert!(
+        storm.goodput_pct > 70.0,
+        "high-prio goodput through the crash storm collapsed to {:.2}%",
+        storm.goodput_pct
+    );
+
     // (4c) The sharded segment: four worker threads under the same
     // chaos, and the cross-shard audits stay just as clean.
     assert_eq!(
@@ -556,6 +758,10 @@ fn main() {
     assert!(
         sharded.policy_commits > 0,
         "steering churn must commit sometimes"
+    );
+    assert_eq!(
+        sharded.shard_restarts, 8,
+        "every injected shard panic must restart its shard"
     );
     assert_eq!(
         sharded.generation, sharded.policy_commits,

@@ -14,8 +14,10 @@ use std::collections::HashMap;
 use overlay::{verify, PktCtx, Program, Verdict, Vm};
 use pkt::{FiveTuple, FrameMeta, IpProto, Packet, PktError};
 use qdisc::{MultiQueue, QPkt, Qdisc};
-use sim::{Dur, Link, Time};
-use telemetry::{DropCause, HistId, Owner, Registry, Stage, Telemetry, TraceEvent, TraceVerdict};
+use sim::{CrashInjector, Dur, Link, Time};
+use telemetry::{
+    DropCause, HistId, Owner, RecoveryKind, Registry, Stage, Telemetry, TraceEvent, TraceVerdict,
+};
 
 use crate::flowtable::{ConnEntry, ConnId, FlowTable};
 use crate::notify::{Notification, NotifyKind, NotifyQueue};
@@ -43,6 +45,23 @@ pub enum ProgramSlot {
     /// Runs on every egress packet; `class N` verdicts pick the scheduler
     /// class.
     Classifier,
+}
+
+/// Whether the device is operational.
+///
+/// A crashed NIC ([`DeviceState::Dead`]) has lost *all* volatile state —
+/// flow table, ring contexts, overlay programs and maps, RSS indirection,
+/// TX scheduler contents, notification queues, MMIO register file — and
+/// every dataplane and control operation fails until the kernel drives a
+/// [`SmartNic::reset`]. Recovery is the kernel's job: reset brings the
+/// device back at boot configuration, and the control plane's reconcile
+/// path reinstalls the committed policy bundle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DeviceState {
+    /// Operating normally (possibly frozen for a reprogram/reset window).
+    Alive,
+    /// Crashed: volatile state gone, everything gated until reset.
+    Dead,
 }
 
 /// Kernel-region MMIO register holding the installed policy generation.
@@ -81,6 +100,8 @@ pub enum NicError {
     /// RSS configuration rejected (bad queue count, table size, or a
     /// table entry naming a nonexistent queue).
     Rss(RssError),
+    /// The device has crashed and must be reset before any operation.
+    Dead,
 }
 
 impl std::fmt::Display for NicError {
@@ -102,6 +123,7 @@ impl std::fmt::Display for NicError {
                 )
             }
             NicError::Rss(e) => write!(f, "RSS configuration rejected: {e}"),
+            NicError::Dead => write!(f, "device crashed; reset required"),
         }
     }
 }
@@ -149,6 +171,15 @@ pub struct NicStats {
     pub program_swaps: u64,
     /// Bitstream reprograms performed.
     pub bitstream_reprograms: u64,
+    /// Device crashes (volatile state wiped).
+    pub crashes: u64,
+    /// Kernel-driven resets after a crash.
+    pub resets: u64,
+    /// Frames offered (RX or TX) while the device was dead.
+    pub dropped_dead: u64,
+    /// Frames lost from the TX scheduler when the device crashed (they
+    /// were already counted queued; the crash purges them as drops).
+    pub tx_crash_purged: u64,
 }
 
 impl NicStats {
@@ -167,6 +198,10 @@ impl NicStats {
         reg.set_counter("nic.tx.sent", self.tx_sent);
         reg.set_counter("nic.program_swaps", self.program_swaps);
         reg.set_counter("nic.bitstream_reprograms", self.bitstream_reprograms);
+        reg.set_counter("nic.crashes", self.crashes);
+        reg.set_counter("nic.resets", self.resets);
+        reg.set_counter("nic.dropped_dead", self.dropped_dead);
+        reg.set_counter("nic.tx_crash_purged", self.tx_crash_purged);
     }
 }
 
@@ -233,6 +268,11 @@ pub struct SmartNic {
     notify_queues: HashMap<u32, NotifyQueue>,
     pipeline_free: Time,
     frozen_until: Time,
+    /// Whether the device has crashed and awaits a kernel reset.
+    dead: bool,
+    /// Deterministic crash schedule, ticked once per dataplane or
+    /// crash-eligible control op.
+    crash_faults: CrashInjector,
     next_pkt_id: u64,
     /// Scheduler packet id → (originating connection, telemetry frame
     /// id), so departures can be attributed and traced.
@@ -277,6 +317,8 @@ impl SmartNic {
             notify_queues: HashMap::new(),
             pipeline_free: Time::ZERO,
             frozen_until: Time::ZERO,
+            dead: false,
+            crash_faults: CrashInjector::never(),
             next_pkt_id: 0,
             tx_pending: HashMap::new(),
             stats: NicStats::default(),
@@ -375,6 +417,8 @@ impl SmartNic {
         program: Program,
         now: Time,
     ) -> Result<Dur, NicError> {
+        self.tick_crash(now);
+        self.check_dead()?;
         self.check_frozen(now)?;
         self.charge_program(&program)?;
         let vm = Vm::new(program);
@@ -405,6 +449,8 @@ impl SmartNic {
     /// Adds a passive accounting program (runs on every packet, verdict
     /// ignored). Returns its slot index.
     pub fn add_accounting(&mut self, program: Program, now: Time) -> Result<usize, NicError> {
+        self.tick_crash(now);
+        self.check_dead()?;
         self.check_frozen(now)?;
         if self.accounting.len() >= MAX_ACCOUNTING_SLOTS {
             return Err(NicError::AccountingSlotsFull);
@@ -443,6 +489,7 @@ impl SmartNic {
         key: usize,
         value: u64,
     ) -> Result<(), NicError> {
+        self.check_dead()?;
         let vm = self.slot_vm_mut(slot).ok_or(NicError::NoSuchMap)?;
         if vm.map_set(map, key, value) {
             Ok(())
@@ -498,6 +545,7 @@ impl SmartNic {
     /// non-finite, or non-positive weights — a NaN weight would silently
     /// wedge the WFQ virtual-time arithmetic.
     pub fn configure_scheduler(&mut self, weights: &[f64]) -> Result<(), NicError> {
+        self.check_dead()?;
         if weights.is_empty() {
             return Err(NicError::InvalidWeights {
                 index: 0,
@@ -527,6 +575,8 @@ impl SmartNic {
         indirection: &[u16],
         now: Time,
     ) -> Result<Dur, NicError> {
+        self.tick_crash(now);
+        self.check_dead()?;
         self.check_frozen(now)?;
         let table = RssTable::validated(num_queues, indirection)?;
         if table.num_queues() != self.scheduler.num_queues() {
@@ -568,6 +618,7 @@ impl SmartNic {
         comm: &str,
         notify: bool,
     ) -> Result<ConnId, NicError> {
+        self.check_dead()?;
         self.sram
             .alloc(SramCategory::RingContext, RING_CONTEXT_BYTES)?;
         let id = match self
@@ -602,6 +653,7 @@ impl SmartNic {
         pid: u32,
         comm: &str,
     ) -> Result<ConnId, NicError> {
+        self.check_dead()?;
         Ok(self
             .flows
             .insert_listener(proto, port, uid, pid, comm, &mut self.sram)?)
@@ -609,6 +661,7 @@ impl SmartNic {
 
     /// Closes a connection, releasing all its NIC resources.
     pub fn close_connection(&mut self, id: ConnId) -> Result<(), NicError> {
+        self.check_dead()?;
         if !self.flows.remove(id, &mut self.sram) {
             return Err(NicError::NoSuchConn(id));
         }
@@ -692,6 +745,202 @@ impl SmartNic {
     /// When the current (or last) bitstream reprogram window ends.
     pub fn frozen_until(&self) -> Time {
         self.frozen_until
+    }
+
+    // ------------------------------------------------------------------
+    // Crash / reset (the failure domain)
+    // ------------------------------------------------------------------
+
+    /// Installs a deterministic crash schedule. Every dataplane frame and
+    /// crash-eligible control op ticks it once; when it fires the device
+    /// [`SmartNic::crash`]es at exactly that op — same seed, same op,
+    /// same losses on every replay.
+    pub fn set_crash_injector(&mut self, injector: CrashInjector) {
+        self.crash_faults = injector;
+    }
+
+    /// Crash-schedule observability: (ops ticked, crashes fired).
+    pub fn crash_injector_stats(&self) -> (u64, u64) {
+        (self.crash_faults.ops(), self.crash_faults.crashes())
+    }
+
+    /// Current device state.
+    pub fn state(&self) -> DeviceState {
+        if self.dead {
+            DeviceState::Dead
+        } else {
+            DeviceState::Alive
+        }
+    }
+
+    /// Returns whether the device has crashed and awaits a reset.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    fn check_dead(&self) -> Result<(), NicError> {
+        if self.dead {
+            Err(NicError::Dead)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Ticks the crash schedule for one op on a live device; returns
+    /// `true` if the device is (now) dead. Dead devices don't tick — the
+    /// schedule counts ops the hardware actually observed.
+    fn tick_crash(&mut self, now: Time) -> bool {
+        if !self.dead && self.crash_faults.should_crash() {
+            self.crash(now);
+        }
+        self.dead
+    }
+
+    /// Kills the device at `now`: every piece of volatile state — flow
+    /// table, ring contexts, overlay programs and their maps, RSS
+    /// indirection, TX scheduler contents, notification queues, sniffer
+    /// buffer, MMIO register file — is wiped to power-on contents.
+    ///
+    /// Frames sitting in the TX scheduler are lost; each is accounted as
+    /// a counted [`DropCause::DeviceDead`] drop (with its traced frame
+    /// id) so conservation audits still balance. Cumulative counters and
+    /// the telemetry hub survive: they model the *kernel's* view of the
+    /// device, not on-board state.
+    ///
+    /// Idempotent while dead. Normally driven by the installed crash
+    /// schedule; chaos harnesses may also call it directly.
+    pub fn crash(&mut self, now: Time) {
+        if self.dead {
+            return;
+        }
+        self.dead = true;
+        // Purge the TX scheduler first, while tx_pending can still
+        // attribute each lost frame.
+        let purged = self.scheduler.purge();
+        let n_purged = purged.len();
+        for pkt in purged {
+            let fid = self
+                .tx_pending
+                .remove(&pkt.id)
+                .map(|(_, fid)| fid)
+                .unwrap_or(0);
+            self.stats.tx_crash_purged += 1;
+            self.tel.emit(|| {
+                trace_ev(
+                    fid,
+                    now,
+                    Stage::TxDrop,
+                    TraceVerdict::Drop(DropCause::DeviceDead),
+                    None,
+                    pkt.len,
+                    None,
+                )
+            });
+        }
+        self.tx_pending.clear();
+        // Wipe volatile state back to power-on contents.
+        self.sram = Sram::new(self.cfg.sram_bytes);
+        self.flows = FlowTable::new();
+        self.ingress_filter = None;
+        self.egress_filter = None;
+        self.classifier = None;
+        self.accounting = Vec::new();
+        self.scheduler = MultiQueue::new(self.cfg.num_queues, &[1.0], self.cfg.tx_queue_limit);
+        self.rss = RssTable::uniform(self.cfg.num_queues);
+        self.notify_queues.clear();
+        self.sniffer = Sniffer::new(self.cfg.sniffer_capacity);
+        let mut regs = RegFile::new();
+        regs.define_kernel(POLICY_GENERATION_REG);
+        regs.define_kernel(RSS_NUM_QUEUES_REG);
+        regs.write(RSS_NUM_QUEUES_REG, self.cfg.num_queues as u64, None)
+            .expect("kernel write to a kernel register");
+        self.regs = regs;
+        self.stats.crashes += 1;
+        self.tel.record_recovery(
+            now,
+            RecoveryKind::NicCrash,
+            format!(
+                "nic crash #{}: {} tx frames purged",
+                self.stats.crashes, n_purged
+            ),
+        );
+    }
+
+    /// Kernel-driven device reset: firmware reload plus self-test. The
+    /// device leaves [`DeviceState::Dead`] immediately but stays frozen
+    /// (like a reprogram window) for `cfg.reset_cost`; returns when the
+    /// dataplane is back. The device comes up at boot configuration — the
+    /// control plane's reconcile path reinstalls the committed policy.
+    ///
+    /// Calling this on a live device models a cold restart: volatile
+    /// state is wiped first, exactly as if the device had crashed.
+    pub fn reset(&mut self, now: Time) -> Time {
+        if !self.dead {
+            self.crash(now);
+        }
+        self.dead = false;
+        self.frozen_until = now + self.cfg.reset_cost;
+        self.stats.resets += 1;
+        self.tel.record_recovery(
+            now,
+            RecoveryKind::NicReset,
+            format!(
+                "nic reset #{}: dataplane back at {}",
+                self.stats.resets, self.frozen_until
+            ),
+        );
+        self.frozen_until
+    }
+
+    /// Reinstalls a connection under its *original* id — the crash-
+    /// recovery path, where the kernel repopulates the wiped flow table
+    /// from its own records and ring keys / doorbell addresses / process
+    /// handles must keep working unchanged.
+    pub fn restore_connection(
+        &mut self,
+        id: ConnId,
+        tuple: FiveTuple,
+        uid: u32,
+        pid: u32,
+        comm: &str,
+        notify: bool,
+    ) -> Result<(), NicError> {
+        self.check_dead()?;
+        self.sram
+            .alloc(SramCategory::RingContext, RING_CONTEXT_BYTES)?;
+        if let Err(e) = self
+            .flows
+            .restore(id, tuple, uid, pid, comm, notify, &mut self.sram)
+        {
+            self.sram
+                .release(SramCategory::RingContext, RING_CONTEXT_BYTES);
+            return Err(e.into());
+        }
+        self.regs.define_app(Self::rx_doorbell_addr(id), pid);
+        self.regs.define_app(Self::tx_doorbell_addr(id), pid);
+        if notify {
+            self.notify_queues
+                .entry(pid)
+                .or_insert_with(|| NotifyQueue::new(self.cfg.notify_capacity));
+        }
+        Ok(())
+    }
+
+    /// Reinstalls a listener under its original id (crash recovery; see
+    /// [`SmartNic::restore_connection`]).
+    pub fn restore_listener(
+        &mut self,
+        id: ConnId,
+        proto: IpProto,
+        port: u16,
+        uid: u32,
+        pid: u32,
+        comm: &str,
+    ) -> Result<(), NicError> {
+        self.check_dead()?;
+        self.flows
+            .restore_listener(id, proto, port, uid, pid, comm, &mut self.sram)?;
+        Ok(())
     }
 
     /// Cross-layer invariant audit: verifies that SRAM accounting matches
@@ -868,6 +1117,11 @@ impl SmartNic {
                     self.tel.drop_count(DropCause::Reprogramming),
                     s.dropped_reprogramming - b.dropped_reprogramming,
                 ),
+                (
+                    "drop(device_dead) vs dropped_dead+tx_crash_purged",
+                    self.tel.drop_count(DropCause::DeviceDead),
+                    (s.dropped_dead - b.dropped_dead) + (s.tx_crash_purged - b.tx_crash_purged),
+                ),
             ];
             for (what, ledger, counters) in checks {
                 if ledger != counters {
@@ -885,10 +1139,14 @@ impl SmartNic {
                     rx_terminal
                 ));
             }
-            let tx_terminal = stage(Stage::TxQueue) + stage(Stage::TxDrop);
+            // A frame purged by a crash was both queued (TxQueue at
+            // enqueue time) and dropped (TxDrop at crash time), so the
+            // purged count is subtracted to keep offers == terminals.
+            let purged = s.tx_crash_purged - b.tx_crash_purged;
+            let tx_terminal = stage(Stage::TxQueue) + stage(Stage::TxDrop) - purged;
             if stage(Stage::TxOffer) != tx_terminal {
                 violations.push(format!(
-                    "TX conservation: {} offer events != {} terminal (queue+drop)",
+                    "TX conservation: {} offer events != {} terminal (queue+drop-purged)",
                     stage(Stage::TxOffer),
                     tx_terminal
                 ));
@@ -1042,6 +1300,45 @@ impl SmartNic {
         }
     }
 
+    /// The dead-device drop: the frame hits a crashed NIC and vanishes
+    /// at the wire, counted so conservation audits still balance.
+    fn rx_dead_drop(&mut self, packet: &Packet, now: Time) -> RxResult {
+        self.stats.dropped_dead += 1;
+        let fid = self.tel.alloc_frame_id();
+        let len = packet.len() as u32;
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                now,
+                Stage::RxIngress,
+                TraceVerdict::Pass,
+                None,
+                len,
+                None,
+            )
+        });
+        self.tel.emit(|| {
+            trace_ev(
+                fid,
+                now,
+                Stage::RxDrop,
+                TraceVerdict::Drop(DropCause::DeviceDead),
+                None,
+                len,
+                None,
+            )
+        });
+        RxResult {
+            disposition: RxDisposition::Drop {
+                reason: DropReason::DeviceDead,
+            },
+            ready_at: now,
+            latency: Dur::ZERO,
+            interrupt: false,
+            meta: None,
+        }
+    }
+
     /// The parser stage: derives the parse-once descriptor (or reuses the
     /// one attached at build time) and rejects damaged frames before they
     /// can touch the flow table or overlay state. A frame that fails to
@@ -1068,6 +1365,9 @@ impl SmartNic {
     /// Processes one ingress frame arriving from the wire at `now`.
     pub fn rx(&mut self, packet: &Packet, now: Time) -> RxResult {
         self.stats.rx_frames += 1;
+        if self.tick_crash(now) {
+            return self.rx_dead_drop(packet, now);
+        }
         if now < self.frozen_until {
             return self.rx_frozen_drop(packet, now);
         }
@@ -1293,6 +1593,9 @@ impl SmartNic {
     /// frame in order; the batch only restructures the work.
     pub fn rx_batch(&mut self, packets: &[Packet], now: Time) -> Vec<RxResult> {
         self.stats.rx_frames += packets.len() as u64;
+        if self.dead {
+            return packets.iter().map(|p| self.rx_dead_drop(p, now)).collect();
+        }
         if now < self.frozen_until {
             return packets
                 .iter()
@@ -1323,23 +1626,32 @@ impl SmartNic {
         let conns = self.flows.lookup_batch(&queries);
 
         // Stage 3: finish each frame in arrival order, preserving
-        // per-stage timing, capture, and notification semantics.
+        // per-stage timing, capture, and notification semantics. The
+        // crash schedule ticks here, once per frame exactly as the
+        // sequential path would: a crash mid-batch dead-drops this and
+        // every later frame (the stage-2 steering results for them die
+        // with the flow table they were probed from).
         metas
             .into_iter()
             .zip(query_of)
             .zip(packets)
-            .map(|((m, q), packet)| match m {
-                Ok(meta) if !meta.l4_checksum_ok => {
-                    self.stats.rx_bad_checksum += 1;
-                    self.rx_malformed_drop(packet, Ok(&meta), now)
+            .map(|((m, q), packet)| {
+                if self.tick_crash(now) {
+                    return self.rx_dead_drop(packet, now);
                 }
-                Ok(meta) => {
-                    let conn = q.and_then(|qi| conns[qi]);
-                    self.rx_finish(packet, meta, conn, now)
-                }
-                Err(e) => {
-                    self.stats.rx_malformed += 1;
-                    self.rx_malformed_drop(packet, Err(&e), now)
+                match m {
+                    Ok(meta) if !meta.l4_checksum_ok => {
+                        self.stats.rx_bad_checksum += 1;
+                        self.rx_malformed_drop(packet, Ok(&meta), now)
+                    }
+                    Ok(meta) => {
+                        let conn = q.and_then(|qi| conns[qi]);
+                        self.rx_finish(packet, meta, conn, now)
+                    }
+                    Err(e) => {
+                        self.stats.rx_malformed += 1;
+                        self.rx_malformed_drop(packet, Err(&e), now)
+                    }
                 }
             })
             .collect()
@@ -1359,6 +1671,34 @@ impl SmartNic {
             .tel
             .adopt_frame_id(meta.as_ref().ok().map(|m| m.frame_id).unwrap_or(0));
         let len = packet.len() as u32;
+        if self.tick_crash(now) {
+            self.stats.dropped_dead += 1;
+            self.tel.emit(|| {
+                trace_ev(
+                    fid,
+                    now,
+                    Stage::TxOffer,
+                    TraceVerdict::Pass,
+                    meta.as_ref().ok(),
+                    len,
+                    None,
+                )
+            });
+            self.tel.emit(|| {
+                trace_ev(
+                    fid,
+                    now,
+                    Stage::TxDrop,
+                    TraceVerdict::Drop(DropCause::DeviceDead),
+                    meta.as_ref().ok(),
+                    len,
+                    None,
+                )
+            });
+            return Ok(TxDisposition::Drop {
+                reason: DropReason::DeviceDead,
+            });
+        }
         if now < self.frozen_until {
             self.stats.dropped_reprogramming += 1;
             self.tel.emit(|| {
@@ -1575,6 +1915,23 @@ impl SmartNic {
                 kernel_attr,
             )
         });
+        if self.tick_crash(now) {
+            self.stats.dropped_dead += 1;
+            self.tel.emit(|| {
+                trace_ev(
+                    fid,
+                    now,
+                    Stage::TxDrop,
+                    TraceVerdict::Drop(DropCause::DeviceDead),
+                    meta.as_ref().ok(),
+                    len,
+                    kernel_attr,
+                )
+            });
+            return Ok(TxDisposition::Drop {
+                reason: DropReason::DeviceDead,
+            });
+        }
         if now < self.frozen_until {
             self.stats.dropped_reprogramming += 1;
             self.tel.emit(|| {
@@ -1665,7 +2022,7 @@ impl SmartNic {
     /// Pulls the next scheduled frame onto the wire. Returns `None` when
     /// nothing is eligible (check [`SmartNic::tx_next_ready`]).
     pub fn tx_poll(&mut self, now: Time) -> Option<TxDeparture> {
-        if now < self.frozen_until {
+        if self.dead || now < self.frozen_until {
             return None;
         }
         // Respect the wire: don't dequeue faster than the link drains.
@@ -1705,7 +2062,7 @@ impl SmartNic {
     /// instant usually yields one departure; the batch entry point still
     /// saves the per-call dispatch when the link has drained).
     pub fn tx_poll_batch(&mut self, now: Time, max: usize) -> Vec<TxDeparture> {
-        if now < self.frozen_until {
+        if self.dead || now < self.frozen_until {
             return Vec::new();
         }
         let mut out = Vec::new();
@@ -1721,7 +2078,7 @@ impl SmartNic {
     /// Returns when TX should next be polled: the later of scheduler
     /// readiness and wire availability.
     pub fn tx_next_ready(&self, now: Time) -> Option<Time> {
-        if self.scheduler.is_empty() {
+        if self.dead || self.scheduler.is_empty() {
             return None;
         }
         let sched = self.scheduler.next_ready(now).unwrap_or(now);
@@ -2202,5 +2559,193 @@ mod tests {
         let mut nic = nic();
         assert!(nic.regs.write(RSS_NUM_QUEUES_REG, 8, Some(42)).is_err());
         assert_eq!(nic.regs.peek(RSS_NUM_QUEUES_REG), Some(1));
+    }
+
+    #[test]
+    fn crash_wipes_volatile_state_and_gates_everything() {
+        let mut nic = nic();
+        let id = nic
+            .open_connection(rx_tuple(5432), 1001, 42, "postgres", false)
+            .unwrap();
+        nic.load_program(
+            ProgramSlot::IngressFilter,
+            builtins::allow_all(),
+            Time::ZERO,
+        )
+        .unwrap();
+        // Queue a TX frame so the crash has something to purge.
+        let out = PacketBuilder::new()
+            .ether(Mac::local(2), Mac::local(1))
+            .ipv4(addr("10.0.0.1"), addr("10.0.0.2"))
+            .udp(5432, 40_000, &[0u8; 64])
+            .build();
+        nic.tx_enqueue(id, &out, Time::ZERO).unwrap();
+        assert_eq!(nic.tx_backlog(), 1);
+
+        nic.crash(Time::from_ns(100));
+        assert_eq!(nic.state(), DeviceState::Dead);
+        assert!(nic.is_dead());
+        assert_eq!(nic.stats().crashes, 1);
+        assert_eq!(nic.stats().tx_crash_purged, 1);
+        // Volatile state is gone.
+        assert_eq!(nic.flows.num_exact(), 0);
+        assert_eq!(nic.sram.used(), 0);
+        assert!(!nic.program_loaded(ProgramSlot::IngressFilter));
+        assert_eq!(nic.tx_backlog(), 0);
+        // Everything is gated.
+        let r = nic.rx(&udp_to(5432), Time::from_ns(200));
+        assert_eq!(
+            r.disposition,
+            RxDisposition::Drop {
+                reason: DropReason::DeviceDead
+            }
+        );
+        assert!(matches!(
+            nic.tx_enqueue(id, &out, Time::from_ns(200)),
+            Ok(TxDisposition::Drop {
+                reason: DropReason::DeviceDead
+            })
+        ));
+        assert!(nic.tx_poll(Time::from_ns(200)).is_none());
+        assert!(matches!(
+            nic.open_connection(rx_tuple(80), 0, 1, "x", false),
+            Err(NicError::Dead)
+        ));
+        assert!(matches!(
+            nic.load_program(
+                ProgramSlot::IngressFilter,
+                builtins::allow_all(),
+                Time::from_ns(200)
+            ),
+            Err(NicError::Dead)
+        ));
+        assert_eq!(nic.stats().dropped_dead, 2);
+        // Internal invariants still hold on the corpse.
+        assert!(nic.audit().is_empty(), "{:?}", nic.audit());
+    }
+
+    #[test]
+    fn reset_revives_at_boot_config_after_freeze() {
+        let mut nic = nic();
+        nic.crash(Time::ZERO);
+        let back = nic.reset(Time::from_ns(1000));
+        assert_eq!(nic.state(), DeviceState::Alive);
+        assert_eq!(back, Time::from_ns(1000) + nic.config().reset_cost);
+        assert!(nic.is_frozen(Time::from_ns(1001)));
+        // During the reset window frames drop as reprogramming (the
+        // device is alive but the dataplane is still dark).
+        let r = nic.rx(&udp_to(9999), Time::from_ns(2000));
+        assert_eq!(
+            r.disposition,
+            RxDisposition::Drop {
+                reason: DropReason::Reprogramming
+            }
+        );
+        // After the window the NIC works again at boot config.
+        let after = back + Dur::from_ns(1);
+        assert!(!nic.is_frozen(after));
+        let id = nic
+            .open_connection(rx_tuple(5432), 1001, 42, "postgres", false)
+            .unwrap();
+        let r = nic.rx(&udp_to(5432), after);
+        assert_eq!(
+            r.disposition,
+            RxDisposition::Deliver {
+                conn: id,
+                notify: false
+            }
+        );
+        assert_eq!(nic.stats().resets, 1);
+        assert!(nic.audit().is_empty(), "{:?}", nic.audit());
+    }
+
+    #[test]
+    fn crash_injector_kills_at_exact_op_in_rx_and_batch() {
+        // Sequential: 5 frames with a crash at op 3.
+        let mut a = nic();
+        a.set_crash_injector(CrashInjector::at_op(3));
+        let frames: Vec<Packet> = (0..5).map(|_| udp_to(9999)).collect();
+        let seq: Vec<_> = frames
+            .iter()
+            .map(|p| a.rx(p, Time::ZERO).disposition)
+            .collect();
+        // Batched: identical dispositions, crash at the same frame.
+        let mut b = nic();
+        b.set_crash_injector(CrashInjector::at_op(3));
+        let batch: Vec<_> = b
+            .rx_batch(&frames, Time::ZERO)
+            .into_iter()
+            .map(|r| r.disposition)
+            .collect();
+        assert_eq!(seq, batch);
+        assert_eq!(
+            seq[1],
+            RxDisposition::SlowPath {
+                reason: SlowPathReason::NoFlowMatch
+            }
+        );
+        assert_eq!(
+            seq[2],
+            RxDisposition::Drop {
+                reason: DropReason::DeviceDead
+            }
+        );
+        assert_eq!(a.stats().crashes, 1);
+        assert_eq!(b.stats().crashes, 1);
+        assert_eq!(a.crash_injector_stats(), b.crash_injector_stats());
+    }
+
+    #[test]
+    fn restore_connection_brings_back_original_id() {
+        let mut nic = nic();
+        let id = nic
+            .open_connection(rx_tuple(5432), 1001, 42, "postgres", true)
+            .unwrap();
+        nic.crash(Time::ZERO);
+        nic.reset(Time::ZERO);
+        let after = nic.frozen_until() + Dur::from_ns(1);
+        nic.restore_connection(id, rx_tuple(5432), 1001, 42, "postgres", true)
+            .unwrap();
+        let r = nic.rx(&udp_to(5432), after);
+        assert_eq!(
+            r.disposition,
+            RxDisposition::Deliver {
+                conn: id,
+                notify: true
+            }
+        );
+        // Doorbells answer to the owner again.
+        assert!(nic
+            .regs
+            .write(SmartNic::rx_doorbell_addr(id), 1, Some(42))
+            .is_ok());
+        assert!(nic.audit().is_empty(), "{:?}", nic.audit());
+    }
+
+    #[test]
+    fn dead_device_passes_conservation_audit_with_tracing() {
+        let mut nic = nic();
+        let tel = Telemetry::new();
+        tel.set_enabled(true);
+        nic.set_telemetry(tel);
+        let id = nic
+            .open_connection(rx_tuple(5432), 1001, 42, "postgres", false)
+            .unwrap();
+        let out = PacketBuilder::new()
+            .ether(Mac::local(2), Mac::local(1))
+            .ipv4(addr("10.0.0.1"), addr("10.0.0.2"))
+            .udp(5432, 40_000, &[0u8; 64])
+            .build();
+        nic.tx_enqueue(id, &out, Time::ZERO).unwrap();
+        nic.rx(&udp_to(5432), Time::ZERO);
+        nic.crash(Time::from_ns(50));
+        nic.rx(&udp_to(5432), Time::from_ns(60));
+        let _ = nic.tx_enqueue(id, &out, Time::from_ns(70));
+        assert!(nic.audit().is_empty(), "{:?}", nic.audit());
+        assert_eq!(
+            nic.telemetry()
+                .recovery_count(telemetry::RecoveryKind::NicCrash),
+            1
+        );
     }
 }

@@ -130,6 +130,84 @@ impl FlowTable {
         Ok(id)
     }
 
+    /// Reinstalls an exact-match connection under a *caller-chosen* id —
+    /// the crash-recovery path, where the kernel re-populates a wiped
+    /// table from its own connection records and the original ids must
+    /// survive (ring keys, doorbell registers and process handles all
+    /// reference them). Fails if the id or tuple is already taken.
+    /// `next_id` is bumped past `id` so later fresh inserts never collide.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        &mut self,
+        id: ConnId,
+        tuple: FiveTuple,
+        uid: u32,
+        pid: u32,
+        comm: &str,
+        notify: bool,
+        sram: &mut Sram,
+    ) -> Result<(), SramError> {
+        assert!(
+            !self.entries.contains_key(&id) && !self.exact.contains_key(&tuple),
+            "restore must target a free id and tuple"
+        );
+        sram.alloc(SramCategory::FlowTable, ENTRY_BYTES)?;
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.exact.insert(tuple, id);
+        self.entries.insert(
+            id,
+            ConnEntry {
+                id,
+                tuple,
+                uid,
+                pid,
+                comm: comm.to_string(),
+                notify,
+            },
+        );
+        Ok(())
+    }
+
+    /// Reinstalls a listener under a caller-chosen id (crash recovery;
+    /// see [`FlowTable::restore`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_listener(
+        &mut self,
+        id: ConnId,
+        proto: IpProto,
+        port: u16,
+        uid: u32,
+        pid: u32,
+        comm: &str,
+        sram: &mut Sram,
+    ) -> Result<(), SramError> {
+        assert!(
+            !self.entries.contains_key(&id) && !self.listeners.contains_key(&(proto, port)),
+            "restore must target a free id and listener key"
+        );
+        sram.alloc(SramCategory::FlowTable, LISTENER_BYTES)?;
+        self.next_id = self.next_id.max(id.0 + 1);
+        self.listeners.insert((proto, port), id);
+        self.entries.insert(
+            id,
+            ConnEntry {
+                id,
+                tuple: FiveTuple {
+                    src_ip: std::net::Ipv4Addr::UNSPECIFIED,
+                    dst_ip: std::net::Ipv4Addr::UNSPECIFIED,
+                    src_port: 0,
+                    dst_port: port,
+                    proto,
+                },
+                uid,
+                pid,
+                comm: comm.to_string(),
+                notify: false,
+            },
+        );
+        Ok(())
+    }
+
     /// Installs a listener for `(proto, local_port)`, charging SRAM.
     pub fn insert_listener(
         &mut self,
@@ -336,6 +414,33 @@ mod tests {
         // The table did not register a half-installed connection.
         assert_eq!(ft.len(), 1);
         assert_eq!(ft.lookup(&tuple(3, 4)), None);
+    }
+
+    #[test]
+    fn restore_preserves_ids_and_avoids_collisions() {
+        let mut sram = Sram::new(1 << 20);
+        let mut ft = FlowTable::new();
+        let a = ft.insert(tuple(1, 2), 0, 1, "a", false, &mut sram).unwrap();
+        let b = ft.insert(tuple(3, 4), 0, 2, "b", true, &mut sram).unwrap();
+        let lst = ft
+            .insert_listener(IpProto::UDP, 53, 0, 3, "dnsd", &mut sram)
+            .unwrap();
+        // Crash: table wiped, SRAM reallocated fresh.
+        let mut sram = Sram::new(1 << 20);
+        let mut ft = FlowTable::new();
+        ft.restore(b, tuple(3, 4), 0, 2, "b", true, &mut sram)
+            .unwrap();
+        ft.restore(a, tuple(1, 2), 0, 1, "a", false, &mut sram)
+            .unwrap();
+        ft.restore_listener(lst, IpProto::UDP, 53, 0, 3, "dnsd", &mut sram)
+            .unwrap();
+        assert_eq!(ft.lookup(&tuple(1, 2)), Some(a));
+        assert_eq!(ft.lookup(&tuple(3, 4)), Some(b));
+        assert_eq!(ft.lookup(&tuple(9, 53)), Some(lst));
+        assert!(ft.entry(b).unwrap().notify);
+        // Fresh inserts after restore never reuse a restored id.
+        let c = ft.insert(tuple(5, 6), 0, 4, "c", false, &mut sram).unwrap();
+        assert!(c.0 > a.0.max(b.0).max(lst.0));
     }
 
     #[test]

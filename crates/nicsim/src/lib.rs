@@ -45,7 +45,7 @@ pub mod sniff;
 pub mod sram;
 
 pub use cc::{CcParams, CongestionControl, FlowCc};
-pub use device::{NicError, SmartNic, POLICY_GENERATION_REG};
+pub use device::{DeviceState, NicError, SmartNic, POLICY_GENERATION_REG};
 pub use flowtable::{ConnEntry, ConnId, FlowTable};
 pub use nat::{NatError, NatTable};
 pub use notify::{Notification, NotifyKind, NotifyQueue};

@@ -329,6 +329,19 @@ impl NatTable {
         }
     }
 
+    /// Re-charges SRAM for every resident mapping after a device crash
+    /// wiped the on-NIC tables to zero. The kernel still holds the
+    /// authoritative mappings (this table is kernel memory) and
+    /// re-installs their device copies wholesale during recovery, so the
+    /// fresh SRAM must account for them before any entry can be removed
+    /// again — otherwise the first expiry would over-free.
+    pub fn restore_charges(&self, sram: &mut Sram) -> Result<(), crate::sram::SramError> {
+        sram.alloc(
+            SramCategory::Nat,
+            self.inbound.len() as u64 * NAT_ENTRY_BYTES,
+        )
+    }
+
     /// Number of installed static rules.
     pub fn num_statics(&self) -> usize {
         self.statics.len()

@@ -45,6 +45,12 @@ pub struct NicConfig {
     /// can reprogram both via the control plane. `1` (the default) is the
     /// pre-multi-queue NIC, byte-identical to the single-queue pipeline.
     pub num_queues: usize,
+    /// Duration of a kernel-driven device reset after a crash: firmware
+    /// reload plus self-test, during which the dataplane behaves exactly
+    /// like a bitstream reprogram window (frames dropped with a counted
+    /// cause). Much cheaper than a full reprogram, much dearer than an
+    /// overlay swap.
+    pub reset_cost: Dur,
 }
 
 impl Default for NicConfig {
@@ -63,6 +69,7 @@ impl Default for NicConfig {
             overlay_swap_cost: Dur::from_us(20),
             bitstream_reprogram: Dur::from_secs(3),
             num_queues: 1,
+            reset_cost: Dur::from_ms(100),
         }
     }
 }
@@ -111,6 +118,9 @@ pub enum DropReason {
     PolicyFault,
     /// Unparseable frame.
     Malformed,
+    /// The device crashed: volatile state is gone and the dataplane is
+    /// dark until a kernel-driven reset.
+    DeviceDead,
 }
 
 impl DropReason {
@@ -122,6 +132,7 @@ impl DropReason {
             DropReason::Reprogramming => telemetry::DropCause::Reprogramming,
             DropReason::PolicyFault => telemetry::DropCause::PolicyFault,
             DropReason::Malformed => telemetry::DropCause::Malformed,
+            DropReason::DeviceDead => telemetry::DropCause::DeviceDead,
         }
     }
 }
@@ -187,5 +198,9 @@ mod tests {
         // The headline comparison of §4.4: overlay updates are orders of
         // magnitude cheaper than bitstream reprogramming.
         assert!(c.bitstream_reprogram.0 / c.overlay_swap_cost.0 > 10_000);
+        // Crash recovery sits between the two: a reset is not free, but
+        // it must not cost a full reprogram either.
+        assert!(c.reset_cost > c.overlay_swap_cost);
+        assert!(c.reset_cost < c.bitstream_reprogram);
     }
 }

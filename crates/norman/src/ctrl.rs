@@ -47,7 +47,7 @@ use pkt::IpProto;
 use qdisc::compile;
 use sim::fault::OpFaultInjector;
 use sim::Time;
-use telemetry::{Registry, Telemetry};
+use telemetry::{RecoveryKind, Registry, Telemetry};
 
 use crate::policy::{PortReservation, ShapingPolicy};
 use nicsim::SnifferFilter;
@@ -78,6 +78,28 @@ impl RssPolicy {
             indirection: Vec::new(),
         }
     }
+}
+
+/// Kernel overload-degradation policy (the paper's §5 mitigation made
+/// kernel-programmable): when fast-path ring pressure stays above
+/// `high_watermark` across a detection window, the host demotes flows
+/// whose local port is listed in `low_prio_ports` to the software slow
+/// path — freeing ring/LLC budget for everyone else — and promotes them
+/// back once pressure falls below `low_watermark`. The policy is
+/// kernel-side state: it rides the two-phase commit like every other
+/// policy but installs nothing on the NIC, so it adds no NIC-audit
+/// surface.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegradationPolicy {
+    /// Engage degraded mode when the fraction of pressured deliveries in
+    /// a window reaches this (0, 1].
+    pub high_watermark: f64,
+    /// Leave degraded mode when the fraction falls to or below this.
+    pub low_watermark: f64,
+    /// Detection-window length in fast-path delivery attempts.
+    pub window: u64,
+    /// Local (destination) ports whose flows are demoted first.
+    pub low_prio_ports: Vec<u16>,
 }
 
 /// A static NAT forward: inbound `(proto, ext_port)` is rewritten to
@@ -116,6 +138,9 @@ pub struct PolicyStore {
     /// boot-time configuration untouched, so unrelated commits never
     /// perturb queue steering.
     pub rss: Option<RssPolicy>,
+    /// Overload degradation (watermarks + demotion set). `None` disables
+    /// graceful degradation.
+    pub degradation: Option<DegradationPolicy>,
 }
 
 /// Everything phase 2 installs, in apply order. Compiled from a
@@ -138,6 +163,9 @@ pub struct PolicyBundle {
     /// table)`. `None` = the store has no RSS policy; the NIC keeps its
     /// boot configuration.
     rss: Option<(usize, Vec<u16>)>,
+    /// Overload degradation policy, validated. Kernel-side only: apply
+    /// installs nothing on the NIC for it.
+    degradation: Option<DegradationPolicy>,
 }
 
 impl PolicyBundle {
@@ -152,6 +180,7 @@ impl PolicyBundle {
             sniffer: None,
             nat: None,
             rss: None,
+            degradation: None,
         }
     }
 
@@ -233,6 +262,26 @@ impl PolicyBundle {
             None => None,
         };
 
+        if let Some(d) = &store.degradation {
+            if !(d.high_watermark > 0.0 && d.high_watermark <= 1.0) {
+                return Err(CtrlError::Compile(format!(
+                    "degradation high watermark {} outside (0, 1]",
+                    d.high_watermark
+                )));
+            }
+            if !(d.low_watermark >= 0.0 && d.low_watermark < d.high_watermark) {
+                return Err(CtrlError::Compile(format!(
+                    "degradation low watermark {} must be in [0, high {})",
+                    d.low_watermark, d.high_watermark
+                )));
+            }
+            if d.window == 0 {
+                return Err(CtrlError::Compile(
+                    "degradation window must be nonzero".to_string(),
+                ));
+            }
+        }
+
         // Verify every program the bundle would install (the load path
         // verifies again; this keeps phase 1 side-effect-free while
         // still refusing bad bundles before anything is staged).
@@ -255,6 +304,7 @@ impl PolicyBundle {
             sniffer: store.sniffer,
             nat,
             rss,
+            degradation: store.degradation.clone(),
         })
     }
 
@@ -305,6 +355,15 @@ pub enum CtrlError {
         /// The rollback step that failed.
         step: String,
     },
+    /// The device died mid-transaction (or was already dead), so neither
+    /// the commit nor the rollback could reach it. Unlike
+    /// [`CtrlError::RollbackFailed`] this is *not* fatal: the kernel
+    /// store keeps the prior committed policy, and reconcile reinstalls
+    /// it after the device is reset — the transaction simply aborted.
+    DeviceLost {
+        /// The apply step at which the device was found dead.
+        step: String,
+    },
 }
 
 impl std::fmt::Display for CtrlError {
@@ -321,6 +380,12 @@ impl std::fmt::Display for CtrlError {
             CtrlError::RollbackFailed { step } => {
                 write!(f, "rollback failed at {step}; NIC state undefined")
             }
+            CtrlError::DeviceLost { step } => {
+                write!(
+                    f,
+                    "commit aborted at {step}: device dead; reconcile after reset"
+                )
+            }
         }
     }
 }
@@ -336,6 +401,9 @@ pub enum CommitAction {
     RolledBack,
     /// The bundle was reinstalled after a bitstream reprogram.
     Reconciled,
+    /// A commit was abandoned because the device died mid-transaction;
+    /// the prior policy is reinstalled later by reconcile-after-reset.
+    Aborted,
 }
 
 impl std::fmt::Display for CommitAction {
@@ -344,6 +412,7 @@ impl std::fmt::Display for CommitAction {
             CommitAction::Committed => write!(f, "committed"),
             CommitAction::RolledBack => write!(f, "rolled-back"),
             CommitAction::Reconciled => write!(f, "reconciled"),
+            CommitAction::Aborted => write!(f, "aborted"),
         }
     }
 }
@@ -372,6 +441,10 @@ pub struct CtrlStats {
     pub reconciles: u64,
     /// Individual apply operations executed (including rollbacks).
     pub apply_ops: u64,
+    /// Commits abandoned because the device died mid-transaction.
+    pub aborts: u64,
+    /// Commits the watchdog cancelled for exceeding their op deadline.
+    pub watchdog_aborts: u64,
 }
 
 /// The kernel control plane: policy store, installed bundle, generation
@@ -392,6 +465,14 @@ pub struct ControlPlane {
     applied_rss: Option<(usize, Vec<u16>)>,
     /// Bitstream reprograms already reflected in NIC-resident state.
     reprograms_seen: u64,
+    /// Device resets already reconciled. A crash+reset wipes the NIC
+    /// back to power-on, so every reset requires a full reinstall.
+    resets_seen: u64,
+    /// Commit watchdog: the op budget a single phase-2 transaction may
+    /// spend before it is presumed wedged and aborted to rollback.
+    /// `None` disables the deadline. Rollback and reconcile are exempt —
+    /// recovery must always be allowed to finish.
+    watchdog_ops: Option<u64>,
     faults: OpFaultInjector,
     stats: CtrlStats,
     history: Vec<CommitRecord>,
@@ -409,6 +490,8 @@ impl ControlPlane {
             applied_weights: vec![1.0],
             applied_rss: None,
             reprograms_seen: 0,
+            resets_seen: 0,
+            watchdog_ops: None,
             faults: OpFaultInjector::never(),
             stats: CtrlStats::default(),
             history: Vec::new(),
@@ -444,6 +527,20 @@ impl ControlPlane {
         self.faults = faults;
     }
 
+    /// Arms (or disarms, with `None`) the commit watchdog: a phase-2
+    /// transaction that issues more than `ops` apply operations is
+    /// presumed stalled, cancelled, and rolled back — so a wedged or
+    /// dying device can never hold the control plane mid-commit forever.
+    pub fn set_commit_watchdog(&mut self, ops: Option<u64>) {
+        self.watchdog_ops = ops;
+    }
+
+    /// The degradation policy of the *installed* (committed) bundle, if
+    /// any — what the host's overload detector enforces.
+    pub fn degradation(&self) -> Option<&DegradationPolicy> {
+        self.installed.degradation.as_ref()
+    }
+
     /// Phase 1: applies `mutate` to a scratch copy of the store and
     /// compiles + verifies the result. Pure; the live store, the NIC,
     /// and the generation are untouched.
@@ -465,6 +562,15 @@ impl ControlPlane {
         staged: StagedCommit,
         now: Time,
     ) -> Result<u64, CtrlError> {
+        if nic.is_dead() {
+            // A dead device can take no policy at all; even an empty
+            // apply would "succeed" without installing anything. Refuse
+            // up front — the kernel resets the device, reconcile
+            // reinstalls the committed policy, and the caller retries.
+            return Err(CtrlError::DeviceLost {
+                step: "commit refused: device dead".to_string(),
+            });
+        }
         if nic.is_frozen(now) {
             return Err(CtrlError::Frozen {
                 until: nic.frozen_until(),
@@ -497,10 +603,35 @@ impl ControlPlane {
                 // so the rollback reconfigures the scheduler only if the
                 // failed apply got far enough to change it.
                 if let Err(rb_step) = self.apply(nic, nat, &prior, now, false) {
+                    if nic.is_dead() {
+                        // The device died mid-commit and cannot even take
+                        // the rollback. That is not "NIC state undefined":
+                        // the NIC holds *nothing* (volatile state wiped),
+                        // the kernel store still holds the prior committed
+                        // policy, and reconcile-after-reset reinstalls it
+                        // byte-for-byte. Abort the transaction instead of
+                        // declaring the control plane wedged.
+                        self.stats.aborts += 1;
+                        self.record(now, CommitAction::Aborted, format!("device lost at {step}"));
+                        self.tel.record_recovery(
+                            now,
+                            RecoveryKind::CommitAborted,
+                            format!("commit aborted at {step}: device dead"),
+                        );
+                        return Err(CtrlError::DeviceLost { step });
+                    }
                     return Err(CtrlError::RollbackFailed { step: rb_step });
                 }
                 self.finish_apply(nic, &prior);
                 self.stats.rollbacks += 1;
+                if step.contains("(watchdog") {
+                    self.stats.watchdog_aborts += 1;
+                    self.tel.record_recovery(
+                        now,
+                        RecoveryKind::CommitAborted,
+                        format!("watchdog cancelled commit at {step}; rolled back"),
+                    );
+                }
                 self.record(now, CommitAction::RolledBack, format!("failed at {step}"));
                 Err(CtrlError::CommitFailed { step })
             }
@@ -520,16 +651,21 @@ impl ControlPlane {
         self.commit_staged(nic, nat, staged, now)
     }
 
-    /// Whether NIC-resident state predates the last bitstream reprogram
-    /// and must be reinstalled.
+    /// Whether NIC-resident state diverges from the kernel store and
+    /// must be reinstalled: the device is dead (reset pending), a
+    /// bitstream reprogram replaced the hardware, or a crash+reset wiped
+    /// volatile state back to power-on.
     pub fn needs_reconcile(&self, nic: &SmartNic) -> bool {
-        nic.stats().bitstream_reprograms != self.reprograms_seen
+        nic.is_dead()
+            || nic.stats().bitstream_reprograms != self.reprograms_seen
+            || nic.stats().resets != self.resets_seen
     }
 
     /// Reinstalls the full bundle from the policy store after a
-    /// bitstream reprogram wiped the NIC (same generation — the policy
-    /// did not change, the hardware did). No-op while the dataplane is
-    /// still frozen or when no reprogram happened. Returns whether a
+    /// bitstream reprogram or a crash+reset wiped the NIC (same
+    /// generation — the policy did not change, the hardware did). No-op
+    /// while the device is dead (the kernel must reset it first) or
+    /// still frozen, or when nothing was wiped. Returns whether a
     /// reconcile ran.
     pub fn reconcile(
         &mut self,
@@ -537,23 +673,40 @@ impl ControlPlane {
         nat: &mut Option<NatTable>,
         now: Time,
     ) -> Result<bool, CtrlError> {
-        if !self.needs_reconcile(nic) || nic.is_frozen(now) {
+        if nic.is_dead() || !self.needs_reconcile(nic) || nic.is_frozen(now) {
             return Ok(false);
         }
+        let resets = nic.stats().resets;
+        if resets != self.resets_seen {
+            // A crash rebuilt the scheduler and RSS steering to power-on
+            // defaults, so the idempotence trackers are stale — clear
+            // them or apply would skip the reprogramming below. (A plain
+            // bitstream reprogram leaves the scheduler alone, so the
+            // trackers stay valid on that path.)
+            self.applied_weights = vec![1.0];
+            self.applied_rss = None;
+        }
         let bundle = self.installed.clone();
-        // The reprogram wiped overlay state but not the scheduler;
-        // applied_weights stays valid. Apply with faults off: reconcile
-        // is the recovery path.
+        // Apply with faults off: reconcile is the recovery path.
         if let Err(step) = self.apply(nic, nat, &bundle, now, false) {
             return Err(CtrlError::RollbackFailed { step });
         }
         self.finish_apply(nic, &bundle);
         self.reprograms_seen = nic.stats().bitstream_reprograms;
+        self.resets_seen = resets;
         self.stats.reconciles += 1;
         self.record(
             now,
             CommitAction::Reconciled,
-            format!("after reprogram #{}", self.reprograms_seen),
+            format!(
+                "after reprogram #{} / reset #{}",
+                self.reprograms_seen, self.resets_seen
+            ),
+        );
+        self.tel.record_recovery(
+            now,
+            RecoveryKind::ReconcileDone,
+            format!("policy generation {} reinstalled", self.generation),
         );
         Ok(true)
     }
@@ -569,10 +722,20 @@ impl ControlPlane {
         now: Time,
         use_faults: bool,
     ) -> Result<(), String> {
+        // The watchdog deadline applies only to fault-eligible commits;
+        // rollback and reconcile must always run to completion.
+        let mut budget = if use_faults { self.watchdog_ops } else { None };
         let op = |stats: &mut CtrlStats,
                   faults: &mut OpFaultInjector,
+                  budget: &mut Option<u64>,
                   step: &str|
          -> Result<(), String> {
+            if let Some(b) = budget {
+                if *b == 0 {
+                    return Err(format!("{step} (watchdog: op deadline exceeded)"));
+                }
+                *b -= 1;
+            }
             stats.apply_ops += 1;
             if use_faults && faults.should_fail() {
                 return Err(format!("{step} (injected)"));
@@ -590,28 +753,48 @@ impl ControlPlane {
             ProgramSlot::Classifier,
         ] {
             if bundle.program_for(slot).is_none() && nic.program_loaded(slot) {
-                op(&mut self.stats, &mut self.faults, "unload_program")?;
+                op(
+                    &mut self.stats,
+                    &mut self.faults,
+                    &mut budget,
+                    "unload_program",
+                )?;
                 nic.unload_program(slot);
             }
         }
         while nic.num_accounting() > 0 {
-            op(&mut self.stats, &mut self.faults, "clear_accounting")?;
+            op(
+                &mut self.stats,
+                &mut self.faults,
+                &mut budget,
+                "clear_accounting",
+            )?;
             nic.remove_accounting(nic.num_accounting() - 1);
         }
 
         for (slot, program) in &bundle.programs {
-            op(&mut self.stats, &mut self.faults, "load_program")?;
+            op(
+                &mut self.stats,
+                &mut self.faults,
+                &mut budget,
+                "load_program",
+            )?;
             nic.load_program(*slot, program.clone(), now)
                 .map_err(|e| format!("load_program: {e}"))?;
         }
         for &(slot, map, key, value) in &bundle.map_fills {
-            op(&mut self.stats, &mut self.faults, "fill_map")?;
+            op(&mut self.stats, &mut self.faults, &mut budget, "fill_map")?;
             nic.fill_map(slot, map, key, value)
                 .map_err(|e| format!("fill_map: {e}"))?;
         }
 
         if self.applied_weights != bundle.sched_weights {
-            op(&mut self.stats, &mut self.faults, "configure_scheduler")?;
+            op(
+                &mut self.stats,
+                &mut self.faults,
+                &mut budget,
+                "configure_scheduler",
+            )?;
             nic.configure_scheduler(&bundle.sched_weights)
                 .map_err(|e| format!("configure_scheduler: {e}"))?;
             self.applied_weights = bundle.sched_weights.clone();
@@ -624,7 +807,12 @@ impl ControlPlane {
                     None => true,
                 };
                 if differs {
-                    op(&mut self.stats, &mut self.faults, "configure_rss")?;
+                    op(
+                        &mut self.stats,
+                        &mut self.faults,
+                        &mut budget,
+                        "configure_rss",
+                    )?;
                     nic.configure_rss(*queues, table, now)
                         .map_err(|e| format!("configure_rss: {e}"))?;
                     self.applied_rss = Some((*queues, table.clone()));
@@ -637,7 +825,12 @@ impl ControlPlane {
                 // commits on a freshly booted NIC never touch steering,
                 // and rollbacks of a first RSS commit fully undo it).
                 if self.applied_rss.is_some() {
-                    op(&mut self.stats, &mut self.faults, "configure_rss")?;
+                    op(
+                        &mut self.stats,
+                        &mut self.faults,
+                        &mut budget,
+                        "configure_rss",
+                    )?;
                     let boot = nic.config().num_queues;
                     let uniform: Vec<u16> =
                         (0..RSS_TABLE_SIZE).map(|i| (i % boot) as u16).collect();
@@ -649,12 +842,17 @@ impl ControlPlane {
         }
 
         for program in &bundle.accounting {
-            op(&mut self.stats, &mut self.faults, "add_accounting")?;
+            op(
+                &mut self.stats,
+                &mut self.faults,
+                &mut budget,
+                "add_accounting",
+            )?;
             nic.add_accounting(program.clone(), now)
                 .map_err(|e| format!("add_accounting: {e}"))?;
         }
 
-        op(&mut self.stats, &mut self.faults, "sniffer")?;
+        op(&mut self.stats, &mut self.faults, &mut budget, "sniffer")?;
         match bundle.sniffer {
             Some(filter) => nic.enable_sniffer(filter),
             None => nic.disable_sniffer(),
@@ -663,7 +861,7 @@ impl ControlPlane {
         match &bundle.nat {
             Some((ip, rules)) => {
                 if nat.is_none() {
-                    op(&mut self.stats, &mut self.faults, "nat_create")?;
+                    op(&mut self.stats, &mut self.faults, &mut budget, "nat_create")?;
                     let mut table = NatTable::new(*ip);
                     table.set_telemetry(self.tel.clone());
                     *nat = Some(table);
@@ -674,7 +872,7 @@ impl ControlPlane {
                 }
                 table.clear_statics(&mut nic.sram);
                 for r in rules {
-                    op(&mut self.stats, &mut self.faults, "nat_static")?;
+                    op(&mut self.stats, &mut self.faults, &mut budget, "nat_static")?;
                     table
                         .install_static(r.proto, r.ext_port, r.internal, &mut nic.sram)
                         .map_err(|e| format!("nat_static: {e}"))?;
@@ -863,7 +1061,11 @@ impl ControlPlane {
         reg.set_counter("ctrl.rollbacks", self.stats.rollbacks);
         reg.set_counter("ctrl.reconciles", self.stats.reconciles);
         reg.set_counter("ctrl.apply_ops", self.stats.apply_ops);
+        reg.set_counter("ctrl.aborts", self.stats.aborts);
+        reg.set_counter("ctrl.watchdog_aborts", self.stats.watchdog_aborts);
         reg.set_counter("ctrl.fault_injected", self.faults.injected());
+        reg.set_counter("fault.ops", self.faults.ops());
+        reg.set_counter("fault.injected", self.faults.injected());
         reg.set_counter(
             "ctrl.rss_queues",
             self.store

@@ -23,9 +23,11 @@ use oskernel::{
     ArpCache, CgroupId, CgroupTree, Cred, NetStack, Pid, ProcessTable, RxOutcome, Scheduler, Uid,
 };
 use pkt::{FiveTuple, IpProto, Mac, Packet};
-use sim::fault::OpFaultInjector;
+use sim::fault::{CrashInjector, OpFaultInjector};
 use sim::{Dur, Time};
-use telemetry::{DropCause, Owner, Registry, Snapshot, Stage, Telemetry, TraceEvent, TraceVerdict};
+use telemetry::{
+    DropCause, Owner, RecoveryKind, Registry, Snapshot, Stage, Telemetry, TraceEvent, TraceVerdict,
+};
 
 use crate::ctrl::{ControlPlane, CtrlError, PolicyStore, StagedCommit};
 use crate::policy::{PortReservation, ShapingPolicy};
@@ -219,6 +221,14 @@ pub struct HostStats {
     /// Deferred TX frames lost: retry buffer full (backpressure) or the
     /// connection vanished before recovery.
     pub tx_retry_dropped: u64,
+    /// Frames demoted to the software slow path by overload degradation
+    /// (low-priority flows while the degrade detector is engaged).
+    pub degraded_slowpath: u64,
+    /// Frames rerouted through the slow path because their owning worker
+    /// shard crashed mid-batch — accounted, never silently dropped.
+    pub worker_rerouted: u64,
+    /// Worker shards restarted by the supervisor after a panic.
+    pub worker_restarts: u64,
 }
 
 /// The Norman host.
@@ -270,6 +280,29 @@ pub struct Host {
     /// ([`Host::run_workers`]). While set, every ring pair lives inside
     /// a worker shard and the maps above hold only non-sharded state.
     workers: Option<WorkerPool>,
+    /// Overload-degradation detector state (engaged flag + the current
+    /// pressure window), driven by the committed
+    /// [`DegradationPolicy`](crate::ctrl::DegradationPolicy).
+    degrade: DegradeState,
+    /// `nic.stats().resets` value up to which kernel flow state
+    /// (connections, listeners, NAT SRAM charges) has been restored —
+    /// lets [`Host::maybe_reconcile`] rebuild the flow table exactly
+    /// once per NIC reset, before the control plane reinstalls policy.
+    resets_restored: u64,
+}
+
+/// Watermark-detector state for overload degradation. The window counts
+/// fast-path delivery attempts; a window where the pressured fraction
+/// reaches the policy's high watermark engages degraded mode, and an
+/// engaged detector promotes back once a window's pressured fraction
+/// falls to the low watermark. Demoted deliveries count as unpressured
+/// window entries, so a fully demoted workload still drains the window
+/// and can promote.
+#[derive(Clone, Copy, Debug, Default)]
+struct DegradeState {
+    engaged: bool,
+    window_seen: u64,
+    window_pressured: u64,
 }
 
 impl Host {
@@ -313,6 +346,8 @@ impl Host {
             ring_frame_ids: HashMap::new(),
             tel_baseline: HostStats::default(),
             workers: None,
+            degrade: DegradeState::default(),
+            resets_restored: 0,
             cfg,
         }
     }
@@ -412,7 +447,62 @@ impl Host {
             self.tel.absorb(rep.events);
             queued += rep.queued_fids;
         }
+        self.absorb_worker_crashes(Time::ZERO);
         queued
+    }
+
+    /// Folds supervisor crash records into host accounting: restart
+    /// counters, the backoff CPU penalty on the crashed shard's core,
+    /// and `ShardPanic`/`ShardRestart` recovery events.
+    fn absorb_worker_crashes(&mut self, now: Time) {
+        let Some(pool) = self.workers.as_mut() else {
+            return;
+        };
+        for crash in pool.take_crashes() {
+            self.stats.worker_restarts += 1;
+            self.sched.charge_core_busy(crash.shard, crash.penalty);
+            self.tel.record_recovery(
+                now,
+                RecoveryKind::ShardPanic,
+                format!("shard {}: {}", crash.shard, crash.payload),
+            );
+            self.tel.record_recovery(
+                now,
+                RecoveryKind::ShardRestart,
+                format!(
+                    "shard {} restart #{} (backoff {})",
+                    crash.shard, crash.restarts, crash.penalty
+                ),
+            );
+        }
+    }
+
+    /// Injects a panic into worker shard `shard` (chaos testing). The
+    /// supervisor catches it synchronously: the shard's rings and
+    /// counters are salvaged, a replacement shard is serving by the time
+    /// this returns, and the crash is fully accounted. Always returns
+    /// [`WorkerError::ShardPanicked`] describing the crash it caused
+    /// (or [`WorkerError::NotRunning`] outside multi-queue mode).
+    pub fn inject_worker_panic(
+        &mut self,
+        shard: usize,
+        msg: &str,
+        now: Time,
+    ) -> Result<(), WorkerError> {
+        let Some(pool) = self.workers.as_mut() else {
+            return Err(WorkerError::NotRunning);
+        };
+        pool.inject_panic(shard, msg);
+        self.absorb_worker_crashes(now);
+        Err(WorkerError::ShardPanicked {
+            shard,
+            payload: msg.to_string(),
+        })
+    }
+
+    /// Total worker-shard restarts performed by the supervisor.
+    pub fn worker_restarts(&self) -> u64 {
+        self.workers.as_ref().map_or(0, |p| p.total_restarts())
     }
 
     /// Which shard owns a connection with this RX tuple under the live
@@ -557,6 +647,10 @@ impl Host {
         reg.set_counter("host.tx_deferred", self.stats.tx_deferred);
         reg.set_counter("host.tx_retry_flushed", self.stats.tx_retry_flushed);
         reg.set_counter("host.tx_retry_dropped", self.stats.tx_retry_dropped);
+        reg.set_counter("host.degraded_slowpath", self.stats.degraded_slowpath);
+        reg.set_counter("host.worker_rerouted", self.stats.worker_rerouted);
+        reg.set_counter("host.worker_restarts", self.stats.worker_restarts);
+        reg.set_counter("host.degraded", u64::from(self.degrade.engaged));
         reg.set_counter("host.connections", self.conns.len() as u64);
         reg.set_counter("host.tx_retry_len", self.tx_retry.len() as u64);
         reg.set_counter("host.workers", self.num_workers() as u64);
@@ -688,6 +782,14 @@ impl Host {
         self.ctrl.set_fault_injector(faults);
     }
 
+    /// Sets the commit watchdog: a policy transaction whose phase 2
+    /// exceeds this many apply ops is aborted and rolled back, so a
+    /// stalled or dying device cannot wedge the control plane. `None`
+    /// disables the deadline.
+    pub fn set_commit_watchdog(&mut self, ops: Option<u64>) {
+        self.ctrl.set_commit_watchdog(ops);
+    }
+
     /// Takes the NIC down for a bitstream reprogram and returns when the
     /// dataplane comes back. The control plane reconciles — reinstalls
     /// the full policy bundle onto the new hardware — on the first
@@ -696,14 +798,55 @@ impl Host {
         self.nic.reprogram_bitstream(now)
     }
 
-    /// Reinstalls the policy bundle if a bitstream reprogram wiped the
-    /// NIC and the dataplane is back up. Called on every dataplane entry
-    /// point so policies re-attach before the first post-recovery frame.
+    /// Crashes the NIC at `now` (fault injection): all volatile device
+    /// state is wiped and the dataplane goes dead until the kernel
+    /// drives a reset — which the reconcile check does on the next
+    /// dataplane entry.
+    pub fn crash_nic(&mut self, now: Time) {
+        self.nic.crash(now);
+    }
+
+    /// Kernel-driven NIC reset: crash-if-alive, then bring the device
+    /// back (frozen for the reset cost). Policy and flow state reinstall
+    /// on the first dataplane entry after the thaw. Returns when the
+    /// device is back up.
+    pub fn reset_nic(&mut self, now: Time) -> Time {
+        self.quiesce();
+        self.kernel_cpu += self.stack.costs().syscalls.control_call();
+        self.nic.reset(now)
+    }
+
+    /// Arms the op-schedule crash injector on the NIC (chaos testing;
+    /// see [`sim::fault::CrashInjector`]).
+    pub fn set_nic_crash_injector(&mut self, injector: CrashInjector) {
+        self.nic.set_crash_injector(injector);
+    }
+
+    /// Reinstalls NIC state if a bitstream reprogram or a crash/reset
+    /// wiped it and the dataplane is back up. Called on every dataplane
+    /// entry point so policies re-attach before the first post-recovery
+    /// frame.
+    ///
+    /// This is the kernel's fail-operational loop: a dead NIC is reset
+    /// here (nothing else in the system has the authority), then once
+    /// the device thaws the kernel rebuilds what the crash wiped —
+    /// connections and listeners back into the flow table, NAT SRAM
+    /// charges, and finally the committed policy bundle via
+    /// [`ControlPlane::reconcile`].
     fn maybe_reconcile(&mut self, now: Time) {
+        if self.nic.is_dead() {
+            self.quiesce();
+            self.kernel_cpu += self.stack.costs().syscalls.control_call();
+            self.nic.reset(now);
+        }
         if !self.ctrl.needs_reconcile(&self.nic) || self.nic.is_frozen(now) {
             return;
         }
         self.quiesce();
+        if self.nic.stats().resets != self.resets_restored {
+            self.restore_flow_state();
+            self.resets_restored = self.nic.stats().resets;
+        }
         let ops_before = self.ctrl.stats().apply_ops;
         let Host {
             ref mut ctrl,
@@ -715,6 +858,49 @@ impl Host {
             .expect("reconcile runs fault-free and reinstalls onto an empty NIC");
         self.charge_policy_ops(ops_before);
         self.rebalance_workers();
+    }
+
+    /// Rebuilds the kernel-owned NIC flow state a crash wiped: every
+    /// open connection and listener is reinstalled (sorted by id, so
+    /// recovery is deterministic and ids are preserved), and the NAT
+    /// table re-charges its SRAM footprint. Must run before the control
+    /// plane reconciles — policy steps release NAT SRAM they believe is
+    /// charged.
+    fn restore_flow_state(&mut self) {
+        let mut conns: Vec<Connection> = self.conns.values().cloned().collect();
+        conns.sort_unstable_by_key(|c| c.id.0);
+        for c in &conns {
+            let comm = self
+                .procs
+                .get(c.pid)
+                .map(|p| p.comm.clone())
+                .unwrap_or_default();
+            self.nic
+                .restore_connection(c.id, c.tuple, c.uid.0, c.pid.0, &comm, c.notify)
+                .expect("restore onto a freshly reset NIC cannot exhaust SRAM");
+            self.kernel_cpu += self.mmio.write(&self.cfg.mem.clone());
+        }
+        let mut listeners: Vec<(ConnId, Pid, IpProto, u16)> = self
+            .listeners
+            .iter()
+            .map(|(&id, &(pid, proto, port))| (id, pid, proto, port))
+            .collect();
+        listeners.sort_unstable_by_key(|&(id, ..)| id.0);
+        for (id, pid, proto, port) in listeners {
+            let (uid, comm) = self
+                .procs
+                .get(pid)
+                .map(|p| (p.cred.uid.0, p.comm.clone()))
+                .unwrap_or_default();
+            self.nic
+                .restore_listener(id, proto, port, uid, pid.0, &comm)
+                .expect("restore onto a freshly reset NIC cannot exhaust SRAM");
+            self.kernel_cpu += self.mmio.write(&self.cfg.mem.clone());
+        }
+        if let Some(nat) = &self.nat {
+            nat.restore_charges(&mut self.nic.sram)
+                .expect("restore onto a freshly reset NIC cannot exhaust SRAM");
+        }
     }
 
     /// Returns the active reservations.
@@ -950,6 +1136,74 @@ impl Host {
     }
 
     // ------------------------------------------------------------------
+    // Overload degradation
+    // ------------------------------------------------------------------
+
+    /// Whether overload degradation is currently engaged (low-priority
+    /// flows demoted to the software slow path).
+    pub fn degraded(&self) -> bool {
+        self.degrade.engaged
+    }
+
+    /// Feeds one fast-path delivery attempt into the degradation
+    /// detector. `pressured` means the attempt found its RX ring full —
+    /// the occupancy signal. When a full window's pressured fraction
+    /// reaches the committed policy's high watermark the detector
+    /// engages; once engaged, a window at or below the low watermark
+    /// promotes back. No-op without a committed [`DegradationPolicy`]
+    /// (`crate::ctrl::DegradationPolicy`).
+    fn note_ring_pressure(&mut self, pressured: bool, now: Time) {
+        let (high, low, window) = match self.ctrl.degradation() {
+            Some(p) => (p.high_watermark, p.low_watermark, p.window),
+            None => return,
+        };
+        self.degrade.window_seen += 1;
+        if pressured {
+            self.degrade.window_pressured += 1;
+        }
+        if self.degrade.window_seen < window {
+            return;
+        }
+        let frac = self.degrade.window_pressured as f64 / self.degrade.window_seen as f64;
+        self.degrade.window_seen = 0;
+        self.degrade.window_pressured = 0;
+        if !self.degrade.engaged && frac >= high {
+            self.degrade.engaged = true;
+            self.tel.record_recovery(
+                now,
+                RecoveryKind::DegradeEngaged,
+                format!(
+                    "ring pressure {:.0}% >= {:.0}% over {window} deliveries",
+                    frac * 100.0,
+                    high * 100.0
+                ),
+            );
+        } else if self.degrade.engaged && frac <= low {
+            self.degrade.engaged = false;
+            self.tel.record_recovery(
+                now,
+                RecoveryKind::DegradePromoted,
+                format!(
+                    "ring pressure {:.0}% <= {:.0}% over {window} deliveries",
+                    frac * 100.0,
+                    low * 100.0
+                ),
+            );
+        }
+    }
+
+    /// Whether this connection's traffic is demoted to the slow path
+    /// right now: the detector is engaged and the committed policy lists
+    /// the connection's local port as low-priority.
+    fn demote_now(&self, conn: &Connection) -> bool {
+        self.degrade.engaged
+            && self
+                .ctrl
+                .degradation()
+                .is_some_and(|p| p.low_prio_ports.contains(&conn.tuple.dst_port))
+    }
+
+    // ------------------------------------------------------------------
     // Dataplane
     // ------------------------------------------------------------------
 
@@ -1037,15 +1291,17 @@ impl Host {
         for (idx, (packet, rx)) in packets.iter().zip(rxs).enumerate() {
             let fast_conn = match rx.disposition {
                 RxDisposition::Deliver { conn, .. }
-                    if !self.listeners.contains_key(&conn) && self.conns.contains_key(&conn) =>
+                    if !self.listeners.contains_key(&conn)
+                        && self.conns.get(&conn).is_some_and(|c| !self.demote_now(c)) =>
                 {
                     Some(conn)
                 }
                 _ => None,
             };
             let Some(conn) = fast_conn else {
-                // Listener, stale-connection, slow-path, ARP, and drop
-                // verdicts never touch a shard; handle them inline.
+                // Listener, stale-connection, slow-path, ARP, demoted,
+                // and drop verdicts never touch a shard; handle them
+                // inline.
                 reports.push(self.finish_delivery(packet, rx, now));
                 continue;
             };
@@ -1083,6 +1339,7 @@ impl Host {
                 ShardOutcome::Fast(cost) => {
                     report.outcome = DeliveryOutcome::FastPath(conn);
                     report.mem_cost = cost;
+                    self.note_ring_pressure(false, ready_at);
                     if let Some(pid) = wake {
                         if self.sched.wake(pid, ready_at, &mut self.procs).is_some() {
                             report.woke = Some(pid);
@@ -1091,12 +1348,25 @@ impl Host {
                 }
                 ShardOutcome::RingFull => {
                     report.outcome = DeliveryOutcome::RingFull(conn);
+                    self.note_ring_pressure(true, ready_at);
                 }
                 ShardOutcome::RingMissing => {
                     report.outcome = DeliveryOutcome::SlowPath;
                 }
+                ShardOutcome::Crashed => {
+                    // The owning shard died before answering: reroute the
+                    // frame through the software slow path so it is
+                    // delivered and accounted rather than silently lost.
+                    let (_, cost) = self.stack_rx(&packets[reply.idx], None, now);
+                    self.kernel_cpu += cost;
+                    report.kernel_cpu = cost;
+                    report.outcome = DeliveryOutcome::SlowPath;
+                    self.stats.slowpath += 1;
+                    self.stats.worker_rerouted += 1;
+                }
             }
         }
+        self.absorb_worker_crashes(now);
         reports
     }
 
@@ -1143,6 +1413,29 @@ impl Host {
                 };
                 let pid = c.pid;
                 let key = c.ring_key;
+                let demote = self.demote_now(c);
+                if demote {
+                    // Degraded mode: this low-priority flow yields the
+                    // fast path so high-priority traffic keeps the
+                    // rings. The frame is handled by the kernel stack —
+                    // slower, but delivered and accounted.
+                    let (outcome, cost) = self.stack_rx(packet, rx.meta.as_ref(), now);
+                    self.stack.note_degraded_rx();
+                    self.kernel_cpu += cost;
+                    report.kernel_cpu = cost;
+                    report.outcome = DeliveryOutcome::SlowPath;
+                    self.stats.slowpath += 1;
+                    self.stats.degraded_slowpath += 1;
+                    // Demoted deliveries count as unpressured window
+                    // entries so a drained system can promote back.
+                    self.note_ring_pressure(false, now);
+                    if let RxOutcome::Delivered { pid, wake: true } = outcome {
+                        if self.sched.wake(pid, now + cost, &mut self.procs).is_some() {
+                            report.woke = Some(pid);
+                        }
+                    }
+                    return report;
+                }
                 let mem = self.cfg.mem.clone();
                 let Some((rx_ring, _)) = self.rings.get_mut(&key) else {
                     // The connection record outlived its rings (torn-down
@@ -1160,6 +1453,7 @@ impl Host {
                         report.mem_cost = cost;
                         report.outcome = DeliveryOutcome::FastPath(conn);
                         self.stats.fast_delivered += 1;
+                        self.note_ring_pressure(false, now);
                         if self.tel.is_enabled() {
                             self.ring_frame_ids.entry(key).or_default().push_back(fid);
                             self.tel.emit(|| TraceEvent {
@@ -1177,6 +1471,7 @@ impl Host {
                     Err(_) => {
                         report.outcome = DeliveryOutcome::RingFull(conn);
                         self.stats.ring_drops += 1;
+                        self.note_ring_pressure(true, now);
                         self.tel.emit(|| TraceEvent {
                             frame_id: fid,
                             at: rx.ready_at,
@@ -1953,6 +2248,123 @@ mod tests {
         assert!(!s.queued);
         assert_eq!(h.tx_retry_len(), 2);
         assert_eq!(h.stats().tx_retry_dropped, 1);
+    }
+
+    #[test]
+    fn nic_crash_is_auto_recovered_by_the_kernel() {
+        let mut h = host();
+        let bob = h.spawn(Uid(1001), "bob", "server");
+        let conn = open_conn(&mut h, bob, 7000, false);
+        h.update_policy(Time::ZERO, |p| {
+            p.shaping = Some(ShapingPolicy::new(vec![(Uid(1001), 4.0)]))
+        })
+        .unwrap();
+        let pkt = wire_udp(h.cfg.ip, 9000, 7000, 200);
+        assert_eq!(
+            h.deliver_from_wire(&pkt, Time::ZERO).outcome,
+            DeliveryOutcome::FastPath(conn)
+        );
+        h.crash_nic(Time::from_us(10));
+        assert!(h.nic.is_dead());
+        // First entry after the crash: the kernel resets the device.
+        // The dataplane is still frozen, so the frame is lost.
+        let r = h.deliver_from_wire(&pkt, Time::from_us(11));
+        assert!(!h.nic.is_dead(), "kernel must have driven a reset");
+        assert_ne!(r.outcome, DeliveryOutcome::FastPath(conn));
+        // After the thaw the kernel reconciles: flow table and policy
+        // are rebuilt, and traffic resumes on the same connection id.
+        let later = Time::from_ms(200);
+        let r = h.deliver_from_wire(&pkt, later);
+        assert_eq!(r.outcome, DeliveryOutcome::FastPath(conn));
+        assert_eq!(
+            h.policy_generation(),
+            1,
+            "reconcile must not bump the generation"
+        );
+        assert!(
+            h.audit().is_empty(),
+            "restored NIC state must match the kernel store"
+        );
+        assert_eq!(h.telemetry().recovery_count(RecoveryKind::NicReset), 1);
+        assert_eq!(h.telemetry().recovery_count(RecoveryKind::ReconcileDone), 1);
+    }
+
+    #[test]
+    fn worker_panic_is_survived_with_frames_intact() {
+        let mut h = host();
+        let bob = h.spawn(Uid(1001), "bob", "server");
+        let conn = open_conn(&mut h, bob, 7000, false);
+        h.run_workers(1).unwrap();
+        h.start_trace();
+        let pkt = wire_udp(h.cfg.ip, 9000, 7000, 100);
+        let (reports, _) = h.pump(std::slice::from_ref(&pkt), Time::ZERO);
+        assert_eq!(reports[0].outcome, DeliveryOutcome::FastPath(conn));
+        let err = h
+            .inject_worker_panic(0, "injected shard fault", Time::from_us(5))
+            .unwrap_err();
+        assert!(matches!(err, WorkerError::ShardPanicked { shard: 0, .. }));
+        assert_eq!(h.worker_restarts(), 1);
+        assert_eq!(h.stats().worker_restarts, 1);
+        // The frame enqueued before the crash survived in its ring.
+        let r = h.app_recv(conn, Time::from_us(10), false);
+        assert_eq!(r.len, Some(pkt.len()));
+        // The replacement shard serves new traffic.
+        let (reports, _) = h.pump(std::slice::from_ref(&pkt), Time::from_us(20));
+        assert_eq!(reports[0].outcome, DeliveryOutcome::FastPath(conn));
+        assert!(
+            h.audit().is_empty(),
+            "conservation must hold across the restart"
+        );
+        assert_eq!(h.telemetry().recovery_count(RecoveryKind::ShardPanic), 1);
+        assert_eq!(h.telemetry().recovery_count(RecoveryKind::ShardRestart), 1);
+        h.stop_workers();
+    }
+
+    #[test]
+    fn overload_degrades_low_prio_flows_and_promotes_back() {
+        let mut h = host();
+        let bob = h.spawn(Uid(1001), "bob", "server");
+        let hi = open_conn(&mut h, bob, 7000, false);
+        let lo = open_conn(&mut h, bob, 7001, false);
+        h.update_policy(Time::ZERO, |p| {
+            p.degradation = Some(crate::ctrl::DegradationPolicy {
+                high_watermark: 0.5,
+                low_watermark: 0.25,
+                window: 4,
+                low_prio_ports: vec![7001],
+            })
+        })
+        .unwrap();
+        let hp = wire_udp(h.cfg.ip, 9000, 7000, 100);
+        let lp = wire_udp(h.cfg.ip, 9000, 7001, 100);
+        // Overload: 2-slot ring fills, then two drops → window 4 at 50%
+        // pressured → the detector engages.
+        for _ in 0..4 {
+            h.deliver_from_wire(&hp, Time::ZERO);
+        }
+        assert!(h.degraded());
+        // Low-priority traffic now takes the software slow path...
+        let r = h.deliver_from_wire(&lp, Time::from_us(1));
+        assert_eq!(r.outcome, DeliveryOutcome::SlowPath);
+        assert_eq!(h.stats().degraded_slowpath, 1);
+        assert_eq!(h.stack.rx_degraded(), 1);
+        // ...while high-priority traffic keeps its ring (drain first).
+        h.app_recv(hi, Time::from_us(2), false);
+        h.app_recv(hi, Time::from_us(2), false);
+        let r = h.deliver_from_wire(&hp, Time::from_us(3));
+        assert_eq!(r.outcome, DeliveryOutcome::FastPath(hi));
+        // A calm window (1 demoted + 2 fast + 1 fast = 0% pressured)
+        // promotes back to normal operation.
+        h.app_recv(hi, Time::from_us(4), false);
+        h.deliver_from_wire(&hp, Time::from_us(5));
+        h.app_recv(hi, Time::from_us(6), false);
+        h.deliver_from_wire(&hp, Time::from_us(7));
+        assert!(!h.degraded());
+        let r = h.deliver_from_wire(&lp, Time::from_us(8));
+        assert_eq!(r.outcome, DeliveryOutcome::FastPath(lo));
+        let tel = h.telemetry();
+        assert_eq!(tel.recovery_count(RecoveryKind::DegradeEngaged), 1);
+        assert_eq!(tel.recovery_count(RecoveryKind::DegradePromoted), 1);
     }
 
     #[test]

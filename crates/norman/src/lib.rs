@@ -46,7 +46,8 @@ pub mod workers;
 
 pub use arch::{Architecture, Capabilities, DatapathKind};
 pub use ctrl::{
-    ControlPlane, CtrlError, NatRule, PolicyBundle, PolicyStore, RssPolicy, StagedCommit,
+    ControlPlane, CtrlError, DegradationPolicy, NatRule, PolicyBundle, PolicyStore, RssPolicy,
+    StagedCommit,
 };
 pub use host::{ConnectError, Connection, DeliveryReport, Host, HostConfig};
 pub use lib_api::NormanSocket;

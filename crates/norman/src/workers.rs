@@ -27,7 +27,7 @@
 //! reports, and `run_workers(1)` is byte-identical to the single-queue
 //! [`Host::pump`](crate::Host::pump) path.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
@@ -38,11 +38,14 @@ use telemetry::{DropCause, Stage, TraceEvent, TraceVerdict};
 
 use crate::host::RingKey;
 
-/// Why [`Host::run_workers`](crate::Host::run_workers) refused.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// Why [`Host::run_workers`](crate::Host::run_workers) refused, or what
+/// the shard supervisor reports after a worker crash.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum WorkerError {
     /// Worker mode is already active; stop it first.
     AlreadyRunning,
+    /// Worker mode is not active.
+    NotRunning,
     /// The worker count must match the NIC's RSS queue count so each
     /// queue has exactly one owner.
     QueueMismatch {
@@ -54,17 +57,31 @@ pub enum WorkerError {
     /// Shared (per-process) rings cannot be sharded by flow: two
     /// connections of one process may steer to different queues.
     SharedRings,
+    /// A worker thread panicked. The supervisor caught it: the shard's
+    /// rings, counters, and events were salvaged, the thread exited
+    /// cleanly (joinable), and a replacement shard was started — the
+    /// remaining shards never stop serving.
+    ShardPanicked {
+        /// Which shard crashed.
+        shard: usize,
+        /// The panic payload, stringified.
+        payload: String,
+    },
 }
 
 impl std::fmt::Display for WorkerError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             WorkerError::AlreadyRunning => write!(f, "workers already running"),
+            WorkerError::NotRunning => write!(f, "workers not running"),
             WorkerError::QueueMismatch { workers, queues } => {
                 write!(f, "{workers} workers cannot own {queues} RSS queues 1:1")
             }
             WorkerError::SharedRings => {
                 write!(f, "shared per-process rings cannot be sharded by flow")
+            }
+            WorkerError::ShardPanicked { shard, payload } => {
+                write!(f, "worker shard {shard} panicked: {payload}")
             }
         }
     }
@@ -136,6 +153,10 @@ pub(crate) enum ShardOutcome {
     RingFull,
     /// The shard has no ring for this key (torn-down state mid-race).
     RingMissing,
+    /// The shard crashed before answering this job. The frame is still
+    /// in host memory — the supervisor reroutes it through the software
+    /// slow path so it is accounted, not silently dropped.
+    Crashed,
 }
 
 /// Worker-side outcome of one receive.
@@ -171,14 +192,43 @@ pub(crate) struct RingEntry {
 
 enum Op {
     Deliver(Vec<DeliverJob>),
-    Recv { key: RingKey, trace: bool },
-    Send { key: RingKey, len: usize },
+    Recv {
+        key: RingKey,
+        trace: bool,
+    },
+    Send {
+        key: RingKey,
+        len: usize,
+    },
     InstallRing(Box<RingEntry>),
-    CloseRing { key: RingKey },
+    CloseRing {
+        key: RingKey,
+    },
     DrainRings,
     Quiesce,
     ClearTrace,
+    /// Fault injection: panic inside the worker thread with this message.
+    Panic(String),
     Stop,
+}
+
+/// Everything the shard loop rescues from a panicking worker before the
+/// thread exits: ring pairs live in host memory and survive the thread,
+/// counters and events are a normal quiesce-style report, and any
+/// deliver replies completed before the panic come back so the host can
+/// reassemble the batch.
+pub(crate) struct CrashSalvage {
+    /// Deliver replies the shard finished before the panic hit.
+    pub partial: Vec<DeliverReply>,
+    /// Ring pairs (with tracked frame ids) pulled out of the dead shard.
+    pub rings: Vec<RingEntry>,
+    /// Final counter/event report. The rings are drained *before* this
+    /// is built, so `report.queued_fids == 0` — ring occupancy rides the
+    /// reinstalled entries and is reported by the replacement shard,
+    /// never counted twice.
+    pub report: ShardReport,
+    /// The panic payload, stringified.
+    pub payload: String,
 }
 
 enum Reply {
@@ -187,6 +237,7 @@ enum Reply {
     Send(SendReply),
     Rings(Vec<RingEntry>),
     Quiesce(Box<ShardReport>),
+    Crashed(Box<CrashSalvage>),
     Done,
 }
 
@@ -199,6 +250,9 @@ struct Shard {
     stats: ShardStats,
     events: Vec<TraceEvent>,
     busy: Dur,
+    /// Deliver replies for the batch currently being processed. Kept on
+    /// the shard (not the stack) so a panic mid-batch can salvage them.
+    partial: Vec<DeliverReply>,
 }
 
 impl Shard {
@@ -211,6 +265,7 @@ impl Shard {
             stats: ShardStats::default(),
             events: Vec::new(),
             busy: Dur::ZERO,
+            partial: Vec::new(),
         }
     }
 
@@ -328,35 +383,65 @@ impl Shard {
         }
     }
 
+    fn handle(&mut self, op: Op) -> Reply {
+        match op {
+            Op::Deliver(jobs) => {
+                for j in jobs {
+                    let r = self.deliver(j);
+                    self.partial.push(r);
+                }
+                Reply::Delivered(std::mem::take(&mut self.partial))
+            }
+            Op::Recv { key, trace } => Reply::Recv(self.recv(key, trace)),
+            Op::Send { key, len } => Reply::Send(self.send(key, len)),
+            Op::InstallRing(e) => {
+                if !e.fids.is_empty() {
+                    self.ring_frame_ids.insert(e.key, e.fids);
+                }
+                self.rings.insert(e.key, (e.rx, e.tx));
+                Reply::Done
+            }
+            Op::CloseRing { key } => {
+                self.rings.remove(&key);
+                self.ring_frame_ids.remove(&key);
+                Reply::Done
+            }
+            Op::DrainRings => Reply::Rings(self.drain_rings()),
+            Op::Quiesce => Reply::Quiesce(Box::new(self.report())),
+            Op::ClearTrace => {
+                self.events.clear();
+                self.ring_frame_ids.clear();
+                Reply::Done
+            }
+            Op::Panic(msg) => panic!("{msg}"),
+            Op::Stop => unreachable!("Stop is handled by the run loop"),
+        }
+    }
+
     fn run(mut self, ops: Receiver<Op>, replies: Sender<Reply>) {
         for op in ops {
-            let reply = match op {
-                Op::Deliver(jobs) => {
-                    Reply::Delivered(jobs.into_iter().map(|j| self.deliver(j)).collect())
-                }
-                Op::Recv { key, trace } => Reply::Recv(self.recv(key, trace)),
-                Op::Send { key, len } => Reply::Send(self.send(key, len)),
-                Op::InstallRing(e) => {
-                    if !e.fids.is_empty() {
-                        self.ring_frame_ids.insert(e.key, e.fids);
-                    }
-                    self.rings.insert(e.key, (e.rx, e.tx));
-                    Reply::Done
-                }
-                Op::CloseRing { key } => {
-                    self.rings.remove(&key);
-                    self.ring_frame_ids.remove(&key);
-                    Reply::Done
-                }
-                Op::DrainRings => Reply::Rings(self.drain_rings()),
-                Op::Quiesce => Reply::Quiesce(Box::new(self.report())),
-                Op::ClearTrace => {
-                    self.events.clear();
-                    self.ring_frame_ids.clear();
-                    Reply::Done
-                }
-                Op::Stop => {
-                    let _ = replies.send(Reply::Done);
+            if matches!(op, Op::Stop) {
+                let _ = replies.send(Reply::Done);
+                return;
+            }
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.handle(op)));
+            let reply = match caught {
+                Ok(reply) => reply,
+                Err(e) => {
+                    // The op panicked. Salvage everything the host needs
+                    // — rings FIRST so the final report's queued_fids is
+                    // zero (occupancy travels with the ring entries) —
+                    // then exit so the thread stays cleanly joinable.
+                    let payload = panic_message(e.as_ref());
+                    let partial = std::mem::take(&mut self.partial);
+                    let rings = self.drain_rings();
+                    let report = self.report();
+                    let _ = replies.send(Reply::Crashed(Box::new(CrashSalvage {
+                        partial,
+                        rings,
+                        report,
+                        payload,
+                    })));
                     return;
                 }
             };
@@ -365,6 +450,35 @@ impl Shard {
             }
         }
     }
+}
+
+fn panic_message(e: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = e.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = e.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Workers report panics through the supervisor, so the default panic
+/// hook's backtrace spew on stderr is pure noise (and would make chaos
+/// runs unreadable). Suppress it for worker threads only; every other
+/// thread keeps the previous hook.
+fn quiet_worker_panics() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let in_worker = std::thread::current()
+                .name()
+                .is_some_and(|n| n.starts_with("norman-worker-"));
+            if !in_worker {
+                prev(info);
+            }
+        }));
+    });
 }
 
 struct Worker {
@@ -380,36 +494,138 @@ impl Worker {
     }
 }
 
+/// One supervised shard restart, recorded for the host to account.
+#[derive(Clone, Debug)]
+pub(crate) struct ShardCrash {
+    /// Which shard crashed.
+    pub shard: usize,
+    /// The panic payload, stringified.
+    pub payload: String,
+    /// Cumulative restarts of this shard (1 on the first crash).
+    pub restarts: u64,
+    /// Backoff penalty the supervisor charges for this restart:
+    /// doubling from 50 µs, capped after six doublings.
+    pub penalty: Dur,
+}
+
 /// The host-side handle to the worker fleet: one channel pair per
-/// worker, plus the key→shard ownership map.
+/// worker, plus the key→shard ownership map. Also the shard
+/// *supervisor*: a `Reply::Crashed` from any worker triggers join →
+/// salvage → restart at the same index, and the crash is recorded for
+/// the host to account (restart counters, backoff CPU penalty,
+/// recovery telemetry).
 pub(crate) struct WorkerPool {
     workers: Vec<Worker>,
     shard_of: HashMap<RingKey, usize>,
+    llc: LlcConfig,
+    mem: MemCosts,
+    /// Per-shard cumulative restart counts (drives backoff doubling).
+    restarts: Vec<u64>,
+    /// Reports salvaged from crashed shards, folded into the next
+    /// quiesce so no counter or event is lost.
+    pending_reports: Vec<(usize, ShardReport)>,
+    /// Crash records since the last [`WorkerPool::take_crashes`].
+    crashes: Vec<ShardCrash>,
 }
 
 impl WorkerPool {
     pub(crate) fn new(n: usize, llc: LlcConfig, mem: MemCosts) -> WorkerPool {
         assert!(n > 0, "need at least one worker");
-        let workers = (0..n)
-            .map(|i| {
-                let (op_tx, op_rx) = channel::<Op>();
-                let (reply_tx, reply_rx) = channel::<Reply>();
-                let shard = Shard::new(llc.clone(), mem.clone());
-                let handle = std::thread::Builder::new()
-                    .name(format!("norman-worker-{i}"))
-                    .spawn(move || shard.run(op_rx, reply_tx))
-                    .expect("spawn worker thread");
-                Worker {
-                    ops: op_tx,
-                    replies: reply_rx,
-                    handle: Some(handle),
-                }
-            })
-            .collect();
+        quiet_worker_panics();
+        let workers = (0..n).map(|i| Self::spawn_worker(i, &llc, &mem)).collect();
         WorkerPool {
             workers,
             shard_of: HashMap::new(),
+            llc,
+            mem,
+            restarts: vec![0; n],
+            pending_reports: Vec::new(),
+            crashes: Vec::new(),
         }
+    }
+
+    fn spawn_worker(i: usize, llc: &LlcConfig, mem: &MemCosts) -> Worker {
+        let (op_tx, op_rx) = channel::<Op>();
+        let (reply_tx, reply_rx) = channel::<Reply>();
+        let shard = Shard::new(llc.clone(), mem.clone());
+        let handle = std::thread::Builder::new()
+            .name(format!("norman-worker-{i}"))
+            .spawn(move || shard.run(op_rx, reply_tx))
+            .expect("spawn worker thread");
+        Worker {
+            ops: op_tx,
+            replies: reply_rx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Receives one reply from worker `i`, supervising crashes. On
+    /// [`Reply::Crashed`] the dead thread is joined, a replacement shard
+    /// is spawned at the same index with a bounded doubling backoff
+    /// penalty, the salvaged rings are reinstalled into it (ring memory
+    /// is host memory — it survives the worker), the salvaged report is
+    /// banked for the next quiesce, and the crash is recorded. Returns
+    /// the panic payload and any partial deliver replies.
+    fn recv_supervised(&mut self, i: usize) -> Result<Reply, (String, Vec<DeliverReply>)> {
+        let reply = self.workers[i]
+            .replies
+            .recv()
+            .expect("worker reply channel");
+        let Reply::Crashed(salvage) = reply else {
+            return Ok(reply);
+        };
+        let CrashSalvage {
+            partial,
+            rings,
+            report,
+            payload,
+        } = *salvage;
+        if let Some(h) = self.workers[i].handle.take() {
+            let _ = h.join(); // the shard sent its salvage, then exited
+        }
+        self.restarts[i] += 1;
+        let n = self.restarts[i];
+        let penalty = Dur::from_us(50 << (n - 1).min(6));
+        self.workers[i] = Self::spawn_worker(i, &self.llc, &self.mem);
+        for e in rings {
+            match self.workers[i].call(Op::InstallRing(Box::new(e))) {
+                Reply::Done => {}
+                _ => unreachable!("reinstall reply"),
+            }
+        }
+        self.pending_reports.push((i, report));
+        self.crashes.push(ShardCrash {
+            shard: i,
+            payload: payload.clone(),
+            restarts: n,
+            penalty,
+        });
+        Err((payload, partial))
+    }
+
+    /// Fault injection: make shard `shard` panic with `msg`. The
+    /// supervisor handles the crash synchronously; by the time this
+    /// returns the replacement shard is serving and the crash record is
+    /// available via [`WorkerPool::take_crashes`].
+    pub(crate) fn inject_panic(&mut self, shard: usize, msg: &str) {
+        self.workers[shard]
+            .ops
+            .send(Op::Panic(msg.to_string()))
+            .expect("worker thread alive");
+        match self.recv_supervised(shard) {
+            Err(_) => {}
+            Ok(_) => unreachable!("panic op always crashes the shard"),
+        }
+    }
+
+    /// Crash records accumulated since the last call.
+    pub(crate) fn take_crashes(&mut self) -> Vec<ShardCrash> {
+        std::mem::take(&mut self.crashes)
+    }
+
+    /// Total shard restarts over the pool's lifetime.
+    pub(crate) fn total_restarts(&self) -> u64 {
+        self.restarts.iter().sum()
     }
 
     pub(crate) fn num_workers(&self) -> usize {
@@ -431,18 +647,39 @@ impl WorkerPool {
         fids: VecDeque<u64>,
     ) {
         self.shard_of.insert(key, shard);
-        match self.workers[shard].call(Op::InstallRing(Box::new(RingEntry { key, rx, tx, fids }))) {
-            Reply::Done => {}
-            _ => unreachable!("install reply"),
+        self.workers[shard]
+            .ops
+            .send(Op::InstallRing(Box::new(RingEntry { key, rx, tx, fids })))
+            .expect("worker thread alive");
+        match self.recv_supervised(shard) {
+            Ok(Reply::Done) | Err(_) => {}
+            Ok(_) => unreachable!("install reply"),
         }
     }
 
     /// Tears down `key`'s rings wherever they live.
     pub(crate) fn close(&mut self, key: RingKey) {
         if let Some(shard) = self.shard_of.remove(&key) {
-            match self.workers[shard].call(Op::CloseRing { key }) {
-                Reply::Done => {}
-                _ => unreachable!("close reply"),
+            self.workers[shard]
+                .ops
+                .send(Op::CloseRing { key })
+                .expect("worker thread alive");
+            match self.recv_supervised(shard) {
+                Ok(Reply::Done) => {}
+                Ok(_) => unreachable!("close reply"),
+                Err(_) => {
+                    // The salvage reinstalled the shard's rings — the one
+                    // being closed included. Re-issue against the
+                    // replacement shard.
+                    self.workers[shard]
+                        .ops
+                        .send(Op::CloseRing { key })
+                        .expect("worker thread alive");
+                    match self.recv_supervised(shard) {
+                        Ok(Reply::Done) => {}
+                        _ => panic!("worker shard {shard} crashed twice during close"),
+                    }
+                }
             }
         }
     }
@@ -458,49 +695,130 @@ impl WorkerPool {
             if jobs.is_empty() {
                 continue;
             }
+            // Keep a copy so a crashed shard's unanswered jobs can be
+            // identified and rerouted (DeliverJob is Copy).
+            let copy = jobs.clone();
             self.workers[i]
                 .ops
                 .send(Op::Deliver(jobs))
                 .expect("worker thread alive");
-            busy.push(i);
+            busy.push((i, copy));
         }
         let mut replies = Vec::new();
-        for i in busy {
-            match self.workers[i].replies.recv().expect("worker thread alive") {
-                Reply::Delivered(mut r) => replies.append(&mut r),
-                _ => unreachable!("deliver reply"),
+        for (i, jobs) in busy {
+            match self.recv_supervised(i) {
+                Ok(Reply::Delivered(mut r)) => replies.append(&mut r),
+                Ok(_) => unreachable!("deliver reply"),
+                Err((_, mut partial)) => {
+                    // Jobs the dead shard never answered come back as
+                    // Crashed; the host reroutes those frames through
+                    // the slow path, so nothing silently disappears.
+                    let answered: HashSet<usize> = partial.iter().map(|r| r.idx).collect();
+                    for j in &jobs {
+                        if !answered.contains(&j.idx) {
+                            partial.push(DeliverReply {
+                                idx: j.idx,
+                                outcome: ShardOutcome::Crashed,
+                            });
+                        }
+                    }
+                    replies.append(&mut partial);
+                }
             }
         }
         replies
     }
 
     pub(crate) fn recv(&mut self, shard: usize, key: RingKey, trace: bool) -> RecvReply {
-        match self.workers[shard].call(Op::Recv { key, trace }) {
-            Reply::Recv(r) => r,
-            _ => unreachable!("recv reply"),
+        self.workers[shard]
+            .ops
+            .send(Op::Recv { key, trace })
+            .expect("worker thread alive");
+        match self.recv_supervised(shard) {
+            Ok(Reply::Recv(r)) => r,
+            Ok(_) => unreachable!("recv reply"),
+            Err(_) => {
+                // Re-issue once against the replacement shard: the rings
+                // (and their contents) survived the crash.
+                self.workers[shard]
+                    .ops
+                    .send(Op::Recv { key, trace })
+                    .expect("worker thread alive");
+                match self.recv_supervised(shard) {
+                    Ok(Reply::Recv(r)) => r,
+                    _ => panic!("worker shard {shard} crashed twice during recv"),
+                }
+            }
         }
     }
 
     pub(crate) fn send(&mut self, shard: usize, key: RingKey, len: usize) -> SendReply {
-        match self.workers[shard].call(Op::Send { key, len }) {
-            Reply::Send(r) => r,
-            _ => unreachable!("send reply"),
+        self.workers[shard]
+            .ops
+            .send(Op::Send { key, len })
+            .expect("worker thread alive");
+        match self.recv_supervised(shard) {
+            Ok(Reply::Send(r)) => r,
+            Ok(_) => unreachable!("send reply"),
+            Err(_) => {
+                self.workers[shard]
+                    .ops
+                    .send(Op::Send { key, len })
+                    .expect("worker thread alive");
+                match self.recv_supervised(shard) {
+                    Ok(Reply::Send(r)) => r,
+                    _ => panic!("worker shard {shard} crashed twice during send"),
+                }
+            }
         }
     }
 
     /// The quiesce barrier: every worker drains its counters, busy time,
-    /// and buffered events. Reports come back in worker (core) order.
+    /// and buffered events. Reports come back in worker (core) order,
+    /// with anything salvaged from crashed shards folded back in so the
+    /// merge is conservation-exact across restarts.
     pub(crate) fn quiesce(&mut self) -> Vec<ShardReport> {
         for w in &self.workers {
             w.ops.send(Op::Quiesce).expect("worker thread alive");
         }
-        self.workers
-            .iter()
-            .map(|w| match w.replies.recv().expect("worker thread alive") {
-                Reply::Quiesce(r) => *r,
-                _ => unreachable!("quiesce reply"),
-            })
-            .collect()
+        let mut reports = Vec::with_capacity(self.workers.len());
+        for i in 0..self.workers.len() {
+            let report = match self.recv_supervised(i) {
+                Ok(Reply::Quiesce(r)) => *r,
+                Ok(_) => unreachable!("quiesce reply"),
+                Err(_) => {
+                    // The shard crashed on the quiesce itself; its
+                    // salvage report was banked. Quiesce the replacement
+                    // (which inherited the rings) for the occupancy.
+                    self.workers[i]
+                        .ops
+                        .send(Op::Quiesce)
+                        .expect("worker thread alive");
+                    match self.recv_supervised(i) {
+                        Ok(Reply::Quiesce(r)) => *r,
+                        _ => panic!("worker shard {i} crashed twice during quiesce"),
+                    }
+                }
+            };
+            reports.push(report);
+        }
+        // Fold in reports salvaged from crashed shards since the last
+        // quiesce: their events predate the live report's, so prepend;
+        // counters and busy time sum. queued_fids needs no folding — the
+        // salvage drained the rings before reporting (so its own count
+        // is zero) and the replacement shard that inherited them reports
+        // the occupancy.
+        for (i, banked) in std::mem::take(&mut self.pending_reports) {
+            let live = &mut reports[i];
+            live.stats.fast_delivered += banked.stats.fast_delivered;
+            live.stats.ring_drops += banked.stats.ring_drops;
+            live.stats.ring_missing += banked.stats.ring_missing;
+            live.busy += banked.busy;
+            let mut events = banked.events;
+            events.append(&mut live.events);
+            live.events = events;
+        }
+        reports
     }
 
     /// Clears trace buffers in every shard (a `start_trace` restart).
@@ -508,10 +826,10 @@ impl WorkerPool {
         for w in &self.workers {
             w.ops.send(Op::ClearTrace).expect("worker thread alive");
         }
-        for w in &self.workers {
-            match w.replies.recv().expect("worker thread alive") {
-                Reply::Done => {}
-                _ => unreachable!("clear-trace reply"),
+        for i in 0..self.workers.len() {
+            match self.recv_supervised(i) {
+                Ok(Reply::Done) | Err(_) => {}
+                Ok(_) => unreachable!("clear-trace reply"),
             }
         }
     }
@@ -522,10 +840,22 @@ impl WorkerPool {
         for w in &self.workers {
             w.ops.send(Op::DrainRings).expect("worker thread alive");
         }
-        for w in &self.workers {
-            match w.replies.recv().expect("worker thread alive") {
-                Reply::Rings(mut r) => entries.append(&mut r),
-                _ => unreachable!("drain reply"),
+        for i in 0..self.workers.len() {
+            match self.recv_supervised(i) {
+                Ok(Reply::Rings(mut r)) => entries.append(&mut r),
+                Ok(_) => unreachable!("drain reply"),
+                Err(_) => {
+                    // Crash mid-drain: the salvage reinstalled the rings
+                    // into the replacement shard — drain that one.
+                    self.workers[i]
+                        .ops
+                        .send(Op::DrainRings)
+                        .expect("worker thread alive");
+                    match self.recv_supervised(i) {
+                        Ok(Reply::Rings(mut r)) => entries.append(&mut r),
+                        _ => panic!("worker shard {i} crashed twice during drain"),
+                    }
+                }
             }
         }
         self.shard_of.clear();

@@ -124,6 +124,7 @@ pub struct NetStack {
     next_tx_id: u64,
     rx_packets: u64,
     tx_packets: u64,
+    rx_degraded: u64,
     tel: Telemetry,
 }
 
@@ -146,6 +147,7 @@ impl NetStack {
             next_tx_id: 0,
             rx_packets: 0,
             tx_packets: 0,
+            rx_degraded: 0,
             tel: Telemetry::new(),
         }
     }
@@ -449,6 +451,20 @@ impl NetStack {
         (self.rx_packets, self.tx_packets)
     }
 
+    /// Records that a frame reached this stack because the host demoted
+    /// its flow under overload (graceful degradation), not because it
+    /// was slow-path traffic to begin with. Called by the host right
+    /// after handing the frame to [`NetStack::rx_with_meta`].
+    pub fn note_degraded_rx(&mut self) {
+        self.rx_degraded += 1;
+    }
+
+    /// Frames received via overload demotion (see
+    /// [`NetStack::note_degraded_rx`]).
+    pub fn rx_degraded(&self) -> u64 {
+        self.rx_degraded
+    }
+
     /// Returns the egress qdisc's accumulated counters.
     pub fn egress_stats(&self) -> QdiscStats {
         self.egress.stats()
@@ -458,6 +474,7 @@ impl NetStack {
     /// `netstack.*` keys.
     pub fn fill_registry(&self, reg: &mut telemetry::Registry) {
         reg.set_counter("netstack.rx.packets", self.rx_packets);
+        reg.set_counter("netstack.rx.degraded", self.rx_degraded);
         reg.set_counter("netstack.tx.packets", self.tx_packets);
         reg.set_counter("netstack.sockets", self.sockets.len() as u64);
         reg.set_counter("netstack.input.rules", self.input.len() as u64);

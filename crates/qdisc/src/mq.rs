@@ -112,6 +112,17 @@ impl MultiQueue {
     pub fn queue_len(&self, queue: usize) -> usize {
         self.queues[queue].len()
     }
+
+    /// Drains every queued packet across all queues without serving them
+    /// (see [`Wfq::purge`]): queue order, then class order, then FIFO —
+    /// deterministic, so a crash loses the same frames on every replay.
+    pub fn purge(&mut self) -> Vec<QPkt> {
+        let mut purged = Vec::new();
+        for q in self.queues.iter_mut() {
+            purged.extend(q.purge());
+        }
+        purged
+    }
 }
 
 impl Qdisc for MultiQueue {

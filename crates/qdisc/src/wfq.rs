@@ -65,6 +65,24 @@ impl Wfq {
     pub fn class_bytes_sent(&self) -> Vec<u64> {
         self.classes.iter().map(|c| c.sent).collect()
     }
+
+    /// Drains every queued packet without serving it — the device-crash
+    /// path, where queued frames are lost, not transmitted. Packets come
+    /// back in class order (FIFO within each class) so the caller can
+    /// account each loss deterministically; they are counted as drops,
+    /// not dequeues, and virtual-time state is left untouched (the whole
+    /// scheduler is normally rebuilt right after).
+    pub fn purge(&mut self) -> Vec<QPkt> {
+        let mut purged = Vec::new();
+        for class in self.classes.iter_mut() {
+            while let Some((pkt, _)) = class.queue.pop_front() {
+                class.backlog -= u64::from(pkt.len);
+                self.stats.dropped += 1;
+                purged.push(pkt);
+            }
+        }
+        purged
+    }
 }
 
 impl Qdisc for Wfq {
@@ -250,5 +268,22 @@ mod tests {
     #[should_panic(expected = "weights must be positive")]
     fn zero_weight_rejected() {
         let _ = Wfq::new(&[1.0, 0.0], 8);
+    }
+
+    #[test]
+    fn purge_drains_everything_as_drops() {
+        let mut q = Wfq::new(&[1.0, 1.0], 64);
+        q.enqueue(pkt(1, 100, 0), Time::ZERO).unwrap();
+        q.enqueue(pkt(2, 200, 1), Time::ZERO).unwrap();
+        q.enqueue(pkt(3, 300, 0), Time::ZERO).unwrap();
+        let purged = q.purge();
+        // Class order, FIFO within class.
+        assert_eq!(purged.iter().map(|p| p.id).collect::<Vec<_>>(), [1, 3, 2]);
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.backlog_bytes(), 0);
+        let s = q.stats();
+        assert_eq!(s.dropped, 3);
+        assert_eq!(s.dequeued, 0);
+        assert!(q.dequeue(Time::ZERO).is_none());
     }
 }

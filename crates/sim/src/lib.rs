@@ -32,8 +32,8 @@ pub mod trace;
 
 pub use engine::{EventQueue, ScheduledId};
 pub use fault::{
-    FaultInjector, FaultSchedule, FaultStats, FaultyLink, LossModel, OpFaultInjector, Verdict,
-    WireDelivery,
+    CrashInjector, FaultInjector, FaultSchedule, FaultStats, FaultyLink, LossModel,
+    OpFaultInjector, Verdict, WireDelivery,
 };
 pub use link::Link;
 pub use rng::DetRng;

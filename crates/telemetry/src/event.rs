@@ -160,11 +160,14 @@ pub enum DropCause {
     StaleConn,
     /// The TX retry buffer overflowed during an outage.
     RetryOverflow,
+    /// The device crashed: the frame hit (or was queued on) a dead NIC
+    /// whose volatile state is gone until a kernel-driven reset.
+    DeviceDead,
 }
 
 impl DropCause {
     /// Number of drop causes (ledger array size).
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 12;
 
     /// All causes (ledger iteration order).
     pub const ALL: [DropCause; DropCause::COUNT] = [
@@ -179,6 +182,7 @@ impl DropCause {
         DropCause::NatMiss,
         DropCause::StaleConn,
         DropCause::RetryOverflow,
+        DropCause::DeviceDead,
     ];
 
     /// Dense ledger index of this cause.
@@ -200,6 +204,7 @@ impl DropCause {
             DropCause::NatMiss => "nat_miss",
             DropCause::StaleConn => "stale_conn",
             DropCause::RetryOverflow => "retry_overflow",
+            DropCause::DeviceDead => "device_dead",
         }
     }
 }
@@ -207,6 +212,96 @@ impl DropCause {
 impl fmt::Display for DropCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// A failure-domain transition: the moments a crash, restart, or
+/// degradation decision happened. Unlike per-frame [`TraceEvent`]s these
+/// are control-plane-scale (rare) and are recorded unconditionally, so a
+/// chaos run is self-describing even with frame tracing off.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecoveryKind {
+    /// The NIC crashed, wiping its volatile state.
+    NicCrash,
+    /// The kernel reset the NIC (dataplane frozen for the reset window).
+    NicReset,
+    /// The control plane reinstalled the committed bundle after a wipe.
+    ReconcileDone,
+    /// A worker shard panicked; its state was salvaged.
+    ShardPanic,
+    /// A panicked shard was restarted (with bounded backoff).
+    ShardRestart,
+    /// The overload detector engaged degraded mode (low-priority flows
+    /// demoted to the software slow path).
+    DegradeEngaged,
+    /// The overload detector promoted demoted flows back to the fast path.
+    DegradePromoted,
+    /// A commit transaction aborted (watchdog deadline or device lost).
+    CommitAborted,
+}
+
+impl RecoveryKind {
+    /// Number of recovery kinds (ledger array size).
+    pub const COUNT: usize = 8;
+
+    /// All kinds (ledger iteration order).
+    pub const ALL: [RecoveryKind; RecoveryKind::COUNT] = [
+        RecoveryKind::NicCrash,
+        RecoveryKind::NicReset,
+        RecoveryKind::ReconcileDone,
+        RecoveryKind::ShardPanic,
+        RecoveryKind::ShardRestart,
+        RecoveryKind::DegradeEngaged,
+        RecoveryKind::DegradePromoted,
+        RecoveryKind::CommitAborted,
+    ];
+
+    /// Dense ledger index of this kind.
+    pub fn index(self) -> usize {
+        RecoveryKind::ALL.iter().position(|k| *k == self).unwrap()
+    }
+
+    /// Stable lower-snake name (metric keys, JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryKind::NicCrash => "nic_crash",
+            RecoveryKind::NicReset => "nic_reset",
+            RecoveryKind::ReconcileDone => "reconcile_done",
+            RecoveryKind::ShardPanic => "shard_panic",
+            RecoveryKind::ShardRestart => "shard_restart",
+            RecoveryKind::DegradeEngaged => "degrade_engaged",
+            RecoveryKind::DegradePromoted => "degrade_promoted",
+            RecoveryKind::CommitAborted => "commit_aborted",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One recorded failure/recovery transition at virtual time `at`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoveryEvent {
+    /// When the transition happened.
+    pub at: Time,
+    /// What happened.
+    pub kind: RecoveryKind,
+    /// Free-form context (shard index, abort step, watermark fraction).
+    pub detail: String,
+}
+
+impl fmt::Display for RecoveryEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{:>12}] {:<16} {}",
+            self.at.to_string(),
+            self.kind.name(),
+            self.detail
+        )
     }
 }
 
@@ -498,6 +593,9 @@ mod tests {
         }
         for (i, c) in DropCause::ALL.iter().enumerate() {
             assert_eq!(c.index(), i);
+        }
+        for (i, k) in RecoveryKind::ALL.iter().enumerate() {
+            assert_eq!(k.index(), i);
         }
     }
 

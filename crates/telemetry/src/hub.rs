@@ -32,7 +32,7 @@ use std::rc::Rc;
 use sim::stats::Histogram;
 use sim::Dur;
 
-use crate::event::{DropCause, Stage, TraceEvent, TraceFilter};
+use crate::event::{DropCause, RecoveryEvent, RecoveryKind, Stage, TraceEvent, TraceFilter};
 use crate::metrics::Registry;
 
 /// Default event-buffer capacity (events, not bytes).
@@ -50,6 +50,13 @@ struct Hub {
     stage_counts: [u64; Stage::COUNT],
     drop_counts: [u64; DropCause::COUNT],
     hists: Vec<(String, Histogram)>,
+    /// Failure-domain transitions (crash, reset, restart, degrade).
+    /// Control-plane-scale and rare, so unbounded and — unlike frame
+    /// events — recorded even when tracing is disabled: a chaos run's
+    /// recovery story must be observable without paying for per-frame
+    /// tracing.
+    recovery: Vec<RecoveryEvent>,
+    recovery_counts: [u64; RecoveryKind::COUNT],
 }
 
 impl Hub {
@@ -100,6 +107,8 @@ impl Telemetry {
                 stage_counts: [0; Stage::COUNT],
                 drop_counts: [0; DropCause::COUNT],
                 hists: Vec::new(),
+                recovery: Vec::new(),
+                recovery_counts: [0; RecoveryKind::COUNT],
             })),
         }
     }
@@ -201,6 +210,31 @@ impl Telemetry {
         }
     }
 
+    /// Records a failure-domain transition (crash, reset, shard restart,
+    /// degradation flip). Unlike [`Telemetry::emit`] this is *not* gated
+    /// on the enabled flag: recovery events are rare, control-plane-scale
+    /// facts and a chaos run must be self-describing even with per-frame
+    /// tracing off.
+    pub fn record_recovery(&self, at: sim::Time, kind: RecoveryKind, detail: impl Into<String>) {
+        let mut hub = self.hub.borrow_mut();
+        hub.recovery_counts[kind.index()] += 1;
+        hub.recovery.push(RecoveryEvent {
+            at,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// Total recovery events recorded with `kind`.
+    pub fn recovery_count(&self, kind: RecoveryKind) -> u64 {
+        self.hub.borrow().recovery_counts[kind.index()]
+    }
+
+    /// Snapshot of all recorded recovery events, oldest first.
+    pub fn recovery_events(&self) -> Vec<RecoveryEvent> {
+        self.hub.borrow().recovery.clone()
+    }
+
     /// Total events recorded at `stage` (ledger; survives buffer wrap).
     pub fn stage_count(&self, stage: Stage) -> u64 {
         self.hub.borrow().stage_counts[stage.index()]
@@ -264,6 +298,8 @@ impl Telemetry {
         for (_, h) in hub.hists.iter_mut() {
             *h = Histogram::new();
         }
+        hub.recovery.clear();
+        hub.recovery_counts = [0; RecoveryKind::COUNT];
     }
 
     /// Dumps the ledger and histograms into `reg` under `trace.*` /
@@ -280,6 +316,12 @@ impl Telemetry {
             let n = hub.drop_counts[cause.index()];
             if n != 0 {
                 reg.set_counter(&format!("trace.drop.{}", cause.name()), n);
+            }
+        }
+        for kind in RecoveryKind::ALL {
+            let n = hub.recovery_counts[kind.index()];
+            if n != 0 {
+                reg.set_counter(&format!("recovery.{}", kind.name()), n);
             }
         }
         reg.set_counter("trace.buffer.evicted", hub.evicted);
@@ -434,6 +476,30 @@ mod tests {
         tel.absorb(vec![ev(1, Stage::RxIngress, TraceVerdict::Pass)]);
         assert!(tel.is_empty());
         assert_eq!(tel.stage_count(Stage::RxIngress), 0);
+    }
+
+    #[test]
+    fn recovery_events_recorded_even_when_disabled() {
+        let tel = Telemetry::new();
+        assert!(!tel.is_enabled());
+        tel.record_recovery(Time::from_ns(5), RecoveryKind::NicCrash, "rx op 7");
+        tel.record_recovery(Time::from_ns(9), RecoveryKind::NicReset, "kernel reset");
+        assert_eq!(tel.recovery_count(RecoveryKind::NicCrash), 1);
+        assert_eq!(tel.recovery_count(RecoveryKind::NicReset), 1);
+        assert_eq!(tel.recovery_count(RecoveryKind::ShardPanic), 0);
+        let events = tel.recovery_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, RecoveryKind::NicCrash);
+        assert_eq!(events[0].detail, "rx op 7");
+        let mut reg = Registry::new();
+        tel.fill_registry(&mut reg);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("recovery.nic_crash"), Some(1));
+        assert_eq!(snap.counter("recovery.nic_reset"), Some(1));
+        assert_eq!(snap.counter("recovery.shard_panic"), None);
+        tel.clear();
+        assert_eq!(tel.recovery_count(RecoveryKind::NicCrash), 0);
+        assert!(tel.recovery_events().is_empty());
     }
 
     #[test]

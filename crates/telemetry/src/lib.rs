@@ -36,6 +36,8 @@ pub mod event;
 pub mod hub;
 pub mod metrics;
 
-pub use event::{DropCause, Owner, Stage, TraceEvent, TraceFilter, TraceVerdict};
+pub use event::{
+    DropCause, Owner, RecoveryEvent, RecoveryKind, Stage, TraceEvent, TraceFilter, TraceVerdict,
+};
 pub use hub::{HistId, Telemetry};
 pub use metrics::{HistRow, Registry, Snapshot};

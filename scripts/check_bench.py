@@ -13,6 +13,15 @@ baselines in scripts/bench_baselines/ and fails on regression:
   mismatch is reported and skipped rather than failed, so a local full
   run does not trip over the smoke baseline CI uses.
 
+* BENCH_PR6.json (fail-operational recovery, virtual-time —
+  deterministic): worst-case NIC crash-to-traffic recovery must not
+  regress by more than --tolerance vs baseline, high-priority goodput
+  retained under degradation must stay over the 70% acceptance bar,
+  shard-panic frame conservation must hold, and the seeded crash storm
+  must replay byte-identically with zero audit violations. Comparison
+  requires the same run mode (smoke); a mismatch is reported and the
+  numeric comparison skipped, like the PR5 length check.
+
 * results/substrates.json (microbench sweep): the benchmark *coverage*
   must include everything in the baseline — a bench that silently
   disappears fails the gate. Wall-clock ns/iter is compared only when
@@ -85,6 +94,60 @@ def check_pr5(fresh, base, tol, failures):
         failures.append("pr5 parity: single-queue worker mode diverged from pump")
 
 
+def check_pr6(fresh, base, tol, failures):
+    if fresh is None:
+        failures.append("BENCH_PR6.json missing — run exp_pr6_recovery first")
+        return
+    if base is None:
+        failures.append("baseline BENCH_PR6.json missing")
+        return
+    # Acceptance bars hold regardless of baseline or run mode.
+    retained = fresh.get("degraded", {}).get("hi_goodput_retained", 0.0)
+    if retained < 0.70:
+        failures.append(
+            f"pr6 degraded: high-prio goodput retained {retained:.0%} "
+            "below the 70% acceptance bar"
+        )
+    if not fresh.get("shard_panics", {}).get("conserved", False):
+        failures.append("pr6 shard panics: frame conservation violated")
+    storm = fresh.get("storm", {})
+    if not storm.get("replay_identical", False):
+        failures.append("pr6 storm: crash storm did not replay byte-identically")
+    if storm.get("audit_violations", 1) != 0:
+        failures.append(
+            f"pr6 storm: {storm.get('audit_violations')} audit violations"
+        )
+    total_recovery_violations = sum(
+        p.get("audit_violations", 0) for p in fresh.get("recovery", [])
+    )
+    if total_recovery_violations != 0:
+        failures.append(
+            f"pr6 recovery: {total_recovery_violations} audit violations across crash sweep"
+        )
+    if fresh.get("smoke") != base.get("smoke"):
+        print(
+            f"  pr6: run mode differs (fresh smoke={fresh.get('smoke')}, "
+            f"baseline smoke={base.get('smoke')}) — skipping numeric comparison"
+        )
+        return
+    got, want = fresh.get("max_recovery_ms"), base.get("max_recovery_ms")
+    if got is None or want is None:
+        failures.append("pr6 recovery: max_recovery_ms missing")
+        return
+    ceiling = want * (1.0 + tol)
+    status = "ok" if got <= ceiling else "REGRESSION"
+    print(
+        f"  pr6: worst-case crash recovery {got:.1f} ms "
+        f"(baseline {want:.1f}, ceiling {ceiling:.1f}) {status}; "
+        f"degraded goodput retained {retained:.0%} (bar 70%)"
+    )
+    if got > ceiling:
+        failures.append(
+            f"pr6 recovery: worst-case recovery {got:.1f} ms regressed "
+            f">{tol:.0%} vs baseline {want:.1f} ms"
+        )
+
+
 def check_substrates(fresh, base, wall_tol, failures):
     if fresh is None:
         failures.append("results/substrates.json missing — run the substrates bench first")
@@ -127,6 +190,9 @@ def main():
     failures = []
     print("check_bench: BENCH_PR5.json vs baseline")
     check_pr5(load(REPO / "BENCH_PR5.json"), load(baselines / "BENCH_PR5.json"),
+              args.tolerance, failures)
+    print("check_bench: BENCH_PR6.json vs baseline")
+    check_pr6(load(REPO / "BENCH_PR6.json"), load(baselines / "BENCH_PR6.json"),
               args.tolerance, failures)
     print("check_bench: results/substrates.json vs baseline")
     check_substrates(load(REPO / "results" / "substrates.json"),

@@ -4,15 +4,16 @@
 #
 #   scripts/ci.sh                 # every job, sequentially
 #   scripts/ci.sh --job lint      # one job: lint | build-test |
-#                                 #   telemetry-test | bench-smoke | all
+#                                 #   telemetry-test | recovery-test |
+#                                 #   bench-smoke | all
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 job="all"
 if [[ "${1:-}" == "--job" ]]; then
-  job="${2:?usage: ci.sh [--job lint|build-test|telemetry-test|bench-smoke|all]}"
+  job="${2:?usage: ci.sh [--job lint|build-test|telemetry-test|recovery-test|bench-smoke|all]}"
 elif [[ -n "${1:-}" ]]; then
-  echo "usage: ci.sh [--job lint|build-test|telemetry-test|bench-smoke|all]" >&2
+  echo "usage: ci.sh [--job lint|build-test|telemetry-test|recovery-test|bench-smoke|all]" >&2
   exit 2
 fi
 
@@ -49,12 +50,26 @@ run_telemetry_test() {
   NORMAN_TELEMETRY=1 cargo test -q
 }
 
+run_recovery_test() {
+  echo "==> recovery suite (NIC crash, shard panic, degradation, watchdog)"
+  cargo test -q --test recovery
+
+  echo "==> recovery suite again with lifecycle tracing enabled"
+  NORMAN_TELEMETRY=1 cargo test -q --test recovery
+
+  echo "==> chaos sweep incl. crash storm + shard panics (full, deterministic)"
+  cargo run --release -p bench --bin exp_e9_chaos
+}
+
 run_bench_smoke() {
   echo "==> bench smoke (1 iteration per bench)"
   BENCH_SMOKE=1 cargo bench --bench substrates
 
   echo "==> multi-queue scaling bench (smoke)"
   BENCH_SMOKE=1 cargo run --release -p bench --bin exp_pr5_bench
+
+  echo "==> fail-operational recovery bench (smoke)"
+  BENCH_SMOKE=1 cargo run --release -p bench --bin exp_pr6_recovery
 
   echo "==> bench regression guard"
   python3 scripts/check_bench.py
@@ -64,15 +79,17 @@ case "$job" in
   lint) run_lint ;;
   build-test) run_build_test ;;
   telemetry-test) run_telemetry_test ;;
+  recovery-test) run_recovery_test ;;
   bench-smoke) run_bench_smoke ;;
   all)
     run_lint
     run_build_test
     run_telemetry_test
+    run_recovery_test
     run_bench_smoke
     ;;
   *)
-    echo "unknown job: $job (want lint, build-test, telemetry-test, bench-smoke, or all)" >&2
+    echo "unknown job: $job (want lint, build-test, telemetry-test, recovery-test, bench-smoke, or all)" >&2
     exit 2
     ;;
 esac
