@@ -163,13 +163,13 @@ fn bench_flowtable() {
             "10.0.0.1".parse().unwrap(),
             (i % 60_000) as u16,
         );
-        ft.insert(t, 0, 1, "app", false, &mut sram).unwrap();
+        ft.insert(t, 0, 1, "app", false, 0, &mut sram).unwrap();
         tuples.push(t);
     }
     let mut i = 0;
     bench("flowtable", "lookup_10k_entries", || {
         i = (i + 1) % tuples.len();
-        black_box(ft.lookup(black_box(&tuples[i])).unwrap());
+        black_box(ft.lookup(black_box(&tuples[i]), &mut sram).unwrap());
     });
 }
 

@@ -18,6 +18,12 @@ pub enum AccessKind {
     CpuWrite,
     /// Device DMA write (DDIO-constrained allocation).
     DmaWrite,
+    /// Device DMA write that deliberately bypasses DDIO allocation: it
+    /// updates a line already resident (hit) but never allocates on a
+    /// miss, going straight to DRAM. The kernel uses this for demoted
+    /// (cold-tier) flows so their rings cannot thrash the DDIO ways that
+    /// hot traffic depends on.
+    DmaWriteBypass,
     /// Device DMA read.
     DmaRead,
 }
@@ -103,6 +109,9 @@ pub struct LlcStats {
     pub dma_hits: u64,
     /// DMA-write DRAM fallbacks.
     pub dma_misses: u64,
+    /// Valid lines evicted by DMA-write allocations — the direct measure
+    /// of DDIO thrash (§5's cliff mechanism).
+    pub ddio_evictions: u64,
 }
 
 impl LlcStats {
@@ -114,6 +123,149 @@ impl LlcStats {
         } else {
             self.cpu_hits as f64 / total as f64
         }
+    }
+
+    /// Accumulates another stats block (merging per-shard partitions).
+    pub fn absorb(&mut self, other: &LlcStats) {
+        self.cpu_hits += other.cpu_hits;
+        self.cpu_misses += other.cpu_misses;
+        self.dma_hits += other.dma_hits;
+        self.dma_misses += other.dma_misses;
+        self.ddio_evictions += other.ddio_evictions;
+    }
+}
+
+/// A way-partitioned split of one physical LLC across worker shards: each
+/// shard receives a private slice of the associativity (and of the DDIO
+/// way budget), so one shard's ring working set cannot evict another's —
+/// the kernel arbitrating cache ways exactly as it arbitrates SRAM. The
+/// plan is the audited source of truth: shard geometries must sum back to
+/// the donor cache.
+#[derive(Clone, Debug)]
+pub struct LlcPartitionPlan {
+    total: LlcConfig,
+    shards: Vec<LlcConfig>,
+}
+
+impl LlcPartitionPlan {
+    /// Carves `total` into `n` way-disjoint partitions. Ways divide
+    /// evenly with the remainder going to the low-index shards; every
+    /// shard keeps the donor's set count and line size, so a 1-way split
+    /// is the donor geometry unchanged.
+    ///
+    /// DDIO ways divide the same way but are floored at one per shard
+    /// (when the donor has any): the kernel reprograms the IIO way mask
+    /// per partition, so every shard dedicates at least one of *its own*
+    /// ways to inbound DMA. Without the floor, carving 2 DDIO ways into
+    /// 4 shards would leave half the shards with no DMA-allocatable ways
+    /// at all, sending their ring traffic straight to DRAM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds the donor's associativity.
+    pub fn split(total: LlcConfig, n: usize) -> LlcPartitionPlan {
+        assert!(n > 0, "need at least one shard");
+        assert!(
+            n as u32 <= total.ways,
+            "cannot give {n} shards way-disjoint slices of {} ways",
+            total.ways
+        );
+        let sets = total.sets();
+        let n32 = n as u32;
+        let shards = (0..n32)
+            .map(|i| {
+                let ways = total.ways / n32 + u32::from(i < total.ways % n32);
+                let ddio_ways = (total.ddio_ways / n32 + u32::from(i < total.ddio_ways % n32))
+                    .max(u32::from(total.ddio_ways > 0));
+                LlcConfig {
+                    size_bytes: sets * total.line_bytes * u64::from(ways),
+                    ways,
+                    ddio_ways,
+                    line_bytes: total.line_bytes,
+                    hash_sets: total.hash_sets,
+                }
+            })
+            .collect();
+        LlcPartitionPlan { total, shards }
+    }
+
+    /// The donor cache geometry.
+    pub fn total(&self) -> &LlcConfig {
+        &self.total
+    }
+
+    /// The per-shard partitions, in shard order.
+    pub fn shards(&self) -> &[LlcConfig] {
+        &self.shards
+    }
+
+    /// The partition of shard `i`.
+    pub fn shard(&self, i: usize) -> &LlcConfig {
+        &self.shards[i]
+    }
+
+    /// Number of shards.
+    pub fn len(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Whether the plan is empty (it never is; kept for clippy symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.shards.is_empty()
+    }
+
+    /// Conservation audit: the shard slices must exactly repartition the
+    /// donor's ways and (set-aligned) capacity, and the per-shard DDIO
+    /// masks must sum to the donor's budget floored at one way per shard
+    /// (see [`LlcPartitionPlan::split`]).
+    pub fn audit(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let ways: u32 = self.shards.iter().map(|s| s.ways).sum();
+        if ways != self.total.ways {
+            violations.push(format!(
+                "llc plan: shard ways sum {ways} != donor {}",
+                self.total.ways
+            ));
+        }
+        let ddio: u32 = self.shards.iter().map(|s| s.ddio_ways).sum();
+        let want_ddio = if self.total.ddio_ways == 0 {
+            0
+        } else {
+            self.total.ddio_ways.max(self.shards.len() as u32)
+        };
+        if ddio != want_ddio {
+            violations.push(format!(
+                "llc plan: shard DDIO ways sum {ddio} != floored donor budget {want_ddio}"
+            ));
+        }
+        for (i, s) in self.shards.iter().enumerate() {
+            if self.total.ddio_ways > 0 && s.ddio_ways == 0 {
+                violations.push(format!("llc plan: shard {i} lost its DDIO way"));
+            }
+            if s.ddio_ways > s.ways {
+                violations.push(format!(
+                    "llc plan: shard {i} DDIO mask {} exceeds its {} ways",
+                    s.ddio_ways, s.ways
+                ));
+            }
+        }
+        let bytes: u64 = self.shards.iter().map(|s| s.size_bytes).sum();
+        let donor = self.total.sets() * self.total.line_bytes * u64::from(self.total.ways);
+        if bytes != donor {
+            violations.push(format!(
+                "llc plan: shard capacity sum {bytes} != donor {donor}"
+            ));
+        }
+        for (i, s) in self.shards.iter().enumerate() {
+            if s.sets() != self.total.sets() {
+                violations.push(format!(
+                    "llc plan: shard {i} has {} sets, donor {}",
+                    s.sets(),
+                    self.total.sets()
+                ));
+            }
+        }
+        violations
     }
 }
 
@@ -199,7 +351,7 @@ impl Llc {
                 AccessKind::CpuRead | AccessKind::CpuWrite | AccessKind::DmaRead => {
                     self.stats.cpu_hits += 1
                 }
-                AccessKind::DmaWrite => self.stats.dma_hits += 1,
+                AccessKind::DmaWrite | AccessKind::DmaWriteBypass => self.stats.dma_hits += 1,
             }
             return AccessOutcome::Hit;
         }
@@ -207,23 +359,28 @@ impl Llc {
         // Miss: allocate within the ways this access class may use.
         let alloc_ways = match kind {
             AccessKind::DmaWrite => self.cfg.ddio_ways as usize,
+            // A bypassing DMA write never allocates: straight to DRAM.
+            AccessKind::DmaWriteBypass => 0,
             _ => ways,
         };
         match kind {
             AccessKind::CpuRead | AccessKind::CpuWrite | AccessKind::DmaRead => {
                 self.stats.cpu_misses += 1
             }
-            AccessKind::DmaWrite => self.stats.dma_misses += 1,
+            AccessKind::DmaWrite | AccessKind::DmaWriteBypass => self.stats.dma_misses += 1,
         }
         if alloc_ways == 0 {
-            // DDIO disabled: the write goes straight to DRAM, nothing
-            // cached.
+            // DDIO disabled (or deliberately bypassed): the write goes
+            // straight to DRAM, nothing cached.
             return AccessOutcome::Miss;
         }
         let victim = set_lines[..alloc_ways]
             .iter_mut()
             .min_by_key(|l| if l.valid { l.last_use } else { 0 })
             .expect("alloc_ways > 0");
+        if victim.valid {
+            self.stats.ddio_evictions += u64::from(kind == AccessKind::DmaWrite);
+        }
         victim.tag = tag;
         victim.valid = true;
         victim.last_use = self.clock;
@@ -242,7 +399,9 @@ impl Llc {
         for line in first..=last {
             let outcome = self.access(line * self.cfg.line_bytes, kind);
             total += match (kind, outcome) {
-                (AccessKind::DmaWrite, AccessOutcome::Hit) => costs.ddio_hit,
+                (AccessKind::DmaWrite | AccessKind::DmaWriteBypass, AccessOutcome::Hit) => {
+                    costs.ddio_hit
+                }
                 (AccessKind::DmaWrite, AccessOutcome::Miss) => {
                     if self.cfg.ddio_ways == 0 {
                         // No DDIO: the write goes to DRAM.
@@ -252,6 +411,8 @@ impl Llc {
                         costs.ddio_alloc
                     }
                 }
+                // Bypassing writes always pay the DRAM path on a miss.
+                (AccessKind::DmaWriteBypass, AccessOutcome::Miss) => costs.dma_dram,
                 (_, AccessOutcome::Hit) => costs.llc_hit,
                 (_, AccessOutcome::Miss) => costs.dram,
             };
@@ -437,6 +598,85 @@ mod tests {
             line_bytes: 64,
             hash_sets: true,
         });
+    }
+
+    #[test]
+    fn bypass_write_never_allocates_but_updates_residents() {
+        let mut c = small_cache(4, 2);
+        // Cold bypass write: DRAM, nothing cached.
+        assert_eq!(c.access(0, AccessKind::DmaWriteBypass), AccessOutcome::Miss);
+        assert_eq!(c.access(0, AccessKind::CpuRead), AccessOutcome::Miss);
+        // A resident line is updated in place (hit), like real in-cache
+        // DMA updates.
+        assert_eq!(c.access(0, AccessKind::DmaWriteBypass), AccessOutcome::Hit);
+        let s = c.stats();
+        assert_eq!((s.dma_hits, s.dma_misses), (1, 1));
+        // And it never evicts anything.
+        assert_eq!(s.ddio_evictions, 0);
+    }
+
+    #[test]
+    fn ddio_evictions_counted_per_displaced_line() {
+        // One DDIO way: every allocating DMA write past the first evicts
+        // the previous occupant of way 0 in that set.
+        let mut c = small_cache(4, 1);
+        let stride = 4 * 64;
+        c.access(0, AccessKind::DmaWrite);
+        assert_eq!(c.stats().ddio_evictions, 0);
+        c.access(stride, AccessKind::DmaWrite);
+        c.access(2 * stride, AccessKind::DmaWrite);
+        assert_eq!(c.stats().ddio_evictions, 2);
+        // CPU evictions are not DDIO evictions.
+        let mut c = small_cache(1, 0);
+        let stride = 4 * 64;
+        c.access(0, AccessKind::CpuRead);
+        c.access(stride, AccessKind::CpuRead);
+        assert_eq!(c.stats().ddio_evictions, 0);
+    }
+
+    #[test]
+    fn partition_plan_conserves_donor_geometry() {
+        let plan = LlcPartitionPlan::split(LlcConfig::xeon_default(), 4);
+        assert_eq!(plan.len(), 4);
+        assert!(plan.audit().is_empty(), "{:?}", plan.audit());
+        // 16 ways / 4 = 4 each; the 2-way DDIO budget is floored at one
+        // way per shard so no shard's DMA is forced to DRAM.
+        for s in plan.shards() {
+            assert_eq!(s.ways, 4);
+            assert_eq!(s.ddio_ways, 1);
+            assert_eq!(s.sets(), LlcConfig::xeon_default().sets());
+        }
+        // Uneven split: remainder ways go to the low shards.
+        let plan = LlcPartitionPlan::split(LlcConfig::xeon_default(), 3);
+        let ways: Vec<u32> = plan.shards().iter().map(|s| s.ways).collect();
+        assert_eq!(ways, vec![6, 5, 5]);
+        assert!(plan.audit().is_empty(), "{:?}", plan.audit());
+    }
+
+    #[test]
+    fn single_shard_plan_is_the_donor() {
+        let donor = LlcConfig::xeon_default();
+        let plan = LlcPartitionPlan::split(donor.clone(), 1);
+        let s = plan.shard(0);
+        assert_eq!(s.size_bytes, donor.size_bytes);
+        assert_eq!(s.ways, donor.ways);
+        assert_eq!(s.ddio_ways, donor.ddio_ways);
+        assert!(plan.audit().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "way-disjoint")]
+    fn oversubscribed_plan_rejected() {
+        let _ = LlcPartitionPlan::split(
+            LlcConfig {
+                size_bytes: 1 << 20,
+                ways: 4,
+                ddio_ways: 2,
+                line_bytes: 64,
+                hash_sets: true,
+            },
+            5,
+        );
     }
 
     #[test]

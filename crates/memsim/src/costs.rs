@@ -32,6 +32,10 @@ pub struct MemCosts {
     /// Software copy cost per byte (~20 GB/s effective single-core
     /// memcpy including both cache reads and writes).
     pub copy_per_byte: Dur,
+    /// Walking the host-memory flow table for a cold-tier connection:
+    /// several dependent DRAM reads (hash bucket, entry, ring context)
+    /// the NIC issues over PCIe when the on-SRAM hot tier misses.
+    pub host_flow_walk: Dur,
 }
 
 impl Default for MemCosts {
@@ -46,6 +50,7 @@ impl Default for MemCosts {
             mmio_write: Dur::from_ns(100),
             mmio_read: Dur::from_ns(350),
             copy_per_byte: Dur::from_ps(50),
+            host_flow_walk: Dur::from_ns(600),
         }
     }
 }
@@ -69,6 +74,11 @@ mod tests {
         assert!(c.ddio_alloc < c.dma_dram);
         assert!(c.mmio_write < c.mmio_read);
         assert!(c.llc_hit < c.cross_core);
+        // A cold-flow host walk is several dependent DRAM round trips over
+        // PCIe: dearer than any single access, cheaper than an MMIO read
+        // pair.
+        assert!(c.host_flow_walk > c.dram * 3);
+        assert!(c.host_flow_walk < c.mmio_read * 2);
     }
 
     #[test]

@@ -132,6 +132,20 @@ impl HostRing {
         self.produce(len, llc, costs, AccessKind::DmaWrite)
     }
 
+    /// Produces a payload via DMA that bypasses DDIO allocation — the
+    /// kernel-directed placement for demoted (cold-tier) flows, whose
+    /// rings must not consume the LLC ways hot traffic depends on. The
+    /// producer pays DRAM latency on cold lines; in exchange the hot
+    /// rings' residency is untouched.
+    pub fn produce_dma_bypass(
+        &mut self,
+        len: usize,
+        llc: &mut Llc,
+        costs: &MemCosts,
+    ) -> Result<Dur, RingError> {
+        self.produce(len, llc, costs, AccessKind::DmaWriteBypass)
+    }
+
     /// Produces a payload via CPU stores (the application TX side).
     pub fn produce_cpu(
         &mut self,
@@ -320,6 +334,57 @@ mod tests {
         // indexing the miss rate is substantial but not total.
         assert!(many < 0.75, "many rings hit rate {many}");
         assert!(few - many > 0.2, "thrash gap: few {few}, many {many}");
+    }
+
+    #[test]
+    fn bypass_produce_spares_hot_rings() {
+        let costs = MemCosts::default();
+        // Tiny LLC so residency is easy to reason about: bypass traffic
+        // over a huge address range must not degrade a hot ring's hits.
+        let mut c = Llc::new(LlcConfig {
+            size_bytes: 64 * 16 * 64,
+            ways: 16,
+            ddio_ways: 2,
+            line_bytes: 64,
+            hash_sets: true,
+        });
+        let mut hot = HostRing::new(0, 2, 2048);
+        // Warm the hot ring, then record its steady-state cost.
+        for _ in 0..4 {
+            hot.produce_dma(1500, &mut c, &costs).unwrap();
+            hot.consume_cpu(&mut c, &costs).unwrap();
+        }
+        let before = {
+            hot.produce_dma(1500, &mut c, &costs).unwrap();
+            let (_, consume) = hot.consume_cpu(&mut c, &costs).unwrap();
+            consume
+        };
+        // A storm of cold-flow traffic through bypassing rings: it cannot
+        // allocate, so it cannot displace one line of the hot ring.
+        let mut cold_rings: Vec<HostRing> = (1..512)
+            .map(|i| HostRing::new(i * (8 << 10), 2, 2048))
+            .collect();
+        for ring in &mut cold_rings {
+            ring.produce_dma_bypass(1500, &mut c, &costs).unwrap();
+        }
+        let after = {
+            hot.produce_dma(1500, &mut c, &costs).unwrap();
+            let (_, consume) = hot.consume_cpu(&mut c, &costs).unwrap();
+            consume
+        };
+        assert_eq!(after, before, "bypass storm displaced hot-ring lines");
+        // Whereas the same storm through allocating DMA does displace it.
+        for ring in &mut cold_rings {
+            ring.consume_cpu(&mut c, &costs).unwrap();
+            ring.produce_dma(1500, &mut c, &costs).unwrap();
+        }
+        let thrashed = {
+            hot.produce_dma(1500, &mut c, &costs).unwrap();
+            let (_, consume) = hot.consume_cpu(&mut c, &costs).unwrap();
+            consume
+        };
+        assert!(thrashed > after, "allocating storm should thrash");
+        assert!(c.stats().ddio_evictions > 0);
     }
 
     #[test]

@@ -19,7 +19,9 @@ use telemetry::{
     DropCause, HistId, Owner, RecoveryKind, Registry, Stage, Telemetry, TraceEvent, TraceVerdict,
 };
 
-use crate::flowtable::{ConnEntry, ConnId, FlowTable};
+use crate::flowtable::{
+    ConnEntry, ConnId, FlowCacheConfig, FlowTable, FlowTier, LookupHit, RetierReport,
+};
 use crate::notify::{Notification, NotifyKind, NotifyQueue};
 use crate::pipeline::{
     DropReason, NicConfig, RxDisposition, RxResult, SlowPathReason, TxDeparture, TxDisposition,
@@ -29,8 +31,7 @@ use crate::rss::{RssError, RssTable, RSS_NUM_QUEUES_REG};
 use crate::sniff::{Direction, Sniffer, SnifferFilter};
 use crate::sram::{Sram, SramCategory, SramError};
 
-/// SRAM charged per connection for its on-NIC DMA ring context.
-pub const RING_CONTEXT_BYTES: u64 = 512;
+pub use crate::flowtable::RING_CONTEXT_BYTES;
 
 /// Maximum accounting programs loadable at once.
 pub const MAX_ACCOUNTING_SLOTS: usize = 4;
@@ -368,6 +369,13 @@ impl SmartNic {
         );
         reg.set_counter("nic.flows.exact", self.flows.num_exact() as u64);
         reg.set_counter("nic.flows.listeners", self.flows.num_listeners() as u64);
+        let fs = self.flows.stats();
+        reg.set_counter("flowtable.hot_entries", self.flows.num_hot() as u64);
+        reg.set_counter("flowtable.cold_entries", self.flows.num_cold() as u64);
+        reg.set_counter("flowtable.promotions", fs.promotions);
+        reg.set_counter("flowtable.evictions", fs.evictions);
+        reg.set_counter("flowtable.cold_hits", fs.cold_hits);
+        reg.set_counter("flowtable.promotion_refusals", fs.promotion_refusals);
     }
 
     /// Returns the configuration.
@@ -590,7 +598,86 @@ impl SmartNic {
         self.regs
             .write(RSS_NUM_QUEUES_REG, num_queues as u64, None)
             .expect("kernel write to a kernel register");
+        // Hot-tier ownership is shard-local: a steering change moves
+        // connections between queues, so the per-queue victim slices are
+        // rebuilt under the (unchanged) cache policy.
+        let cache = self.flows.cache_config().cloned();
+        let report = Self::retier(&mut self.flows, &self.rss, cache, &mut self.sram);
+        self.emit_retier(&report, now);
         Ok(self.cfg.overlay_swap_cost)
+    }
+
+    /// Installs (or clears) the kernel-programmed flow-cache policy and
+    /// re-tiers every connection deterministically under it (kernel-only;
+    /// callers route through the control plane's two-phase commit). An
+    /// overlay-class data update: the dataplane keeps running and the
+    /// control side pays `overlay_swap_cost`.
+    pub fn configure_flow_cache(
+        &mut self,
+        cache: Option<FlowCacheConfig>,
+        now: Time,
+    ) -> Result<Dur, NicError> {
+        self.tick_crash(now);
+        self.check_dead()?;
+        self.check_frozen(now)?;
+        let report = Self::retier(&mut self.flows, &self.rss, cache, &mut self.sram);
+        self.emit_retier(&report, now);
+        Ok(self.cfg.overlay_swap_cost)
+    }
+
+    /// The active flow-cache policy, if any (the control plane's audit
+    /// compares this against its committed bundle).
+    pub fn flow_cache(&self) -> Option<&FlowCacheConfig> {
+        self.flows.cache_config()
+    }
+
+    /// Re-tiers the flow table under `cache`, with hot-slice ownership
+    /// following the RSS steering. Associated fn so callers can keep
+    /// disjoint borrows of other NIC fields alive.
+    fn retier(
+        flows: &mut FlowTable,
+        rss: &RssTable,
+        cache: Option<FlowCacheConfig>,
+        sram: &mut Sram,
+    ) -> RetierReport {
+        flows.configure_cache(
+            cache,
+            rss.num_queues(),
+            |t| rss.queue_for(pkt::meta::flow_hash_of(t)),
+            sram,
+        )
+    }
+
+    /// Emits the lifecycle event pair for a control-plane re-tier. These
+    /// are policy movements, not frame processing, so they carry frame id
+    /// 0; `ktrace` shows them with the flow tuple and owning process.
+    fn emit_retier(&mut self, report: &RetierReport, now: Time) {
+        let tier_ev = |stage: Stage, tuple: FiveTuple, owner: Option<Owner>| TraceEvent {
+            frame_id: 0,
+            at: now,
+            stage,
+            verdict: TraceVerdict::Pass,
+            tuple: Some(tuple),
+            len: 0,
+            owner,
+            generation: 0,
+        };
+        for &(id, tuple) in &report.demoted {
+            let owner = self
+                .flows
+                .entry(id)
+                .map(|e| Owner::new(e.uid, e.pid, &e.comm));
+            self.tel
+                .emit(|| tier_ev(Stage::FlowDemoted, tuple, owner.clone()));
+        }
+        for &(id, tuple) in &report.promoted {
+            let owner = self
+                .flows
+                .entry(id)
+                .map(|e| Owner::new(e.uid, e.pid, &e.comm));
+            self.tel
+                .emit(|| tier_ev(Stage::FlowPromoted, tuple, owner.clone()));
+        }
     }
 
     /// Number of active RX/TX queue pairs.
@@ -608,8 +695,11 @@ impl SmartNic {
         self.scheduler.class_bytes_sent()
     }
 
-    /// Opens a connection: flow-table entry + ring context + app-region
-    /// doorbell registers for `pid`.
+    /// Opens a connection: flow-table entry (hot or cold tier, per the
+    /// active cache policy) + app-region doorbell registers for `pid`.
+    /// Hot entries charge their slot and ring context atomically inside
+    /// the flow table; cold entries live in host memory and charge
+    /// nothing.
     pub fn open_connection(
         &mut self,
         tuple: FiveTuple,
@@ -619,19 +709,12 @@ impl SmartNic {
         notify: bool,
     ) -> Result<ConnId, NicError> {
         self.check_dead()?;
-        self.sram
-            .alloc(SramCategory::RingContext, RING_CONTEXT_BYTES)?;
-        let id = match self
-            .flows
-            .insert(tuple, uid, pid, comm, notify, &mut self.sram)
-        {
-            Ok(id) => id,
-            Err(e) => {
-                self.sram
-                    .release(SramCategory::RingContext, RING_CONTEXT_BYTES);
-                return Err(e.into());
-            }
-        };
+        // The entry's home queue follows RSS steering of its RX tuple, so
+        // hot-slice ownership is shard-local from birth.
+        let queue = self.rss.queue_for(pkt::meta::flow_hash_of(&tuple));
+        let (id, _tier) =
+            self.flows
+                .insert(tuple, uid, pid, comm, notify, queue, &mut self.sram)?;
         // Two app registers per connection: RX tail doorbell, TX head
         // doorbell.
         self.regs.define_app(Self::rx_doorbell_addr(id), pid);
@@ -659,27 +742,31 @@ impl SmartNic {
             .insert_listener(proto, port, uid, pid, comm, &mut self.sram)?)
     }
 
-    /// Closes a connection, releasing all its NIC resources.
+    /// Closes a connection, releasing all its NIC resources (the flow
+    /// table returns SRAM per the entry's tier).
     pub fn close_connection(&mut self, id: ConnId) -> Result<(), NicError> {
         self.check_dead()?;
         if !self.flows.remove(id, &mut self.sram) {
             return Err(NicError::NoSuchConn(id));
         }
-        self.sram
-            .release(SramCategory::RingContext, RING_CONTEXT_BYTES);
         self.regs.remove(Self::rx_doorbell_addr(id));
         self.regs.remove(Self::tx_doorbell_addr(id));
         Ok(())
     }
 
-    /// The MMIO address of a connection's RX doorbell.
+    /// The MMIO address of a connection's RX doorbell. The doorbell
+    /// window starts *above* the kernel config region (0x20_xxxx) and
+    /// grows upward, so connection ids can climb past 64k without an
+    /// app-region doorbell ever aliasing a kernel register. (The old
+    /// 0x10_0000 base put connection 65536's doorbells exactly on
+    /// [`POLICY_GENERATION_REG`]/[`RSS_NUM_QUEUES_REG`].)
     pub fn rx_doorbell_addr(id: ConnId) -> u64 {
-        0x10_0000 + id.0 * 16
+        0x100_0000 + id.0 * 16
     }
 
     /// The MMIO address of a connection's TX doorbell.
     pub fn tx_doorbell_addr(id: ConnId) -> u64 {
-        0x10_0000 + id.0 * 16 + 8
+        0x100_0000 + id.0 * 16 + 8
     }
 
     /// Enables the capture tap.
@@ -896,6 +983,9 @@ impl SmartNic {
     /// recovery path, where the kernel repopulates the wiped flow table
     /// from its own records and ring keys / doorbell addresses / process
     /// handles must keep working unchanged.
+    /// SRAM exhaustion never fails a restore: an entry that no longer
+    /// fits the hot tier lands cold (the reconcile path re-tiers it under
+    /// the committed policy), so no connection is lost to a crash.
     pub fn restore_connection(
         &mut self,
         id: ConnId,
@@ -906,16 +996,10 @@ impl SmartNic {
         notify: bool,
     ) -> Result<(), NicError> {
         self.check_dead()?;
-        self.sram
-            .alloc(SramCategory::RingContext, RING_CONTEXT_BYTES)?;
-        if let Err(e) = self
+        let queue = self.rss.queue_for(pkt::meta::flow_hash_of(&tuple));
+        let _tier = self
             .flows
-            .restore(id, tuple, uid, pid, comm, notify, &mut self.sram)
-        {
-            self.sram
-                .release(SramCategory::RingContext, RING_CONTEXT_BYTES);
-            return Err(e.into());
-        }
+            .restore(id, tuple, uid, pid, comm, notify, queue, &mut self.sram);
         self.regs.define_app(Self::rx_doorbell_addr(id), pid);
         self.regs.define_app(Self::tx_doorbell_addr(id), pid);
         if notify {
@@ -953,19 +1037,32 @@ impl SmartNic {
     pub fn audit(&self) -> Vec<String> {
         let mut violations = Vec::new();
 
-        // Flow-table SRAM equals live entries at their fixed costs.
-        let expect_flow = self.flows.num_exact() as u64 * crate::flowtable::ENTRY_BYTES
+        // Flow-table SRAM equals *hot-tier* entries at their fixed costs;
+        // cold-tier entries live in host memory and charge nothing.
+        let expect_flow = self.flows.num_hot() as u64 * crate::flowtable::ENTRY_BYTES
             + self.flows.num_listeners() as u64 * crate::flowtable::LISTENER_BYTES;
         let actual_flow = self.sram.used_by(SramCategory::FlowTable);
         if actual_flow != expect_flow {
             violations.push(format!(
-                "flow-table SRAM {actual_flow} != {} exact * {} + {} listeners * {} = {expect_flow}",
-                self.flows.num_exact(),
+                "flow-table SRAM {actual_flow} != {} hot * {} + {} listeners * {} = {expect_flow}",
+                self.flows.num_hot(),
                 crate::flowtable::ENTRY_BYTES,
                 self.flows.num_listeners(),
                 crate::flowtable::LISTENER_BYTES,
             ));
         }
+
+        // Tier conservation: every exact connection is in exactly one
+        // tier — none lost, none double-counted.
+        if self.flows.num_hot() + self.flows.num_cold() != self.flows.num_exact() {
+            violations.push(format!(
+                "flow tiers: {} hot + {} cold != {} exact connections",
+                self.flows.num_hot(),
+                self.flows.num_cold(),
+                self.flows.num_exact(),
+            ));
+        }
+        violations.extend(self.flows.audit_tiers());
 
         // Entry records cover exactly the exact + listener keys.
         let key_count = self.flows.num_exact() + self.flows.num_listeners();
@@ -978,14 +1075,14 @@ impl SmartNic {
             ));
         }
 
-        // Ring contexts: one per exact-match connection, none for
-        // listeners.
-        let expect_rings = self.flows.num_exact() as u64 * RING_CONTEXT_BYTES;
+        // Ring contexts: one per *hot* exact-match connection, none for
+        // cold connections or listeners.
+        let expect_rings = self.flows.num_hot() as u64 * RING_CONTEXT_BYTES;
         let actual_rings = self.sram.used_by(SramCategory::RingContext);
         if actual_rings != expect_rings {
             violations.push(format!(
-                "ring-context SRAM {actual_rings} != {} conns * {RING_CONTEXT_BYTES} = {expect_rings}",
-                self.flows.num_exact(),
+                "ring-context SRAM {actual_rings} != {} hot conns * {RING_CONTEXT_BYTES} = {expect_rings}",
+                self.flows.num_hot(),
             ));
         }
 
@@ -1258,6 +1355,7 @@ impl SmartNic {
             latency,
             interrupt: false,
             meta: meta_out,
+            cold: false,
         }
     }
 
@@ -1297,6 +1395,7 @@ impl SmartNic {
             latency: Dur::ZERO,
             interrupt: false,
             meta: None,
+            cold: false,
         }
     }
 
@@ -1336,6 +1435,7 @@ impl SmartNic {
             latency: Dur::ZERO,
             interrupt: false,
             meta: None,
+            cold: false,
         }
     }
 
@@ -1375,18 +1475,22 @@ impl SmartNic {
             Ok(m) => m,
             Err(dropped) => return dropped,
         };
-        let conn = meta.tuple.and_then(|t| self.flows.lookup(&t));
-        self.rx_finish(packet, meta, conn, now)
+        let hit = meta.tuple.and_then(|t| {
+            let resolved = self.flows.resolve(&t);
+            self.flows.touch_lookup(resolved, &mut self.sram)
+        });
+        self.rx_finish(packet, meta, hit, now)
     }
 
     /// The post-lookup half of ingress: overlay stages, timing, tap,
     /// disposition, and notification. Shared by [`SmartNic::rx`] and
-    /// [`SmartNic::rx_batch`]; `conn` is the flow-table steering decision.
+    /// [`SmartNic::rx_batch`]; `hit` is the flow-table steering decision
+    /// with its tier movements already applied.
     fn rx_finish(
         &mut self,
         packet: &Packet,
         mut meta: FrameMeta,
-        conn: Option<ConnId>,
+        hit: Option<LookupHit>,
         now: Time,
     ) -> RxResult {
         // Tag the frame for lifecycle tracing: adopt an id assigned by an
@@ -1401,7 +1505,8 @@ impl SmartNic {
         // Borrow the entry in place: `self.flows` is a distinct field from
         // the sniffer/stats/notify state mutated below, so no clone of the
         // (comm-string-carrying) entry is needed.
-        let entry = conn.and_then(|id| self.flows.entry(id));
+        let cold = hit.is_some_and(|h| h.tier == FlowTier::Cold);
+        let entry = hit.and_then(|h| self.flows.entry(h.id));
         let ctx = Self::build_ctx(Some(&meta), packet.len(), entry, false, now);
         let entry_disp = entry.map(|e| (e.id, e.notify, e.pid));
         let attribution = entry.map(|e| (e.uid, e.pid, e.comm.as_str()));
@@ -1451,6 +1556,40 @@ impl SmartNic {
                 attribution,
             )
         });
+        // Tier movements this lookup triggered: a cold hit may promote
+        // the flow and demote a victim; both land in the triggering
+        // frame's lifecycle trace.
+        if let Some(h) = hit {
+            if h.promoted {
+                self.tel.emit(|| {
+                    trace_ev(
+                        fid,
+                        now,
+                        Stage::FlowPromoted,
+                        TraceVerdict::Pass,
+                        Some(&meta),
+                        len,
+                        attribution,
+                    )
+                });
+            }
+            if let Some((vid, vtuple)) = h.demoted {
+                let owner = self
+                    .flows
+                    .entry(vid)
+                    .map(|e| Owner::new(e.uid, e.pid, &e.comm));
+                self.tel.emit(|| TraceEvent {
+                    frame_id: fid,
+                    at: now,
+                    stage: Stage::FlowDemoted,
+                    verdict: TraceVerdict::Pass,
+                    tuple: Some(vtuple),
+                    len: 0,
+                    owner,
+                    generation: 0,
+                });
+            }
+        }
 
         // Overlay stages.
         let filter_loaded = self.ingress_filter.is_some();
@@ -1481,13 +1620,17 @@ impl SmartNic {
 
         // Timing: latency = all stages; occupancy = the overlay (the
         // slowest programmable stage) or the fixed stages, whichever is
-        // longer.
+        // longer. A cold-tier hit pays the host-memory table walk in the
+        // lookup stage — and occupies it, so cold traffic throttles
+        // pipeline throughput (the pressure the eviction policy manages).
+        let lookup_cost = if cold {
+            self.cfg.lookup_cost + self.cfg.cold_lookup_cost
+        } else {
+            self.cfg.lookup_cost
+        };
         let overlay_time = self.cfg.overlay_cycle.saturating_mul(overlay_cycles);
-        let latency =
-            self.cfg.base_latency + self.cfg.parse_cost + self.cfg.lookup_cost + overlay_time;
-        let occupancy = overlay_time
-            .max(self.cfg.parse_cost)
-            .max(self.cfg.lookup_cost);
+        let latency = self.cfg.base_latency + self.cfg.parse_cost + lookup_cost + overlay_time;
+        let occupancy = overlay_time.max(self.cfg.parse_cost).max(lookup_cost);
         let start = now.max(self.pipeline_free);
         self.pipeline_free = start + occupancy;
         let ready_at = start + latency;
@@ -1495,8 +1638,7 @@ impl SmartNic {
         // Per-stage virtual-time latencies (gated on the same flag).
         self.tel
             .record_hist(self.tel_hists.parse, self.cfg.parse_cost);
-        self.tel
-            .record_hist(self.tel_hists.lookup, self.cfg.lookup_cost);
+        self.tel.record_hist(self.tel_hists.lookup, lookup_cost);
         if overlay_time > Dur::ZERO {
             self.tel.record_hist(self.tel_hists.overlay, overlay_time);
         }
@@ -1579,6 +1721,7 @@ impl SmartNic {
             latency,
             interrupt,
             meta: Some(meta),
+            cold,
         }
     }
 
@@ -1610,8 +1753,11 @@ impl SmartNic {
         let metas: Vec<Result<FrameMeta, pkt::PktError>> =
             packets.iter().map(FrameMeta::of).collect();
 
-        // Stage 2: one batched flow-table probe over the frames that
-        // survived parsing and carry a steerable tuple.
+        // Stage 2: one batched, *pure* flow-table resolution over the
+        // frames that survived parsing and carry a steerable tuple. Tier
+        // movements never change steering, so resolution order is free;
+        // the stateful half (counters, recency, promotion) is applied
+        // per-frame in stage 3, in arrival order.
         let mut queries: Vec<(u32, FiveTuple)> = Vec::with_capacity(packets.len());
         let mut query_of: Vec<Option<usize>> = Vec::with_capacity(packets.len());
         for m in &metas {
@@ -1623,14 +1769,15 @@ impl SmartNic {
                 _ => query_of.push(None),
             }
         }
-        let conns = self.flows.lookup_batch(&queries);
+        let conns = self.flows.resolve_batch(&queries);
 
         // Stage 3: finish each frame in arrival order, preserving
         // per-stage timing, capture, and notification semantics. The
         // crash schedule ticks here, once per frame exactly as the
         // sequential path would: a crash mid-batch dead-drops this and
         // every later frame (the stage-2 steering results for them die
-        // with the flow table they were probed from).
+        // with the flow table they were probed from, and a dead-dropped
+        // frame never touches lookup state — it vanished at the wire).
         metas
             .into_iter()
             .zip(query_of)
@@ -1645,8 +1792,9 @@ impl SmartNic {
                         self.rx_malformed_drop(packet, Ok(&meta), now)
                     }
                     Ok(meta) => {
-                        let conn = q.and_then(|qi| conns[qi]);
-                        self.rx_finish(packet, meta, conn, now)
+                        let hit =
+                            q.and_then(|qi| self.flows.touch_lookup(conns[qi], &mut self.sram));
+                        self.rx_finish(packet, meta, hit, now)
                     }
                     Err(e) => {
                         self.stats.rx_malformed += 1;

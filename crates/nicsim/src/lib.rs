@@ -46,7 +46,10 @@ pub mod sram;
 
 pub use cc::{CcParams, CongestionControl, FlowCc};
 pub use device::{DeviceState, NicError, SmartNic, POLICY_GENERATION_REG};
-pub use flowtable::{ConnEntry, ConnId, FlowTable};
+pub use flowtable::{
+    ConnEntry, ConnId, FlowCacheConfig, FlowCacheMode, FlowStats, FlowTable, FlowTier, LookupHit,
+    RetierReport,
+};
 pub use nat::{NatError, NatTable};
 pub use notify::{Notification, NotifyKind, NotifyQueue};
 pub use pipeline::{NicConfig, RxDisposition, RxResult, TxDisposition};

@@ -20,8 +20,15 @@ pub struct NicConfig {
     pub propagation: Dur,
     /// Parser stage latency.
     pub parse_cost: Dur,
-    /// Flow-table lookup latency.
+    /// Flow-table lookup latency (hot tier: on-SRAM exact match).
     pub lookup_cost: Dur,
+    /// Extra lookup latency for a cold-tier hit: the NIC walks the
+    /// host-memory flow table over PCIe (several dependent DRAM reads)
+    /// before it can steer the frame. Paid on top of `lookup_cost`, and
+    /// it occupies the lookup stage, so heavy cold traffic throttles
+    /// pipeline throughput — the incentive the eviction policy trades
+    /// against.
+    pub cold_lookup_cost: Dur,
     /// Overlay cycle time.
     pub overlay_cycle: Dur,
     /// Fixed traversal latency (SerDes, CRC, buffering).
@@ -60,6 +67,7 @@ impl Default for NicConfig {
             propagation: Dur::from_ns(500),
             parse_cost: Dur::from_ns(30),
             lookup_cost: Dur::from_ns(40),
+            cold_lookup_cost: Dur::from_ns(600),
             overlay_cycle: Dur::from_ns(4),
             base_latency: Dur::from_ns(300),
             sram_bytes: 16 << 20,
@@ -154,6 +162,10 @@ pub struct RxResult {
     /// when the frame never made it through the parser (reprogramming
     /// drops, unparseable frames).
     pub meta: Option<FrameMeta>,
+    /// Whether the steering entry was cold-tier when probed: the lookup
+    /// paid the host walk, and the kernel routes this frame's ring DMA
+    /// around the DDIO ways (demoted flows must not thrash hot rings).
+    pub cold: bool,
 }
 
 /// Where an egress packet ends up.
@@ -202,5 +214,8 @@ mod tests {
         // it must not cost a full reprogram either.
         assert!(c.reset_cost > c.overlay_swap_cost);
         assert!(c.reset_cost < c.bitstream_reprogram);
+        // A cold-tier lookup dominates the hot lookup by an order of
+        // magnitude — that asymmetry is what the eviction policy manages.
+        assert!(c.cold_lookup_cost.0 >= c.lookup_cost.0 * 10);
     }
 }

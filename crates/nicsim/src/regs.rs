@@ -94,7 +94,20 @@ impl RegFile {
 
     /// Defines an app-region register owned by `pid` (the grant the
     /// kernel issues at connection setup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` already holds a kernel register: an app grant
+    /// silently replacing kernel configuration state is an MMIO layout
+    /// bug, never a legal grant.
     pub fn define_app(&mut self, addr: u64, pid: u32) {
+        assert!(
+            !self
+                .regs
+                .get(&addr)
+                .is_some_and(|r| r.region == RegRegion::Kernel),
+            "app register grant at {addr:#x} would clobber a kernel register"
+        );
         self.regs.insert(
             addr,
             Register {
@@ -223,6 +236,16 @@ mod tests {
         assert_eq!(rf.peek(0x1000), Some(9));
         assert_eq!(rf.peek(0x9999), None);
         assert_eq!(rf.violations(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clobber a kernel register")]
+    fn app_grant_cannot_overlay_kernel_register() {
+        // Regression: connection 65536's doorbells used to land exactly
+        // on the kernel config region and silently zero it.
+        let mut rf = RegFile::new();
+        rf.define_kernel(0x20_0000);
+        rf.define_app(0x20_0000, 10);
     }
 
     #[test]

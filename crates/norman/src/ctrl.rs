@@ -41,7 +41,7 @@ use std::net::Ipv4Addr;
 
 use nicsim::device::ProgramSlot;
 use nicsim::rss::{RssTable, MAX_QUEUES, RSS_TABLE_SIZE};
-use nicsim::{NatTable, SmartNic, POLICY_GENERATION_REG};
+use nicsim::{FlowCacheConfig, NatTable, SmartNic, POLICY_GENERATION_REG};
 use overlay::{builtins, Program};
 use pkt::IpProto;
 use qdisc::compile;
@@ -141,6 +141,10 @@ pub struct PolicyStore {
     /// Overload degradation (watermarks + demotion set). `None` disables
     /// graceful degradation.
     pub degradation: Option<DegradationPolicy>,
+    /// Flow-cache tiering policy (hot-tier budget + eviction discipline).
+    /// `None` leaves the NIC untiered: every connection charges SRAM, the
+    /// boot-time §5 behavior.
+    pub flow_cache: Option<FlowCacheConfig>,
 }
 
 /// Everything phase 2 installs, in apply order. Compiled from a
@@ -166,6 +170,9 @@ pub struct PolicyBundle {
     /// Overload degradation policy, validated. Kernel-side only: apply
     /// installs nothing on the NIC for it.
     degradation: Option<DegradationPolicy>,
+    /// Flow-cache tiering policy, validated and normalized (port lists
+    /// sorted + deduped, so audit equality against the NIC is exact).
+    flow_cache: Option<FlowCacheConfig>,
 }
 
 impl PolicyBundle {
@@ -181,6 +188,7 @@ impl PolicyBundle {
             nat: None,
             rss: None,
             degradation: None,
+            flow_cache: None,
         }
     }
 
@@ -262,6 +270,25 @@ impl PolicyBundle {
             None => None,
         };
 
+        let flow_cache = match &store.flow_cache {
+            Some(fc) => {
+                if fc.hot_capacity == 0 {
+                    return Err(CtrlError::Compile(
+                        "flow cache hot capacity must be nonzero".to_string(),
+                    ));
+                }
+                // Normalize the port lists so audit can compare the
+                // installed config against the bundle with plain equality.
+                let mut fc = fc.clone();
+                fc.high_prio_ports.sort_unstable();
+                fc.high_prio_ports.dedup();
+                fc.pinned_ports.sort_unstable();
+                fc.pinned_ports.dedup();
+                Some(fc)
+            }
+            None => None,
+        };
+
         if let Some(d) = &store.degradation {
             if !(d.high_watermark > 0.0 && d.high_watermark <= 1.0) {
                 return Err(CtrlError::Compile(format!(
@@ -305,6 +332,7 @@ impl PolicyBundle {
             nat,
             rss,
             degradation: store.degradation.clone(),
+            flow_cache,
         })
     }
 
@@ -463,6 +491,11 @@ pub struct ControlPlane {
     /// so apply only touches it on actual change — the same idempotence
     /// discipline as `applied_weights`.
     applied_rss: Option<(usize, Vec<u16>)>,
+    /// Flow-cache tiering config currently programmed (`None` = the NIC
+    /// still runs untiered boot behavior). Re-tiering moves entries
+    /// between SRAM and host memory, so apply only touches it on actual
+    /// change — the same idempotence discipline as `applied_rss`.
+    applied_flow_cache: Option<FlowCacheConfig>,
     /// Bitstream reprograms already reflected in NIC-resident state.
     reprograms_seen: u64,
     /// Device resets already reconciled. A crash+reset wipes the NIC
@@ -489,6 +522,7 @@ impl ControlPlane {
             generation: 0,
             applied_weights: vec![1.0],
             applied_rss: None,
+            applied_flow_cache: None,
             reprograms_seen: 0,
             resets_seen: 0,
             watchdog_ops: None,
@@ -533,6 +567,12 @@ impl ControlPlane {
     /// dying device can never hold the control plane mid-commit forever.
     pub fn set_commit_watchdog(&mut self, ops: Option<u64>) {
         self.watchdog_ops = ops;
+    }
+
+    /// The flow-cache policy of the *installed* (committed) bundle, if
+    /// any — what the NIC's tiering machinery currently enforces.
+    pub fn flow_cache(&self) -> Option<&FlowCacheConfig> {
+        self.installed.flow_cache.as_ref()
     }
 
     /// The degradation policy of the *installed* (committed) bundle, if
@@ -685,6 +725,7 @@ impl ControlPlane {
             // trackers stay valid on that path.)
             self.applied_weights = vec![1.0];
             self.applied_rss = None;
+            self.applied_flow_cache = None;
         }
         let bundle = self.installed.clone();
         // Apply with faults off: reconcile is the recovery path.
@@ -837,6 +878,38 @@ impl ControlPlane {
                     nic.configure_rss(boot, &uniform, now)
                         .map_err(|e| format!("configure_rss: {e}"))?;
                     self.applied_rss = None;
+                }
+            }
+        }
+
+        match &bundle.flow_cache {
+            Some(fc) => {
+                if self.applied_flow_cache.as_ref() != Some(fc) {
+                    op(
+                        &mut self.stats,
+                        &mut self.faults,
+                        &mut budget,
+                        "configure_flow_cache",
+                    )?;
+                    nic.configure_flow_cache(Some(fc.clone()), now)
+                        .map_err(|e| format!("configure_flow_cache: {e}"))?;
+                    self.applied_flow_cache = Some(fc.clone());
+                }
+            }
+            None => {
+                // Same revert discipline as RSS: only undo tiering the
+                // control plane itself programmed, so rollback of a first
+                // flow-cache commit restores untiered boot behavior.
+                if self.applied_flow_cache.is_some() {
+                    op(
+                        &mut self.stats,
+                        &mut self.faults,
+                        &mut budget,
+                        "configure_flow_cache",
+                    )?;
+                    nic.configure_flow_cache(None, now)
+                        .map_err(|e| format!("configure_flow_cache: {e}"))?;
+                    self.applied_flow_cache = None;
                 }
             }
         }
@@ -997,6 +1070,14 @@ impl ControlPlane {
             }
         }
 
+        if nic.flow_cache() != bundle.flow_cache.as_ref() {
+            violations.push(format!(
+                "NIC flow cache {:?} diverges from store {:?}",
+                nic.flow_cache().map(|fc| fc.mode.name()),
+                bundle.flow_cache.as_ref().map(|fc| fc.mode.name())
+            ));
+        }
+
         if nic.sniffer.is_enabled() != bundle.sniffer.is_some() {
             violations.push(format!(
                 "sniffer enabled={} but store says {}",
@@ -1072,6 +1153,14 @@ impl ControlPlane {
                 .rss
                 .as_ref()
                 .map(|p| p.num_queues as u64)
+                .unwrap_or(0),
+        );
+        reg.set_counter(
+            "ctrl.flow_cache_hot",
+            self.store
+                .flow_cache
+                .as_ref()
+                .map(|fc| fc.hot_capacity as u64)
                 .unwrap_or(0),
         );
     }

@@ -13,7 +13,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
-use memsim::{HostRing, Llc, LlcConfig, MemCosts, MmioBus};
+use memsim::{HostRing, Llc, LlcConfig, LlcPartitionPlan, LlcStats, MemCosts, MmioBus};
 use nicsim::pipeline::{DropReason, TxDeparture};
 use nicsim::{
     ConnId, NatTable, NicConfig, NicError, Notification, NotifyKind, RxDisposition, SmartNic,
@@ -241,8 +241,10 @@ pub struct Host {
     pub cgroups: CgroupTree,
     /// Scheduler and CPU meters.
     pub sched: Scheduler,
-    /// Last-level cache (with DDIO way-cap).
-    pub llc: Llc,
+    /// Last-level cache (with DDIO way-cap). Single-queue traffic goes
+    /// through this cache; in multi-queue mode each worker shard owns a
+    /// way-disjoint partition of it instead (see [`Host::run_workers`]).
+    llc: Llc,
     /// MMIO accounting.
     pub mmio: MmioBus,
     /// The SmartNIC.
@@ -289,6 +291,10 @@ pub struct Host {
     /// lets [`Host::maybe_reconcile`] rebuild the flow table exactly
     /// once per NIC reset, before the control plane reinstalls policy.
     resets_restored: u64,
+    /// Cumulative LLC traffic per worker shard, merged at every quiesce
+    /// barrier — the `llc.shard.<n>.*` metrics. Survives worker
+    /// stop/start cycles.
+    shard_llc: Vec<LlcStats>,
 }
 
 /// Watermark-detector state for overload degradation. The window counts
@@ -348,6 +354,7 @@ impl Host {
             workers: None,
             degrade: DegradeState::default(),
             resets_restored: 0,
+            shard_llc: Vec::new(),
             cfg,
         }
     }
@@ -380,7 +387,15 @@ impl Host {
         if n == 0 || n != queues {
             return Err(WorkerError::QueueMismatch { workers: n, queues });
         }
-        let mut pool = WorkerPool::new(n, self.cfg.llc.clone(), self.cfg.mem.clone());
+        // Shared-nothing LLC: carve the host cache into way-disjoint
+        // per-shard partitions, each with its own DDIO mask (floored at
+        // one way per shard), so one shard's ring working set cannot
+        // evict another's and no shard's DMA is forced to DRAM.
+        let plan = LlcPartitionPlan::split(self.cfg.llc.clone(), n);
+        if self.shard_llc.len() < n {
+            self.shard_llc.resize_with(n, LlcStats::default);
+        }
+        let mut pool = WorkerPool::new(n, plan, self.cfg.mem.clone());
         let mut placements: Vec<(RingKey, usize)> = self
             .conns
             .values()
@@ -444,6 +459,7 @@ impl Host {
             self.stats.ring_drops += rep.stats.ring_drops;
             self.stats.ring_missing += rep.stats.ring_missing;
             self.sched.charge_core_busy(core, rep.busy);
+            self.shard_llc[core].absorb(&rep.llc);
             self.tel.absorb(rep.events);
             queued += rep.queued_fids;
         }
@@ -536,6 +552,24 @@ impl Host {
         self.stats
     }
 
+    /// The host-side LLC (single-queue traffic; worker shards own
+    /// private partitions instead).
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    /// Mutable access to the host-side LLC (benchmarks model application
+    /// compute phases by sweeping working sets through it).
+    pub fn llc_mut(&mut self) -> &mut Llc {
+        &mut self.llc
+    }
+
+    /// Cumulative LLC traffic of worker shard `i`, as merged at quiesce
+    /// barriers.
+    pub fn shard_llc_stats(&self, i: usize) -> LlcStats {
+        self.shard_llc.get(i).copied().unwrap_or_default()
+    }
+
     /// Returns the shared telemetry handle (the hub every layer emits
     /// into).
     pub fn telemetry(&self) -> &Telemetry {
@@ -583,6 +617,11 @@ impl Host {
         let mut violations = self.nic.audit();
         // Third ledger: NIC-resident policy state vs the kernel store.
         violations.extend(self.ctrl.audit(&self.nic, self.nat.as_ref()));
+        // Way conservation: the per-shard partitions must tile the donor
+        // cache exactly (no way lost, none double-owned).
+        if let Some(pool) = self.workers.as_ref() {
+            violations.extend(pool.plan().audit());
+        }
         if !self.tel.is_enabled() {
             return violations;
         }
@@ -655,6 +694,15 @@ impl Host {
         reg.set_counter("host.tx_retry_len", self.tx_retry.len() as u64);
         reg.set_counter("host.workers", self.num_workers() as u64);
         reg.set_gauge("host.kernel_cpu_us", self.kernel_cpu.as_us_f64());
+        let llc = self.llc.stats();
+        reg.set_counter("llc.ddio_evictions", llc.ddio_evictions);
+        reg.set_counter("llc.dma_hits", llc.dma_hits);
+        reg.set_counter("llc.dma_misses", llc.dma_misses);
+        for (i, s) in self.shard_llc.iter().enumerate() {
+            reg.set_counter(&format!("llc.shard.{i}.ddio_evictions"), s.ddio_evictions);
+            reg.set_counter(&format!("llc.shard.{i}.dma_hits"), s.dma_hits);
+            reg.set_counter(&format!("llc.shard.{i}.dma_misses"), s.dma_misses);
+        }
         reg.snapshot()
     }
 
@@ -844,7 +892,7 @@ impl Host {
         }
         self.quiesce();
         if self.nic.stats().resets != self.resets_restored {
-            self.restore_flow_state();
+            self.restore_flow_state(now);
             self.resets_restored = self.nic.stats().resets;
         }
         let ops_before = self.ctrl.stats().apply_ops;
@@ -866,7 +914,17 @@ impl Host {
     /// table re-charges its SRAM footprint. Must run before the control
     /// plane reconciles — policy steps release NAT SRAM they believe is
     /// charged.
-    fn restore_flow_state(&mut self) {
+    ///
+    /// The committed flow-cache policy is reinstalled *first*, so both
+    /// tiers rebuild deterministically under it: restored entries land
+    /// hot until the policy's budget fills, then overflow to the cold
+    /// tier — a million-connection restore cannot blow the hot tier's
+    /// SRAM. (Reconcile re-applies the policy afterwards through the
+    /// ordinary ctrl path; the second re-tier is a deterministic no-op.)
+    fn restore_flow_state(&mut self, now: Time) {
+        if let Some(fc) = self.ctrl.flow_cache().cloned() {
+            let _ = self.nic.configure_flow_cache(Some(fc), now);
+        }
         let mut conns: Vec<Connection> = self.conns.values().cloned().collect();
         conns.sort_unstable_by_key(|c| c.id.0);
         for c in &conns {
@@ -1314,6 +1372,7 @@ impl Host {
                 fid: rx.meta.map_or(0, |m| m.frame_id),
                 tuple: rx.meta.and_then(|m| m.tuple),
                 ready_at: rx.ready_at,
+                cold: rx.cold,
                 trace,
                 generation,
             });
@@ -1448,7 +1507,15 @@ impl Host {
                 let fid = rx.meta.map_or(0, |m| m.frame_id);
                 let tuple = rx.meta.and_then(|m| m.tuple);
                 let len = packet.len() as u32;
-                match rx_ring.produce_dma(packet.len(), &mut self.llc, &mem) {
+                // Cold-tier flows DMA with DDIO bypass: a demoted flow's
+                // ring traffic must not evict the DDIO lines hot flows
+                // depend on (the §5 cliff mechanism).
+                let produced = if rx.cold {
+                    rx_ring.produce_dma_bypass(packet.len(), &mut self.llc, &mem)
+                } else {
+                    rx_ring.produce_dma(packet.len(), &mut self.llc, &mem)
+                };
+                match produced {
                     Ok(cost) => {
                         report.mem_cost = cost;
                         report.outcome = DeliveryOutcome::FastPath(conn);

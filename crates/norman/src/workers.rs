@@ -31,7 +31,7 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
-use memsim::{HostRing, Llc, LlcConfig, MemCosts};
+use memsim::{HostRing, Llc, LlcConfig, LlcPartitionPlan, LlcStats, MemCosts};
 use pkt::FiveTuple;
 use sim::{Dur, Time};
 use telemetry::{DropCause, Stage, TraceEvent, TraceVerdict};
@@ -112,6 +112,9 @@ pub struct ShardReport {
     pub events: Vec<TraceEvent>,
     /// Worker CPU consumed on deliveries since the last quiesce.
     pub busy: Dur,
+    /// LLC traffic through this shard's private partition since the last
+    /// quiesce (hits, misses, DDIO evictions).
+    pub llc: LlcStats,
     /// Frames currently resident in this shard's RX rings (an absolute
     /// occupancy, not a delta — the audit's third ledger).
     pub queued_fids: u64,
@@ -132,6 +135,10 @@ pub(crate) struct DeliverJob {
     pub tuple: Option<FiveTuple>,
     /// When the NIC finished with the frame.
     pub ready_at: Time,
+    /// Whether the flow was resolved from the cold tier: its ring DMA
+    /// bypasses DDIO allocation so demoted flows cannot thrash the
+    /// shard's LLC partition.
+    pub cold: bool,
     /// Whether tracing is enabled for this batch.
     pub trace: bool,
     /// Policy generation in force when the batch was dispatched.
@@ -277,7 +284,12 @@ impl Shard {
                 outcome: ShardOutcome::RingMissing,
             };
         };
-        match rx_ring.produce_dma(job.len, &mut self.llc, &self.mem) {
+        let produced = if job.cold {
+            rx_ring.produce_dma_bypass(job.len, &mut self.llc, &self.mem)
+        } else {
+            rx_ring.produce_dma(job.len, &mut self.llc, &self.mem)
+        };
+        match produced {
             Ok(cost) => {
                 self.stats.fast_delivered += 1;
                 self.busy += cost;
@@ -375,10 +387,13 @@ impl Shard {
     }
 
     fn report(&mut self) -> ShardReport {
+        let llc = self.llc.stats();
+        self.llc.reset_stats(); // contents stay; counters restart as deltas
         ShardReport {
             stats: std::mem::take(&mut self.stats),
             events: std::mem::take(&mut self.events),
             busy: std::mem::replace(&mut self.busy, Dur::ZERO),
+            llc,
             queued_fids: self.ring_frame_ids.values().map(|q| q.len() as u64).sum(),
         }
     }
@@ -517,7 +532,11 @@ pub(crate) struct ShardCrash {
 pub(crate) struct WorkerPool {
     workers: Vec<Worker>,
     shard_of: HashMap<RingKey, usize>,
-    llc: LlcConfig,
+    /// The way-disjoint carve-up of the host LLC: shard `i` owns
+    /// partition `i` outright, with a per-partition DDIO mask floored
+    /// at one way, so one shard's ring working set cannot evict
+    /// another's and every shard can absorb inbound DMA.
+    plan: LlcPartitionPlan,
     mem: MemCosts,
     /// Per-shard cumulative restart counts (drives backoff doubling).
     restarts: Vec<u64>,
@@ -529,14 +548,17 @@ pub(crate) struct WorkerPool {
 }
 
 impl WorkerPool {
-    pub(crate) fn new(n: usize, llc: LlcConfig, mem: MemCosts) -> WorkerPool {
+    pub(crate) fn new(n: usize, plan: LlcPartitionPlan, mem: MemCosts) -> WorkerPool {
         assert!(n > 0, "need at least one worker");
+        assert_eq!(plan.len(), n, "one LLC partition per shard");
         quiet_worker_panics();
-        let workers = (0..n).map(|i| Self::spawn_worker(i, &llc, &mem)).collect();
+        let workers = (0..n)
+            .map(|i| Self::spawn_worker(i, plan.shard(i), &mem))
+            .collect();
         WorkerPool {
             workers,
             shard_of: HashMap::new(),
-            llc,
+            plan,
             mem,
             restarts: vec![0; n],
             pending_reports: Vec::new(),
@@ -586,7 +608,7 @@ impl WorkerPool {
         self.restarts[i] += 1;
         let n = self.restarts[i];
         let penalty = Dur::from_us(50 << (n - 1).min(6));
-        self.workers[i] = Self::spawn_worker(i, &self.llc, &self.mem);
+        self.workers[i] = Self::spawn_worker(i, self.plan.shard(i), &self.mem);
         for e in rings {
             match self.workers[i].call(Op::InstallRing(Box::new(e))) {
                 Reply::Done => {}
@@ -630,6 +652,12 @@ impl WorkerPool {
 
     pub(crate) fn num_workers(&self) -> usize {
         self.workers.len()
+    }
+
+    /// The LLC partition plan shards were built from (audited by
+    /// [`Host::audit`](crate::Host::audit) for way conservation).
+    pub(crate) fn plan(&self) -> &LlcPartitionPlan {
+        &self.plan
     }
 
     /// Which shard owns `key`, if any.
@@ -814,6 +842,7 @@ impl WorkerPool {
             live.stats.ring_drops += banked.stats.ring_drops;
             live.stats.ring_missing += banked.stats.ring_missing;
             live.busy += banked.busy;
+            live.llc.absorb(&banked.llc);
             let mut events = banked.events;
             events.append(&mut live.events);
             live.events = events;

@@ -27,6 +27,13 @@ pub enum Stage {
     RxFilter,
     /// Flow-table lookup (verdict carries hit/miss).
     RxFlowLookup,
+    /// A connection was promoted into the SRAM hot tier (emitted with
+    /// the frame whose lookup triggered it, or frame 0 for policy
+    /// re-tiers).
+    FlowPromoted,
+    /// A connection was demoted to the host-memory cold tier (eviction
+    /// victim or policy re-tier).
+    FlowDemoted,
     /// Terminal: frame handed to a per-connection ring (fast path).
     RxDeliver,
     /// Terminal: frame punted to the kernel slow path.
@@ -65,7 +72,7 @@ pub enum Stage {
 
 impl Stage {
     /// Number of stages (ledger array size).
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 24;
 
     /// All stages, in lifecycle order (ledger iteration order).
     pub const ALL: [Stage; Stage::COUNT] = [
@@ -74,6 +81,8 @@ impl Stage {
         Stage::RxNat,
         Stage::RxFilter,
         Stage::RxFlowLookup,
+        Stage::FlowPromoted,
+        Stage::FlowDemoted,
         Stage::RxDeliver,
         Stage::RxSlowPath,
         Stage::RxDrop,
@@ -106,6 +115,8 @@ impl Stage {
             Stage::RxNat => "rx_nat",
             Stage::RxFilter => "rx_filter",
             Stage::RxFlowLookup => "rx_flow_lookup",
+            Stage::FlowPromoted => "flow_promoted",
+            Stage::FlowDemoted => "flow_demoted",
             Stage::RxDeliver => "rx_deliver",
             Stage::RxSlowPath => "rx_slowpath",
             Stage::RxDrop => "rx_drop",

@@ -22,6 +22,14 @@ baselines in scripts/bench_baselines/ and fails on regression:
   requires the same run mode (smoke); a mismatch is reported and the
   numeric comparison skipped, like the PR5 length check.
 
+* BENCH_PR7.json (connection scaling under hierarchical flow state,
+  virtual-time — deterministic): the per-policy cliff position must not
+  move inward vs baseline, per-row aggregate and high-priority goodput
+  must not regress by more than --tolerance, priority-aware and pinned
+  must hold the 90% high-priority retention acceptance bar at the top
+  of the sweep, and every run's audits must be clean. Comparison
+  requires the same run mode (smoke), like the PR6 check.
+
 * results/substrates.json (microbench sweep): the benchmark *coverage*
   must include everything in the baseline — a bench that silently
   disappears fails the gate. Wall-clock ns/iter is compared only when
@@ -148,6 +156,61 @@ def check_pr6(fresh, base, tol, failures):
         )
 
 
+def check_pr7(fresh, base, tol, failures):
+    if fresh is None:
+        failures.append("BENCH_PR7.json missing — run exp_pr7_scale first")
+        return
+    if base is None:
+        failures.append("baseline BENCH_PR7.json missing")
+        return
+    # Acceptance bars hold regardless of baseline or run mode.
+    cliffs = {c["policy"]: c for c in fresh.get("cliffs", [])}
+    for policy in ("priority-aware", "pinned"):
+        retained = cliffs.get(policy, {}).get("hi_retention_at_max", 0.0)
+        if retained < 0.90:
+            failures.append(
+                f"pr7 {policy}: high-prio goodput retained {retained:.0%} "
+                "at the top of the sweep, below the 90% acceptance bar"
+            )
+    total_violations = sum(r.get("audit_violations", 0) for r in fresh.get("rows", []))
+    if total_violations != 0:
+        failures.append(f"pr7: {total_violations} audit violations across the sweep")
+    if fresh.get("smoke") != base.get("smoke"):
+        print(
+            f"  pr7: run mode differs (fresh smoke={fresh.get('smoke')}, "
+            f"baseline smoke={base.get('smoke')}) — skipping numeric comparison"
+        )
+        return
+    base_cliffs = {c["policy"]: c for c in base.get("cliffs", [])}
+    for policy, ref in base_cliffs.items():
+        got = cliffs.get(policy)
+        if got is None:
+            failures.append(f"pr7: policy {policy} vanished from the sweep")
+            continue
+        status = "ok" if got["cliff_connections"] >= ref["cliff_connections"] else "REGRESSION"
+        print(
+            f"  pr7: {policy} cliff at {got['cliff_connections']} conns "
+            f"(baseline {ref['cliff_connections']}) {status}"
+        )
+        if got["cliff_connections"] < ref["cliff_connections"]:
+            failures.append(
+                f"pr7 {policy}: cliff moved in to {got['cliff_connections']} conns "
+                f"from baseline {ref['cliff_connections']}"
+            )
+    base_rows = {(r["policy"], r["connections"]): r for r in base.get("rows", [])}
+    for row in fresh.get("rows", []):
+        ref = base_rows.get((row["policy"], row["connections"]))
+        if ref is None:
+            continue
+        for key in ("goodput_gbps", "hi_goodput_gbps"):
+            got, want = row[key], ref[key]
+            if got < want * (1.0 - tol):
+                failures.append(
+                    f"pr7 {row['policy']}@{row['connections']}: {key} {got:.1f} "
+                    f"regressed >{tol:.0%} vs baseline {want:.1f}"
+                )
+
+
 def check_substrates(fresh, base, wall_tol, failures):
     if fresh is None:
         failures.append("results/substrates.json missing — run the substrates bench first")
@@ -193,6 +256,9 @@ def main():
               args.tolerance, failures)
     print("check_bench: BENCH_PR6.json vs baseline")
     check_pr6(load(REPO / "BENCH_PR6.json"), load(baselines / "BENCH_PR6.json"),
+              args.tolerance, failures)
+    print("check_bench: BENCH_PR7.json vs baseline")
+    check_pr7(load(REPO / "BENCH_PR7.json"), load(baselines / "BENCH_PR7.json"),
               args.tolerance, failures)
     print("check_bench: results/substrates.json vs baseline")
     check_substrates(load(REPO / "results" / "substrates.json"),

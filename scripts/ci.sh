@@ -71,6 +71,9 @@ run_bench_smoke() {
   echo "==> fail-operational recovery bench (smoke)"
   BENCH_SMOKE=1 cargo run --release -p bench --bin exp_pr6_recovery
 
+  echo "==> connection-scaling tier bench (smoke)"
+  BENCH_SMOKE=1 cargo run --release -p bench --bin exp_pr7_scale
+
   echo "==> bench regression guard"
   python3 scripts/check_bench.py
 }
