@@ -393,6 +393,34 @@ fn bench_telemetry() {
         }
     });
 
+    // Enabled hub with a durable file sink attached (the `ktrace
+    // collect` hot path): everything above plus the per-event filter /
+    // collector checks and, for collected events, serialization into
+    // the BufWriter. Full lifecycle per measurement-visible unit so the
+    // file never grows unboundedly between iterations.
+    let mut nic = SmartNic::new(NicConfig::default());
+    nic.open_connection(tuple, 1001, 42, "app", false).unwrap();
+    let tel = Telemetry::new();
+    tel.set_enabled(true);
+    nic.set_telemetry(tel.clone());
+    let sink_path = std::env::temp_dir().join(format!(
+        "norman-substrates-sink-{}.ntrace",
+        std::process::id()
+    ));
+    tel.start_sink(
+        &sink_path,
+        &telemetry::Profile::drop_forensics(),
+        &telemetry::CollectorRegistry::builtin(),
+    )
+    .unwrap();
+    bench("telemetry", "rx_x32_file_sink", || {
+        for p in &pkts {
+            black_box(nic.rx(p, Time::ZERO));
+        }
+    });
+    tel.finish_sink().unwrap();
+    std::fs::remove_file(&sink_path).ok();
+
     // The bare cost of a disabled trace point, isolated.
     let off = Telemetry::new();
     bench("telemetry", "emit_disabled", || {

@@ -225,7 +225,7 @@ fn main() {
             verdict: e.verdict.to_string(),
             uid: e.owner.as_ref().map(|o| o.uid),
             pid: e.owner.as_ref().map(|o| o.pid),
-            comm: e.owner.as_ref().map(|o| o.comm.clone()),
+            comm: e.owner.as_ref().map(|o| o.comm.to_string()),
         })
         .collect();
     bench::write_json("exp_f1_architecture", &Output { steps, lifecycle });

@@ -16,7 +16,8 @@ use pkt::{FiveTuple, FrameMeta, IpProto, Packet, PktError};
 use qdisc::{MultiQueue, QPkt, Qdisc};
 use sim::{CrashInjector, Dur, Link, Time};
 use telemetry::{
-    DropCause, HistId, Owner, RecoveryKind, Registry, Stage, Telemetry, TraceEvent, TraceVerdict,
+    Comm, DropCause, HistId, Owner, RecoveryKind, Registry, Stage, Telemetry, TraceEvent,
+    TraceVerdict,
 };
 
 use crate::flowtable::{
@@ -232,7 +233,7 @@ fn trace_ev(
     verdict: TraceVerdict,
     meta: Option<&FrameMeta>,
     len: u32,
-    attr: Option<(u32, u32, &str)>,
+    attr: Option<(u32, u32, &Comm)>,
 ) -> TraceEvent {
     TraceEvent {
         frame_id,
@@ -1509,11 +1510,16 @@ impl SmartNic {
         let entry = hit.and_then(|h| self.flows.entry(h.id));
         let ctx = Self::build_ctx(Some(&meta), packet.len(), entry, false, now);
         let entry_disp = entry.map(|e| (e.id, e.notify, e.pid));
-        let attribution = entry.map(|e| (e.uid, e.pid, e.comm.as_str()));
+        let attribution = entry.map(|e| (e.uid, e.pid, &e.comm));
 
         // Sniffer taps see everything entering the host, post-parse.
-        self.sniffer
-            .tap(now, Direction::Rx, packet, &meta, attribution);
+        self.sniffer.tap(
+            now,
+            Direction::Rx,
+            packet,
+            &meta,
+            attribution.map(|(u, p, c)| (u, p, c.as_str())),
+        );
 
         // Lifecycle: admission, the parse stage, and flow-table steering.
         // Ownership is joined from the flow-table entry the kernel
@@ -1904,7 +1910,7 @@ impl SmartNic {
             return Err(NicError::NoSuchConn(conn));
         };
         let ctx = Self::build_ctx(meta.as_ref().ok(), packet.len(), Some(entry), true, now);
-        let attribution = (entry.uid, entry.pid, entry.comm.as_str());
+        let attribution = (entry.uid, entry.pid, &entry.comm);
         self.tel.emit(|| {
             trace_ev(
                 fid,
@@ -1985,12 +1991,20 @@ impl SmartNic {
 
         // The TX tap sees frames accepted for transmission.
         match &meta {
-            Ok(m) => self
-                .sniffer
-                .tap(now, Direction::Tx, packet, m, Some(attribution)),
-            Err(e) => self
-                .sniffer
-                .tap_unparsed(now, Direction::Tx, packet, e, Some(attribution)),
+            Ok(m) => self.sniffer.tap(
+                now,
+                Direction::Tx,
+                packet,
+                m,
+                Some((attribution.0, attribution.1, attribution.2.as_str())),
+            ),
+            Err(e) => self.sniffer.tap_unparsed(
+                now,
+                Direction::Tx,
+                packet,
+                e,
+                Some((attribution.0, attribution.1, attribution.2.as_str())),
+            ),
         }
 
         let pkt_id = self.next_pkt_id;
@@ -2051,7 +2065,8 @@ impl SmartNic {
             .tel
             .adopt_frame_id(meta.as_ref().ok().map(|m| m.frame_id).unwrap_or(0));
         let len = packet.len() as u32;
-        let kernel_attr = Some((0u32, 0u32, "kernel"));
+        let kernel_comm = Comm::new("kernel");
+        let kernel_attr = Some((0u32, 0u32, &kernel_comm));
         self.tel.emit(|| {
             trace_ev(
                 fid,

@@ -169,9 +169,10 @@ pub struct ConnEntry {
     pub uid: u32,
     /// Owning process.
     pub pid: u32,
-    /// Owning command name (kept for `ksniff`/`knetstat` display; the
-    /// dataplane matches on uid/pid).
-    pub comm: String,
+    /// Owning command name (kept for `ksniff`/`knetstat` display and
+    /// per-event attribution; the dataplane matches on uid/pid). Stored
+    /// refcounted so trace events clone a pointer, not the string.
+    pub comm: telemetry::Comm,
     /// Whether the connection requested notifications (blocking I/O).
     pub notify: bool,
     /// Which tier the entry currently occupies (listeners are always
@@ -476,7 +477,7 @@ impl FlowTable {
             tuple,
             uid,
             pid,
-            comm: comm.to_string(),
+            comm: telemetry::Comm::new(comm),
             notify,
             tier,
             queue: q as u16,
@@ -559,7 +560,7 @@ impl FlowTable {
                 },
                 uid,
                 pid,
-                comm: comm.to_string(),
+                comm: telemetry::Comm::new(comm),
                 notify: false,
                 tier: FlowTier::Hot,
                 queue: 0,

@@ -26,7 +26,8 @@ use pkt::{FiveTuple, IpProto, Mac, Packet};
 use sim::fault::{CrashInjector, OpFaultInjector};
 use sim::{Dur, Time};
 use telemetry::{
-    DropCause, Owner, RecoveryKind, Registry, Snapshot, Stage, Telemetry, TraceEvent, TraceVerdict,
+    CollectError, CollectorRegistry, DropCause, FileError, Owner, Profile, RecoveryKind, Registry,
+    SinkStats, Snapshot, Stage, Telemetry, TraceEvent, TraceVerdict,
 };
 
 use crate::ctrl::{ControlPlane, CtrlError, PolicyStore, StagedCommit};
@@ -114,6 +115,55 @@ pub(crate) enum RingKey {
     Conn(ConnId),
     Proc(Pid),
 }
+
+/// Multiply-xor hasher for the per-frame trace bookkeeping maps keyed
+/// by [`RingKey`] (two small integers). The default SipHash costs more
+/// than the ring operation it guards, which shows up directly as
+/// tracing overhead; map iteration order is never relied on (drains
+/// sort by [`RingKey::order`]).
+#[derive(Clone, Copy, Default)]
+pub(crate) struct FxHasher(u64);
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        const K: u64 = 0x517c_c1b7_2722_0a95;
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(K);
+    }
+}
+
+impl std::hash::Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// A `HashMap` using [`FxHasher`]; only for hot-path maps whose keys
+/// are trusted small integers (no HashDoS exposure).
+pub(crate) type FastMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>;
 
 impl RingKey {
     /// A total order so worker shards can drain their rings
@@ -274,7 +324,7 @@ pub struct Host {
     /// `app_recv` attribute the dequeued slot to the frame that filled it
     /// (rings carry bytes, not descriptors). Maintained only while
     /// tracing is enabled.
-    ring_frame_ids: HashMap<RingKey, VecDeque<u64>>,
+    ring_frame_ids: FastMap<RingKey, VecDeque<u64>>,
     /// Host counters at the moment tracing was last enabled, so audits
     /// compare the event ledger against counter *deltas*.
     tel_baseline: HostStats,
@@ -349,7 +399,7 @@ impl Host {
             kernel_cpu: Dur::ZERO,
             stats: HostStats::default(),
             tel,
-            ring_frame_ids: HashMap::new(),
+            ring_frame_ids: FastMap::default(),
             tel_baseline: HostStats::default(),
             workers: None,
             degrade: DegradeState::default(),
@@ -594,6 +644,51 @@ impl Host {
     /// Stops tracing; the captured events remain queryable.
     pub fn stop_trace(&mut self) {
         self.tel.set_enabled(false);
+    }
+
+    /// Starts a durable collection: like [`Host::start_trace`], but every
+    /// event the `profile` selects also streams into the event-series
+    /// file at `path` (profile collectors resolved against the built-in
+    /// [`CollectorRegistry`]). Memory stays bounded — events flow through
+    /// the hub's fixed ring and one file buffer; call
+    /// [`Host::spill_trace`] periodically to checkpoint the ledger and
+    /// push bytes to the OS.
+    pub fn start_collect(
+        &mut self,
+        profile: &Profile,
+        path: &std::path::Path,
+    ) -> Result<(), CollectError> {
+        self.start_trace();
+        if let Err(e) = self
+            .tel
+            .start_sink(path, profile, &CollectorRegistry::builtin())
+        {
+            self.stop_trace();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// A collection spill point: takes the quiesce barrier (so worker
+    /// shard events buffered since the last barrier reach the hub and
+    /// therefore the file), writes a ledger snapshot when the profile
+    /// asked for one, and flushes the file. Bounds collection memory to
+    /// the inter-spill event volume. No-op when no collection is active.
+    pub fn spill_trace(&mut self) -> Result<(), FileError> {
+        self.quiesce();
+        self.tel.spill_sink()
+    }
+
+    /// Stops a collection: merges outstanding worker events, writes the
+    /// final ledger snapshot and fin record, detaches the sink, and
+    /// disables tracing. Returns writer statistics (`None` when no
+    /// collection was active). The in-memory buffer remains queryable,
+    /// exactly like [`Host::stop_trace`].
+    pub fn stop_collect(&mut self) -> Result<Option<SinkStats>, FileError> {
+        self.quiesce();
+        let stats = self.tel.finish_sink();
+        self.stop_trace();
+        stats
     }
 
     fn owner_of(&self, pid: Pid) -> Option<Owner> {
@@ -1371,6 +1466,7 @@ impl Host {
                 len: packet.len(),
                 fid: rx.meta.map_or(0, |m| m.frame_id),
                 tuple: rx.meta.and_then(|m| m.tuple),
+                owner: if trace { self.owner_of(c.pid) } else { None },
                 ready_at: rx.ready_at,
                 cold: rx.cold,
                 trace,
@@ -1530,7 +1626,7 @@ impl Host {
                                 verdict: TraceVerdict::Pass,
                                 tuple,
                                 len,
-                                owner: None,
+                                owner: self.owner_of(pid),
                                 generation: 0,
                             });
                         }
@@ -1546,7 +1642,7 @@ impl Host {
                             verdict: TraceVerdict::Drop(DropCause::RingFull),
                             tuple,
                             len,
-                            owner: None,
+                            owner: self.owner_of(pid),
                             generation: 0,
                         });
                         return report;

@@ -52,5 +52,7 @@ pub use ctrl::{
 pub use host::{ConnectError, Connection, DeliveryReport, Host, HostConfig};
 pub use lib_api::NormanSocket;
 pub use policy::{PortReservation, ShapingPolicy};
-pub use telemetry::{DropCause, Owner, Snapshot, Stage, TraceEvent, TraceFilter, TraceVerdict};
+pub use telemetry::{
+    DropCause, Owner, Profile, SinkStats, Snapshot, Stage, TraceEvent, TraceFilter, TraceVerdict,
+};
 pub use workers::{ShardReport, ShardStats, WorkerError};

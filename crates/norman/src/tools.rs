@@ -33,6 +33,9 @@ pub enum ToolError {
     },
     /// The control plane rejected the operation.
     Control(String),
+    /// The trace pipeline (collection, event file, offline report)
+    /// failed.
+    Trace(String),
 }
 
 impl std::fmt::Display for ToolError {
@@ -42,6 +45,7 @@ impl std::fmt::Display for ToolError {
                 write!(f, "{tool}: permission denied (requires root)")
             }
             ToolError::Control(e) => write!(f, "control plane error: {e}"),
+            ToolError::Trace(e) => write!(f, "trace pipeline error: {e}"),
         }
     }
 }
@@ -290,7 +294,7 @@ pub mod knetstat {
                 },
                 uid: e.uid,
                 pid: e.pid,
-                comm: e.comm.clone(),
+                comm: e.comm.to_string(),
                 via: "nic",
             })
             .collect();
@@ -348,7 +352,15 @@ pub mod knetstat {
 /// filtered BPF-style by flow, owner, stage, or verdict.
 pub mod trace {
     use super::*;
-    use telemetry::{Snapshot, TraceEvent, TraceFilter};
+    use std::path::Path;
+    use telemetry::{
+        sort_file, DropCause, EventFileReader, FlowReport, FlowTracker, Header, Profile, SinkStats,
+        Snapshot, SortStats, TraceEvent, TraceFilter, TrackerConfig,
+    };
+
+    fn pipeline(e: impl std::fmt::Display) -> ToolError {
+        ToolError::Trace(e.to_string())
+    }
 
     /// Starts (or restarts) lifecycle tracing.
     pub fn start(host: &mut Host, cred: &Cred) -> Result<(), ToolError> {
@@ -389,6 +401,124 @@ pub mod trace {
     pub fn metrics(host: &Host, cred: &Cred) -> Result<Snapshot, ToolError> {
         require_root(cred, "ktrace")?;
         Ok(host.metrics_snapshot())
+    }
+
+    /// `ktrace collect` — starts a durable collection under the named
+    /// built-in profile (`full-lifecycle`, `drop-forensics`,
+    /// `flow-churn`, `recovery`), streaming selected events into the
+    /// event-series file at `path`.
+    pub fn collect(
+        host: &mut Host,
+        cred: &Cred,
+        profile_name: &str,
+        path: &Path,
+    ) -> Result<(), ToolError> {
+        require_root(cred, "ktrace")?;
+        let profile = Profile::builtin(profile_name).ok_or_else(|| {
+            ToolError::Trace(format!(
+                "unknown profile: {profile_name} (built-in: {})",
+                Profile::builtin_names().join(", ")
+            ))
+        })?;
+        host.start_collect(&profile, path).map_err(pipeline)
+    }
+
+    /// Ends a `ktrace collect`, closing the file cleanly (final ledger
+    /// snapshot + fin record) and returning writer statistics.
+    pub fn collect_stop(host: &mut Host, cred: &Cred) -> Result<SinkStats, ToolError> {
+        require_root(cred, "ktrace")?;
+        host.stop_collect()
+            .map_err(pipeline)?
+            .ok_or_else(|| ToolError::Trace("no collection is running".to_string()))
+    }
+
+    /// `ktrace sort` — rewrites a recorded file ordered by `(time, seq)`
+    /// with the sorted header flag set. Entirely offline: needs only the
+    /// file, no host.
+    pub fn sort(input: &Path, output: &Path) -> Result<SortStats, ToolError> {
+        sort_file(input, output).map_err(pipeline)
+    }
+
+    /// The offline forensic answer assembled by [`report`].
+    #[derive(Clone, Debug)]
+    pub struct Forensics {
+        /// The recorded file's header (profile, generation, sortedness).
+        pub header: Header,
+        /// Per-flow drop forensics from the flow tracker.
+        pub report: FlowReport,
+        /// Nonzero per-cause drop totals from the file's final ledger
+        /// snapshot, when the profile wrote one.
+        pub ledger_drops: Option<Vec<(DropCause, u64)>>,
+        /// Drop-conservation violations: causes where the ledger
+        /// snapshot and the recorded events disagree (empty = every
+        /// ledgered drop is accounted for in the file).
+        pub conservation: Vec<String>,
+    }
+
+    /// `ktrace report` — replays a recorded file through the flow
+    /// tracker and cross-checks drop conservation against the file's
+    /// ledger snapshot. Entirely offline: answers "which flows dropped,
+    /// where, and whose were they" from the file alone.
+    pub fn report(path: &Path) -> Result<Forensics, ToolError> {
+        report_with(path, TrackerConfig::default())
+    }
+
+    /// [`report`] with explicit tracker sizing (live-flow cap, idle GC
+    /// horizon) for traces with huge flow churn.
+    pub fn report_with(path: &Path, cfg: TrackerConfig) -> Result<Forensics, ToolError> {
+        let mut reader = EventFileReader::open(path).map_err(pipeline)?;
+        let header = reader.header.clone();
+        let (tracker, ledger) = FlowTracker::from_reader(&mut reader, cfg).map_err(pipeline)?;
+        let report = tracker.report();
+        let mut conservation = Vec::new();
+        let ledger_drops = ledger.as_ref().map(|l| {
+            for cause in DropCause::ALL {
+                let want = l.drop_counts[cause.index()];
+                let got = tracker.drops_by_cause(cause);
+                if want != got {
+                    conservation.push(format!(
+                        "drop conservation: {} — ledger {want} != recorded events {got}",
+                        cause.name()
+                    ));
+                }
+            }
+            DropCause::ALL
+                .iter()
+                .filter(|c| l.drop_counts[c.index()] != 0)
+                .map(|c| (*c, l.drop_counts[c.index()]))
+                .collect()
+        });
+        Ok(Forensics {
+            header,
+            report,
+            ledger_drops,
+            conservation,
+        })
+    }
+
+    /// Renders a [`Forensics`] for terminal output.
+    pub fn render_report(f: &Forensics) -> String {
+        let mut out = format!(
+            "profile {} (generation {}, {})\n",
+            f.header.profile,
+            f.header.generation,
+            if f.header.sorted {
+                "sorted"
+            } else {
+                "unsorted"
+            }
+        );
+        out.push_str(&f.report.render());
+        match (&f.ledger_drops, f.conservation.is_empty()) {
+            (Some(_), true) => out.push_str("drop conservation: ok (ledger == recorded events)\n"),
+            (Some(_), false) => {
+                for v in &f.conservation {
+                    out.push_str(&format!("VIOLATION: {v}\n"));
+                }
+            }
+            (None, _) => out.push_str("drop conservation: no ledger snapshot in file\n"),
+        }
+        out
     }
 
     /// Renders events as a human-readable trace, one line per stage,
@@ -568,6 +698,76 @@ mod tests {
         assert_eq!(snap.counter("nic.rx.frames"), Some(1));
         assert_eq!(snap.counter("trace.stage.rx_ingress"), Some(1));
         assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+    }
+
+    #[test]
+    fn ktrace_collect_sort_report_offline_forensics() {
+        use telemetry::{DropCause, Stage};
+        let (mut h, _) = host_with_conn();
+        let root = Cred::root();
+        let dir = std::env::temp_dir().join("norman_ktrace_forensics_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let raw = dir.join("run.ntrace");
+        let sorted = dir.join("run.sorted.ntrace");
+
+        // Unknown profiles and unprivileged users are refused up front.
+        let bob = Cred::new(Uid(1001), "bob");
+        assert_eq!(
+            trace::collect(&mut h, &bob, "drop-forensics", &raw),
+            Err(ToolError::PermissionDenied { tool: "ktrace" })
+        );
+        match trace::collect(&mut h, &root, "no-such-profile", &raw) {
+            Err(ToolError::Trace(msg)) => assert!(msg.contains("unknown profile")),
+            other => panic!("expected trace error, got {other:?}"),
+        }
+
+        // Record: overrun the 2-slot ring so RingFull drops land in the
+        // file with postgres attribution.
+        trace::collect(&mut h, &root, "drop-forensics", &raw).unwrap();
+        for i in 0..10u64 {
+            let pkt = PacketBuilder::new()
+                .ether(Mac::local(9), h.cfg.mac)
+                .ipv4(Ipv4Addr::new(10, 0, 0, 2), h.cfg.ip)
+                .udp(9000, 5432, b"query")
+                .build();
+            h.deliver_from_wire(&pkt, Time(i * 1_000_000));
+        }
+        let ring_drops = h.stats().ring_drops;
+        assert!(ring_drops > 0, "overrun did not fill the ring");
+        assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+        let stats = trace::collect_stop(&mut h, &root).unwrap();
+        assert!(stats.events > 0);
+        assert_eq!(
+            trace::collect_stop(&mut h, &root),
+            Err(ToolError::Trace("no collection is running".to_string()))
+        );
+
+        // Offline from here on: sort, then report from the file alone.
+        let sstats = trace::sort(&raw, &sorted).unwrap();
+        assert_eq!(sstats.events, stats.events);
+        let f = trace::report(&sorted).unwrap();
+        assert!(f.header.sorted);
+        assert_eq!(f.header.profile, "drop-forensics");
+        assert!(
+            f.conservation.is_empty(),
+            "conservation violations: {:?}",
+            f.conservation
+        );
+        assert_eq!(f.report.total_drops, ring_drops);
+        // The top drop site names the stage, cause, flow, and owner.
+        let site = &f.report.sites[0];
+        assert_eq!(site.stage, Stage::RingEnqueue);
+        assert_eq!(site.cause, DropCause::RingFull);
+        assert_eq!(site.count, ring_drops);
+        assert_eq!(site.tuple.dst_port, 5432);
+        let owner = site.owner.as_ref().expect("drop site is attributed");
+        assert_eq!(owner.uid, 1001);
+        assert_eq!(owner.comm, "postgres");
+        assert_eq!(f.report.owners[0].drops, ring_drops);
+        let rendered = trace::render_report(&f);
+        assert!(rendered.contains("drop conservation: ok"));
+        assert!(rendered.contains("postgres"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -34,9 +34,9 @@ use std::thread::JoinHandle;
 use memsim::{HostRing, Llc, LlcConfig, LlcPartitionPlan, LlcStats, MemCosts};
 use pkt::FiveTuple;
 use sim::{Dur, Time};
-use telemetry::{DropCause, Stage, TraceEvent, TraceVerdict};
+use telemetry::{DropCause, Owner, Stage, TraceEvent, TraceVerdict};
 
-use crate::host::RingKey;
+use crate::host::{FastMap, RingKey};
 
 /// Why [`Host::run_workers`](crate::Host::run_workers) refused, or what
 /// the shard supervisor reports after a worker crash.
@@ -121,7 +121,7 @@ pub struct ShardReport {
 }
 
 /// One frame the host asks a worker to DMA into its shard.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct DeliverJob {
     /// Position in the pump batch, for reassembly in arrival order.
     pub idx: usize,
@@ -133,6 +133,9 @@ pub(crate) struct DeliverJob {
     pub fid: u64,
     /// RX five-tuple, for trace events.
     pub tuple: Option<FiveTuple>,
+    /// Owning process of the destination ring, for drop attribution in
+    /// trace events. Only populated when `trace` is set.
+    pub owner: Option<Owner>,
     /// When the NIC finished with the frame.
     pub ready_at: Time,
     /// Whether the flow was resolved from the cold tier: its ring DMA
@@ -251,7 +254,7 @@ enum Reply {
 /// The state one worker thread owns outright.
 struct Shard {
     rings: HashMap<RingKey, (HostRing, HostRing)>,
-    ring_frame_ids: HashMap<RingKey, VecDeque<u64>>,
+    ring_frame_ids: FastMap<RingKey, VecDeque<u64>>,
     llc: Llc,
     mem: MemCosts,
     stats: ShardStats,
@@ -266,7 +269,7 @@ impl Shard {
     fn new(llc: LlcConfig, mem: MemCosts) -> Shard {
         Shard {
             rings: HashMap::new(),
-            ring_frame_ids: HashMap::new(),
+            ring_frame_ids: FastMap::default(),
             llc: Llc::new(llc),
             mem,
             stats: ShardStats::default(),
@@ -305,7 +308,7 @@ impl Shard {
                         verdict: TraceVerdict::Pass,
                         tuple: job.tuple,
                         len: job.len as u32,
-                        owner: None,
+                        owner: job.owner,
                         generation: job.generation,
                     });
                 }
@@ -324,7 +327,7 @@ impl Shard {
                         verdict: TraceVerdict::Drop(DropCause::RingFull),
                         tuple: job.tuple,
                         len: job.len as u32,
-                        owner: None,
+                        owner: job.owner,
                         generation: job.generation,
                     });
                 }

@@ -65,7 +65,7 @@ fn stack_ev(
 struct SocketEntry {
     pid: Pid,
     uid: u32,
-    comm: String,
+    comm: telemetry::Comm,
     rx_queue: VecDeque<Packet>,
     rx_bytes: u64,
     tx_bytes: u64,
@@ -359,7 +359,7 @@ impl NetStack {
         let tuple = meta.and_then(|m| m.tuple);
         let (uid, comm) = match procs.get(pid) {
             Some(p) => (p.cred.uid.0, p.comm.clone()),
-            None => (u32::MAX, String::new()),
+            None => (u32::MAX, telemetry::Comm::default()),
         };
         let m = match &meta {
             Some(meta) => ClassMatch::from_meta(meta, uid, pid.0),
@@ -492,7 +492,7 @@ impl NetStack {
                 port,
                 pid: s.pid,
                 uid: s.uid,
-                comm: s.comm.clone(),
+                comm: s.comm.to_string(),
                 rx_bytes: s.rx_bytes,
                 tx_bytes: s.tx_bytes,
                 rx_queued: s.rx_queue.len(),

@@ -39,8 +39,9 @@ pub struct Process {
     pub pid: Pid,
     /// Owner credentials.
     pub cred: Cred,
-    /// Command name (`comm`), the `cmd-owner` match target.
-    pub comm: String,
+    /// Command name (`comm`), the `cmd-owner` match target. Refcounted
+    /// so per-packet owner attribution clones a pointer, not the string.
+    pub comm: telemetry::Comm,
     /// Containing cgroup.
     pub cgroup: CgroupId,
     /// Run state.
@@ -72,7 +73,7 @@ impl ProcessTable {
             Process {
                 pid,
                 cred,
-                comm: comm.to_string(),
+                comm: telemetry::Comm::new(comm),
                 cgroup,
                 state: ProcState::Running,
             },

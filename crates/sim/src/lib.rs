@@ -16,8 +16,12 @@
 //!   time series, and rate meters used by the experiment harnesses.
 //! * [`link`] — serialization/propagation delay modelling for a fixed-rate
 //!   network link.
-//! * [`trace`] — a lightweight component trace recorder used to reproduce
-//!   the paper's Figure 1 walkthrough.
+//!
+//! Tracing note: the free-form `sim::trace::Tracer` this crate once
+//! carried is gone. Typed per-packet lifecycle tracing lives in the
+//! `telemetry` crate (`telemetry::Telemetry`, `telemetry::TraceEvent`),
+//! which adds the stage/drop-cause vocabulary, uid/pid attribution, and
+//! the durable trace pipeline the legacy recorder lacked.
 //!
 //! All simulation state is single-threaded and deterministic: running the
 //! same experiment twice with the same seed produces byte-identical output.
@@ -28,7 +32,6 @@ pub mod link;
 pub mod rng;
 pub mod stats;
 pub mod time;
-pub mod trace;
 
 pub use engine::{EventQueue, ScheduledId};
 pub use fault::{
@@ -39,4 +42,3 @@ pub use link::Link;
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, RateMeter, Summary, TimeSeries};
 pub use time::{Dur, Time};
-pub use trace::{TraceEvent, Tracer};

@@ -356,10 +356,103 @@ impl fmt::Display for TraceVerdict {
     }
 }
 
+/// A process command name, stored refcounted so per-event attribution
+/// never allocates on the hot path: the flow table / process table holds
+/// one `Comm` per flow/process, and every trace event carrying it clones
+/// a pointer, not the string. Compares and derefs like `&str`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Comm(std::sync::Arc<str>);
+
+impl Comm {
+    /// Interns a command name.
+    pub fn new(comm: &str) -> Comm {
+        Comm(std::sync::Arc::from(comm))
+    }
+
+    /// The command name as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for Comm {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Comm {
+    fn from(s: &str) -> Comm {
+        Comm::new(s)
+    }
+}
+
+impl From<&String> for Comm {
+    fn from(s: &String) -> Comm {
+        Comm::new(s)
+    }
+}
+
+impl From<String> for Comm {
+    fn from(s: String) -> Comm {
+        Comm(std::sync::Arc::from(s))
+    }
+}
+
+impl From<&Comm> for Comm {
+    fn from(c: &Comm) -> Comm {
+        c.clone()
+    }
+}
+
+impl Default for Comm {
+    fn default() -> Comm {
+        Comm::new("")
+    }
+}
+
+impl PartialEq<str> for Comm {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Comm {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Comm {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<Comm> for str {
+    fn eq(&self, other: &Comm) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Comm> for &str {
+    fn eq(&self, other: &Comm) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl fmt::Display for Comm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Process attribution joined at the kernel boundary: the paper's
 /// *process view*. The NIC's flow-table entry records uid/pid/comm when
 /// the kernel installs it, so dataplane events can carry ownership
-/// without consulting the kernel per packet.
+/// without consulting the kernel per packet. Cloning an `Owner` bumps
+/// the [`Comm`] refcount — no allocation per event.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Owner {
     /// Owning user id (0 for kernel-originated traffic).
@@ -367,16 +460,17 @@ pub struct Owner {
     /// Owning process id (0 for kernel-originated traffic).
     pub pid: u32,
     /// Process command name (e.g. `"memcached"`, `"kernel"`).
-    pub comm: String,
+    pub comm: Comm,
 }
 
 impl Owner {
-    /// Builds an owner record.
-    pub fn new(uid: u32, pid: u32, comm: &str) -> Owner {
+    /// Builds an owner record. Pass an existing [`Comm`] (or `&Comm`) to
+    /// share it without allocating; `&str` interns a fresh one.
+    pub fn new(uid: u32, pid: u32, comm: impl Into<Comm>) -> Owner {
         Owner {
             uid,
             pid,
-            comm: comm.to_string(),
+            comm: comm.into(),
         }
     }
 }

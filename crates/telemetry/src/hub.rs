@@ -32,7 +32,11 @@ use std::rc::Rc;
 use sim::stats::Histogram;
 use sim::Dur;
 
+use std::path::Path;
+
+use crate::collect::{CollectError, CollectorRegistry, CollectorSet, Profile};
 use crate::event::{DropCause, RecoveryEvent, RecoveryKind, Stage, TraceEvent, TraceFilter};
+use crate::file::{EventFileWriter, FileError, SinkStats};
 use crate::metrics::Registry;
 
 /// Default event-buffer capacity (events, not bytes).
@@ -42,6 +46,39 @@ pub const DEFAULT_CAPACITY: usize = 1 << 16;
 /// by index without a name lookup.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct HistId(usize);
+
+/// A running collection: the durable file sink a profile attached.
+/// Events stream through `writer` (bounded buffering — one `BufWriter`
+/// block); the first write error is latched and surfaced when the
+/// collection finishes, so the hot path never branches on I/O results
+/// twice.
+struct Sink {
+    writer: EventFileWriter,
+    filter: TraceFilter,
+    collectors: CollectorSet,
+    spill_ledger: bool,
+    error: Option<FileError>,
+}
+
+impl Sink {
+    fn offer(&mut self, event: &TraceEvent) {
+        if self.error.is_some() || !self.filter.matches(event) || !self.collectors.wants(event) {
+            return;
+        }
+        if let Err(e) = self.writer.append_event(event) {
+            self.error = Some(e);
+        }
+    }
+
+    fn offer_recovery(&mut self, event: &RecoveryEvent) {
+        if self.error.is_some() || !self.collectors.wants_recovery(event) {
+            return;
+        }
+        if let Err(e) = self.writer.append_recovery(event) {
+            self.error = Some(e);
+        }
+    }
+}
 
 struct Hub {
     events: VecDeque<TraceEvent>,
@@ -57,6 +94,8 @@ struct Hub {
     /// tracing.
     recovery: Vec<RecoveryEvent>,
     recovery_counts: [u64; RecoveryKind::COUNT],
+    /// The attached collection sink, when a profile is recording to disk.
+    sink: Option<Sink>,
 }
 
 impl Hub {
@@ -65,11 +104,35 @@ impl Hub {
         if let Some(cause) = event.verdict.drop_cause() {
             self.drop_counts[cause.index()] += 1;
         }
+        // While a collection is running, the durable file *is* the query
+        // surface — buffering every event a second time in the in-memory
+        // ring would double the hot-path cost for a record nobody reads
+        // (post-hoc forensics work from the file). The ledger above still
+        // counts everything, so conservation audits are unaffected.
+        if let Some(sink) = self.sink.as_mut() {
+            sink.offer(&event);
+            return;
+        }
         if self.events.len() == self.capacity {
             self.events.pop_front();
             self.evicted += 1;
         }
         self.events.push_back(event);
+    }
+
+    fn spill_sink(&mut self) -> Result<(), FileError> {
+        let Some(sink) = self.sink.as_mut() else {
+            return Ok(());
+        };
+        if let Some(e) = sink.error.take() {
+            return Err(e);
+        }
+        if sink.spill_ledger {
+            sink.writer
+                .append_ledger(&self.stage_counts, &self.drop_counts, self.evicted)?;
+        }
+        sink.writer.flush()?;
+        Ok(())
     }
 }
 
@@ -101,7 +164,9 @@ impl Telemetry {
             next_frame_id: Rc::new(Cell::new(1)),
             generation: Rc::new(Cell::new(0)),
             hub: Rc::new(RefCell::new(Hub {
-                events: VecDeque::new(),
+                // Preallocated: growing to capacity mid-run would memcpy
+                // the ring repeatedly inside the traced hot path.
+                events: VecDeque::with_capacity(capacity.max(1)),
                 capacity: capacity.max(1),
                 evicted: 0,
                 stage_counts: [0; Stage::COUNT],
@@ -109,6 +174,7 @@ impl Telemetry {
                 hists: Vec::new(),
                 recovery: Vec::new(),
                 recovery_counts: [0; RecoveryKind::COUNT],
+                sink: None,
             })),
         }
     }
@@ -218,11 +284,15 @@ impl Telemetry {
     pub fn record_recovery(&self, at: sim::Time, kind: RecoveryKind, detail: impl Into<String>) {
         let mut hub = self.hub.borrow_mut();
         hub.recovery_counts[kind.index()] += 1;
-        hub.recovery.push(RecoveryEvent {
+        let event = RecoveryEvent {
             at,
             kind,
             detail: detail.into(),
-        });
+        };
+        if let Some(sink) = hub.sink.as_mut() {
+            sink.offer_recovery(&event);
+        }
+        hub.recovery.push(event);
     }
 
     /// Total recovery events recorded with `kind`.
@@ -329,6 +399,67 @@ impl Telemetry {
         for (name, h) in hub.hists.iter() {
             reg.merge_hist(name, h);
         }
+    }
+
+    /// Attaches a durable file sink driven by `profile`: every
+    /// subsequently recorded event that passes the profile's filter and
+    /// is wanted by one of its collectors (resolved against `registry`)
+    /// streams into the event-series file at `path`. While the sink is
+    /// attached, events bypass the in-memory ring (the file is the query
+    /// surface; the ledger still counts everything). Does **not** enable
+    /// tracing or clear state — callers (e.g. `Host::start_collect`)
+    /// own that sequencing.
+    pub fn start_sink(
+        &self,
+        path: &Path,
+        profile: &Profile,
+        registry: &CollectorRegistry,
+    ) -> Result<(), CollectError> {
+        let collectors = registry.resolve(&profile.collectors)?;
+        let mut hub = self.hub.borrow_mut();
+        if hub.sink.is_some() {
+            return Err(CollectError::AlreadyCollecting);
+        }
+        let writer = EventFileWriter::create(path, &profile.name, self.generation.get())?;
+        hub.sink = Some(Sink {
+            writer,
+            filter: profile.filter.clone(),
+            collectors,
+            spill_ledger: profile.spills_ledger(),
+            error: None,
+        });
+        Ok(())
+    }
+
+    /// Whether a collection sink is attached.
+    pub fn sink_active(&self) -> bool {
+        self.hub.borrow().sink.is_some()
+    }
+
+    /// A spill point: writes a ledger snapshot (if the profile asked for
+    /// one) and flushes buffered bytes to the OS. No-op without a sink.
+    /// Surfaces any write error latched since the last spill.
+    pub fn spill_sink(&self) -> Result<(), FileError> {
+        self.hub.borrow_mut().spill_sink()
+    }
+
+    /// Detaches the sink: writes a final ledger snapshot (when the
+    /// profile spills the ledger) and the fin record, flushes, and
+    /// returns writer statistics. `Ok(None)` when no sink was attached.
+    pub fn finish_sink(&self) -> Result<Option<SinkStats>, FileError> {
+        let mut hub = self.hub.borrow_mut();
+        let Some(mut sink) = hub.sink.take() else {
+            return Ok(None);
+        };
+        if let Some(e) = sink.error.take() {
+            return Err(e);
+        }
+        if sink.spill_ledger {
+            sink.writer
+                .append_ledger(&hub.stage_counts, &hub.drop_counts, hub.evicted)?;
+        }
+        let stats = sink.writer.finish()?;
+        Ok(Some(stats))
     }
 }
 
@@ -500,6 +631,46 @@ mod tests {
         tel.clear();
         assert_eq!(tel.recovery_count(RecoveryKind::NicCrash), 0);
         assert!(tel.recovery_events().is_empty());
+    }
+
+    #[test]
+    fn sink_streams_matching_events_to_disk() {
+        use crate::collect::{CollectorRegistry, Profile};
+        use crate::file::EventSeries;
+        let path =
+            std::env::temp_dir().join(format!("norman-hub-sink-{}.nrmtrace", std::process::id()));
+        let tel = Telemetry::new();
+        tel.set_enabled(true);
+        tel.set_generation(4);
+        tel.start_sink(
+            &path,
+            &Profile::drop_forensics(),
+            &CollectorRegistry::builtin(),
+        )
+        .unwrap();
+        assert!(tel.sink_active());
+        tel.emit(|| ev(1, Stage::RxIngress, TraceVerdict::Pass)); // not collected
+        tel.emit(|| ev(1, Stage::RxDrop, TraceVerdict::Drop(DropCause::Malformed)));
+        tel.record_recovery(Time::from_ns(9), RecoveryKind::NicCrash, "boom");
+        tel.spill_sink().unwrap();
+        let stats = tel.finish_sink().unwrap().expect("sink was attached");
+        assert!(!tel.sink_active());
+        assert_eq!(stats.events, 1);
+        assert_eq!(stats.recoveries, 1);
+        assert_eq!(stats.ledgers, 2, "one spill + one final snapshot");
+        let series = EventSeries::load(&path).unwrap();
+        assert_eq!(series.header.profile, "drop-forensics");
+        assert_eq!(series.header.generation, 4);
+        assert_eq!(series.events.len(), 1);
+        assert_eq!(series.events[0].event.stage, Stage::RxDrop);
+        assert_eq!(series.events[0].event.generation, 4);
+        // The final ledger snapshot saw *both* events (ledger counts all
+        // stages, the file keeps only collected ones).
+        let ledger = series.ledger.expect("final snapshot");
+        assert_eq!(ledger.stage_counts[Stage::RxIngress.index()], 1);
+        assert_eq!(ledger.drop_counts[DropCause::Malformed.index()], 1);
+        assert!(series.fin.is_some());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -28,16 +28,44 @@
 //!   replacing the per-crate ad-hoc counter structs, snapshot-able as one
 //!   structured document and exportable as JSON.
 //!
+//! On top of the hub sits the **trace pipeline** (retis-style), which
+//! turns the bounded in-memory buffer into a durable, post-hoc-queryable
+//! record:
+//!
+//! * [`collect`] — pluggable named [`Collector`]s (lifecycle, drops,
+//!   flow-tier churn, recovery) in a [`CollectorRegistry`], bundled into
+//!   named [`Profile`]s (filter + collector set + output stages) such as
+//!   `drop-forensics`.
+//! * [`mod@file`] — the durable event-series format: versioned header,
+//!   length-prefixed checksummed records, writer-assigned sequence
+//!   numbers for stable sorts, streamed reads/writes with bounded
+//!   buffering ([`EventFileWriter`] / [`EventFileReader`] /
+//!   [`sort_file`]).
+//! * [`tracking`] — [`FlowTracker`]: per-5-tuple aggregation with
+//!   garbage collection for long-lived traces; its never-evicting
+//!   drop-site ledger answers "which flows dropped, where, and whose"
+//!   from a recorded file alone ([`FlowReport`]).
+//!
 //! The crate depends only on `sim` (time, histograms) and `pkt`
 //! (5-tuples, frame meta) so every layer above — nicsim, oskernel, qdisc,
 //! norman, bench — can register into the same hub.
 
+pub mod collect;
 pub mod event;
+pub mod file;
 pub mod hub;
 pub mod metrics;
+pub mod tracking;
 
+pub use collect::{CollectError, Collector, CollectorRegistry, CollectorSet, Profile};
 pub use event::{
-    DropCause, Owner, RecoveryEvent, RecoveryKind, Stage, TraceEvent, TraceFilter, TraceVerdict,
+    Comm, DropCause, Owner, RecoveryEvent, RecoveryKind, Stage, TraceEvent, TraceFilter,
+    TraceVerdict,
+};
+pub use file::{
+    sort_file, EventFileReader, EventFileWriter, EventSeries, FileError, Header, LedgerSnapshot,
+    Record, SinkStats, SortStats,
 };
 pub use hub::{HistId, Telemetry};
 pub use metrics::{HistRow, Registry, Snapshot};
+pub use tracking::{DropSite, FlowRecord, FlowReport, FlowTracker, OwnerDrops, TrackerConfig};

@@ -30,6 +30,15 @@ baselines in scripts/bench_baselines/ and fails on regression:
   of the sweep, and every run's audits must be clean. Comparison
   requires the same run mode (smoke), like the PR6 check.
 
+* BENCH_PR8.json (trace-pipeline overhead + offline drop forensics):
+  the collect-mode overhead versus tracing-off must stay under the 5%
+  acceptance bar (measured as best-of-reps paired process-CPU ratios,
+  so the bar is enforced even on noisy runners), drop conservation
+  between the file's ledger and its recorded events must hold, the
+  offline report must account for every ring drop, every audit must be
+  clean, and the file must contain events. These are acceptance bars,
+  not baseline comparisons, so they hold regardless of run mode.
+
 * results/substrates.json (microbench sweep): the benchmark *coverage*
   must include everything in the baseline — a bench that silently
   disappears fails the gate. Wall-clock ns/iter is compared only when
@@ -211,6 +220,42 @@ def check_pr7(fresh, base, tol, failures):
                 )
 
 
+def check_pr8(fresh, base, failures):
+    if fresh is None:
+        failures.append("BENCH_PR8.json missing — run exp_pr8_trace first")
+        return
+    if base is None:
+        failures.append("baseline BENCH_PR8.json missing")
+        return
+    # Every pr8 gate is an acceptance bar (enforced in any run mode);
+    # the experiment binary itself asserts the cross-checks in detail.
+    overhead = fresh.get("overhead_pct")
+    if overhead is None:
+        failures.append("pr8: overhead_pct missing")
+    elif overhead >= 5.0:
+        failures.append(
+            f"pr8: collect overhead {overhead:+.2f}% at or above the 5% acceptance bar"
+        )
+    if not fresh.get("conservation_ok", False):
+        failures.append("pr8: drop conservation violated (file ledger != recorded events)")
+    if fresh.get("report_total_drops") != fresh.get("ring_drops"):
+        failures.append(
+            f"pr8: offline report reconstructed {fresh.get('report_total_drops')} drops "
+            f"but the host counted {fresh.get('ring_drops')}"
+        )
+    if fresh.get("audit_violations", 1) != 0:
+        failures.append(f"pr8: {fresh.get('audit_violations')} audit violations")
+    if fresh.get("events_in_file", 0) <= 0:
+        failures.append("pr8: collection recorded no events")
+    print(
+        f"  pr8: collect overhead {overhead:+.2f}% (bar <5%); "
+        f"{fresh.get('events_in_file')} events in file, "
+        f"{fresh.get('report_total_drops')} drops reconstructed "
+        f"across {fresh.get('drop_sites')} sites, conservation "
+        f"{'ok' if fresh.get('conservation_ok') else 'VIOLATED'}"
+    )
+
+
 def check_substrates(fresh, base, wall_tol, failures):
     if fresh is None:
         failures.append("results/substrates.json missing — run the substrates bench first")
@@ -260,6 +305,9 @@ def main():
     print("check_bench: BENCH_PR7.json vs baseline")
     check_pr7(load(REPO / "BENCH_PR7.json"), load(baselines / "BENCH_PR7.json"),
               args.tolerance, failures)
+    print("check_bench: BENCH_PR8.json acceptance bars")
+    check_pr8(load(REPO / "BENCH_PR8.json"), load(baselines / "BENCH_PR8.json"),
+              failures)
     print("check_bench: results/substrates.json vs baseline")
     check_substrates(load(REPO / "results" / "substrates.json"),
                      load(baselines / "substrates.json"),

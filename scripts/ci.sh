@@ -5,15 +5,15 @@
 #   scripts/ci.sh                 # every job, sequentially
 #   scripts/ci.sh --job lint      # one job: lint | build-test |
 #                                 #   telemetry-test | recovery-test |
-#                                 #   bench-smoke | all
+#                                 #   trace-pipeline | bench-smoke | all
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 job="all"
 if [[ "${1:-}" == "--job" ]]; then
-  job="${2:?usage: ci.sh [--job lint|build-test|telemetry-test|recovery-test|bench-smoke|all]}"
+  job="${2:?usage: ci.sh [--job lint|build-test|telemetry-test|recovery-test|trace-pipeline|bench-smoke|all]}"
 elif [[ -n "${1:-}" ]]; then
-  echo "usage: ci.sh [--job lint|build-test|telemetry-test|recovery-test|bench-smoke|all]" >&2
+  echo "usage: ci.sh [--job lint|build-test|telemetry-test|recovery-test|trace-pipeline|bench-smoke|all]" >&2
   exit 2
 fi
 
@@ -61,6 +61,20 @@ run_recovery_test() {
   cargo run --release -p bench --bin exp_e9_chaos
 }
 
+run_trace_pipeline() {
+  echo "==> durable event-series format suite (round-trip, damage, sort)"
+  cargo test -q --test trace_file
+
+  echo "==> flow-tracking suite (GC bounds, attribution, conservation)"
+  cargo test -q --test flow_tracking
+
+  echo "==> record + report a smoke chaos run; drop conservation vs audit"
+  # exp_pr8_trace records the seeded sweep under `ktrace collect`, then
+  # rebuilds the forensics offline and asserts drop conservation against
+  # the host's own ledger and audit — a failed cross-check aborts it.
+  BENCH_SMOKE=1 cargo run --release -p bench --bin exp_pr8_trace
+}
+
 run_bench_smoke() {
   echo "==> bench smoke (1 iteration per bench)"
   BENCH_SMOKE=1 cargo bench --bench substrates
@@ -74,6 +88,9 @@ run_bench_smoke() {
   echo "==> connection-scaling tier bench (smoke)"
   BENCH_SMOKE=1 cargo run --release -p bench --bin exp_pr7_scale
 
+  echo "==> trace-pipeline overhead + forensics bench (smoke)"
+  BENCH_SMOKE=1 cargo run --release -p bench --bin exp_pr8_trace
+
   echo "==> bench regression guard"
   python3 scripts/check_bench.py
 }
@@ -83,16 +100,18 @@ case "$job" in
   build-test) run_build_test ;;
   telemetry-test) run_telemetry_test ;;
   recovery-test) run_recovery_test ;;
+  trace-pipeline) run_trace_pipeline ;;
   bench-smoke) run_bench_smoke ;;
   all)
     run_lint
     run_build_test
     run_telemetry_test
     run_recovery_test
+    run_trace_pipeline
     run_bench_smoke
     ;;
   *)
-    echo "unknown job: $job (want lint, build-test, telemetry-test, recovery-test, bench-smoke, or all)" >&2
+    echo "unknown job: $job (want lint, build-test, telemetry-test, recovery-test, trace-pipeline, bench-smoke, or all)" >&2
     exit 2
     ;;
 esac
