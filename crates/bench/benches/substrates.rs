@@ -188,6 +188,82 @@ fn bench_memsim() {
     });
 }
 
+fn bench_arena() {
+    use pkt::BufArena;
+
+    // Pool cycle: take a slot, write a frame header's worth, publish,
+    // drop (recycle). This is the per-frame allocator cost the arena
+    // replaces heap allocation with.
+    let arena = BufArena::new(64, 2048);
+    bench("arena", "alloc_free", || {
+        let mut w = arena.alloc().unwrap();
+        w.bytes_mut()[..64].fill(0xAB);
+        black_box(arena_frame_len(&w.freeze(1458)));
+    });
+
+    // Full RX delivery of an arena frame: NIC accept -> ring descriptor
+    // (refcount bump) -> app receive (index hand-off). No payload bytes
+    // move in host memory; only the charge model walks the slot lines.
+    let mut host = norman::Host::new(norman::HostConfig {
+        ring_slots: 64,
+        ..norman::HostConfig::default()
+    });
+    let pid = host.spawn(oskernel::Uid(1001), "bob", "server");
+    let conn = host
+        .connect(
+            pid,
+            pkt::IpProto::UDP,
+            7000,
+            std::net::Ipv4Addr::new(10, 0, 0, 2),
+            9000,
+            false,
+        )
+        .unwrap();
+    let inbound = PacketBuilder::new()
+        .ether(Mac::local(9), host.cfg.mac)
+        .ipv4(std::net::Ipv4Addr::new(10, 0, 0, 2), host.cfg.ip)
+        .udp_zeroes(9000, 7000, 1458)
+        .build_in(host.arena());
+    let mut i = 0u64;
+    bench("arena", "rx_zero_copy", || {
+        let t = Time::ZERO + sim::Dur(200_000) * i;
+        black_box(host.deliver_frame(inbound.clone(), t));
+        let r = host.app_recv(conn, t, false);
+        black_box(r.len);
+        i += 1;
+    });
+
+    // The representation the rings replaced, side by side: moving the
+    // payload bytes through the slot (copy) vs. moving a descriptor
+    // handle (refcount bump). Same modeled charges; only the host's
+    // real data movement differs.
+    let costs = MemCosts::default();
+    let payload = vec![0u8; 1458];
+    let mut llc_copy = Llc::new(LlcConfig::xeon_default());
+    let mut copy_ring = HostRing::new(0, 64, 2048);
+    bench("ring", "transfer_copy", || {
+        let bytes = black_box(&payload[..]).to_vec();
+        copy_ring
+            .produce_dma(bytes.len(), &mut llc_copy, &costs)
+            .unwrap();
+        black_box(copy_ring.consume_cpu(&mut llc_copy, &costs).unwrap());
+        black_box(bytes);
+    });
+    let mut llc_idx = Llc::new(LlcConfig::xeon_default());
+    let mut idx_ring: memsim::DescRing<pkt::Packet> = memsim::DescRing::new(0, 64, 2048);
+    bench("ring", "transfer_index", || {
+        idx_ring
+            .produce_dma_with(inbound.clone(), inbound.len(), &mut llc_idx, &costs)
+            .unwrap();
+        black_box(idx_ring.consume_cpu_desc(&mut llc_idx, &costs).unwrap());
+    });
+}
+
+/// Keeps the freeze from being optimized out without naming its fields.
+fn arena_frame_len(f: &pkt::FrameRef) -> usize {
+    f.len()
+}
+
 fn bench_asm() {
     let src = "
         map rules 65536
@@ -231,10 +307,10 @@ fn bench_extensions() {
         .ipv4("192.168.1.10".parse().unwrap(), "8.8.8.8".parse().unwrap())
         .udp(5555, 53, &[0u8; 256])
         .build();
-    nat.translate_outbound(&frame, &mut sram).unwrap();
+    nat.translate_outbound(frame.clone(), &mut sram).unwrap();
     bench("extensions", "nat_translate_outbound_hot", || {
         black_box(
-            nat.translate_outbound(black_box(&frame), &mut sram)
+            nat.translate_outbound(black_box(frame.clone()), &mut sram)
                 .unwrap(),
         );
     });
@@ -450,6 +526,7 @@ fn main() {
     bench_overlay();
     bench_flowtable();
     bench_memsim();
+    bench_arena();
     bench_asm();
     bench_extensions();
     bench_meta();

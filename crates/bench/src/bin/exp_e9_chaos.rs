@@ -150,7 +150,10 @@ fn run_chaos(scenario: &str, schedule: FaultSchedule, outage: Option<Outage>) ->
     let mut first_violation: Option<String> = None;
 
     let deliver = |host: &mut Host, at: Time, frame: Vec<u8>, delivered_ok: &mut u64| {
-        let rep = host.deliver_from_wire(&Packet::from_bytes(frame), at);
+        // Wire bytes are adopted straight into the host arena: the rest
+        // of the run moves slot references, never payload copies.
+        let pkt = host.adopt_frame(&frame);
+        let rep = host.deliver_frame(pkt, at);
         if let DeliveryOutcome::FastPath(_) = rep.outcome {
             *delivered_ok += 1;
             let _ = host.app_recv(conn, at, false);
@@ -211,6 +214,17 @@ fn run_chaos(scenario: &str, schedule: FaultSchedule, outage: Option<Outage>) ->
     if let Some(v) = first_violation.or_else(|| final_violations.into_iter().next()) {
         eprintln!("AUDIT VIOLATION [{scenario}]: {v}");
     }
+    // Segment-end conservation: with rings and socket queues drained,
+    // every slot reference handed out over the run — including frames
+    // dropped by the wire's faults, the NIC, full rings, and the
+    // reprogram outage — must be back in the pool.
+    while host.app_recv(conn, end, false).len.is_some() {}
+    while host.stack.recv(IpProto::UDP, 7000, false).0.is_some() {}
+    assert_eq!(
+        host.arena().live(),
+        0,
+        "arena slots leaked after '{scenario}'"
+    );
 
     let fs = wire.fault_stats();
     let hs = host.stats();
@@ -265,7 +279,7 @@ fn run_chaos_recovery() -> Row {
             false,
         )
         .unwrap();
-    let _lo = host
+    let lo = host
         .connect(
             pid,
             IpProto::UDP,
@@ -311,13 +325,15 @@ fn run_chaos_recovery() -> Row {
     for i in 0..ROUNDS {
         let t = Time::ZERO + GAP * i;
         for d in wire.transmit(t, hp.bytes().to_vec()) {
-            let rep = host.deliver_from_wire(&Packet::from_bytes(d.frame), d.at);
+            let pkt = host.adopt_frame(&d.frame);
+            let rep = host.deliver_frame(pkt, d.at);
             if let DeliveryOutcome::FastPath(_) = rep.outcome {
                 delivered_ok += 1;
             }
         }
         for d in wire.transmit(t, lp.bytes().to_vec()) {
-            let _ = host.deliver_from_wire(&Packet::from_bytes(d.frame), d.at);
+            let pkt = host.adopt_frame(&d.frame);
+            let _ = host.deliver_frame(pkt, d.at);
         }
         // The app drains ONLY the high-priority ring, so the low-prio
         // ring saturates and keeps the watermark detector pressured.
@@ -355,6 +371,19 @@ fn run_chaos_recovery() -> Row {
     if let Some(v) = first_violation.or_else(|| final_violations.into_iter().next()) {
         eprintln!("AUDIT VIOLATION [recovery storm]: {v}");
     }
+    // Conservation after the storm: crash wipes, overload drops, and
+    // slow-path demotions all release their slot references — draining
+    // both rings and both demoted-traffic socket queues must leave the
+    // arena empty.
+    while host.app_recv(hi, end, false).len.is_some() {}
+    while host.app_recv(lo, end, false).len.is_some() {}
+    while host.stack.recv(IpProto::UDP, 7000, false).0.is_some() {}
+    while host.stack.recv(IpProto::UDP, 7001, false).0.is_some() {}
+    assert_eq!(
+        host.arena().live(),
+        0,
+        "arena slots leaked after recovery storm"
+    );
 
     let fs = wire.fault_stats();
     let hs = host.stats();
@@ -492,7 +521,8 @@ fn run_chaos_sharded() -> Row {
                 .expect_err("panic injection must report the crash");
         }
         for d in wire.transmit(t, frames[flow].bytes().to_vec()) {
-            let rep = host.deliver_from_wire(&Packet::from_bytes(d.frame), d.at);
+            let pkt = host.adopt_frame(&d.frame);
+            let rep = host.deliver_frame(pkt, d.at);
             if let DeliveryOutcome::FastPath(_) = rep.outcome {
                 delivered_ok += 1;
                 let _ = host.app_recv(conns[flow], d.at, false);
@@ -515,7 +545,8 @@ fn run_chaos_sharded() -> Row {
         }
     }
     for d in wire.flush(Time::ZERO + PKT_GAP * FRAMES) {
-        let rep = host.deliver_from_wire(&Packet::from_bytes(d.frame), d.at);
+        let pkt = host.adopt_frame(&d.frame);
+        let rep = host.deliver_frame(pkt, d.at);
         if let DeliveryOutcome::FastPath(_) = rep.outcome {
             delivered_ok += 1;
         }
@@ -529,6 +560,20 @@ fn run_chaos_sharded() -> Row {
     host.quiesce();
     // Every worker core did real work under chaos.
     assert_eq!(host.sched.num_cores_charged(), QUEUES);
+    // Cross-shard conservation: slot references crossed the shard
+    // channels as indices; after draining every ring (through the
+    // worker hand-off) the pool must be whole again — across panics,
+    // salvages, and steering churn.
+    let end = Time::ZERO + PKT_GAP * (FRAMES + 1);
+    for &c in &conns {
+        while host.app_recv(c, end, false).len.is_some() {}
+    }
+    host.quiesce();
+    assert_eq!(
+        host.arena().live(),
+        0,
+        "arena slots leaked after sharded chaos"
+    );
 
     let fs = wire.fault_stats();
     let hs = host.stats();

@@ -91,15 +91,8 @@ impl LlcConfig {
     }
 }
 
-#[derive(Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    last_use: u64,
-}
-
 /// Per-kind hit/miss counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct LlcStats {
     /// CPU hits.
     pub cpu_hits: u64,
@@ -269,11 +262,78 @@ impl LlcPartitionPlan {
     }
 }
 
+/// Asks the kernel to back a buffer with transparent huge pages. The
+/// model's way-slot array spans megabytes and is indexed by hashed set,
+/// so with 4 KiB pages nearly every modeled access is also a real dTLB
+/// miss; 2 MiB pages remove that. Purely an optimization — errors are
+/// ignored and the call is skipped off Linux and under miri (no FFI).
+#[allow(unused_variables)]
+fn advise_huge_pages(addr: *const u8, len: usize) {
+    #[cfg(all(target_os = "linux", not(miri)))]
+    {
+        extern "C" {
+            fn madvise(addr: *mut std::ffi::c_void, length: usize, advice: i32) -> i32;
+        }
+        const MADV_HUGEPAGE: i32 = 14;
+        const PAGE: usize = 4096;
+        let start = addr as usize & !(PAGE - 1);
+        let end = (addr as usize + len + PAGE - 1) & !(PAGE - 1);
+        // SAFETY: the range covers pages of a live allocation we own;
+        // MADV_HUGEPAGE only tunes its backing, never its contents.
+        unsafe {
+            madvise(start as *mut std::ffi::c_void, end - start, MADV_HUGEPAGE);
+        }
+    }
+}
+
+/// One way slot of the modeled cache: the resident line's address (the
+/// tag) and its LRU recency stamp, packed together so the hit path's
+/// read-tag/stamp-recency pair lands in one real cache line.
+#[derive(Clone, Copy, Debug)]
+struct LineSlot {
+    tag: u64,
+    last_use: u64,
+}
+
+impl LineSlot {
+    /// An empty slot. `u64::MAX` is unreachable as a tag for any line
+    /// size above one byte (and the validity bitmask, not the sentinel,
+    /// remains the authority in the scan and victim paths).
+    const EMPTY: LineSlot = LineSlot {
+        tag: u64::MAX,
+        last_use: 0,
+    };
+}
+
 /// The last-level cache model.
+///
+/// Line state is kept struct-of-arrays — contiguous `tags`, a per-set
+/// validity bitmask, and a separate recency array — so the hit scan reads
+/// one dense cache line of tags instead of striding through larger
+/// structs. A per-set MRU way hint short-circuits the scan entirely for
+/// the (dominant) re-touch case. Neither changes any modeled outcome:
+/// valid tags within a set are unique, so the hinted hit is the same hit
+/// the scan would find, and victim selection reproduces the original
+/// first-invalid-then-LRU order exactly.
 pub struct Llc {
     cfg: LlcConfig,
     sets: u64,
-    lines: Vec<Line>,
+    ways: usize,
+    /// Tag + recency per way slot, `sets * ways` long, set-major. The
+    /// pair shares one 16-byte slot so the dominant hit path (read tag,
+    /// stamp recency) touches a single real cache line instead of two
+    /// parallel arrays.
+    lines: Vec<LineSlot>,
+    /// Per-set validity bitmask (way `w` valid iff bit `w` set).
+    valid: Vec<u64>,
+    /// Per-set most-recently-touched way hint.
+    mru: Vec<u8>,
+    /// `log2(line_bytes)` when the line size is a power of two, turning
+    /// the per-access division into a shift (identical quotients).
+    line_shift: Option<u32>,
+    /// `sets - 1` when the set count is a power of two, turning the set
+    /// modulo into a mask (identical remainders).
+    set_mask: Option<u64>,
     clock: u64,
     stats: LlcStats,
 }
@@ -283,16 +343,32 @@ impl Llc {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry is degenerate (zero sets or ways, or
-    /// `ddio_ways > ways`).
+    /// Panics if the geometry is degenerate (zero sets or ways,
+    /// `ddio_ways > ways`, or associativity above the 64 ways the per-set
+    /// validity bitmask can represent).
     pub fn new(cfg: LlcConfig) -> Llc {
         assert!(cfg.ways > 0, "cache needs at least one way");
+        assert!(cfg.ways <= 64, "associativity above 64 is unsupported");
         assert!(cfg.ddio_ways <= cfg.ways, "DDIO ways exceed associativity");
         let sets = cfg.sets();
         assert!(sets > 0, "cache smaller than one set");
+        let slots = (sets * u64::from(cfg.ways)) as usize;
+        let lines = vec![LineSlot::EMPTY; slots];
+        advise_huge_pages(
+            lines.as_ptr() as *const u8,
+            std::mem::size_of_val(&lines[..]),
+        );
         Llc {
             sets,
-            lines: vec![Line::default(); (sets * u64::from(cfg.ways)) as usize],
+            ways: cfg.ways as usize,
+            lines,
+            valid: vec![0; sets as usize],
+            mru: vec![0; sets as usize],
+            line_shift: cfg
+                .line_bytes
+                .is_power_of_two()
+                .then(|| cfg.line_bytes.trailing_zeros()),
+            set_mask: sets.is_power_of_two().then(|| sets - 1),
             clock: 0,
             cfg,
             stats: LlcStats::default(),
@@ -314,46 +390,78 @@ impl Llc {
         self.stats = LlcStats::default();
     }
 
-    fn set_index(&self, addr: u64) -> u64 {
-        let line = addr / self.cfg.line_bytes;
-        if self.cfg.hash_sets {
+    /// Line address of `addr`: the division is a shift for power-of-two
+    /// line sizes. The line address doubles as the tag — simpler than
+    /// stripping set bits and correct under hashed indexing.
+    fn line_of(&self, addr: u64) -> u64 {
+        match self.line_shift {
+            Some(s) => addr >> s,
+            None => addr / self.cfg.line_bytes,
+        }
+    }
+
+    fn set_of(&self, line: u64) -> u64 {
+        let x = if self.cfg.hash_sets {
             // SplitMix64 finalizer: decorrelates page-aligned buffers the
             // way sliced complex addressing does on real parts.
             let mut x = line.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             x ^= x >> 30;
             x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
             x ^= x >> 27;
-            x % self.sets
+            x
         } else {
-            line % self.sets
+            line
+        };
+        match self.set_mask {
+            Some(m) => x & m,
+            None => x % self.sets,
         }
-    }
-
-    fn tag(&self, addr: u64) -> u64 {
-        // The full line address is the tag: simpler than stripping set
-        // bits and correct under hashed indexing.
-        addr / self.cfg.line_bytes
     }
 
     /// Touches the single cache line containing `addr`.
     pub fn access(&mut self, addr: u64, kind: AccessKind) -> AccessOutcome {
-        self.clock += 1;
-        let set = self.set_index(addr);
-        let tag = self.tag(addr);
-        let base = (set * u64::from(self.cfg.ways)) as usize;
-        let ways = self.cfg.ways as usize;
-        let set_lines = &mut self.lines[base..base + ways];
+        self.access_line(self.line_of(addr), kind).0
+    }
 
-        // Hit anywhere in the set.
-        if let Some(line) = set_lines.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.last_use = self.clock;
+    /// Touches the line with line address (= tag) `tag`, returning the
+    /// outcome and the way slot (`set * ways + way`) now holding the
+    /// line — `None` when the access did not leave it cached (a
+    /// no-allocate DMA miss).
+    fn access_line(&mut self, tag: u64, kind: AccessKind) -> (AccessOutcome, Option<u32>) {
+        self.clock += 1;
+        let set = self.set_of(tag) as usize;
+        let base = set * self.ways;
+        let vmask = self.valid[set];
+
+        // Hit anywhere in the set. The MRU hint catches the dominant
+        // re-touch case without scanning; valid tags within a set are
+        // unique, so hint and scan can only find the same line.
+        let hint = self.mru[set] as usize;
+        let hit_way = if vmask >> hint & 1 == 1 && self.lines[base + hint].tag == tag {
+            Some(hint)
+        } else {
+            let mut m = vmask;
+            loop {
+                if m == 0 {
+                    break None;
+                }
+                let w = m.trailing_zeros() as usize;
+                if self.lines[base + w].tag == tag {
+                    break Some(w);
+                }
+                m &= m - 1;
+            }
+        };
+        if let Some(w) = hit_way {
+            self.lines[base + w].last_use = self.clock;
+            self.mru[set] = w as u8;
             match kind {
                 AccessKind::CpuRead | AccessKind::CpuWrite | AccessKind::DmaRead => {
                     self.stats.cpu_hits += 1
                 }
                 AccessKind::DmaWrite | AccessKind::DmaWriteBypass => self.stats.dma_hits += 1,
             }
-            return AccessOutcome::Hit;
+            return (AccessOutcome::Hit, Some((base + w) as u32));
         }
 
         // Miss: allocate within the ways this access class may use.
@@ -361,7 +469,7 @@ impl Llc {
             AccessKind::DmaWrite => self.cfg.ddio_ways as usize,
             // A bypassing DMA write never allocates: straight to DRAM.
             AccessKind::DmaWriteBypass => 0,
-            _ => ways,
+            _ => self.ways,
         };
         match kind {
             AccessKind::CpuRead | AccessKind::CpuWrite | AccessKind::DmaRead => {
@@ -372,19 +480,39 @@ impl Llc {
         if alloc_ways == 0 {
             // DDIO disabled (or deliberately bypassed): the write goes
             // straight to DRAM, nothing cached.
-            return AccessOutcome::Miss;
+            return (AccessOutcome::Miss, None);
         }
-        let victim = set_lines[..alloc_ways]
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.last_use } else { 0 })
-            .expect("alloc_ways > 0");
-        if victim.valid {
+        // Victim: the lowest-index invalid way if any, else LRU — the
+        // same order the original min-by-(valid ? last_use : 0) scan
+        // produced, since live stamps start at 1.
+        let allowed = if alloc_ways == 64 {
+            u64::MAX
+        } else {
+            (1u64 << alloc_ways) - 1
+        };
+        let invalid = !vmask & allowed;
+        let victim = if invalid != 0 {
+            invalid.trailing_zeros() as usize
+        } else {
             self.stats.ddio_evictions += u64::from(kind == AccessKind::DmaWrite);
-        }
-        victim.tag = tag;
-        victim.valid = true;
-        victim.last_use = self.clock;
-        AccessOutcome::Miss
+            let mut best = 0;
+            let mut best_use = u64::MAX;
+            for w in 0..alloc_ways {
+                let u = self.lines[base + w].last_use;
+                if u < best_use {
+                    best_use = u;
+                    best = w;
+                }
+            }
+            best
+        };
+        self.lines[base + victim] = LineSlot {
+            tag,
+            last_use: self.clock,
+        };
+        self.valid[set] = vmask | 1 << victim;
+        self.mru[set] = victim as u8;
+        (AccessOutcome::Miss, Some((base + victim) as u32))
     }
 
     /// Touches every line in `[addr, addr + len)` and returns the summed
@@ -393,11 +521,11 @@ impl Llc {
         if len == 0 {
             return Dur::ZERO;
         }
-        let first = addr / self.cfg.line_bytes;
-        let last = (addr + len - 1) / self.cfg.line_bytes;
+        let first = self.line_of(addr);
+        let last = self.line_of(addr + len - 1);
         let mut total = Dur::ZERO;
         for line in first..=last {
-            let outcome = self.access(line * self.cfg.line_bytes, kind);
+            let (outcome, _) = self.access_line(line, kind);
             total += match (kind, outcome) {
                 (AccessKind::DmaWrite | AccessKind::DmaWriteBypass, AccessOutcome::Hit) => {
                     costs.ddio_hit
@@ -419,6 +547,199 @@ impl Llc {
         }
         total
     }
+
+    /// [`Llc::access_range`] with a caller-held residency memo for ranges
+    /// touched repeatedly at fixed addresses (ring slots).
+    ///
+    /// The memo caches the way slot each line of the range last occupied.
+    /// On re-access, a line whose memoized slot still holds its tag is
+    /// *proven* resident — tags are full line addresses, a set never
+    /// holds duplicate tags, and valid bits are never cleared — so the
+    /// model can apply the exact hit bookkeeping (clock tick, recency
+    /// stamp, MRU hint, stats, hit cost) without re-hashing the set or
+    /// scanning ways. Any line that fails the check falls back to
+    /// `Llc::access_line` and re-records its slot, so state evolution,
+    /// stats, and returned costs are bit-identical to the plain walk —
+    /// the memo only removes redundant lookup work, never modeled work.
+    ///
+    /// Sharing one memo across producers and consumers of the same range
+    /// is sound: residency is independent of [`AccessKind`], which only
+    /// selects the stats counter and the per-line cost here. A memo used
+    /// against a different `Llc` instance simply misses its checks and
+    /// rebuilds (slot indices are bounds-checked).
+    pub fn access_range_memo(
+        &mut self,
+        addr: u64,
+        len: u64,
+        kind: AccessKind,
+        costs: &MemCosts,
+        memo: &mut RangeMemo,
+    ) -> Dur {
+        if len == 0 {
+            return Dur::ZERO;
+        }
+        let first = self.line_of(addr);
+        let last = self.line_of(addr + len - 1);
+        let n = (last - first + 1) as usize;
+        if memo.first != first || memo.slots.len() != n {
+            memo.first = first;
+            memo.slots.clear();
+            memo.slots.resize(n, u32::MAX);
+        }
+        let hit_cost = match kind {
+            AccessKind::DmaWrite | AccessKind::DmaWriteBypass => costs.ddio_hit,
+            _ => costs.llc_hit,
+        };
+        // Single-line ranges (ring descriptors) skip the walk machinery:
+        // one proven-resident check, the same clock/stamp/stat updates.
+        if n == 1 {
+            let ms = memo.slots[0];
+            if let Some(l) = self.lines.get_mut(ms as usize) {
+                if l.tag == first {
+                    self.clock += 1;
+                    l.last_use = self.clock;
+                    match kind {
+                        AccessKind::CpuRead | AccessKind::CpuWrite | AccessKind::DmaRead => {
+                            self.stats.cpu_hits += 1
+                        }
+                        AccessKind::DmaWrite | AccessKind::DmaWriteBypass => {
+                            self.stats.dma_hits += 1
+                        }
+                    }
+                    return hit_cost;
+                }
+            }
+        }
+        let mut total = Dur::ZERO;
+        // Every line access — hit or miss — advances the LRU clock by
+        // exactly one ([`Llc::access_line`] increments at its top), so
+        // line `k` of the walk always lands on stamp `clock_base + k + 1`.
+        // Hoisting the clock out of the hit path turns a per-line
+        // read-modify-write of `self.clock` into register arithmetic; the
+        // resulting stamps are identical to the incremental walk's.
+        let clock_base = self.clock;
+        let mut fast_hits: u64 = 0;
+        for (k, ms) in memo.slots.iter_mut().enumerate() {
+            let tag = first + k as u64;
+            // A matching tag at the memoized slot proves residency: empty
+            // slots hold [`LineSlot::EMPTY`] (never a reachable tag), so
+            // no separate validity load is needed here. The MRU hint is
+            // deliberately *not* refreshed on this path: the hint is a
+            // scan accelerator inside [`Llc::access_line`], verified by
+            // tag compare before use, so a stale hint changes no outcome,
+            // no stat, and no eviction — only how fast the model's own
+            // scan finds the line. Skipping it keeps the hot walk to one
+            // store per line.
+            if tag != u64::MAX {
+                if let Some(l) = self.lines.get_mut(*ms as usize) {
+                    if l.tag == tag {
+                        // Proven hit: the same observable updates the slow
+                        // path performs, with the clock stamp computed from
+                        // the hoisted base and the stats/cost increments
+                        // batched after the loop.
+                        l.last_use = clock_base + k as u64 + 1;
+                        fast_hits += 1;
+                        continue;
+                    }
+                }
+            }
+            self.clock = clock_base + k as u64;
+            let (outcome, slot) = self.access_line(tag, kind);
+            *ms = slot.unwrap_or(u32::MAX);
+            total += match (kind, outcome) {
+                (AccessKind::DmaWrite | AccessKind::DmaWriteBypass, AccessOutcome::Hit) => {
+                    costs.ddio_hit
+                }
+                (AccessKind::DmaWrite, AccessOutcome::Miss) => {
+                    if self.cfg.ddio_ways == 0 {
+                        costs.dma_dram
+                    } else {
+                        costs.ddio_alloc
+                    }
+                }
+                (AccessKind::DmaWriteBypass, AccessOutcome::Miss) => costs.dma_dram,
+                (_, AccessOutcome::Hit) => costs.llc_hit,
+                (_, AccessOutcome::Miss) => costs.dram,
+            };
+        }
+        self.clock = clock_base + n as u64;
+        if fast_hits > 0 {
+            match kind {
+                AccessKind::CpuRead | AccessKind::CpuWrite | AccessKind::DmaRead => {
+                    self.stats.cpu_hits += fast_hits
+                }
+                AccessKind::DmaWrite | AccessKind::DmaWriteBypass => {
+                    self.stats.dma_hits += fast_hits
+                }
+            }
+            total += hit_cost * fast_hits;
+        }
+        total
+    }
+
+    /// Single-line form of [`Llc::access_range_memo`] for fixed-address
+    /// ranges that fit in one cache line (ring descriptors): the memo is
+    /// one caller-held flat way-slot index instead of a [`RangeMemo`],
+    /// removing the memo struct's pointer chase from the per-descriptor
+    /// walk. State evolution, stats, and the returned cost are identical
+    /// to [`Llc::access_range`] over the same line.
+    pub fn access_line_memo(
+        &mut self,
+        addr: u64,
+        kind: AccessKind,
+        costs: &MemCosts,
+        slot: &mut u32,
+    ) -> Dur {
+        let tag = self.line_of(addr);
+        // A matching tag at the memoized slot proves residency (see
+        // [`Llc::access_range_memo`] for the argument).
+        if let Some(l) = self.lines.get_mut(*slot as usize) {
+            if l.tag == tag {
+                self.clock += 1;
+                l.last_use = self.clock;
+                return match kind {
+                    AccessKind::DmaWrite | AccessKind::DmaWriteBypass => {
+                        self.stats.dma_hits += 1;
+                        costs.ddio_hit
+                    }
+                    _ => {
+                        self.stats.cpu_hits += 1;
+                        costs.llc_hit
+                    }
+                };
+            }
+        }
+        let (outcome, s) = self.access_line(tag, kind);
+        *slot = s.unwrap_or(u32::MAX);
+        match (kind, outcome) {
+            (AccessKind::DmaWrite | AccessKind::DmaWriteBypass, AccessOutcome::Hit) => {
+                costs.ddio_hit
+            }
+            (AccessKind::DmaWrite, AccessOutcome::Miss) => {
+                if self.cfg.ddio_ways == 0 {
+                    costs.dma_dram
+                } else {
+                    costs.ddio_alloc
+                }
+            }
+            (AccessKind::DmaWriteBypass, AccessOutcome::Miss) => costs.dma_dram,
+            (_, AccessOutcome::Hit) => costs.llc_hit,
+            (_, AccessOutcome::Miss) => costs.dram,
+        }
+    }
+}
+
+/// A caller-held residency memo for [`Llc::access_range_memo`]: the flat
+/// way-slot index each line of one fixed address range occupied after its
+/// last access (`u32::MAX` = not resident). Purely an acceleration
+/// structure — stale or mismatched entries are detected (tag comparison)
+/// and repaired, never trusted.
+#[derive(Clone, Debug, Default)]
+pub struct RangeMemo {
+    /// First line address of the memoized range.
+    first: u64,
+    /// Last-known way slot per line of the range.
+    slots: Vec<u32>,
 }
 
 #[cfg(test)]

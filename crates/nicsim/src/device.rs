@@ -1503,14 +1503,18 @@ impl SmartNic {
         let fid = meta.frame_id;
         let len = packet.len() as u32;
 
-        // Borrow the entry in place: `self.flows` is a distinct field from
-        // the sniffer/stats/notify state mutated below, so no clone of the
-        // (comm-string-carrying) entry is needed.
+        // Ownership/notify fields were copied out of the entry during the
+        // lookup probe, so steering needs no second table probe. Only the
+        // comm string (consumed by observers alone) still requires the
+        // entry — skip that probe entirely unless an observer is attached.
         let cold = hit.is_some_and(|h| h.tier == FlowTier::Cold);
-        let entry = hit.and_then(|h| self.flows.entry(h.id));
-        let ctx = Self::build_ctx(Some(&meta), packet.len(), entry, false, now);
-        let entry_disp = entry.map(|e| (e.id, e.notify, e.pid));
-        let attribution = entry.map(|e| (e.uid, e.pid, &e.comm));
+        let entry_disp = hit.map(|h| (h.id, h.notify, h.pid));
+        let attribution = if self.sniffer.is_enabled() || self.tel.is_enabled() {
+            hit.and_then(|h| self.flows.entry(h.id))
+                .map(|e| (e.uid, e.pid, &e.comm))
+        } else {
+            None
+        };
 
         // Sniffer taps see everything entering the host, post-parse.
         self.sniffer.tap(
@@ -1597,18 +1601,25 @@ impl SmartNic {
             }
         }
 
-        // Overlay stages.
+        // Overlay stages. The VM context is only materialized when a
+        // stage will actually run it — with no overlay loaded the frame
+        // skips the (field-by-field) context assembly entirely, which is
+        // observationally identical since nothing else reads it.
         let filter_loaded = self.ingress_filter.is_some();
         let mut overlay_cycles = 0u64;
         let mut verdict = Verdict::Pass;
-        if let Some(vm) = self.ingress_filter.as_mut() {
-            let (v, c) = Self::run_vm(vm, &ctx);
-            overlay_cycles += c;
-            verdict = v;
-        }
-        for vm in &mut self.accounting {
-            let (_, c) = Self::run_vm(vm, &ctx);
-            overlay_cycles += c;
+        if filter_loaded || !self.accounting.is_empty() {
+            let entry = hit.and_then(|h| self.flows.entry(h.id));
+            let ctx = Self::build_ctx(Some(&meta), packet.len(), entry, false, now);
+            if let Some(vm) = self.ingress_filter.as_mut() {
+                let (v, c) = Self::run_vm(vm, &ctx);
+                overlay_cycles += c;
+                verdict = v;
+            }
+            for vm in &mut self.accounting {
+                let (_, c) = Self::run_vm(vm, &ctx);
+                overlay_cycles += c;
+            }
         }
 
         // The filter stage event. A dropping verdict is *not* recorded

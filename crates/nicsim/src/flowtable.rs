@@ -20,7 +20,9 @@
 //! exhaustion is an insert failure, exactly the pre-hierarchy behavior
 //! (§5's resource-exhaustion concern).
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
+use sim::FastMap;
 
 use pkt::{FiveTuple, IpProto};
 
@@ -199,6 +201,14 @@ pub struct LookupHit {
     pub promoted: bool,
     /// The victim this promotion demoted to make room, if any.
     pub demoted: Option<(ConnId, FiveTuple)>,
+    /// Whether the connection requested notifications — copied out of
+    /// the entry at probe time so the RX completion path can steer
+    /// without a second table probe.
+    pub notify: bool,
+    /// Owning user (copied at probe time, as above).
+    pub uid: u32,
+    /// Owning process (copied at probe time, as above).
+    pub pid: u32,
 }
 
 /// Tier/churn counters (registry keys `flowtable.*`).
@@ -234,11 +244,24 @@ pub struct RetierReport {
 /// element is the lowest-ranked, least-recently-used hot entry.
 type VictimKey = (u8, u64, u64);
 
+/// Packs a [`FiveTuple`] into one 128-bit exact-match key: two hasher
+/// rounds instead of the derive's field-by-field (and per-octet) walk.
+/// The packing is injective, so key equality is tuple equality.
+#[inline]
+fn exact_key(t: &FiveTuple) -> u128 {
+    (u128::from(u32::from(t.src_ip)) << 96)
+        | (u128::from(u32::from(t.dst_ip)) << 64)
+        | (u128::from(t.src_port) << 48)
+        | (u128::from(t.dst_port) << 32)
+        | u128::from(t.proto.0)
+}
+
 /// The flow table.
 pub struct FlowTable {
-    exact: HashMap<FiveTuple, ConnId>,
-    listeners: HashMap<(IpProto, u16), ConnId>,
-    entries: HashMap<ConnId, ConnEntry>,
+    /// Exact-match index, keyed by the packed tuple ([`exact_key`]).
+    exact: FastMap<u128, ConnId>,
+    listeners: FastMap<(IpProto, u16), ConnId>,
+    entries: FastMap<ConnId, ConnEntry>,
     /// Active cache policy; `None` = untiered boot behavior.
     cache: Option<FlowCacheConfig>,
     /// RSS queue count the hot tier is sliced across.
@@ -263,9 +286,9 @@ impl FlowTable {
     /// Creates an empty, untiered table with a single queue slice.
     pub fn new() -> FlowTable {
         FlowTable {
-            exact: HashMap::new(),
-            listeners: HashMap::new(),
-            entries: HashMap::new(),
+            exact: FastMap::default(),
+            listeners: FastMap::default(),
+            entries: FastMap::default(),
             cache: None,
             num_queues: 1,
             hot: vec![BTreeSet::new()],
@@ -433,7 +456,7 @@ impl FlowTable {
         sram: &mut Sram,
     ) -> FlowTier {
         assert!(
-            !self.entries.contains_key(&id) && !self.exact.contains_key(&tuple),
+            !self.entries.contains_key(&id) && !self.exact.contains_key(&exact_key(&tuple)),
             "restore must target a free id and tuple"
         );
         let tier = self
@@ -490,7 +513,7 @@ impl FlowTable {
             }
             FlowTier::Cold => self.cold += 1,
         }
-        self.exact.insert(tuple, id);
+        self.exact.insert(exact_key(&tuple), id);
         self.entries.insert(id, entry);
         Ok(tier)
     }
@@ -575,7 +598,7 @@ impl FlowTable {
         let Some(entry) = self.entries.remove(&id) else {
             return false;
         };
-        if self.exact.remove(&entry.tuple).is_some() {
+        if self.exact.remove(&exact_key(&entry.tuple)).is_some() {
             match entry.tier {
                 FlowTier::Hot => {
                     self.hot[usize::from(entry.queue)].remove(&Self::victim_key(&entry));
@@ -600,7 +623,7 @@ impl FlowTable {
     /// keeps batched lookups byte-identical to sequential ones).
     pub fn resolve(&self, tuple: &FiveTuple) -> Option<ConnId> {
         self.exact
-            .get(tuple)
+            .get(&exact_key(tuple))
             .or_else(|| self.listeners.get(&(tuple.proto, tuple.dst_port)))
             .copied()
     }
@@ -635,8 +658,13 @@ impl FlowTable {
             self.stats.misses += 1;
             return None;
         };
-        let entry = self.entries.get(&id).expect("resolved id has an entry");
-        // Listener hit: always hot, no recency bookkeeping.
+        // One probe serves both the listener check and the recency
+        // update: `entries`, `listeners`, `stats`, and `tick` are
+        // disjoint fields, so the mutable entry borrow can stay live
+        // across them.
+        let entry = self.entries.get_mut(&id).expect("resolved id has an entry");
+        // Listener hit: always hot, no recency bookkeeping (and no tick
+        // consumed — listener hits must not perturb flow recency stamps).
         if self
             .listeners
             .get(&(entry.tuple.proto, entry.tuple.dst_port))
@@ -648,11 +676,13 @@ impl FlowTable {
                 tier: FlowTier::Hot,
                 promoted: false,
                 demoted: None,
+                notify: entry.notify,
+                uid: entry.uid,
+                pid: entry.pid,
             });
         }
         self.tick += 1;
         let tick = self.tick;
-        let entry = self.entries.get_mut(&id).expect("exact id has an entry");
         let q = usize::from(entry.queue);
         match entry.tier {
             FlowTier::Hot => {
@@ -660,6 +690,7 @@ impl FlowTable {
                 let old = Self::victim_key(entry);
                 entry.last_use = tick;
                 let new = Self::victim_key(entry);
+                let (notify, uid, pid) = (entry.notify, entry.uid, entry.pid);
                 let set = &mut self.hot[q];
                 set.remove(&old);
                 set.insert(new);
@@ -668,12 +699,16 @@ impl FlowTable {
                     tier: FlowTier::Hot,
                     promoted: false,
                     demoted: None,
+                    notify,
+                    uid,
+                    pid,
                 })
             }
             FlowTier::Cold => {
                 self.stats.cold_hits += 1;
                 entry.last_use = tick;
                 let rank = entry.rank;
+                let (notify, uid, pid) = (entry.notify, entry.uid, entry.pid);
                 let (promoted, demoted) = if self.cache.is_some() && rank > 0 {
                     self.try_promote(id, q, sram)
                 } else {
@@ -684,6 +719,9 @@ impl FlowTable {
                     tier: FlowTier::Cold,
                     promoted,
                     demoted,
+                    notify,
+                    uid,
+                    pid,
                 })
             }
         }

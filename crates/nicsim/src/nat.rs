@@ -173,23 +173,25 @@ impl NatTable {
     /// Ingress convenience wrapper around
     /// [`NatTable::translate_outbound_frame`]: admits the packet (reusing
     /// an attached descriptor; deriving one only for foreign bytes) and
-    /// returns the rewritten buffer.
+    /// returns the rewritten buffer. Consumes the packet, so a
+    /// sole-owner buffer is rewritten in place — no clone, no copy.
     pub fn translate_outbound(
         &mut self,
-        packet: &Packet,
+        packet: Packet,
         sram: &mut Sram,
     ) -> Result<Packet, NatError> {
-        let frame = Frame::ingress(packet.clone()).map_err(|_| NatError::NotTranslatable)?;
-        Ok(self.translate_outbound_frame(&frame, sram, Time::ZERO)?.pkt)
+        let frame = Frame::ingress(packet).map_err(|_| NatError::NotTranslatable)?;
+        Ok(self.translate_outbound_frame(frame, sram, Time::ZERO)?.pkt)
     }
 
     /// The hot path: translates an outbound frame using its parse-once
-    /// descriptor — no parse, a single buffer copy, RFC 1624 checksum
-    /// deltas, and an incrementally patched descriptor on the result.
-    /// `now` stamps the lifecycle trace event when telemetry is attached.
+    /// descriptor — no parse, RFC 1624 checksum deltas applied in place
+    /// when the frame owns its buffer (one copy only when shared), and
+    /// an incrementally patched descriptor on the result. `now` stamps
+    /// the lifecycle trace event when telemetry is attached.
     pub fn translate_outbound_frame(
         &mut self,
-        frame: &Frame,
+        frame: Frame,
         sram: &mut Sram,
         now: Time,
     ) -> Result<Frame, NatError> {
@@ -206,7 +208,7 @@ impl NatTable {
                 (p, TraceVerdict::Miss)
             }
         };
-        let out = mutate::rewrite_endpoints(frame, Some((self.external_ip, ext_port)), None)
+        let out = mutate::rewrite_endpoints_owned(frame, Some((self.external_ip, ext_port)), None)
             .map_err(|_| NatError::NotTranslatable)?;
         self.translated_out += 1;
         let out = self.tag_frame(out);
@@ -216,26 +218,27 @@ impl NatTable {
 
     /// Translates an inbound frame: rewrites (dst ip, dst port) back to
     /// the internal endpoint. Ingress wrapper around
-    /// [`NatTable::translate_inbound_frame`].
-    pub fn translate_inbound(&mut self, packet: &Packet) -> Result<Packet, NatError> {
-        let frame = Frame::ingress(packet.clone()).map_err(|_| NatError::NotTranslatable)?;
-        Ok(self.translate_inbound_frame(&frame, Time::ZERO)?.pkt)
+    /// [`NatTable::translate_inbound_frame`]; consumes the packet for
+    /// the in-place rewrite.
+    pub fn translate_inbound(&mut self, packet: Packet) -> Result<Packet, NatError> {
+        let frame = Frame::ingress(packet).map_err(|_| NatError::NotTranslatable)?;
+        Ok(self.translate_inbound_frame(frame, Time::ZERO)?.pkt)
     }
 
     /// The inbound hot path, descriptor-driven like
     /// [`NatTable::translate_outbound_frame`].
-    pub fn translate_inbound_frame(&mut self, frame: &Frame, now: Time) -> Result<Frame, NatError> {
+    pub fn translate_inbound_frame(&mut self, frame: Frame, now: Time) -> Result<Frame, NatError> {
         let tuple = frame.meta.tuple.ok_or(NatError::NotTranslatable)?;
         let Some(&(int_ip, int_port)) = self.inbound.get(&(tuple.proto, tuple.dst_port)) else {
             self.misses += 1;
             let fid = self.tel.adopt_frame_id(frame.meta.frame_id);
-            self.trace(fid, now, TraceVerdict::Miss, frame);
+            self.trace(fid, now, TraceVerdict::Miss, &frame);
             return Err(NatError::NoMapping {
                 proto: tuple.proto,
                 port: tuple.dst_port,
             });
         };
-        let out = mutate::rewrite_endpoints(frame, None, Some((int_ip, int_port)))
+        let out = mutate::rewrite_endpoints_owned(frame, None, Some((int_ip, int_port)))
             .map_err(|_| NatError::NotTranslatable)?;
         self.translated_in += 1;
         let out = self.tag_frame(out);
@@ -385,7 +388,7 @@ mod tests {
     fn outbound_masquerades_and_inbound_restores() {
         let (mut nat, mut sram) = setup();
         let out = nat
-            .translate_outbound(&outbound_pkt("192.168.1.10", 5555), &mut sram)
+            .translate_outbound(outbound_pkt("192.168.1.10", 5555), &mut sram)
             .unwrap();
         let parsed = out.parse().unwrap();
         let ft = FiveTuple::from_parsed(&parsed).unwrap();
@@ -398,7 +401,7 @@ mod tests {
             .ipv4(addr("8.8.8.8"), addr("203.0.113.1"))
             .udp(53, ft.src_port, b"answer")
             .build();
-        let restored = nat.translate_inbound(&reply).unwrap();
+        let restored = nat.translate_inbound(reply).unwrap();
         let rt = FiveTuple::from_parsed(&restored.parse().unwrap()).unwrap();
         assert_eq!(rt.dst_ip, addr("192.168.1.10"));
         assert_eq!(rt.dst_port, 5555);
@@ -409,10 +412,10 @@ mod tests {
     fn same_flow_reuses_mapping() {
         let (mut nat, mut sram) = setup();
         let a = nat
-            .translate_outbound(&outbound_pkt("192.168.1.10", 5555), &mut sram)
+            .translate_outbound(outbound_pkt("192.168.1.10", 5555), &mut sram)
             .unwrap();
         let b = nat
-            .translate_outbound(&outbound_pkt("192.168.1.10", 5555), &mut sram)
+            .translate_outbound(outbound_pkt("192.168.1.10", 5555), &mut sram)
             .unwrap();
         let pa = FiveTuple::from_parsed(&a.parse().unwrap()).unwrap();
         let pb = FiveTuple::from_parsed(&b.parse().unwrap()).unwrap();
@@ -427,7 +430,7 @@ mod tests {
         let mut ports = std::collections::HashSet::new();
         for host in 0..50u8 {
             let out = nat
-                .translate_outbound(&outbound_pkt(&format!("192.168.1.{host}"), 5555), &mut sram)
+                .translate_outbound(outbound_pkt(&format!("192.168.1.{host}"), 5555), &mut sram)
                 .unwrap();
             ports.insert(
                 FiveTuple::from_parsed(&out.parse().unwrap())
@@ -448,7 +451,7 @@ mod tests {
             .udp(53, 40_000, b"stray")
             .build();
         assert!(matches!(
-            nat.translate_inbound(&stray),
+            nat.translate_inbound(stray),
             Err(NatError::NoMapping { port: 40_000, .. })
         ));
         assert_eq!(nat.counters().2, 1);
@@ -458,15 +461,15 @@ mod tests {
     fn sram_exhaustion_refuses_new_flows() {
         let mut nat = NatTable::new(addr("203.0.113.1"));
         let mut sram = Sram::new(NAT_ENTRY_BYTES * 2);
-        nat.translate_outbound(&outbound_pkt("192.168.1.1", 1), &mut sram)
+        nat.translate_outbound(outbound_pkt("192.168.1.1", 1), &mut sram)
             .unwrap();
-        nat.translate_outbound(&outbound_pkt("192.168.1.2", 1), &mut sram)
+        nat.translate_outbound(outbound_pkt("192.168.1.2", 1), &mut sram)
             .unwrap();
-        let err = nat.translate_outbound(&outbound_pkt("192.168.1.3", 1), &mut sram);
+        let err = nat.translate_outbound(outbound_pkt("192.168.1.3", 1), &mut sram);
         assert!(matches!(err, Err(NatError::Sram(_))));
         // Existing flows still translate.
         assert!(nat
-            .translate_outbound(&outbound_pkt("192.168.1.1", 1), &mut sram)
+            .translate_outbound(outbound_pkt("192.168.1.1", 1), &mut sram)
             .is_ok());
     }
 
@@ -474,7 +477,7 @@ mod tests {
     fn expire_frees_sram_and_port() {
         let (mut nat, mut sram) = setup();
         let out = nat
-            .translate_outbound(&outbound_pkt("192.168.1.10", 5555), &mut sram)
+            .translate_outbound(outbound_pkt("192.168.1.10", 5555), &mut sram)
             .unwrap();
         let ext_port = FiveTuple::from_parsed(&out.parse().unwrap())
             .unwrap()
@@ -487,7 +490,7 @@ mod tests {
             .ipv4(addr("8.8.8.8"), addr("203.0.113.1"))
             .udp(53, ext_port, b"late")
             .build();
-        assert!(nat.translate_inbound(&reply).is_err());
+        assert!(nat.translate_inbound(reply).is_err());
         assert!(!nat.expire((addr("192.168.1.10"), 5555, IpProto::UDP), &mut sram));
     }
 
@@ -509,7 +512,7 @@ mod tests {
             .ipv4(addr("8.8.8.8"), addr("203.0.113.1"))
             .udp(5353, 8053, b"query")
             .build();
-        let fwd = nat.translate_inbound(&inbound).unwrap();
+        let fwd = nat.translate_inbound(inbound).unwrap();
         let ft = FiveTuple::from_parsed(&fwd.parse().unwrap()).unwrap();
         assert_eq!((ft.dst_ip, ft.dst_port), (addr("192.168.1.10"), 53));
 
@@ -532,7 +535,7 @@ mod tests {
     #[test]
     fn clear_statics_releases_everything_but_dynamics() {
         let (mut nat, mut sram) = setup();
-        nat.translate_outbound(&outbound_pkt("192.168.1.50", 9999), &mut sram)
+        nat.translate_outbound(outbound_pkt("192.168.1.50", 9999), &mut sram)
             .unwrap();
         nat.install_static(IpProto::UDP, 8053, (addr("192.168.1.10"), 53), &mut sram)
             .unwrap();
@@ -544,7 +547,7 @@ mod tests {
         assert_eq!(sram.used_by(SramCategory::Nat), NAT_ENTRY_BYTES);
         // The dynamic mapping still translates.
         assert!(nat
-            .translate_outbound(&outbound_pkt("192.168.1.50", 9999), &mut sram)
+            .translate_outbound(outbound_pkt("192.168.1.50", 9999), &mut sram)
             .is_ok());
     }
 
@@ -553,7 +556,7 @@ mod tests {
         let (mut nat, mut sram) = setup();
         let arp = PacketBuilder::arp_request(Mac::local(1), addr("1.1.1.1"), addr("2.2.2.2"));
         assert!(matches!(
-            nat.translate_outbound(&arp, &mut sram),
+            nat.translate_outbound(arp, &mut sram),
             Err(NatError::NotTranslatable)
         ));
     }
@@ -565,7 +568,7 @@ mod tests {
         let (mut nat, mut sram) = setup();
         for i in 0..20u16 {
             let out = nat
-                .translate_outbound(&outbound_pkt("192.168.1.77", 1000 + i), &mut sram)
+                .translate_outbound(outbound_pkt("192.168.1.77", 1000 + i), &mut sram)
                 .unwrap();
             assert!(out.parse().is_ok());
         }

@@ -13,7 +13,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::Ipv4Addr;
 
-use memsim::{HostRing, Llc, LlcConfig, LlcPartitionPlan, LlcStats, MemCosts, MmioBus};
+use memsim::{DescRing, Llc, LlcConfig, LlcPartitionPlan, LlcStats, MemCosts, MmioBus};
 use nicsim::pipeline::{DropReason, TxDeparture};
 use nicsim::{
     ConnId, NatTable, NicConfig, NicError, Notification, NotifyKind, RxDisposition, SmartNic,
@@ -22,7 +22,7 @@ use nicsim::{
 use oskernel::{
     ArpCache, CgroupId, CgroupTree, Cred, NetStack, Pid, ProcessTable, RxOutcome, Scheduler, Uid,
 };
-use pkt::{FiveTuple, IpProto, Mac, Packet};
+use pkt::{BufArena, FiveTuple, IpProto, Mac, Packet};
 use sim::fault::{CrashInjector, OpFaultInjector};
 use sim::{Dur, Time};
 use telemetry::{
@@ -61,6 +61,12 @@ pub struct HostConfig {
     /// for a bitstream reprogram. Beyond this, sends are refused
     /// (backpressure) rather than growing memory unboundedly.
     pub tx_retry_cap: usize,
+    /// Slots in the host's frame buffer arena (each `ring_slot_bytes`
+    /// wide). Harness-built and wire-adopted frames live here so the
+    /// whole RX path — NIC, rings, sniffer taps, app delivery — shares
+    /// one buffer per frame. Exhaustion falls back to heap frames
+    /// (correct, just not pooled), so sizing is a performance knob.
+    pub arena_slots: usize,
 }
 
 impl Default for HostConfig {
@@ -76,6 +82,7 @@ impl Default for HostConfig {
             shared_rings: false,
             doorbell_batch: 4,
             tx_retry_cap: 64,
+            arena_slots: 4096,
         }
     }
 }
@@ -116,54 +123,15 @@ pub(crate) enum RingKey {
     Proc(Pid),
 }
 
-/// Multiply-xor hasher for the per-frame trace bookkeeping maps keyed
-/// by [`RingKey`] (two small integers). The default SipHash costs more
-/// than the ring operation it guards, which shows up directly as
-/// tracing overhead; map iteration order is never relied on (drains
-/// sort by [`RingKey::order`]).
-#[derive(Clone, Copy, Default)]
-pub(crate) struct FxHasher(u64);
+/// See [`sim::FastMap`]: hot-path maps keyed by simulation-internal
+/// values (iteration order never relied on; exposure paths sort).
+pub(crate) use sim::FastMap;
 
-impl FxHasher {
-    #[inline]
-    fn add(&mut self, v: u64) {
-        const K: u64 = 0x517c_c1b7_2722_0a95;
-        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(K);
-    }
-}
-
-impl std::hash::Hasher for FxHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.add(u64::from(b));
-        }
-    }
-    #[inline]
-    fn write_u8(&mut self, v: u8) {
-        self.add(u64::from(v));
-    }
-    #[inline]
-    fn write_u32(&mut self, v: u32) {
-        self.add(u64::from(v));
-    }
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        self.add(v);
-    }
-    #[inline]
-    fn write_usize(&mut self, v: usize) {
-        self.add(v as u64);
-    }
-}
-
-/// A `HashMap` using [`FxHasher`]; only for hot-path maps whose keys
-/// are trusted small integers (no HashDoS exposure).
-pub(crate) type FastMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<FxHasher>>;
+/// A host ring whose descriptors are the frame handles themselves: the
+/// slot a frame occupies in the memory model is paired with the
+/// [`Packet`] that owns its bytes, so RX→app delivery moves a refcount,
+/// never a payload.
+pub(crate) type PktRing = DescRing<Packet>;
 
 impl RingKey {
     /// A total order so worker shards can drain their rings
@@ -221,10 +189,14 @@ pub struct DeliveryReport {
 }
 
 /// Result of an `app_recv`.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct RecvResult {
     /// Payload length received, if any.
     pub len: Option<usize>,
+    /// The received frame itself — the very buffer the NIC wrote,
+    /// handed to the application as a refcounted handle (zero-copy
+    /// delivery; `len == pkt.len()` when both are set).
+    pub pkt: Option<Packet>,
     /// Application CPU consumed.
     pub cpu: Dur,
     /// Whether the process blocked (notify connections only).
@@ -303,11 +275,17 @@ pub struct Host {
     pub stack: NetStack,
     /// The kernel ARP cache (ARP is a slow-path protocol under KOPI).
     pub arp: ArpCache,
-    conns: HashMap<ConnId, Connection>,
-    listeners: HashMap<ConnId, (Pid, IpProto, u16)>,
-    pending_accepts: HashMap<ConnId, std::collections::VecDeque<FiveTuple>>,
-    rings: HashMap<RingKey, (HostRing, HostRing)>,
+    conns: FastMap<ConnId, Connection>,
+    listeners: FastMap<ConnId, (Pid, IpProto, u16)>,
+    pending_accepts: FastMap<ConnId, std::collections::VecDeque<FiveTuple>>,
+    rings: FastMap<RingKey, (PktRing, PktRing)>,
     tx_retry: VecDeque<(ConnId, Packet)>,
+    /// The pooled frame arena: one slab of `arena_slots x ring_slot_bytes`
+    /// backing every arena-built or wire-adopted frame on this host.
+    arena: BufArena,
+    /// Arena-backed descriptors resident in worker-shard rings, as summed
+    /// at the most recent quiesce barrier (audit ledger input).
+    shard_arena_resident: u64,
     /// The unified control plane: the only writer of dataplane policy.
     ctrl: ControlPlane,
     /// The kernel-owned NAT table, created and populated solely by
@@ -387,11 +365,13 @@ impl Host {
             nic,
             stack,
             arp: ArpCache::new(cfg.ip, cfg.mac),
-            conns: HashMap::new(),
-            listeners: HashMap::new(),
-            pending_accepts: HashMap::new(),
-            rings: HashMap::new(),
+            conns: FastMap::default(),
+            listeners: FastMap::default(),
+            pending_accepts: FastMap::default(),
+            rings: FastMap::default(),
             tx_retry: VecDeque::new(),
+            arena: BufArena::new(cfg.arena_slots, cfg.ring_slot_bytes),
+            shard_arena_resident: 0,
             ctrl: ControlPlane::new(tel.clone()),
             nat: None,
             next_ring_index: 0,
@@ -504,6 +484,7 @@ impl Host {
             return 0;
         };
         let mut queued = 0;
+        let mut shard_arena = 0;
         for (core, rep) in pool.quiesce().into_iter().enumerate() {
             self.stats.fast_delivered += rep.stats.fast_delivered;
             self.stats.ring_drops += rep.stats.ring_drops;
@@ -512,7 +493,9 @@ impl Host {
             self.shard_llc[core].absorb(&rep.llc);
             self.tel.absorb(rep.events);
             queued += rep.queued_fids;
+            shard_arena += rep.arena_resident;
         }
+        self.shard_arena_resident = shard_arena;
         self.absorb_worker_crashes(Time::ZERO);
         queued
     }
@@ -717,6 +700,28 @@ impl Host {
         if let Some(pool) = self.workers.as_ref() {
             violations.extend(pool.plan().audit());
         }
+        // Arena conservation: every live slot must be reachable from some
+        // resident handle — host rings, shard rings (summed at the quiesce
+        // barrier above), kernel socket queues, or the TX retry buffer. A
+        // live count above residency means a leaked (unreachable) slot.
+        // Residency can legitimately exceed liveness: many descriptors may
+        // share one slot (taps, redeliveries), and heap-backed frames also
+        // occupy descriptors.
+        let live = self.arena.live() as u64;
+        let resident = self
+            .rings
+            .values()
+            .flat_map(|(rx, tx)| rx.iter_descs().chain(tx.iter_descs()))
+            .filter(|p| p.is_arena())
+            .count() as u64
+            + self.shard_arena_resident
+            + self.stack.arena_resident() as u64
+            + self.tx_retry.iter().filter(|(_, p)| p.is_arena()).count() as u64;
+        if live > resident {
+            violations.push(format!(
+                "arena occupancy: {live} live slots > {resident} resident handles (leak)"
+            ));
+        }
         if !self.tel.is_enabled() {
             return violations;
         }
@@ -789,6 +794,8 @@ impl Host {
         reg.set_counter("host.tx_retry_len", self.tx_retry.len() as u64);
         reg.set_counter("host.workers", self.num_workers() as u64);
         reg.set_gauge("host.kernel_cpu_us", self.kernel_cpu.as_us_f64());
+        reg.set_counter("host.arena_live", self.arena.live() as u64);
+        reg.set_counter("host.arena_slots", self.arena.slots() as u64);
         let llc = self.llc.stats();
         reg.set_counter("llc.ddio_evictions", llc.ddio_evictions);
         reg.set_counter("llc.dma_hits", llc.dma_hits);
@@ -805,6 +812,26 @@ impl Host {
     /// retry buffer.
     pub fn tx_retry_len(&self) -> usize {
         self.tx_retry.len()
+    }
+
+    /// The host's pooled frame arena. Harnesses build frames here
+    /// (via [`pkt::PacketBuilder::build_in`]) so injection is zero-copy
+    /// end to end; tests read [`pkt::BufArena::live`] to assert the
+    /// pool drains back to zero.
+    pub fn arena(&self) -> &BufArena {
+        &self.arena
+    }
+
+    /// Adopts raw wire bytes into the host arena, falling back to a
+    /// heap-backed frame when the pool is exhausted (correct either
+    /// way; only pooling is lost). This is the ingress edge: everything
+    /// downstream — NIC, rings, taps, app delivery — shares the one
+    /// buffer written here.
+    pub fn adopt_frame(&self, bytes: &[u8]) -> Packet {
+        match self.arena.adopt(bytes) {
+            Some(frame) => Packet::from_arena(frame),
+            None => Packet::from_bytes(bytes.to_vec()),
+        }
     }
 
     /// Returns an open connection.
@@ -1161,8 +1188,8 @@ impl Host {
             if pool.owner_of(ring_key).is_none() {
                 let n = pool.num_workers();
                 let shard = self.shard_for_tuple(&tuple, n);
-                let rx = HostRing::new(self.alloc_ring_addr(), slots, slot_bytes);
-                let tx = HostRing::new(self.alloc_ring_addr(), slots, slot_bytes);
+                let rx = PktRing::new(self.alloc_ring_addr(), slots, slot_bytes);
+                let tx = PktRing::new(self.alloc_ring_addr(), slots, slot_bytes);
                 self.workers.as_mut().expect("checked above").install(
                     shard,
                     ring_key,
@@ -1172,8 +1199,8 @@ impl Host {
                 );
             }
         } else if !self.rings.contains_key(&ring_key) {
-            let rx = HostRing::new(self.alloc_ring_addr(), slots, slot_bytes);
-            let tx = HostRing::new(self.alloc_ring_addr(), slots, slot_bytes);
+            let rx = PktRing::new(self.alloc_ring_addr(), slots, slot_bytes);
+            let tx = PktRing::new(self.alloc_ring_addr(), slots, slot_bytes);
             self.rings.insert(ring_key, (rx, tx));
         }
         self.conns.insert(
@@ -1278,7 +1305,7 @@ impl Host {
     /// 16 GiB physical arena instead.
     fn alloc_ring_addr(&mut self) -> u64 {
         let footprint =
-            (self.cfg.ring_slots as u64) * (HostRing::DESC_BYTES + self.cfg.ring_slot_bytes as u64);
+            (self.cfg.ring_slots as u64) * (PktRing::DESC_BYTES + self.cfg.ring_slot_bytes as u64);
         let cell = footprint.next_multiple_of(4096);
         // Power-of-two cell count so the odd multiplier is a bijection.
         let cells = ((16u64 << 30) / cell).next_power_of_two() / 2;
@@ -1386,11 +1413,21 @@ impl Host {
 
     /// A frame arrives from the wire at `now`.
     pub fn deliver_from_wire(&mut self, packet: &Packet, now: Time) -> DeliveryReport {
+        self.deliver_frame(packet.clone(), now)
+    }
+
+    /// [`Host::deliver_from_wire`] with frame ownership handed over — the
+    /// NIC presenting an already-DMA'd buffer rather than bytes to copy.
+    /// On the fast path the frame handle moves straight into the RX ring
+    /// descriptor with no refcount traffic at all; harnesses that own
+    /// their frames (the wall-clock benches, the chaos driver) should
+    /// prefer this entry point.
+    pub fn deliver_frame(&mut self, packet: Packet, now: Time) -> DeliveryReport {
         self.maybe_reconcile(now);
-        let rx = self.nic.rx(packet, now);
+        let rx = self.nic.rx(&packet, now);
         if self.workers.is_some() {
             return self
-                .finish_batch_workers(std::slice::from_ref(packet), vec![rx], now)
+                .finish_batch_workers(std::slice::from_ref(&packet), vec![rx], now)
                 .pop()
                 .expect("one frame in, one report out");
         }
@@ -1415,7 +1452,7 @@ impl Host {
             packets
                 .iter()
                 .zip(rxs)
-                .map(|(p, rx)| self.finish_delivery(p, rx, now))
+                .map(|(p, rx)| self.finish_delivery(p.clone(), rx, now))
                 .collect()
         };
         let departures = self.pump_tx(now);
@@ -1455,7 +1492,7 @@ impl Host {
                 // Listener, stale-connection, slow-path, ARP, demoted,
                 // and drop verdicts never touch a shard; handle them
                 // inline.
-                reports.push(self.finish_delivery(packet, rx, now));
+                reports.push(self.finish_delivery(packet.clone(), rx, now));
                 continue;
             };
             let c = &self.conns[&conn];
@@ -1464,6 +1501,7 @@ impl Host {
                 idx,
                 key: c.ring_key,
                 len: packet.len(),
+                pkt: packet.clone(),
                 fid: rx.meta.map_or(0, |m| m.frame_id),
                 tuple: rx.meta.and_then(|m| m.tuple),
                 owner: if trace { self.owner_of(c.pid) } else { None },
@@ -1531,7 +1569,7 @@ impl Host {
     /// re-parses frame bytes.
     fn finish_delivery(
         &mut self,
-        packet: &Packet,
+        packet: Packet,
         rx: nicsim::RxResult,
         now: Time,
     ) -> DeliveryReport {
@@ -1553,7 +1591,7 @@ impl Host {
                             .or_default()
                             .push_back(tuple);
                     }
-                    let (_, cost) = self.stack_rx(packet, rx.meta.as_ref(), now);
+                    let (_, cost) = self.stack_rx(&packet, rx.meta.as_ref(), now);
                     self.kernel_cpu += cost;
                     report.kernel_cpu = cost;
                     report.outcome = DeliveryOutcome::SlowPath;
@@ -1574,7 +1612,7 @@ impl Host {
                     // fast path so high-priority traffic keeps the
                     // rings. The frame is handled by the kernel stack —
                     // slower, but delivered and accounted.
-                    let (outcome, cost) = self.stack_rx(packet, rx.meta.as_ref(), now);
+                    let (outcome, cost) = self.stack_rx(&packet, rx.meta.as_ref(), now);
                     self.stack.note_degraded_rx();
                     self.kernel_cpu += cost;
                     report.kernel_cpu = cost;
@@ -1600,16 +1638,17 @@ impl Host {
                     report.outcome = DeliveryOutcome::SlowPath;
                     return report;
                 };
-                let fid = rx.meta.map_or(0, |m| m.frame_id);
-                let tuple = rx.meta.and_then(|m| m.tuple);
                 let len = packet.len() as u32;
                 // Cold-tier flows DMA with DDIO bypass: a demoted flow's
                 // ring traffic must not evict the DDIO lines hot flows
                 // depend on (the §5 cliff mechanism).
+                // The descriptor *is* the frame handle: producing into the
+                // ring bumps the frame's refcount instead of copying bytes.
+                let plen = packet.len();
                 let produced = if rx.cold {
-                    rx_ring.produce_dma_bypass(packet.len(), &mut self.llc, &mem)
+                    rx_ring.produce_dma_bypass_with(packet, plen, &mut self.llc, &mem)
                 } else {
-                    rx_ring.produce_dma(packet.len(), &mut self.llc, &mem)
+                    rx_ring.produce_dma_with(packet, plen, &mut self.llc, &mem)
                 };
                 match produced {
                     Ok(cost) => {
@@ -1618,6 +1657,10 @@ impl Host {
                         self.stats.fast_delivered += 1;
                         self.note_ring_pressure(false, now);
                         if self.tel.is_enabled() {
+                            // Meta fields are only read for trace events, so
+                            // the (wide) meta copy stays behind the gate.
+                            let fid = rx.meta.as_ref().map_or(0, |m| m.frame_id);
+                            let tuple = rx.meta.as_ref().and_then(|m| m.tuple);
                             self.ring_frame_ids.entry(key).or_default().push_back(fid);
                             self.tel.emit(|| TraceEvent {
                                 frame_id: fid,
@@ -1635,6 +1678,8 @@ impl Host {
                         report.outcome = DeliveryOutcome::RingFull(conn);
                         self.stats.ring_drops += 1;
                         self.note_ring_pressure(true, now);
+                        let fid = rx.meta.as_ref().map_or(0, |m| m.frame_id);
+                        let tuple = rx.meta.as_ref().and_then(|m| m.tuple);
                         self.tel.emit(|| TraceEvent {
                             frame_id: fid,
                             at: rx.ready_at,
@@ -1665,12 +1710,12 @@ impl Host {
                     report.kernel_cpu = cost;
                     report.outcome = DeliveryOutcome::SlowPath;
                     self.stats.slowpath += 1;
-                    if let Some(reply) = self.arp.handle_meta(packet, &meta, now) {
+                    if let Some(reply) = self.arp.handle_meta(&packet, &meta, now) {
                         let _ = self.nic.tx_enqueue_kernel(&reply, now);
                     }
                     return report;
                 }
-                let (outcome, cost) = self.stack_rx(packet, rx.meta.as_ref(), now);
+                let (outcome, cost) = self.stack_rx(&packet, rx.meta.as_ref(), now);
                 self.kernel_cpu += cost;
                 report.kernel_cpu = cost;
                 report.outcome = DeliveryOutcome::SlowPath;
@@ -1701,6 +1746,7 @@ impl Host {
         let Some(conn) = self.conns.get(&id) else {
             return RecvResult {
                 len: None,
+                pkt: None,
                 cpu: Dur::ZERO,
                 blocked: false,
             };
@@ -1717,12 +1763,13 @@ impl Host {
             self.stats.ring_missing += 1;
             return RecvResult {
                 len: None,
+                pkt: None,
                 cpu: Dur::ZERO,
                 blocked: false,
             };
         };
-        match rx_ring.consume_cpu(&mut self.llc, &mem) {
-            Some((len, cost)) => {
+        match rx_ring.consume_cpu_desc(&mut self.llc, &mem) {
+            Some((pkt, len, cost)) => {
                 let cpu = cost + self.doorbell_cost();
                 self.sched.charge_busy(pid, cpu);
                 if self.tel.is_enabled() {
@@ -1755,6 +1802,7 @@ impl Host {
                 }
                 RecvResult {
                     len: Some(len),
+                    pkt: Some(pkt),
                     cpu,
                     blocked: false,
                 }
@@ -1771,6 +1819,7 @@ impl Host {
                 }
                 RecvResult {
                     len: None,
+                    pkt: None,
                     cpu,
                     blocked,
                 }
@@ -1800,6 +1849,7 @@ impl Host {
             self.stats.ring_missing += 1;
             return RecvResult {
                 len: None,
+                pkt: None,
                 cpu: Dur::ZERO,
                 blocked: false,
             };
@@ -1810,7 +1860,12 @@ impl Host {
             .expect("worker mode active")
             .recv(shard, key, trace);
         match reply {
-            RecvReply::Data { len, cost, fid } => {
+            RecvReply::Data {
+                pkt,
+                len,
+                cost,
+                fid,
+            } => {
                 let cpu = cost + self.doorbell_cost();
                 self.sched.charge_busy(pid, cpu);
                 if trace {
@@ -1838,6 +1893,7 @@ impl Host {
                 }
                 RecvResult {
                     len: Some(len),
+                    pkt: Some(pkt),
                     cpu,
                     blocked: false,
                 }
@@ -1853,6 +1909,7 @@ impl Host {
                 }
                 RecvResult {
                     len: None,
+                    pkt: None,
                     cpu,
                     blocked,
                 }
@@ -1861,6 +1918,7 @@ impl Host {
                 self.stats.ring_missing += 1;
                 RecvResult {
                     len: None,
+                    pkt: None,
                     cpu: Dur::ZERO,
                     blocked: false,
                 }
@@ -1911,16 +1969,17 @@ impl Host {
                 cpu: Dur::ZERO,
             };
         };
-        let produce = match tx_ring.produce_cpu(packet.len(), &mut self.llc, &mem) {
-            Ok(cost) => cost,
-            Err(_) => {
-                return SendResult {
-                    queued: false,
-                    deferred: false,
-                    cpu: mem.llc_hit,
+        let produce =
+            match tx_ring.produce_cpu_with(packet.clone(), packet.len(), &mut self.llc, &mem) {
+                Ok(cost) => cost,
+                Err(_) => {
+                    return SendResult {
+                        queued: false,
+                        deferred: false,
+                        cpu: mem.llc_hit,
+                    }
                 }
-            }
-        };
+            };
         let doorbell = self.doorbell_cost();
         // NIC side: DMA-read the frame out of the ring.
         if let Some((_, tx_ring)) = self.rings.get_mut(&key) {
@@ -1989,11 +2048,12 @@ impl Host {
                 cpu: Dur::ZERO,
             };
         };
-        let reply =
-            self.workers
-                .as_mut()
-                .expect("worker mode active")
-                .send(shard, key, packet.len());
+        let reply = self.workers.as_mut().expect("worker mode active").send(
+            shard,
+            key,
+            packet.clone(),
+            packet.len(),
+        );
         let produce = match reply {
             SendReply::Produced(cost) => cost,
             SendReply::Full => {
@@ -2543,5 +2603,117 @@ mod tests {
         let pkt = wire_udp(h.cfg.ip, 9000, 7000, 64);
         let report = h.deliver_from_wire(&pkt, Time::ZERO);
         assert_eq!(report.outcome, DeliveryOutcome::SlowPath);
+    }
+
+    /// Lifecycle property: across seeded chaos — a lossy, corrupting,
+    /// reordering wire, a seeded NIC crash injector, and tiny rings
+    /// that overflow constantly — every arena slot reference is
+    /// eventually returned. Occupancy must come back to zero once the
+    /// rings drain, for every seed.
+    #[test]
+    fn arena_conserved_under_seeded_chaos() {
+        for seed in [1u64, 0xBEEF, 0x9_E9_E9] {
+            let mut h = Host::new(HostConfig {
+                ring_slots: 4,
+                arena_slots: 64,
+                ..HostConfig::default()
+            });
+            let bob = h.spawn(Uid(1001), "bob", "server");
+            let conn = open_conn(&mut h, bob, 7000, false);
+            h.set_nic_crash_injector(sim::fault::CrashInjector::seeded_rate(seed ^ 0x55, 0.002));
+            let schedule = sim::FaultSchedule {
+                corrupt_rate: 0.01,
+                reorder_rate: 0.02,
+                reorder_window: 4,
+                ..sim::FaultSchedule::steady_loss(0.05)
+            };
+            let mut wire = sim::FaultyLink::new(sim::Link::hundred_gbe(), seed, schedule);
+            let template = wire_udp(h.cfg.ip, 9000, 7000, 1000);
+            for i in 0..2_000u64 {
+                let t = Time::ZERO + Dur(5_000) * i;
+                for d in wire.transmit(t, template.bytes().to_vec()) {
+                    let pkt = h.adopt_frame(&d.frame);
+                    let _ = h.deliver_frame(pkt, d.at);
+                }
+                // Drain rarely, so RingFull drops exercise the
+                // refused-descriptor release path.
+                if i % 32 == 0 {
+                    while h.app_recv(conn, t, false).len.is_some() {}
+                }
+            }
+            let end = Time::ZERO + Dur(5_000) * 2_000;
+            for d in wire.flush(end) {
+                let pkt = h.adopt_frame(&d.frame);
+                let _ = h.deliver_frame(pkt, d.at);
+            }
+            while h.app_recv(conn, end, false).len.is_some() {}
+            assert!(h.audit().is_empty(), "seed {seed}: {:?}", h.audit());
+            assert_eq!(h.arena().live(), 0, "seed {seed} leaked arena slots");
+        }
+    }
+
+    /// Representation property: an identical seeded delivery sequence
+    /// observed through heap-backed frames and through arena-adopted
+    /// frames produces identical outcomes, costs, and model state — the
+    /// arena changes where bytes live, never what the model sees.
+    #[test]
+    fn replay_heap_vs_arena_identical() {
+        let run = |adopt: bool| {
+            let mut h = Host::new(HostConfig {
+                ring_slots: 4,
+                ..HostConfig::default()
+            });
+            let bob = h.spawn(Uid(1001), "bob", "server");
+            let conn = open_conn(&mut h, bob, 7000, false);
+            let mut wire = sim::FaultyLink::new(
+                sim::Link::hundred_gbe(),
+                7,
+                sim::FaultSchedule {
+                    corrupt_rate: 0.01,
+                    ..sim::FaultSchedule::steady_loss(0.02)
+                },
+            );
+            let template = wire_udp(h.cfg.ip, 9000, 7000, 700);
+            let mut log: Vec<(u8, u64, u64)> = Vec::new();
+            let mut recv_cpu = Dur::ZERO;
+            for i in 0..500u64 {
+                let t = Time::ZERO + Dur(5_000) * i;
+                for d in wire.transmit(t, template.bytes().to_vec()) {
+                    let pkt = if adopt {
+                        h.adopt_frame(&d.frame)
+                    } else {
+                        Packet::from_bytes(d.frame)
+                    };
+                    let rep = h.deliver_frame(pkt, d.at);
+                    let tag = match rep.outcome {
+                        DeliveryOutcome::FastPath(_) => 0,
+                        DeliveryOutcome::RingFull(_) => 1,
+                        DeliveryOutcome::SlowPath => 2,
+                        DeliveryOutcome::Dropped => 3,
+                    };
+                    log.push((tag, rep.mem_cost.0, rep.nic_latency.0));
+                }
+                if i % 8 == 0 {
+                    while {
+                        let r = h.app_recv(conn, t, false);
+                        recv_cpu += r.cpu;
+                        r.len.is_some()
+                    } {}
+                }
+            }
+            let llc = h.llc().stats();
+            (
+                log,
+                recv_cpu,
+                h.stats(),
+                (llc.cpu_hits, llc.cpu_misses, llc.dma_hits, llc.dma_misses),
+            )
+        };
+        let heap = run(false);
+        let arena = run(true);
+        assert_eq!(heap.0, arena.0, "per-frame outcomes/costs diverged");
+        assert_eq!(heap.1, arena.1, "receive-side cpu diverged");
+        assert_eq!(heap.3, arena.3, "LLC state evolution diverged");
+        assert_eq!(format!("{:?}", heap.2), format!("{:?}", arena.2));
     }
 }

@@ -31,12 +31,12 @@ use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::thread::JoinHandle;
 
-use memsim::{HostRing, Llc, LlcConfig, LlcPartitionPlan, LlcStats, MemCosts};
-use pkt::FiveTuple;
+use memsim::{Llc, LlcConfig, LlcPartitionPlan, LlcStats, MemCosts};
+use pkt::{FiveTuple, Packet};
 use sim::{Dur, Time};
 use telemetry::{DropCause, Owner, Stage, TraceEvent, TraceVerdict};
 
-use crate::host::{FastMap, RingKey};
+use crate::host::{FastMap, PktRing, RingKey};
 
 /// Why [`Host::run_workers`](crate::Host::run_workers) refused, or what
 /// the shard supervisor reports after a worker crash.
@@ -118,6 +118,10 @@ pub struct ShardReport {
     /// Frames currently resident in this shard's RX rings (an absolute
     /// occupancy, not a delta — the audit's third ledger).
     pub queued_fids: u64,
+    /// Arena-backed frame descriptors currently resident in this shard's
+    /// rings, both directions (absolute occupancy — the host's arena
+    /// leak audit sums these against the arena's live-slot count).
+    pub arena_resident: u64,
 }
 
 /// One frame the host asks a worker to DMA into its shard.
@@ -127,6 +131,11 @@ pub(crate) struct DeliverJob {
     pub idx: usize,
     /// The ring pair the frame targets.
     pub key: RingKey,
+    /// The frame itself, riding the ring as its descriptor. Cloning a
+    /// [`Packet`] is a refcount bump (never a byte copy), so handing the
+    /// job across the channel — and keeping the host-side crash-recovery
+    /// copy — shares the one buffer.
+    pub pkt: Packet,
     /// Frame length on the wire.
     pub len: usize,
     /// Telemetry frame id (0 when tracing is off).
@@ -170,11 +179,16 @@ pub(crate) enum ShardOutcome {
 }
 
 /// Worker-side outcome of one receive.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum RecvReply {
-    /// Dequeued `len` bytes at this cost; `fid` is the frame id that
+    /// Dequeued the frame at this cost; `fid` is the frame id that
     /// filled the slot (0 when untracked).
-    Data { len: usize, cost: Dur, fid: u64 },
+    Data {
+        pkt: Packet,
+        len: usize,
+        cost: Dur,
+        fid: u64,
+    },
     /// The ring is empty.
     Empty,
     /// The shard has no ring for this key.
@@ -195,8 +209,8 @@ pub(crate) enum SendReply {
 /// One ring pair in flight between shards (rebalance / teardown).
 pub(crate) struct RingEntry {
     pub key: RingKey,
-    pub rx: HostRing,
-    pub tx: HostRing,
+    pub rx: PktRing,
+    pub tx: PktRing,
     pub fids: VecDeque<u64>,
 }
 
@@ -208,6 +222,7 @@ enum Op {
     },
     Send {
         key: RingKey,
+        pkt: Packet,
         len: usize,
     },
     InstallRing(Box<RingEntry>),
@@ -253,7 +268,7 @@ enum Reply {
 
 /// The state one worker thread owns outright.
 struct Shard {
-    rings: HashMap<RingKey, (HostRing, HostRing)>,
+    rings: HashMap<RingKey, (PktRing, PktRing)>,
     ring_frame_ids: FastMap<RingKey, VecDeque<u64>>,
     llc: Llc,
     mem: MemCosts,
@@ -287,10 +302,12 @@ impl Shard {
                 outcome: ShardOutcome::RingMissing,
             };
         };
+        // The packet handle itself is the ring descriptor: a refused
+        // produce drops it (refcount release), never copies it.
         let produced = if job.cold {
-            rx_ring.produce_dma_bypass(job.len, &mut self.llc, &self.mem)
+            rx_ring.produce_dma_bypass_with(job.pkt, job.len, &mut self.llc, &self.mem)
         } else {
-            rx_ring.produce_dma(job.len, &mut self.llc, &self.mem)
+            rx_ring.produce_dma_with(job.pkt, job.len, &mut self.llc, &self.mem)
         };
         match produced {
             Ok(cost) => {
@@ -343,8 +360,8 @@ impl Shard {
         let Some((rx_ring, _)) = self.rings.get_mut(&key) else {
             return RecvReply::Missing;
         };
-        match rx_ring.consume_cpu(&mut self.llc, &self.mem) {
-            Some((len, cost)) => {
+        match rx_ring.consume_cpu_desc(&mut self.llc, &self.mem) {
+            Some((pkt, len, cost)) => {
                 let fid = if trace {
                     self.ring_frame_ids
                         .get_mut(&key)
@@ -353,19 +370,25 @@ impl Shard {
                 } else {
                     0
                 };
-                RecvReply::Data { len, cost, fid }
+                RecvReply::Data {
+                    pkt,
+                    len,
+                    cost,
+                    fid,
+                }
             }
             None => RecvReply::Empty,
         }
     }
 
-    fn send(&mut self, key: RingKey, len: usize) -> SendReply {
+    fn send(&mut self, key: RingKey, pkt: Packet, len: usize) -> SendReply {
         let Some((_, tx_ring)) = self.rings.get_mut(&key) else {
             return SendReply::Missing;
         };
-        match tx_ring.produce_cpu(len, &mut self.llc, &self.mem) {
+        match tx_ring.produce_cpu_with(pkt, len, &mut self.llc, &self.mem) {
             Ok(cost) => {
-                // NIC side: DMA-read the frame back out of the ring.
+                // NIC side: DMA-read the frame back out of the ring (the
+                // discarded descriptor is the NIC releasing its reference).
                 let _ = tx_ring.consume_dma(&mut self.llc, &self.mem);
                 SendReply::Produced(cost)
             }
@@ -398,6 +421,15 @@ impl Shard {
             busy: std::mem::replace(&mut self.busy, Dur::ZERO),
             llc,
             queued_fids: self.ring_frame_ids.values().map(|q| q.len() as u64).sum(),
+            arena_resident: self
+                .rings
+                .values()
+                .map(|(rx, tx)| {
+                    (rx.iter_descs().filter(|p| p.is_arena()).count()
+                        + tx.iter_descs().filter(|p| p.is_arena()).count())
+                        as u64
+                })
+                .sum(),
         }
     }
 
@@ -411,7 +443,7 @@ impl Shard {
                 Reply::Delivered(std::mem::take(&mut self.partial))
             }
             Op::Recv { key, trace } => Reply::Recv(self.recv(key, trace)),
-            Op::Send { key, len } => Reply::Send(self.send(key, len)),
+            Op::Send { key, pkt, len } => Reply::Send(self.send(key, pkt, len)),
             Op::InstallRing(e) => {
                 if !e.fids.is_empty() {
                     self.ring_frame_ids.insert(e.key, e.fids);
@@ -673,8 +705,8 @@ impl WorkerPool {
         &mut self,
         shard: usize,
         key: RingKey,
-        rx: HostRing,
-        tx: HostRing,
+        rx: PktRing,
+        tx: PktRing,
         fids: VecDeque<u64>,
     ) {
         self.shard_of.insert(key, shard);
@@ -727,7 +759,8 @@ impl WorkerPool {
                 continue;
             }
             // Keep a copy so a crashed shard's unanswered jobs can be
-            // identified and rerouted (DeliverJob is Copy).
+            // identified and rerouted (cloning a job bumps its packet's
+            // refcount; the frame bytes stay in host memory either way).
             let copy = jobs.clone();
             self.workers[i]
                 .ops
@@ -783,10 +816,20 @@ impl WorkerPool {
         }
     }
 
-    pub(crate) fn send(&mut self, shard: usize, key: RingKey, len: usize) -> SendReply {
+    pub(crate) fn send(
+        &mut self,
+        shard: usize,
+        key: RingKey,
+        pkt: Packet,
+        len: usize,
+    ) -> SendReply {
         self.workers[shard]
             .ops
-            .send(Op::Send { key, len })
+            .send(Op::Send {
+                key,
+                pkt: pkt.clone(),
+                len,
+            })
             .expect("worker thread alive");
         match self.recv_supervised(shard) {
             Ok(Reply::Send(r)) => r,
@@ -794,7 +837,7 @@ impl WorkerPool {
             Err(_) => {
                 self.workers[shard]
                     .ops
-                    .send(Op::Send { key, len })
+                    .send(Op::Send { key, pkt, len })
                     .expect("worker thread alive");
                 match self.recv_supervised(shard) {
                     Ok(Reply::Send(r)) => r,

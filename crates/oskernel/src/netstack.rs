@@ -451,6 +451,19 @@ impl NetStack {
         (self.rx_packets, self.tx_packets)
     }
 
+    /// Number of queued packets (socket receive queues plus frames parked
+    /// in the egress qdisc) whose bytes live in a buffer arena — the
+    /// netstack's contribution to the host's arena-occupancy ledger.
+    /// Since [`Packet`] clones are refcount bumps, every packet counted
+    /// here pins exactly one arena slot reference.
+    pub fn arena_resident(&self) -> usize {
+        self.sockets
+            .values()
+            .map(|s| s.rx_queue.iter().filter(|p| p.is_arena()).count())
+            .sum::<usize>()
+            + self.tx_frames.values().filter(|p| p.is_arena()).count()
+    }
+
     /// Records that a frame reached this stack because the host demoted
     /// its flow under overload (graceful degradation), not because it
     /// was slow-path traffic to begin with. Called by the host right

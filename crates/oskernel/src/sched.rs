@@ -7,9 +7,7 @@
 //! switch) or spin (costing CPU the whole time), and per-process
 //! [`CpuMeter`]s record where the cycles went.
 
-use std::collections::HashMap;
-
-use sim::{Dur, Time};
+use sim::{Dur, FastMap, Time};
 
 use crate::process::{Pid, ProcState, ProcessTable};
 
@@ -45,12 +43,12 @@ impl CpuMeter {
 pub struct Scheduler {
     /// Cost of one context switch (block or wake transition).
     pub ctx_switch: Dur,
-    meters: HashMap<Pid, CpuMeter>,
+    meters: FastMap<Pid, CpuMeter>,
     /// Per-core kernel-worker meters (multi-queue mode pins one dataplane
     /// worker per core; this records where each core's cycles went,
     /// independent of process attribution).
     core_meters: Vec<CpuMeter>,
-    blocked_since: HashMap<Pid, Time>,
+    blocked_since: FastMap<Pid, Time>,
     wakeups: u64,
     blocks: u64,
 }
@@ -62,9 +60,9 @@ impl Scheduler {
     pub fn new(ctx_switch: Dur) -> Scheduler {
         Scheduler {
             ctx_switch,
-            meters: HashMap::new(),
+            meters: FastMap::default(),
             core_meters: Vec::new(),
-            blocked_since: HashMap::new(),
+            blocked_since: FastMap::default(),
             wakeups: 0,
             blocks: 0,
         }

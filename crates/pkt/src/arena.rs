@@ -1,0 +1,535 @@
+//! The pooled frame arena: fixed-size buffer slots with refcounted
+//! handles.
+//!
+//! The paper's data-movement argument (§1) is that interposition must
+//! not reintroduce copies. Before this module the dataplane heap-
+//! allocated an `Arc<[u8]>` per frame; real NICs instead DMA into a
+//! preallocated pool of fixed-size buffers and pass *descriptors*
+//! (buffer index + length) through rings. [`BufArena`] is that pool:
+//! a single slab carved into `slot_bytes`-sized slots, a LIFO free
+//! list, and per-slot reference counts. [`FrameRef`] is the
+//! descriptor-side handle — clone is a refcount bump, drop recycles
+//! the slot, and the frame bytes are never copied after the one write
+//! that filled the slot.
+//!
+//! # Slot lifecycle
+//!
+//! ```text
+//!   FREE ── alloc() ──> BUILDING ── freeze(len) ──> SHARED(n)
+//!    ^                  (SlotWriter,                (n FrameRefs,
+//!    |                   unique &mut)                shared &[u8])
+//!    └──── last FrameRef dropped (poisoned in debug builds) ────┘
+//! ```
+//!
+//! # The unsafe core and its invariants
+//!
+//! All `unsafe` in the buffer path lives in this module, guarded by
+//! three invariants (these are exactly what the miri CI job checks —
+//! see `scripts/ci.sh --job miri`):
+//!
+//! 1. **Writer uniqueness.** A slot index moves out of the free list
+//!    (under its mutex) into exactly one [`SlotWriter`]. While that
+//!    writer exists nothing else — no `FrameRef`, no other writer —
+//!    can name the slot, so its `&mut [u8]` is the only reference to
+//!    those bytes.
+//! 2. **Frozen slots are read-only while shared.** After
+//!    [`SlotWriter::freeze`] the bytes are only reachable as `&[u8]`
+//!    through `FrameRef`s. `FrameRef::bytes_mut` hands back `&mut`
+//!    only when the caller holds the *sole* handle (refcount 1, by
+//!    `&mut self`), mirroring `Arc::get_mut`.
+//! 3. **Recycling requires refcount zero.** A slot returns to the
+//!    free list only on the 1→0 refcount transition (release
+//!    decrement + acquire fence, the `Arc` drop protocol), so a freed
+//!    slot can never alias a live frame.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Byte written over a slot when its last reference drops, in debug
+/// builds only — a stale `&[u8]` into a recycled slot reads as this
+/// pattern instead of plausible frame bytes.
+#[cfg(debug_assertions)]
+pub const POISON: u8 = 0xDD;
+
+/// Counters the arena maintains; see [`BufArena::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Slots currently allocated (building or shared).
+    pub live: usize,
+    /// Highest simultaneous `live` ever observed.
+    pub high_water: usize,
+    /// Successful slot allocations over the arena's lifetime.
+    pub allocs: u64,
+    /// Allocation attempts refused because the pool was empty (the
+    /// caller fell back to a heap frame).
+    pub exhausted: u64,
+}
+
+struct ArenaInner {
+    slot_bytes: usize,
+    /// The slab: `slots * slot_bytes` bytes. `UnsafeCell` because slot
+    /// contents are mutated through shared references during the
+    /// BUILDING state; the writer-uniqueness invariant (module docs)
+    /// is what makes each such access exclusive in practice.
+    mem: Box<[UnsafeCell<u8>]>,
+    /// Per-slot reference counts. 0 = free, 1 = sole writer or sole
+    /// handle, n = shared n ways.
+    refs: Box<[AtomicU32]>,
+    /// LIFO free list: deterministic recycling order for replay.
+    free: Mutex<Vec<u32>>,
+    live: AtomicUsize,
+    high_water: AtomicUsize,
+    allocs: AtomicU64,
+    exhausted: AtomicU64,
+}
+
+// SAFETY: the slab is `UnsafeCell<u8>` (not Sync by default), but every
+// mutation happens under writer uniqueness (invariant 1) or sole-handle
+// mutation (invariant 2), and slot hand-off between threads goes
+// through the free-list mutex and the acquire/release refcount
+// protocol (invariant 3). Those are exactly the conditions under which
+// `Arc<[u8]>`-style shared ownership is sound across threads.
+unsafe impl Send for ArenaInner {}
+unsafe impl Sync for ArenaInner {}
+
+impl ArenaInner {
+    /// Raw pointer to the first byte of `slot`.
+    #[inline]
+    fn slot_ptr(&self, slot: u32) -> *mut u8 {
+        debug_assert!((slot as usize) < self.refs.len());
+        // In-bounds by construction: slot < slots and the slab holds
+        // slots * slot_bytes cells.
+        unsafe { self.mem.as_ptr().add(slot as usize * self.slot_bytes) as *mut u8 }
+    }
+
+    /// Recycles `slot` after its refcount hit zero. Caller must be on
+    /// the 1→0 transition (sole owner), so the poison write is
+    /// exclusive.
+    fn recycle(&self, slot: u32) {
+        #[cfg(debug_assertions)]
+        // SAFETY: refcount is zero and the slot is not yet back on the
+        // free list — this thread is the only one that can name it.
+        unsafe {
+            std::ptr::write_bytes(self.slot_ptr(slot), POISON, self.slot_bytes);
+        }
+        self.live.fetch_sub(1, Ordering::Relaxed);
+        self.free.lock().expect("arena free list").push(slot);
+    }
+}
+
+/// A pool of fixed-size frame buffers with refcounted slot handles.
+///
+/// Cloning the arena clones the *handle* (`Arc`); all clones share one
+/// slab. See the module docs for the slot lifecycle and the invariants
+/// the unsafe core maintains.
+#[derive(Clone)]
+pub struct BufArena {
+    inner: Arc<ArenaInner>,
+}
+
+impl std::fmt::Debug for BufArena {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufArena")
+            .field("slots", &self.slots())
+            .field("slot_bytes", &self.inner.slot_bytes)
+            .field("live", &self.live())
+            .finish()
+    }
+}
+
+impl BufArena {
+    /// Creates an arena of `slots` buffers of `slot_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero or `slots` exceeds `u32`
+    /// range (descriptors store the index as `u32`).
+    pub fn new(slots: usize, slot_bytes: usize) -> BufArena {
+        assert!(
+            slots > 0 && slot_bytes > 0,
+            "arena dimensions must be nonzero"
+        );
+        assert!(u32::try_from(slots).is_ok(), "slot index must fit u32");
+        let mem = (0..slots * slot_bytes)
+            .map(|_| UnsafeCell::new(0u8))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        let refs = (0..slots)
+            .map(|_| AtomicU32::new(0))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        // LIFO pop order: slot 0 first, like a just-filled NIC free
+        // ring.
+        let free: Vec<u32> = (0..slots as u32).rev().collect();
+        BufArena {
+            inner: Arc::new(ArenaInner {
+                slot_bytes,
+                mem,
+                refs,
+                free: Mutex::new(free),
+                live: AtomicUsize::new(0),
+                high_water: AtomicUsize::new(0),
+                allocs: AtomicU64::new(0),
+                exhausted: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of slots in the pool.
+    pub fn slots(&self) -> usize {
+        self.inner.refs.len()
+    }
+
+    /// Usable bytes per slot.
+    pub fn slot_bytes(&self) -> usize {
+        self.inner.slot_bytes
+    }
+
+    /// Slots currently allocated (the occupancy gauge audits check).
+    pub fn live(&self) -> usize {
+        self.inner.live.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> ArenaStats {
+        ArenaStats {
+            live: self.live(),
+            high_water: self.inner.high_water.load(Ordering::Relaxed),
+            allocs: self.inner.allocs.load(Ordering::Relaxed),
+            exhausted: self.inner.exhausted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether `frame` lives in this arena (same slab).
+    pub fn owns(&self, frame: &FrameRef) -> bool {
+        Arc::ptr_eq(&self.inner, &frame.inner)
+    }
+
+    /// Takes a free slot for exclusive in-place construction. `None`
+    /// when the pool is exhausted — callers fall back to a heap frame
+    /// and the refusal is counted (see [`ArenaStats::exhausted`]).
+    pub fn alloc(&self) -> Option<SlotWriter> {
+        let slot = {
+            let mut free = self.inner.free.lock().expect("arena free list");
+            free.pop()
+        };
+        let Some(slot) = slot else {
+            self.inner.exhausted.fetch_add(1, Ordering::Relaxed);
+            return None;
+        };
+        let prev = self.inner.refs[slot as usize].swap(1, Ordering::Acquire);
+        debug_assert_eq!(prev, 0, "free-listed slot had a live refcount");
+        let live = self.inner.live.fetch_add(1, Ordering::Relaxed) + 1;
+        self.inner.high_water.fetch_max(live, Ordering::Relaxed);
+        self.inner.allocs.fetch_add(1, Ordering::Relaxed);
+        Some(SlotWriter {
+            inner: Arc::clone(&self.inner),
+            slot,
+        })
+    }
+
+    /// Copies `bytes` into a fresh slot — the software model of the
+    /// NIC DMA-ing a wire frame into a pooled RX buffer. `None` when
+    /// the bytes exceed a slot or the pool is exhausted.
+    pub fn adopt(&self, bytes: &[u8]) -> Option<FrameRef> {
+        if bytes.len() > self.inner.slot_bytes {
+            return None;
+        }
+        let mut w = self.alloc()?;
+        w.bytes_mut()[..bytes.len()].copy_from_slice(bytes);
+        Some(w.freeze(bytes.len()))
+    }
+}
+
+/// Exclusive write access to one BUILDING slot; consume with
+/// [`SlotWriter::freeze`] to share it, or drop to return the slot
+/// unused.
+pub struct SlotWriter {
+    inner: Arc<ArenaInner>,
+    slot: u32,
+}
+
+impl SlotWriter {
+    /// The whole slot, mutable. Contents start as whatever the last
+    /// occupant left (poison, in debug builds) — callers write before
+    /// they freeze.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        // SAFETY: writer uniqueness (invariant 1) — this writer is the
+        // only reference to the slot, and `&mut self` makes this call
+        // exclusive even against re-entrancy.
+        unsafe {
+            std::slice::from_raw_parts_mut(self.inner.slot_ptr(self.slot), self.inner.slot_bytes)
+        }
+    }
+
+    /// Ends construction: the first `len` bytes become a shared,
+    /// immutable frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len` exceeds the slot size.
+    pub fn freeze(self, len: usize) -> FrameRef {
+        assert!(len <= self.inner.slot_bytes, "frame longer than a slot");
+        // Hand the refcount (already 1) from writer to handle; forget
+        // self so Drop does not release it.
+        let inner = unsafe { std::ptr::read(&self.inner) };
+        let slot = self.slot;
+        std::mem::forget(self);
+        FrameRef {
+            inner,
+            slot,
+            len: len as u32,
+        }
+    }
+}
+
+impl Drop for SlotWriter {
+    fn drop(&mut self) {
+        // Abandoned build: release the writer's refcount and recycle.
+        let prev = self.inner.refs[self.slot as usize].fetch_sub(1, Ordering::Release);
+        debug_assert_eq!(prev, 1, "writer refcount must be exactly 1");
+        fence(Ordering::Acquire);
+        self.inner.recycle(self.slot);
+    }
+}
+
+impl std::fmt::Debug for SlotWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SlotWriter(slot {})", self.slot)
+    }
+}
+
+/// A refcounted handle to one frozen frame in a [`BufArena`] slot:
+/// the software form of a NIC buffer descriptor. Clone bumps the
+/// slot's refcount; dropping the last handle recycles the slot.
+pub struct FrameRef {
+    inner: Arc<ArenaInner>,
+    slot: u32,
+    len: u32,
+}
+
+impl FrameRef {
+    /// The frame bytes (never copied; always the slot memory).
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        // SAFETY: the slot is SHARED (refcount ≥ 1 — we hold one), so
+        // by invariant 2 no `&mut` exists: shared reads are sound.
+        unsafe { std::slice::from_raw_parts(self.inner.slot_ptr(self.slot), self.len as usize) }
+    }
+
+    /// Frame length in bytes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether the frame is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The slot index (the descriptor payload rings carry).
+    pub fn slot(&self) -> u32 {
+        self.slot
+    }
+
+    /// Mutable access iff this is the sole handle (refcount 1) — the
+    /// in-place NAT rewrite path. `None` when the frame is shared.
+    pub fn bytes_mut(&mut self) -> Option<&mut [u8]> {
+        if self.inner.refs[self.slot as usize].load(Ordering::Acquire) != 1 {
+            return None;
+        }
+        // SAFETY: refcount is 1 and `&mut self` pins it — no other
+        // handle exists to clone from, so this access is exclusive
+        // (the `Arc::get_mut` argument).
+        Some(unsafe {
+            std::slice::from_raw_parts_mut(self.inner.slot_ptr(self.slot), self.len as usize)
+        })
+    }
+
+    /// Current refcount (diagnostics and tests only; racy by nature).
+    pub fn refcount(&self) -> u32 {
+        self.inner.refs[self.slot as usize].load(Ordering::Relaxed)
+    }
+}
+
+impl Clone for FrameRef {
+    fn clone(&self) -> FrameRef {
+        // Relaxed is enough for an increment from a live handle (the
+        // `Arc::clone` argument: the handle itself orders the slot).
+        self.inner.refs[self.slot as usize].fetch_add(1, Ordering::Relaxed);
+        FrameRef {
+            inner: Arc::clone(&self.inner),
+            slot: self.slot,
+            len: self.len,
+        }
+    }
+}
+
+impl Drop for FrameRef {
+    fn drop(&mut self) {
+        if self.inner.refs[self.slot as usize].fetch_sub(1, Ordering::Release) != 1 {
+            return;
+        }
+        // 1→0: acquire everything prior holders wrote, then recycle.
+        fence(Ordering::Acquire);
+        self.inner.recycle(self.slot);
+    }
+}
+
+impl std::fmt::Debug for FrameRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "FrameRef(slot {}, {} bytes)", self.slot, self.len)
+    }
+}
+
+impl PartialEq for FrameRef {
+    fn eq(&self, other: &FrameRef) -> bool {
+        self.bytes() == other.bytes()
+    }
+}
+
+impl Eq for FrameRef {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_freeze_read_roundtrip() {
+        let arena = BufArena::new(4, 64);
+        let mut w = arena.alloc().unwrap();
+        w.bytes_mut()[..5].copy_from_slice(b"hello");
+        let f = w.freeze(5);
+        assert_eq!(f.bytes(), b"hello");
+        assert_eq!(f.len(), 5);
+        assert_eq!(arena.live(), 1);
+        drop(f);
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn clone_is_refcount_bump_not_copy() {
+        let arena = BufArena::new(4, 64);
+        let f = arena.adopt(b"frame").unwrap();
+        let g = f.clone();
+        assert_eq!(f.bytes().as_ptr(), g.bytes().as_ptr(), "zero-copy share");
+        assert_eq!(f.refcount(), 2);
+        assert_eq!(arena.live(), 1, "a clone is not a new slot");
+        drop(f);
+        assert_eq!(g.bytes(), b"frame");
+        drop(g);
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn exhaustion_refuses_and_counts() {
+        let arena = BufArena::new(2, 64);
+        let a = arena.adopt(b"a").unwrap();
+        let b = arena.adopt(b"b").unwrap();
+        assert!(arena.alloc().is_none());
+        assert_eq!(arena.stats().exhausted, 1);
+        drop(a);
+        assert!(arena.alloc().is_some(), "freed slot is allocatable again");
+        drop(b);
+    }
+
+    #[test]
+    fn oversize_adopt_refused() {
+        let arena = BufArena::new(2, 8);
+        assert!(arena.adopt(&[0u8; 9]).is_none());
+        assert_eq!(arena.live(), 0);
+    }
+
+    #[test]
+    fn recycling_never_aliases_a_live_frame() {
+        // Property: holding any set of live FrameRefs, new allocations
+        // never land on a slot one of them names.
+        let arena = BufArena::new(8, 32);
+        let mut live = Vec::new();
+        for round in 0..100u32 {
+            // Allocate a frame tagged with the round number.
+            if let Some(mut w) = arena.alloc() {
+                w.bytes_mut()[..4].copy_from_slice(&round.to_be_bytes());
+                live.push((round, w.freeze(4)));
+            }
+            // Drop a pseudo-random subset (deterministic schedule).
+            live.retain(|(r, _)| (r * 7 + round) % 3 != 0);
+            // Every surviving frame still reads its own tag: no alias.
+            for (r, f) in &live {
+                assert_eq!(f.bytes(), r.to_be_bytes(), "slot aliased a live frame");
+            }
+            let slots: std::collections::HashSet<u32> =
+                live.iter().map(|(_, f)| f.slot()).collect();
+            assert_eq!(slots.len(), live.len(), "two live frames share a slot");
+            assert_eq!(arena.live(), live.len());
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    fn freed_slots_are_poisoned() {
+        let arena = BufArena::new(1, 16);
+        let f = arena.adopt(&[0xABu8; 16]).unwrap();
+        let slot = f.slot();
+        drop(f);
+        // The single slot comes back; its bytes must read as poison,
+        // not the old frame.
+        let mut w = arena.alloc().unwrap();
+        assert_eq!(w.slot, slot);
+        assert!(w.bytes_mut().iter().all(|&b| b == POISON));
+    }
+
+    #[test]
+    fn abandoned_writer_returns_slot() {
+        let arena = BufArena::new(1, 16);
+        let w = arena.alloc().unwrap();
+        drop(w);
+        assert_eq!(arena.live(), 0);
+        assert!(arena.alloc().is_some());
+    }
+
+    #[test]
+    fn sole_handle_may_mutate_shared_may_not() {
+        let arena = BufArena::new(2, 16);
+        let mut f = arena.adopt(b"aaaa").unwrap();
+        f.bytes_mut().unwrap()[0] = b'z';
+        assert_eq!(f.bytes(), b"zaaa");
+        let g = f.clone();
+        assert!(f.bytes_mut().is_none(), "shared frame must be immutable");
+        drop(g);
+        assert!(f.bytes_mut().is_some());
+    }
+
+    #[test]
+    fn cross_thread_share_and_free() {
+        // Frames cross threads as handles; the last dropper (either
+        // side) recycles. Run enough rounds to give a race a chance.
+        let arena = BufArena::new(16, 64);
+        for round in 0..50u32 {
+            let frames: Vec<FrameRef> = (0..8)
+                .map(|i| arena.adopt(&[(round as u8).wrapping_add(i); 64]).unwrap())
+                .collect();
+            let movers: Vec<FrameRef> = frames.iter().map(FrameRef::clone).collect();
+            let h =
+                std::thread::spawn(move || movers.iter().map(|f| f.bytes()[0] as u64).sum::<u64>());
+            let local: u64 = frames.iter().map(|f| f.bytes()[0] as u64).sum();
+            assert_eq!(h.join().unwrap(), local);
+            drop(frames);
+        }
+        assert_eq!(arena.live(), 0, "every slot returned after the storm");
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let arena = BufArena::new(8, 16);
+        let held: Vec<_> = (0..5).map(|_| arena.adopt(b"x").unwrap()).collect();
+        drop(held);
+        let s = arena.stats();
+        assert_eq!(s.live, 0);
+        assert_eq!(s.high_water, 5);
+        assert_eq!(s.allocs, 5);
+    }
+}

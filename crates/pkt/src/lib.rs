@@ -18,7 +18,10 @@
 //! * [`meta`] — the parse-once [`FrameMeta`] descriptor every dataplane
 //!   stage consumes instead of re-parsing, and the [`Frame`] unit that
 //!   pairs it with its buffer.
+//! * [`arena`] — the pooled frame arena ([`BufArena`]/[`FrameRef`]): slab
+//!   slots, refcounted descriptors, and the miri-audited unsafe core.
 
+pub mod arena;
 pub mod arp;
 pub mod builder;
 pub mod checksum;
@@ -31,6 +34,7 @@ pub mod packet;
 pub mod tcp;
 pub mod udp;
 
+pub use arena::{ArenaStats, BufArena, FrameRef, SlotWriter};
 pub use arp::{ArpOp, ArpPacket};
 pub use builder::PacketBuilder;
 pub use ether::{EtherType, EthernetHeader, Mac};

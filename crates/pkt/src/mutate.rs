@@ -116,47 +116,91 @@ pub fn rewrite_ports(
     Ok(Packet::from_bytes(bytes))
 }
 
-/// Rewrites the source and/or destination endpoint (address + port) in a
-/// single pass over a single copy of the frame: the NAT hot path.
-///
-/// Uses the frame's descriptor for the layout — no parse — fixes the IP
-/// and transport checksums incrementally (RFC 1624), and patches the
-/// descriptor in place (offsets are stable; the tuple and flow hash
-/// update incrementally), so nothing downstream ever re-parses.
-pub fn rewrite_endpoints(
-    frame: &Frame,
-    new_src: Option<(Ipv4Addr, u16)>,
-    new_dst: Option<(Ipv4Addr, u16)>,
-) -> Result<Frame> {
-    let meta = &frame.meta;
-    let sum_off = match meta.class {
+/// Resolves the transport checksum offset for an endpoint rewrite from
+/// the frame's descriptor, rejecting frames that cannot be rewritten.
+fn endpoint_layout(frame: &Frame) -> Result<(usize, usize)> {
+    let sum_off = match frame.meta.class {
         PacketClass::Tcp => 16,
         PacketClass::Udp => 6,
         _ => return Err(PktError::BadLength { layer: "l4" }),
     };
-    let Some(l4_off) = meta.l4_off else {
+    let Some(l4_off) = frame.meta.l4_off else {
         return Err(PktError::BadLength { layer: "l4" });
     };
-    let mut bytes = frame.bytes().to_vec();
+    Ok((l4_off, sum_off))
+}
+
+/// The endpoint-rewrite core: patches addresses/ports and both
+/// checksums in `bytes`, wherever those bytes live (heap copy or arena
+/// slot).
+fn patch_endpoints(
+    bytes: &mut [u8],
+    l4_off: usize,
+    sum_off: usize,
+    new_src: Option<(Ipv4Addr, u16)>,
+    new_dst: Option<(Ipv4Addr, u16)>,
+) {
     // Addresses are in the pseudo-header, so they touch both checksums;
     // ports only the transport one.
     let both_sums = [IP_OFF + 10, l4_off + sum_off];
     let l4_sum = [l4_off + sum_off];
     if let Some((ip, port)) = new_src {
         let o = ip.octets();
-        patch_word(&mut bytes, IP_OFF + 12, [o[0], o[1]], &both_sums);
-        patch_word(&mut bytes, IP_OFF + 14, [o[2], o[3]], &both_sums);
-        patch_word(&mut bytes, l4_off, port.to_be_bytes(), &l4_sum);
+        patch_word(bytes, IP_OFF + 12, [o[0], o[1]], &both_sums);
+        patch_word(bytes, IP_OFF + 14, [o[2], o[3]], &both_sums);
+        patch_word(bytes, l4_off, port.to_be_bytes(), &l4_sum);
     }
     if let Some((ip, port)) = new_dst {
         let o = ip.octets();
-        patch_word(&mut bytes, IP_OFF + 16, [o[0], o[1]], &both_sums);
-        patch_word(&mut bytes, IP_OFF + 18, [o[2], o[3]], &both_sums);
-        patch_word(&mut bytes, l4_off + 2, port.to_be_bytes(), &l4_sum);
+        patch_word(bytes, IP_OFF + 16, [o[0], o[1]], &both_sums);
+        patch_word(bytes, IP_OFF + 18, [o[2], o[3]], &both_sums);
+        patch_word(bytes, l4_off + 2, port.to_be_bytes(), &l4_sum);
     }
-    let mut new_meta = *meta;
+}
+
+/// Rewrites the source and/or destination endpoint (address + port) in a
+/// single pass over a single copy of the frame.
+///
+/// Uses the frame's descriptor for the layout — no parse — fixes the IP
+/// and transport checksums incrementally (RFC 1624), and patches the
+/// descriptor in place (offsets are stable; the tuple and flow hash
+/// update incrementally), so nothing downstream ever re-parses. The
+/// input is borrowed, so the output is always a fresh heap buffer; the
+/// NAT hot path uses [`rewrite_endpoints_owned`], which rewrites in
+/// place when it holds the only reference.
+pub fn rewrite_endpoints(
+    frame: &Frame,
+    new_src: Option<(Ipv4Addr, u16)>,
+    new_dst: Option<(Ipv4Addr, u16)>,
+) -> Result<Frame> {
+    let (l4_off, sum_off) = endpoint_layout(frame)?;
+    let mut bytes = frame.bytes().to_vec();
+    patch_endpoints(&mut bytes, l4_off, sum_off, new_src, new_dst);
+    let mut new_meta = frame.meta;
     new_meta.rewrite_endpoints(new_src, new_dst);
     Ok(Frame::from_parts(Packet::from_bytes(bytes), new_meta))
+}
+
+/// The zero-copy endpoint rewrite: when `frame` is the sole owner of
+/// its buffer (heap or arena slot, refcount 1 — the usual case for a
+/// frame in flight through NAT), the headers and checksums are patched
+/// *in place* and no bytes move at all. A shared buffer falls back to
+/// the copying path transparently.
+pub fn rewrite_endpoints_owned(
+    mut frame: Frame,
+    new_src: Option<(Ipv4Addr, u16)>,
+    new_dst: Option<(Ipv4Addr, u16)>,
+) -> Result<Frame> {
+    let (l4_off, sum_off) = endpoint_layout(&frame)?;
+    let Some(bytes) = frame.pkt.bytes_mut_unique() else {
+        return rewrite_endpoints(&frame, new_src, new_dst);
+    };
+    patch_endpoints(bytes, l4_off, sum_off, new_src, new_dst);
+    let mut new_meta = frame.meta;
+    new_meta.rewrite_endpoints(new_src, new_dst);
+    frame.pkt.set_meta(new_meta);
+    frame.meta = new_meta;
+    Ok(frame)
 }
 
 /// Sets the ECN codepoint in the IPv4 TOS byte (e.g. [`ECN_CE`] when an
@@ -286,6 +330,41 @@ mod tests {
         let back = rewrite_endpoints(&out, None, Some((addr("8.8.8.8"), 53))).unwrap();
         assert_eq!(back.bytes(), frame.bytes());
         assert_eq!(back.meta, frame.meta);
+    }
+
+    #[test]
+    fn rewrite_endpoints_owned_is_in_place_for_sole_owner() {
+        let arena = crate::arena::BufArena::new(2, 2048);
+        let pkt = PacketBuilder::new()
+            .ether(Mac::local(1), Mac::local(2))
+            .ipv4(addr("192.168.1.10"), addr("8.8.8.8"))
+            .udp(5353, 53, b"query-payload")
+            .build_in(&arena);
+        let frame = crate::meta::Frame::ingress(pkt).unwrap();
+        let before_ptr = frame.bytes().as_ptr();
+        let reference =
+            rewrite_endpoints(&frame, Some((addr("203.0.113.7"), 61_000)), None).unwrap();
+        let out =
+            rewrite_endpoints_owned(frame, Some((addr("203.0.113.7"), 61_000)), None).unwrap();
+        // Same slot, no copy — and byte-identical to the copying path.
+        assert_eq!(out.bytes().as_ptr(), before_ptr, "rewrite must be in place");
+        assert!(out.pkt.is_arena());
+        assert_eq!(out.bytes(), reference.bytes());
+        assert_eq!(out.meta, reference.meta);
+        assert_eq!(out.pkt.meta(), Some(&out.meta));
+        assert_eq!(arena.live(), 1);
+    }
+
+    #[test]
+    fn rewrite_endpoints_owned_falls_back_when_shared() {
+        let frame = crate::meta::Frame::ingress(udp_pkt()).unwrap();
+        let tap = frame.pkt.clone(); // a second handle: buffer is shared
+        let out = rewrite_endpoints_owned(frame.clone(), Some((addr("1.2.3.4"), 9)), None).unwrap();
+        let t = out.meta.tuple.unwrap();
+        assert_eq!((t.src_ip, t.src_port), (addr("1.2.3.4"), 9));
+        // The shared original is untouched.
+        assert_eq!(tap.bytes(), frame.bytes());
+        assert_ne!(out.bytes().as_ptr(), frame.bytes().as_ptr());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::arena::FrameRef;
 use crate::arp::ArpPacket;
 use crate::ether::{EtherType, EthernetHeader};
 use crate::ipv4::{IpProto, Ipv4Header};
@@ -10,6 +11,26 @@ use crate::meta::FrameMeta;
 use crate::tcp::TcpHeader;
 use crate::udp::UdpHeader;
 use crate::{PktError, Result};
+
+/// Backing storage for a packet: either a one-off heap buffer (the
+/// slow/control path and tests) or a pooled arena slot (the dataplane
+/// fast path). Both clone by refcount bump; the difference is where
+/// the bytes live and who recycles them.
+#[derive(Clone)]
+enum Buf {
+    Heap(Arc<[u8]>),
+    Arena(FrameRef),
+}
+
+impl Buf {
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        match self {
+            Buf::Heap(b) => b,
+            Buf::Arena(f) => f.bytes(),
+        }
+    }
+}
 
 /// An owned, immutable packet buffer.
 ///
@@ -21,13 +42,13 @@ use crate::{PktError, Result};
 /// bytes, so a frame with and without meta is the same frame.
 #[derive(Clone)]
 pub struct Packet {
-    data: Arc<[u8]>,
+    data: Buf,
     meta: Option<FrameMeta>,
 }
 
 impl PartialEq for Packet {
     fn eq(&self, other: &Packet) -> bool {
-        self.data == other.data
+        self.bytes() == other.bytes()
     }
 }
 
@@ -37,16 +58,60 @@ impl Packet {
     /// Wraps raw wire bytes.
     pub fn from_bytes(data: impl Into<Arc<[u8]>>) -> Packet {
         Packet {
-            data: data.into(),
+            data: Buf::Heap(data.into()),
             meta: None,
         }
+    }
+
+    /// Wraps a frozen arena frame: the zero-copy ingress path.
+    pub fn from_arena(frame: FrameRef) -> Packet {
+        Packet {
+            data: Buf::Arena(frame),
+            meta: None,
+        }
+    }
+
+    /// Whether the bytes live in a pooled arena slot (vs. a one-off
+    /// heap buffer). Audits count arena-resident packets with this.
+    pub fn is_arena(&self) -> bool {
+        matches!(self.data, Buf::Arena(_))
+    }
+
+    /// The arena slot handle, when arena-backed.
+    pub fn arena_frame(&self) -> Option<&FrameRef> {
+        match &self.data {
+            Buf::Arena(f) => Some(f),
+            Buf::Heap(_) => None,
+        }
+    }
+
+    /// Mutable access to the wire bytes when this handle is the sole
+    /// owner of its buffer (heap `Arc` or arena slot, refcount 1) —
+    /// the in-place NAT rewrite path. `None` when the frame is shared;
+    /// callers then fall back to copy-on-write.
+    pub fn bytes_mut_unique(&mut self) -> Option<&mut [u8]> {
+        match &mut self.data {
+            Buf::Heap(arc) => Arc::get_mut(arc),
+            Buf::Arena(f) => f.bytes_mut(),
+        }
+    }
+
+    /// Replaces the attached descriptor in place (after an in-place
+    /// header rewrite recomputed it).
+    pub fn set_meta(&mut self, meta: FrameMeta) {
+        debug_assert_eq!(
+            meta.frame_len,
+            self.len(),
+            "descriptor/frame length mismatch"
+        );
+        self.meta = Some(meta);
     }
 
     /// Attaches a descriptor computed for exactly these bytes.
     pub fn with_meta(mut self, meta: FrameMeta) -> Packet {
         debug_assert_eq!(
             meta.frame_len,
-            self.data.len(),
+            self.len(),
             "descriptor/frame length mismatch"
         );
         self.meta = Some(meta);
@@ -59,23 +124,25 @@ impl Packet {
     }
 
     /// Returns the wire bytes.
+    #[inline]
     pub fn bytes(&self) -> &[u8] {
-        &self.data
+        self.data.bytes()
     }
 
     /// Returns the frame length in bytes.
+    #[inline]
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.bytes().len()
     }
 
     /// Returns `true` for a zero-length buffer.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.bytes().is_empty()
     }
 
     /// Parses the frame into a structured view.
     pub fn parse(&self) -> Result<Parsed> {
-        Parsed::from_frame(&self.data)
+        Parsed::from_frame(self.bytes())
     }
 }
 
@@ -88,7 +155,7 @@ impl fmt::Debug for Packet {
                 f,
                 "Packet({} bytes, {})",
                 self.len(),
-                meta.summarize(&self.data)
+                meta.summarize(self.bytes())
             );
         }
         match self.parse() {

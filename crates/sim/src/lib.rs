@@ -28,6 +28,7 @@
 
 pub mod engine;
 pub mod fault;
+pub mod hash;
 pub mod link;
 pub mod rng;
 pub mod stats;
@@ -38,6 +39,7 @@ pub use fault::{
     CrashInjector, FaultInjector, FaultSchedule, FaultStats, FaultyLink, LossModel,
     OpFaultInjector, Verdict, WireDelivery,
 };
+pub use hash::{FastMap, FxHasher};
 pub use link::Link;
 pub use rng::DetRng;
 pub use stats::{Counter, Histogram, RateMeter, Summary, TimeSeries};

@@ -96,22 +96,25 @@ impl AliceTestbed {
         }
     }
 
-    /// Builds a frame arriving from the peer to `app`.
+    /// Builds a frame arriving from the peer to `app`, directly into a
+    /// slot of the host's arena — no scratch payload `Vec`, no heap
+    /// frame (the zero-length-payload form writes zeroes in place).
     pub fn inbound(&self, app: &TenantApp, payload_len: usize) -> Packet {
         PacketBuilder::new()
             .ether(self.peer_mac, self.host.cfg.mac)
             .ipv4(self.peer_ip, self.host.cfg.ip)
-            .udp(9000 + app.port, app.port, &vec![0u8; payload_len])
-            .build()
+            .udp_zeroes(9000 + app.port, app.port, payload_len)
+            .build_in(self.host.arena())
     }
 
-    /// Builds a frame for `app` to transmit.
+    /// Builds a frame for `app` to transmit, arena-backed as
+    /// [`AliceTestbed::inbound`] is.
     pub fn outbound(&self, app: &TenantApp, payload_len: usize) -> Packet {
         PacketBuilder::new()
             .ether(self.host.cfg.mac, self.peer_mac)
             .ipv4(self.host.cfg.ip, self.peer_ip)
-            .udp(app.port, 9000 + app.port, &vec![0u8; payload_len])
-            .build()
+            .udp_zeroes(app.port, 9000 + app.port, payload_len)
+            .build_in(self.host.arena())
     }
 
     /// Builds one frame of the buggy app's ARP flood. In a kernel-bypass

@@ -28,7 +28,7 @@ fn main() {
             .ipv4(host.parse().unwrap(), "93.184.216.34".parse().unwrap())
             .udp(40_000 + i as u16, 443, b"client-hello")
             .build();
-        let translated = nat.translate_outbound(&outbound, &mut sram).unwrap();
+        let translated = nat.translate_outbound(outbound, &mut sram).unwrap();
         let ft = FiveTuple::from_parsed(&translated.parse().unwrap()).unwrap();
         println!(
             "  {host}:{}  =>  {}:{}   (checksums fixed incrementally)",
@@ -47,7 +47,7 @@ fn main() {
             .ipv4("93.184.216.34".parse().unwrap(), external)
             .udp(443, ext_ports[i], b"server-hello")
             .build();
-        let restored = nat.translate_inbound(&reply).unwrap();
+        let restored = nat.translate_inbound(reply).unwrap();
         let ft = FiveTuple::from_parsed(&restored.parse().unwrap()).unwrap();
         println!(
             "  {external}:{}  =>  {}:{}",
@@ -64,7 +64,7 @@ fn main() {
         .build();
     println!(
         "\nstray inbound to unmapped port: {}",
-        nat.translate_inbound(&stray).unwrap_err()
+        nat.translate_inbound(stray).unwrap_err()
     );
 
     let (out, inn, miss) = nat.counters();

@@ -39,6 +39,16 @@ baselines in scripts/bench_baselines/ and fails on regression:
   clean, and the file must contain events. These are acceptance bars,
   not baseline comparisons, so they hold regardless of run mode.
 
+* BENCH_PR9.json (zero-copy arena dataplane, wall-clock): acceptance
+  bars on the recorded numbers — the headline rx_fastpath throughput
+  must stay at or above the 3.2 Mpps bar (>= 3x the BENCH_PR3 1.08 Mpps
+  pre-arena baseline), every workload must have delivered every offered
+  frame, and the arena must report zero live slots after the drain
+  (no leaked frame references across 150k deliveries). The numbers are
+  min-over-segments wall clock recorded by exp_pr9_bench on the machine
+  that produced the artifact; like the PR8 bars they are enforced on
+  the stored document in any run mode, so CI does not re-time.
+
 * results/substrates.json (microbench sweep): the benchmark *coverage*
   must include everything in the baseline — a bench that silently
   disappears fails the gate. Wall-clock ns/iter is compared only when
@@ -256,6 +266,43 @@ def check_pr8(fresh, base, failures):
     )
 
 
+def check_pr9(fresh, failures):
+    if fresh is None:
+        failures.append("BENCH_PR9.json missing — run exp_pr9_bench first")
+        return
+    if fresh.get("schema") != "norman-bench-pr9-v1":
+        failures.append(f"pr9: unexpected schema {fresh.get('schema')!r}")
+        return
+    by_name = {e.get("name"): e for e in fresh.get("experiments", [])}
+    rx = by_name.get("rx_fastpath")
+    if rx is None:
+        failures.append("pr9: rx_fastpath experiment missing")
+        return
+    mpps = rx.get("mpps", 0.0)
+    if mpps < 3.2:
+        failures.append(
+            f"pr9: rx_fastpath {mpps:.2f} Mpps below the 3.2 Mpps acceptance bar "
+            f"(3x the pre-arena BENCH_PR3 baseline)"
+        )
+    for name in ("rx_fastpath", "rx_fastpath_traced", "tx_fastpath"):
+        e = by_name.get(name)
+        if e is None:
+            failures.append(f"pr9: {name} experiment missing")
+        elif e.get("delivered") != e.get("frames"):
+            failures.append(
+                f"pr9: {name} delivered {e.get('delivered')}/{e.get('frames')} frames"
+            )
+    if fresh.get("arena_live_after_drain", 1) != 0:
+        failures.append(
+            f"pr9: {fresh.get('arena_live_after_drain')} arena slots still live after drain"
+        )
+    print(
+        f"  pr9: rx_fastpath {mpps:.2f} Mpps (bar >=3.2), "
+        f"traced overhead {fresh.get('traced_overhead_pct', 0.0):+.1f}%, "
+        f"arena live after drain {fresh.get('arena_live_after_drain')}"
+    )
+
+
 def check_substrates(fresh, base, wall_tol, failures):
     if fresh is None:
         failures.append("results/substrates.json missing — run the substrates bench first")
@@ -308,6 +355,8 @@ def main():
     print("check_bench: BENCH_PR8.json acceptance bars")
     check_pr8(load(REPO / "BENCH_PR8.json"), load(baselines / "BENCH_PR8.json"),
               failures)
+    print("check_bench: BENCH_PR9.json acceptance bars")
+    check_pr9(load(REPO / "BENCH_PR9.json"), failures)
     print("check_bench: results/substrates.json vs baseline")
     check_substrates(load(REPO / "results" / "substrates.json"),
                      load(baselines / "substrates.json"),

@@ -64,7 +64,7 @@ fn one_packet_full_lifecycle_with_nat_and_attribution() {
         .build();
     let out_frame = Frame::ingress(outbound).unwrap();
     let masq = nat
-        .translate_outbound_frame(&out_frame, &mut nat_sram, Time::ZERO)
+        .translate_outbound_frame(out_frame, &mut nat_sram, Time::ZERO)
         .unwrap();
     let ext_port = masq.meta.tuple.unwrap().src_port;
 
@@ -77,7 +77,7 @@ fn one_packet_full_lifecycle_with_nat_and_attribution() {
         .udp(9000, ext_port, b"pong")
         .build();
     let reply_frame = Frame::ingress(reply).unwrap();
-    let restored = nat.translate_inbound_frame(&reply_frame, t_nat).unwrap();
+    let restored = nat.translate_inbound_frame(reply_frame, t_nat).unwrap();
     let fid = restored.meta.frame_id;
     assert_ne!(fid, 0, "NAT must tag the frame with a lifecycle id");
 
