@@ -152,6 +152,71 @@ fn bench_overlay() {
     }
 }
 
+/// The PR-10 engine comparison: one ~32-instruction classifier-style
+/// program (context loads, a constant mixing chain, packet-dependent
+/// arithmetic, one branch) run on the interpreter vs the AOT-compiled
+/// closure artifact. Same program, same context, same verdict — only
+/// the execution engine differs. `scripts/check_bench.py --pr10` holds
+/// the compiled row to ≥3× the interpreted row.
+fn overlay_x32_source() -> &'static str {
+    "
+        ldctx r0, dst_port
+        ldctx r1, uid
+        ldctx r2, pkt_len
+        ldimm r3, 2654435761
+        mul r3, 2246822519
+        add r3, 374761393
+        xor r3, 668265263
+        shl r3, 7
+        add r3, 2166136261
+        mul r3, 16777619
+        xor r3, 40503
+        shr r3, 3
+        add r3, 97531
+        mul r3, 31
+        xor r3, 65599
+        add r3, 131071
+        mod r3, 16777213
+        mul r3, 2654435769
+        xor r3, 2246822519
+        shr r3, 5
+        add r3, 2166136261
+        xor r3, 77041
+        add r3, 999983
+        min r3, 1099511627775
+        max r3, 4097
+        xor r0, r3
+        xor r0, r1
+        xor r0, r2
+        and r0, 1048575
+        max r0, 3
+        jlt r2, 512, small
+        ret class 2
+        small:
+        ret class 1
+    "
+}
+
+fn bench_overlay_engines() {
+    let prog = overlay::assemble("x32", overlay_x32_source()).unwrap();
+    overlay::verify(&prog).unwrap();
+    let ctx = PktCtx {
+        dst_port: 5432,
+        uid: 1001,
+        pkt_len: 1500,
+        ..PktCtx::default()
+    };
+    let mut interp = Vm::new(prog.clone());
+    bench("overlay", "interp_x32", || {
+        black_box(interp.run_interp(black_box(&ctx)).unwrap());
+    });
+    let artifact = overlay::compile(&prog).unwrap();
+    let mut compiled = Vm::with_compiled(prog, artifact);
+    bench("overlay", "compiled_x32", || {
+        black_box(compiled.run(black_box(&ctx)).unwrap());
+    });
+}
+
 fn bench_flowtable() {
     let mut sram = Sram::new(1 << 30);
     let mut ft = FlowTable::new();
@@ -292,6 +357,9 @@ fn bench_asm() {
     });
     bench("overlay_toolchain", "instantiate_vm", || {
         black_box(Vm::new(prog.clone()));
+    });
+    bench("overlay_toolchain", "compile_port_filter", || {
+        black_box(overlay::compile(black_box(&prog)).unwrap());
     });
 }
 
@@ -524,6 +592,7 @@ fn main() {
     bench_pkt();
     bench_qdisc();
     bench_overlay();
+    bench_overlay_engines();
     bench_flowtable();
     bench_memsim();
     bench_arena();

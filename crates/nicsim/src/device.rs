@@ -11,7 +11,7 @@
 
 use std::collections::HashMap;
 
-use overlay::{verify, PktCtx, Program, Verdict, Vm};
+use overlay::{verify, CompiledProgram, PktCtx, Program, Verdict, Vm};
 use pkt::{FiveTuple, FrameMeta, IpProto, Packet, PktError};
 use qdisc::{MultiQueue, QPkt, Qdisc};
 use sim::{CrashInjector, Dur, Link, Time};
@@ -92,6 +92,15 @@ pub enum NicError {
     AccountingSlotsFull,
     /// Map access outside any loaded program's maps.
     NoSuchMap,
+    /// A compiled artifact's fingerprint does not match the program it
+    /// claims to implement — swapping it in would desynchronize the
+    /// audit ledger, so the load is refused.
+    ArtifactMismatch {
+        /// The program's fingerprint.
+        want: u64,
+        /// The artifact's fingerprint.
+        got: u64,
+    },
     /// Scheduler weights rejected (empty, non-finite, or non-positive).
     InvalidWeights {
         /// Index of the offending weight (0 for an empty list).
@@ -118,6 +127,12 @@ impl std::fmt::Display for NicError {
             NicError::TxQueueFull => write!(f, "TX scheduler queue full"),
             NicError::AccountingSlotsFull => write!(f, "all accounting slots in use"),
             NicError::NoSuchMap => write!(f, "no such program map"),
+            NicError::ArtifactMismatch { want, got } => {
+                write!(
+                    f,
+                    "compiled artifact fingerprint {got:#x} does not match program {want:#x}"
+                )
+            }
             NicError::InvalidWeights { index, weight } => {
                 write!(
                     f,
@@ -400,7 +415,7 @@ impl SmartNic {
 
     fn charge_program(&mut self, program: &Program) -> Result<(), NicError> {
         verify(program).map_err(NicError::Verify)?;
-        let insn_bytes = program.insns.len() as u64 * 8;
+        let insn_bytes = program.total_insns() as u64 * 8;
         let map_bytes = program.sram_bytes() - insn_bytes;
         self.sram.alloc(SramCategory::Program, insn_bytes)?;
         if let Err(e) = self.sram.alloc(SramCategory::Maps, map_bytes) {
@@ -411,7 +426,7 @@ impl SmartNic {
     }
 
     fn release_program(&mut self, vm: &Vm) {
-        let insn_bytes = vm.program().insns.len() as u64 * 8;
+        let insn_bytes = vm.program().total_insns() as u64 * 8;
         let map_bytes = vm.program().sram_bytes() - insn_bytes;
         self.sram.release(SramCategory::Program, insn_bytes);
         self.sram.release(SramCategory::Maps, map_bytes);
@@ -431,6 +446,42 @@ impl SmartNic {
         self.check_frozen(now)?;
         self.charge_program(&program)?;
         let vm = Vm::new(program);
+        let old = match slot {
+            ProgramSlot::IngressFilter => self.ingress_filter.replace(vm),
+            ProgramSlot::EgressFilter => self.egress_filter.replace(vm),
+            ProgramSlot::Classifier => self.classifier.replace(vm),
+        };
+        if let Some(old) = old {
+            self.release_program(&old);
+        }
+        self.stats.program_swaps += 1;
+        Ok(self.cfg.overlay_swap_cost)
+    }
+
+    /// Loads (or hot-swaps) a program into `slot` together with its
+    /// AOT-compiled artifact, so every packet takes the native-closure
+    /// path instead of the interpreter. The artifact must carry the
+    /// program's own fingerprint — a stale or mismatched artifact is
+    /// refused before anything is swapped, keeping the audit ledger
+    /// coherent.
+    pub fn load_program_compiled(
+        &mut self,
+        slot: ProgramSlot,
+        program: Program,
+        artifact: std::sync::Arc<CompiledProgram>,
+        now: Time,
+    ) -> Result<Dur, NicError> {
+        self.tick_crash(now);
+        self.check_dead()?;
+        self.check_frozen(now)?;
+        if artifact.fingerprint() != program.fingerprint() {
+            return Err(NicError::ArtifactMismatch {
+                want: program.fingerprint(),
+                got: artifact.fingerprint(),
+            });
+        }
+        self.charge_program(&program)?;
+        let vm = Vm::with_compiled(program, artifact);
         let old = match slot {
             ProgramSlot::IngressFilter => self.ingress_filter.replace(vm),
             ProgramSlot::EgressFilter => self.egress_filter.replace(vm),
@@ -466,6 +517,32 @@ impl SmartNic {
         }
         self.charge_program(&program)?;
         self.accounting.push(Vm::new(program));
+        self.stats.program_swaps += 1;
+        Ok(self.accounting.len() - 1)
+    }
+
+    /// Adds a passive accounting program with its AOT-compiled artifact
+    /// (see [`SmartNic::load_program_compiled`]). Returns its slot index.
+    pub fn add_accounting_compiled(
+        &mut self,
+        program: Program,
+        artifact: std::sync::Arc<CompiledProgram>,
+        now: Time,
+    ) -> Result<usize, NicError> {
+        self.tick_crash(now);
+        self.check_dead()?;
+        self.check_frozen(now)?;
+        if self.accounting.len() >= MAX_ACCOUNTING_SLOTS {
+            return Err(NicError::AccountingSlotsFull);
+        }
+        if artifact.fingerprint() != program.fingerprint() {
+            return Err(NicError::ArtifactMismatch {
+                want: program.fingerprint(),
+                got: artifact.fingerprint(),
+            });
+        }
+        self.charge_program(&program)?;
+        self.accounting.push(Vm::with_compiled(program, artifact));
         self.stats.program_swaps += 1;
         Ok(self.accounting.len() - 1)
     }
@@ -528,6 +605,44 @@ impl SmartNic {
     /// Returns whether `slot` currently holds a program.
     pub fn program_loaded(&self, slot: ProgramSlot) -> bool {
         self.slot_vm(slot).is_some()
+    }
+
+    /// Returns whether the program in `slot` runs compiled (`Some(false)`
+    /// = interpreter fallback, `None` = empty slot).
+    pub fn program_compiled(&self, slot: ProgramSlot) -> Option<bool> {
+        self.slot_vm(slot).map(Vm::is_compiled)
+    }
+
+    /// Reads one slot of a per-flow scratch record from the program in
+    /// `slot` (`ktrace` forensics: per-flow overlay state by packed flow
+    /// key).
+    pub fn read_flow_slot(
+        &self,
+        slot: ProgramSlot,
+        map: usize,
+        flow_key: u128,
+        idx: usize,
+    ) -> Option<u64> {
+        self.slot_vm(slot)?.flow_get(map, flow_key, idx)
+    }
+
+    /// All named overlay counters across every loaded program —
+    /// `(program name, counter name, value)` triples in slot order, the
+    /// `ktrace`/metrics export surface.
+    pub fn overlay_counters(&self) -> Vec<(String, String, u64)> {
+        let mut out = Vec::new();
+        let slots = [
+            self.ingress_filter.as_ref(),
+            self.egress_filter.as_ref(),
+            self.classifier.as_ref(),
+        ];
+        for vm in slots.into_iter().flatten().chain(self.accounting.iter()) {
+            let program = vm.program().name.clone();
+            for (name, value) in vm.counters() {
+                out.push((program.clone(), name, value));
+            }
+        }
+        out
     }
 
     /// Content fingerprint of the program resident in `slot`, if any
@@ -1271,6 +1386,10 @@ impl SmartNic {
     ) -> PktCtx {
         let tuple = meta.and_then(|m| m.tuple);
         PktCtx {
+            // Same injective packing as the flow table's exact-match key,
+            // so per-flow overlay state and flow-table entries agree on
+            // flow identity. Tuple-less frames (ARP, malformed) key to 0.
+            flow_key: tuple.as_ref().map(crate::flowtable::exact_key).unwrap_or(0),
             pkt_len: len as u64,
             proto: tuple.map(|t| u64::from(t.proto.0)).unwrap_or(0),
             src_ip: tuple.map(|t| u32::from(t.src_ip)).unwrap_or(0),

@@ -246,9 +246,11 @@ type VictimKey = (u8, u64, u64);
 
 /// Packs a [`FiveTuple`] into one 128-bit exact-match key: two hasher
 /// rounds instead of the derive's field-by-field (and per-octet) walk.
-/// The packing is injective, so key equality is tuple equality.
+/// The packing is injective, so key equality is tuple equality. Public
+/// because the same packing keys the overlay's per-flow scratch maps
+/// (`PktCtx::flow_key`), so kernel tools can address both uniformly.
 #[inline]
-fn exact_key(t: &FiveTuple) -> u128 {
+pub fn exact_key(t: &FiveTuple) -> u128 {
     (u128::from(u32::from(t.src_ip)) << 96)
         | (u128::from(u32::from(t.dst_ip)) << 64)
         | (u128::from(t.src_port) << 48)

@@ -12,9 +12,15 @@
 //!
 //! * **Phase 1 — verify & stage.** The bundle is compiled and every
 //!   overlay program is run through the verifier; scheduler weights are
-//!   validated. Nothing on the NIC changes. A staged bundle is plain
-//!   kernel memory — a concurrent app poking MMIO registers can fault
-//!   all it wants without corrupting it.
+//!   validated. Each verified program is then ahead-of-time compiled to
+//!   a native [`CompiledProgram`] artifact (unless
+//!   [`PolicyStore::interpret_overlay`] asks for the interpreter); a
+//!   program that verifies but fails to compile aborts phase 1 with
+//!   [`CtrlError::CompileRejected`] and bumps `ctrl.compile_rejected` —
+//!   the prior bundle stays installed, fingerprint untouched. Nothing
+//!   on the NIC changes. A staged bundle is plain kernel memory — a
+//!   concurrent app poking MMIO registers can fault all it wants
+//!   without corrupting it.
 //! * **Phase 2 — swap.** The resident bundle is replaced step by step
 //!   and the new **generation number** is written to the NIC's
 //!   kernel-only generation register ([`nicsim::POLICY_GENERATION_REG`])
@@ -38,11 +44,12 @@
 //!   structurally independent account of the dataplane.
 
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 use nicsim::device::ProgramSlot;
 use nicsim::rss::{RssTable, MAX_QUEUES, RSS_TABLE_SIZE};
 use nicsim::{FlowCacheConfig, NatTable, SmartNic, POLICY_GENERATION_REG};
-use overlay::{builtins, Program};
+use overlay::{builtins, CompiledProgram, Program};
 use pkt::IpProto;
 use qdisc::compile;
 use sim::fault::OpFaultInjector;
@@ -145,20 +152,30 @@ pub struct PolicyStore {
     /// `None` leaves the NIC untiered: every connection charges SRAM, the
     /// boot-time §5 behavior.
     pub flow_cache: Option<FlowCacheConfig>,
+    /// Force the interpreted overlay engine instead of ahead-of-time
+    /// compiled artifacts. Default `false` = every verified program is
+    /// compiled at phase-1 and the NIC executes native closures; `true`
+    /// keeps the single-stepping interpreter, which serves as the
+    /// differential-testing oracle and the fallback when a program
+    /// cannot be compiled.
+    pub interpret_overlay: bool,
 }
 
 /// Everything phase 2 installs, in apply order. Compiled from a
 /// [`PolicyStore`] by [`PolicyBundle::compile`]; immutable afterwards.
 #[derive(Clone, Debug)]
 pub struct PolicyBundle {
-    /// Programs per overlay slot.
-    programs: Vec<(ProgramSlot, Program)>,
+    /// Programs per overlay slot, each with its ahead-of-time compiled
+    /// artifact (`None` = install interpreted). The artifact is stamped
+    /// with the source program's fingerprint, so audit and
+    /// crash-restore reconcile byte-for-byte regardless of engine.
+    programs: Vec<(ProgramSlot, Program, Option<Arc<CompiledProgram>>)>,
     /// `(slot, map, key, value)` MMIO data writes after load.
     map_fills: Vec<(ProgramSlot, usize, usize, u64)>,
     /// Scheduler weights (always at least one class).
     sched_weights: Vec<f64>,
-    /// Passive accounting programs.
-    accounting: Vec<Program>,
+    /// Passive accounting programs with their compiled artifacts.
+    accounting: Vec<(Program, Option<Arc<CompiledProgram>>)>,
     /// Capture-tap filter.
     sniffer: Option<SnifferFilter>,
     /// NAT masquerade address + static forwards.
@@ -311,23 +328,47 @@ impl PolicyBundle {
 
         // Verify every program the bundle would install (the load path
         // verifies again; this keeps phase 1 side-effect-free while
-        // still refusing bad bundles before anything is staged).
-        for (_, program) in &programs {
-            overlay::verify(program).map_err(|e| {
-                CtrlError::Compile(format!("program '{}' rejected: {e}", program.name))
-            })?;
-        }
-        for program in &store.accounting {
-            overlay::verify(program).map_err(|e| {
-                CtrlError::Compile(format!("accounting '{}' rejected: {e}", program.name))
-            })?;
-        }
+        // still refusing bad bundles before anything is staged), then
+        // ahead-of-time compile each one to a native artifact unless the
+        // store pins the interpreter. An AOT failure after a clean
+        // verify is a `CompileRejected`: the commit never reaches phase
+        // 2, so the resident bundle (and its fingerprints) survive.
+        let aot =
+            |program: &Program, kind: &str| -> Result<Option<Arc<CompiledProgram>>, CtrlError> {
+                overlay::verify(program).map_err(|e| {
+                    CtrlError::Compile(format!("{kind} '{}' rejected: {e}", program.name))
+                })?;
+                if store.interpret_overlay {
+                    return Ok(None);
+                }
+                overlay::compile(program)
+                    .map(Some)
+                    .map_err(|e| CtrlError::CompileRejected {
+                        program: program.name.clone(),
+                        reason: e.to_string(),
+                    })
+            };
+        let programs = programs
+            .into_iter()
+            .map(|(slot, program)| {
+                let artifact = aot(&program, "program")?;
+                Ok((slot, program, artifact))
+            })
+            .collect::<Result<Vec<_>, CtrlError>>()?;
+        let accounting = store
+            .accounting
+            .iter()
+            .map(|program| {
+                let artifact = aot(program, "accounting")?;
+                Ok((program.clone(), artifact))
+            })
+            .collect::<Result<Vec<_>, CtrlError>>()?;
 
         Ok(PolicyBundle {
             programs,
             map_fills,
             sched_weights,
-            accounting: store.accounting.clone(),
+            accounting,
             sniffer: store.sniffer,
             nat,
             rss,
@@ -339,8 +380,15 @@ impl PolicyBundle {
     fn program_for(&self, slot: ProgramSlot) -> Option<&Program> {
         self.programs
             .iter()
-            .find(|(s, _)| *s == slot)
-            .map(|(_, p)| p)
+            .find(|(s, _, _)| *s == slot)
+            .map(|(_, p, _)| p)
+    }
+
+    fn artifact_for(&self, slot: ProgramSlot) -> Option<&Arc<CompiledProgram>> {
+        self.programs
+            .iter()
+            .find(|(s, _, _)| *s == slot)
+            .and_then(|(_, _, a)| a.as_ref())
     }
 }
 
@@ -365,6 +413,18 @@ impl StagedCommit {
 pub enum CtrlError {
     /// Phase 1 refused the policy (verifier, weights, NAT conflicts).
     Compile(String),
+    /// Phase 1 verified a program but could not ahead-of-time compile
+    /// it to a native artifact. The commit aborts before phase 2: the
+    /// prior bundle stays installed with its fingerprints intact, and
+    /// `ctrl.compile_rejected` counts the refusal. Callers wanting the
+    /// program anyway can retry with
+    /// [`PolicyStore::interpret_overlay`] set.
+    CompileRejected {
+        /// Name of the program the AOT compiler refused.
+        program: String,
+        /// Compiler diagnostic.
+        reason: String,
+    },
     /// The dataplane is down for a bitstream reprogram.
     Frozen {
         /// When it comes back.
@@ -398,6 +458,13 @@ impl std::fmt::Display for CtrlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CtrlError::Compile(e) => write!(f, "policy rejected: {e}"),
+            CtrlError::CompileRejected { program, reason } => {
+                write!(
+                    f,
+                    "program '{program}' verified but failed native compilation: \
+                     {reason}; prior bundle retained"
+                )
+            }
             CtrlError::Frozen { until } => write!(f, "dataplane reprogramming until {until}"),
             CtrlError::CommitFailed { step } => {
                 write!(
@@ -473,6 +540,9 @@ pub struct CtrlStats {
     pub aborts: u64,
     /// Commits the watchdog cancelled for exceeding their op deadline.
     pub watchdog_aborts: u64,
+    /// Phase-1 refusals where a program verified but the ahead-of-time
+    /// compiler rejected it (the prior bundle stayed installed).
+    pub compile_rejected: u64,
 }
 
 /// The kernel control plane: policy store, installed bundle, generation
@@ -582,12 +652,22 @@ impl ControlPlane {
     }
 
     /// Phase 1: applies `mutate` to a scratch copy of the store and
-    /// compiles + verifies the result. Pure; the live store, the NIC,
-    /// and the generation are untouched.
-    pub fn stage(&self, mutate: impl FnOnce(&mut PolicyStore)) -> Result<StagedCommit, CtrlError> {
+    /// compiles + verifies the result, ahead-of-time compiling every
+    /// verified program to its native artifact. The live store, the
+    /// NIC, and the generation are untouched; the only mutation is the
+    /// `ctrl.compile_rejected` counter when the AOT compiler refuses a
+    /// verified program.
+    pub fn stage(
+        &mut self,
+        mutate: impl FnOnce(&mut PolicyStore),
+    ) -> Result<StagedCommit, CtrlError> {
         let mut store = self.store.clone();
         mutate(&mut store);
-        let bundle = PolicyBundle::compile(&store)?;
+        let bundle = PolicyBundle::compile(&store).inspect_err(|e| {
+            if matches!(e, CtrlError::CompileRejected { .. }) {
+                self.stats.compile_rejected += 1;
+            }
+        })?;
         Ok(StagedCommit { store, bundle })
     }
 
@@ -813,15 +893,21 @@ impl ControlPlane {
             nic.remove_accounting(nic.num_accounting() - 1);
         }
 
-        for (slot, program) in &bundle.programs {
+        for (slot, program, artifact) in &bundle.programs {
             op(
                 &mut self.stats,
                 &mut self.faults,
                 &mut budget,
                 "load_program",
             )?;
-            nic.load_program(*slot, program.clone(), now)
-                .map_err(|e| format!("load_program: {e}"))?;
+            match artifact {
+                Some(artifact) => nic
+                    .load_program_compiled(*slot, program.clone(), Arc::clone(artifact), now)
+                    .map_err(|e| format!("load_program: {e}"))?,
+                None => nic
+                    .load_program(*slot, program.clone(), now)
+                    .map_err(|e| format!("load_program: {e}"))?,
+            };
         }
         for &(slot, map, key, value) in &bundle.map_fills {
             op(&mut self.stats, &mut self.faults, &mut budget, "fill_map")?;
@@ -914,15 +1000,21 @@ impl ControlPlane {
             }
         }
 
-        for program in &bundle.accounting {
+        for (program, artifact) in &bundle.accounting {
             op(
                 &mut self.stats,
                 &mut self.faults,
                 &mut budget,
                 "add_accounting",
             )?;
-            nic.add_accounting(program.clone(), now)
-                .map_err(|e| format!("add_accounting: {e}"))?;
+            match artifact {
+                Some(artifact) => nic
+                    .add_accounting_compiled(program.clone(), Arc::clone(artifact), now)
+                    .map_err(|e| format!("add_accounting: {e}"))?,
+                None => nic
+                    .add_accounting(program.clone(), now)
+                    .map_err(|e| format!("add_accounting: {e}"))?,
+            };
         }
 
         op(&mut self.stats, &mut self.faults, &mut budget, "sniffer")?;
@@ -1024,6 +1116,19 @@ impl ControlPlane {
                             want.name
                         ));
                     }
+                    // The execution engine must match the bundle too: a
+                    // compiled artifact that silently fell back to the
+                    // interpreter (or vice versa) is a policy divergence
+                    // even though the fingerprints agree.
+                    let want_compiled = bundle.artifact_for(slot).is_some();
+                    if let Some(got_compiled) = nic.program_compiled(slot) {
+                        if got_compiled != want_compiled {
+                            violations.push(format!(
+                                "{slot:?}: resident engine compiled={got_compiled} \
+                                 != bundle compiled={want_compiled}"
+                            ));
+                        }
+                    }
                 }
                 (Some(want), None) => violations.push(format!(
                     "{slot:?}: store expects '{}' but no program resident",
@@ -1087,7 +1192,11 @@ impl ControlPlane {
         }
 
         let acct = nic.accounting_fingerprints();
-        let want_acct: Vec<u64> = bundle.accounting.iter().map(Program::fingerprint).collect();
+        let want_acct: Vec<u64> = bundle
+            .accounting
+            .iter()
+            .map(|(p, _)| p.fingerprint())
+            .collect();
         if acct != want_acct {
             violations.push(format!(
                 "accounting programs resident {} != store {}",
@@ -1144,6 +1253,7 @@ impl ControlPlane {
         reg.set_counter("ctrl.apply_ops", self.stats.apply_ops);
         reg.set_counter("ctrl.aborts", self.stats.aborts);
         reg.set_counter("ctrl.watchdog_aborts", self.stats.watchdog_aborts);
+        reg.set_counter("ctrl.compile_rejected", self.stats.compile_rejected);
         reg.set_counter("ctrl.fault_injected", self.faults.injected());
         reg.set_counter("fault.ops", self.faults.ops());
         reg.set_counter("fault.injected", self.faults.injected());

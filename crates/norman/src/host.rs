@@ -889,7 +889,7 @@ impl Host {
     /// store without touching the NIC or the live store. Commit the
     /// result with [`Host::commit_staged_policy`].
     pub fn stage_policy(
-        &self,
+        &mut self,
         mutate: impl FnOnce(&mut PolicyStore),
     ) -> Result<StagedCommit, CtrlError> {
         self.ctrl.stage(mutate)

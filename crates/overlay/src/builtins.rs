@@ -193,6 +193,66 @@ pub fn byte_accounting() -> Program {
     )
 }
 
+/// Per-flow byte/packet metering with an elephant-flow escape hatch —
+/// exercises the eBPF-class extensions end to end. Slot 0 of `meter`
+/// accumulates bytes, slot 1 packets, per packed flow key; the `pkts`
+/// and `bytes` counters aggregate across flows for `ktrace`/metrics.
+/// Flows past the byte threshold in map `params[0]` (0 = unlimited)
+/// tail-call into `elephant`, which marks the packet and sends it to the
+/// slow path for policy attention.
+pub fn flow_meter() -> Program {
+    must(
+        "flow_meter",
+        "
+        map params 1
+        flowmap meter 2 4096
+        counter pkts
+        counter bytes
+        ldctx r0, pkt_len
+        flowadd meter, 0, r0      ; per-flow bytes
+        ldimm r1, 1
+        flowadd meter, 1, r1      ; per-flow packets
+        cntadd pkts, 1
+        cntadd bytes, r0
+        ldimm r2, 0
+        mapld r3, params, r2      ; byte threshold (0 = off)
+        jeq r3, 0, out
+        flowld r4, meter, 0
+        jge r4, r3, big
+        out:
+        ret pass
+        big:
+        tailcall elephant
+        tail elephant
+        ldimm r5, 1
+        setmark r5
+        ret slowpath
+        ",
+    )
+}
+
+/// Index of the `params` map in [`flow_meter`] (`[0]` = byte threshold).
+pub const FLOW_METER_PARAMS_MAP: usize = 0;
+
+/// Index of the `meter` flow map in [`flow_meter`].
+pub const FLOW_METER_FLOWMAP: usize = 0;
+
+/// Every builtin, for exhaustive tooling (round-trip tests, differential
+/// fuzzing, `knetstat` listings).
+pub fn all() -> Vec<Program> {
+    vec![
+        allow_all(),
+        drop_all(),
+        port_owner_filter(),
+        token_bucket(),
+        uid_classifier(),
+        dscp_classifier(),
+        arp_counter(),
+        byte_accounting(),
+        flow_meter(),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,18 +261,52 @@ mod tests {
 
     #[test]
     fn all_builtins_assemble_and_verify() {
-        for p in [
-            allow_all(),
-            drop_all(),
-            port_owner_filter(),
-            token_bucket(),
-            uid_classifier(),
-            dscp_classifier(),
-            arp_counter(),
-            byte_accounting(),
-        ] {
+        for p in all() {
             assert!(crate::verify::verify(&p).is_ok(), "{} fails", p.name);
         }
+    }
+
+    #[test]
+    fn all_builtins_compile() {
+        // Every canned policy must take the compiled path, not the
+        // interpreter fallback.
+        for p in all() {
+            assert!(crate::compile::compile(&p).is_ok(), "{} fails", p.name);
+        }
+    }
+
+    #[test]
+    fn flow_meter_meters_and_escalates() {
+        let mut vm = Vm::new(flow_meter());
+        let ctx = PktCtx {
+            flow_key: 0xdead_beef,
+            pkt_len: 600,
+            ..PktCtx::default()
+        };
+        assert_eq!(vm.run(&ctx).unwrap().verdict, Verdict::Pass);
+        assert_eq!(vm.run(&ctx).unwrap().verdict, Verdict::Pass);
+        assert_eq!(vm.flow_get(FLOW_METER_FLOWMAP, 0xdead_beef, 0), Some(1200));
+        assert_eq!(vm.flow_get(FLOW_METER_FLOWMAP, 0xdead_beef, 1), Some(2));
+        assert_eq!(vm.counter_get(0), Some(2)); // pkts
+        assert_eq!(vm.counter_get(1), Some(1200)); // bytes
+        assert_eq!(
+            vm.counters(),
+            vec![("pkts".to_string(), 2), ("bytes".to_string(), 1200)]
+        );
+
+        // Arm the elephant threshold: next packet crosses 1500 bytes and
+        // tail-calls into the slow-path escalation.
+        vm.map_set(FLOW_METER_PARAMS_MAP, 0, 1500);
+        let e = vm.run(&ctx).unwrap();
+        assert_eq!(e.verdict, Verdict::SlowPath);
+        assert_eq!(e.mark, 1);
+        // Other flows are unaffected.
+        let other = PktCtx {
+            flow_key: 77,
+            pkt_len: 100,
+            ..PktCtx::default()
+        };
+        assert_eq!(vm.run(&other).unwrap().verdict, Verdict::Pass);
     }
 
     #[test]

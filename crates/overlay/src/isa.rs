@@ -123,6 +123,29 @@ pub enum AluOp {
     Max,
 }
 
+impl AluOp {
+    /// Evaluates the operation. The single source of ALU semantics: the
+    /// interpreter and the compiled path both call this, so they cannot
+    /// disagree on arithmetic.
+    #[inline(always)]
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::Mul => a.wrapping_mul(b),
+            AluOp::Div => a.checked_div(b).unwrap_or(0),
+            AluOp::Mod => a.checked_rem(b).unwrap_or(0),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+            AluOp::Min => a.min(b),
+            AluOp::Max => a.max(b),
+        }
+    }
+}
+
 /// Comparison operations for conditional jumps.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CmpOp {
@@ -256,6 +279,56 @@ pub enum Insn {
     SetMark {
         /// Source register.
         src: Reg,
+    },
+    /// `dst = flow_map[flow_key][slot]`. Per-flow scratch state, keyed on
+    /// the packed 128-bit flow key the NIC parser derives from the
+    /// five-tuple. A flow with no state yet reads as 0; the slot index is
+    /// runtime bounds-checked against the declared slot count.
+    FlowLoad {
+        /// Destination register.
+        dst: Reg,
+        /// Declared flow-map index.
+        map: MapId,
+        /// Slot within the per-flow record.
+        slot: Operand,
+    },
+    /// `flow_map[flow_key][slot] = src`. Writing to a flow map already at
+    /// its declared flow capacity (and for a flow with no record yet) is
+    /// dropped deterministically and counted — bounded state, like eBPF
+    /// map update failures.
+    FlowStore {
+        /// Declared flow-map index.
+        map: MapId,
+        /// Slot within the per-flow record.
+        slot: Operand,
+        /// Source register.
+        src: Reg,
+    },
+    /// `flow_map[flow_key][slot] += src` (saturating), one cycle — the
+    /// per-flow counter/token primitive.
+    FlowAdd {
+        /// Declared flow-map index.
+        map: MapId,
+        /// Slot within the per-flow record.
+        slot: Operand,
+        /// Source register.
+        src: Reg,
+    },
+    /// `counter[idx] += src` (saturating). Named global counters, read
+    /// out-of-band via `ktrace`/metrics without perturbing execution.
+    CntAdd {
+        /// Declared counter index.
+        counter: usize,
+        /// Amount to add.
+        src: Operand,
+    },
+    /// Transfers control to tail body `tail` (registers carry over).
+    /// The verifier only admits monotonically increasing tail indices,
+    /// so chains are bounded by construction — eBPF tail calls without
+    /// the runtime depth counter.
+    TailCall {
+        /// Declared tail-body index.
+        tail: usize,
     },
     /// Terminates with an immediate verdict.
     Ret {

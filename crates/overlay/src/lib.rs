@@ -27,13 +27,15 @@
 
 pub mod asm;
 pub mod builtins;
+pub mod compile;
 pub mod isa;
 pub mod program;
 pub mod verify;
 pub mod vm;
 
-pub use asm::{assemble, AsmError};
+pub use asm::{assemble, disassemble, AsmError};
+pub use compile::{compile, CompileError, CompiledProgram, MAX_COMPILED_INSNS};
 pub use isa::{AluOp, CmpOp, CtxField, Insn, Operand, Reg, Verdict};
-pub use program::{MapSpec, Program};
+pub use program::{FlowMapSpec, MapSpec, Program, TailBody};
 pub use verify::{verify, VerifyError};
 pub use vm::{PktCtx, Vm, VmError};

@@ -8,6 +8,19 @@ pub const MAX_INSNS: usize = 4096;
 /// Maximum total map entries per program (overlay SRAM budget).
 pub const MAX_MAP_ENTRIES: usize = 1 << 20;
 
+/// Maximum flow records a single flow map may declare (bounded state:
+/// the overlay pre-provisions every record slot at load time).
+pub const MAX_FLOW_MAP_FLOWS: usize = 1 << 16;
+
+/// Maximum `u64` slots per flow record.
+pub const MAX_FLOW_MAP_SLOTS: usize = 16;
+
+/// Maximum named counters per program.
+pub const MAX_COUNTERS: usize = 64;
+
+/// Maximum tail bodies per program.
+pub const MAX_TAILS: usize = 8;
+
 /// A declared state map: a fixed-size array of `u64`.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct MapSpec {
@@ -32,6 +45,48 @@ impl MapSpec {
     }
 }
 
+/// A declared per-flow scratch map: up to `max_flows` records of
+/// `slots` `u64`s each, keyed on the parser's packed 128-bit flow key.
+/// Bounded by construction — the overlay charges the full footprint at
+/// load time, so a flow map can never grow past its declaration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FlowMapSpec {
+    /// Human-readable name (used by the assembler and tools).
+    pub name: String,
+    /// `u64` slots per flow record.
+    pub slots: usize,
+    /// Maximum concurrent flows with a record.
+    pub max_flows: usize,
+}
+
+impl FlowMapSpec {
+    /// Creates a flow-map spec.
+    pub fn new(name: impl Into<String>, slots: usize, max_flows: usize) -> FlowMapSpec {
+        FlowMapSpec {
+            name: name.into(),
+            slots,
+            max_flows,
+        }
+    }
+
+    /// SRAM footprint in bytes: every record slot plus the 16-byte flow
+    /// key, pre-provisioned for the declared flow capacity.
+    pub fn bytes(&self) -> u64 {
+        (self.slots as u64 * 8 + 16) * self.max_flows as u64
+    }
+}
+
+/// A named tail body: a second verified instruction stream the main
+/// body (or an earlier tail) can transfer into via `tailcall`. Tails
+/// share the program's map/flow-map/counter namespace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TailBody {
+    /// Human-readable name (assembler section label).
+    pub name: String,
+    /// Instruction stream.
+    pub insns: Vec<Insn>,
+}
+
 /// A complete overlay program: instructions plus declared maps.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Program {
@@ -41,6 +96,12 @@ pub struct Program {
     pub insns: Vec<Insn>,
     /// Declared maps, addressed by index.
     pub maps: Vec<MapSpec>,
+    /// Declared per-flow scratch maps, addressed by index.
+    pub flow_maps: Vec<FlowMapSpec>,
+    /// Declared saturating counters, addressed by index.
+    pub counters: Vec<String>,
+    /// Tail bodies, addressed by index.
+    pub tails: Vec<TailBody>,
 }
 
 impl Program {
@@ -50,10 +111,34 @@ impl Program {
             name: name.into(),
             insns,
             maps,
+            flow_maps: Vec::new(),
+            counters: Vec::new(),
+            tails: Vec::new(),
         }
     }
 
-    /// Returns the number of instructions.
+    /// Builder: declares a per-flow scratch map.
+    pub fn with_flow_map(mut self, spec: FlowMapSpec) -> Program {
+        self.flow_maps.push(spec);
+        self
+    }
+
+    /// Builder: declares a named saturating counter.
+    pub fn with_counter(mut self, name: impl Into<String>) -> Program {
+        self.counters.push(name.into());
+        self
+    }
+
+    /// Builder: appends a tail body.
+    pub fn with_tail(mut self, name: impl Into<String>, insns: Vec<Insn>) -> Program {
+        self.tails.push(TailBody {
+            name: name.into(),
+            insns,
+        });
+        self
+    }
+
+    /// Returns the number of instructions in the main body.
     pub fn len(&self) -> usize {
         self.insns.len()
     }
@@ -64,11 +149,20 @@ impl Program {
         self.insns.is_empty()
     }
 
+    /// Total instructions across the main body and every tail — what
+    /// the program store holds and the worst-case cycle bound sums.
+    pub fn total_insns(&self) -> usize {
+        self.insns.len() + self.tails.iter().map(|t| t.insns.len()).sum::<usize>()
+    }
+
     /// Returns the SRAM footprint of the program: instruction store
-    /// (8 bytes per instruction, as a packed overlay encoding) plus all
-    /// map state.
+    /// (8 bytes per instruction, as a packed overlay encoding, tails
+    /// included) plus all map, flow-map and counter state.
     pub fn sram_bytes(&self) -> u64 {
-        self.insns.len() as u64 * 8 + self.maps.iter().map(MapSpec::bytes).sum::<u64>()
+        self.total_insns() as u64 * 8
+            + self.maps.iter().map(MapSpec::bytes).sum::<u64>()
+            + self.flow_maps.iter().map(FlowMapSpec::bytes).sum::<u64>()
+            + self.counters.len() as u64 * 8
     }
 
     /// A deterministic content fingerprint (FNV-1a over name, instruction
@@ -84,6 +178,20 @@ impl Program {
         for m in &self.maps {
             m.name.hash(&mut h);
             m.size.hash(&mut h);
+        }
+        // The eBPF-class extensions hash only when present, so programs
+        // that use none of them fingerprint exactly as they always did.
+        for fm in &self.flow_maps {
+            fm.name.hash(&mut h);
+            fm.slots.hash(&mut h);
+            fm.max_flows.hash(&mut h);
+        }
+        for c in &self.counters {
+            c.hash(&mut h);
+        }
+        for t in &self.tails {
+            t.name.hash(&mut h);
+            t.insns.hash(&mut h);
         }
         h.finish()
     }

@@ -19,7 +19,10 @@
 use std::fmt;
 
 use crate::isa::{Insn, Operand, Reg};
-use crate::program::{Program, MAX_INSNS, MAX_MAP_ENTRIES};
+use crate::program::{
+    Program, MAX_COUNTERS, MAX_FLOW_MAP_FLOWS, MAX_FLOW_MAP_SLOTS, MAX_INSNS, MAX_MAP_ENTRIES,
+    MAX_TAILS,
+};
 
 /// Why a program was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -68,6 +71,48 @@ pub enum VerifyError {
         /// Total entries declared.
         entries: usize,
     },
+    /// A tail-call targets a missing tail body, or (from within a tail)
+    /// a body that is not strictly later — the monotonicity that bounds
+    /// every chain structurally.
+    BadTailCall {
+        /// Offending instruction index.
+        pc: usize,
+        /// The referenced tail index.
+        tail: usize,
+    },
+    /// A flow-map instruction references an undeclared flow map.
+    UndeclaredFlowMap {
+        /// Offending instruction index.
+        pc: usize,
+        /// The referenced flow-map index.
+        map: usize,
+    },
+    /// A declared flow map has zero slots/flows or exceeds its caps.
+    BadFlowMapDecl {
+        /// Flow-map index.
+        map: usize,
+    },
+    /// An immediate slot index is statically outside the flow record.
+    FlowSlotOutOfBounds {
+        /// Offending instruction index.
+        pc: usize,
+        /// The out-of-range slot.
+        slot: u64,
+    },
+    /// A counter instruction references an undeclared counter.
+    UndeclaredCounter {
+        /// Offending instruction index.
+        pc: usize,
+        /// The referenced counter index.
+        counter: usize,
+    },
+    /// Too many counters or tail bodies declared.
+    TooManyDecls {
+        /// Which declaration list overflowed.
+        what: &'static str,
+        /// How many were declared.
+        n: usize,
+    },
 }
 
 impl fmt::Display for VerifyError {
@@ -98,6 +143,30 @@ impl fmt::Display for VerifyError {
                     f,
                     "maps declare {entries} entries, budget is {MAX_MAP_ENTRIES}"
                 )
+            }
+            VerifyError::BadTailCall { pc, tail } => {
+                write!(
+                    f,
+                    "insn {pc}: tail-call to {tail} is missing or not strictly forward"
+                )
+            }
+            VerifyError::UndeclaredFlowMap { pc, map } => {
+                write!(f, "insn {pc}: reference to undeclared flow map {map}")
+            }
+            VerifyError::BadFlowMapDecl { map } => {
+                write!(
+                    f,
+                    "flow map {map} outside 1..={MAX_FLOW_MAP_SLOTS} slots x 1..={MAX_FLOW_MAP_FLOWS} flows"
+                )
+            }
+            VerifyError::FlowSlotOutOfBounds { pc, slot } => {
+                write!(f, "insn {pc}: flow slot {slot} outside the declared record")
+            }
+            VerifyError::UndeclaredCounter { pc, counter } => {
+                write!(f, "insn {pc}: reference to undeclared counter {counter}")
+            }
+            VerifyError::TooManyDecls { what, n } => {
+                write!(f, "{n} {what} declared, over the program limit")
             }
         }
     }
@@ -132,6 +201,13 @@ fn reads_of(insn: &Insn) -> Vec<Reg> {
             out.push(*key);
             out.push(*src);
         }
+        Insn::FlowLoad { slot, .. } => out.extend(operand_reg(slot)),
+        Insn::FlowStore { slot, src, .. } | Insn::FlowAdd { slot, src, .. } => {
+            out.extend(operand_reg(slot));
+            out.push(*src);
+        }
+        Insn::CntAdd { src, .. } => out.extend(operand_reg(src)),
+        Insn::TailCall { .. } => {}
         Insn::SetMark { src } => out.push(*src),
         Insn::RetReg { src } => out.push(*src),
     }
@@ -144,41 +220,33 @@ fn write_of(insn: &Insn) -> Option<Reg> {
         | Insn::LdCtx { dst, .. }
         | Insn::Mov { dst, .. }
         | Insn::Alu { dst, .. }
-        | Insn::MapLoad { dst, .. } => Some(*dst),
+        | Insn::MapLoad { dst, .. }
+        | Insn::FlowLoad { dst, .. } => Some(*dst),
         _ => None,
     }
 }
 
 fn is_terminal(insn: &Insn) -> bool {
-    matches!(insn, Insn::Ret { .. } | Insn::RetReg { .. })
+    // A tail-call never returns to this body, so it terminates the body's
+    // control flow just like `ret` (the tail itself is verified to
+    // terminate, and chains are bounded by tail-index monotonicity).
+    matches!(
+        insn,
+        Insn::Ret { .. } | Insn::RetReg { .. } | Insn::TailCall { .. }
+    )
 }
 
-/// Verifies `program`, returning the worst-case cycle count (equal to the
-/// instruction count, by the forward-jump guarantee) on success.
-pub fn verify(program: &Program) -> Result<usize, VerifyError> {
-    let n = program.insns.len();
+/// Verifies one body (the main stream or a tail). `min_tail` is the
+/// lowest tail index this body may call into: 0 from the main body,
+/// `i + 1` from tail `i` — the monotonicity that bounds every chain.
+fn verify_body(program: &Program, insns: &[Insn], min_tail: usize) -> Result<(), VerifyError> {
+    let n = insns.len();
     if n == 0 {
         return Err(VerifyError::Empty);
     }
-    if n > MAX_INSNS {
-        return Err(VerifyError::TooLong { len: n });
-    }
-
-    // Map declarations.
-    let total_entries: usize = program.maps.iter().map(|m| m.size).sum();
-    if total_entries > MAX_MAP_ENTRIES {
-        return Err(VerifyError::MapsTooLarge {
-            entries: total_entries,
-        });
-    }
-    for (i, m) in program.maps.iter().enumerate() {
-        if m.size == 0 {
-            return Err(VerifyError::EmptyMap { map: i });
-        }
-    }
 
     // Structural checks per instruction.
-    for (pc, insn) in program.insns.iter().enumerate() {
+    for (pc, insn) in insns.iter().enumerate() {
         match insn {
             Insn::Jmp { target } | Insn::JmpIf { target, .. }
                 if (*target <= pc || *target >= n) =>
@@ -193,6 +261,29 @@ pub fn verify(program: &Program) -> Result<usize, VerifyError> {
             {
                 return Err(VerifyError::UndeclaredMap { pc, map: *map });
             }
+            Insn::FlowLoad { map, slot, .. }
+            | Insn::FlowStore { map, slot, .. }
+            | Insn::FlowAdd { map, slot, .. } => {
+                let Some(spec) = program.flow_maps.get(*map) else {
+                    return Err(VerifyError::UndeclaredFlowMap { pc, map: *map });
+                };
+                // Immediate slots are checked statically; register slots
+                // are bounds-checked at runtime.
+                if let Operand::Imm(s) = slot {
+                    if *s >= spec.slots as u64 {
+                        return Err(VerifyError::FlowSlotOutOfBounds { pc, slot: *s });
+                    }
+                }
+            }
+            Insn::CntAdd { counter, .. } if *counter >= program.counters.len() => {
+                return Err(VerifyError::UndeclaredCounter {
+                    pc,
+                    counter: *counter,
+                });
+            }
+            Insn::TailCall { tail } if (*tail < min_tail || *tail >= program.tails.len()) => {
+                return Err(VerifyError::BadTailCall { pc, tail: *tail });
+            }
             _ => {}
         }
     }
@@ -201,7 +292,7 @@ pub fn verify(program: &Program) -> Result<usize, VerifyError> {
     // unconditional jump is impossible (jumps are forward-only, so the
     // last instruction cannot jump). Additionally, straight-line flow into
     // the end from a non-terminal predecessor is caught here.
-    let last = &program.insns[n - 1];
+    let last = &insns[n - 1];
     if !is_terminal(last) {
         return Err(VerifyError::FallsOffEnd { pc: n - 1 });
     }
@@ -210,13 +301,18 @@ pub fn verify(program: &Program) -> Result<usize, VerifyError> {
     // program order is a topological order: one pass suffices.
     // `init[pc]` = registers definitely initialized on entry to pc.
     // None = not yet known reachable.
+    //
+    // Each body starts with nothing initialized. At runtime registers
+    // carry across a tail-call, but the verifier deliberately treats a
+    // tail entry as uninitialized: a tail is admitted only if it is safe
+    // from *any* caller, so bodies verify independently.
     let mut init: Vec<Option<RegSet>> = vec![None; n];
     init[0] = Some(0);
     for pc in 0..n {
         let Some(in_set) = init[pc] else {
             continue; // unreachable instruction: vacuously fine
         };
-        let insn = &program.insns[pc];
+        let insn = &insns[pc];
         for r in reads_of(insn) {
             if in_set & (1 << r.0) == 0 {
                 return Err(VerifyError::UninitRead { pc, reg: r });
@@ -234,7 +330,7 @@ pub fn verify(program: &Program) -> Result<usize, VerifyError> {
             });
         };
         match insn {
-            Insn::Ret { .. } | Insn::RetReg { .. } => {}
+            Insn::Ret { .. } | Insn::RetReg { .. } | Insn::TailCall { .. } => {}
             Insn::Jmp { target } => merge(*target, out_set),
             Insn::JmpIf { target, .. } => {
                 merge(*target, out_set);
@@ -251,7 +347,65 @@ pub fn verify(program: &Program) -> Result<usize, VerifyError> {
         }
     }
 
-    Ok(n)
+    Ok(())
+}
+
+/// Verifies `program`, returning the worst-case cycle count on success.
+/// With forward-only jumps and strictly-forward tail-calls that is the
+/// total instruction count across the main body and every tail.
+pub fn verify(program: &Program) -> Result<usize, VerifyError> {
+    if program.insns.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    let total = program.total_insns();
+    if total > MAX_INSNS {
+        return Err(VerifyError::TooLong { len: total });
+    }
+
+    // Map declarations. Flow maps pre-provision `slots * max_flows`
+    // entries, charged against the same SRAM entry budget.
+    let total_entries: usize = program.maps.iter().map(|m| m.size).sum::<usize>()
+        + program
+            .flow_maps
+            .iter()
+            .map(|fm| fm.slots * fm.max_flows)
+            .sum::<usize>();
+    if total_entries > MAX_MAP_ENTRIES {
+        return Err(VerifyError::MapsTooLarge {
+            entries: total_entries,
+        });
+    }
+    for (i, m) in program.maps.iter().enumerate() {
+        if m.size == 0 {
+            return Err(VerifyError::EmptyMap { map: i });
+        }
+    }
+    for (i, fm) in program.flow_maps.iter().enumerate() {
+        if !(1..=MAX_FLOW_MAP_SLOTS).contains(&fm.slots)
+            || !(1..=MAX_FLOW_MAP_FLOWS).contains(&fm.max_flows)
+        {
+            return Err(VerifyError::BadFlowMapDecl { map: i });
+        }
+    }
+    if program.counters.len() > MAX_COUNTERS {
+        return Err(VerifyError::TooManyDecls {
+            what: "counters",
+            n: program.counters.len(),
+        });
+    }
+    if program.tails.len() > MAX_TAILS {
+        return Err(VerifyError::TooManyDecls {
+            what: "tails",
+            n: program.tails.len(),
+        });
+    }
+
+    verify_body(program, &program.insns, 0)?;
+    for (i, tail) in program.tails.iter().enumerate() {
+        verify_body(program, &tail.insns, i + 1)?;
+    }
+
+    Ok(total)
 }
 
 #[cfg(test)]

@@ -10,7 +10,7 @@
 
 use sim::Dur;
 
-use crate::isa::{AluOp, CtxField, Insn, Operand, Reg, Verdict, NUM_REGS};
+use crate::isa::{CtxField, Insn, Operand, Reg, Verdict, NUM_REGS};
 use crate::program::Program;
 
 /// Default overlay clock: 250 MHz (4 ns per cycle), a typical soft
@@ -20,6 +20,10 @@ pub const DEFAULT_CYCLE: Dur = Dur(4_000);
 /// The packet context visible to programs.
 #[derive(Clone, Copy, Debug)]
 pub struct PktCtx {
+    /// The packed 128-bit flow key (`src_ip:dst_ip:src_port:dst_port:proto`
+    /// in the flow table's exact-match encoding; 0 for tuple-less frames).
+    /// Not register-addressable: flow-map instructions consume it whole.
+    pub flow_key: u128,
     /// Frame length in bytes.
     pub pkt_len: u64,
     /// IP protocol (0 for non-IP).
@@ -57,6 +61,7 @@ pub struct PktCtx {
 impl Default for PktCtx {
     fn default() -> PktCtx {
         PktCtx {
+            flow_key: 0,
             pkt_len: 64,
             proto: 0,
             src_ip: 0,
@@ -78,7 +83,7 @@ impl Default for PktCtx {
 }
 
 impl PktCtx {
-    fn read(&self, field: CtxField) -> u64 {
+    pub(crate) fn read(&self, field: CtxField) -> u64 {
         match field {
             CtxField::PktLen => self.pkt_len,
             CtxField::Proto => self.proto,
@@ -111,6 +116,19 @@ pub enum VmError {
         /// The offending key.
         key: u64,
     },
+    /// A flow-map access with a slot beyond the per-flow record (or an
+    /// undeclared flow map).
+    FlowSlotOutOfBounds {
+        /// The flow-map index.
+        map: usize,
+        /// The offending slot.
+        slot: u64,
+    },
+    /// A counter instruction referenced an undeclared counter.
+    CounterOutOfBounds {
+        /// The counter index.
+        counter: usize,
+    },
     /// Execution exceeded the cycle budget (cannot happen for verified
     /// programs).
     CycleBudgetExceeded,
@@ -123,6 +141,12 @@ impl std::fmt::Display for VmError {
         match self {
             VmError::MapKeyOutOfBounds { map, key } => {
                 write!(f, "map {map} key {key} out of bounds")
+            }
+            VmError::FlowSlotOutOfBounds { map, slot } => {
+                write!(f, "flow map {map} slot {slot} out of bounds")
+            }
+            VmError::CounterOutOfBounds { counter } => {
+                write!(f, "counter {counter} out of bounds")
             }
             VmError::CycleBudgetExceeded => write!(f, "cycle budget exceeded"),
             VmError::PcOutOfBounds => write!(f, "pc out of bounds"),
@@ -151,12 +175,79 @@ impl Execution {
     }
 }
 
+/// A bounded per-flow scratch map instance: up to `max_flows` records of
+/// `slots` `u64`s, keyed on the packed 128-bit flow key. A write when the
+/// map is at flow capacity (and no record exists for the key) is dropped
+/// deterministically and counted — bounded state, never an error.
+#[derive(Clone, Debug)]
+pub(crate) struct FlowMapState {
+    slots: usize,
+    max_flows: usize,
+    entries: std::collections::HashMap<u128, Vec<u64>>,
+    /// Writes dropped because the map was at flow capacity.
+    pub(crate) overflow_drops: u64,
+}
+
+impl FlowMapState {
+    fn new(slots: usize, max_flows: usize) -> FlowMapState {
+        FlowMapState {
+            slots,
+            max_flows,
+            entries: std::collections::HashMap::new(),
+            overflow_drops: 0,
+        }
+    }
+
+    /// Reads `slot` for `key`; a flow with no record reads 0. `None` =
+    /// slot out of bounds.
+    pub(crate) fn load(&self, key: u128, slot: u64) -> Option<u64> {
+        if slot >= self.slots as u64 {
+            return None;
+        }
+        Some(self.entries.get(&key).map_or(0, |rec| rec[slot as usize]))
+    }
+
+    /// Writes (or saturating-adds when `add`) `v` into `slot` for `key`,
+    /// creating a zeroed record if capacity allows. `None` = slot out of
+    /// bounds; an at-capacity drop still returns `Some` (counted, not a
+    /// fault).
+    pub(crate) fn write(&mut self, key: u128, slot: u64, v: u64, add: bool) -> Option<()> {
+        if slot >= self.slots as u64 {
+            return None;
+        }
+        if let Some(rec) = self.entries.get_mut(&key) {
+            let s = &mut rec[slot as usize];
+            *s = if add { s.saturating_add(v) } else { v };
+        } else if self.entries.len() < self.max_flows {
+            let mut rec = vec![0u64; self.slots];
+            rec[slot as usize] = v;
+            self.entries.insert(key, rec);
+        } else {
+            self.overflow_drops += 1;
+        }
+        Some(())
+    }
+}
+
+/// The mutable machine state the interpreter and the compiled path both
+/// execute against. One layout shared by construction, so the two
+/// execution engines cannot diverge on where state lives.
+#[derive(Clone, Debug)]
+pub(crate) struct VmState {
+    pub(crate) regs: [u64; NUM_REGS as usize],
+    pub(crate) mark: u64,
+    pub(crate) maps: Vec<Vec<u64>>,
+    pub(crate) flows: Vec<FlowMapState>,
+    pub(crate) counters: Vec<u64>,
+}
+
 /// An overlay processor instance with persistent map state for one loaded
 /// program.
 #[derive(Clone, Debug)]
 pub struct Vm {
     program: Program,
-    maps: Vec<Vec<u64>>,
+    pub(crate) state: VmState,
+    compiled: Option<std::sync::Arc<crate::compile::CompiledProgram>>,
     /// Packets processed.
     pub executions: u64,
     /// Runtime faults observed.
@@ -169,13 +260,54 @@ impl Vm {
     /// The program should have passed [`crate::verify::verify`]; the VM
     /// does not re-verify but enforces all safety bounds dynamically.
     pub fn new(program: Program) -> Vm {
-        let maps = program.maps.iter().map(|m| vec![0u64; m.size]).collect();
+        let state = VmState {
+            regs: [0; NUM_REGS as usize],
+            mark: 0,
+            maps: program.maps.iter().map(|m| vec![0u64; m.size]).collect(),
+            flows: program
+                .flow_maps
+                .iter()
+                .map(|fm| FlowMapState::new(fm.slots, fm.max_flows))
+                .collect(),
+            counters: vec![0; program.counters.len()],
+        };
         Vm {
             program,
-            maps,
+            state,
+            compiled: None,
             executions: 0,
             faults: 0,
         }
+    }
+
+    /// Instantiates a VM that executes `compiled` instead of walking the
+    /// interpreter. The artifact must have been compiled from exactly
+    /// this program — the fingerprint stamp is checked, so a stale or
+    /// mismatched artifact can never be swapped in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `compiled`'s source fingerprint differs from
+    /// `program.fingerprint()`.
+    pub fn with_compiled(
+        program: Program,
+        compiled: std::sync::Arc<crate::compile::CompiledProgram>,
+    ) -> Vm {
+        assert_eq!(
+            compiled.fingerprint(),
+            program.fingerprint(),
+            "compiled artifact fingerprint mismatch for '{}'",
+            program.name
+        );
+        let mut vm = Vm::new(program);
+        vm.compiled = Some(compiled);
+        vm
+    }
+
+    /// Whether this VM dispatches to a compiled artifact (`false` = pure
+    /// interpreter).
+    pub fn is_compiled(&self) -> bool {
+        self.compiled.is_some()
     }
 
     /// Returns the loaded program.
@@ -186,13 +318,13 @@ impl Vm {
     /// Reads a map entry (control-plane introspection, e.g. reading
     /// counters from `knetstat`).
     pub fn map_get(&self, map: usize, key: usize) -> Option<u64> {
-        self.maps.get(map)?.get(key).copied()
+        self.state.maps.get(map)?.get(key).copied()
     }
 
     /// Writes a map entry (control-plane configuration, e.g. installing a
     /// firewall rule's parameters).
     pub fn map_set(&mut self, map: usize, key: usize, value: u64) -> bool {
-        match self.maps.get_mut(map).and_then(|m| m.get_mut(key)) {
+        match self.state.maps.get_mut(map).and_then(|m| m.get_mut(key)) {
             Some(slot) => {
                 *slot = value;
                 true
@@ -201,21 +333,103 @@ impl Vm {
         }
     }
 
-    /// Executes the program over `ctx`.
+    /// The full array-map state (differential-testing comparisons).
+    pub fn map_state(&self) -> &[Vec<u64>] {
+        &self.state.maps
+    }
+
+    /// Reads one slot of one flow's record; `Some(0)` for a flow with no
+    /// record, `None` for an undeclared map or out-of-range slot.
+    pub fn flow_get(&self, map: usize, key: u128, slot: usize) -> Option<u64> {
+        self.state.flows.get(map)?.load(key, slot as u64)
+    }
+
+    /// A deterministic snapshot of one flow map, sorted by flow key
+    /// (differential-testing comparisons and `ktrace` dumps).
+    pub fn flow_snapshot(&self, map: usize) -> Option<Vec<(u128, Vec<u64>)>> {
+        let fm = self.state.flows.get(map)?;
+        let mut out: Vec<(u128, Vec<u64>)> =
+            fm.entries.iter().map(|(k, v)| (*k, v.clone())).collect();
+        out.sort_unstable_by_key(|(k, _)| *k);
+        Some(out)
+    }
+
+    /// Writes deterministically dropped because a flow map was at
+    /// capacity.
+    pub fn flow_overflow_drops(&self, map: usize) -> Option<u64> {
+        self.state.flows.get(map).map(|fm| fm.overflow_drops)
+    }
+
+    /// Reads a named saturating counter by declaration index.
+    pub fn counter_get(&self, counter: usize) -> Option<u64> {
+        self.state.counters.get(counter).copied()
+    }
+
+    /// All counters with their declared names, in declaration order
+    /// (metrics/`ktrace` export).
+    pub fn counters(&self) -> Vec<(String, u64)> {
+        self.program
+            .counters
+            .iter()
+            .cloned()
+            .zip(self.state.counters.iter().copied())
+            .collect()
+    }
+
+    /// The register file after the most recent `run` (differential
+    /// fuzzing compares it bit-for-bit between engines).
+    pub fn last_regs(&self) -> [u64; NUM_REGS as usize] {
+        self.state.regs
+    }
+
+    /// Executes the program over `ctx` — through the compiled artifact
+    /// when one is loaded, otherwise the interpreter. Both paths leave
+    /// identical machine state behind.
     pub fn run(&mut self, ctx: &PktCtx) -> Result<Execution, VmError> {
+        if let Some(compiled) = &self.compiled {
+            self.executions += 1;
+            self.state.regs = [0; NUM_REGS as usize];
+            self.state.mark = ctx.mark;
+            match compiled.exec(&mut self.state, ctx) {
+                Ok(e) => Ok(e),
+                Err(e) => {
+                    self.faults += 1;
+                    Err(e)
+                }
+            }
+        } else {
+            self.run_interp(ctx)
+        }
+    }
+
+    /// Executes the program over `ctx` on the interpreter, regardless of
+    /// any compiled artifact — the differential-testing oracle.
+    pub fn run_interp(&mut self, ctx: &PktCtx) -> Result<Execution, VmError> {
         self.executions += 1;
-        let mut regs = [0u64; NUM_REGS as usize];
-        let mut mark = ctx.mark;
+        self.state.regs = [0; NUM_REGS as usize];
+        self.state.mark = ctx.mark;
+        let mut body = 0usize; // 0 = main, i+1 = tail i
         let mut pc = 0usize;
         let mut cycles = 0u64;
-        let budget = self.program.insns.len() as u64 + 1;
+        let budget = self.program.total_insns() as u64 + 1;
 
         loop {
             if cycles >= budget {
                 self.faults += 1;
                 return Err(VmError::CycleBudgetExceeded);
             }
-            let Some(insn) = self.program.insns.get(pc) else {
+            let insns: &[Insn] = if body == 0 {
+                &self.program.insns
+            } else {
+                match self.program.tails.get(body - 1) {
+                    Some(t) => &t.insns,
+                    None => {
+                        self.faults += 1;
+                        return Err(VmError::PcOutOfBounds);
+                    }
+                }
+            };
+            let Some(insn) = insns.get(pc).copied() else {
                 self.faults += 1;
                 return Err(VmError::PcOutOfBounds);
             };
@@ -228,107 +442,144 @@ impl Vm {
                 }
             };
 
+            let st = &mut self.state;
             match insn {
                 Insn::LdImm { dst, imm } => {
-                    regs[dst.0 as usize] = *imm;
+                    st.regs[dst.0 as usize] = imm;
                     pc += 1;
                 }
                 Insn::LdCtx { dst, field } => {
-                    regs[dst.0 as usize] = if *field == CtxField::Mark {
-                        mark
+                    st.regs[dst.0 as usize] = if field == CtxField::Mark {
+                        st.mark
                     } else {
-                        ctx.read(*field)
+                        ctx.read(field)
                     };
                     pc += 1;
                 }
                 Insn::Mov { dst, src } => {
-                    regs[dst.0 as usize] = val(src, &regs);
+                    st.regs[dst.0 as usize] = val(&src, &st.regs);
                     pc += 1;
                 }
                 Insn::Alu { op, dst, src } => {
-                    let a = regs[dst.0 as usize];
-                    let b = val(src, &regs);
-                    regs[dst.0 as usize] = match op {
-                        AluOp::Add => a.wrapping_add(b),
-                        AluOp::Sub => a.wrapping_sub(b),
-                        AluOp::Mul => a.wrapping_mul(b),
-                        AluOp::Div => a.checked_div(b).unwrap_or(0),
-                        AluOp::Mod => a.checked_rem(b).unwrap_or(0),
-                        AluOp::And => a & b,
-                        AluOp::Or => a | b,
-                        AluOp::Xor => a ^ b,
-                        AluOp::Shl => a.wrapping_shl((b & 63) as u32),
-                        AluOp::Shr => a.wrapping_shr((b & 63) as u32),
-                        AluOp::Min => a.min(b),
-                        AluOp::Max => a.max(b),
-                    };
+                    let a = st.regs[dst.0 as usize];
+                    let b = val(&src, &st.regs);
+                    st.regs[dst.0 as usize] = op.eval(a, b);
                     pc += 1;
                 }
-                Insn::Jmp { target } => pc = *target,
+                Insn::Jmp { target } => pc = target,
                 Insn::JmpIf {
                     cmp,
                     lhs,
                     rhs,
                     target,
                 } => {
-                    if cmp.eval(regs[lhs.0 as usize], val(rhs, &regs)) {
-                        pc = *target;
+                    if cmp.eval(st.regs[lhs.0 as usize], val(&rhs, &st.regs)) {
+                        pc = target;
                     } else {
                         pc += 1;
                     }
                 }
                 Insn::MapLoad { dst, map, key } => {
-                    let k = regs[key.0 as usize];
-                    let slot = self.maps.get(*map).and_then(|m| m.get(k as usize)).copied();
+                    let k = st.regs[key.0 as usize];
+                    let slot = st.maps.get(map).and_then(|m| m.get(k as usize)).copied();
                     match slot {
-                        Some(v) => regs[dst.0 as usize] = v,
+                        Some(v) => st.regs[dst.0 as usize] = v,
                         None => {
                             self.faults += 1;
-                            return Err(VmError::MapKeyOutOfBounds { map: *map, key: k });
+                            return Err(VmError::MapKeyOutOfBounds { map, key: k });
                         }
                     }
                     pc += 1;
                 }
                 Insn::MapStore { map, key, src } => {
-                    let k = regs[key.0 as usize];
-                    let v = regs[src.0 as usize];
-                    match self.maps.get_mut(*map).and_then(|m| m.get_mut(k as usize)) {
+                    let k = st.regs[key.0 as usize];
+                    let v = st.regs[src.0 as usize];
+                    match st.maps.get_mut(map).and_then(|m| m.get_mut(k as usize)) {
                         Some(slot) => *slot = v,
                         None => {
                             self.faults += 1;
-                            return Err(VmError::MapKeyOutOfBounds { map: *map, key: k });
+                            return Err(VmError::MapKeyOutOfBounds { map, key: k });
                         }
                     }
                     pc += 1;
                 }
                 Insn::MapAdd { map, key, src } => {
-                    let k = regs[key.0 as usize];
-                    let v = regs[src.0 as usize];
-                    match self.maps.get_mut(*map).and_then(|m| m.get_mut(k as usize)) {
+                    let k = st.regs[key.0 as usize];
+                    let v = st.regs[src.0 as usize];
+                    match st.maps.get_mut(map).and_then(|m| m.get_mut(k as usize)) {
                         Some(slot) => *slot = slot.saturating_add(v),
                         None => {
                             self.faults += 1;
-                            return Err(VmError::MapKeyOutOfBounds { map: *map, key: k });
+                            return Err(VmError::MapKeyOutOfBounds { map, key: k });
                         }
                     }
                     pc += 1;
                 }
+                Insn::FlowLoad { dst, map, slot } => {
+                    let s = val(&slot, &st.regs);
+                    match st.flows.get(map).and_then(|fm| fm.load(ctx.flow_key, s)) {
+                        Some(v) => st.regs[dst.0 as usize] = v,
+                        None => {
+                            self.faults += 1;
+                            return Err(VmError::FlowSlotOutOfBounds { map, slot: s });
+                        }
+                    }
+                    pc += 1;
+                }
+                Insn::FlowStore { map, slot, src } | Insn::FlowAdd { map, slot, src } => {
+                    let add = matches!(insn, Insn::FlowAdd { .. });
+                    let s = val(&slot, &st.regs);
+                    let v = st.regs[src.0 as usize];
+                    match st
+                        .flows
+                        .get_mut(map)
+                        .and_then(|fm| fm.write(ctx.flow_key, s, v, add))
+                    {
+                        Some(()) => {}
+                        None => {
+                            self.faults += 1;
+                            return Err(VmError::FlowSlotOutOfBounds { map, slot: s });
+                        }
+                    }
+                    pc += 1;
+                }
+                Insn::CntAdd { counter, src } => {
+                    let v = val(&src, &st.regs);
+                    match st.counters.get_mut(counter) {
+                        Some(c) => *c = c.saturating_add(v),
+                        None => {
+                            self.faults += 1;
+                            return Err(VmError::CounterOutOfBounds { counter });
+                        }
+                    }
+                    pc += 1;
+                }
+                Insn::TailCall { tail } => {
+                    // Registers and mark carry over; control never
+                    // returns (verified monotone, so chains are bounded).
+                    if tail < body || tail >= self.program.tails.len() {
+                        self.faults += 1;
+                        return Err(VmError::PcOutOfBounds);
+                    }
+                    body = tail + 1;
+                    pc = 0;
+                }
                 Insn::SetMark { src } => {
-                    mark = regs[src.0 as usize];
+                    st.mark = st.regs[src.0 as usize];
                     pc += 1;
                 }
                 Insn::Ret { verdict } => {
                     return Ok(Execution {
-                        verdict: *verdict,
+                        verdict,
                         cycles,
-                        mark,
+                        mark: st.mark,
                     })
                 }
                 Insn::RetReg { src } => {
                     return Ok(Execution {
-                        verdict: Verdict::decode(regs[src.0 as usize]),
+                        verdict: Verdict::decode(st.regs[src.0 as usize]),
                         cycles,
-                        mark,
+                        mark: st.mark,
                     })
                 }
             }
@@ -339,7 +590,7 @@ impl Vm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::isa::CmpOp;
+    use crate::isa::{AluOp, CmpOp};
     use crate::program::MapSpec;
 
     fn r(n: u8) -> Reg {

@@ -49,6 +49,19 @@ baselines in scripts/bench_baselines/ and fails on regression:
   that produced the artifact; like the PR8 bars they are enforced on
   the stored document in any run mode, so CI does not re-time.
 
+* BENCH_PR10.json (AOT-compiled overlay engines, wall-clock + exact):
+  acceptance bars on the recorded numbers — the compiled engine must be
+  >= 3x the interpreter on the ~32-instruction headline program
+  (min-over-segments ns/packet, `overlay/interp_x32` vs
+  `overlay/compiled_x32` in the substrates sweep mirror the same pair),
+  the engine differential sweep must report exactly zero mismatches,
+  and the E5/E7 policy-bearing scenarios rerun compiled must deliver
+  goodput no worse than their interpreted runs (virtual time, so "no
+  worse" means exactly equal). Like the PR9 bars these are enforced on
+  the stored document in any run mode, so CI does not re-time. When the
+  substrates sweep is a timed run, the interp/compiled row ratio is
+  additionally held to the same 3x bar.
+
 * results/substrates.json (microbench sweep): the benchmark *coverage*
   must include everything in the baseline — a bench that silently
   disappears fails the gate. Wall-clock ns/iter is compared only when
@@ -303,6 +316,67 @@ def check_pr9(fresh, failures):
     )
 
 
+def check_pr10(fresh, substrates, failures):
+    if fresh is None:
+        failures.append("BENCH_PR10.json missing — run exp_pr10_bench first")
+        return
+    if fresh.get("schema") != "norman-bench-pr10-v1":
+        failures.append(f"pr10: unexpected schema {fresh.get('schema')!r}")
+        return
+    speedup = fresh.get("speedup", 0.0)
+    if speedup < 3.0:
+        failures.append(
+            f"pr10: compiled engine {speedup:.2f}x interpreter, below the 3x acceptance bar"
+        )
+    diff = fresh.get("differential", {})
+    if diff.get("packets", 0) <= 0:
+        failures.append("pr10: differential sweep ran no packets")
+    if diff.get("mismatches", 1) != 0:
+        failures.append(
+            f"pr10: {diff.get('mismatches')} engine divergences (must be exactly 0)"
+        )
+    for scenario in ("e5_policy_swap", "e7_full_policy"):
+        rows = {r.get("engine"): r for r in fresh.get(scenario, [])}
+        compiled, interp = rows.get("compiled"), rows.get("interpreted")
+        if compiled is None or interp is None:
+            failures.append(f"pr10 {scenario}: compiled/interpreted rows missing")
+            continue
+        if compiled.get("delivered", 0) < interp.get("delivered", 1):
+            failures.append(
+                f"pr10 {scenario}: compiled delivered {compiled.get('delivered')} "
+                f"< interpreted {interp.get('delivered')} — goodput regressed"
+            )
+        if compiled.get("packets_lost", 1) != 0:
+            failures.append(
+                f"pr10 {scenario}: compiled run lost {compiled.get('packets_lost')} packets"
+            )
+    print(
+        f"  pr10: compiled {speedup:.2f}x interpreter (bar >=3x); "
+        f"differential {diff.get('programs')} programs / {diff.get('packets')} packets, "
+        f"{diff.get('mismatches')} mismatches; E5/E7 compiled goodput no worse"
+    )
+    # Cross-check the substrates sweep's engine rows when it was timed
+    # (smoke runs record no timings).
+    if substrates is None or substrates.get("mode") != "timed":
+        return
+    rows = {(b["group"], b["name"]): b.get("ns_per_iter") for b in substrates.get("benches", [])}
+    interp_ns = rows.get(("overlay", "interp_x32"))
+    compiled_ns = rows.get(("overlay", "compiled_x32"))
+    if interp_ns is None or compiled_ns is None:
+        failures.append("pr10: overlay/interp_x32 or overlay/compiled_x32 missing from timed substrates sweep")
+        return
+    ratio = interp_ns / compiled_ns
+    status = "ok" if ratio >= 3.0 else "REGRESSION"
+    print(
+        f"  pr10: substrates interp_x32 {interp_ns:.1f} ns vs compiled_x32 "
+        f"{compiled_ns:.1f} ns — {ratio:.2f}x {status}"
+    )
+    if ratio < 3.0:
+        failures.append(
+            f"pr10: timed substrates engine ratio {ratio:.2f}x below the 3x bar"
+        )
+
+
 def check_substrates(fresh, base, wall_tol, failures):
     if fresh is None:
         failures.append("results/substrates.json missing — run the substrates bench first")
@@ -357,6 +431,9 @@ def main():
               failures)
     print("check_bench: BENCH_PR9.json acceptance bars")
     check_pr9(load(REPO / "BENCH_PR9.json"), failures)
+    print("check_bench: BENCH_PR10.json acceptance bars")
+    check_pr10(load(REPO / "BENCH_PR10.json"),
+               load(REPO / "results" / "substrates.json"), failures)
     print("check_bench: results/substrates.json vs baseline")
     check_substrates(load(REPO / "results" / "substrates.json"),
                      load(baselines / "substrates.json"),

@@ -5,16 +5,16 @@
 #   scripts/ci.sh                 # every job, sequentially
 #   scripts/ci.sh --job lint      # one job: lint | build-test |
 #                                 #   telemetry-test | recovery-test |
-#                                 #   trace-pipeline | miri |
-#                                 #   bench-smoke | all
+#                                 #   trace-pipeline | overlay-diff |
+#                                 #   miri | bench-smoke | all
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 job="all"
 if [[ "${1:-}" == "--job" ]]; then
-  job="${2:?usage: ci.sh [--job lint|build-test|telemetry-test|recovery-test|trace-pipeline|miri|bench-smoke|all]}"
+  job="${2:?usage: ci.sh [--job lint|build-test|telemetry-test|recovery-test|trace-pipeline|overlay-diff|miri|bench-smoke|all]}"
 elif [[ -n "${1:-}" ]]; then
-  echo "usage: ci.sh [--job lint|build-test|telemetry-test|recovery-test|trace-pipeline|miri|bench-smoke|all]" >&2
+  echo "usage: ci.sh [--job lint|build-test|telemetry-test|recovery-test|trace-pipeline|overlay-diff|miri|bench-smoke|all]" >&2
   exit 2
 fi
 
@@ -76,6 +76,21 @@ run_trace_pipeline() {
   BENCH_SMOKE=1 cargo run --release -p bench --bin exp_pr8_trace
 }
 
+run_overlay_diff() {
+  echo "==> compiled-vs-interpreter differential fuzz (seeded)"
+  # Random verified programs x random packet streams, both engines in
+  # lockstep: verdicts, register files, map/flow/counter state, and
+  # fault tallies must be bit-identical. Seeded, so a divergence is a
+  # reproducible counterexample, not a flake.
+  (cd tests && cargo test -q --test overlay_diff)
+
+  echo "==> differential fuzz again with lifecycle tracing enabled"
+  (cd tests && NORMAN_TELEMETRY=1 cargo test -q --test overlay_diff)
+
+  echo "==> commit-time compile gate suite (rejection, fallback, rollback)"
+  (cd tests && cargo test -q --test ctrl_commit)
+}
+
 run_miri() {
   # Undefined-behaviour audit of the unsafe core: the pkt buffer arena
   # (raw slab pointers, refcounted recycling, cross-thread frees) and
@@ -115,6 +130,12 @@ run_bench_smoke() {
   echo "==> arena dataplane bench (smoke)"
   BENCH_SMOKE=1 cargo run --release -p bench --bin exp_pr9_bench
 
+  # Smoke mode runs the engine comparison, the differential sweep, and
+  # the E5/E7 parity scenarios (all asserts at full strength) without
+  # rewriting the committed BENCH_PR10.json headline.
+  echo "==> compiled-overlay engine bench (smoke)"
+  BENCH_SMOKE=1 cargo run --release -p bench --bin exp_pr10_bench
+
   echo "==> bench regression guard"
   python3 scripts/check_bench.py
 }
@@ -125,6 +146,7 @@ case "$job" in
   telemetry-test) run_telemetry_test ;;
   recovery-test) run_recovery_test ;;
   trace-pipeline) run_trace_pipeline ;;
+  overlay-diff) run_overlay_diff ;;
   miri) run_miri ;;
   bench-smoke) run_bench_smoke ;;
   all)
@@ -133,11 +155,12 @@ case "$job" in
     run_telemetry_test
     run_recovery_test
     run_trace_pipeline
+    run_overlay_diff
     run_miri
     run_bench_smoke
     ;;
   *)
-    echo "unknown job: $job (want lint, build-test, telemetry-test, recovery-test, trace-pipeline, miri, bench-smoke, or all)" >&2
+    echo "unknown job: $job (want lint, build-test, telemetry-test, recovery-test, trace-pipeline, overlay-diff, miri, bench-smoke, or all)" >&2
     exit 2
     ;;
 esac

@@ -345,3 +345,179 @@ fn deprecated_shims_still_route_through_the_control_plane() {
     assert!(h.nic.sniffer.is_enabled());
     assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
 }
+
+/// A program that sails through the verifier but exceeds the AOT
+/// compiler's block budget (`MAX_COMPILED_INSNS` < `MAX_INSNS`): pure
+/// straight-line loads followed by a return.
+fn verifies_but_wont_compile() -> overlay::Program {
+    use overlay::{Insn, Reg, Verdict};
+    let mut insns = Vec::new();
+    for _ in 0..overlay::MAX_COMPILED_INSNS {
+        insns.push(Insn::LdImm {
+            dst: Reg(1),
+            imm: 7,
+        });
+    }
+    insns.push(Insn::Ret {
+        verdict: Verdict::Pass,
+    });
+    let p = overlay::Program::new("too-big-to-compile", insns, vec![]);
+    overlay::verify(&p).expect("must verify");
+    overlay::compile(&p).expect_err("must not compile");
+    p
+}
+
+#[test]
+fn aot_compile_failure_aborts_phase_one_and_keeps_prior_bundle() {
+    let mut h = Host::new(HostConfig::default());
+    full_policy(&mut h, Time::ZERO);
+    let fp_before: Vec<_> = [
+        nicsim::device::ProgramSlot::IngressFilter,
+        nicsim::device::ProgramSlot::EgressFilter,
+        nicsim::device::ProgramSlot::Classifier,
+    ]
+    .iter()
+    .map(|&s| h.nic.program_fingerprint(s))
+    .collect();
+
+    let err = h
+        .update_policy(Time::from_us(1), |p| {
+            p.accounting.push(verifies_but_wont_compile());
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, CtrlError::CompileRejected { ref program, .. } if program == "too-big-to-compile"),
+        "got {err}"
+    );
+
+    // Phase 1 aborted: no generation bump, resident fingerprints
+    // untouched, the audit ledger still closes, and the refusal is
+    // counted in both the stats block and the metrics registry.
+    assert_eq!(h.policy_generation(), 1);
+    let fp_after: Vec<_> = [
+        nicsim::device::ProgramSlot::IngressFilter,
+        nicsim::device::ProgramSlot::EgressFilter,
+        nicsim::device::ProgramSlot::Classifier,
+    ]
+    .iter()
+    .map(|&s| h.nic.program_fingerprint(s))
+    .collect();
+    assert_eq!(fp_before, fp_after);
+    assert!(h.policy().accounting.is_empty());
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+    assert_eq!(h.ctrl().stats().compile_rejected, 1);
+    assert_eq!(
+        h.metrics_snapshot().counter("ctrl.compile_rejected"),
+        Some(1)
+    );
+}
+
+#[test]
+fn interpreter_fallback_accepts_uncompilable_programs() {
+    // The same program the AOT compiler refuses is installable with the
+    // interpreter pinned — the documented fallback for unverifiable
+    // artifacts — and the audit ledger agrees about the engine choice.
+    let mut h = Host::new(HostConfig::default());
+    full_policy(&mut h, Time::ZERO);
+    let g = h
+        .update_policy(Time::from_us(1), |p| {
+            p.interpret_overlay = true;
+            p.accounting.push(verifies_but_wont_compile());
+        })
+        .unwrap();
+    assert_eq!(g, 2);
+    assert_eq!(h.nic.num_accounting(), 1);
+    for slot in [
+        nicsim::device::ProgramSlot::IngressFilter,
+        nicsim::device::ProgramSlot::EgressFilter,
+    ] {
+        assert_eq!(h.nic.program_compiled(slot), Some(false));
+    }
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+
+    // Flipping back to compiled mode drops the uncompilable program or
+    // fails phase 1 — here we drop it and confirm slots recompile.
+    h.update_policy(Time::from_us(2), |p| {
+        p.interpret_overlay = false;
+        p.accounting.clear();
+    })
+    .unwrap();
+    for slot in [
+        nicsim::device::ProgramSlot::IngressFilter,
+        nicsim::device::ProgramSlot::EgressFilter,
+    ] {
+        assert_eq!(h.nic.program_compiled(slot), Some(true));
+    }
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+}
+
+#[test]
+fn aot_compile_failure_with_armed_fault_injector_touches_nothing() {
+    // A phase-1 AOT rejection must abort before any apply op runs: an
+    // armed mid-commit fault injector is not consumed, no rollback is
+    // recorded, and the very next (valid) commit still absorbs the
+    // fault exactly as if the rejected transaction never happened.
+    let mut h = Host::new(HostConfig::default());
+    full_policy(&mut h, Time::ZERO);
+    let ops_before = h.ctrl().stats().apply_ops;
+    h.set_policy_fault_injector(OpFaultInjector::fail_nth(3));
+
+    let err = h
+        .update_policy(Time::from_us(1), |p| {
+            p.accounting.push(verifies_but_wont_compile());
+        })
+        .unwrap_err();
+    assert!(
+        matches!(err, CtrlError::CompileRejected { .. }),
+        "got {err}"
+    );
+    assert_eq!(h.ctrl().stats().apply_ops, ops_before, "apply ran ops");
+    assert_eq!(h.ctrl().stats().rollbacks, 0);
+    assert_eq!(h.ctrl().stats().compile_rejected, 1);
+    assert_eq!(h.policy_generation(), 1);
+
+    // The armed fault now fires on the next *valid* commit and rolls
+    // back cleanly — the rejected transaction left full rollback
+    // capability intact.
+    let err = h
+        .update_policy(Time::from_us(2), |p| {
+            p.reservations.push(PortReservation::new(8080, Uid(1002)));
+        })
+        .unwrap_err();
+    assert!(matches!(err, CtrlError::CommitFailed { .. }), "got {err}");
+    assert_eq!(h.ctrl().stats().rollbacks, 1);
+    assert_eq!(h.policy_generation(), 1);
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+
+    // Fault consumed; the same mutation commits.
+    h.update_policy(Time::from_us(3), |p| {
+        p.reservations.push(PortReservation::new(8080, Uid(1002)));
+    })
+    .unwrap();
+    assert_eq!(h.policy_generation(), 2);
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+}
+
+#[test]
+fn compiled_installs_survive_rollback_and_reconcile() {
+    // Rollback reinstalls the *prior* bundle's compiled artifacts, and
+    // reconcile-after-reprogram re-lowers the store with compilation on
+    // — the engine choice is as durable as the fingerprints.
+    let mut h = Host::new(HostConfig::default());
+    full_policy(&mut h, Time::ZERO);
+    h.set_policy_fault_injector(OpFaultInjector::fail_nth(4));
+    let err = h
+        .update_policy(Time::from_us(1), |p| {
+            p.reservations.push(PortReservation::new(8080, Uid(1002)));
+        })
+        .unwrap_err();
+    assert!(matches!(err, CtrlError::CommitFailed { .. }), "got {err}");
+    for slot in [
+        nicsim::device::ProgramSlot::IngressFilter,
+        nicsim::device::ProgramSlot::EgressFilter,
+        nicsim::device::ProgramSlot::Classifier,
+    ] {
+        assert_eq!(h.nic.program_compiled(slot), Some(true), "{slot:?}");
+    }
+    assert!(h.audit().is_empty(), "audit: {:?}", h.audit());
+}
